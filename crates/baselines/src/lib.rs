@@ -1,0 +1,36 @@
+//! # odyssey-baselines
+//!
+//! The competing approaches of the paper's evaluation, re-implemented from
+//! their published descriptions:
+//!
+//! * [`grid`] — a static uniform **Grid** (60³ cells in the paper) with
+//!   query-window extension; the cheapest index to build,
+//! * [`rtree`] — an **R-Tree** bulk loaded with the STR algorithm
+//!   (Leutenegger et al., ICDE '97),
+//! * [`flat`] — **FLAT** (Tauheed et al., ICDE '12): STR-packed data pages, a
+//!   seed index over page MBRs and neighbourhood links that let a query crawl
+//!   from one seed page to all overlapping pages; slowest to build, fastest
+//!   to query,
+//! * [`strategy`] — the two multi-dataset strategies the paper evaluates for
+//!   each index: **one-for-each** (1fE, one index per dataset) and
+//!   **all-in-one** (Ain1, a single index over the union of all datasets).
+//!
+//! All builders read the raw dataset files through the
+//! [`odyssey_storage::StorageManager`], so their indexing cost (including the
+//! external-sort passes of STR-based builds) shows up in the I/O counters the
+//! benchmark harness converts into simulated seconds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flat;
+pub mod grid;
+pub mod rtree;
+pub mod strategy;
+pub mod traits;
+
+pub use flat::{FlatConfig, FlatIndex};
+pub use grid::{GridConfig, GridIndex};
+pub use rtree::{RTreeConfig, RTreeIndex};
+pub use strategy::{build_approach, Approach, MultiDatasetIndex, Strategy};
+pub use traits::{IndexBuilder, SpatialIndexBuild};

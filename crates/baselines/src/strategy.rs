@@ -1,0 +1,445 @@
+//! Multi-dataset strategies: one-for-each (1fE) and all-in-one (Ain1).
+//!
+//! The paper evaluates every static index under two strategies:
+//!
+//! * **1fE** builds one index per dataset. A query probes only the indexes of
+//!   the datasets it requests and unions the results — cheap when few
+//!   datasets are queried, increasingly expensive as `m` grows.
+//! * **Ain1** builds a single index over the union of all datasets. A query
+//!   probes one (large) structure and filters out objects of datasets that
+//!   were not requested — insensitive to `m` but always pays for the big
+//!   structure and the filtered-out objects.
+//!
+//! Space Odyssey is a hybrid: per-dataset adaptive indexes (like 1fE) plus
+//! merge files for hot combinations (like Ain1), which is what the harness
+//! compares against these strategies.
+
+use crate::flat::{FlatBuilder, FlatConfig};
+use crate::grid::{GridBuilder, GridConfig};
+use crate::rtree::{RTreeBuilder, RTreeConfig};
+use crate::traits::{IndexBuilder, SpatialIndexBuild};
+use odyssey_geom::{Aabb, DatasetId, RangeQuery, SpatialObject};
+use odyssey_storage::{RawDataset, StorageManager, StorageResult};
+
+/// How a static index is instantiated over multiple datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One index per dataset.
+    OneForEach,
+    /// One index over the union of all datasets.
+    AllInOne,
+}
+
+impl Strategy {
+    /// The paper's abbreviation ("1fE" / "Ain1").
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Strategy::OneForEach => "1fE",
+            Strategy::AllInOne => "Ain1",
+        }
+    }
+}
+
+/// A fully built multi-dataset access method that can answer the paper's
+/// `Q = {A; DS1, …, DSN}` queries.
+pub trait MultiDatasetIndex {
+    /// Executes a query and returns the objects of the requested datasets
+    /// whose MBRs intersect the range.
+    fn query(
+        &self,
+        storage: &mut StorageManager,
+        query: &RangeQuery,
+    ) -> StorageResult<Vec<SpatialObject>>;
+
+    /// Display name, e.g. `"FLAT-Ain1"`.
+    fn name(&self) -> String;
+
+    /// Total data pages across the underlying indexes.
+    fn data_pages(&self) -> u64;
+}
+
+/// 1fE wrapper: one index per dataset.
+pub struct OneForEach<I: SpatialIndexBuild> {
+    indexes: Vec<(DatasetId, I)>,
+    label: String,
+}
+
+impl<I: SpatialIndexBuild> OneForEach<I> {
+    /// Builds one index per raw dataset using `builder`.
+    pub fn build<B: IndexBuilder<Index = I>>(
+        storage: &mut StorageManager,
+        builder: &B,
+        sources: &[RawDataset],
+    ) -> StorageResult<Self> {
+        let mut indexes = Vec::with_capacity(sources.len());
+        for raw in sources {
+            let idx =
+                builder.build(storage, &format!("ds{}", raw.dataset.0), std::slice::from_ref(raw))?;
+            indexes.push((raw.dataset, idx));
+        }
+        Ok(OneForEach { indexes, label: format!("{}-1fE", display_kind(builder.kind())) })
+    }
+
+    /// Number of per-dataset indexes.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+impl<I: SpatialIndexBuild> MultiDatasetIndex for OneForEach<I> {
+    fn query(
+        &self,
+        storage: &mut StorageManager,
+        query: &RangeQuery,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let mut result = Vec::new();
+        for (dataset, index) in &self.indexes {
+            if query.datasets.contains(*dataset) {
+                let objs = index.query_range(storage, &query.range)?;
+                storage.note_objects_scanned(objs.len() as u64);
+                result.extend(objs.into_iter().filter(|o| query.matches(o)));
+            }
+        }
+        Ok(result)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn data_pages(&self) -> u64 {
+        self.indexes.iter().map(|(_, i)| i.data_pages()).sum()
+    }
+}
+
+/// Ain1 wrapper: one index over everything, with post-filtering by dataset.
+pub struct AllInOne<I: SpatialIndexBuild> {
+    index: I,
+    label: String,
+}
+
+impl<I: SpatialIndexBuild> AllInOne<I> {
+    /// Builds a single index over the union of all raw datasets.
+    pub fn build<B: IndexBuilder<Index = I>>(
+        storage: &mut StorageManager,
+        builder: &B,
+        sources: &[RawDataset],
+    ) -> StorageResult<Self> {
+        let index = builder.build(storage, "all", sources)?;
+        Ok(AllInOne { index, label: format!("{}-Ain1", display_kind(builder.kind())) })
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &I {
+        &self.index
+    }
+}
+
+impl<I: SpatialIndexBuild> MultiDatasetIndex for AllInOne<I> {
+    fn query(
+        &self,
+        storage: &mut StorageManager,
+        query: &RangeQuery,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let objs = self.index.query_range(storage, &query.range)?;
+        storage.note_objects_scanned(objs.len() as u64);
+        Ok(objs.into_iter().filter(|o| query.matches(o)).collect())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn data_pages(&self) -> u64 {
+        self.index.data_pages()
+    }
+}
+
+fn display_kind(kind: &str) -> &'static str {
+    match kind {
+        "grid" => "Grid",
+        "rtree" => "RTree",
+        "flat" => "FLAT",
+        _ => "Index",
+    }
+}
+
+/// The concrete competitor approaches evaluated in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// FLAT with a single index over all datasets.
+    FlatAin1,
+    /// FLAT with one index per dataset.
+    Flat1fE,
+    /// STR R-Tree with a single index over all datasets.
+    RTreeAin1,
+    /// STR R-Tree with one index per dataset.
+    RTree1fE,
+    /// Uniform grid with one index per dataset (the paper's Grid variant).
+    Grid1fE,
+    /// Uniform grid with a single index over all datasets (extra variant used
+    /// in ablations; not plotted in the paper's Figure 4).
+    GridAin1,
+}
+
+impl Approach {
+    /// The approaches plotted in Figure 4, in the paper's legend order.
+    pub const FIGURE4: [Approach; 4] =
+        [Approach::FlatAin1, Approach::Flat1fE, Approach::RTreeAin1, Approach::Grid1fE];
+
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::FlatAin1 => "FLAT-Ain1",
+            Approach::Flat1fE => "FLAT-1fE",
+            Approach::RTreeAin1 => "RTree-Ain1",
+            Approach::RTree1fE => "RTree-1fE",
+            Approach::Grid1fE => "Grid-1fE",
+            Approach::GridAin1 => "Grid-Ain1",
+        }
+    }
+
+    /// Which strategy the approach uses.
+    pub fn strategy(self) -> Strategy {
+        match self {
+            Approach::FlatAin1 | Approach::RTreeAin1 | Approach::GridAin1 => Strategy::AllInOne,
+            Approach::Flat1fE | Approach::RTree1fE | Approach::Grid1fE => Strategy::OneForEach,
+        }
+    }
+}
+
+/// Configuration bundle for [`build_approach`].
+#[derive(Debug, Clone, Copy)]
+pub struct ApproachConfig {
+    /// Grid configuration (needs the data bounds).
+    pub grid: GridConfig,
+    /// R-Tree configuration.
+    pub rtree: RTreeConfig,
+    /// FLAT configuration.
+    pub flat: FlatConfig,
+}
+
+impl ApproachConfig {
+    /// The paper's configuration over the given data bounds.
+    pub fn paper(bounds: Aabb) -> Self {
+        ApproachConfig {
+            grid: GridConfig::paper(bounds),
+            rtree: RTreeConfig::default(),
+            flat: FlatConfig::default(),
+        }
+    }
+}
+
+/// Builds one of the competitor approaches over the given raw datasets and
+/// returns it as a trait object the harness can drive uniformly.
+pub fn build_approach(
+    storage: &mut StorageManager,
+    approach: Approach,
+    config: &ApproachConfig,
+    sources: &[RawDataset],
+) -> StorageResult<Box<dyn MultiDatasetIndex>> {
+    Ok(match approach {
+        Approach::FlatAin1 => {
+            Box::new(AllInOne::build(storage, &FlatBuilder(config.flat), sources)?)
+        }
+        Approach::Flat1fE => {
+            Box::new(OneForEach::build(storage, &FlatBuilder(config.flat), sources)?)
+        }
+        Approach::RTreeAin1 => {
+            Box::new(AllInOne::build(storage, &RTreeBuilder(config.rtree), sources)?)
+        }
+        Approach::RTree1fE => {
+            Box::new(OneForEach::build(storage, &RTreeBuilder(config.rtree), sources)?)
+        }
+        Approach::Grid1fE => {
+            Box::new(OneForEach::build(storage, &GridBuilder(config.grid), sources)?)
+        }
+        Approach::GridAin1 => {
+            Box::new(AllInOne::build(storage, &GridBuilder(config.grid), sources)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{scan_query, DatasetSet, ObjectId, QueryId, Vec3};
+    use odyssey_storage::write_raw_dataset;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    fn random_objects(n: u64, ds: u16, seed: u64) -> Vec<SpatialObject> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Vec3::new(
+                    rng.gen_range(1.0..99.0),
+                    rng.gen_range(1.0..99.0),
+                    rng.gen_range(1.0..99.0),
+                );
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(0.1..0.8))),
+                )
+            })
+            .collect()
+    }
+
+    struct Fixture {
+        storage: StorageManager,
+        raws: Vec<RawDataset>,
+        all_objects: Vec<SpatialObject>,
+    }
+
+    fn fixture(num_datasets: u16, per_dataset: u64) -> Fixture {
+        let mut storage = StorageManager::in_memory();
+        let mut raws = Vec::new();
+        let mut all_objects = Vec::new();
+        for ds in 0..num_datasets {
+            let objs = random_objects(per_dataset, ds, ds as u64 + 1);
+            raws.push(write_raw_dataset(&mut storage, DatasetId(ds), &objs).unwrap());
+            all_objects.extend(objs);
+        }
+        Fixture { storage, raws, all_objects }
+    }
+
+    fn sample_query(seed: u64, datasets: &[u16]) -> RangeQuery {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = Vec3::new(
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+        );
+        RangeQuery::new(
+            QueryId(seed as u32),
+            Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(3.0..15.0))),
+            DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d))),
+        )
+    }
+
+    #[test]
+    fn strategy_abbreviations() {
+        assert_eq!(Strategy::OneForEach.abbrev(), "1fE");
+        assert_eq!(Strategy::AllInOne.abbrev(), "Ain1");
+        assert_eq!(Approach::FlatAin1.strategy(), Strategy::AllInOne);
+        assert_eq!(Approach::Grid1fE.strategy(), Strategy::OneForEach);
+        assert_eq!(Approach::FIGURE4.len(), 4);
+    }
+
+    #[test]
+    fn every_approach_answers_queries_correctly() {
+        let Fixture { mut storage, raws, all_objects } = fixture(4, 700);
+        let config = ApproachConfig::paper(bounds());
+        for approach in [
+            Approach::FlatAin1,
+            Approach::Flat1fE,
+            Approach::RTreeAin1,
+            Approach::RTree1fE,
+            Approach::Grid1fE,
+            Approach::GridAin1,
+        ] {
+            let index = build_approach(&mut storage, approach, &config, &raws).unwrap();
+            assert_eq!(index.name(), approach.name());
+            assert!(index.data_pages() > 0);
+            for seed in 0..10u64 {
+                let q = sample_query(seed, &[0, 2, 3]);
+                let mut expected: Vec<_> =
+                    scan_query(&q, all_objects.iter()).iter().map(|o| (o.dataset, o.id)).collect();
+                let mut got: Vec<_> = index
+                    .query(&mut storage, &q)
+                    .unwrap()
+                    .iter()
+                    .map(|o| (o.dataset, o.id))
+                    .collect();
+                expected.sort_unstable();
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(got, expected, "{} query {seed}", approach.name());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_never_return_unrequested_datasets() {
+        let Fixture { mut storage, raws, .. } = fixture(3, 400);
+        let config = ApproachConfig::paper(bounds());
+        let index = build_approach(&mut storage, Approach::RTreeAin1, &config, &raws).unwrap();
+        let q = sample_query(1, &[1]);
+        for obj in index.query(&mut storage, &q).unwrap() {
+            assert_eq!(obj.dataset, DatasetId(1));
+        }
+    }
+
+    #[test]
+    fn one_for_each_only_probes_requested_indexes() {
+        let Fixture { mut storage, raws, .. } = fixture(4, 800);
+        // Scale the grid resolution to the (small) test data so that queries
+        // actually hit populated cells.
+        let grid_config =
+            GridConfig { cells_per_dim: 8, bounds: bounds(), build_buffer_objects: 100_000 };
+        let grid = OneForEach::build(&mut storage, &GridBuilder(grid_config), &raws).unwrap();
+        assert_eq!(grid.index_count(), 4);
+        storage.clear_cache();
+        let before = storage.stats();
+        let q_one = sample_query(3, &[0]);
+        grid.query(&mut storage, &q_one).unwrap();
+        let cost_one = storage.seconds_since(&before);
+
+        storage.clear_cache();
+        let before = storage.stats();
+        let q_all = sample_query(3, &[0, 1, 2, 3]);
+        grid.query(&mut storage, &q_all).unwrap();
+        let cost_all = storage.seconds_since(&before);
+        assert!(
+            cost_all > cost_one,
+            "probing 4 indexes ({cost_all}) must cost more than probing 1 ({cost_one})"
+        );
+    }
+
+    #[test]
+    fn ain1_cost_is_insensitive_to_m_while_1fe_grows() {
+        let Fixture { mut storage, raws, .. } = fixture(5, 600);
+        let config = ApproachConfig::paper(bounds());
+        let rtree_ain1 = build_approach(&mut storage, Approach::RTreeAin1, &config, &raws).unwrap();
+        let rtree_1fe = build_approach(&mut storage, Approach::RTree1fE, &config, &raws).unwrap();
+
+        let cost = |storage: &mut StorageManager,
+                    idx: &Box<dyn MultiDatasetIndex>,
+                    datasets: &[u16]| {
+            let mut total = 0.0;
+            for seed in 0..8u64 {
+                storage.clear_cache();
+                let before = storage.stats();
+                idx.query(storage, &sample_query(seed, datasets)).unwrap();
+                total += storage.seconds_since(&before);
+            }
+            total
+        };
+        let ain1_m1 = cost(&mut storage, &rtree_ain1, &[0]);
+        let ain1_m5 = cost(&mut storage, &rtree_ain1, &[0, 1, 2, 3, 4]);
+        let ofe_m1 = cost(&mut storage, &rtree_1fe, &[0]);
+        let ofe_m5 = cost(&mut storage, &rtree_1fe, &[0, 1, 2, 3, 4]);
+        // 1fE cost grows clearly with m; Ain1 grows much less (it reads the
+        // same big structure either way, only the filtering changes).
+        assert!(ofe_m5 > 2.0 * ofe_m1, "1fE should scale with m: {ofe_m1} vs {ofe_m5}");
+        let ain1_growth = ain1_m5 / ain1_m1;
+        let ofe_growth = ofe_m5 / ofe_m1;
+        assert!(
+            ain1_growth < ofe_growth,
+            "Ain1 growth {ain1_growth} should be below 1fE growth {ofe_growth}"
+        );
+    }
+
+    #[test]
+    fn approach_names_match_paper_legend() {
+        assert_eq!(Approach::FlatAin1.name(), "FLAT-Ain1");
+        assert_eq!(Approach::Flat1fE.name(), "FLAT-1fE");
+        assert_eq!(Approach::RTreeAin1.name(), "RTree-Ain1");
+        assert_eq!(Approach::Grid1fE.name(), "Grid-1fE");
+    }
+}

@@ -1,0 +1,50 @@
+//! Common traits implemented by every baseline index.
+
+use odyssey_geom::{Aabb, SpatialObject};
+use odyssey_storage::{RawDataset, StorageManager, StorageResult};
+
+/// A built spatial index over one or more datasets that can answer range
+/// queries.
+///
+/// Implementations handle the query-window extension themselves (they know
+/// the `maxExtent` they recorded at build time) and return every object whose
+/// MBR intersects `range`, regardless of dataset; dataset filtering is the
+/// job of the [`crate::strategy`] layer.
+pub trait SpatialIndexBuild {
+    /// Executes a spatial range query and returns the matching objects.
+    fn query_range(
+        &self,
+        storage: &mut StorageManager,
+        range: &Aabb,
+    ) -> StorageResult<Vec<SpatialObject>>;
+
+    /// Number of disk pages occupied by the index's data pages (used by the
+    /// harness to report index sizes).
+    fn data_pages(&self) -> u64;
+
+    /// A short human-readable name ("grid", "rtree", "flat").
+    fn kind(&self) -> &'static str;
+}
+
+/// A recipe for building a [`SpatialIndexBuild`] from raw dataset files.
+///
+/// The same builder is reused by both multi-dataset strategies: one-for-each
+/// calls it once per dataset with a single source, all-in-one calls it once
+/// with every source.
+pub trait IndexBuilder: Clone {
+    /// The index type this builder produces.
+    type Index: SpatialIndexBuild;
+
+    /// Builds an index over the union of the given raw datasets.
+    ///
+    /// `name` is used to label the files the index creates.
+    fn build(
+        &self,
+        storage: &mut StorageManager,
+        name: &str,
+        sources: &[RawDataset],
+    ) -> StorageResult<Self::Index>;
+
+    /// A short human-readable name ("grid", "rtree", "flat").
+    fn kind(&self) -> &'static str;
+}

@@ -1,0 +1,80 @@
+//! Scaled-down Criterion versions of the paper's figures: each benchmark runs
+//! one figure configuration end to end (dataset generation excluded) so
+//! regressions in any part of the pipeline show up in `cargo bench`. The full
+//! figures are produced by the `figure3..5`, `headline` and `ablation`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odyssey_bench::experiment::{ApproachSelection, ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::{self, Figure4Panel, Figure5Panel};
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn small_runner() -> ExperimentRunner {
+    let spec = DatasetSpec {
+        num_datasets: 6,
+        objects_per_dataset: 3_000,
+        soma_clusters: 6,
+        segments_per_neuron: 40,
+        seed: 11,
+        ..Default::default()
+    };
+    ExperimentRunner::new(ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    })
+}
+
+fn bench_figure4_row(c: &mut Criterion) {
+    let runner = small_runner();
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    group.bench_function("panel_a_m3_50q", |b| {
+        b.iter(|| figures::figure4_panel(&runner, Figure4Panel::A, &[3], 50).0.len());
+    });
+    group.bench_function("panel_d_m3_50q", |b| {
+        b.iter(|| figures::figure4_panel(&runner, Figure4Panel::D, &[3], 50).0.len());
+    });
+    group.finish();
+}
+
+fn bench_figure5_series(c: &mut Criterion) {
+    let runner = small_runner();
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("panel_a_60q", |b| {
+        b.iter(|| figures::figure5_panel(&runner, Figure5Panel::A, 60).series.len());
+    });
+    group.bench_function("panel_c_60q", |b| {
+        b.iter(|| figures::figure5_panel(&runner, Figure5Panel::C, 60).series.len());
+    });
+    group.finish();
+}
+
+fn bench_single_approach_runs(c: &mut Criterion) {
+    let runner = small_runner();
+    let workload = figures::workload_spec(
+        6,
+        3,
+        40,
+        odyssey_datagen::QueryRangeDistribution::Clustered { num_clusters: 5 },
+        odyssey_datagen::CombinationDistribution::Zipf,
+    )
+    .generate(&runner.bounds());
+    let mut group = c.benchmark_group("approach_run");
+    group.sample_size(10);
+    for selection in [
+        ApproachSelection::Static(odyssey_baselines::Approach::Grid1fE),
+        ApproachSelection::Static(odyssey_baselines::Approach::FlatAin1),
+        ApproachSelection::Odyssey,
+    ] {
+        group.bench_function(selection.name(), |b| {
+            b.iter(|| runner.run(selection, &workload).total_seconds());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures_bench, bench_figure4_row, bench_figure5_series, bench_single_approach_runs);
+criterion_main!(figures_bench);

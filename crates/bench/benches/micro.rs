@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks of the building blocks: partitioning and
+//! refinement, the static index builds and probes, and merge-file reads.
+//! These measure wall-clock of the in-memory implementation (they complement
+//! the simulated-seconds figures, which measure the modelled disk).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use odyssey_baselines::strategy::{build_approach, Approach, ApproachConfig};
+use odyssey_baselines::GridConfig;
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec};
+use odyssey_geom::DatasetId;
+use odyssey_storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+
+struct Fixture {
+    storage: StorageManager,
+    raws: Vec<RawDataset>,
+    bounds: odyssey_geom::Aabb,
+    spec: DatasetSpec,
+}
+
+fn fixture(objects_per_dataset: usize, num_datasets: usize) -> Fixture {
+    let spec = DatasetSpec {
+        num_datasets,
+        objects_per_dataset,
+        soma_clusters: 8,
+        segments_per_neuron: 50,
+        seed: 42,
+        ..Default::default()
+    };
+    let model = BrainModel::new(spec.clone());
+    let mut storage = StorageManager::new(StorageOptions::in_memory(1024));
+    let raws: Vec<RawDataset> = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    Fixture { storage, raws, bounds: model.bounds(), spec }
+}
+
+fn workload(spec: &DatasetSpec, bounds: &odyssey_geom::Aabb, n: usize) -> odyssey_datagen::Workload {
+    WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3.min(spec.num_datasets),
+        num_queries: n,
+        query_volume_fraction: 1e-5,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 5 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed: 7,
+    }
+    .generate(bounds)
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("datagen/brain_10k_objects", |b| {
+        let spec = DatasetSpec { objects_per_dataset: 10_000, ..Default::default() };
+        let model = BrainModel::new(spec);
+        b.iter(|| model.generate_dataset(DatasetId(0)));
+    });
+}
+
+fn bench_static_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for (name, approach) in [
+        ("grid_1fe", Approach::Grid1fE),
+        ("rtree_ain1", Approach::RTreeAin1),
+        ("flat_ain1", Approach::FlatAin1),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || fixture(5_000, 4),
+                |mut f| {
+                    let config = ApproachConfig {
+                        grid: GridConfig {
+                            cells_per_dim: 12,
+                            bounds: f.bounds,
+                            build_buffer_objects: 50_000,
+                        },
+                        ..ApproachConfig::paper(f.bounds)
+                    };
+                    build_approach(&mut f.storage, approach, &config, &f.raws).unwrap()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    for (name, approach) in [
+        ("grid_1fe", Approach::Grid1fE),
+        ("rtree_ain1", Approach::RTreeAin1),
+        ("flat_ain1", Approach::FlatAin1),
+    ] {
+        let mut f = fixture(5_000, 4);
+        let config = ApproachConfig {
+            grid: GridConfig { cells_per_dim: 12, bounds: f.bounds, build_buffer_objects: 50_000 },
+            ..ApproachConfig::paper(f.bounds)
+        };
+        let index = build_approach(&mut f.storage, approach, &config, &f.raws).unwrap();
+        let queries = workload(&f.spec, &f.bounds, 50).queries;
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                index.query(&mut f.storage, q).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_odyssey_query_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("odyssey");
+    group.sample_size(10);
+    group.bench_function("adaptive_100_queries", |b| {
+        b.iter_batched(
+            || {
+                let f = fixture(5_000, 4);
+                let queries = workload(&f.spec, &f.bounds, 100).queries;
+                (f, queries)
+            },
+            |(mut f, queries)| {
+                let mut engine =
+                    SpaceOdyssey::new(OdysseyConfig::paper(f.bounds), f.raws.clone()).unwrap();
+                for q in &queries {
+                    engine.execute(&mut f.storage, q).unwrap();
+                }
+                engine.queries_executed()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("converged_query", |b| {
+        let mut f = fixture(5_000, 4);
+        let queries = workload(&f.spec, &f.bounds, 100).queries;
+        let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(f.bounds), f.raws.clone()).unwrap();
+        for q in &queries {
+            engine.execute(&mut f.storage, q).unwrap();
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            engine.execute(&mut f.storage, q).unwrap().objects.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_dataset_generation,
+    bench_static_builds,
+    bench_static_queries,
+    bench_odyssey_query_sequence
+);
+criterion_main!(micro);

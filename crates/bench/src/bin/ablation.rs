@@ -1,0 +1,44 @@
+//! Ablation study over Space Odyssey's parameters (rt, ppl, mt, |C|, merge
+//! policy, space budget, disk model) — the knobs the paper's §3.2.5 plans to
+//! auto-tune with a cost model.
+//!
+//! ```text
+//! cargo run -p odyssey-bench --release --bin ablation -- [--queries N] [--objects N] [--out DIR]
+//! ```
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::ablation;
+use odyssey_bench::report::write_csv;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "ablation — Space Odyssey parameter sweep\n\
+             options: --queries N --objects N --datasets N --out DIR"
+        );
+        return;
+    }
+    let spec = DatasetSpec {
+        num_datasets: args.get_usize("datasets", 10),
+        objects_per_dataset: args.get_usize("objects", 10_000),
+        ..Default::default()
+    };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    let runner = ExperimentRunner::new(config);
+    let result = ablation(&runner, args.get_usize("queries", 300));
+    println!("{}", result.report);
+    let out_dir = args.get("out").unwrap_or_else(|| "results".to_string());
+    let path = format!("{out_dir}/ablation.csv");
+    match write_csv(&path, &result.table.to_csv()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates Figure 3: the clustered and uniform query centers over one
+//! dataset, emitted as CSV for plotting.
+//!
+//! ```text
+//! cargo run -p odyssey-bench --release --bin figure3 -- [--queries N] [--out DIR]
+//! ```
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::figure3;
+use odyssey_bench::report::write_csv;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "figure3 — query distribution visualisation\n\
+             options: --queries N --objects N --datasets N --out DIR"
+        );
+        return;
+    }
+    let spec = DatasetSpec {
+        num_datasets: args.get_usize("datasets", 10),
+        objects_per_dataset: args.get_usize("objects", 20_000),
+        ..Default::default()
+    };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    let runner = ExperimentRunner::new(config);
+    let result = figure3(&runner, args.get_usize("queries", 1000));
+    println!("{}", result.report);
+    let out_dir = args.get("out").unwrap_or_else(|| "results".to_string());
+    let path = format!("{out_dir}/figure3.csv");
+    match write_csv(&path, &result.table.to_csv()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates Figure 4: total workload processing time (indexing +
+//! querying) as the number of queried datasets grows, for each combination
+//! distribution.
+//!
+//! ```text
+//! cargo run -p odyssey-bench --release --bin figure4 -- [--panel a|b|c|d|all]
+//!     [--queries N] [--objects N] [--datasets N] [--out DIR]
+//! ```
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::{figure4_panel, Figure4Panel};
+use odyssey_bench::report::write_csv;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "figure4 — total processing time per approach\n\
+             options: --panel <a|b|c|d|all> --queries N --objects N --datasets N --out DIR"
+        );
+        return;
+    }
+    let panels = match args.get("panel").as_deref() {
+        None | Some("all") => Figure4Panel::ALL.to_vec(),
+        Some(p) => vec![Figure4Panel::parse(p).unwrap_or_else(|| {
+            eprintln!("unknown panel '{p}', expected a, b, c, d or all");
+            std::process::exit(2);
+        })],
+    };
+    let num_queries = args.get_usize("queries", 1000);
+    let spec = DatasetSpec {
+        num_datasets: args.get_usize("datasets", 10),
+        objects_per_dataset: args.get_usize("objects", 20_000),
+        ..Default::default()
+    };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    eprintln!(
+        "generating {} datasets x {} objects ...",
+        config.dataset_spec.num_datasets, config.dataset_spec.objects_per_dataset
+    );
+    let runner = ExperimentRunner::new(config);
+    let out_dir = args.get("out").unwrap_or_else(|| "results".to_string());
+    let m_values: Vec<usize> = [1usize, 3, 5, 7, 9]
+        .into_iter()
+        .filter(|&m| m <= runner.config().dataset_spec.num_datasets)
+        .collect();
+    for panel in panels {
+        eprintln!("running figure 4{} ...", panel.letter());
+        let (_, result) = figure4_panel(&runner, panel, &m_values, num_queries);
+        println!("{}\n", result.report);
+        let path = format!("{out_dir}/figure4{}.csv", panel.letter());
+        match write_csv(&path, &result.table.to_csv()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 5: per-query response time along the query sequence,
+//! plus the merging-effect panel (5c).
+//!
+//! ```text
+//! cargo run -p odyssey-bench --release --bin figure5 -- [--panel a|b|c|all]
+//!     [--queries N] [--objects N] [--datasets N] [--out DIR]
+//! ```
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::{figure5_panel, Figure5Panel};
+use odyssey_bench::report::write_csv;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "figure5 — per-query response times\n\
+             options: --panel <a|b|c|all> --queries N --objects N --datasets N --out DIR"
+        );
+        return;
+    }
+    let panels = match args.get("panel").as_deref() {
+        None | Some("all") => vec![Figure5Panel::A, Figure5Panel::B, Figure5Panel::C],
+        Some(p) => vec![Figure5Panel::parse(p).unwrap_or_else(|| {
+            eprintln!("unknown panel '{p}', expected a, b, c or all");
+            std::process::exit(2);
+        })],
+    };
+    let num_queries = args.get_usize("queries", 1000);
+    let spec = DatasetSpec {
+        num_datasets: args.get_usize("datasets", 10),
+        objects_per_dataset: args.get_usize("objects", 20_000),
+        ..Default::default()
+    };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    let runner = ExperimentRunner::new(config);
+    let out_dir = args.get("out").unwrap_or_else(|| "results".to_string());
+    for panel in panels {
+        eprintln!("running figure 5{} ...", panel.letter());
+        let result = figure5_panel(&runner, panel, num_queries);
+        println!("{}\n", result.report);
+        let path = format!("{out_dir}/figure5{}.csv", panel.letter());
+        match write_csv(&path, &result.table.to_csv()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

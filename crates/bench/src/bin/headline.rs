@@ -1,0 +1,38 @@
+//! Checks the paper's headline claims (introduction and §4.2) against the
+//! reproduction: data-to-query advantage, build-time ratios and steady-state
+//! query-time ratios.
+//!
+//! ```text
+//! cargo run -p odyssey-bench --release --bin headline -- [--queries N] [--objects N] [--m N]
+//! ```
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::headline_claims;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "headline — the paper's quantitative claims\n\
+             options: --queries N --objects N --datasets N --m N"
+        );
+        return;
+    }
+    let spec = DatasetSpec {
+        num_datasets: args.get_usize("datasets", 10),
+        objects_per_dataset: args.get_usize("objects", 20_000),
+        ..Default::default()
+    };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    let runner = ExperimentRunner::new(config);
+    let m = args.get_usize("m", 5);
+    let (_, report) = headline_claims(&runner, m, args.get_usize("queries", 1000));
+    println!("{report}");
+}

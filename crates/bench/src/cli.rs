@@ -1,0 +1,87 @@
+//! Minimal `--key value` argument parsing shared by the figure binaries
+//! (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs from `std::env::args`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses `--key value` pairs from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut args = iter.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = args.peek().cloned().unwrap_or_default();
+                if !value.is_empty() && !value.starts_with("--") {
+                    args.next();
+                    values.insert(key.to_string(), value);
+                } else {
+                    values.insert(key.to_string(), String::from("true"));
+                }
+            }
+        }
+        Args { values }
+    }
+
+    /// Returns `true` if `--help` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.values.contains_key("help") || self.values.contains_key("h")
+    }
+
+    /// Raw value of a flag.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
+    /// Integer value of a flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = args(&["--panel", "b", "--queries", "200"]);
+        assert_eq!(a.get("panel").as_deref(), Some("b"));
+        assert_eq!(a.get_usize("queries", 1000), 200);
+        assert_eq!(a.get_usize("objects", 5000), 5000);
+        assert!(!a.wants_help());
+    }
+
+    #[test]
+    fn bare_flags_become_true() {
+        let a = args(&["--verbose", "--panel", "a"]);
+        assert_eq!(a.get("verbose").as_deref(), Some("true"));
+        assert_eq!(a.get("panel").as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(args(&["--help"]).wants_help());
+        assert!(args(&["--h"]).wants_help());
+    }
+
+    #[test]
+    fn non_numeric_values_fall_back_to_default() {
+        let a = args(&["--queries", "many"]);
+        assert_eq!(a.get_usize("queries", 7), 7);
+    }
+}

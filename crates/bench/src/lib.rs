@@ -1,0 +1,30 @@
+//! # odyssey-bench
+//!
+//! Benchmark harness reproducing the paper's evaluation (Section 4).
+//!
+//! * [`experiment`] — builds the synthetic datasets, runs each approach
+//!   (FLAT-Ain1, FLAT-1fE, RTree-Ain1, RTree-1fE, Grid-1fE, Space Odyssey,
+//!   Space Odyssey without merging) on an identical workload and records the
+//!   indexing/querying breakdown in simulated seconds (disk cost model) plus
+//!   raw I/O counters,
+//! * [`figures`] — regenerates every figure of the paper: the query/dataset
+//!   visualisation (Figure 3), the total-processing-cost bars (Figure 4a–d),
+//!   the per-query time series (Figure 5a–c), the headline claims of the
+//!   introduction, and the parameter ablations suggested in §3.2.5,
+//! * [`report`] — table/CSV formatting shared by the binaries.
+//!
+//! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`
+//! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{
+    ApproachRun, ApproachSelection, ExperimentConfig, ExperimentRunner, QueryRecord,
+};
+pub use report::{format_table, write_csv, Table};

@@ -1,0 +1,153 @@
+//! Table and CSV output helpers shared by the figure binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        format_table(&self.header, &self.rows)
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Renders rows as a column-aligned text table.
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |row: &[String], widths: &[usize]| -> String {
+        row.iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(header, &widths));
+    let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Writes CSV content to `path`, creating parent directories as needed.
+pub fn write_csv<P: AsRef<Path>>(path: P, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+/// Formats seconds with three significant decimals.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(["approach", "seconds"]);
+        assert!(t.is_empty());
+        t.push_row(["Grid-1fE", "12.5"]);
+        t.push_row(["Odyssey", "3.1"]);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("Grid-1fE"));
+        assert!(text.contains("Odyssey"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("approach,seconds\n"));
+        assert!(csv.contains("Odyssey,3.1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["name"]);
+        t.push_row(["has, comma"]);
+        t.push_row(["has \"quote\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has, comma\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(123.4), "123");
+        assert_eq!(fmt_seconds(12.345), "12.35");
+        assert_eq!(fmt_seconds(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn csv_writing() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("nested/out.csv");
+        write_csv(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,238 @@
+//! Configuration of the Space Odyssey engine.
+
+use odyssey_geom::Aabb;
+use serde::{Deserialize, Serialize};
+
+/// How the Merger treats partitions whose refinement levels differ across the
+/// datasets of a combination.
+///
+/// The paper's current implementation only merges partitions that are at the
+/// same refinement level and leaves other policies as future work (§3.2.5);
+/// the alternatives are provided here for the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeLevelPolicy {
+    /// Only merge a region when every dataset holds it at the same level
+    /// (the paper's behaviour).
+    SameLevelOnly,
+    /// Before merging, refine the coarser copies down to the finest level
+    /// present among the datasets (one of the paper's future-work options).
+    RefineToFinest,
+}
+
+/// Tunable parameters of Space Odyssey.
+///
+/// The defaults are the paper's experimental configuration: `rt = 4`,
+/// `ppl = 64`, `mt = 2`, merging only for combinations of at least three
+/// datasets, and a 4 KB page size (fixed by the storage layer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdysseyConfig {
+    /// The space covered by every dataset (the brain volume). Space-oriented
+    /// partitioning always splits this volume regardless of where the data
+    /// actually lies.
+    pub bounds: Aabb,
+    /// Refinement threshold `rt`: a partition hit by a query is refined when
+    /// `Vp / Vq > rt` (partition volume over query volume).
+    pub refinement_threshold: f64,
+    /// Partitions per level `ppl`. Must be a perfect cube `k³`; every
+    /// refinement splits a partition into `k` slices per dimension. The
+    /// minimal octree setting is 8 (`k = 2`); the paper's experiments use 64
+    /// (`k = 4`) for faster convergence.
+    pub partitions_per_level: usize,
+    /// Merge threshold `mt`: a combination's partitions are merged once the
+    /// combination has been queried more than `mt` times.
+    pub merge_threshold: u64,
+    /// Minimum combination size `|C|` for merging (3 in the paper: merging
+    /// pays off when it saves random accesses to several files).
+    pub min_merge_combination_size: usize,
+    /// Master switch for the Merger (Figure 5c compares Space Odyssey with
+    /// and without merging).
+    pub merge_enabled: bool,
+    /// Space budget for merge files, in pages. `None` means unbounded. When
+    /// the budget is exceeded the least recently used merge files are
+    /// dropped.
+    pub merge_space_budget_pages: Option<u64>,
+    /// Policy for merging partitions at different refinement levels.
+    pub merge_level_policy: MergeLevelPolicy,
+    /// Partitions holding fewer than this many objects are never refined
+    /// further: they already fit in a page or two, so refinement would only
+    /// add processing overhead. The paper controls refinement purely by
+    /// volume, which keeps refinement levels aligned across datasets (a
+    /// precondition for merging), so the default is 0 (guard disabled); the
+    /// ablation benchmarks exercise non-zero values.
+    pub min_objects_to_refine: usize,
+    /// Hard cap on the refinement level, guarding against degenerate
+    /// configurations (a level-`L` partition is `ppl^L` times smaller than
+    /// the brain volume).
+    pub max_refinement_level: u32,
+}
+
+impl OdysseyConfig {
+    /// The paper's configuration over the given data bounds.
+    pub fn paper(bounds: Aabb) -> Self {
+        OdysseyConfig {
+            bounds,
+            refinement_threshold: 4.0,
+            partitions_per_level: 64,
+            merge_threshold: 2,
+            min_merge_combination_size: 3,
+            merge_enabled: true,
+            merge_space_budget_pages: None,
+            merge_level_policy: MergeLevelPolicy::SameLevelOnly,
+            min_objects_to_refine: 0,
+            max_refinement_level: 8,
+        }
+    }
+
+    /// Cube root of `partitions_per_level`: the number of slices per
+    /// dimension at every refinement step.
+    ///
+    /// # Panics
+    /// Panics if `partitions_per_level` is not a perfect cube.
+    pub fn splits_per_dimension(&self) -> usize {
+        let k = (self.partitions_per_level as f64).cbrt().round() as usize;
+        assert_eq!(
+            k * k * k,
+            self.partitions_per_level,
+            "partitions_per_level must be a perfect cube (8, 27, 64, …), got {}",
+            self.partitions_per_level
+        );
+        k
+    }
+
+    /// Number of queries that must hit a region before it reaches the target
+    /// refinement level — the convergence formula of §3.1.2:
+    /// `log_ppl(Vp / (Vq · rt))`, rounded up.
+    pub fn queries_to_converge(&self, partition_volume: f64, query_volume: f64) -> u32 {
+        if query_volume <= 0.0 || partition_volume <= 0.0 {
+            return 0;
+        }
+        let ratio = partition_volume / (query_volume * self.refinement_threshold);
+        if ratio <= 1.0 {
+            return 0;
+        }
+        (ratio.ln() / (self.partitions_per_level as f64).ln()).ceil() as u32
+    }
+
+    /// Returns a copy with merging disabled (the paper's "Odyssey w/o
+    /// merging" configuration of Figure 5c).
+    pub fn without_merging(mut self) -> Self {
+        self.merge_enabled = false;
+        self
+    }
+
+    /// Basic sanity checks; call once before constructing the engine.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.refinement_threshold > 0.0) {
+            return Err("refinement_threshold must be positive".into());
+        }
+        let k = (self.partitions_per_level as f64).cbrt().round() as usize;
+        if k * k * k != self.partitions_per_level || k < 2 {
+            return Err(format!(
+                "partitions_per_level must be a perfect cube >= 8, got {}",
+                self.partitions_per_level
+            ));
+        }
+        if self.min_merge_combination_size == 0 {
+            return Err("min_merge_combination_size must be at least 1".into());
+        }
+        if self.bounds.volume() <= 0.0 {
+            return Err("bounds must have positive volume".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for OdysseyConfig {
+    fn default() -> Self {
+        OdysseyConfig::paper(Aabb::from_min_max(
+            odyssey_geom::Vec3::ZERO,
+            odyssey_geom::Vec3::splat(1000.0),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::Vec3;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = OdysseyConfig::paper(bounds());
+        assert_eq!(c.refinement_threshold, 4.0);
+        assert_eq!(c.partitions_per_level, 64);
+        assert_eq!(c.merge_threshold, 2);
+        assert_eq!(c.min_merge_combination_size, 3);
+        assert!(c.merge_enabled);
+        assert_eq!(c.splits_per_dimension(), 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn default_matches_paper_over_default_bounds() {
+        let c = OdysseyConfig::default();
+        assert_eq!(c.refinement_threshold, 4.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn splits_per_dimension_for_octree() {
+        let mut c = OdysseyConfig::paper(bounds());
+        c.partitions_per_level = 8;
+        assert_eq!(c.splits_per_dimension(), 2);
+        c.partitions_per_level = 27;
+        assert_eq!(c.splits_per_dimension(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect cube")]
+    fn non_cube_ppl_panics() {
+        let mut c = OdysseyConfig::paper(bounds());
+        c.partitions_per_level = 10;
+        let _ = c.splits_per_dimension();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let good = OdysseyConfig::paper(bounds());
+        let mut c = good;
+        c.refinement_threshold = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.partitions_per_level = 12;
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.partitions_per_level = 1;
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.min_merge_combination_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = good;
+        c.bounds = Aabb::from_point(Vec3::ZERO);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn convergence_formula() {
+        let c = OdysseyConfig::paper(bounds());
+        // Vp = Vq * rt  =>  already converged.
+        assert_eq!(c.queries_to_converge(4.0, 1.0), 0);
+        // Vp = 64 * Vq * rt  =>  one more level (ppl = 64).
+        assert_eq!(c.queries_to_converge(4.0 * 64.0, 1.0), 1);
+        // Two levels.
+        assert_eq!(c.queries_to_converge(4.0 * 64.0 * 64.0, 1.0), 2);
+        // Degenerate inputs.
+        assert_eq!(c.queries_to_converge(0.0, 1.0), 0);
+        assert_eq!(c.queries_to_converge(1.0, 0.0), 0);
+    }
+
+    #[test]
+    fn without_merging_flips_the_switch() {
+        let c = OdysseyConfig::paper(bounds()).without_merging();
+        assert!(!c.merge_enabled);
+    }
+}

@@ -1,0 +1,485 @@
+//! The Query Processor and the public [`SpaceOdyssey`] engine.
+//!
+//! `SpaceOdyssey::execute` orchestrates one query end to end (§3.2.3):
+//!
+//! 1. each queried dataset is prepared by its Adaptor (first-touch
+//!    partitioning, rt-driven refinement),
+//! 2. the merge directory is consulted and the query is routed to the exact /
+//!    superset / subset merge file where possible; everything else is read
+//!    from the individual per-dataset partition files,
+//! 3. the Statistics Collector records the combination and the partitions it
+//!    retrieved,
+//! 4. the Merger is invoked when the combination has crossed the merge
+//!    threshold, copying (or extending) its partitions into a merge file and
+//!    enforcing the space budget.
+
+use crate::config::OdysseyConfig;
+use crate::merger::{Merger, RouteKind};
+use crate::octree::DatasetIndex;
+use crate::partition::PartitionKey;
+use crate::stats::StatsCollector;
+use odyssey_geom::{DatasetId, DatasetSet, RangeQuery, SpatialObject};
+use odyssey_storage::{RawDataset, StorageManager, StorageResult};
+
+/// What happened while executing one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The query answer: objects of the requested datasets intersecting the
+    /// requested range.
+    pub objects: Vec<SpatialObject>,
+    /// How the query was routed with respect to merge files.
+    pub route: RouteKind,
+    /// Number of partitions refined by this query across all its datasets.
+    pub partitions_refined: usize,
+    /// Number of (dataset, partition) reads served from a merge file.
+    pub partitions_from_merge_file: usize,
+    /// Number of (dataset, partition) reads served from individual dataset
+    /// files (including reads folded into refinement).
+    pub partitions_from_datasets: usize,
+    /// Whether this query triggered a merge (creation or extension of a merge
+    /// file with at least one new entry).
+    pub merge_performed: bool,
+}
+
+impl QueryOutcome {
+    /// Convenience: `true` if any part of the answer came from a merge file.
+    pub fn used_merge_file(&self) -> bool {
+        self.partitions_from_merge_file > 0
+    }
+}
+
+/// The Space Odyssey engine over a set of raw datasets.
+#[derive(Debug)]
+pub struct SpaceOdyssey {
+    config: OdysseyConfig,
+    datasets: Vec<DatasetIndex>,
+    stats: StatsCollector,
+    merger: Merger,
+    queries_executed: u64,
+}
+
+impl SpaceOdyssey {
+    /// Creates an engine over the given raw datasets. No data is read until
+    /// the first query.
+    ///
+    /// # Errors
+    /// Returns a description of the problem if the configuration is invalid.
+    pub fn new(config: OdysseyConfig, raws: Vec<RawDataset>) -> Result<Self, String> {
+        config.validate()?;
+        let datasets = raws.into_iter().map(DatasetIndex::new).collect();
+        Ok(SpaceOdyssey {
+            config,
+            datasets,
+            stats: StatsCollector::new(),
+            merger: Merger::new(),
+            queries_executed: 0,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &OdysseyConfig {
+        &self.config
+    }
+
+    /// The per-dataset incremental index, if the dataset exists.
+    pub fn dataset(&self, id: DatasetId) -> Option<&DatasetIndex> {
+        self.datasets.iter().find(|d| d.dataset() == id)
+    }
+
+    /// All per-dataset indexes.
+    pub fn datasets(&self) -> &[DatasetIndex] {
+        &self.datasets
+    }
+
+    /// The access statistics collected so far.
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// The Merger (exposes the merge-file directory).
+    pub fn merger(&self) -> &Merger {
+        &self.merger
+    }
+
+    /// Number of queries executed so far.
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed
+    }
+
+    /// Executes one range query over its combination of datasets.
+    pub fn execute(
+        &mut self,
+        storage: &mut StorageManager,
+        query: &RangeQuery,
+    ) -> StorageResult<QueryOutcome> {
+        self.queries_executed += 1;
+        let combination = query.datasets;
+
+        // Phase 1: adapt every queried dataset (initialize / refine) and find
+        // out which partitions have to be read.
+        let mut objects: Vec<SpatialObject> = Vec::new();
+        let mut refined = 0usize;
+        let mut from_datasets = 0usize;
+        let mut retrieved_union: Vec<PartitionKey> = Vec::new();
+        // (dataset, key) pairs that still need their data read.
+        let mut pending: Vec<(DatasetId, PartitionKey)> = Vec::new();
+        for dataset_id in combination.iter() {
+            let Some(index) = self.datasets.iter_mut().find(|d| d.dataset() == dataset_id) else {
+                continue; // unknown dataset: nothing to answer
+            };
+            let prep = index.prepare_query(storage, &self.config, query)?;
+            refined += prep.refined;
+            // Partitions answered during refinement / first touch count as
+            // individual-dataset reads.
+            from_datasets += prep.retrieved_keys.len() - prep.pending_keys.len();
+            objects.extend(prep.collected);
+            retrieved_union.extend(prep.retrieved_keys.iter().copied());
+            pending.extend(prep.pending_keys.iter().map(|k| (dataset_id, *k)));
+        }
+        retrieved_union.sort_unstable();
+        retrieved_union.dedup();
+
+        // Phase 2: route the pending reads through the merge directory.
+        let (route_combination, route) = {
+            let (file, kind) = self.merger.directory_mut().route(combination);
+            (file.map(|f| f.combination), kind)
+        };
+        let mut from_merge = 0usize;
+        if let Some(merged_combo) = route_combination {
+            // Group the pending keys served by the merge file so each key is
+            // read once for all its wanted datasets.
+            let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
+            pending.retain(|(dataset, key)| {
+                let in_file = merged_combo.contains(*dataset)
+                    && self
+                        .merger
+                        .directory()
+                        .iter()
+                        .find(|f| f.combination == merged_combo)
+                        .map(|f| f.contains(key))
+                        .unwrap_or(false);
+                if in_file {
+                    match served.iter_mut().find(|(k, _)| k == key) {
+                        Some((_, set)) => set.insert(*dataset),
+                        None => served.push((*key, DatasetSet::single(*dataset))),
+                    }
+                    from_merge += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !served.is_empty() {
+                let file = self
+                    .merger
+                    .directory_mut()
+                    .get_exact_mut(merged_combo)
+                    .expect("routed merge file exists");
+                // Read the merged entries in file order: entries appended by
+                // the same merge operation sit next to each other, so the
+                // whole hot area comes back in long sequential runs — the
+                // point of the merged layout.
+                served.sort_by_key(|(key, _)| {
+                    file.entry(key)
+                        .and_then(|e| e.runs.first().map(|r| r.page_start))
+                        .unwrap_or(u64::MAX)
+                });
+                for (key, wanted) in served {
+                    let objs = file.read(storage, &key, wanted)?;
+                    storage.note_objects_scanned(objs.len() as u64);
+                    objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                }
+            }
+        }
+
+        // Phase 3: read whatever is left from the individual dataset files.
+        for (dataset_id, key) in &pending {
+            let index = self
+                .datasets
+                .iter()
+                .find(|d| d.dataset() == *dataset_id)
+                .expect("pending keys only come from known datasets");
+            let objs = index.read_partition(storage, key)?;
+            storage.note_objects_scanned(objs.len() as u64);
+            objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+            from_datasets += 1;
+        }
+
+        // Phase 4: statistics and merging.
+        self.stats.record(combination, &retrieved_union);
+        let mut merge_performed = false;
+        if self.merger.should_merge(&self.config, &self.stats, combination) {
+            let candidates: Vec<PartitionKey> = self
+                .stats
+                .retrieved(combination)
+                .map(|set| set.iter().copied().collect())
+                .unwrap_or_default();
+            let summary = self.merger.merge_combination(
+                storage,
+                &self.config,
+                combination,
+                &candidates,
+                &self.datasets,
+            )?;
+            merge_performed = summary.entries_appended > 0;
+        }
+
+        Ok(QueryOutcome {
+            objects,
+            route,
+            partitions_refined: refined,
+            partitions_from_merge_file: from_merge,
+            partitions_from_datasets: from_datasets,
+            merge_performed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, ObjectId, QueryId, Vec3};
+    use odyssey_storage::{write_raw_dataset, StorageOptions};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    fn config() -> OdysseyConfig {
+        let mut c = OdysseyConfig::paper(bounds());
+        c.partitions_per_level = 8;
+        c
+    }
+
+    fn clustered_objects(n: u64, ds: u16, seed: u64) -> Vec<SpatialObject> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed * 977 + 13);
+        let centers: Vec<Vec3> = (0..6)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(15.0..85.0),
+                    rng.gen_range(15.0..85.0),
+                    rng.gen_range(15.0..85.0),
+                )
+            })
+            .collect();
+        (0..n)
+            .map(|i| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                let jitter = Vec3::new(
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                );
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(c + jitter, Vec3::splat(rng.gen_range(0.1..0.5))),
+                )
+            })
+            .collect()
+    }
+
+    struct Fixture {
+        storage: StorageManager,
+        engine: SpaceOdyssey,
+        all_objects: Vec<SpatialObject>,
+    }
+
+    fn fixture(num_datasets: u16, per_dataset: u64, cfg: OdysseyConfig) -> Fixture {
+        let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+        let mut raws = Vec::new();
+        let mut all_objects = Vec::new();
+        for ds in 0..num_datasets {
+            let objs = clustered_objects(per_dataset, ds, ds as u64 + 1);
+            raws.push(write_raw_dataset(&mut storage, DatasetId(ds), &objs).unwrap());
+            all_objects.extend(objs);
+        }
+        let engine = SpaceOdyssey::new(cfg, raws).unwrap();
+        Fixture { storage, engine, all_objects }
+    }
+
+    fn query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery {
+        RangeQuery::new(
+            QueryId(id),
+            Aabb::from_center_extent(center, Vec3::splat(side)),
+            DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d))),
+        )
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = config();
+        cfg.refinement_threshold = -1.0;
+        assert!(SpaceOdyssey::new(cfg, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn answers_match_scan_oracle_over_a_workload() {
+        let Fixture { mut storage, mut engine, all_objects } = fixture(4, 1500, config());
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for i in 0..60 {
+            let c = Vec3::new(
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+            );
+            let m = rng.gen_range(1..=4usize);
+            let mut ids: Vec<u16> = (0..4u16).collect();
+            for j in (1..ids.len()).rev() {
+                ids.swap(j, rng.gen_range(0..=j));
+            }
+            ids.truncate(m);
+            let q = query(i, c, rng.gen_range(2.0..12.0), &ids);
+            let outcome = engine.execute(&mut storage, &q).unwrap();
+            let mut expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
+                .iter()
+                .map(|o| (o.dataset, o.id))
+                .collect();
+            let mut got: Vec<_> = outcome.objects.iter().map(|o| (o.dataset, o.id)).collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, expected, "query {i} diverged");
+        }
+        assert_eq!(engine.queries_executed(), 60);
+    }
+
+    #[test]
+    fn only_queried_datasets_are_initialized() {
+        let Fixture { mut storage, mut engine, .. } = fixture(5, 500, config());
+        let q = query(0, Vec3::splat(50.0), 5.0, &[1, 3]);
+        engine.execute(&mut storage, &q).unwrap();
+        assert!(engine.dataset(DatasetId(1)).unwrap().is_initialized());
+        assert!(engine.dataset(DatasetId(3)).unwrap().is_initialized());
+        assert!(!engine.dataset(DatasetId(0)).unwrap().is_initialized());
+        assert!(!engine.dataset(DatasetId(2)).unwrap().is_initialized());
+        assert!(!engine.dataset(DatasetId(4)).unwrap().is_initialized());
+    }
+
+    #[test]
+    fn hot_combination_gets_merged_and_later_queries_use_the_merge_file() {
+        let Fixture { mut storage, mut engine, .. } = fixture(4, 2000, config());
+        let hot = [0u16, 1, 2];
+        let mut merged_seen = false;
+        let mut merge_file_used = false;
+        for i in 0..12 {
+            // Keep queries within the same hot region so the same partitions
+            // are retrieved repeatedly.
+            let c = Vec3::splat(48.0 + (i % 3) as f64);
+            let q = query(i, c, 4.0, &hot);
+            let outcome = engine.execute(&mut storage, &q).unwrap();
+            merged_seen |= outcome.merge_performed;
+            merge_file_used |= outcome.used_merge_file();
+        }
+        assert!(merged_seen, "the hot combination should have been merged");
+        assert!(merge_file_used, "later queries should read from the merge file");
+        assert_eq!(engine.merger().directory().len(), 1);
+        assert!(engine.merger().directory().total_pages() > 0);
+        // Statistics recorded the combination.
+        let combo = DatasetSet::from_ids(hot.iter().map(|&d| DatasetId(d)));
+        assert_eq!(engine.stats().count(combo), 12);
+    }
+
+    #[test]
+    fn small_combinations_are_never_merged() {
+        let Fixture { mut storage, mut engine, .. } = fixture(3, 800, config());
+        for i in 0..8 {
+            let q = query(i, Vec3::splat(50.0), 4.0, &[0, 1]);
+            let outcome = engine.execute(&mut storage, &q).unwrap();
+            assert!(!outcome.merge_performed);
+            assert_eq!(outcome.route, RouteKind::None);
+        }
+        assert!(engine.merger().directory().is_empty());
+    }
+
+    #[test]
+    fn disabling_merging_keeps_directory_empty() {
+        let Fixture { mut storage, mut engine, .. } =
+            fixture(4, 1000, config().without_merging());
+        for i in 0..10 {
+            let q = query(i, Vec3::splat(50.0), 4.0, &[0, 1, 2, 3]);
+            engine.execute(&mut storage, &q).unwrap();
+        }
+        assert!(engine.merger().directory().is_empty());
+        assert_eq!(engine.merger().merges_performed(), 0);
+    }
+
+    #[test]
+    fn superset_merge_file_serves_smaller_queries() {
+        let Fixture { mut storage, mut engine, .. } = fixture(4, 1500, config());
+        // Heat up {0,1,2,3} so it gets merged.
+        for i in 0..6 {
+            let q = query(i, Vec3::splat(50.0), 5.0, &[0, 1, 2, 3]);
+            engine.execute(&mut storage, &q).unwrap();
+        }
+        assert_eq!(engine.merger().directory().len(), 1);
+        // Now query a 3-subset in the same region: it should route to the
+        // superset merge file.
+        let q = query(100, Vec3::splat(50.0), 5.0, &[0, 1, 3]);
+        let outcome = engine.execute(&mut storage, &q).unwrap();
+        assert_eq!(outcome.route, RouteKind::Superset);
+    }
+
+    #[test]
+    fn merge_respects_space_budget() {
+        let mut cfg = config();
+        cfg.merge_space_budget_pages = Some(1);
+        let Fixture { mut storage, mut engine, .. } = fixture(4, 1500, cfg);
+        for i in 0..8 {
+            let q = query(i, Vec3::splat(50.0), 5.0, &[0, 1, 2]);
+            engine.execute(&mut storage, &q).unwrap();
+        }
+        // The directory can never exceed the one-page budget; with entries
+        // larger than a page it ends up empty (evicted) or minimal.
+        assert!(engine.merger().directory().total_pages() <= 1);
+    }
+
+    #[test]
+    fn queries_on_unknown_datasets_return_nothing_extra() {
+        let Fixture { mut storage, mut engine, all_objects } = fixture(2, 500, config());
+        // Dataset 7 does not exist; the answer covers only dataset 0.
+        let q = query(0, Vec3::splat(50.0), 60.0, &[0, 7]);
+        let outcome = engine.execute(&mut storage, &q).unwrap();
+        let expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
+            .iter()
+            .filter(|o| o.dataset == DatasetId(0))
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(outcome.objects.len(), expected.len());
+        assert!(outcome.objects.iter().all(|o| o.dataset == DatasetId(0)));
+    }
+
+    #[test]
+    fn merging_accelerates_the_hot_combination() {
+        // The Figure 5c effect: queries for the hot combination become
+        // cheaper once its partitions are merged.
+        let run = |merging: bool| {
+            let cfg = if merging { config() } else { config().without_merging() };
+            let Fixture { mut storage, mut engine, .. } = fixture(5, 3000, cfg);
+            let hot = [0u16, 1, 2, 3, 4];
+            // Warm-up: let refinement converge and merging trigger.
+            for i in 0..10 {
+                let q = query(i, Vec3::splat(50.0), 4.0, &hot);
+                engine.execute(&mut storage, &q).unwrap();
+            }
+            // Measure steady-state queries with a cold cache, as in the paper.
+            let mut total = 0.0;
+            for i in 0..10 {
+                storage.clear_cache();
+                let before = storage.stats();
+                let q = query(100 + i, Vec3::splat(50.0 + (i % 3) as f64), 4.0, &hot);
+                engine.execute(&mut storage, &q).unwrap();
+                total += storage.seconds_since(&before);
+            }
+            total
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with < without,
+            "merged hot-combination queries ({with}s) should beat unmerged ({without}s)"
+        );
+    }
+}

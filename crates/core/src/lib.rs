@@ -1,0 +1,42 @@
+//! # odyssey-core
+//!
+//! The Space Odyssey engine: adaptive, in-situ exploration of multiple
+//! spatial datasets (Pavlovic et al., ExploreDB 2016).
+//!
+//! Space Odyssey never indexes data upfront. Instead:
+//!
+//! * the **Adaptor** ([`octree`]) incrementally builds a space-oriented
+//!   Octree per dataset: the first query on a dataset partitions it into
+//!   `ppl` cells; later queries refine exactly the partitions they touch,
+//!   whenever the partition is much larger than the query
+//!   (`Vp / Vq > rt`), rewriting pages in place and appending overflow;
+//! * the **Statistics Collector** ([`stats`]) tracks which dataset
+//!   combinations are queried together and which partitions they retrieve;
+//! * the **Merger** ([`merger`]) copies the partitions of hot combinations
+//!   into append-only **merge files** ([`merge_file`]) laid out for
+//!   sequential retrieval, within a space budget with LRU eviction;
+//! * the **Query Processor** ([`engine`]) routes every query to the best
+//!   available layout (exact / superset / subset merge file, or the
+//!   individual per-dataset indexes) and feeds the statistics back into the
+//!   adaptation loop.
+//!
+//! The public entry point is [`SpaceOdyssey`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod merge_file;
+pub mod merger;
+pub mod octree;
+pub mod partition;
+pub mod stats;
+
+pub use config::{MergeLevelPolicy, OdysseyConfig};
+pub use engine::{QueryOutcome, SpaceOdyssey};
+pub use merge_file::{MergeEntry, MergeFile, MergeRun};
+pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};
+pub use octree::{DatasetIndex, PreparedQuery};
+pub use partition::{Partition, PartitionKey};
+pub use stats::{ComboStats, StatsCollector};

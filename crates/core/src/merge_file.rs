@@ -1,0 +1,271 @@
+//! Merge files: the adapted physical layout across datasets.
+//!
+//! A merge file stores *copies* of the partitions that a hot combination of
+//! datasets retrieves together, laid out so one sequential read returns the
+//! region's objects from every dataset (§3.2.2):
+//!
+//! * the file is append-only; a new partition entry is always added at the
+//!   end,
+//! * within an entry the objects are grouped by dataset and stored in
+//!   consecutive page runs, so a query for a *subset* of the merged datasets
+//!   can read the runs it needs and skip the rest,
+//! * the original per-dataset partitions are kept, so queries on individual
+//!   datasets stay efficient.
+
+use crate::partition::PartitionKey;
+use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
+use odyssey_storage::{FileId, StorageManager, StorageResult};
+use std::collections::HashMap;
+
+/// One per-dataset page run inside a merge entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeRun {
+    /// The dataset the run's objects belong to.
+    pub dataset: DatasetId,
+    /// First page of the run.
+    pub page_start: u64,
+    /// Number of pages.
+    pub page_count: u64,
+    /// Number of objects in the run.
+    pub object_count: u64,
+}
+
+/// One merged partition: the same spatial region copied from every dataset of
+/// the combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeEntry {
+    /// The partition (region + level) this entry stores.
+    pub key: PartitionKey,
+    /// Page runs, in the order they were written (one per dataset).
+    pub runs: Vec<MergeRun>,
+}
+
+impl MergeEntry {
+    /// Datasets present in the entry.
+    pub fn datasets(&self) -> DatasetSet {
+        DatasetSet::from_ids(self.runs.iter().map(|r| r.dataset))
+    }
+
+    /// Total pages occupied by the entry.
+    pub fn pages(&self) -> u64 {
+        self.runs.iter().map(|r| r.page_count).sum()
+    }
+}
+
+/// A merge file for one combination of datasets.
+#[derive(Debug)]
+pub struct MergeFile {
+    /// The combination this file was created for.
+    pub combination: DatasetSet,
+    file: FileId,
+    entries: HashMap<PartitionKey, MergeEntry>,
+    total_pages: u64,
+    /// Logical timestamp of the last query that used this file (LRU).
+    pub last_used: u64,
+}
+
+impl MergeFile {
+    /// Creates an empty merge file for `combination`.
+    pub fn create(
+        storage: &mut StorageManager,
+        combination: DatasetSet,
+        label: &str,
+    ) -> StorageResult<Self> {
+        let file = storage.create_file(&format!("merge_{label}"))?;
+        Ok(MergeFile { combination, file, entries: HashMap::new(), total_pages: 0, last_used: 0 })
+    }
+
+    /// Whether the file already holds the partition `key`.
+    pub fn contains(&self, key: &PartitionKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The entry for `key`, if present.
+    pub fn entry(&self, key: &PartitionKey) -> Option<&MergeEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of merged partitions.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total pages occupied by the file's entries.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Appends a new entry at the end of the file: the objects of partition
+    /// `key` from each dataset, one dataset after another so subsets can be
+    /// skipped on read. Datasets are written in ascending id order.
+    ///
+    /// Appending an already-present key is a no-op (merge files never rewrite
+    /// existing entries).
+    pub fn append_entry(
+        &mut self,
+        storage: &mut StorageManager,
+        key: PartitionKey,
+        parts: &[(DatasetId, Vec<SpatialObject>)],
+    ) -> StorageResult<bool> {
+        if self.entries.contains_key(&key) {
+            return Ok(false);
+        }
+        let mut parts_sorted: Vec<&(DatasetId, Vec<SpatialObject>)> = parts.iter().collect();
+        parts_sorted.sort_by_key(|(d, _)| *d);
+        let mut runs = Vec::with_capacity(parts_sorted.len());
+        for (dataset, objects) in parts_sorted {
+            let range = storage.append_objects(self.file, objects)?;
+            runs.push(MergeRun {
+                dataset: *dataset,
+                page_start: range.start,
+                page_count: range.end - range.start,
+                object_count: objects.len() as u64,
+            });
+        }
+        let entry = MergeEntry { key, runs };
+        self.total_pages += entry.pages();
+        self.entries.insert(key, entry);
+        Ok(true)
+    }
+
+    /// Reads the objects of partition `key` for the requested datasets,
+    /// skipping the runs of datasets that were not asked for. Returns an
+    /// empty vector if the key is not merged.
+    pub fn read(
+        &self,
+        storage: &mut StorageManager,
+        key: &PartitionKey,
+        wanted: DatasetSet,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let Some(entry) = self.entries.get(key) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for run in &entry.runs {
+            if wanted.contains(run.dataset) && run.page_count > 0 {
+                storage.read_objects_into(
+                    self.file,
+                    run.page_start..run.page_start + run.page_count,
+                    &mut out,
+                )?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, ObjectId, Vec3};
+
+    fn key(x: u32) -> PartitionKey {
+        PartitionKey { level: 2, x, y: 0, z: 0 }
+    }
+
+    fn objs(ds: u16, n: u64) -> (DatasetId, Vec<SpatialObject>) {
+        (
+            DatasetId(ds),
+            (0..n)
+                .map(|i| {
+                    SpatialObject::new(
+                        ObjectId(ds as u64 * 1000 + i),
+                        DatasetId(ds),
+                        Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn combo(ids: &[u16]) -> DatasetSet {
+        DatasetSet::from_ids(ids.iter().map(|&i| DatasetId(i)))
+    }
+
+    #[test]
+    fn append_and_read_all_datasets() {
+        let mut storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c012").unwrap();
+        let parts = vec![objs(0, 100), objs(1, 50), objs(2, 70)];
+        assert!(mf.append_entry(&mut storage, key(3), &parts).unwrap());
+        assert_eq!(mf.entry_count(), 1);
+        assert!(mf.contains(&key(3)));
+        let all = mf.read(&mut storage, &key(3), combo(&[0, 1, 2])).unwrap();
+        assert_eq!(all.len(), 220);
+    }
+
+    #[test]
+    fn subset_reads_skip_unwanted_datasets() {
+        let mut storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c012").unwrap();
+        mf.append_entry(&mut storage, key(1), &[objs(0, 80), objs(1, 90), objs(2, 100)]).unwrap();
+        let only_0_and_2 = mf.read(&mut storage, &key(1), combo(&[0, 2])).unwrap();
+        assert_eq!(only_0_and_2.len(), 180);
+        assert!(only_0_and_2.iter().all(|o| o.dataset != DatasetId(1)));
+    }
+
+    #[test]
+    fn skipping_reads_fewer_pages() {
+        let mut storage =
+            StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
+        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
+        mf.append_entry(&mut storage, key(0), &[objs(0, 630), objs(1, 630), objs(2, 630)]).unwrap();
+        let before = storage.stats();
+        mf.read(&mut storage, &key(0), combo(&[0, 1, 2])).unwrap();
+        let all_pages = storage.stats().since(&before).0.pages_read();
+        let before = storage.stats();
+        mf.read(&mut storage, &key(0), combo(&[0])).unwrap();
+        let subset_pages = storage.stats().since(&before).0.pages_read();
+        assert_eq!(all_pages, 30);
+        assert_eq!(subset_pages, 10);
+    }
+
+    #[test]
+    fn duplicate_append_is_ignored() {
+        let mut storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
+        assert!(mf.append_entry(&mut storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)]).unwrap());
+        let pages = mf.total_pages();
+        assert!(!mf.append_entry(&mut storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)]).unwrap());
+        assert_eq!(mf.total_pages(), pages);
+        assert_eq!(mf.entry_count(), 1);
+    }
+
+    #[test]
+    fn missing_key_reads_empty() {
+        let mut storage = StorageManager::in_memory();
+        let mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
+        assert!(mf.read(&mut storage, &key(9), combo(&[0])).unwrap().is_empty());
+        assert!(mf.entry(&key(9)).is_none());
+        assert_eq!(mf.total_pages(), 0);
+    }
+
+    #[test]
+    fn entry_metadata() {
+        let mut storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&mut storage, combo(&[1, 3, 5]), "c").unwrap();
+        mf.append_entry(&mut storage, key(2), &[objs(5, 63), objs(1, 1), objs(3, 64)]).unwrap();
+        let entry = mf.entry(&key(2)).unwrap();
+        // Runs are stored in ascending dataset order regardless of input order.
+        let order: Vec<u16> = entry.runs.iter().map(|r| r.dataset.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(entry.datasets(), combo(&[1, 3, 5]));
+        assert_eq!(entry.pages(), 1 + 1 + 2);
+        assert_eq!(mf.total_pages(), 4);
+    }
+
+    #[test]
+    fn reads_within_an_entry_are_sequential() {
+        let mut storage =
+            StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
+        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
+        mf.append_entry(&mut storage, key(0), &[objs(0, 315), objs(1, 315), objs(2, 315)]).unwrap();
+        let before = storage.stats();
+        mf.read(&mut storage, &key(0), combo(&[0, 1, 2])).unwrap();
+        let d = storage.stats().since(&before).0;
+        // 15 pages total; only the first read of the file seeks.
+        assert_eq!(d.pages_read(), 15);
+        assert_eq!(d.random_reads, 1);
+        assert_eq!(d.sequential_reads, 14);
+    }
+}

@@ -1,0 +1,479 @@
+//! The Merger and its merge-file directory.
+//!
+//! Once the Statistics Collector shows that a combination `C` has been
+//! queried more than the merge threshold `mt` times (and `|C|` is at least
+//! the configured minimum, 3 in the paper), the Merger copies the partitions
+//! retrieved in the context of `C` into a merge file (§3.2.1). A directory
+//! records which partitions of which combinations are stored together so the
+//! Query Processor can route queries to the exact / superset / subset merge
+//! file (§3.2.3), and a space budget with least-recently-used eviction keeps
+//! the replicated data bounded (§3.2.4).
+
+use crate::config::{MergeLevelPolicy, OdysseyConfig};
+use crate::merge_file::MergeFile;
+use crate::octree::DatasetIndex;
+use crate::partition::PartitionKey;
+use crate::stats::StatsCollector;
+use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
+use odyssey_storage::{StorageManager, StorageResult};
+
+/// How a query's combination relates to the merge file chosen for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteKind {
+    /// A merge file stores exactly the queried combination.
+    Exact,
+    /// The merge file stores a superset; unwanted datasets are skipped.
+    Superset,
+    /// The merge file stores a subset (or overlapping set); the remaining
+    /// datasets are read from their individual files.
+    Subset,
+    /// No merge file is useful; only individual files are read.
+    None,
+}
+
+/// Directory of merge files, indexed by combination.
+#[derive(Debug, Default)]
+pub struct MergeDirectory {
+    files: Vec<MergeFile>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl MergeDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        MergeDirectory::default()
+    }
+
+    /// Number of live merge files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if no merge file exists.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total pages across all live merge files (the replicated space).
+    pub fn total_pages(&self) -> u64 {
+        self.files.iter().map(|f| f.total_pages()).sum()
+    }
+
+    /// Number of merge files evicted so far to respect the space budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterates over the live merge files.
+    pub fn iter(&self) -> impl Iterator<Item = &MergeFile> {
+        self.files.iter()
+    }
+
+    /// Index of the merge file storing exactly `combination`.
+    fn find_exact(&self, combination: DatasetSet) -> Option<usize> {
+        self.files.iter().position(|f| f.combination == combination)
+    }
+
+    /// Mutable access to the merge file for exactly `combination`.
+    pub fn get_exact_mut(&mut self, combination: DatasetSet) -> Option<&mut MergeFile> {
+        self.find_exact(combination).map(move |i| &mut self.files[i])
+    }
+
+    /// Chooses the best merge file for a queried combination, following the
+    /// paper's routing rules: exact match first, then the smallest superset,
+    /// then the file sharing the most datasets with the query. Marks the
+    /// chosen file as recently used.
+    pub fn route(&mut self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
+        self.clock += 1;
+        let clock = self.clock;
+        // Exact.
+        if let Some(i) = self.find_exact(combination) {
+            self.files[i].last_used = clock;
+            return (Some(&self.files[i]), RouteKind::Exact);
+        }
+        // Smallest superset.
+        let superset = self
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.combination.is_superset_of(combination))
+            .min_by_key(|(_, f)| f.combination.len())
+            .map(|(i, _)| i);
+        if let Some(i) = superset {
+            self.files[i].last_used = clock;
+            return (Some(&self.files[i]), RouteKind::Superset);
+        }
+        // Largest overlap (subset or partial overlap).
+        let best_overlap = self
+            .files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i, f.combination.intersection(combination).len()))
+            .filter(|(_, overlap)| *overlap > 0)
+            .max_by_key(|(_, overlap)| *overlap)
+            .map(|(i, _)| i);
+        if let Some(i) = best_overlap {
+            self.files[i].last_used = clock;
+            return (Some(&self.files[i]), RouteKind::Subset);
+        }
+        (None, RouteKind::None)
+    }
+
+    /// Registers a new merge file.
+    pub fn insert(&mut self, mut file: MergeFile) {
+        self.clock += 1;
+        file.last_used = self.clock;
+        self.files.push(file);
+    }
+
+    /// Drops least-recently-used merge files until the total replicated space
+    /// fits the budget. Returns the combinations that were evicted.
+    pub fn enforce_budget(&mut self, budget_pages: Option<u64>) -> Vec<DatasetSet> {
+        let Some(budget) = budget_pages else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.total_pages() > budget && self.files.len() > 1 {
+            let lru = self
+                .files
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty directory");
+            let removed = self.files.swap_remove(lru);
+            evicted.push(removed.combination);
+            self.evictions += 1;
+        }
+        // If a single file alone exceeds the budget, drop it too.
+        if self.files.len() == 1 && self.total_pages() > budget {
+            let removed = self.files.pop().expect("one file");
+            evicted.push(removed.combination);
+            self.evictions += 1;
+        }
+        evicted
+    }
+}
+
+/// Outcome of a merge attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeSummary {
+    /// Whether a new merge file was created by this call.
+    pub created_file: bool,
+    /// Number of partition entries appended.
+    pub entries_appended: usize,
+    /// Number of candidate partitions skipped because the datasets held them
+    /// at different refinement levels (same-level-only policy).
+    pub skipped_level_mismatch: usize,
+}
+
+/// The Merger: decides when to merge and performs the copies.
+#[derive(Debug, Default)]
+pub struct Merger {
+    directory: MergeDirectory,
+    merges_performed: u64,
+}
+
+impl Merger {
+    /// Creates a merger with an empty directory.
+    pub fn new() -> Self {
+        Merger::default()
+    }
+
+    /// The merge-file directory.
+    pub fn directory(&self) -> &MergeDirectory {
+        &self.directory
+    }
+
+    /// Mutable access to the directory (used by the query processor for
+    /// routing, which updates recency).
+    pub fn directory_mut(&mut self) -> &mut MergeDirectory {
+        &mut self.directory
+    }
+
+    /// Number of merge operations performed (creations and extensions that
+    /// appended at least one entry).
+    pub fn merges_performed(&self) -> u64 {
+        self.merges_performed
+    }
+
+    /// Returns `true` if the combination qualifies for merging under the
+    /// configuration and current statistics.
+    pub fn should_merge(
+        &self,
+        config: &OdysseyConfig,
+        stats: &StatsCollector,
+        combination: DatasetSet,
+    ) -> bool {
+        config.merge_enabled
+            && combination.len() >= config.min_merge_combination_size
+            && stats.count(combination) > config.merge_threshold
+    }
+
+    /// Merges (or extends the merge file of) `combination`: every candidate
+    /// partition that all datasets of the combination hold at the same
+    /// refinement level is copied into the combination's merge file. Already
+    /// merged partitions are left untouched (the file is append-only).
+    pub fn merge_combination(
+        &mut self,
+        storage: &mut StorageManager,
+        config: &OdysseyConfig,
+        combination: DatasetSet,
+        candidates: &[PartitionKey],
+        datasets: &[DatasetIndex],
+    ) -> StorageResult<MergeSummary> {
+        let mut summary = MergeSummary::default();
+        // Ensure the merge file exists.
+        if self.directory.find_exact(combination).is_none() {
+            let label = combination
+                .iter()
+                .map(|d| d.0.to_string())
+                .collect::<Vec<_>>()
+                .join("_");
+            let file = MergeFile::create(storage, combination, &label)?;
+            self.directory.insert(file);
+            summary.created_file = true;
+        }
+
+        for key in candidates {
+            let already = self
+                .directory
+                .get_exact_mut(combination)
+                .map(|f| f.contains(key))
+                .unwrap_or(false);
+            if already {
+                continue;
+            }
+            // Check the level policy for every dataset *before* reading any
+            // data: a mismatch discovered halfway through would waste the
+            // reads already performed, and mismatched candidates are
+            // re-examined on every later query.
+            if config.merge_level_policy == MergeLevelPolicy::SameLevelOnly {
+                let aligned = combination.iter().all(|dataset_id| {
+                    datasets
+                        .iter()
+                        .find(|d| d.dataset() == dataset_id)
+                        .map(|d| d.partition(key).is_some())
+                        .unwrap_or(false)
+                });
+                if !aligned {
+                    summary.skipped_level_mismatch += 1;
+                    continue;
+                }
+            }
+            // Gather the partition's objects from every dataset in the
+            // combination, honouring the level policy.
+            let mut parts: Vec<(DatasetId, Vec<SpatialObject>)> = Vec::new();
+            let mut mismatch = false;
+            for dataset_id in combination.iter() {
+                let Some(index) = datasets.iter().find(|d| d.dataset() == dataset_id) else {
+                    mismatch = true;
+                    break;
+                };
+                if index.partition(key).is_some() {
+                    let objects = index.read_partition(storage, key)?;
+                    parts.push((dataset_id, objects));
+                } else {
+                    match config.merge_level_policy {
+                        MergeLevelPolicy::SameLevelOnly => {
+                            mismatch = true;
+                            break;
+                        }
+                        MergeLevelPolicy::RefineToFinest => {
+                            // The dataset holds this region at a different
+                            // level; gather the region's objects from its
+                            // finer leaves (or its coarser covering leaf).
+                            let objects =
+                                gather_region(storage, index, config, key)?;
+                            match objects {
+                                Some(objs) => parts.push((dataset_id, objs)),
+                                None => {
+                                    mismatch = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if mismatch {
+                summary.skipped_level_mismatch += 1;
+                continue;
+            }
+            let file = self
+                .directory
+                .get_exact_mut(combination)
+                .expect("merge file created above");
+            if file.append_entry(storage, *key, &parts)? {
+                summary.entries_appended += 1;
+            }
+        }
+
+        if summary.entries_appended > 0 {
+            self.merges_performed += 1;
+        }
+        self.directory.enforce_budget(config.merge_space_budget_pages);
+        Ok(summary)
+    }
+}
+
+/// Gathers the objects of the region `key` from a dataset whose leaves are at
+/// a different refinement level: descendants are read and concatenated; a
+/// coarser ancestor is read and filtered to the region. Returns `None` when
+/// the region cannot be assembled (should not happen for initialized
+/// datasets).
+fn gather_region(
+    storage: &mut StorageManager,
+    index: &DatasetIndex,
+    config: &OdysseyConfig,
+    key: &PartitionKey,
+) -> StorageResult<Option<Vec<SpatialObject>>> {
+    let k = config.splits_per_dimension();
+    let region = key.bounds(&config.bounds, k);
+    // Descendants: leaves at deeper levels whose bounds lie inside the region.
+    let descendants: Vec<PartitionKey> = index
+        .partitions()
+        .iter()
+        .filter(|p| p.key.level > key.level && region.contains(&p.bounds))
+        .map(|p| p.key)
+        .collect();
+    if !descendants.is_empty() {
+        let mut out = Vec::new();
+        for d in descendants {
+            out.extend(index.read_partition(storage, &d)?);
+        }
+        return Ok(Some(out));
+    }
+    // Coarser ancestor: a leaf whose bounds contain the region; filter its
+    // objects down to the region (centers only, matching assignment rules).
+    let ancestor = index
+        .partitions()
+        .iter()
+        .find(|p| p.key.level < key.level && p.bounds.contains(&region))
+        .map(|p| p.key);
+    if let Some(a) = ancestor {
+        let objects = index.read_partition(storage, &a)?;
+        return Ok(Some(
+            objects.into_iter().filter(|o| region.contains_point_half_open(o.center()) || region.contains_point(o.center())).collect(),
+        ));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, DatasetId, Vec3};
+    use odyssey_storage::StorageManager;
+
+    fn combo(ids: &[u16]) -> DatasetSet {
+        DatasetSet::from_ids(ids.iter().map(|&i| DatasetId(i)))
+    }
+
+    fn key(x: u32) -> PartitionKey {
+        PartitionKey { level: 1, x, y: 0, z: 0 }
+    }
+
+    fn empty_merge_file(storage: &mut StorageManager, ids: &[u16]) -> MergeFile {
+        MergeFile::create(storage, combo(ids), "t").unwrap()
+    }
+
+    #[test]
+    fn routing_prefers_exact_then_superset_then_overlap() {
+        let mut storage = StorageManager::in_memory();
+        let mut dir = MergeDirectory::new();
+        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2]));
+        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2, 3, 4]));
+        dir.insert(empty_merge_file(&mut storage, &[5, 6, 7]));
+
+        let (f, kind) = dir.route(combo(&[0, 1, 2]));
+        assert_eq!(kind, RouteKind::Exact);
+        assert_eq!(f.unwrap().combination, combo(&[0, 1, 2]));
+
+        let (f, kind) = dir.route(combo(&[0, 1]));
+        assert_eq!(kind, RouteKind::Superset);
+        // Smallest superset is {0,1,2}, not {0,1,2,3,4}.
+        assert_eq!(f.unwrap().combination, combo(&[0, 1, 2]));
+
+        let (f, kind) = dir.route(combo(&[5, 6, 7, 8, 9]));
+        assert_eq!(kind, RouteKind::Subset);
+        assert_eq!(f.unwrap().combination, combo(&[5, 6, 7]));
+
+        let (f, kind) = dir.route(combo(&[8, 9]));
+        assert_eq!(kind, RouteKind::None);
+        assert!(f.is_none());
+    }
+
+    #[test]
+    fn directory_basic_accounting() {
+        let mut storage = StorageManager::in_memory();
+        let mut dir = MergeDirectory::new();
+        assert!(dir.is_empty());
+        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2]));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.total_pages(), 0);
+        assert_eq!(dir.iter().count(), 1);
+    }
+
+    #[test]
+    fn budget_eviction_drops_least_recently_used() {
+        let mut storage = StorageManager::in_memory();
+        let mut dir = MergeDirectory::new();
+        // Two merge files with one entry each (non-zero pages).
+        let mk = |storage: &mut StorageManager, ids: &[u16]| {
+            let mut f = MergeFile::create(storage, combo(ids), "x").unwrap();
+            let objs: Vec<_> = (0..100u64)
+                .map(|i| {
+                    odyssey_geom::SpatialObject::new(
+                        odyssey_geom::ObjectId(i),
+                        DatasetId(ids[0]),
+                        Aabb::from_min_max(Vec3::ZERO, Vec3::ONE),
+                    )
+                })
+                .collect();
+            f.append_entry(storage, key(0), &[(DatasetId(ids[0]), objs)]).unwrap();
+            f
+        };
+        dir.insert(mk(&mut storage, &[0, 1, 2]));
+        dir.insert(mk(&mut storage, &[3, 4, 5]));
+        // Touch the first file so the second becomes LRU.
+        dir.route(combo(&[0, 1, 2]));
+        let total = dir.total_pages();
+        assert!(total > 0);
+        let evicted = dir.enforce_budget(Some(total / 2));
+        assert_eq!(evicted, vec![combo(&[3, 4, 5])]);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.evictions(), 1);
+        // No budget: nothing happens.
+        assert!(dir.enforce_budget(None).is_empty());
+        // Budget of zero drops everything.
+        let evicted = dir.enforce_budget(Some(0));
+        assert_eq!(evicted.len(), 1);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn should_merge_honours_config_and_stats() {
+        let config = OdysseyConfig::paper(Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0)));
+        let merger = Merger::new();
+        let mut stats = StatsCollector::new();
+        let c3 = combo(&[0, 1, 2]);
+        let c2 = combo(&[0, 1]);
+        // Not enough queries yet.
+        stats.record(c3, &[]);
+        stats.record(c3, &[]);
+        assert!(!merger.should_merge(&config, &stats, c3));
+        // Third query exceeds mt = 2.
+        stats.record(c3, &[]);
+        assert!(merger.should_merge(&config, &stats, c3));
+        // Small combinations never merge.
+        for _ in 0..5 {
+            stats.record(c2, &[]);
+        }
+        assert!(!merger.should_merge(&config, &stats, c2));
+        // Disabled merging.
+        let disabled = config.without_merging();
+        assert!(!merger.should_merge(&disabled, &stats, c3));
+    }
+}

@@ -1,0 +1,579 @@
+//! The Adaptor: an incrementally refined, space-oriented index per dataset.
+//!
+//! Nothing is built upfront. The first query that touches a dataset scans its
+//! raw file once and splits the brain volume into `ppl` partitions (objects
+//! assigned by center, query-window extension instead of replication). Every
+//! later query refines the partitions it intersects whenever the partition is
+//! still much larger than the query (`Vp / Vq > rt`), splitting it into `ppl`
+//! children, rewriting the partition's pages in place and appending overflow
+//! pages at the end of the file — §3.1 of the paper.
+
+use crate::config::OdysseyConfig;
+use crate::partition::{Partition, PartitionKey};
+use odyssey_geom::{Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
+use odyssey_storage::{pages_needed, FileId, RawDataset, StorageManager, StorageResult};
+
+/// Result of preparing one dataset for a query: which partitions intersect,
+/// which still have to be read, and what was already collected as a side
+/// effect of refinement.
+#[derive(Debug, Default)]
+pub struct PreparedQuery {
+    /// Keys of every leaf partition intersecting the (extended) query after
+    /// refinement — the `P` recorded by the Statistics Collector.
+    pub retrieved_keys: Vec<PartitionKey>,
+    /// Keys that still need to be read (either from the dataset's partition
+    /// file or from a merge file).
+    pub pending_keys: Vec<PartitionKey>,
+    /// Objects already gathered while refining partitions (they match the
+    /// original query range and belong to this dataset).
+    pub collected: Vec<SpatialObject>,
+    /// Number of partitions refined while executing this query.
+    pub refined: usize,
+}
+
+/// The incremental index of one dataset.
+#[derive(Debug)]
+pub struct DatasetIndex {
+    dataset: DatasetId,
+    raw: RawDataset,
+    /// Partition file; created lazily on the dataset's first query.
+    file: Option<FileId>,
+    /// Current leaf partitions (unordered).
+    partitions: Vec<Partition>,
+    max_extent: Vec3,
+    total_refinements: u64,
+}
+
+impl DatasetIndex {
+    /// Wraps a raw dataset; no I/O happens until the first query.
+    pub fn new(raw: RawDataset) -> Self {
+        DatasetIndex {
+            dataset: raw.dataset,
+            raw,
+            file: None,
+            partitions: Vec::new(),
+            max_extent: Vec3::ZERO,
+            total_refinements: 0,
+        }
+    }
+
+    /// The dataset this index covers.
+    pub fn dataset(&self) -> DatasetId {
+        self.dataset
+    }
+
+    /// Whether the first-touch partitioning has happened.
+    pub fn is_initialized(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Maximum object extent seen during the initial scan (zero before
+    /// initialization). Queries are extended by half of this per dimension.
+    pub fn max_extent(&self) -> Vec3 {
+        self.max_extent
+    }
+
+    /// Current leaf partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Total number of refinement operations performed so far.
+    pub fn total_refinements(&self) -> u64 {
+        self.total_refinements
+    }
+
+    /// Looks up a leaf partition by key.
+    pub fn partition(&self, key: &PartitionKey) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.key == *key)
+    }
+
+    /// The extended probe range for a query against this dataset
+    /// (query-window extension with the recorded `maxExtent`).
+    pub fn extended_range(&self, query: &RangeQuery) -> Aabb {
+        query.extended_range(self.max_extent)
+    }
+
+    /// First-touch initialization: scan the raw file and create the level-1
+    /// partitioning. Idempotent.
+    pub fn ensure_initialized(
+        &mut self,
+        storage: &mut StorageManager,
+        config: &OdysseyConfig,
+    ) -> StorageResult<()> {
+        if self.file.is_some() {
+            return Ok(());
+        }
+        let k = config.splits_per_dimension();
+        let objects = storage.read_objects(self.raw.file, self.raw.pages())?;
+        let mut max_extent = Vec3::ZERO;
+        let mut groups: Vec<Vec<SpatialObject>> = vec![Vec::new(); k * k * k];
+        for obj in objects {
+            max_extent = max_extent.max(obj.extent());
+            let key = PartitionKey::containing(&config.bounds, k, 1, obj.center());
+            let idx = ((key.z as usize * k) + key.y as usize) * k + key.x as usize;
+            groups[idx].push(obj);
+        }
+        let file = storage.create_file(&format!("odyssey_partitions_ds{}", self.dataset.0))?;
+        let mut partitions = Vec::with_capacity(k * k * k);
+        for iz in 0..k as u32 {
+            for iy in 0..k as u32 {
+                for ix in 0..k as u32 {
+                    let key = PartitionKey::root_cell(k, ix, iy, iz);
+                    let idx = ((iz as usize * k) + iy as usize) * k + ix as usize;
+                    let objs = &groups[idx];
+                    let range = storage.append_objects(file, objs)?;
+                    partitions.push(Partition {
+                        key,
+                        bounds: key.bounds(&config.bounds, k),
+                        page_start: range.start,
+                        page_count: range.end - range.start,
+                        object_count: objs.len() as u64,
+                    });
+                }
+            }
+        }
+        self.file = Some(file);
+        self.partitions = partitions;
+        self.max_extent = max_extent;
+        Ok(())
+    }
+
+    /// Prepares the dataset for `query`: initializes it if necessary, refines
+    /// every intersected partition that is still too coarse, and reports the
+    /// partitions the query has to read.
+    pub fn prepare_query(
+        &mut self,
+        storage: &mut StorageManager,
+        config: &OdysseyConfig,
+        query: &RangeQuery,
+    ) -> StorageResult<PreparedQuery> {
+        let first_touch = !self.is_initialized();
+        self.ensure_initialized(storage, config)?;
+        let extended = self.extended_range(query);
+        let query_volume = query.volume();
+
+        let mut out = PreparedQuery::default();
+
+        // Identify intersecting partitions; the scan over partition MBRs is
+        // CPU work charged to the cost model.
+        storage.note_objects_scanned(self.partitions.len() as u64);
+        let mut to_visit: Vec<usize> = (0..self.partitions.len())
+            .filter(|&i| self.partitions[i].bounds.intersects(&extended))
+            .collect();
+
+        // Refine qualifying partitions (one level per query, as in §3.1.1),
+        // answering the query from the data read during refinement.
+        // Indices shift as partitions are replaced, so work key-by-key.
+        let keys: Vec<PartitionKey> = to_visit.iter().map(|&i| self.partitions[i].key).collect();
+        to_visit.clear();
+        for key in keys {
+            let Some(idx) = self.partitions.iter().position(|p| p.key == key) else {
+                continue;
+            };
+            let partition = self.partitions[idx];
+            if self.should_refine(config, &partition, query_volume) {
+                let objects = self.refine(storage, config, idx)?;
+                out.refined += 1;
+                // The refinement already read every object of the old
+                // partition; answer from it directly and record the child
+                // partitions that intersect the query as retrieved.
+                out.collected.extend(objects.iter().filter(|o| query.matches(o)).copied());
+                storage.note_objects_scanned(objects.len() as u64);
+                for child in self.partitions.iter().filter(|p| {
+                    p.key.parent(config.splits_per_dimension()) == Some(key)
+                        && p.bounds.intersects(&extended)
+                }) {
+                    out.retrieved_keys.push(child.key);
+                }
+            } else {
+                out.retrieved_keys.push(key);
+                out.pending_keys.push(key);
+            }
+        }
+
+        // The very first query on a dataset already scanned the whole raw
+        // file; answer it from that scan rather than re-reading partitions.
+        if first_touch {
+            let mut collected_from_pending = Vec::new();
+            for key in &out.pending_keys {
+                if let Some(p) = self.partition(key) {
+                    if p.object_count > 0 {
+                        let objs = storage.read_objects(self.file.expect("initialized"), p.pages())?;
+                        collected_from_pending.extend(objs.into_iter().filter(|o| query.matches(o)));
+                    }
+                }
+            }
+            out.collected.extend(collected_from_pending);
+            out.pending_keys.clear();
+        }
+
+        Ok(out)
+    }
+
+    fn should_refine(
+        &self,
+        config: &OdysseyConfig,
+        partition: &Partition,
+        query_volume: f64,
+    ) -> bool {
+        if query_volume <= 0.0 {
+            return false;
+        }
+        // The paper's rule is purely volume-driven (Vp / Vq > rt); the
+        // object-count guard only kicks in when explicitly configured, so
+        // that refinement levels stay aligned across datasets by default.
+        partition.volume() / query_volume > config.refinement_threshold
+            && partition.object_count >= config.min_objects_to_refine as u64
+            && partition.key.level < config.max_refinement_level
+    }
+
+    /// Refines the partition at `idx` into `ppl` children, rewriting its page
+    /// run in place and appending overflow pages. Returns the objects of the
+    /// refined partition (they were read anyway, so the caller can answer the
+    /// current query from them without another read).
+    fn refine(
+        &mut self,
+        storage: &mut StorageManager,
+        config: &OdysseyConfig,
+        idx: usize,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let file = self.file.expect("refine requires an initialized dataset");
+        let parent = self.partitions[idx];
+        let k = config.splits_per_dimension();
+        let objects = storage.read_objects(file, parent.pages())?;
+
+        // Group objects into the k³ children by their center's position
+        // inside the parent (clamped so boundary centers stay in the parent).
+        let pb = parent.bounds;
+        let pe = pb.extent();
+        let mut groups: Vec<Vec<SpatialObject>> = vec![Vec::new(); k * k * k];
+        for obj in &objects {
+            let c = obj.center();
+            let cell = |v: f64, lo: f64, extent: f64| -> u32 {
+                if extent <= 0.0 {
+                    return 0;
+                }
+                let f = ((v - lo) / extent * k as f64).floor();
+                if f < 0.0 {
+                    0
+                } else {
+                    (f as u32).min(k as u32 - 1)
+                }
+            };
+            let (cx, cy, cz) =
+                (cell(c.x, pb.min.x, pe.x), cell(c.y, pb.min.y, pe.y), cell(c.z, pb.min.z, pe.z));
+            groups[((cz as usize * k) + cy as usize) * k + cx as usize].push(*obj);
+        }
+
+        // Lay the children out: reuse the parent's page run first (in place),
+        // appending at the end of the file once the old pages are exhausted.
+        // Each child keeps a single contiguous run.
+        let mut children = Vec::with_capacity(k * k * k);
+        let mut in_place_cursor = parent.page_start;
+        let in_place_end = parent.page_start + parent.page_count;
+        for cz in 0..k as u32 {
+            for cy in 0..k as u32 {
+                for cx in 0..k as u32 {
+                    let key = parent.key.child(k, cx, cy, cz);
+                    let objs = &groups[((cz as usize * k) + cy as usize) * k + cx as usize];
+                    let need = pages_needed(objs.len());
+                    let range = if objs.is_empty() {
+                        in_place_cursor..in_place_cursor
+                    } else if in_place_cursor + need <= in_place_end {
+                        let r = storage.write_objects_at(file, in_place_cursor, objs)?;
+                        in_place_cursor = r.end;
+                        r
+                    } else {
+                        storage.append_objects(file, objs)?
+                    };
+                    children.push(Partition {
+                        key,
+                        bounds: key.bounds(&config.bounds, k),
+                        page_start: range.start,
+                        page_count: range.end - range.start,
+                        object_count: objs.len() as u64,
+                    });
+                }
+            }
+        }
+        self.partitions.swap_remove(idx);
+        self.partitions.extend(children);
+        self.total_refinements += 1;
+        Ok(objects)
+    }
+
+    /// Reads every object of the partition identified by `key` from the
+    /// dataset's partition file.
+    pub fn read_partition(
+        &self,
+        storage: &mut StorageManager,
+        key: &PartitionKey,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let Some(partition) = self.partition(key) else {
+            return Ok(Vec::new());
+        };
+        if partition.object_count == 0 {
+            return Ok(Vec::new());
+        }
+        let file = self.file.expect("read_partition requires an initialized dataset");
+        storage.read_objects(file, partition.pages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{DatasetSet, ObjectId, QueryId};
+    use odyssey_storage::write_raw_dataset;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    fn config() -> OdysseyConfig {
+        let mut c = OdysseyConfig::paper(bounds());
+        c.partitions_per_level = 8; // octree splits keep test partition counts small
+        c.min_objects_to_refine = 4;
+        c
+    }
+
+    fn random_objects(n: u64, seed: u64) -> Vec<SpatialObject> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Vec3::new(
+                    rng.gen_range(1.0..99.0),
+                    rng.gen_range(1.0..99.0),
+                    rng.gen_range(1.0..99.0),
+                );
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(0.1..0.6))),
+                )
+            })
+            .collect()
+    }
+
+    fn setup(n: u64) -> (StorageManager, Vec<SpatialObject>, DatasetIndex) {
+        let mut storage = StorageManager::in_memory();
+        let objs = random_objects(n, 11);
+        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        (storage, objs, DatasetIndex::new(raw))
+    }
+
+    fn query(lo: f64, hi: f64) -> RangeQuery {
+        RangeQuery::new(
+            QueryId(0),
+            Aabb::from_min_max(Vec3::splat(lo), Vec3::splat(hi)),
+            DatasetSet::single(DatasetId(0)),
+        )
+    }
+
+    /// Runs a full query against the index the way the engine would:
+    /// prepare, then read the pending partitions and filter.
+    fn run_query(
+        storage: &mut StorageManager,
+        index: &mut DatasetIndex,
+        config: &OdysseyConfig,
+        q: &RangeQuery,
+    ) -> Vec<SpatialObject> {
+        let prep = index.prepare_query(storage, config, q).unwrap();
+        let mut result = prep.collected;
+        for key in &prep.pending_keys {
+            let objs = index.read_partition(storage, key).unwrap();
+            result.extend(objs.into_iter().filter(|o| q.matches(o)));
+        }
+        result
+    }
+
+    #[test]
+    fn lazy_until_first_query() {
+        let (_, _, index) = setup(100);
+        assert!(!index.is_initialized());
+        assert!(index.partitions().is_empty());
+        assert_eq!(index.max_extent(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn first_query_partitions_into_ppl_cells() {
+        let (mut storage, _, mut index) = setup(2000);
+        let cfg = config();
+        let q = query(40.0, 42.0);
+        let _ = index.prepare_query(&mut storage, &cfg, &q).unwrap();
+        assert!(index.is_initialized());
+        // May already have refined the hit cell once, so at least ppl cells.
+        assert!(index.partitions().len() >= cfg.partitions_per_level);
+        // Every object is in exactly one partition.
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn query_results_match_scan_oracle_over_a_sequence() {
+        let (mut storage, objs, mut index) = setup(3000);
+        let cfg = config();
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for i in 0..40 {
+            let c = Vec3::new(
+                rng.gen_range(5.0..95.0),
+                rng.gen_range(5.0..95.0),
+                rng.gen_range(5.0..95.0),
+            );
+            let side = rng.gen_range(1.0..15.0);
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(c, Vec3::splat(side)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            let mut expected: Vec<_> =
+                odyssey_geom::scan_query(&q, objs.iter()).iter().map(|o| o.id).collect();
+            let mut got: Vec<_> =
+                run_query(&mut storage, &mut index, &cfg, &q).iter().map(|o| o.id).collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, expected, "query {i} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn repeated_small_queries_refine_the_hot_area() {
+        let (mut storage, _, mut index) = setup(5000);
+        let cfg = config();
+        // Hammer the same small region, well inside one level-1 cell so the
+        // opposite corner of the volume is never touched.
+        for i in 0..6 {
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(Vec3::splat(25.0), Vec3::splat(2.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&mut storage, &mut index, &cfg, &q);
+        }
+        assert!(index.total_refinements() > 0);
+        // The partition containing the hot point must now be much smaller
+        // than a level-1 cell.
+        let hot = index
+            .partitions()
+            .iter()
+            .filter(|p| p.bounds.contains_point(Vec3::splat(25.0)))
+            .map(|p| p.key.level)
+            .max()
+            .unwrap();
+        assert!(hot >= 2, "hot area should have been refined, level = {hot}");
+        // Untouched areas (the opposite corner cell) stay at level 1.
+        let cold = index
+            .partitions()
+            .iter()
+            .filter(|p| p.bounds.contains_point(Vec3::splat(90.0)))
+            .map(|p| p.key.level)
+            .max()
+            .unwrap();
+        assert_eq!(cold, 1);
+    }
+
+    #[test]
+    fn refinement_converges_and_stops() {
+        let (mut storage, _, mut index) = setup(4000);
+        let cfg = config();
+        let q = RangeQuery::new(
+            QueryId(0),
+            Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(10.0)),
+            DatasetSet::single(DatasetId(0)),
+        );
+        // Enough repetitions to converge: afterwards no further refinement
+        // happens for this query size.
+        for _ in 0..10 {
+            run_query(&mut storage, &mut index, &cfg, &q);
+        }
+        let before = index.total_refinements();
+        run_query(&mut storage, &mut index, &cfg, &q);
+        let after = index.total_refinements();
+        assert_eq!(before, after, "refinement must stop once Vp/Vq <= rt");
+    }
+
+    #[test]
+    fn object_counts_are_preserved_across_refinements() {
+        let (mut storage, _, mut index) = setup(3000);
+        let cfg = config();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..15 {
+            let c = Vec3::new(
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+            );
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(c, Vec3::splat(3.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&mut storage, &mut index, &cfg, &q);
+            let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+            assert_eq!(total, 3000, "objects lost or duplicated after query {i}");
+        }
+    }
+
+    #[test]
+    fn partition_keys_are_unique_leaves() {
+        let (mut storage, _, mut index) = setup(2000);
+        let cfg = config();
+        for i in 0..10 {
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(Vec3::splat(30.0 + i as f64), Vec3::splat(2.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&mut storage, &mut index, &cfg, &q);
+        }
+        let mut keys: Vec<_> = index.partitions().iter().map(|p| p.key).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate leaf partitions");
+    }
+
+    #[test]
+    fn first_query_cost_dominates_later_queries() {
+        let (mut storage, _, mut index) = setup(5000);
+        let cfg = config();
+        let q = query(45.0, 47.0);
+        let before = storage.stats();
+        run_query(&mut storage, &mut index, &cfg, &q);
+        let first_cost = storage.seconds_since(&before);
+        // Converge, then measure a later identical query.
+        for _ in 0..8 {
+            run_query(&mut storage, &mut index, &cfg, &q);
+        }
+        storage.clear_cache();
+        let before = storage.stats();
+        run_query(&mut storage, &mut index, &cfg, &q);
+        let later_cost = storage.seconds_since(&before);
+        assert!(
+            first_cost > 3.0 * later_cost,
+            "first query ({first_cost}s) should dwarf converged queries ({later_cost}s)"
+        );
+    }
+
+    #[test]
+    fn read_partition_of_unknown_key_is_empty() {
+        let (mut storage, _, mut index) = setup(200);
+        let cfg = config();
+        index.ensure_initialized(&mut storage, &cfg).unwrap();
+        let bogus = PartitionKey { level: 5, x: 999, y: 0, z: 0 };
+        assert!(index.read_partition(&mut storage, &bogus).unwrap().is_empty());
+    }
+
+    #[test]
+    fn max_extent_is_recorded() {
+        let (mut storage, objs, mut index) = setup(800);
+        let cfg = config();
+        index.ensure_initialized(&mut storage, &cfg).unwrap();
+        assert_eq!(index.max_extent(), odyssey_geom::max_extent(objs.iter()));
+        assert_eq!(index.dataset(), DatasetId(0));
+    }
+}

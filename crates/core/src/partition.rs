@@ -1,0 +1,235 @@
+//! Partitions of the space-oriented incremental index.
+//!
+//! Every dataset is partitioned by the same regular subdivision of the shared
+//! brain volume: at refinement level `L` the volume is a grid of `k^L` cells
+//! per dimension (`k` = splits per dimension, `ppl = k³`). A partition is
+//! therefore fully identified by its [`PartitionKey`] — level plus integer
+//! cell coordinates — and two datasets hold "the same" partition exactly when
+//! the keys match. That is what makes cross-dataset merging well-defined and
+//! lets the Merger enforce the paper's same-refinement-level rule.
+
+use odyssey_geom::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Identity of a partition within the shared subdivision hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartitionKey {
+    /// Refinement level; level 1 is the initial `ppl`-way partitioning of the
+    /// whole volume (level 0 would be the unpartitioned volume itself).
+    pub level: u32,
+    /// Cell x-coordinate in the `k^level` grid.
+    pub x: u32,
+    /// Cell y-coordinate in the `k^level` grid.
+    pub y: u32,
+    /// Cell z-coordinate in the `k^level` grid.
+    pub z: u32,
+}
+
+impl PartitionKey {
+    /// The key of one of the `k³` cells of the initial partitioning.
+    pub fn root_cell(k: usize, ix: u32, iy: u32, iz: u32) -> Self {
+        debug_assert!((ix as usize) < k && (iy as usize) < k && (iz as usize) < k);
+        PartitionKey { level: 1, x: ix, y: iy, z: iz }
+    }
+
+    /// Key of the child cell `(cx, cy, cz)` (each in `0..k`) produced by
+    /// refining this partition with `k` splits per dimension.
+    pub fn child(&self, k: usize, cx: u32, cy: u32, cz: u32) -> Self {
+        debug_assert!((cx as usize) < k && (cy as usize) < k && (cz as usize) < k);
+        PartitionKey {
+            level: self.level + 1,
+            x: self.x * k as u32 + cx,
+            y: self.y * k as u32 + cy,
+            z: self.z * k as u32 + cz,
+        }
+    }
+
+    /// Key of the parent partition, or `None` for level-1 cells.
+    pub fn parent(&self, k: usize) -> Option<PartitionKey> {
+        if self.level <= 1 {
+            return None;
+        }
+        Some(PartitionKey {
+            level: self.level - 1,
+            x: self.x / k as u32,
+            y: self.y / k as u32,
+            z: self.z / k as u32,
+        })
+    }
+
+    /// Geometric bounds of the partition within `bounds` for the given splits
+    /// per dimension.
+    pub fn bounds(&self, bounds: &Aabb, k: usize) -> Aabb {
+        let cells = (k as u32).pow(self.level) as f64;
+        let e = bounds.extent() / cells;
+        let min = Vec3::new(
+            bounds.min.x + e.x * self.x as f64,
+            bounds.min.y + e.y * self.y as f64,
+            bounds.min.z + e.z * self.z as f64,
+        );
+        let max = Vec3::new(
+            if self.x as f64 + 1.0 >= cells { bounds.max.x } else { min.x + e.x },
+            if self.y as f64 + 1.0 >= cells { bounds.max.y } else { min.y + e.y },
+            if self.z as f64 + 1.0 >= cells { bounds.max.z } else { min.z + e.z },
+        );
+        Aabb::from_min_max(min, max)
+    }
+
+    /// The key of the level-`level` cell containing point `p`.
+    pub fn containing(bounds: &Aabb, k: usize, level: u32, p: Vec3) -> Self {
+        let cells = (k as u32).pow(level);
+        let e = bounds.extent();
+        let axis = |v: f64, lo: f64, extent: f64| -> u32 {
+            if extent <= 0.0 {
+                return 0;
+            }
+            let f = ((v - lo) / extent * cells as f64).floor();
+            if f < 0.0 {
+                0
+            } else {
+                (f as u32).min(cells - 1)
+            }
+        };
+        PartitionKey {
+            level,
+            x: axis(p.x, bounds.min.x, e.x),
+            y: axis(p.y, bounds.min.y, e.y),
+            z: axis(p.z, bounds.min.z, e.z),
+        }
+    }
+}
+
+/// One leaf partition of a dataset's incremental index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Identity of the partition in the shared subdivision.
+    pub key: PartitionKey,
+    /// Geometric bounds (cached from the key).
+    pub bounds: Aabb,
+    /// First page of the partition's contiguous run in the dataset's
+    /// partition file.
+    pub page_start: u64,
+    /// Number of pages in the run.
+    pub page_count: u64,
+    /// Number of objects stored in the partition.
+    pub object_count: u64,
+}
+
+impl Partition {
+    /// The page range of the partition.
+    #[inline]
+    pub fn pages(&self) -> std::ops::Range<u64> {
+        self.page_start..self.page_start + self.page_count
+    }
+
+    /// Volume of the partition (`Vp` in the refinement rule).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.bounds.volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    #[test]
+    fn root_cells_tile_the_volume() {
+        let k = 4;
+        let mut total = 0.0;
+        for ix in 0..k as u32 {
+            for iy in 0..k as u32 {
+                for iz in 0..k as u32 {
+                    let key = PartitionKey::root_cell(k, ix, iy, iz);
+                    let b = key.bounds(&bounds(), k);
+                    assert!(bounds().contains(&b));
+                    total += b.volume();
+                }
+            }
+        }
+        assert!((total - bounds().volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn children_tile_their_parent() {
+        let k = 4;
+        let parent = PartitionKey::root_cell(k, 1, 2, 3);
+        let pb = parent.bounds(&bounds(), k);
+        let mut total = 0.0;
+        for cx in 0..k as u32 {
+            for cy in 0..k as u32 {
+                for cz in 0..k as u32 {
+                    let child = parent.child(k, cx, cy, cz);
+                    assert_eq!(child.level, 2);
+                    assert_eq!(child.parent(k), Some(parent));
+                    let cb = child.bounds(&bounds(), k);
+                    assert!(pb.expanded_uniform(1e-9).contains(&cb));
+                    total += cb.volume();
+                }
+            }
+        }
+        assert!((total - pb.volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn level_one_has_no_parent() {
+        assert_eq!(PartitionKey::root_cell(2, 0, 0, 0).parent(2), None);
+    }
+
+    #[test]
+    fn containing_point_lookup() {
+        let k = 4;
+        for level in 1..=3u32 {
+            let cells = (k as u32).pow(level);
+            for _ in 0..20 {
+                // Deterministic pseudo-random points derived from the loop.
+                let p = Vec3::new(
+                    (level as f64 * 13.7) % 100.0,
+                    (level as f64 * 31.3) % 100.0,
+                    (level as f64 * 71.9) % 100.0,
+                );
+                let key = PartitionKey::containing(&bounds(), k, level, p);
+                assert_eq!(key.level, level);
+                assert!(key.x < cells && key.y < cells && key.z < cells);
+                assert!(key.bounds(&bounds(), k).contains_point(p));
+            }
+        }
+    }
+
+    #[test]
+    fn containing_clamps_outside_points() {
+        let k = 4;
+        let lo = PartitionKey::containing(&bounds(), k, 2, Vec3::splat(-50.0));
+        assert_eq!((lo.x, lo.y, lo.z), (0, 0, 0));
+        let hi = PartitionKey::containing(&bounds(), k, 2, Vec3::splat(500.0));
+        assert_eq!((hi.x, hi.y, hi.z), (15, 15, 15));
+    }
+
+    #[test]
+    fn same_key_same_bounds_across_datasets() {
+        // The property merging relies on: keys identify regions independently
+        // of any particular dataset's refinement history.
+        let a = PartitionKey { level: 3, x: 5, y: 9, z: 2 };
+        let b = PartitionKey { level: 3, x: 5, y: 9, z: 2 };
+        assert_eq!(a, b);
+        assert_eq!(a.bounds(&bounds(), 4), b.bounds(&bounds(), 4));
+    }
+
+    #[test]
+    fn partition_helpers() {
+        let key = PartitionKey::root_cell(4, 0, 0, 0);
+        let p = Partition {
+            key,
+            bounds: key.bounds(&bounds(), 4),
+            page_start: 10,
+            page_count: 3,
+            object_count: 150,
+        };
+        assert_eq!(p.pages(), 10..13);
+        assert!((p.volume() - 25.0f64.powi(3)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,339 @@
+//! Synthetic neuroscience datasets.
+//!
+//! The paper's datasets are subsets of neurons of the same brain volume, each
+//! neuron modelled by a 3-D surface mesh; the indexing layer only sees the
+//! bounding boxes of small mesh pieces. This generator reproduces the two
+//! properties that matter to the evaluated systems:
+//!
+//! 1. **Spatial clustering** — neurons cluster into regions (cortical
+//!    columns), so data density is highly non-uniform, and
+//! 2. **Shared space** — every dataset covers the same brain volume, so the
+//!    same spatial region exists in all datasets (this is what makes merging
+//!    across datasets worthwhile).
+//!
+//! Each dataset draws neuron somas from the same mixture of Gaussian clusters
+//! (with its own per-dataset RNG stream) and grows branching processes as
+//! chains of tubular [`odyssey_geom::Segment`]s; every segment becomes one
+//! [`SpatialObject`].
+
+use odyssey_geom::{Aabb, DatasetId, ObjectId, Segment, SpatialObject, Vec3};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic brain and its datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of datasets to generate (the paper uses 10).
+    pub num_datasets: usize,
+    /// Number of spatial objects (segments) per dataset.
+    pub objects_per_dataset: usize,
+    /// The brain volume shared by all datasets.
+    pub bounds: Aabb,
+    /// Number of soma clusters (brain regions) the neurons concentrate in.
+    pub soma_clusters: usize,
+    /// Average number of segments grown per neuron; the number of neurons is
+    /// derived as `objects_per_dataset / segments_per_neuron`.
+    pub segments_per_neuron: usize,
+    /// Base random seed; dataset `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    /// A laptop-scale default: 10 datasets of 50 000 segments in a
+    /// 1000-unit-wide brain volume (the paper's datasets are ~5 GB each; the
+    /// harness scales `objects_per_dataset` as needed).
+    fn default() -> Self {
+        DatasetSpec {
+            num_datasets: 10,
+            objects_per_dataset: 50_000,
+            bounds: Aabb::from_min_max(Vec3::ZERO, Vec3::splat(1000.0)),
+            soma_clusters: 16,
+            segments_per_neuron: 100,
+            seed: 0xB_A11,
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// Convenience constructor overriding the sizes that the experiment
+    /// harness varies.
+    pub fn with_size(num_datasets: usize, objects_per_dataset: usize, seed: u64) -> Self {
+        DatasetSpec { num_datasets, objects_per_dataset, seed, ..Default::default() }
+    }
+}
+
+/// Generator of synthetic neuroscience datasets.
+#[derive(Debug, Clone)]
+pub struct BrainModel {
+    spec: DatasetSpec,
+    cluster_centers: Vec<Vec3>,
+    cluster_radius: f64,
+}
+
+impl BrainModel {
+    /// Creates a brain model; the soma cluster centers are derived from the
+    /// spec's seed so the same spec always produces the same brain.
+    pub fn new(spec: DatasetSpec) -> Self {
+        assert!(spec.num_datasets > 0, "need at least one dataset");
+        assert!(spec.objects_per_dataset > 0, "need at least one object per dataset");
+        assert!(spec.soma_clusters > 0, "need at least one soma cluster");
+        assert!(spec.segments_per_neuron > 0, "need at least one segment per neuron");
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        let e = spec.bounds.extent();
+        let cluster_centers = (0..spec.soma_clusters)
+            .map(|_| {
+                Vec3::new(
+                    spec.bounds.min.x + rng.gen_range(0.05..0.95) * e.x,
+                    spec.bounds.min.y + rng.gen_range(0.05..0.95) * e.y,
+                    spec.bounds.min.z + rng.gen_range(0.05..0.95) * e.z,
+                )
+            })
+            .collect();
+        let cluster_radius = e.min_component() * 0.08;
+        BrainModel { spec, cluster_centers, cluster_radius }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The shared brain volume.
+    pub fn bounds(&self) -> Aabb {
+        self.spec.bounds
+    }
+
+    /// The soma cluster centers (exposed for tests and visualisation).
+    pub fn cluster_centers(&self) -> &[Vec3] {
+        &self.cluster_centers
+    }
+
+    /// Generates all datasets. Dataset `i` gets dataset id `i`.
+    pub fn generate_all(&self) -> Vec<Vec<SpatialObject>> {
+        (0..self.spec.num_datasets)
+            .map(|i| self.generate_dataset(DatasetId(i as u16)))
+            .collect()
+    }
+
+    /// Generates one dataset.
+    pub fn generate_dataset(&self, dataset: DatasetId) -> Vec<SpatialObject> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(dataset.0 as u64 + 1)),
+        );
+        let target = self.spec.objects_per_dataset;
+        let mut objects = Vec::with_capacity(target);
+        let mut next_id = 0u64;
+        while objects.len() < target {
+            let remaining = target - objects.len();
+            let segments = self.spec.segments_per_neuron.min(remaining);
+            self.grow_neuron(&mut rng, dataset, &mut next_id, segments, &mut objects);
+        }
+        objects.truncate(target);
+        objects
+    }
+
+    /// Grows one neuron: a soma near a cluster center plus a branching random
+    /// walk of tubular segments.
+    fn grow_neuron(
+        &self,
+        rng: &mut ChaCha8Rng,
+        dataset: DatasetId,
+        next_id: &mut u64,
+        segments: usize,
+        out: &mut Vec<SpatialObject>,
+    ) {
+        let bounds = self.spec.bounds;
+        let extent = bounds.extent();
+        let seg_len = extent.min_component() * 0.004;
+        let radius = seg_len * 0.15;
+
+        // Soma position: Gaussian around a random cluster center (Box-Muller).
+        let center = self.cluster_centers[rng.gen_range(0..self.cluster_centers.len())];
+        let soma = Vec3::new(
+            center.x + gaussian(rng) * self.cluster_radius,
+            center.y + gaussian(rng) * self.cluster_radius,
+            center.z + gaussian(rng) * self.cluster_radius,
+        )
+        .clamp(bounds.min, bounds.max);
+
+        // Branching random walk: maintain a small set of growth tips.
+        let mut tips: Vec<(Vec3, Vec3)> = vec![(soma, random_direction(rng))];
+        let mut produced = 0usize;
+        while produced < segments {
+            let tip_idx = rng.gen_range(0..tips.len());
+            let (pos, dir) = tips[tip_idx];
+            // Slightly perturb the growth direction to get tortuous processes.
+            let new_dir = perturb_direction(rng, dir, 0.35);
+            let end = (pos + new_dir * seg_len).clamp(bounds.min, bounds.max);
+            let seg = Segment::new(pos, end, radius);
+            out.push(seg.to_object(ObjectId(*next_id), dataset));
+            *next_id += 1;
+            produced += 1;
+            tips[tip_idx] = (end, new_dir);
+            // Occasionally branch (bounded so tip bookkeeping stays tiny).
+            if tips.len() < 12 && rng.gen_bool(0.08) {
+                tips.push((end, perturb_direction(rng, new_dir, 1.2)));
+            }
+        }
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniformly distributed unit vector.
+fn random_direction<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let len = v.length();
+        if len > 1e-6 && len <= 1.0 {
+            return v / len;
+        }
+    }
+}
+
+/// Adds bounded angular noise to a direction and re-normalises.
+fn perturb_direction<R: Rng + ?Sized>(rng: &mut R, dir: Vec3, strength: f64) -> Vec3 {
+    let noisy = dir + random_direction(rng) * strength;
+    let len = noisy.length();
+    if len < 1e-9 {
+        dir
+    } else {
+        noisy / len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            num_datasets: 3,
+            objects_per_dataset: 2_000,
+            soma_clusters: 4,
+            segments_per_neuron: 50,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let model = BrainModel::new(small_spec());
+        let all = model.generate_all();
+        assert_eq!(all.len(), 3);
+        for (i, ds) in all.iter().enumerate() {
+            assert_eq!(ds.len(), 2_000);
+            assert!(ds.iter().all(|o| o.dataset == DatasetId(i as u16)));
+        }
+    }
+
+    #[test]
+    fn object_ids_are_unique_within_dataset() {
+        let model = BrainModel::new(small_spec());
+        let ds = model.generate_dataset(DatasetId(0));
+        let mut ids: Vec<u64> = ds.iter().map(|o| o.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ds.len());
+    }
+
+    #[test]
+    fn objects_stay_inside_brain_volume() {
+        let model = BrainModel::new(small_spec());
+        let bounds = model.bounds();
+        // Segment MBRs may poke out by at most the segment radius.
+        let slack = bounds.extent().min_component() * 0.004;
+        let grown = bounds.expanded_uniform(slack);
+        for o in model.generate_dataset(DatasetId(1)) {
+            assert!(grown.contains(&o.mbr), "object escapes brain volume: {:?}", o.mbr);
+        }
+    }
+
+    #[test]
+    fn objects_are_small_relative_to_brain() {
+        let model = BrainModel::new(small_spec());
+        let brain_extent = model.bounds().extent().max_component();
+        for o in model.generate_dataset(DatasetId(0)) {
+            assert!(o.extent().max_component() < brain_extent * 0.02);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BrainModel::new(small_spec()).generate_dataset(DatasetId(2));
+        let b = BrainModel::new(small_spec()).generate_dataset(DatasetId(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_datasets_differ_but_share_space() {
+        let model = BrainModel::new(small_spec());
+        let a = model.generate_dataset(DatasetId(0));
+        let b = model.generate_dataset(DatasetId(1));
+        assert_ne!(a[0].mbr, b[0].mbr, "datasets must not be identical");
+        // Shared space: both datasets populate a common region (their overall
+        // MBRs overlap substantially).
+        let mbr = |objs: &[SpatialObject]| {
+            objs.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr))
+        };
+        let ia = mbr(&a);
+        let ib = mbr(&b);
+        let inter = ia.intersection(&ib).expect("datasets must overlap");
+        assert!(inter.volume() > 0.25 * ia.volume().min(ib.volume()));
+    }
+
+    #[test]
+    fn data_is_spatially_clustered() {
+        // Density near cluster centers must exceed average density: count
+        // objects within a small box around a cluster center vs a random
+        // corner box of equal volume.
+        let model = BrainModel::new(DatasetSpec {
+            objects_per_dataset: 20_000,
+            ..small_spec()
+        });
+        let ds = model.generate_dataset(DatasetId(0));
+        let center = model.cluster_centers()[0];
+        let probe_extent = model.bounds().extent() * 0.05;
+        let hot = Aabb::from_center_extent(center, probe_extent);
+        let cold = Aabb::from_min_max(model.bounds().min, model.bounds().min + probe_extent);
+        let count = |probe: &Aabb| ds.iter().filter(|o| o.mbr.intersects(probe)).count();
+        assert!(
+            count(&hot) > 3 * count(&cold).max(1),
+            "expected clustering: hot={} cold={}",
+            count(&hot),
+            count(&cold)
+        );
+    }
+
+    #[test]
+    fn cluster_centers_count_matches_spec() {
+        let model = BrainModel::new(small_spec());
+        assert_eq!(model.cluster_centers().len(), 4);
+        assert_eq!(model.spec().num_datasets, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dataset")]
+    fn zero_datasets_panics() {
+        let _ = BrainModel::new(DatasetSpec { num_datasets: 0, ..small_spec() });
+    }
+
+    #[test]
+    fn with_size_overrides() {
+        let s = DatasetSpec::with_size(4, 123, 99);
+        assert_eq!(s.num_datasets, 4);
+        assert_eq!(s.objects_per_dataset, 123);
+        assert_eq!(s.seed, 99);
+    }
+}

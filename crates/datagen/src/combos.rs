@@ -1,0 +1,169 @@
+//! Picking which datasets each query touches.
+//!
+//! The paper fixes the number of queried datasets `m` per experiment
+//! (1, 3, 5, 7 or 9 out of 10) and selects the concrete combination for every
+//! query from a Gray-et-al. distribution over the `C(n, m)` possibilities.
+//! The skew of that distribution is what Space Odyssey's merging exploits.
+
+use crate::distributions::{CombinationDistribution, DiscreteSampler};
+use odyssey_geom::{enumerate_combinations, DatasetSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Picks dataset combinations for a sequence of queries.
+#[derive(Debug, Clone)]
+pub struct CombinationPicker {
+    combinations: Vec<DatasetSet>,
+    sampler: DiscreteSampler,
+    rng: ChaCha8Rng,
+}
+
+impl CombinationPicker {
+    /// Creates a picker over all combinations of `datasets_per_query` out of
+    /// `num_datasets` datasets.
+    ///
+    /// The combination domain is shuffled deterministically (from `seed`)
+    /// before the skewed distribution is applied, so that "the popular
+    /// combination" is not always the lexicographically first one.
+    ///
+    /// # Panics
+    /// Panics if the domain is empty (`datasets_per_query` is zero or larger
+    /// than `num_datasets`).
+    pub fn new(
+        num_datasets: usize,
+        datasets_per_query: usize,
+        distribution: CombinationDistribution,
+        seed: u64,
+    ) -> Self {
+        let mut combinations = enumerate_combinations(num_datasets, datasets_per_query);
+        assert!(
+            !combinations.is_empty(),
+            "no combinations of {datasets_per_query} out of {num_datasets} datasets"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0_B0);
+        // Fisher-Yates shuffle so the hot combinations differ across seeds.
+        for i in (1..combinations.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            combinations.swap(i, j);
+        }
+        let sampler = distribution.sampler(combinations.len());
+        CombinationPicker { combinations, sampler, rng }
+    }
+
+    /// Number of possible combinations (the paper reports this next to the
+    /// number of *actually* queried combinations on the x-axis of Figure 4).
+    pub fn domain_size(&self) -> usize {
+        self.combinations.len()
+    }
+
+    /// The combination the skewed distributions favour most (index 0 of the
+    /// shuffled domain). Used by the Figure 5c experiment, which plots only
+    /// the queries that request the most popular combination.
+    pub fn hottest_combination(&self) -> DatasetSet {
+        self.combinations[0]
+    }
+
+    /// Draws the combination for the next query.
+    pub fn next_combination(&mut self) -> DatasetSet {
+        let idx = self.sampler.sample(&mut self.rng);
+        self.combinations[idx]
+    }
+
+    /// Draws `count` combinations.
+    pub fn generate(&mut self, count: usize) -> Vec<DatasetSet> {
+        (0..count).map(|_| self.next_combination()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::binomial;
+    use std::collections::HashMap;
+
+    #[test]
+    fn domain_size_matches_binomial() {
+        for (n, m) in [(10, 1), (10, 3), (10, 5), (10, 7), (10, 9)] {
+            let p = CombinationPicker::new(n, m, CombinationDistribution::Uniform, 1);
+            assert_eq!(p.domain_size(), binomial(n, m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no combinations")]
+    fn invalid_domain_panics() {
+        let _ = CombinationPicker::new(5, 0, CombinationDistribution::Uniform, 1);
+    }
+
+    #[test]
+    fn combinations_have_requested_size() {
+        let mut p = CombinationPicker::new(10, 5, CombinationDistribution::Zipf, 3);
+        for c in p.generate(500) {
+            assert_eq!(c.len(), 5);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hottest() {
+        let mut p = CombinationPicker::new(10, 5, CombinationDistribution::Zipf, 11);
+        let hot = p.hottest_combination();
+        let picks = p.generate(1000);
+        let hot_count = picks.iter().filter(|&&c| c == hot).count();
+        // Zipf(2) over 252 values puts ~61% of the mass on the first value.
+        assert!(hot_count > 500, "hot combination picked only {hot_count}/1000 times");
+    }
+
+    #[test]
+    fn heavy_hitter_hits_half() {
+        let mut p = CombinationPicker::new(10, 3, CombinationDistribution::HeavyHitter, 11);
+        let hot = p.hottest_combination();
+        let picks = p.generate(2000);
+        let hot_count = picks.iter().filter(|&&c| c == hot).count();
+        assert!((hot_count as f64 / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_spreads_over_many_combinations() {
+        let mut p = CombinationPicker::new(10, 5, CombinationDistribution::Uniform, 11);
+        let picks = p.generate(1000);
+        let mut counts: HashMap<_, usize> = HashMap::new();
+        for c in picks {
+            *counts.entry(c).or_default() += 1;
+        }
+        // The paper observes ~216-246 distinct combinations out of 252 for
+        // 1000 uniform draws; anything above 180 demonstrates the spread.
+        assert!(counts.len() > 180, "only {} distinct combinations", counts.len());
+    }
+
+    #[test]
+    fn skewed_distributions_query_fewer_combinations_than_uniform() {
+        let distinct = |dist| {
+            let mut p = CombinationPicker::new(10, 5, dist, 11);
+            let picks = p.generate(1000);
+            let set: std::collections::HashSet<_> = picks.into_iter().collect();
+            set.len()
+        };
+        let zipf = distinct(CombinationDistribution::Zipf);
+        let uniform = distinct(CombinationDistribution::Uniform);
+        assert!(zipf < uniform, "zipf={zipf} uniform={uniform}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_different_across_seeds() {
+        let run = |seed| {
+            CombinationPicker::new(10, 3, CombinationDistribution::Zipf, seed).generate(100)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn different_seeds_give_different_hot_combination() {
+        let hot = |seed| {
+            CombinationPicker::new(10, 5, CombinationDistribution::Zipf, seed).hottest_combination()
+        };
+        // Not guaranteed for every pair, but over 4 seeds at least two should differ.
+        let hots: Vec<_> = (0..4).map(hot).collect();
+        assert!(hots.iter().any(|&h| h != hots[0]));
+    }
+}

@@ -1,0 +1,265 @@
+//! Discrete skew distributions from Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases" (SIGMOD '94).
+//!
+//! The paper selects which combination of datasets each query touches using
+//! four distributions over the combination domain: **heavy hitter** (one
+//! combination receives 50% of all queries), **self-similar** (80–20 rule),
+//! **Zipf** (exponent 2) and **uniform**. These drive how much skew Space
+//! Odyssey's statistics-driven merging can exploit.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which distribution to use when picking dataset combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombinationDistribution {
+    /// One combination receives `hot_fraction` (default 50%) of all queries;
+    /// the rest are uniform over the remaining combinations.
+    HeavyHitter,
+    /// Gray et al. self-similar distribution with the 80–20 proportion.
+    SelfSimilar,
+    /// Zipf distribution with exponent 2 (the paper's setting).
+    Zipf,
+    /// Uniform over all combinations (the paper's non-skewed control).
+    Uniform,
+}
+
+impl CombinationDistribution {
+    /// All four distributions in the order the paper presents them.
+    pub const ALL: [CombinationDistribution; 4] = [
+        CombinationDistribution::HeavyHitter,
+        CombinationDistribution::SelfSimilar,
+        CombinationDistribution::Zipf,
+        CombinationDistribution::Uniform,
+    ];
+
+    /// Short lower-case name used in reports and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CombinationDistribution::HeavyHitter => "heavy-hitter",
+            CombinationDistribution::SelfSimilar => "self-similar",
+            CombinationDistribution::Zipf => "zipf",
+            CombinationDistribution::Uniform => "uniform",
+        }
+    }
+
+    /// Builds a sampler over the domain `[0, n)`.
+    pub fn sampler(self, n: usize) -> DiscreteSampler {
+        DiscreteSampler::new(self, n)
+    }
+}
+
+/// Samples indices in `[0, n)` according to a [`CombinationDistribution`].
+#[derive(Debug, Clone)]
+pub struct DiscreteSampler {
+    distribution: CombinationDistribution,
+    n: usize,
+    /// Cumulative distribution (only used by the Zipf variant).
+    zipf_cdf: Vec<f64>,
+    /// Fraction of queries hitting the single hot value (heavy hitter).
+    hot_fraction: f64,
+    /// Skew of the self-similar distribution (`h`): a fraction `1 - h` of the
+    /// accesses go to the first `h` fraction of the values, recursively.
+    /// `h = 0.2` yields the 80–20 rule used by the paper.
+    self_similar_h: f64,
+    /// Zipf exponent (2 in the paper).
+    zipf_theta: f64,
+}
+
+impl DiscreteSampler {
+    /// Creates a sampler for the given distribution over `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(distribution: CombinationDistribution, n: usize) -> Self {
+        assert!(n > 0, "cannot sample from an empty domain");
+        let zipf_theta = 2.0;
+        let zipf_cdf = if distribution == CombinationDistribution::Zipf {
+            let mut weights: Vec<f64> =
+                (1..=n).map(|i| 1.0 / (i as f64).powf(zipf_theta)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in weights.iter_mut() {
+                acc += *w / total;
+                *w = acc;
+            }
+            // Guard against floating-point drift at the end of the CDF.
+            if let Some(last) = weights.last_mut() {
+                *last = 1.0;
+            }
+            weights
+        } else {
+            Vec::new()
+        };
+        DiscreteSampler {
+            distribution,
+            n,
+            zipf_cdf,
+            hot_fraction: 0.5,
+            self_similar_h: 0.2,
+            zipf_theta,
+        }
+    }
+
+    /// The domain size.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// The distribution this sampler implements.
+    pub fn distribution(&self) -> CombinationDistribution {
+        self.distribution
+    }
+
+    /// The Zipf exponent used by the Zipf variant.
+    pub fn zipf_theta(&self) -> f64 {
+        self.zipf_theta
+    }
+
+    /// Draws one index in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self.distribution {
+            CombinationDistribution::Uniform => rng.gen_range(0..self.n),
+            CombinationDistribution::HeavyHitter => {
+                if self.n == 1 || rng.gen_bool(self.hot_fraction) {
+                    0
+                } else {
+                    rng.gen_range(1..self.n)
+                }
+            }
+            CombinationDistribution::SelfSimilar => {
+                // Gray et al. getSelfSimilar: skews towards low indices so
+                // that (1-h) of the mass falls on the first h*n values.
+                let h = self.self_similar_h;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let v = (self.n as f64) * u.powf(h.ln() / (1.0 - h).ln());
+                (v as usize).min(self.n - 1)
+            }
+            CombinationDistribution::Zipf => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                match self.zipf_cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite CDF")) {
+                    Ok(i) => i,
+                    Err(i) => i.min(self.n - 1),
+                }
+            }
+        }
+    }
+
+    /// Draws `count` indices.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn histogram(dist: CombinationDistribution, n: usize, draws: usize) -> Vec<usize> {
+        let sampler = dist.sampler(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut hist = vec![0usize; n];
+        for _ in 0..draws {
+            hist[sampler.sample(&mut rng)] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CombinationDistribution::HeavyHitter.name(), "heavy-hitter");
+        assert_eq!(CombinationDistribution::SelfSimilar.name(), "self-similar");
+        assert_eq!(CombinationDistribution::Zipf.name(), "zipf");
+        assert_eq!(CombinationDistribution::Uniform.name(), "uniform");
+        assert_eq!(CombinationDistribution::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_panics() {
+        let _ = CombinationDistribution::Uniform.sampler(0);
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        for dist in CombinationDistribution::ALL {
+            let sampler = dist.sampler(37);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for _ in 0..10_000 {
+                assert!(sampler.sample(&mut rng) < 37, "{dist:?} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn domain_of_one_always_returns_zero() {
+        for dist in CombinationDistribution::ALL {
+            let sampler = dist.sampler(1);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            for _ in 0..100 {
+                assert_eq!(sampler.sample(&mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let hist = histogram(CombinationDistribution::Uniform, 10, 100_000);
+        for &count in &hist {
+            let frac = count as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "uniform bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_puts_half_on_one_value() {
+        let hist = histogram(CombinationDistribution::HeavyHitter, 100, 100_000);
+        let hot = hist[0] as f64 / 100_000.0;
+        assert!((hot - 0.5).abs() < 0.02, "hot fraction {hot}");
+        // Remaining values share the rest roughly uniformly.
+        let rest_avg: f64 =
+            hist[1..].iter().map(|&c| c as f64).sum::<f64>() / 99.0 / 100_000.0;
+        assert!((rest_avg - 0.5 / 99.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn self_similar_follows_80_20() {
+        let n = 100;
+        let draws = 200_000;
+        let hist = histogram(CombinationDistribution::SelfSimilar, n, draws);
+        let top20: usize = hist[..n / 5].iter().sum();
+        let frac = top20 as f64 / draws as f64;
+        assert!(frac > 0.75 && frac < 0.85, "80-20 violated: first 20% got {frac}");
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed_and_monotone() {
+        let n = 50;
+        let draws = 200_000;
+        let hist = histogram(CombinationDistribution::Zipf, n, draws);
+        // With exponent 2, the first value gets about 1/zeta(2) ≈ 0.6.
+        let first = hist[0] as f64 / draws as f64;
+        assert!(first > 0.55 && first < 0.68, "zipf head mass {first}");
+        // Mass decreases (allowing for sampling noise in the tail).
+        assert!(hist[0] > hist[1]);
+        assert!(hist[1] > hist[4]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sampler = CombinationDistribution::Zipf.sampler(20);
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(sampler.sample_many(&mut a, 100), sampler.sample_many(&mut b, 100));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = CombinationDistribution::Zipf.sampler(10);
+        assert_eq!(s.domain_size(), 10);
+        assert_eq!(s.distribution(), CombinationDistribution::Zipf);
+        assert_eq!(s.zipf_theta(), 2.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Query-range generation.
+//!
+//! The paper generates 1000 cube-shaped range queries of fixed volume
+//! (`10^-4 %` of the brain volume). Query centers are either **clustered**
+//! (Gaussian around a small number of cluster centers, modelling scientists
+//! repeatedly inspecting the same brain regions) or **uniform** (the
+//! non-skewed control of Figure 4d / 5b).
+
+use odyssey_geom::{Aabb, Vec3};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spatial distribution of query centers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryRangeDistribution {
+    /// Query centers are Gaussian around `num_clusters` cluster centers
+    /// (10 in Figures 4–5a, 5 in the merging experiment of Figure 5c).
+    Clustered {
+        /// Number of query cluster centers.
+        num_clusters: usize,
+    },
+    /// Query centers are uniform over the brain volume.
+    Uniform,
+}
+
+impl QueryRangeDistribution {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryRangeDistribution::Clustered { .. } => "clustered",
+            QueryRangeDistribution::Uniform => "uniform",
+        }
+    }
+}
+
+/// Generates cube-shaped query ranges of a fixed volume fraction.
+#[derive(Debug, Clone)]
+pub struct QueryRangeGenerator {
+    bounds: Aabb,
+    distribution: QueryRangeDistribution,
+    side: f64,
+    cluster_centers: Vec<Vec3>,
+    sigma: f64,
+    rng: ChaCha8Rng,
+}
+
+impl QueryRangeGenerator {
+    /// Creates a generator.
+    ///
+    /// * `bounds` — the brain volume the queries live in,
+    /// * `volume_fraction` — the query volume as a fraction of the brain
+    ///   volume (the paper uses `10^-4 % = 1e-6`),
+    /// * `distribution` — clustered or uniform centers,
+    /// * `seed` — RNG seed; the cluster centers derive from it too.
+    pub fn new(
+        bounds: Aabb,
+        volume_fraction: f64,
+        distribution: QueryRangeDistribution,
+        seed: u64,
+    ) -> Self {
+        assert!(volume_fraction > 0.0 && volume_fraction <= 1.0, "volume fraction out of (0,1]");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51EE_D5);
+        let side = (bounds.volume() * volume_fraction).cbrt();
+        // The paper spreads query centers around each cluster center with a
+        // standard deviation proportional to the query size (σ = qvol · 10).
+        // Two query sides keeps each cluster a genuinely *hot area*: queries
+        // of the same cluster overlap the same partitions again and again,
+        // which is what adaptive refinement and merging exploit. (A larger σ
+        // degrades the clustered workload towards the uniform one of
+        // Figure 4d.)
+        let sigma = side * 2.0;
+        let e = bounds.extent();
+        let cluster_centers = match distribution {
+            QueryRangeDistribution::Clustered { num_clusters } => {
+                assert!(num_clusters > 0, "clustered distribution needs at least one cluster");
+                (0..num_clusters)
+                    .map(|_| {
+                        Vec3::new(
+                            bounds.min.x + rng.gen_range(0.1..0.9) * e.x,
+                            bounds.min.y + rng.gen_range(0.1..0.9) * e.y,
+                            bounds.min.z + rng.gen_range(0.1..0.9) * e.z,
+                        )
+                    })
+                    .collect()
+            }
+            QueryRangeDistribution::Uniform => Vec::new(),
+        };
+        QueryRangeGenerator { bounds, distribution, side, cluster_centers, sigma, rng }
+    }
+
+    /// The side length of every generated query cube.
+    pub fn query_side(&self) -> f64 {
+        self.side
+    }
+
+    /// The query cluster centers (empty for the uniform distribution).
+    pub fn cluster_centers(&self) -> &[Vec3] {
+        &self.cluster_centers
+    }
+
+    /// Generates the next query range.
+    pub fn next_range(&mut self) -> Aabb {
+        let center = match self.distribution {
+            QueryRangeDistribution::Uniform => {
+                let e = self.bounds.extent();
+                Vec3::new(
+                    self.bounds.min.x + self.rng.gen_range(0.0..1.0) * e.x,
+                    self.bounds.min.y + self.rng.gen_range(0.0..1.0) * e.y,
+                    self.bounds.min.z + self.rng.gen_range(0.0..1.0) * e.z,
+                )
+            }
+            QueryRangeDistribution::Clustered { .. } => {
+                let c = self.cluster_centers[self.rng.gen_range(0..self.cluster_centers.len())];
+                Vec3::new(
+                    c.x + gaussian(&mut self.rng) * self.sigma,
+                    c.y + gaussian(&mut self.rng) * self.sigma,
+                    c.z + gaussian(&mut self.rng) * self.sigma,
+                )
+            }
+        };
+        let center = center.clamp(
+            self.bounds.min + Vec3::splat(self.side * 0.5),
+            self.bounds.max - Vec3::splat(self.side * 0.5),
+        );
+        Aabb::from_center_extent(center, Vec3::splat(self.side))
+    }
+
+    /// Generates `count` ranges.
+    pub fn generate(&mut self, count: usize) -> Vec<Aabb> {
+        (0..count).map(|_| self.next_range()).collect()
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(1000.0))
+    }
+
+    #[test]
+    fn query_volume_matches_fraction() {
+        let mut g = QueryRangeGenerator::new(bounds(), 1e-6, QueryRangeDistribution::Uniform, 1);
+        let target = bounds().volume() * 1e-6;
+        for q in g.generate(100) {
+            assert!((q.volume() - target).abs() / target < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queries_stay_inside_bounds() {
+        for dist in [QueryRangeDistribution::Uniform, QueryRangeDistribution::Clustered { num_clusters: 10 }] {
+            let mut g = QueryRangeGenerator::new(bounds(), 1e-6, dist, 3);
+            for q in g.generate(1000) {
+                assert!(bounds().contains(&q), "{dist:?} produced {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_queries_are_concentrated() {
+        let mut clustered = QueryRangeGenerator::new(
+            bounds(),
+            1e-6,
+            QueryRangeDistribution::Clustered { num_clusters: 10 },
+            5,
+        );
+        let mut uniform = QueryRangeGenerator::new(bounds(), 1e-6, QueryRangeDistribution::Uniform, 5);
+        // Measure concentration as the volume of the overall MBR of all query
+        // centers; clustered workloads should cover much less of the brain.
+        let spread = |ranges: &[Aabb]| {
+            ranges
+                .iter()
+                .fold(Aabb::empty(), |acc, r| acc.union(&Aabb::from_point(r.center())))
+                .volume()
+        };
+        let c = clustered.generate(500);
+        let u = uniform.generate(500);
+        // Pairwise distances are a sturdier clustering metric than the global
+        // MBR (a single cluster near a corner can stretch the MBR): compute
+        // the mean distance between consecutive query centers.
+        let mean_step = |ranges: &[Aabb]| {
+            ranges
+                .windows(2)
+                .map(|w| w[0].center().distance(w[1].center()))
+                .sum::<f64>()
+                / (ranges.len() - 1) as f64
+        };
+        assert!(
+            mean_step(&c) < mean_step(&u),
+            "clustered queries should jump shorter distances on average"
+        );
+        // Both cover a non-trivial part of the brain (sanity).
+        assert!(spread(&c) > 0.0);
+        assert!(spread(&u) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            QueryRangeGenerator::new(
+                bounds(),
+                1e-6,
+                QueryRangeDistribution::Clustered { num_clusters: 5 },
+                17,
+            )
+            .generate(50)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(QueryRangeDistribution::Uniform.name(), "uniform");
+        assert_eq!(QueryRangeDistribution::Clustered { num_clusters: 3 }.name(), "clustered");
+    }
+
+    #[test]
+    #[should_panic(expected = "volume fraction")]
+    fn zero_volume_fraction_panics() {
+        let _ = QueryRangeGenerator::new(bounds(), 0.0, QueryRangeDistribution::Uniform, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = QueryRangeGenerator::new(
+            bounds(),
+            1e-6,
+            QueryRangeDistribution::Clustered { num_clusters: 0 },
+            0,
+        );
+    }
+
+    #[test]
+    fn cluster_center_accessors() {
+        let g = QueryRangeGenerator::new(
+            bounds(),
+            1e-6,
+            QueryRangeDistribution::Clustered { num_clusters: 7 },
+            2,
+        );
+        assert_eq!(g.cluster_centers().len(), 7);
+        assert!(g.query_side() > 0.0);
+        let u = QueryRangeGenerator::new(bounds(), 1e-6, QueryRangeDistribution::Uniform, 2);
+        assert!(u.cluster_centers().is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Full workload assembly: the exact query sequences of the paper's
+//! experiments, reproducible from a spec and a seed.
+
+use crate::combos::CombinationPicker;
+use crate::distributions::CombinationDistribution;
+use crate::queries::{QueryRangeDistribution, QueryRangeGenerator};
+use odyssey_geom::{Aabb, DatasetSet, QueryId, RangeQuery};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to (re)generate a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Total number of datasets in the system (the paper uses 10).
+    pub num_datasets: usize,
+    /// Number of datasets touched by every query (`m`, varied 1–9).
+    pub datasets_per_query: usize,
+    /// Number of queries in the workload (1000 in the paper).
+    pub num_queries: usize,
+    /// Query volume as a fraction of the brain volume (`1e-6` in the paper,
+    /// i.e. `10^-4 %`).
+    pub query_volume_fraction: f64,
+    /// Spatial distribution of the query ranges.
+    pub range_distribution: QueryRangeDistribution,
+    /// Distribution over dataset combinations.
+    pub combination_distribution: CombinationDistribution,
+    /// Seed for all random choices of the workload.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            num_datasets: 10,
+            datasets_per_query: 5,
+            num_queries: 1000,
+            query_volume_fraction: 1e-6,
+            range_distribution: QueryRangeDistribution::Clustered { num_clusters: 10 },
+            combination_distribution: CombinationDistribution::Zipf,
+            seed: 0x0D15_5EA5,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Generates the workload for queries over the given brain volume.
+    pub fn generate(&self, bounds: &Aabb) -> Workload {
+        assert!(self.num_queries > 0, "a workload needs at least one query");
+        assert!(
+            self.datasets_per_query >= 1 && self.datasets_per_query <= self.num_datasets,
+            "datasets_per_query must be within [1, num_datasets]"
+        );
+        let mut ranges = QueryRangeGenerator::new(
+            *bounds,
+            self.query_volume_fraction,
+            self.range_distribution,
+            self.seed,
+        );
+        let mut combos = CombinationPicker::new(
+            self.num_datasets,
+            self.datasets_per_query,
+            self.combination_distribution,
+            self.seed,
+        );
+        let possible_combinations = combos.domain_size();
+        let hottest_combination = combos.hottest_combination();
+        let queries = (0..self.num_queries)
+            .map(|i| {
+                RangeQuery::new(QueryId(i as u32), ranges.next_range(), combos.next_combination())
+            })
+            .collect();
+        Workload {
+            spec: self.clone(),
+            queries,
+            possible_combinations,
+            hottest_combination,
+        }
+    }
+}
+
+/// A concrete sequence of range queries plus the metadata the experiment
+/// reports need (number of possible combinations, the hottest combination).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The spec the workload was generated from.
+    pub spec: WorkloadSpec,
+    /// The query sequence, in execution order.
+    pub queries: Vec<RangeQuery>,
+    /// Size of the combination domain `C(n, m)`.
+    pub possible_combinations: usize,
+    /// The combination favoured by the skewed distributions.
+    pub hottest_combination: DatasetSet,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no queries (never the case for
+    /// generated workloads, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Number of *distinct* combinations actually queried — the number shown
+    /// in parentheses on the x-axis of Figure 4.
+    pub fn distinct_combinations(&self) -> usize {
+        let set: std::collections::HashSet<DatasetSet> =
+            self.queries.iter().map(|q| q.datasets).collect();
+        set.len()
+    }
+
+    /// How many queries request exactly the hottest combination (Figure 5c
+    /// plots only those queries).
+    pub fn hottest_combination_queries(&self) -> Vec<&RangeQuery> {
+        self.queries.iter().filter(|q| q.datasets == self.hottest_combination).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::Vec3;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(1000.0))
+    }
+
+    #[test]
+    fn generates_requested_queries() {
+        let spec = WorkloadSpec { num_queries: 200, ..Default::default() };
+        let w = spec.generate(&bounds());
+        assert_eq!(w.len(), 200);
+        assert!(!w.is_empty());
+        for (i, q) in w.queries.iter().enumerate() {
+            assert_eq!(q.id.index(), i);
+            assert_eq!(q.datasets.len(), 5);
+            assert!(bounds().contains(&q.range));
+        }
+    }
+
+    #[test]
+    fn possible_combinations_match_paper_axis() {
+        // The x-axis of Figure 4 annotates the number of possible
+        // combinations: 10, 120, 252, 120, 10 for m = 1, 3, 5, 7, 9.
+        for (m, expected) in [(1, 10), (3, 120), (5, 252), (7, 120), (9, 10)] {
+            let spec = WorkloadSpec {
+                datasets_per_query: m,
+                num_queries: 10,
+                ..Default::default()
+            };
+            assert_eq!(spec.generate(&bounds()).possible_combinations, expected);
+        }
+    }
+
+    #[test]
+    fn distinct_combinations_depend_on_skew() {
+        let gen = |dist| {
+            WorkloadSpec {
+                combination_distribution: dist,
+                num_queries: 1000,
+                ..Default::default()
+            }
+            .generate(&bounds())
+            .distinct_combinations()
+        };
+        let zipf = gen(CombinationDistribution::Zipf);
+        let uniform = gen(CombinationDistribution::Uniform);
+        assert!(zipf < uniform, "zipf={zipf} uniform={uniform}");
+        // Ballpark of the paper's reported counts (zipf ~29, uniform ~246 for m=5).
+        assert!(zipf < 80);
+        assert!(uniform > 150);
+    }
+
+    #[test]
+    fn hottest_combination_is_frequent_under_zipf() {
+        let spec = WorkloadSpec {
+            combination_distribution: CombinationDistribution::Zipf,
+            num_queries: 1000,
+            ..Default::default()
+        };
+        let w = spec.generate(&bounds());
+        let hot = w.hottest_combination_queries();
+        assert!(hot.len() > 500, "hottest combination queried {} times", hot.len());
+        assert!(hot.iter().all(|q| q.datasets == w.hottest_combination));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.generate(&bounds()), spec.generate(&bounds()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec { seed: 1, ..Default::default() }.generate(&bounds());
+        let b = WorkloadSpec { seed: 2, ..Default::default() }.generate(&bounds());
+        assert_ne!(a.queries, b.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [1, num_datasets]")]
+    fn invalid_m_panics() {
+        let spec = WorkloadSpec { datasets_per_query: 11, ..Default::default() };
+        let _ = spec.generate(&bounds());
+    }
+
+    #[test]
+    fn spec_is_serialisable() {
+        // The bench harness persists specs next to results; make sure the
+        // Serialize impl exists and produces the expected field names.
+        fn assert_serialisable<T: Serialize>(_: &T) {}
+        let spec = WorkloadSpec::default();
+        assert_serialisable(&spec);
+        assert_serialisable(&spec.generate(&bounds()));
+    }
+}

@@ -1,0 +1,405 @@
+//! Axis-aligned bounding boxes — the universal spatial shape of the system.
+//!
+//! Datasets, partitions, queries and object MBRs are all axis-aligned boxes.
+//! The paper's refinement rule compares partition volume against query volume
+//! (`Vp / Vq > rt`), and the query-window-extension technique grows a query
+//! box by the dataset's maximum object extent; both operations live here.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box defined by its minimum and maximum corners.
+///
+/// Invariant: `min` is component-wise less than or equal to `max` for every
+/// box produced by the constructors in this module. Degenerate (zero-extent)
+/// boxes are allowed; they behave as points or axis-aligned rectangles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner (inclusive).
+    pub min: Vec3,
+    /// Maximum corner (inclusive).
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two corners, normalising so the invariant holds.
+    #[inline]
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// Creates a box from corners that are already ordered.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `min` is not component-wise `<= max`.
+    #[inline]
+    pub fn from_min_max(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(min.le(max), "Aabb::from_min_max requires min <= max: {min:?} {max:?}");
+        Aabb { min, max }
+    }
+
+    /// Creates a box from its center and full extent (side lengths).
+    #[inline]
+    pub fn from_center_extent(center: Vec3, extent: Vec3) -> Self {
+        let half = extent * 0.5;
+        Aabb { min: center - half, max: center + half }
+    }
+
+    /// Creates a degenerate box containing exactly one point.
+    #[inline]
+    pub fn from_point(p: Vec3) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// The unit cube `[0,1]^3`.
+    #[inline]
+    pub fn unit() -> Self {
+        Aabb { min: Vec3::ZERO, max: Vec3::ONE }
+    }
+
+    /// An "empty" box that is the identity for [`Aabb::union`]: its min is
+    /// +inf and its max is -inf so that any union with it yields the other box.
+    #[inline]
+    pub fn empty() -> Self {
+        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) }
+    }
+
+    /// Returns `true` if this is the special empty box (or otherwise inverted).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !(self.min.le(self.max))
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Full extent (side lengths) of the box.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume of the box. Zero for degenerate boxes, zero for empty boxes.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.extent().product()
+    }
+
+    /// Surface area of the box (used by R-tree heuristics).
+    #[inline]
+    pub fn surface_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.x * e.z)
+    }
+
+    /// Returns `true` if the two boxes intersect (touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (boundaries count).
+    #[inline]
+    pub fn contains(&self, other: &Aabb) -> bool {
+        self.min.le(other.min) && other.max.le(self.max)
+    }
+
+    /// Returns `true` if point `p` lies inside the box (boundaries count).
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.min.le(p) && p.le(self.max)
+    }
+
+    /// Returns `true` if point `p` lies inside the half-open box
+    /// `[min, max)`. Space-oriented partitioning uses half-open cells so that
+    /// a point on a shared cell boundary belongs to exactly one cell.
+    #[inline]
+    pub fn contains_point_half_open(&self, p: Vec3) -> bool {
+        self.min.le(p) && p.lt(self.max)
+    }
+
+    /// Smallest box containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Intersection of the two boxes, or `None` if they do not overlap.
+    #[inline]
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        let min = self.min.max(other.min);
+        let max = self.max.min(other.max);
+        if min.le(max) {
+            Some(Aabb { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Grows the box by `amount` in every direction (per dimension).
+    ///
+    /// This is the *query window extension* of Stefanakis et al. used by the
+    /// paper: objects are assigned to partitions by their center only, and a
+    /// query is answered correctly by extending its range with the maximum
+    /// object extent seen in the dataset.
+    #[inline]
+    pub fn expanded(&self, amount: Vec3) -> Aabb {
+        Aabb { min: self.min - amount, max: self.max + amount }
+    }
+
+    /// Grows the box by the same `amount` in every dimension.
+    #[inline]
+    pub fn expanded_uniform(&self, amount: f64) -> Aabb {
+        self.expanded(Vec3::splat(amount))
+    }
+
+    /// Clips the box to `bounds`, returning the overlapping part or a
+    /// degenerate box on the boundary when there is no overlap.
+    #[inline]
+    pub fn clipped_to(&self, bounds: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.clamp(bounds.min, bounds.max),
+            max: self.max.clamp(bounds.min, bounds.max),
+        }
+    }
+
+    /// Splits the box at its center into `2^3 = 8` octants, returned in
+    /// Z-order (x fastest, then y, then z).
+    pub fn octants(&self) -> [Aabb; 8] {
+        let c = self.center();
+        let mut out = [*self; 8];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let min = Vec3::new(
+                if i & 1 == 0 { self.min.x } else { c.x },
+                if i & 2 == 0 { self.min.y } else { c.y },
+                if i & 4 == 0 { self.min.z } else { c.z },
+            );
+            let max = Vec3::new(
+                if i & 1 == 0 { c.x } else { self.max.x },
+                if i & 2 == 0 { c.y } else { self.max.y },
+                if i & 4 == 0 { c.z } else { self.max.z },
+            );
+            *slot = Aabb { min, max };
+        }
+        out
+    }
+
+    /// Splits the box into a regular `k × k × k` grid of sub-boxes, returned
+    /// in row-major order (x fastest). This generalises [`Aabb::octants`] to
+    /// the configurable partitions-per-level (`ppl`) of the paper, where
+    /// `ppl = k^3`.
+    pub fn subdivide(&self, k: usize) -> Vec<Aabb> {
+        assert!(k >= 1, "subdivision factor must be at least 1");
+        let e = self.extent() / k as f64;
+        let mut out = Vec::with_capacity(k * k * k);
+        for iz in 0..k {
+            for iy in 0..k {
+                for ix in 0..k {
+                    let min = Vec3::new(
+                        self.min.x + e.x * ix as f64,
+                        self.min.y + e.y * iy as f64,
+                        self.min.z + e.z * iz as f64,
+                    );
+                    // Use the parent's max on the last cell of each axis to
+                    // avoid floating-point gaps at the boundary.
+                    let max = Vec3::new(
+                        if ix + 1 == k { self.max.x } else { self.min.x + e.x * (ix + 1) as f64 },
+                        if iy + 1 == k { self.max.y } else { self.min.y + e.y * (iy + 1) as f64 },
+                        if iz + 1 == k { self.max.z } else { self.min.z + e.z * (iz + 1) as f64 },
+                    );
+                    out.push(Aabb { min, max });
+                }
+            }
+        }
+        out
+    }
+
+    /// Index (in the order produced by [`Aabb::subdivide`]) of the sub-box of
+    /// a `k × k × k` subdivision that contains point `p` under half-open
+    /// semantics. Points outside the box are clamped to the nearest cell.
+    #[inline]
+    pub fn subdivision_cell_of(&self, k: usize, p: Vec3) -> usize {
+        debug_assert!(k >= 1);
+        let e = self.extent();
+        let rel = p - self.min;
+        let cell = |r: f64, extent: f64| -> usize {
+            if extent <= 0.0 {
+                return 0;
+            }
+            let f = (r / extent * k as f64).floor();
+            (f.max(0.0) as usize).min(k - 1)
+        };
+        let ix = cell(rel.x, e.x);
+        let iy = cell(rel.y, e.y);
+        let iz = cell(rel.z, e.z);
+        (iz * k + iy) * k + ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::unit()
+    }
+
+    #[test]
+    fn constructors_normalise() {
+        let b = Aabb::new(Vec3::new(1.0, 0.0, 2.0), Vec3::new(0.0, 1.0, 1.0));
+        assert_eq!(b.min, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn center_extent_roundtrip() {
+        let b = Aabb::from_center_extent(Vec3::splat(0.5), Vec3::splat(1.0));
+        assert_eq!(b, unit());
+        assert_eq!(b.center(), Vec3::splat(0.5));
+        assert_eq!(b.extent(), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn volume_and_surface_area() {
+        let b = Aabb::from_min_max(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.surface_area(), 2.0 * (6.0 + 12.0 + 8.0));
+        assert_eq!(Aabb::empty().volume(), 0.0);
+        assert_eq!(Aabb::from_point(Vec3::ONE).volume(), 0.0);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = unit();
+        let b = Aabb::from_min_max(Vec3::splat(0.5), Vec3::splat(1.5));
+        let c = Aabb::from_min_max(Vec3::splat(2.0), Vec3::splat(3.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching boxes intersect.
+        let d = Aabb::from_min_max(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let a = unit();
+        let inner = Aabb::from_min_max(Vec3::splat(0.25), Vec3::splat(0.75));
+        assert!(a.contains(&inner));
+        assert!(!inner.contains(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains_point(Vec3::splat(0.5)));
+        assert!(a.contains_point(Vec3::ONE));
+        assert!(!a.contains_point(Vec3::splat(1.1)));
+        assert!(a.contains_point_half_open(Vec3::ZERO));
+        assert!(!a.contains_point_half_open(Vec3::ONE));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = unit();
+        let b = Aabb::from_min_max(Vec3::splat(0.5), Vec3::splat(2.0));
+        let u = a.union(&b);
+        assert_eq!(u, Aabb::from_min_max(Vec3::ZERO, Vec3::splat(2.0)));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::from_min_max(Vec3::splat(0.5), Vec3::ONE));
+        let c = Aabb::from_min_max(Vec3::splat(3.0), Vec3::splat(4.0));
+        assert!(a.intersection(&c).is_none());
+        // Union with empty is identity.
+        assert_eq!(a.union(&Aabb::empty()), a);
+    }
+
+    #[test]
+    fn expansion_is_query_window_extension() {
+        let q = Aabb::from_min_max(Vec3::splat(0.4), Vec3::splat(0.6));
+        let ext = Vec3::new(0.1, 0.2, 0.0);
+        let e = q.expanded(ext);
+        assert!((e.min - Vec3::new(0.3, 0.2, 0.4)).length() < 1e-12);
+        assert!((e.max - Vec3::new(0.7, 0.8, 0.6)).length() < 1e-12);
+        let u = q.expanded_uniform(0.1);
+        assert!((u.min - Vec3::splat(0.3)).length() < 1e-12);
+        assert!((u.max - Vec3::splat(0.7)).length() < 1e-12);
+    }
+
+    #[test]
+    fn clipping() {
+        let big = Aabb::from_min_max(Vec3::splat(-1.0), Vec3::splat(2.0));
+        let clipped = big.clipped_to(&unit());
+        assert_eq!(clipped, unit());
+    }
+
+    #[test]
+    fn octants_partition_the_box() {
+        let b = unit();
+        let oct = b.octants();
+        let total: f64 = oct.iter().map(|o| o.volume()).sum();
+        assert!((total - b.volume()).abs() < 1e-12);
+        // Every octant is contained and has 1/8 the volume.
+        for o in &oct {
+            assert!(b.contains(o));
+            assert!((o.volume() - 0.125).abs() < 1e-12);
+        }
+        // Octant 0 is the min corner, octant 7 the max corner.
+        assert_eq!(oct[0].min, b.min);
+        assert_eq!(oct[7].max, b.max);
+    }
+
+    #[test]
+    fn subdivide_matches_octants_for_k2() {
+        let b = Aabb::from_min_max(Vec3::ZERO, Vec3::new(2.0, 4.0, 6.0));
+        let subs = b.subdivide(2);
+        let oct = b.octants();
+        assert_eq!(subs.len(), 8);
+        for (s, o) in subs.iter().zip(oct.iter()) {
+            assert!((s.min - o.min).length() < 1e-12);
+            assert!((s.max - o.max).length() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subdivide_volumes_sum_to_parent() {
+        let b = Aabb::from_min_max(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, 5.0, 4.0));
+        for k in [1usize, 2, 3, 4] {
+            let subs = b.subdivide(k);
+            assert_eq!(subs.len(), k * k * k);
+            let total: f64 = subs.iter().map(|s| s.volume()).sum();
+            assert!((total - b.volume()).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn subdivision_cell_lookup_agrees_with_geometry() {
+        let b = Aabb::from_min_max(Vec3::ZERO, Vec3::new(4.0, 4.0, 4.0));
+        let k = 4;
+        let subs = b.subdivide(k);
+        for (i, s) in subs.iter().enumerate() {
+            let c = s.center();
+            assert_eq!(b.subdivision_cell_of(k, c), i, "cell center must map to its own cell");
+        }
+        // Clamping outside points.
+        assert_eq!(b.subdivision_cell_of(k, Vec3::splat(-10.0)), 0);
+        assert_eq!(b.subdivision_cell_of(k, Vec3::splat(100.0)), k * k * k - 1);
+        // Max corner maps to the last cell, not out of range.
+        assert_eq!(b.subdivision_cell_of(k, b.max), k * k * k - 1);
+    }
+
+    #[test]
+    fn degenerate_box_cell_lookup() {
+        let b = Aabb::from_point(Vec3::splat(1.0));
+        assert_eq!(b.subdivision_cell_of(4, Vec3::splat(1.0)), 0);
+    }
+}

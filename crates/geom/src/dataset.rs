@@ -1,0 +1,371 @@
+//! Dataset identifiers and dataset combinations.
+//!
+//! The paper's queries have the form `Q = {A; DS1, …, DSN}`: a spatial range
+//! `A` plus the set of datasets it must be evaluated on. Combinations of
+//! datasets are the unit the Statistics Collector counts and the Merger acts
+//! on, so they need to be tiny, hashable and cheap to compare — a `u64`
+//! bitmask supports up to 64 datasets, far more than the paper's 10.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one dataset (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DatasetId(pub u16);
+
+impl DatasetId {
+    /// Maximum number of datasets representable in a [`DatasetSet`].
+    pub const MAX_DATASETS: usize = 64;
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DS{}", self.0)
+    }
+}
+
+impl From<u16> for DatasetId {
+    fn from(v: u16) -> Self {
+        DatasetId(v)
+    }
+}
+
+/// A set of datasets represented as a bitmask (bit *i* set ⇔ dataset *i* in
+/// the set). This is the combination `C = {DS1, …, DSN}` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct DatasetSet(pub u64);
+
+impl DatasetSet {
+    /// The empty set.
+    pub const EMPTY: DatasetSet = DatasetSet(0);
+
+    /// Creates a set containing a single dataset.
+    #[inline]
+    pub fn single(id: DatasetId) -> Self {
+        assert!(id.index() < DatasetId::MAX_DATASETS, "dataset id out of range: {id}");
+        DatasetSet(1u64 << id.index())
+    }
+
+    /// Creates a set from an iterator of dataset ids.
+    pub fn from_ids<I: IntoIterator<Item = DatasetId>>(ids: I) -> Self {
+        let mut s = DatasetSet::EMPTY;
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Creates a set of the first `n` datasets `{DS0, …, DS(n-1)}`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= DatasetId::MAX_DATASETS);
+        if n == 64 {
+            DatasetSet(u64::MAX)
+        } else {
+            DatasetSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Number of datasets in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set contains no dataset.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if `id` is a member.
+    #[inline]
+    pub fn contains(self, id: DatasetId) -> bool {
+        self.0 & (1u64 << id.index()) != 0
+    }
+
+    /// Adds a dataset to the set.
+    #[inline]
+    pub fn insert(&mut self, id: DatasetId) {
+        assert!(id.index() < DatasetId::MAX_DATASETS, "dataset id out of range: {id}");
+        self.0 |= 1u64 << id.index();
+    }
+
+    /// Removes a dataset from the set.
+    #[inline]
+    pub fn remove(&mut self, id: DatasetId) {
+        self.0 &= !(1u64 << id.index());
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: DatasetSet) -> DatasetSet {
+        DatasetSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: DatasetSet) -> DatasetSet {
+        DatasetSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: DatasetSet) -> DatasetSet {
+        DatasetSet(self.0 & !other.0)
+    }
+
+    /// Returns `true` if every member of `self` is also in `other`
+    /// (`self ⊆ other`).
+    #[inline]
+    pub fn is_subset_of(self, other: DatasetSet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Returns `true` if every member of `other` is also in `self`
+    /// (`self ⊇ other`).
+    #[inline]
+    pub fn is_superset_of(self, other: DatasetSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Iterates over the member dataset ids in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = DatasetId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(DatasetId(i))
+            }
+        })
+    }
+
+    /// Collects the member ids into a vector (increasing order).
+    pub fn to_vec(self) -> Vec<DatasetId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Display for DatasetSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<DatasetId> for DatasetSet {
+    fn from_iter<T: IntoIterator<Item = DatasetId>>(iter: T) -> Self {
+        DatasetSet::from_ids(iter)
+    }
+}
+
+/// A queried combination of datasets together with bookkeeping helpers.
+///
+/// Thin wrapper over [`DatasetSet`] kept as a distinct type because the
+/// Merger and the Statistics Collector reason about *combinations* (which
+/// datasets were requested together), not arbitrary dataset sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Combination(pub DatasetSet);
+
+impl Combination {
+    /// Creates a combination from a dataset set.
+    #[inline]
+    pub fn new(set: DatasetSet) -> Self {
+        Combination(set)
+    }
+
+    /// The underlying dataset set.
+    #[inline]
+    pub fn set(self) -> DatasetSet {
+        self.0
+    }
+
+    /// Number of datasets in the combination (`|C|` in the paper).
+    #[inline]
+    pub fn size(self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<DatasetSet> for Combination {
+    fn from(s: DatasetSet) -> Self {
+        Combination(s)
+    }
+}
+
+impl fmt::Display for Combination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Enumerates every combination of `m` datasets out of `n` (0-based ids), in
+/// lexicographic order. Used by the workload generator to build the domain
+/// the Gray-et-al. distributions draw from.
+pub fn enumerate_combinations(n: usize, m: usize) -> Vec<DatasetSet> {
+    assert!(n <= DatasetId::MAX_DATASETS);
+    let mut out = Vec::new();
+    if m == 0 || m > n {
+        return out;
+    }
+    // Gosper's hack-free recursive enumeration: indices vector.
+    let mut idx: Vec<usize> = (0..m).collect();
+    loop {
+        out.push(DatasetSet::from_ids(idx.iter().map(|&i| DatasetId(i as u16))));
+        // Advance.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - m {
+                idx[i] += 1;
+                for j in i + 1..m {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Number of combinations `C(n, m)` without overflow for the small values
+/// used here.
+pub fn binomial(n: usize, m: usize) -> usize {
+    if m > n {
+        return 0;
+    }
+    let m = m.min(n - m);
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..m {
+        num *= (n - i) as u128;
+        den *= (i + 1) as u128;
+    }
+    (num / den) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let s = DatasetSet::single(DatasetId(3));
+        assert!(s.contains(DatasetId(3)));
+        assert!(!s.contains(DatasetId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = DatasetSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(DatasetId(0));
+        s.insert(DatasetId(5));
+        s.insert(DatasetId(5));
+        assert_eq!(s.len(), 2);
+        s.remove(DatasetId(0));
+        assert_eq!(s.to_vec(), vec![DatasetId(5)]);
+        s.remove(DatasetId(63));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn first_n_sets() {
+        assert_eq!(DatasetSet::first_n(0), DatasetSet::EMPTY);
+        assert_eq!(DatasetSet::first_n(3).to_vec(), vec![DatasetId(0), DatasetId(1), DatasetId(2)]);
+        assert_eq!(DatasetSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = DatasetSet::from_ids([DatasetId(0), DatasetId(1), DatasetId(2)]);
+        let b = DatasetSet::from_ids([DatasetId(2), DatasetId(3)]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).to_vec(), vec![DatasetId(2)]);
+        assert_eq!(a.difference(b).to_vec(), vec![DatasetId(0), DatasetId(1)]);
+        assert!(DatasetSet::single(DatasetId(1)).is_subset_of(a));
+        assert!(a.is_superset_of(DatasetSet::single(DatasetId(1))));
+        assert!(!a.is_subset_of(b));
+        assert!(DatasetSet::EMPTY.is_subset_of(b));
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = DatasetSet::from_ids([DatasetId(9), DatasetId(1), DatasetId(4)]);
+        assert_eq!(s.to_vec(), vec![DatasetId(1), DatasetId(4), DatasetId(9)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = DatasetSet::from_ids([DatasetId(0), DatasetId(2)]);
+        assert_eq!(format!("{s}"), "{DS0,DS2}");
+        assert_eq!(format!("{}", Combination::new(s)), "C{DS0,DS2}");
+        assert_eq!(format!("{}", DatasetId(7)), "DS7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_dataset_id_panics() {
+        let mut s = DatasetSet::EMPTY;
+        s.insert(DatasetId(64));
+    }
+
+    #[test]
+    fn combination_size() {
+        let c = Combination::new(DatasetSet::first_n(5));
+        assert_eq!(c.size(), 5);
+        assert_eq!(c.set(), DatasetSet::first_n(5));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(10, 9), 10);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn enumerate_combinations_counts_match_binomial() {
+        for n in 1..=10usize {
+            for m in 1..=n {
+                let combos = enumerate_combinations(n, m);
+                assert_eq!(combos.len(), binomial(n, m), "n={n} m={m}");
+                // All unique, all size m, all within range.
+                let mut seen = std::collections::HashSet::new();
+                for c in &combos {
+                    assert_eq!(c.len(), m);
+                    assert!(c.is_subset_of(DatasetSet::first_n(n)));
+                    assert!(seen.insert(*c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_combinations_edge_cases() {
+        assert!(enumerate_combinations(5, 0).is_empty());
+        assert!(enumerate_combinations(3, 4).is_empty());
+        assert_eq!(enumerate_combinations(4, 4).len(), 1);
+    }
+}

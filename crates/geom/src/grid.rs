@@ -1,0 +1,246 @@
+//! Uniform-grid cell arithmetic.
+//!
+//! Both the static Grid baseline (60³ cells in the paper) and the synthetic
+//! data generator need to map points to cells of a regular grid over a
+//! bounding volume, and to enumerate the cells overlapping a query box.
+
+use crate::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Integer coordinate of a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellCoord {
+    /// Cell index along x.
+    pub x: u32,
+    /// Cell index along y.
+    pub y: u32,
+    /// Cell index along z.
+    pub z: u32,
+}
+
+impl CellCoord {
+    /// Creates a cell coordinate.
+    #[inline]
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        CellCoord { x, y, z }
+    }
+}
+
+/// A regular grid over a bounding volume with a fixed number of cells per
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// The spatial extent covered by the grid.
+    pub bounds: Aabb,
+    /// Number of cells along each dimension.
+    pub cells_per_dim: u32,
+}
+
+impl GridSpec {
+    /// Creates a grid specification.
+    ///
+    /// # Panics
+    /// Panics if `cells_per_dim` is zero.
+    pub fn new(bounds: Aabb, cells_per_dim: u32) -> Self {
+        assert!(cells_per_dim > 0, "a grid needs at least one cell per dimension");
+        GridSpec { bounds, cells_per_dim }
+    }
+
+    /// Total number of cells in the grid.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        let c = self.cells_per_dim as usize;
+        c * c * c
+    }
+
+    /// Side lengths of one cell.
+    #[inline]
+    pub fn cell_extent(&self) -> Vec3 {
+        self.bounds.extent() / self.cells_per_dim as f64
+    }
+
+    /// Linearises a cell coordinate (x fastest, then y, then z).
+    #[inline]
+    pub fn linear_index(&self, c: CellCoord) -> usize {
+        let n = self.cells_per_dim as usize;
+        (c.z as usize * n + c.y as usize) * n + c.x as usize
+    }
+
+    /// Inverse of [`GridSpec::linear_index`].
+    #[inline]
+    pub fn coord_of(&self, linear: usize) -> CellCoord {
+        let n = self.cells_per_dim as usize;
+        debug_assert!(linear < self.cell_count());
+        CellCoord {
+            x: (linear % n) as u32,
+            y: ((linear / n) % n) as u32,
+            z: (linear / (n * n)) as u32,
+        }
+    }
+
+    /// Cell containing point `p` under half-open cell semantics; points
+    /// outside the bounds are clamped to the border cells.
+    #[inline]
+    pub fn cell_of_point(&self, p: Vec3) -> CellCoord {
+        let n = self.cells_per_dim;
+        let e = self.bounds.extent();
+        let rel = p - self.bounds.min;
+        let axis = |r: f64, extent: f64| -> u32 {
+            if extent <= 0.0 {
+                return 0;
+            }
+            let f = (r / extent * n as f64).floor();
+            if f < 0.0 {
+                0
+            } else {
+                (f as u32).min(n - 1)
+            }
+        };
+        CellCoord { x: axis(rel.x, e.x), y: axis(rel.y, e.y), z: axis(rel.z, e.z) }
+    }
+
+    /// Geometric bounds of a cell.
+    pub fn cell_bounds(&self, c: CellCoord) -> Aabb {
+        let e = self.cell_extent();
+        let min = Vec3::new(
+            self.bounds.min.x + e.x * c.x as f64,
+            self.bounds.min.y + e.y * c.y as f64,
+            self.bounds.min.z + e.z * c.z as f64,
+        );
+        let max = Vec3::new(
+            if c.x + 1 == self.cells_per_dim { self.bounds.max.x } else { min.x + e.x },
+            if c.y + 1 == self.cells_per_dim { self.bounds.max.y } else { min.y + e.y },
+            if c.z + 1 == self.cells_per_dim { self.bounds.max.z } else { min.z + e.z },
+        );
+        Aabb::from_min_max(min, max)
+    }
+
+    /// Enumerates the coordinates of every cell overlapping `range`
+    /// (inclusive of boundary touches), clamped to the grid.
+    pub fn cells_overlapping(&self, range: &Aabb) -> Vec<CellCoord> {
+        if !self.bounds.intersects(range) {
+            return Vec::new();
+        }
+        let lo = self.cell_of_point(range.min);
+        let hi = self.cell_of_point(range.max);
+        let mut out =
+            Vec::with_capacity(((hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1)) as usize);
+        for z in lo.z..=hi.z {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    out.push(CellCoord { x, y, z });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: u32) -> GridSpec {
+        GridSpec::new(Aabb::unit(), n)
+    }
+
+    #[test]
+    fn counts_and_extents() {
+        let g = grid(4);
+        assert_eq!(g.cell_count(), 64);
+        assert_eq!(g.cell_extent(), Vec3::splat(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        let _ = GridSpec::new(Aabb::unit(), 0);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let g = grid(5);
+        for i in 0..g.cell_count() {
+            assert_eq!(g.linear_index(g.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn point_to_cell() {
+        let g = grid(4);
+        assert_eq!(g.cell_of_point(Vec3::splat(0.0)), CellCoord::new(0, 0, 0));
+        assert_eq!(g.cell_of_point(Vec3::splat(0.99)), CellCoord::new(3, 3, 3));
+        // The max corner is clamped into the last cell.
+        assert_eq!(g.cell_of_point(Vec3::splat(1.0)), CellCoord::new(3, 3, 3));
+        // Outside points clamp.
+        assert_eq!(g.cell_of_point(Vec3::splat(-5.0)), CellCoord::new(0, 0, 0));
+        assert_eq!(g.cell_of_point(Vec3::splat(5.0)), CellCoord::new(3, 3, 3));
+        // Half-open: 0.25 belongs to cell 1.
+        assert_eq!(g.cell_of_point(Vec3::new(0.25, 0.0, 0.0)).x, 1);
+    }
+
+    #[test]
+    fn cell_bounds_tile_the_grid() {
+        let g = grid(3);
+        let mut total = 0.0;
+        for i in 0..g.cell_count() {
+            let b = g.cell_bounds(g.coord_of(i));
+            assert!(g.bounds.contains(&b));
+            total += b.volume();
+        }
+        assert!((total - g.bounds.volume()).abs() < 1e-9);
+        // Last cell reaches the grid max exactly.
+        let last = g.cell_bounds(CellCoord::new(2, 2, 2));
+        assert_eq!(last.max, g.bounds.max);
+    }
+
+    #[test]
+    fn cell_point_consistent_with_bounds() {
+        let g = grid(6);
+        for i in 0..g.cell_count() {
+            let c = g.coord_of(i);
+            let b = g.cell_bounds(c);
+            assert_eq!(g.cell_of_point(b.center()), c);
+        }
+    }
+
+    #[test]
+    fn cells_overlapping_query() {
+        let g = grid(4);
+        // A small query strictly inside one cell.
+        let q = Aabb::from_min_max(Vec3::splat(0.3), Vec3::splat(0.35));
+        assert_eq!(g.cells_overlapping(&q), vec![CellCoord::new(1, 1, 1)]);
+        // A query spanning half the volume in x.
+        let q2 = Aabb::from_min_max(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.49, 0.1, 0.1));
+        assert_eq!(g.cells_overlapping(&q2).len(), 2);
+        // Query covering everything.
+        let q3 = Aabb::from_min_max(Vec3::splat(-1.0), Vec3::splat(2.0));
+        assert_eq!(g.cells_overlapping(&q3).len(), 64);
+        // Disjoint query.
+        let q4 = Aabb::from_min_max(Vec3::splat(2.0), Vec3::splat(3.0));
+        assert!(g.cells_overlapping(&q4).is_empty());
+    }
+
+    #[test]
+    fn overlapping_cells_really_overlap() {
+        let g = grid(8);
+        let q = Aabb::from_min_max(Vec3::new(0.1, 0.2, 0.3), Vec3::new(0.4, 0.45, 0.9));
+        let cells = g.cells_overlapping(&q);
+        assert!(!cells.is_empty());
+        for c in &cells {
+            assert!(g.cell_bounds(*c).intersects(&q));
+        }
+        // And cells not in the list do not overlap (exhaustive check).
+        use std::collections::HashSet;
+        let set: HashSet<_> = cells.iter().copied().collect();
+        for i in 0..g.cell_count() {
+            let c = g.coord_of(i);
+            if !set.contains(&c) {
+                let b = g.cell_bounds(c);
+                // Interior-disjoint: intersection volume must be ~0.
+                let inter = b.intersection(&q).map(|x| x.volume()).unwrap_or(0.0);
+                assert!(inter < 1e-12);
+            }
+        }
+    }
+}

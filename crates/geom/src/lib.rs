@@ -1,0 +1,47 @@
+//! # odyssey-geom
+//!
+//! Geometry primitives and the query model shared by every other crate of the
+//! Space Odyssey reproduction.
+//!
+//! The paper operates on three-dimensional spatial objects (neuron surface
+//! meshes reduced to their bounding boxes) that belong to one of up to a few
+//! dozen *datasets*. Queries are axis-aligned range queries over an arbitrary
+//! *combination* of datasets. This crate provides:
+//!
+//! * [`Vec3`] / [`Aabb`] — plain `f64` vector and axis-aligned bounding box,
+//! * [`SpatialObject`] — an object identifier, its owning dataset and its MBR,
+//! * [`DatasetId`] / [`DatasetSet`] — compact dataset identifiers and bitset
+//!   combinations (the `C = {DS1, …, DSN}` of the paper),
+//! * [`RangeQuery`] — the `Q = {A; DS1, …, DSN}` query form of the paper,
+//! * [`GridSpec`] — uniform-grid cell arithmetic used by the static Grid
+//!   baseline and by Space Odyssey's space-oriented partitioning,
+//! * [`morton`] — Z-order encoding used for packing objects into disk pages.
+//!
+//! Everything here is deterministic, `Copy`-friendly and allocation-free on
+//! the hot paths, following the database-performance guidance used for this
+//! project.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aabb;
+pub mod dataset;
+pub mod grid;
+pub mod morton;
+pub mod object;
+pub mod query;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use dataset::{binomial, enumerate_combinations, Combination, DatasetId, DatasetSet};
+pub use grid::{CellCoord, GridSpec};
+pub use object::{max_extent, ObjectId, Segment, SpatialObject};
+pub use query::{scan_query, QueryId, RangeQuery};
+pub use vec3::Vec3;
+
+/// Number of spatial dimensions used throughout the system.
+///
+/// The paper's use case (neuroscience meshes) is three-dimensional; the
+/// Octree therefore splits into `2^DIMS = 8` children at the minimum
+/// partitions-per-level setting.
+pub const DIMS: usize = 3;

@@ -1,0 +1,144 @@
+//! Three-dimensional Morton (Z-order) codes.
+//!
+//! FLAT's page packing and the data generator use Z-order to give spatially
+//! close objects close positions in a one-dimensional order, which in turn
+//! makes page reads during neighbourhood crawls largely sequential.
+
+use crate::{Aabb, Vec3};
+
+/// Number of bits encoded per dimension (21 × 3 = 63 bits fit in a `u64`).
+pub const BITS_PER_DIM: u32 = 21;
+
+/// Spreads the lowest 21 bits of `v` so that there are two zero bits between
+/// every payload bit ("part1by2").
+#[inline]
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`part1by2`].
+#[inline]
+fn compact1by2(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Interleaves three 21-bit integer coordinates into a 63-bit Morton code.
+#[inline]
+pub fn encode(x: u64, y: u64, z: u64) -> u64 {
+    debug_assert!(x < (1 << BITS_PER_DIM));
+    debug_assert!(y < (1 << BITS_PER_DIM));
+    debug_assert!(z < (1 << BITS_PER_DIM));
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Inverse of [`encode`]: recovers the three 21-bit coordinates.
+#[inline]
+pub fn decode(code: u64) -> (u64, u64, u64) {
+    (compact1by2(code), compact1by2(code >> 1), compact1by2(code >> 2))
+}
+
+/// Maps a point inside `bounds` to a Morton code by quantising each
+/// coordinate to 21 bits. Points outside the bounds are clamped.
+#[inline]
+pub fn encode_point(p: Vec3, bounds: &Aabb) -> u64 {
+    let scale = (1u64 << BITS_PER_DIM) as f64 - 1.0;
+    let e = bounds.extent();
+    let q = |v: f64, lo: f64, extent: f64| -> u64 {
+        if extent <= 0.0 {
+            return 0;
+        }
+        let t = ((v - lo) / extent).clamp(0.0, 1.0);
+        (t * scale).round() as u64
+    };
+    encode(
+        q(p.x, bounds.min.x, e.x),
+        q(p.y, bounds.min.y, e.y),
+        q(p.z, bounds.min.z, e.z),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_small() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    let code = encode(x, y, z);
+                    assert_eq!(decode(code), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_in_each_axis_at_origin() {
+        // With the other coordinates at zero, the code is monotone in one axis.
+        let mut prev = 0;
+        for x in 1..100u64 {
+            let c = encode(x, 0, 0);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn encode_point_corners() {
+        let b = Aabb::unit();
+        assert_eq!(encode_point(Vec3::ZERO, &b), 0);
+        let max_code = encode_point(Vec3::ONE, &b);
+        let (x, y, z) = decode(max_code);
+        let max = (1u64 << BITS_PER_DIM) - 1;
+        assert_eq!((x, y, z), (max, max, max));
+        // Clamping.
+        assert_eq!(encode_point(Vec3::splat(-4.0), &b), 0);
+        assert_eq!(encode_point(Vec3::splat(9.0), &b), max_code);
+    }
+
+    #[test]
+    fn degenerate_bounds_yield_zero() {
+        let b = Aabb::from_point(Vec3::splat(2.0));
+        assert_eq!(encode_point(Vec3::splat(2.0), &b), 0);
+    }
+
+    #[test]
+    fn locality_nearby_points_share_prefix() {
+        let b = Aabb::unit();
+        let a = encode_point(Vec3::new(0.50, 0.50, 0.50), &b);
+        let near = encode_point(Vec3::new(0.5000001, 0.50, 0.50), &b);
+        let far = encode_point(Vec3::new(0.99, 0.99, 0.01), &b);
+        // The near point's code differs from a in fewer high bits than the far one.
+        let diff_near = (a ^ near).leading_zeros();
+        let diff_far = (a ^ far).leading_zeros();
+        assert!(diff_near >= diff_far);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+            let code = encode(x, y, z);
+            prop_assert_eq!(decode(code), (x, y, z));
+        }
+
+        #[test]
+        fn prop_code_fits_63_bits(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+            let code = encode(x, y, z);
+            prop_assert!(code < (1u64 << 63));
+        }
+    }
+}

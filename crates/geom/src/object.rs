@@ -1,0 +1,190 @@
+//! Spatial objects: the unit of data stored, indexed and retrieved.
+//!
+//! In the paper, a dataset is a set of neuron surface meshes. The indexing
+//! layer only ever needs an object's minimum bounding rectangle (MBR), its
+//! center (space-oriented partitioning assigns by center) and its owning
+//! dataset, so [`SpatialObject`] carries exactly that plus a stable
+//! identifier. The synthetic data generator produces objects from tubular
+//! neuron [`Segment`]s.
+
+use crate::{Aabb, DatasetId, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one spatial object, unique within its dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Returns the raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One spatial object: identifier, owning dataset and bounding box.
+///
+/// The fixed-size record layout (see `odyssey-storage::codec`) serialises an
+/// object into 64 bytes, so a 4 KB page holds 63 objects plus a header.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialObject {
+    /// Object identifier, unique within `dataset`.
+    pub id: ObjectId,
+    /// Dataset this object belongs to.
+    pub dataset: DatasetId,
+    /// Minimum bounding rectangle of the object.
+    pub mbr: Aabb,
+}
+
+impl SpatialObject {
+    /// Creates a new object.
+    #[inline]
+    pub fn new(id: ObjectId, dataset: DatasetId, mbr: Aabb) -> Self {
+        SpatialObject { id, dataset, mbr }
+    }
+
+    /// Center of the object's MBR. Space-oriented partitioning (both the
+    /// Grid baseline and Space Odyssey's Octree) assigns objects to exactly
+    /// one partition based on this point.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.mbr.center()
+    }
+
+    /// Extent (side lengths) of the object's MBR, used to maintain the
+    /// per-dataset `maxExtent` for query-window extension.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.mbr.extent()
+    }
+
+    /// Returns `true` if the object's MBR intersects the query range.
+    #[inline]
+    pub fn intersects(&self, range: &Aabb) -> bool {
+        self.mbr.intersects(range)
+    }
+}
+
+/// A tubular neuron segment: a cylinder between two points with a radius.
+///
+/// The synthetic neuroscience generator models neuron morphologies as trees
+/// of such segments; each segment is converted to a [`SpatialObject`] through
+/// its bounding box, mirroring how the original datasets reduce mesh pieces
+/// to MBRs for indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point of the segment.
+    pub start: Vec3,
+    /// End point of the segment.
+    pub end: Vec3,
+    /// Radius of the tubular segment.
+    pub radius: f64,
+}
+
+impl Segment {
+    /// Creates a new segment.
+    #[inline]
+    pub fn new(start: Vec3, end: Vec3, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "segment radius must be non-negative");
+        Segment { start, end, radius }
+    }
+
+    /// Axis-aligned bounding box of the segment (cylinder approximated by the
+    /// box around both endpoints expanded by the radius).
+    #[inline]
+    pub fn mbr(&self) -> Aabb {
+        Aabb::new(self.start, self.end).expanded_uniform(self.radius)
+    }
+
+    /// Length of the segment's axis.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+
+    /// Converts the segment into a spatial object.
+    #[inline]
+    pub fn to_object(&self, id: ObjectId, dataset: DatasetId) -> SpatialObject {
+        SpatialObject::new(id, dataset, self.mbr())
+    }
+}
+
+/// Computes the component-wise maximum extent over a collection of objects.
+///
+/// This is the `maxExtent` of the query-window-extension technique: when a
+/// dataset is queried, the query box is expanded by this vector so that
+/// objects assigned (by center) to neighbouring partitions are still found.
+pub fn max_extent<'a, I: IntoIterator<Item = &'a SpatialObject>>(objects: I) -> Vec3 {
+    objects
+        .into_iter()
+        .fold(Vec3::ZERO, |acc, o| acc.max(o.extent()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, min: f64, max: f64) -> SpatialObject {
+        SpatialObject::new(
+            ObjectId(id),
+            DatasetId(0),
+            Aabb::from_min_max(Vec3::splat(min), Vec3::splat(max)),
+        )
+    }
+
+    #[test]
+    fn object_center_and_extent() {
+        let o = obj(1, 0.0, 2.0);
+        assert_eq!(o.center(), Vec3::splat(1.0));
+        assert_eq!(o.extent(), Vec3::splat(2.0));
+        assert_eq!(o.id.raw(), 1);
+    }
+
+    #[test]
+    fn object_intersection() {
+        let o = obj(1, 0.0, 1.0);
+        assert!(o.intersects(&Aabb::from_min_max(Vec3::splat(0.5), Vec3::splat(2.0))));
+        assert!(!o.intersects(&Aabb::from_min_max(Vec3::splat(1.5), Vec3::splat(2.0))));
+    }
+
+    #[test]
+    fn segment_mbr_includes_radius() {
+        let s = Segment::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.25);
+        let mbr = s.mbr();
+        assert_eq!(mbr.min, Vec3::new(-0.25, -0.25, -0.25));
+        assert_eq!(mbr.max, Vec3::new(1.25, 0.25, 0.25));
+        assert!((s.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_to_object_carries_ids() {
+        let s = Segment::new(Vec3::ZERO, Vec3::ONE, 0.1);
+        let o = s.to_object(ObjectId(42), DatasetId(3));
+        assert_eq!(o.id, ObjectId(42));
+        assert_eq!(o.dataset, DatasetId(3));
+        assert_eq!(o.mbr, s.mbr());
+    }
+
+    #[test]
+    fn max_extent_over_objects() {
+        let objs = vec![
+            SpatialObject::new(
+                ObjectId(0),
+                DatasetId(0),
+                Aabb::from_min_max(Vec3::ZERO, Vec3::new(1.0, 0.1, 0.1)),
+            ),
+            SpatialObject::new(
+                ObjectId(1),
+                DatasetId(0),
+                Aabb::from_min_max(Vec3::ZERO, Vec3::new(0.1, 2.0, 0.1)),
+            ),
+            SpatialObject::new(
+                ObjectId(2),
+                DatasetId(0),
+                Aabb::from_min_max(Vec3::ZERO, Vec3::new(0.1, 0.1, 3.0)),
+            ),
+        ];
+        assert_eq!(max_extent(objs.iter()), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(max_extent(std::iter::empty()), Vec3::ZERO);
+    }
+}

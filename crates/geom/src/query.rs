@@ -1,0 +1,145 @@
+//! Range queries over combinations of datasets.
+//!
+//! A query in the paper has the form `Q = {A; DS1, …, DSN}`: an axis-aligned
+//! range `A` evaluated over a set of datasets. Results are the objects of the
+//! requested datasets whose MBRs intersect `A`.
+
+use crate::{Aabb, DatasetSet, SpatialObject, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Sequence number of a query within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// Raw index of the query in the workload sequence.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A spatial range query over a combination of datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Position of the query in the workload (0-based).
+    pub id: QueryId,
+    /// The queried spatial range `A`.
+    pub range: Aabb,
+    /// The datasets the range must be evaluated on.
+    pub datasets: DatasetSet,
+}
+
+impl RangeQuery {
+    /// Creates a query.
+    #[inline]
+    pub fn new(id: QueryId, range: Aabb, datasets: DatasetSet) -> Self {
+        RangeQuery { id, range, datasets }
+    }
+
+    /// Volume of the queried range (`Vq` in the refinement rule).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.range.volume()
+    }
+
+    /// Returns `true` if `object` is part of the query answer: it belongs to
+    /// one of the queried datasets and its MBR intersects the range.
+    #[inline]
+    pub fn matches(&self, object: &SpatialObject) -> bool {
+        self.datasets.contains(object.dataset) && object.mbr.intersects(&self.range)
+    }
+
+    /// The query range extended by `max_extent` (query-window extension):
+    /// partitions are probed with the extended range, while the answer is
+    /// still filtered with the original range via [`RangeQuery::matches`].
+    #[inline]
+    pub fn extended_range(&self, max_extent: Vec3) -> Aabb {
+        // Objects are assigned by center; an object whose center lies up to
+        // half of its extent away from the range can still intersect it, so
+        // extending by half of the maximum extent is sufficient. We follow
+        // the conservative full-extent extension used in the paper's
+        // reference [13] formulation.
+        self.range.expanded(max_extent * 0.5)
+    }
+}
+
+/// Reference result computation: scans `objects` and returns the ids of those
+/// matching the query. Used by tests and by the correctness oracle of the
+/// benchmark harness to validate every index implementation.
+pub fn scan_query<'a, I>(query: &RangeQuery, objects: I) -> Vec<SpatialObject>
+where
+    I: IntoIterator<Item = &'a SpatialObject>,
+{
+    objects
+        .into_iter()
+        .filter(|o| query.matches(o))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetId, ObjectId};
+
+    fn mk_obj(id: u64, ds: u16, lo: f64, hi: f64) -> SpatialObject {
+        SpatialObject::new(
+            ObjectId(id),
+            DatasetId(ds),
+            Aabb::from_min_max(Vec3::splat(lo), Vec3::splat(hi)),
+        )
+    }
+
+    fn mk_query(lo: f64, hi: f64, datasets: &[u16]) -> RangeQuery {
+        RangeQuery::new(
+            QueryId(0),
+            Aabb::from_min_max(Vec3::splat(lo), Vec3::splat(hi)),
+            DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d))),
+        )
+    }
+
+    #[test]
+    fn matches_requires_dataset_and_intersection() {
+        let q = mk_query(0.0, 1.0, &[0, 2]);
+        assert!(q.matches(&mk_obj(1, 0, 0.5, 1.5)));
+        assert!(q.matches(&mk_obj(2, 2, 0.9, 2.0)));
+        // Wrong dataset.
+        assert!(!q.matches(&mk_obj(3, 1, 0.5, 0.6)));
+        // No spatial overlap.
+        assert!(!q.matches(&mk_obj(4, 0, 2.0, 3.0)));
+    }
+
+    #[test]
+    fn volume() {
+        let q = mk_query(0.0, 2.0, &[0]);
+        assert_eq!(q.volume(), 8.0);
+    }
+
+    #[test]
+    fn extended_range_grows_by_half_extent() {
+        let q = mk_query(0.4, 0.6, &[0]);
+        let ext = q.extended_range(Vec3::splat(0.2));
+        assert!((ext.min - Vec3::splat(0.3)).length() < 1e-12);
+        assert!((ext.max - Vec3::splat(0.7)).length() < 1e-12);
+    }
+
+    #[test]
+    fn scan_query_reference() {
+        let objects = vec![
+            mk_obj(0, 0, 0.0, 0.1),
+            mk_obj(1, 0, 0.45, 0.55),
+            mk_obj(2, 1, 0.45, 0.55),
+            mk_obj(3, 0, 0.9, 1.0),
+        ];
+        let q = mk_query(0.4, 0.6, &[0]);
+        let res = scan_query(&q, objects.iter());
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id, ObjectId(1));
+    }
+
+    #[test]
+    fn query_id_index() {
+        assert_eq!(QueryId(17).index(), 17);
+    }
+}

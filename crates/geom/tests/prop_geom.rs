@@ -1,0 +1,178 @@
+//! Property-based tests for the geometry core: these are the invariants the
+//! rest of the system (partitioning, merging, query routing) relies on.
+
+use odyssey_geom::{Aabb, DatasetId, DatasetSet, GridSpec, ObjectId, RangeQuery, QueryId, SpatialObject, Vec3};
+use proptest::prelude::*;
+
+fn vec3_strategy(lo: f64, hi: f64) -> impl Strategy<Value = Vec3> {
+    (lo..hi, lo..hi, lo..hi).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn aabb_strategy() -> impl Strategy<Value = Aabb> {
+    (vec3_strategy(-100.0, 100.0), vec3_strategy(-100.0, 100.0)).prop_map(|(a, b)| Aabb::new(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn aabb_new_normalises(a in vec3_strategy(-10.0, 10.0), b in vec3_strategy(-10.0, 10.0)) {
+        let bb = Aabb::new(a, b);
+        prop_assert!(bb.min.le(bb.max));
+        prop_assert!(bb.volume() >= 0.0);
+    }
+
+    #[test]
+    fn union_contains_both(a in aabb_strategy(), b in aabb_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        prop_assert!(u.volume() + 1e-9 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn intersection_is_contained_and_symmetric(a in aabb_strategy(), b in aabb_strategy()) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(i1), Some(i2)) => {
+                prop_assert_eq!(i1, i2);
+                prop_assert!(a.contains(&i1));
+                prop_assert!(b.contains(&i1));
+                prop_assert!(a.intersects(&b));
+            }
+            (None, None) => {
+                // Boxes may still touch exactly on a face (intersects is inclusive),
+                // but a missing intersection implies no interior overlap.
+                prop_assert!(!a.contains(&b) || a.is_empty() || b.is_empty());
+            }
+            _ => prop_assert!(false, "intersection not symmetric"),
+        }
+    }
+
+    #[test]
+    fn intersects_iff_intersection_exists(a in aabb_strategy(), b in aabb_strategy()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn expansion_preserves_containment(a in aabb_strategy(), amount in 0.0..5.0f64) {
+        let e = a.expanded_uniform(amount);
+        prop_assert!(e.contains(&a));
+    }
+
+    #[test]
+    fn octants_tile_parent(a in aabb_strategy()) {
+        let total: f64 = a.octants().iter().map(|o| o.volume()).sum();
+        prop_assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
+        for o in a.octants() {
+            prop_assert!(a.contains(&o));
+        }
+    }
+
+    #[test]
+    fn subdivide_tiles_parent(a in aabb_strategy(), k in 1usize..5) {
+        let subs = a.subdivide(k);
+        prop_assert_eq!(subs.len(), k * k * k);
+        let total: f64 = subs.iter().map(|s| s.volume()).sum();
+        prop_assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
+        for s in &subs {
+            prop_assert!(a.contains(s));
+        }
+    }
+
+    #[test]
+    fn subdivision_cell_contains_interior_point(
+        k in 1usize..5,
+        p in vec3_strategy(0.001, 0.999),
+    ) {
+        let bounds = Aabb::unit();
+        let idx = bounds.subdivision_cell_of(k, p);
+        let cell = bounds.subdivide(k)[idx];
+        prop_assert!(cell.contains_point(p), "point {p:?} not in cell {cell:?} (k={k}, idx={idx})");
+    }
+
+    #[test]
+    fn grid_cell_of_point_contains_point(
+        n in 1u32..16,
+        p in vec3_strategy(0.0, 1.0),
+    ) {
+        let g = GridSpec::new(Aabb::unit(), n);
+        let c = g.cell_of_point(p);
+        prop_assert!(g.cell_bounds(c).contains_point(p));
+    }
+
+    #[test]
+    fn grid_overlap_enumeration_is_sound(
+        n in 1u32..12,
+        a in vec3_strategy(0.0, 1.0),
+        b in vec3_strategy(0.0, 1.0),
+    ) {
+        let g = GridSpec::new(Aabb::unit(), n);
+        let q = Aabb::new(a, b);
+        let cells = g.cells_overlapping(&q);
+        // Soundness: every returned cell overlaps.
+        for c in &cells {
+            prop_assert!(g.cell_bounds(*c).intersects(&q));
+        }
+        // Completeness: every overlapping cell is returned.
+        let set: std::collections::HashSet<_> = cells.into_iter().collect();
+        for i in 0..g.cell_count() {
+            let c = g.coord_of(i);
+            if g.cell_bounds(c).intersects(&q) {
+                prop_assert!(set.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_set_roundtrip(ids in proptest::collection::vec(0u16..64, 0..20)) {
+        let set = DatasetSet::from_ids(ids.iter().map(|&i| DatasetId(i)));
+        for &i in &ids {
+            prop_assert!(set.contains(DatasetId(i)));
+        }
+        let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+        prop_assert_eq!(set.len(), unique.len());
+        let back: Vec<u16> = set.iter().map(|d| d.0).collect();
+        let expect: Vec<u16> = unique.into_iter().collect();
+        prop_assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn dataset_set_algebra_laws(a_bits in any::<u64>(), b_bits in any::<u64>()) {
+        let a = DatasetSet(a_bits);
+        let b = DatasetSet(b_bits);
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert!(a.intersection(b).is_subset_of(a));
+        prop_assert!(a.is_subset_of(a.union(b)));
+        prop_assert_eq!(a.difference(b).intersection(b), DatasetSet::EMPTY);
+        prop_assert_eq!(a.difference(b).union(a.intersection(b)), a);
+    }
+
+    #[test]
+    fn query_window_extension_is_correct(
+        obj_center in vec3_strategy(0.1, 0.9),
+        obj_extent in vec3_strategy(0.0, 0.2),
+        q_min in vec3_strategy(0.0, 1.0),
+        q_max in vec3_strategy(0.0, 1.0),
+    ) {
+        // The core invariant behind the paper's replication-free partitioning:
+        // if an object intersects the query, then its *center* falls inside
+        // the query extended by half of the maximum extent.
+        let obj = SpatialObject::new(
+            ObjectId(0),
+            DatasetId(0),
+            Aabb::from_center_extent(obj_center, obj_extent),
+        );
+        let q = RangeQuery::new(QueryId(0), Aabb::new(q_min, q_max), DatasetSet::single(DatasetId(0)));
+        let max_extent = obj.extent();
+        if q.matches(&obj) {
+            let extended = q.extended_range(max_extent);
+            prop_assert!(
+                extended.contains_point(obj.center()),
+                "center {:?} escaped extended range {:?}",
+                obj.center(),
+                extended
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Bounded buffer pool.
+//!
+//! The paper restricts every approach to the same main-memory footprint
+//! (1 GB) so that dataset sizes exceed memory and disk behaviour dominates.
+//! The [`BufferPool`] plays that role here: page reads go through it, hits
+//! cost (almost) nothing in the cost model, and its capacity is the memory
+//! budget knob of [`crate::StorageOptions`].
+
+use crate::file::FileId;
+use crate::page::{Page, PageId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Key of a cached page.
+pub type FramePageKey = (FileId, PageId);
+
+/// A fixed-capacity page cache with least-recently-used eviction.
+pub struct BufferPool {
+    capacity: usize,
+    tick: u64,
+    frames: HashMap<FramePageKey, (Page, u64)>,
+    lru: BTreeMap<u64, FramePageKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool that caches up to `capacity` pages. A capacity of zero
+    /// disables caching entirely (every access goes to the device).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            tick: 0,
+            frames: HashMap::with_capacity(capacity.min(1 << 20)),
+            lru: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently cached.
+    #[inline]
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of lookups that found the page cached.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of pages evicted to respect the capacity.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, key: FramePageKey) {
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.frames.get_mut(&key) {
+            self.lru.remove(old_tick);
+            *old_tick = self.tick;
+            self.lru.insert(self.tick, key);
+        }
+    }
+
+    /// Looks up a page, refreshing its recency on a hit.
+    pub fn get(&mut self, key: FramePageKey) -> Option<Page> {
+        if self.frames.contains_key(&key) {
+            self.touch(key);
+            self.hits += 1;
+            self.frames.get(&key).map(|(p, _)| p.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) a page, evicting the least recently used page
+    /// if the pool is full. No-op when the capacity is zero.
+    pub fn insert(&mut self, key: FramePageKey, page: Page) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((slot, old_tick)) = self.frames.get_mut(&key) {
+            *slot = page;
+            self.lru.remove(old_tick);
+            *old_tick = self.tick;
+            self.lru.insert(self.tick, key);
+            return;
+        }
+        if self.frames.len() >= self.capacity {
+            if let Some((&oldest_tick, &oldest_key)) = self.lru.iter().next() {
+                self.lru.remove(&oldest_tick);
+                self.frames.remove(&oldest_key);
+                self.evictions += 1;
+            }
+        }
+        self.frames.insert(key, (page, self.tick));
+        self.lru.insert(self.tick, key);
+    }
+
+    /// Updates a page if (and only if) it is resident; used by write-through
+    /// so cached copies never go stale.
+    pub fn update_if_resident(&mut self, key: FramePageKey, page: &Page) {
+        if let Some((slot, _)) = self.frames.get_mut(&key) {
+            *slot = page.clone();
+        }
+    }
+
+    /// Removes a cached page (e.g. when its file is dropped).
+    pub fn invalidate(&mut self, key: FramePageKey) {
+        if let Some((_, tick)) = self.frames.remove(&key) {
+            self.lru.remove(&tick);
+        }
+    }
+
+    /// Removes every cached page of the given file.
+    pub fn invalidate_file(&mut self, file: FileId) {
+        let keys: Vec<FramePageKey> =
+            self.frames.keys().filter(|(f, _)| *f == file).copied().collect();
+        for k in keys {
+            self.invalidate(k);
+        }
+    }
+
+    /// Drops every cached page (the paper clears caches between phases).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: u32, p: u64) -> FramePageKey {
+        (FileId(f), PageId(p))
+    }
+
+    #[test]
+    fn empty_pool_misses() {
+        let mut pool = BufferPool::new(4);
+        assert!(pool.get(key(0, 0)).is_none());
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 0);
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut pool = BufferPool::new(4);
+        pool.insert(key(0, 1), Page::empty());
+        assert!(pool.get(key(0, 1)).is_some());
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.resident(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut pool = BufferPool::new(0);
+        pool.insert(key(0, 1), Page::empty());
+        assert_eq!(pool.resident(), 0);
+        assert!(pool.get(key(0, 1)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(key(0, 0), Page::empty());
+        pool.insert(key(0, 1), Page::empty());
+        // Touch page 0 so page 1 becomes the LRU victim.
+        assert!(pool.get(key(0, 0)).is_some());
+        pool.insert(key(0, 2), Page::empty());
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.evictions(), 1);
+        assert!(pool.get(key(0, 0)).is_some(), "recently used page survives");
+        assert!(pool.get(key(0, 1)).is_none(), "LRU page evicted");
+        assert!(pool.get(key(0, 2)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(key(0, 0), Page::empty());
+        pool.insert(key(0, 0), Page::empty());
+        assert_eq!(pool.resident(), 1);
+        pool.insert(key(0, 1), Page::empty());
+        pool.insert(key(0, 2), Page::empty());
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn update_if_resident_only_touches_existing() {
+        use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+        let mut pool = BufferPool::new(2);
+        let obj = SpatialObject::new(ObjectId(7), DatasetId(0), Aabb::from_min_max(Vec3::ZERO, Vec3::ONE));
+        let page = Page::from_objects(&[obj]).unwrap();
+        pool.update_if_resident(key(0, 0), &page);
+        assert_eq!(pool.resident(), 0);
+        pool.insert(key(0, 0), Page::empty());
+        pool.update_if_resident(key(0, 0), &page);
+        let got = pool.get(key(0, 0)).unwrap();
+        assert_eq!(got.objects().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut pool = BufferPool::new(8);
+        pool.insert(key(0, 0), Page::empty());
+        pool.insert(key(0, 1), Page::empty());
+        pool.insert(key(1, 0), Page::empty());
+        pool.invalidate(key(0, 0));
+        assert!(pool.get(key(0, 0)).is_none());
+        pool.invalidate_file(FileId(0));
+        assert!(pool.get(key(0, 1)).is_none());
+        assert!(pool.get(key(1, 0)).is_some());
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn heavy_insertion_respects_capacity() {
+        let mut pool = BufferPool::new(16);
+        for i in 0..1000u64 {
+            pool.insert(key(0, i), Page::empty());
+            assert!(pool.resident() <= 16);
+        }
+        assert_eq!(pool.evictions(), 1000 - 16);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O error from the on-disk backend.
+    Io(io::Error),
+    /// A page index beyond the end of the file was requested.
+    PageOutOfRange {
+        /// File the access targeted.
+        file: u32,
+        /// Requested page index.
+        page: u64,
+        /// Number of pages in the file.
+        len: u64,
+    },
+    /// A page held more object records than fit the fixed layout.
+    PageOverflow {
+        /// Number of records that were attempted to be stored.
+        requested: usize,
+        /// Maximum records per page.
+        capacity: usize,
+    },
+    /// The referenced file does not exist (e.g. already dropped).
+    UnknownFile(u32),
+    /// A page's on-disk bytes failed validation while decoding.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfRange { file, page, len } => {
+                write!(f, "page {page} out of range for file {file} of {len} pages")
+            }
+            StorageError::PageOverflow { requested, capacity } => {
+                write!(f, "page overflow: {requested} records requested, capacity {capacity}")
+            }
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::PageOutOfRange { file: 1, page: 9, len: 3 };
+        assert!(format!("{e}").contains("page 9 out of range"));
+        let e = StorageError::PageOverflow { requested: 100, capacity: 63 };
+        assert!(format!("{e}").contains("overflow"));
+        let e = StorageError::UnknownFile(7);
+        assert!(format!("{e}").contains("7"));
+        let e = StorageError::Corrupt("bad header".into());
+        assert!(format!("{e}").contains("bad header"));
+        let e: StorageError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(format!("{e}").contains("boom"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e: StorageError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+        let e2 = StorageError::UnknownFile(0);
+        assert!(e2.source().is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Paged files: the unit of on-disk storage.
+//!
+//! A paged file is a growable array of fixed-size pages. Two backends are
+//! provided: [`MemFile`] keeps pages in memory (used by tests and by the
+//! deterministic cost-model benchmarks, where simulated time comes from the
+//! access trace, not the medium) and [`DiskFile`] stores pages in a real file
+//! through `std::fs` (used to validate that nothing depends on the in-memory
+//! shortcut).
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifier of a file managed by the [`crate::StorageManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Raw index of the file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A growable array of fixed-size pages.
+pub trait PagedFile: Send {
+    /// Number of pages currently in the file.
+    fn num_pages(&self) -> u64;
+
+    /// Reads the page at `page`.
+    fn read_page(&mut self, page: PageId) -> StorageResult<Page>;
+
+    /// Overwrites the page at `page` (must already exist).
+    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()>;
+
+    /// Appends a page at the end of the file and returns its id.
+    fn append_page(&mut self, data: &Page) -> StorageResult<PageId>;
+
+    /// Ensures the file has at least `pages` pages, appending zeroed pages as
+    /// needed (used when pre-allocating partition extents).
+    fn grow_to(&mut self, pages: u64) -> StorageResult<()> {
+        while self.num_pages() < pages {
+            self.append_page(&Page::empty())?;
+        }
+        Ok(())
+    }
+}
+
+/// In-memory paged file.
+#[derive(Default)]
+pub struct MemFile {
+    pages: Vec<Page>,
+}
+
+impl MemFile {
+    /// Creates an empty in-memory file.
+    pub fn new() -> Self {
+        MemFile { pages: Vec::new() }
+    }
+
+    fn check(&self, page: PageId) -> StorageResult<usize> {
+        let idx = page.0 as usize;
+        if idx >= self.pages.len() {
+            return Err(StorageError::PageOutOfRange {
+                file: u32::MAX,
+                page: page.0,
+                len: self.pages.len() as u64,
+            });
+        }
+        Ok(idx)
+    }
+}
+
+impl PagedFile for MemFile {
+    fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn read_page(&mut self, page: PageId) -> StorageResult<Page> {
+        let idx = self.check(page)?;
+        Ok(self.pages[idx].clone())
+    }
+
+    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()> {
+        let idx = self.check(page)?;
+        self.pages[idx] = data.clone();
+        Ok(())
+    }
+
+    fn append_page(&mut self, data: &Page) -> StorageResult<PageId> {
+        self.pages.push(data.clone());
+        Ok(PageId(self.pages.len() as u64 - 1))
+    }
+}
+
+/// Paged file backed by a real file on disk.
+pub struct DiskFile {
+    file: File,
+    path: PathBuf,
+    num_pages: u64,
+}
+
+impl DiskFile {
+    /// Creates (or truncates) a paged file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(DiskFile { file, path, num_pages: 0 })
+    }
+
+    /// Opens an existing paged file at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file {} length {len} is not a multiple of the page size",
+                path.display()
+            )));
+        }
+        Ok(DiskFile { file, path, num_pages: len / PAGE_SIZE as u64 })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn check(&self, page: PageId) -> StorageResult<()> {
+        if page.0 >= self.num_pages {
+            return Err(StorageError::PageOutOfRange {
+                file: u32::MAX,
+                page: page.0,
+                len: self.num_pages,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl PagedFile for DiskFile {
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn read_page(&mut self, page: PageId) -> StorageResult<Page> {
+        self.check(page)?;
+        self.file.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        Ok(Page::from_bytes(buf))
+    }
+
+    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()> {
+        self.check(page)?;
+        self.file.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(data.as_bytes())?;
+        Ok(())
+    }
+
+    fn append_page(&mut self, data: &Page) -> StorageResult<PageId> {
+        let id = PageId(self.num_pages);
+        self.file.seek(SeekFrom::Start(self.num_pages * PAGE_SIZE as u64))?;
+        self.file.write_all(data.as_bytes())?;
+        self.num_pages += 1;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+
+    fn obj(id: u64) -> SpatialObject {
+        SpatialObject::new(
+            ObjectId(id),
+            DatasetId(0),
+            Aabb::from_min_max(Vec3::ZERO, Vec3::ONE),
+        )
+    }
+
+    fn exercise_file(f: &mut dyn PagedFile) {
+        assert_eq!(f.num_pages(), 0);
+        let p0 = Page::from_objects(&[obj(1), obj(2)]).unwrap();
+        let p1 = Page::from_objects(&[obj(3)]).unwrap();
+        assert_eq!(f.append_page(&p0).unwrap(), PageId(0));
+        assert_eq!(f.append_page(&p1).unwrap(), PageId(1));
+        assert_eq!(f.num_pages(), 2);
+        assert_eq!(f.read_page(PageId(0)).unwrap().objects().unwrap().len(), 2);
+        assert_eq!(f.read_page(PageId(1)).unwrap().objects().unwrap().len(), 1);
+        // Overwrite.
+        let p2 = Page::from_objects(&[obj(9), obj(10), obj(11)]).unwrap();
+        f.write_page(PageId(0), &p2).unwrap();
+        assert_eq!(f.read_page(PageId(0)).unwrap().objects().unwrap().len(), 3);
+        // Out of range accesses error.
+        assert!(f.read_page(PageId(5)).is_err());
+        assert!(f.write_page(PageId(5), &p2).is_err());
+        // Growing appends zeroed pages.
+        f.grow_to(5).unwrap();
+        assert_eq!(f.num_pages(), 5);
+        assert_eq!(f.read_page(PageId(4)).unwrap().record_count().unwrap(), 0);
+        // grow_to with a smaller target is a no-op.
+        f.grow_to(2).unwrap();
+        assert_eq!(f.num_pages(), 5);
+    }
+
+    #[test]
+    fn mem_file_behaviour() {
+        let mut f = MemFile::new();
+        exercise_file(&mut f);
+    }
+
+    #[test]
+    fn disk_file_behaviour() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("test.pages");
+        let mut f = DiskFile::create(&path).unwrap();
+        exercise_file(&mut f);
+        drop(f);
+        // Reopen and verify persistence.
+        let mut f = DiskFile::open(&path).unwrap();
+        assert_eq!(f.num_pages(), 5);
+        assert_eq!(f.read_page(PageId(0)).unwrap().objects().unwrap().len(), 3);
+        assert_eq!(f.path(), path);
+    }
+
+    #[test]
+    fn disk_file_open_missing_fails() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(DiskFile::open(dir.path().join("nope.pages")).is_err());
+    }
+
+    #[test]
+    fn disk_file_open_corrupt_length_fails() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.pages");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(matches!(DiskFile::open(&path), Err(StorageError::Corrupt(_))));
+    }
+}

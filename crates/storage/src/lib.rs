@@ -1,0 +1,41 @@
+//! # odyssey-storage
+//!
+//! Paged storage substrate for the Space Odyssey reproduction.
+//!
+//! The paper measures approaches on spinning disks with the OS cache dropped
+//! before every query, so the decisive quantities are *how many pages* an
+//! approach touches and *whether it touches them sequentially or randomly*.
+//! This crate provides exactly that measurement surface:
+//!
+//! * [`page`] — the 4 KB page and its object-record codec,
+//! * [`file`] — paged files with an in-memory and an on-disk backend,
+//! * [`stats`] — I/O counters ([`IoStats`]) distinguishing sequential from
+//!   random page accesses,
+//! * [`cost`] — a deterministic disk [`CostModel`] turning counters into
+//!   simulated seconds (the substitution for the paper's SAS disks, see
+//!   DESIGN.md §3),
+//! * [`buffer`] — a bounded [`BufferPool`] so the configured memory budget is
+//!   honoured,
+//! * [`manager`] — the [`StorageManager`] façade every index implementation
+//!   uses to create files and read/write object pages.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod cost;
+pub mod error;
+pub mod file;
+pub mod manager;
+pub mod page;
+pub mod raw;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use cost::CostModel;
+pub use error::{StorageError, StorageResult};
+pub use file::{DiskFile, FileId, MemFile, PagedFile};
+pub use manager::{StorageBackend, StorageManager, StorageOptions};
+pub use page::{pack_objects, pages_needed, Page, PageId, OBJECTS_PER_PAGE, PAGE_SIZE};
+pub use raw::{scan_raw_dataset, write_raw_dataset, RawDataset};
+pub use stats::{IoStats, StatsDelta};

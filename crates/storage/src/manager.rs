@@ -1,0 +1,510 @@
+//! The storage manager: the façade every index implementation talks to.
+//!
+//! A [`StorageManager`] owns a set of paged files, a buffer pool, the I/O
+//! counters and the cost model. Indexes create files, append or rewrite
+//! object pages and read page ranges; the manager classifies each device
+//! access as sequential or random (the property the paper's evaluation hinges
+//! on) and keeps the running [`IoStats`].
+
+use crate::buffer::BufferPool;
+use crate::cost::CostModel;
+use crate::error::{StorageError, StorageResult};
+use crate::file::{DiskFile, FileId, MemFile, PagedFile};
+use crate::page::{pack_objects, Page, PageId};
+use crate::stats::IoStats;
+use odyssey_geom::SpatialObject;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// Where pages physically live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Pages are kept in memory; timing comes from the cost model only.
+    /// This is the default for experiments: it makes runs deterministic and
+    /// independent of the host's disk and page cache.
+    Memory,
+    /// Pages are stored in real files inside the given directory.
+    Disk(PathBuf),
+}
+
+/// Configuration of a [`StorageManager`].
+#[derive(Debug, Clone)]
+pub struct StorageOptions {
+    /// Physical backend.
+    pub backend: StorageBackend,
+    /// Buffer-pool capacity in pages (the memory budget of the paper:
+    /// 1 GB ⇒ 262 144 pages of 4 KB). Zero disables caching.
+    pub buffer_pages: usize,
+    /// Cost model used to convert I/O counters into simulated seconds.
+    pub cost_model: CostModel,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions {
+            backend: StorageBackend::Memory,
+            // Default scaled-down memory budget: 16 MiB of 4 KiB pages. The
+            // experiment harness overrides this per run.
+            buffer_pages: 4096,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl StorageOptions {
+    /// In-memory backend with the given buffer budget (pages).
+    pub fn in_memory(buffer_pages: usize) -> Self {
+        StorageOptions { backend: StorageBackend::Memory, buffer_pages, ..Default::default() }
+    }
+
+    /// On-disk backend rooted at `dir` with the given buffer budget (pages).
+    pub fn on_disk<P: Into<PathBuf>>(dir: P, buffer_pages: usize) -> Self {
+        StorageOptions {
+            backend: StorageBackend::Disk(dir.into()),
+            buffer_pages,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+}
+
+/// Owns files, buffer pool, statistics and the cost model.
+pub struct StorageManager {
+    options: StorageOptions,
+    files: Vec<Box<dyn PagedFile>>,
+    file_names: Vec<String>,
+    buffer: BufferPool,
+    stats: IoStats,
+    last_read: Option<(FileId, u64)>,
+    last_write: Option<(FileId, u64)>,
+}
+
+impl std::fmt::Debug for StorageManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageManager")
+            .field("files", &self.files.len())
+            .field("stats", &self.stats)
+            .field("buffer", &self.buffer)
+            .finish()
+    }
+}
+
+impl StorageManager {
+    /// Creates a manager with the given options.
+    pub fn new(options: StorageOptions) -> Self {
+        let buffer = BufferPool::new(options.buffer_pages);
+        StorageManager {
+            options,
+            files: Vec::new(),
+            file_names: Vec::new(),
+            buffer,
+            stats: IoStats::default(),
+            last_read: None,
+            last_write: None,
+        }
+    }
+
+    /// Convenience constructor: in-memory backend with the default options.
+    pub fn in_memory() -> Self {
+        StorageManager::new(StorageOptions::default())
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &StorageOptions {
+        &self.options
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.options.cost_model
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Buffer-pool introspection (resident pages, hits, evictions).
+    pub fn buffer(&self) -> &BufferPool {
+        &self.buffer
+    }
+
+    /// Simulated seconds for everything since the given snapshot.
+    pub fn seconds_since(&self, snapshot: &IoStats) -> f64 {
+        self.options.cost_model.seconds(&self.stats.since(snapshot).0)
+    }
+
+    /// Simulated seconds for all activity so far.
+    pub fn total_seconds(&self) -> f64 {
+        self.options.cost_model.seconds(&self.stats)
+    }
+
+    /// Records CPU work (object intersection tests) performed by an index on
+    /// data it already had in memory, so that pure-CPU filtering is charged.
+    pub fn note_objects_scanned(&mut self, n: u64) {
+        self.stats.objects_scanned += n;
+    }
+
+    /// Drops all cached pages, mirroring the paper's "OS caches and disk
+    /// buffers are cleared before each query" methodology when desired.
+    pub fn clear_cache(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Creates a new, empty paged file and returns its id. `name` is used for
+    /// the on-disk backend's file name and for debugging.
+    pub fn create_file(&mut self, name: &str) -> StorageResult<FileId> {
+        let id = FileId(self.files.len() as u32);
+        let file: Box<dyn PagedFile> = match &self.options.backend {
+            StorageBackend::Memory => Box::new(MemFile::new()),
+            StorageBackend::Disk(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{:04}_{name}.pages", id.0));
+                Box::new(DiskFile::create(path)?)
+            }
+        };
+        self.files.push(file);
+        self.file_names.push(name.to_string());
+        self.stats.files_created += 1;
+        Ok(id)
+    }
+
+    /// Name the file was created with.
+    pub fn file_name(&self, file: FileId) -> StorageResult<&str> {
+        self.file_names
+            .get(file.index())
+            .map(|s| s.as_str())
+            .ok_or(StorageError::UnknownFile(file.0))
+    }
+
+    /// Number of files created so far.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of pages in a file.
+    pub fn num_pages(&self, file: FileId) -> StorageResult<u64> {
+        self.files
+            .get(file.index())
+            .map(|f| f.num_pages())
+            .ok_or(StorageError::UnknownFile(file.0))
+    }
+
+    fn file_mut(&mut self, file: FileId) -> StorageResult<&mut Box<dyn PagedFile>> {
+        self.files.get_mut(file.index()).ok_or(StorageError::UnknownFile(file.0))
+    }
+
+    /// Reads one page, going through the buffer pool and classifying the
+    /// device access as sequential or random.
+    pub fn read_page(&mut self, file: FileId, page: PageId) -> StorageResult<Page> {
+        if let Some(p) = self.buffer.get((file, page)) {
+            self.stats.buffer_hits += 1;
+            return Ok(p);
+        }
+        let sequential = self.last_read == Some((file, page.0.wrapping_sub(1)));
+        let data = {
+            let f = self.file_mut(file)?;
+            f.read_page(page)?
+        };
+        if sequential {
+            self.stats.sequential_reads += 1;
+        } else {
+            self.stats.random_reads += 1;
+        }
+        self.last_read = Some((file, page.0));
+        self.buffer.insert((file, page), data.clone());
+        Ok(data)
+    }
+
+    /// Overwrites one page (write-through to the buffer pool).
+    pub fn write_page(&mut self, file: FileId, page: PageId, data: &Page) -> StorageResult<()> {
+        let sequential = self.last_write == Some((file, page.0.wrapping_sub(1)));
+        {
+            let f = self.file_mut(file)?;
+            f.write_page(page, data)?;
+        }
+        if sequential {
+            self.stats.sequential_writes += 1;
+        } else {
+            self.stats.random_writes += 1;
+        }
+        self.last_write = Some((file, page.0));
+        self.buffer.update_if_resident((file, page), data);
+        Ok(())
+    }
+
+    /// Appends one page at the end of a file.
+    pub fn append_page(&mut self, file: FileId, data: &Page) -> StorageResult<PageId> {
+        let id = {
+            let f = self.file_mut(file)?;
+            f.append_page(data)?
+        };
+        // Appends at the end of a file are sequential whenever the previous
+        // write targeted the preceding page of the same file.
+        let sequential = self.last_write == Some((file, id.0.wrapping_sub(1)));
+        if sequential {
+            self.stats.sequential_writes += 1;
+        } else {
+            self.stats.random_writes += 1;
+        }
+        self.last_write = Some((file, id.0));
+        Ok(id)
+    }
+
+    /// Grows a file with zeroed pages up to `pages` pages (counted as
+    /// sequential writes, matching a bulk pre-allocation).
+    pub fn grow_to(&mut self, file: FileId, pages: u64) -> StorageResult<()> {
+        let current = self.num_pages(file)?;
+        if pages <= current {
+            return Ok(());
+        }
+        let empty = Page::empty();
+        for _ in current..pages {
+            self.append_page(file, &empty)?;
+        }
+        Ok(())
+    }
+
+    /// Reads every object stored in the page range `[range.start, range.end)`
+    /// of `file`, in page order.
+    pub fn read_objects(
+        &mut self,
+        file: FileId,
+        range: Range<u64>,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let mut out = Vec::new();
+        self.read_objects_into(file, range, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`StorageManager::read_objects`] but appends into `out`.
+    pub fn read_objects_into(
+        &mut self,
+        file: FileId,
+        range: Range<u64>,
+        out: &mut Vec<SpatialObject>,
+    ) -> StorageResult<usize> {
+        let mut total = 0usize;
+        for p in range {
+            let page = self.read_page(file, PageId(p))?;
+            let n = page.objects_into(out)?;
+            total += n;
+            self.stats.objects_scanned += n as u64;
+        }
+        Ok(total)
+    }
+
+    /// Appends the objects as densely packed pages at the end of `file`,
+    /// returning the page range they occupy.
+    pub fn append_objects(
+        &mut self,
+        file: FileId,
+        objects: &[SpatialObject],
+    ) -> StorageResult<Range<u64>> {
+        let start = self.num_pages(file)?;
+        for page in pack_objects(objects) {
+            self.append_page(file, &page)?;
+        }
+        self.stats.objects_written += objects.len() as u64;
+        Ok(start..self.num_pages(file)?)
+    }
+
+    /// Rewrites the objects into pages starting at `start_page`, growing the
+    /// file if needed, and returns the page range used. Used by Space
+    /// Odyssey's in-place partition refinement, which reuses the partition's
+    /// old pages and appends any overflow at the end of the file.
+    pub fn write_objects_at(
+        &mut self,
+        file: FileId,
+        start_page: u64,
+        objects: &[SpatialObject],
+    ) -> StorageResult<Range<u64>> {
+        let pages = pack_objects(objects);
+        let end = start_page + pages.len() as u64;
+        self.grow_to(file, end)?;
+        for (i, page) in pages.iter().enumerate() {
+            self.write_page(file, PageId(start_page + i as u64), page)?;
+        }
+        self.stats.objects_written += objects.len() as u64;
+        Ok(start_page..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, DatasetId, ObjectId, Vec3};
+
+    fn objs(n: u64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_files_and_names() {
+        let mut m = StorageManager::in_memory();
+        let a = m.create_file("alpha").unwrap();
+        let b = m.create_file("beta").unwrap();
+        assert_eq!(m.file_count(), 2);
+        assert_eq!(m.file_name(a).unwrap(), "alpha");
+        assert_eq!(m.file_name(b).unwrap(), "beta");
+        assert_eq!(m.stats().files_created, 2);
+        assert!(m.file_name(FileId(9)).is_err());
+        assert!(m.num_pages(FileId(9)).is_err());
+    }
+
+    #[test]
+    fn append_and_read_objects_roundtrip() {
+        let mut m = StorageManager::in_memory();
+        let f = m.create_file("data").unwrap();
+        let data = objs(200);
+        let range = m.append_objects(f, &data).unwrap();
+        assert_eq!(range, 0..4); // 200 objects / 63 per page = 4 pages
+        let back = m.read_objects(f, range).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(m.stats().objects_written, 200);
+        assert!(m.stats().objects_scanned >= 200);
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let mut m = StorageManager::new(StorageOptions::in_memory(0)); // no cache
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(63 * 10)).unwrap();
+        let before = m.stats();
+        // Read pages 0..10 in order: first access random, rest sequential.
+        for p in 0..10u64 {
+            m.read_page(f, PageId(p)).unwrap();
+        }
+        let d = m.stats().since(&before).0;
+        assert_eq!(d.random_reads, 1);
+        assert_eq!(d.sequential_reads, 9);
+
+        let before = m.stats();
+        // Read every other page: all random.
+        for p in (0..10u64).step_by(2) {
+            m.read_page(f, PageId(p)).unwrap();
+        }
+        let d = m.stats().since(&before).0;
+        assert_eq!(d.random_reads, 5);
+        assert_eq!(d.sequential_reads, 0);
+    }
+
+    #[test]
+    fn appends_are_sequential_writes() {
+        let mut m = StorageManager::new(StorageOptions::in_memory(0));
+        let f = m.create_file("data").unwrap();
+        let before = m.stats();
+        m.append_objects(f, &objs(63 * 5)).unwrap();
+        let d = m.stats().since(&before).0;
+        assert_eq!(d.random_writes, 1, "only the first append seeks");
+        assert_eq!(d.sequential_writes, 4);
+    }
+
+    #[test]
+    fn buffer_hits_avoid_device_reads() {
+        let mut m = StorageManager::new(StorageOptions::in_memory(64));
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(63)).unwrap();
+        m.read_page(f, PageId(0)).unwrap();
+        let before = m.stats();
+        m.read_page(f, PageId(0)).unwrap();
+        let d = m.stats().since(&before).0;
+        assert_eq!(d.pages_read(), 0);
+        assert_eq!(d.buffer_hits, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_rereads() {
+        let mut m = StorageManager::new(StorageOptions::in_memory(64));
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(63)).unwrap();
+        m.read_page(f, PageId(0)).unwrap();
+        m.clear_cache();
+        let before = m.stats();
+        m.read_page(f, PageId(0)).unwrap();
+        let d = m.stats().since(&before).0;
+        assert_eq!(d.pages_read(), 1);
+        assert_eq!(d.buffer_hits, 0);
+    }
+
+    #[test]
+    fn write_objects_at_reuses_and_grows() {
+        let mut m = StorageManager::in_memory();
+        let f = m.create_file("data").unwrap();
+        // Initially two pages worth of objects.
+        m.append_objects(f, &objs(100)).unwrap();
+        assert_eq!(m.num_pages(f).unwrap(), 2);
+        // Rewrite starting at page 0 with more data than fits in two pages.
+        let range = m.write_objects_at(f, 0, &objs(300)).unwrap();
+        assert_eq!(range, 0..5);
+        assert_eq!(m.num_pages(f).unwrap(), 5);
+        let back = m.read_objects(f, 0..5).unwrap();
+        assert_eq!(back.len(), 300);
+    }
+
+    #[test]
+    fn write_page_out_of_range_errors() {
+        let mut m = StorageManager::in_memory();
+        let f = m.create_file("data").unwrap();
+        assert!(m.write_page(f, PageId(3), &Page::empty()).is_err());
+    }
+
+    #[test]
+    fn simulated_seconds_accumulate() {
+        let mut m = StorageManager::new(StorageOptions::in_memory(0));
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(63 * 20)).unwrap();
+        let snap = m.stats();
+        assert!(m.total_seconds() > 0.0);
+        for p in 0..20u64 {
+            m.read_page(f, PageId(p)).unwrap();
+        }
+        let t = m.seconds_since(&snap);
+        assert!(t > 0.0);
+        assert!(m.total_seconds() > t);
+    }
+
+    #[test]
+    fn disk_backend_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut m = StorageManager::new(StorageOptions::on_disk(dir.path(), 16));
+        let f = m.create_file("data").unwrap();
+        let data = objs(150);
+        let range = m.append_objects(f, &data).unwrap();
+        let back = m.read_objects(f, range).unwrap();
+        assert_eq!(back, data);
+        // Actual file exists on disk with the expected size.
+        let entries: Vec<_> = std::fs::read_dir(dir.path()).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn grow_to_is_idempotent() {
+        let mut m = StorageManager::in_memory();
+        let f = m.create_file("data").unwrap();
+        m.grow_to(f, 4).unwrap();
+        m.grow_to(f, 2).unwrap();
+        assert_eq!(m.num_pages(f).unwrap(), 4);
+    }
+
+    #[test]
+    fn note_objects_scanned_feeds_cost() {
+        let mut m = StorageManager::in_memory();
+        let before = m.total_seconds();
+        m.note_objects_scanned(1_000_000);
+        assert!(m.total_seconds() > before);
+    }
+}

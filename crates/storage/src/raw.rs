@@ -1,0 +1,127 @@
+//! Raw (unindexed) dataset files.
+//!
+//! Every approach in the paper starts from the same situation: each dataset
+//! sits in its own raw file on disk, in arrival order, with no index. Static
+//! approaches scan these files to build their indexes; Space Odyssey scans
+//! them lazily when a dataset is first queried.
+
+use crate::error::StorageResult;
+use crate::file::FileId;
+use crate::manager::StorageManager;
+use odyssey_geom::{DatasetId, SpatialObject};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Metadata of one raw dataset file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawDataset {
+    /// The dataset stored in the file.
+    pub dataset: DatasetId,
+    /// The file holding the objects.
+    pub file: FileId,
+    /// Page range occupied by the objects (always starts at 0 for raw files).
+    pub page_range: (u64, u64),
+    /// Number of objects in the dataset.
+    pub num_objects: u64,
+}
+
+impl RawDataset {
+    /// The page range as a standard range.
+    #[inline]
+    pub fn pages(&self) -> Range<u64> {
+        self.page_range.0..self.page_range.1
+    }
+
+    /// Number of pages the raw file occupies.
+    #[inline]
+    pub fn num_pages(&self) -> u64 {
+        self.page_range.1 - self.page_range.0
+    }
+}
+
+/// Writes `objects` as the raw file of `dataset` and returns its metadata.
+///
+/// The write is a single sequential pass, exactly like copying the instrument
+/// output onto the analysis machine; its cost is *not* part of any approach's
+/// indexing time (all approaches start after the raw data exists).
+pub fn write_raw_dataset(
+    storage: &mut StorageManager,
+    dataset: DatasetId,
+    objects: &[SpatialObject],
+) -> StorageResult<RawDataset> {
+    let file = storage.create_file(&format!("raw_ds{}", dataset.0))?;
+    let range = storage.append_objects(file, objects)?;
+    Ok(RawDataset {
+        dataset,
+        file,
+        page_range: (range.start, range.end),
+        num_objects: objects.len() as u64,
+    })
+}
+
+/// Reads back every object of a raw dataset (a full sequential scan).
+pub fn scan_raw_dataset(
+    storage: &mut StorageManager,
+    raw: &RawDataset,
+) -> StorageResult<Vec<SpatialObject>> {
+    storage.read_objects(raw.file, raw.pages())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, ObjectId, Vec3};
+
+    fn objects(n: u64, ds: u16) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(ds),
+                    Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_and_scan_roundtrip() {
+        let mut storage = StorageManager::in_memory();
+        let objs = objects(500, 3);
+        let raw = write_raw_dataset(&mut storage, DatasetId(3), &objs).unwrap();
+        assert_eq!(raw.dataset, DatasetId(3));
+        assert_eq!(raw.num_objects, 500);
+        assert_eq!(raw.num_pages(), 8); // ceil(500 / 63)
+        let back = scan_raw_dataset(&mut storage, &raw).unwrap();
+        assert_eq!(back, objs);
+    }
+
+    #[test]
+    fn raw_files_are_written_sequentially() {
+        let mut storage = StorageManager::new(crate::StorageOptions::in_memory(0));
+        let before = storage.stats();
+        write_raw_dataset(&mut storage, DatasetId(0), &objects(630, 0)).unwrap();
+        let d = storage.stats().since(&before).0;
+        assert_eq!(d.pages_written(), 10);
+        assert_eq!(d.random_writes, 1, "only the initial placement seeks");
+    }
+
+    #[test]
+    fn multiple_datasets_get_distinct_files() {
+        let mut storage = StorageManager::in_memory();
+        let a = write_raw_dataset(&mut storage, DatasetId(0), &objects(10, 0)).unwrap();
+        let b = write_raw_dataset(&mut storage, DatasetId(1), &objects(10, 1)).unwrap();
+        assert_ne!(a.file, b.file);
+        assert_eq!(storage.file_name(a.file).unwrap(), "raw_ds0");
+        assert_eq!(storage.file_name(b.file).unwrap(), "raw_ds1");
+    }
+
+    #[test]
+    fn empty_dataset_is_representable() {
+        let mut storage = StorageManager::in_memory();
+        let raw = write_raw_dataset(&mut storage, DatasetId(0), &[]).unwrap();
+        assert_eq!(raw.num_objects, 0);
+        assert_eq!(raw.num_pages(), 0);
+        assert!(scan_raw_dataset(&mut storage, &raw).unwrap().is_empty());
+    }
+}

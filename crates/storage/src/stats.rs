@@ -1,0 +1,159 @@
+//! I/O and processing counters.
+//!
+//! The paper's conclusions rest on *how* data is accessed: approaches that
+//! scan partitions sequentially win over approaches that chase pages randomly
+//! across a large index, and approaches that defer indexing pay no upfront
+//! cost. [`IoStats`] counts exactly these events; the [`crate::CostModel`]
+//! turns the counters into simulated seconds.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Sub;
+
+/// Monotonically increasing counters of storage activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Pages read immediately after the previously read page of the same file
+    /// (no seek required).
+    pub sequential_reads: u64,
+    /// Pages read at a non-consecutive position (requires a seek).
+    pub random_reads: u64,
+    /// Pages written immediately after the previously written page of the
+    /// same file.
+    pub sequential_writes: u64,
+    /// Pages written at a non-consecutive position.
+    pub random_writes: u64,
+    /// Page reads served from the buffer pool (no device access at all).
+    pub buffer_hits: u64,
+    /// Object records decoded / examined by intersection tests.
+    pub objects_scanned: u64,
+    /// Object records written (encoded into pages).
+    pub objects_written: u64,
+    /// Number of files created.
+    pub files_created: u64,
+}
+
+impl IoStats {
+    /// Total pages read from the device (excluding buffer hits).
+    #[inline]
+    pub fn pages_read(&self) -> u64 {
+        self.sequential_reads + self.random_reads
+    }
+
+    /// Total pages written to the device.
+    #[inline]
+    pub fn pages_written(&self) -> u64 {
+        self.sequential_writes + self.random_writes
+    }
+
+    /// Total seeks implied by the random accesses.
+    #[inline]
+    pub fn seeks(&self) -> u64 {
+        self.random_reads + self.random_writes
+    }
+
+    /// Total bytes transferred to or from the device.
+    #[inline]
+    pub fn bytes_transferred(&self) -> u64 {
+        (self.pages_read() + self.pages_written()) * crate::page::PAGE_SIZE as u64
+    }
+
+    /// Difference since an earlier snapshot (`self` must be the later one).
+    #[inline]
+    pub fn since(&self, earlier: &IoStats) -> StatsDelta {
+        StatsDelta(*self - *earlier)
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.sequential_reads += other.sequential_reads;
+        self.random_reads += other.random_reads;
+        self.sequential_writes += other.sequential_writes;
+        self.random_writes += other.random_writes;
+        self.buffer_hits += other.buffer_hits;
+        self.objects_scanned += other.objects_scanned;
+        self.objects_written += other.objects_written;
+        self.files_created += other.files_created;
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            sequential_reads: self.sequential_reads - rhs.sequential_reads,
+            random_reads: self.random_reads - rhs.random_reads,
+            sequential_writes: self.sequential_writes - rhs.sequential_writes,
+            random_writes: self.random_writes - rhs.random_writes,
+            buffer_hits: self.buffer_hits - rhs.buffer_hits,
+            objects_scanned: self.objects_scanned - rhs.objects_scanned,
+            objects_written: self.objects_written - rhs.objects_written,
+            files_created: self.files_created - rhs.files_created,
+        }
+    }
+}
+
+/// The activity between two [`IoStats`] snapshots (e.g. one query).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsDelta(pub IoStats);
+
+impl StatsDelta {
+    /// The underlying counters of the interval.
+    #[inline]
+    pub fn stats(&self) -> &IoStats {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IoStats {
+        IoStats {
+            sequential_reads: 10,
+            random_reads: 3,
+            sequential_writes: 5,
+            random_writes: 2,
+            buffer_hits: 7,
+            objects_scanned: 100,
+            objects_written: 50,
+            files_created: 1,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let s = sample();
+        assert_eq!(s.pages_read(), 13);
+        assert_eq!(s.pages_written(), 7);
+        assert_eq!(s.seeks(), 5);
+        assert_eq!(s.bytes_transferred(), 20 * 4096);
+    }
+
+    #[test]
+    fn subtraction_and_since() {
+        let earlier = IoStats { sequential_reads: 4, ..Default::default() };
+        let later = sample();
+        let delta = later.since(&earlier);
+        assert_eq!(delta.stats().sequential_reads, 6);
+        assert_eq!(delta.stats().random_reads, 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.pages_read(), 26);
+        assert_eq!(a.objects_scanned, 200);
+        assert_eq!(a.files_created, 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let z = IoStats::default();
+        assert_eq!(z.pages_read(), 0);
+        assert_eq!(z.pages_written(), 0);
+        assert_eq!(z.bytes_transferred(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Demonstrates the second half of Space Odyssey's adaptation: merging the
+//! partitions of dataset combinations that are frequently queried together,
+//! routing later queries to the merge files, and evicting merge files under a
+//! space budget.
+//!
+//! ```text
+//! cargo run --release --example adaptive_merging
+//! ```
+
+use space_odyssey::core::RouteKind;
+use space_odyssey::prelude::*;
+use space_odyssey::storage::write_raw_dataset;
+
+fn run(label: &str, config: OdysseyConfig) {
+    let spec = DatasetSpec { num_datasets: 6, objects_per_dataset: 6_000, ..Default::default() };
+    let model = BrainModel::new(spec);
+    let bounds = model.bounds();
+    let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+    let raws: Vec<_> = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objects)| {
+            write_raw_dataset(&mut storage, DatasetId(i as u16), objects).expect("raw write")
+        })
+        .collect();
+    let mut odyssey = SpaceOdyssey::new(config, raws).expect("valid configuration");
+
+    // Two combinations: a hot 4-dataset combination queried repeatedly over
+    // the same brain region, and a cold pair queried once in a while.
+    let hot = DatasetSet::from_ids([DatasetId(0), DatasetId(1), DatasetId(2), DatasetId(3)]);
+    let cold = DatasetSet::from_ids([DatasetId(4), DatasetId(5)]);
+    let region = bounds.center();
+    let side = bounds.extent().x * 0.012;
+
+    let mut hot_costs = Vec::new();
+    for i in 0..24u32 {
+        storage.clear_cache();
+        let (datasets, offset) = if i % 6 == 5 { (cold, 10.0) } else { (hot, (i % 3) as f64) };
+        let range = Aabb::from_center_extent(
+            region + Vec3::splat(offset * side * 0.2),
+            Vec3::splat(side),
+        );
+        let query = RangeQuery::new(QueryId(i), range, datasets);
+        let before = storage.stats();
+        let outcome = odyssey.execute(&mut storage, &query).expect("query");
+        let cost = storage.seconds_since(&before);
+        if datasets == hot {
+            hot_costs.push((cost, outcome.route, outcome.used_merge_file()));
+        }
+    }
+
+    println!("== {label} ==");
+    println!("hot-combination query costs over time (simulated seconds):");
+    for (i, (cost, route, used)) in hot_costs.iter().enumerate() {
+        println!(
+            "  query {:>2}: {:>9.5}s  route: {:<9}  merge file used: {}",
+            i,
+            cost,
+            match route {
+                RouteKind::Exact => "exact",
+                RouteKind::Superset => "superset",
+                RouteKind::Subset => "subset",
+                RouteKind::None => "none",
+            },
+            used
+        );
+    }
+    let dir = odyssey.merger().directory();
+    println!(
+        "merge files: {} ({} pages replicated, {} evictions)\n",
+        dir.len(),
+        dir.total_pages(),
+        dir.evictions()
+    );
+}
+
+fn main() {
+    let bounds = BrainModel::new(DatasetSpec::default()).bounds();
+    run("paper configuration (mt=2, |C|>=3, unbounded budget)", OdysseyConfig::paper(bounds));
+    run(
+        "tight space budget (64 pages) — LRU eviction kicks in",
+        OdysseyConfig { merge_space_budget_pages: Some(64), ..OdysseyConfig::paper(bounds) },
+    );
+    run("merging disabled (the Figure 5c baseline)", OdysseyConfig::paper(bounds).without_merging());
+}

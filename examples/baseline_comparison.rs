@@ -1,0 +1,52 @@
+//! Data-to-insight comparison: Space Odyssey against the static competitors
+//! (FLAT, R-Tree, Grid) on one small workload — a miniature of the paper's
+//! Figure 4.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use odyssey_bench::experiment::{ApproachSelection, ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::workload_spec;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::{CombinationDistribution, DatasetSpec, QueryRangeDistribution};
+
+fn main() {
+    let spec = DatasetSpec { num_datasets: 8, objects_per_dataset: 6_000, ..Default::default() };
+    let config = ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    };
+    println!("generating datasets ...");
+    let runner = ExperimentRunner::new(config);
+    let workload = workload_spec(
+        8,
+        5,
+        200,
+        QueryRangeDistribution::Clustered { num_clusters: 10 },
+        CombinationDistribution::Zipf,
+    )
+    .generate(&runner.bounds());
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "approach", "indexing(s)", "querying(s)", "total(s)", "results"
+    );
+    for selection in ApproachSelection::figure4_set() {
+        let run = runner.run(selection, &workload);
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>10}",
+            run.approach,
+            run.indexing_seconds,
+            run.query_seconds(),
+            run.total_seconds(),
+            run.total_results
+        );
+    }
+    println!(
+        "\n(simulated seconds from the disk cost model; every approach answered the same\n\
+         {} queries and returned the same number of objects)",
+        workload.len()
+    );
+}

@@ -1,0 +1,98 @@
+//! The paper's motivating scenario: a neuroscientist explores particular
+//! brain regions across many datasets acquired by different instruments,
+//! without knowing upfront which regions or which dataset combinations will
+//! matter.
+//!
+//! ```text
+//! cargo run --release --example neuroscience_exploration
+//! ```
+//!
+//! Ten datasets are generated; a clustered workload (hot brain regions, a
+//! Zipf-skewed choice of dataset combinations) is executed with Space
+//! Odyssey. The example reports how the engine converges: per-phase query
+//! cost, refinement activity, and which combinations ended up merged.
+
+use space_odyssey::prelude::*;
+use space_odyssey::storage::write_raw_dataset;
+
+fn main() {
+    let spec = DatasetSpec { num_datasets: 10, objects_per_dataset: 8_000, ..Default::default() };
+    let model = BrainModel::new(spec.clone());
+    let bounds = model.bounds();
+
+    let mut storage = StorageManager::new(StorageOptions::in_memory(512));
+    let raws: Vec<_> = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objects)| {
+            write_raw_dataset(&mut storage, DatasetId(i as u16), objects).expect("raw write")
+        })
+        .collect();
+
+    // A clustered, skewed workload: 300 queries over 5-dataset combinations.
+    let workload = WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 5,
+        num_queries: 300,
+        query_volume_fraction: 1e-6,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 10 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed: 2024,
+    }
+    .generate(&bounds);
+
+    let mut odyssey =
+        SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).expect("valid configuration");
+
+    let phase_len = workload.len() / 5;
+    let mut phase_cost = 0.0;
+    let mut phase_refinements = 0usize;
+    let mut merge_hits = 0usize;
+    println!("phase (queries)     | sim seconds | refinements | merge-file hits");
+    println!("--------------------+-------------+-------------+----------------");
+    for (i, query) in workload.queries.iter().enumerate() {
+        storage.clear_cache(); // cold queries, like the paper
+        let before = storage.stats();
+        let outcome = odyssey.execute(&mut storage, query).expect("query");
+        phase_cost += storage.seconds_since(&before);
+        phase_refinements += outcome.partitions_refined;
+        if outcome.used_merge_file() {
+            merge_hits += 1;
+        }
+        if (i + 1) % phase_len == 0 {
+            println!(
+                "queries {:>4}-{:<5} | {:>11.3} | {:>11} | {:>14}",
+                i + 1 - phase_len + 1,
+                i + 1,
+                phase_cost,
+                phase_refinements,
+                merge_hits
+            );
+            phase_cost = 0.0;
+            phase_refinements = 0;
+            merge_hits = 0;
+        }
+    }
+
+    println!("\ncombinations observed: {}", odyssey.stats().distinct_combinations());
+    if let Some((hot, count)) = odyssey.stats().hottest() {
+        println!("hottest combination: {hot} queried {count} times");
+    }
+    println!("merge files created: {}", odyssey.merger().directory().len());
+    for file in odyssey.merger().directory().iter() {
+        println!(
+            "  merge file for {}: {} partitions, {} pages",
+            file.combination,
+            file.entry_count(),
+            file.total_pages()
+        );
+    }
+    let initialized = (0..spec.num_datasets as u16)
+        .filter(|&d| odyssey.dataset(DatasetId(d)).map(|i| i.is_initialized()).unwrap_or(false))
+        .count();
+    println!(
+        "datasets touched (and therefore partitioned): {initialized} of {}",
+        spec.num_datasets
+    );
+}

@@ -1,0 +1,45 @@
+//! # space-odyssey
+//!
+//! Umbrella crate of the Space Odyssey reproduction. It re-exports the
+//! public API of every workspace crate so that examples and downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use space_odyssey::prelude::*;
+//!
+//! let config = OdysseyConfig::default();
+//! assert_eq!(config.refinement_threshold, 4.0);
+//! ```
+//!
+//! See the individual crates for the implementation:
+//!
+//! * [`geom`] — geometry primitives and the query model,
+//! * [`storage`] — paged storage, buffer pool and the disk cost model,
+//! * [`datagen`] — synthetic neuroscience datasets and workload generators,
+//! * [`baselines`] — Grid, R-Tree (STR) and FLAT baselines with 1fE/Ain1,
+//! * [`core`] — the Space Odyssey engine itself.
+
+#![warn(missing_docs)]
+
+pub use odyssey_baselines as baselines;
+pub use odyssey_core as core;
+pub use odyssey_datagen as datagen;
+pub use odyssey_geom as geom;
+pub use odyssey_storage as storage;
+
+/// Convenient single-import prelude with the most commonly used types.
+pub mod prelude {
+    pub use odyssey_baselines::{
+        FlatIndex, GridIndex, MultiDatasetIndex, RTreeIndex, SpatialIndexBuild, Strategy,
+    };
+    pub use odyssey_core::{OdysseyConfig, QueryOutcome, SpaceOdyssey};
+    pub use odyssey_datagen::{
+        BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
+        WorkloadSpec,
+    };
+    pub use odyssey_geom::{
+        Aabb, Combination, DatasetId, DatasetSet, ObjectId, QueryId, RangeQuery, SpatialObject,
+        Vec3,
+    };
+    pub use odyssey_storage::{CostModel, IoStats, StorageManager, StorageOptions};
+}

@@ -1,0 +1,206 @@
+//! Integration tests for the adaptive behaviour the paper's Section 3
+//! describes: convergence of incremental refinement, the hybrid 1fE/Ain1
+//! character of the engine, and the benefit of merge files for hot
+//! combinations.
+
+use space_odyssey::core::{OdysseyConfig, RouteKind, SpaceOdyssey};
+use space_odyssey::datagen::{BrainModel, DatasetSpec};
+use space_odyssey::geom::{Aabb, DatasetId, DatasetSet, QueryId, RangeQuery, Vec3};
+use space_odyssey::storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+
+fn setup(num_datasets: usize, objects: usize) -> (StorageManager, Vec<RawDataset>, Aabb) {
+    let spec = DatasetSpec {
+        num_datasets,
+        objects_per_dataset: objects,
+        soma_clusters: 5,
+        segments_per_neuron: 40,
+        seed: 4242,
+        ..Default::default()
+    };
+    let model = BrainModel::new(spec);
+    let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+    let raws = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    (storage, raws, model.bounds())
+}
+
+fn cube_query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery {
+    RangeQuery::new(
+        QueryId(id),
+        Aabb::from_center_extent(center, Vec3::splat(side)),
+        DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d))),
+    )
+}
+
+#[test]
+fn refinement_depth_matches_the_convergence_formula() {
+    let (mut storage, raws, bounds) = setup(1, 4_000);
+    let config = OdysseyConfig::paper(bounds);
+    let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+
+    // Query volume chosen so the paper's formula predicts exactly two extra
+    // levels beyond the initial partitioning: log_ppl(Vp / (Vq * rt)).
+    let level1_volume = bounds.volume() / config.partitions_per_level as f64;
+    let query_volume = level1_volume / (config.refinement_threshold * 64.0 * 20.0);
+    let side = query_volume.cbrt();
+    let expected_levels = config.queries_to_converge(level1_volume, query_volume);
+    assert_eq!(expected_levels, 2);
+
+    let hot = bounds.center() + Vec3::splat(bounds.extent().x * 0.1);
+    for i in 0..6u32 {
+        engine.execute(&mut storage, &cube_query(i, hot, side, &[0])).unwrap();
+    }
+    let index = engine.dataset(DatasetId(0)).unwrap();
+    let deepest = index
+        .partitions()
+        .iter()
+        .filter(|p| p.bounds.contains_point(hot))
+        .map(|p| p.key.level)
+        .max()
+        .unwrap();
+    assert_eq!(
+        deepest,
+        1 + expected_levels,
+        "hot region should converge exactly to the predicted level"
+    );
+    // Further identical queries do not refine any more.
+    let refinements = index.total_refinements();
+    for i in 10..13u32 {
+        engine.execute(&mut storage, &cube_query(i, hot, side, &[0])).unwrap();
+    }
+    assert_eq!(engine.dataset(DatasetId(0)).unwrap().total_refinements(), refinements);
+}
+
+#[test]
+fn per_query_cost_decreases_once_the_hot_area_converges() {
+    let (mut storage, raws, bounds) = setup(3, 6_000);
+    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let hot = bounds.center();
+    let side = bounds.extent().x * 0.01;
+    let mut costs = Vec::new();
+    for i in 0..10u32 {
+        storage.clear_cache();
+        let before = storage.stats();
+        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2])).unwrap();
+        costs.push(storage.seconds_since(&before));
+    }
+    let first = costs[0];
+    let converged: f64 = costs[7..].iter().sum::<f64>() / 3.0;
+    assert!(
+        converged < first,
+        "converged queries ({converged}s) must be cheaper than the first ({first}s)"
+    );
+}
+
+#[test]
+fn merge_routing_prefers_exact_over_superset_over_none() {
+    let (mut storage, raws, bounds) = setup(5, 3_000);
+    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let hot = bounds.center();
+    let side = bounds.extent().x * 0.012;
+
+    // Make {0,1,2,3} hot enough to be merged.
+    for i in 0..6u32 {
+        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2, 3])).unwrap();
+    }
+    assert_eq!(engine.merger().directory().len(), 1);
+
+    // Exact: same combination again.
+    let exact = engine
+        .execute(&mut storage, &cube_query(20, hot, side, &[0, 1, 2, 3]))
+        .unwrap();
+    assert_eq!(exact.route, RouteKind::Exact);
+
+    // Superset route: a query for a subset of the merged datasets.
+    let superset = engine
+        .execute(&mut storage, &cube_query(21, hot, side, &[0, 1, 2]))
+        .unwrap();
+    assert_eq!(superset.route, RouteKind::Superset);
+
+    // Unrelated combination: no merge file applies.
+    let none = engine.execute(&mut storage, &cube_query(22, hot, side, &[4])).unwrap();
+    assert_eq!(none.route, RouteKind::None);
+}
+
+#[test]
+fn merged_combination_queries_read_fewer_random_pages() {
+    let (mut storage, raws, bounds) = setup(4, 8_000);
+    let config = OdysseyConfig::paper(bounds);
+    let mut engine = SpaceOdyssey::new(config, raws.clone()).unwrap();
+    // Query a region that actually holds data (a soma cluster), otherwise the
+    // touched partitions are empty and no pages are read at all.
+    let hot = BrainModel::new(DatasetSpec {
+        num_datasets: 4,
+        objects_per_dataset: 8_000,
+        soma_clusters: 5,
+        segments_per_neuron: 40,
+        seed: 4242,
+        ..Default::default()
+    })
+    .cluster_centers()[0];
+    let side = bounds.extent().x * 0.012;
+    let combo = [0u16, 1, 2, 3];
+
+    // Warm up until merging has happened and refinement has converged.
+    for i in 0..10u32 {
+        engine.execute(&mut storage, &cube_query(i, hot, side, &combo)).unwrap();
+    }
+    assert!(!engine.merger().directory().is_empty());
+
+    // Measure a steady-state query with merging...
+    storage.clear_cache();
+    let before = storage.stats();
+    let outcome = engine.execute(&mut storage, &cube_query(50, hot, side, &combo)).unwrap();
+    let merged_seeks = storage.stats().since(&before).0.random_reads;
+    assert!(outcome.used_merge_file());
+
+    // ... and the same steady state without merging (fresh engine, merging off).
+    let (mut storage2, raws2, _) = setup(4, 8_000);
+    let mut engine2 = SpaceOdyssey::new(config.without_merging(), raws2).unwrap();
+    for i in 0..10u32 {
+        engine2.execute(&mut storage2, &cube_query(i, hot, side, &combo)).unwrap();
+    }
+    storage2.clear_cache();
+    let before2 = storage2.stats();
+    let outcome2 = engine2.execute(&mut storage2, &cube_query(50, hot, side, &combo)).unwrap();
+    let unmerged_seeks = storage2.stats().since(&before2).0.random_reads;
+    assert!(!outcome2.used_merge_file());
+
+    assert!(
+        merged_seeks < unmerged_seeks,
+        "reading the merged layout should seek less ({merged_seeks} vs {unmerged_seeks})"
+    );
+    assert_eq!(
+        outcome.objects.len(),
+        outcome2.objects.len(),
+        "merging must not change the answer"
+    );
+}
+
+#[test]
+fn odyssey_is_a_hybrid_of_1fe_and_ain1() {
+    // Individually-queried datasets keep their own files (1fE character);
+    // hot combinations additionally get a shared merged layout (Ain1
+    // character). Both must coexist in one engine.
+    let (mut storage, raws, bounds) = setup(6, 2_500);
+    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let hot = bounds.center();
+    let side = bounds.extent().x * 0.012;
+
+    for i in 0..6u32 {
+        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2])).unwrap();
+        engine.execute(&mut storage, &cube_query(100 + i, hot, side, &[4])).unwrap();
+    }
+    // The hot 3-dataset combination was merged; the single dataset was not.
+    assert!(engine.merger().directory().iter().any(|f| f.combination.len() == 3));
+    assert!(engine.merger().directory().iter().all(|f| f.combination.len() >= 3));
+    // Dataset 4 is still served (and refined) individually.
+    assert!(engine.dataset(DatasetId(4)).unwrap().is_initialized());
+    assert!(engine.dataset(DatasetId(4)).unwrap().total_refinements() > 0);
+    // Dataset 5 was never queried, so it was never even scanned.
+    assert!(!engine.dataset(DatasetId(5)).unwrap().is_initialized());
+}

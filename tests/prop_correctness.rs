@@ -1,0 +1,175 @@
+//! Property-based integration tests: for arbitrary object sets and query
+//! sequences, every access method must return exactly the objects the
+//! brute-force scan returns, and Space Odyssey's bookkeeping invariants must
+//! hold after every query.
+
+use proptest::prelude::*;
+use space_odyssey::baselines::strategy::{build_approach, Approach, ApproachConfig};
+use space_odyssey::baselines::GridConfig;
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::geom::{
+    scan_query, Aabb, DatasetId, DatasetSet, ObjectId, QueryId, RangeQuery, SpatialObject, Vec3,
+};
+use space_odyssey::storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+const WORLD: f64 = 100.0;
+
+fn bounds() -> Aabb {
+    Aabb::from_min_max(Vec3::ZERO, Vec3::splat(WORLD))
+}
+
+prop_compose! {
+    fn arb_object(num_datasets: u16)(
+        ds in 0..num_datasets,
+        x in 1.0..WORLD - 1.0,
+        y in 1.0..WORLD - 1.0,
+        z in 1.0..WORLD - 1.0,
+        ext in 0.05..2.0f64,
+        id in any::<u64>(),
+    ) -> SpatialObject {
+        SpatialObject::new(
+            ObjectId(id),
+            DatasetId(ds),
+            Aabb::from_center_extent(Vec3::new(x, y, z), Vec3::splat(ext)),
+        )
+    }
+}
+
+prop_compose! {
+    fn arb_query(num_datasets: u16)(
+        x in 2.0..WORLD - 2.0,
+        y in 2.0..WORLD - 2.0,
+        z in 2.0..WORLD - 2.0,
+        side in 0.5..20.0f64,
+        mask in 1u64..(1 << 4),
+        id in any::<u32>(),
+    ) -> RangeQuery {
+        // Map the 4-bit mask onto the available datasets (at least one set).
+        let mut set = DatasetSet::EMPTY;
+        for bit in 0..4u16 {
+            if mask & (1 << bit) != 0 {
+                set.insert(DatasetId(bit % num_datasets));
+            }
+        }
+        RangeQuery::new(
+            QueryId(id),
+            Aabb::from_center_extent(Vec3::new(x, y, z), Vec3::splat(side)),
+            set,
+        )
+    }
+}
+
+fn sorted_ids(objects: &[SpatialObject]) -> Vec<(u16, u64)> {
+    let mut v: Vec<(u16, u64)> = objects.iter().map(|o| (o.dataset.0, o.id.0)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn group_by_dataset(objects: &[SpatialObject], n: u16) -> Vec<Vec<SpatialObject>> {
+    let mut groups = vec![Vec::new(); n as usize];
+    for (i, o) in objects.iter().enumerate() {
+        // Re-key ids so they are unique per dataset (required by the system).
+        let mut obj = *o;
+        obj.id = ObjectId(i as u64);
+        groups[o.dataset.0 as usize].push(obj);
+    }
+    groups
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn odyssey_equals_scan_oracle(
+        objects in proptest::collection::vec(arb_object(3), 50..400),
+        queries in proptest::collection::vec(arb_query(3), 1..12),
+    ) {
+        let groups = group_by_dataset(&objects, 3);
+        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let raws: Vec<_> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .collect();
+        let all: Vec<SpatialObject> = groups.iter().flatten().copied().collect();
+        let mut config = OdysseyConfig::paper(bounds());
+        config.partitions_per_level = 8;
+        let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+        for q in &queries {
+            let outcome = engine.execute(&mut storage, q).unwrap();
+            prop_assert_eq!(
+                sorted_ids(&outcome.objects),
+                sorted_ids(&scan_query(q, all.iter())),
+                "query {:?}", q
+            );
+            // Invariant: no object is ever lost from the per-dataset indexes.
+            for (i, group) in groups.iter().enumerate() {
+                let index = engine.dataset(DatasetId(i as u16)).unwrap();
+                if index.is_initialized() {
+                    let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+                    prop_assert_eq!(total, group.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_baselines_equal_scan_oracle(
+        objects in proptest::collection::vec(arb_object(2), 30..250),
+        queries in proptest::collection::vec(arb_query(2), 1..8),
+    ) {
+        let groups = group_by_dataset(&objects, 2);
+        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let raws: Vec<_> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .collect();
+        let all: Vec<SpatialObject> = groups.iter().flatten().copied().collect();
+        let approach_config = ApproachConfig {
+            grid: GridConfig { cells_per_dim: 6, bounds: bounds(), build_buffer_objects: 10_000 },
+            ..ApproachConfig::paper(bounds())
+        };
+        for approach in [Approach::Grid1fE, Approach::RTreeAin1, Approach::FlatAin1] {
+            let index = build_approach(&mut storage, approach, &approach_config, &raws).unwrap();
+            for q in &queries {
+                let got = index.query(&mut storage, q).unwrap();
+                prop_assert_eq!(
+                    sorted_ids(&got),
+                    sorted_ids(&scan_query(q, all.iter())),
+                    "{} on {:?}", approach.name(), q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_directory_pages_respect_any_budget(
+        budget in 0u64..64,
+        queries in proptest::collection::vec(arb_query(4), 4..20),
+        objects in proptest::collection::vec(arb_object(4), 100..400),
+    ) {
+        let groups = group_by_dataset(&objects, 4);
+        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let raws: Vec<_> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .collect();
+        let mut config = OdysseyConfig::paper(bounds());
+        config.partitions_per_level = 8;
+        config.merge_space_budget_pages = Some(budget);
+        config.merge_threshold = 1;
+        let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+        for q in &queries {
+            engine.execute(&mut storage, q).unwrap();
+            prop_assert!(
+                engine.merger().directory().total_pages() <= budget,
+                "budget {} exceeded: {} pages",
+                budget,
+                engine.merger().directory().total_pages()
+            );
+        }
+    }
+}
