@@ -26,7 +26,7 @@ use crate::rtree::charge_external_sort_passes;
 use crate::traits::{IndexBuilder, SpatialIndexBuild};
 use odyssey_geom::{morton, Aabb, SpatialObject};
 use odyssey_storage::{FileId, RawDataset, StorageManager, StorageResult, OBJECTS_PER_PAGE};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the FLAT baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +68,7 @@ pub struct FlatIndex {
     /// consecutive pages, used only to find one seed page quickly.
     seed_groups: Vec<(Aabb, u32, u32)>,
     data_pages: u64,
-    crawl_misses: Cell<u64>,
+    crawl_misses: AtomicU64,
 }
 
 const SEED_FANOUT: usize = 64;
@@ -76,7 +76,7 @@ const SEED_FANOUT: usize = 64;
 impl FlatIndex {
     /// Builds a FLAT index over the union of the given raw datasets.
     pub fn build(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         config: &FlatConfig,
         name: &str,
         sources: &[RawDataset],
@@ -98,8 +98,14 @@ impl FlatIndex {
         )?;
 
         // Pack along the Morton order of object centers.
-        let bounds = objects.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr));
-        let pack_bounds = if bounds.is_empty() { Aabb::unit() } else { bounds };
+        let bounds = objects
+            .iter()
+            .fold(Aabb::empty(), |acc, o| acc.union(&o.mbr));
+        let pack_bounds = if bounds.is_empty() {
+            Aabb::unit()
+        } else {
+            bounds
+        };
         objects.sort_by_key(|o| morton::encode_point(o.center(), &pack_bounds));
 
         // Write packed pages sequentially, recording page MBRs.
@@ -139,14 +145,14 @@ impl FlatIndex {
             neighbours,
             seed_groups,
             data_pages,
-            crawl_misses: Cell::new(0),
+            crawl_misses: AtomicU64::new(0),
         })
     }
 
     /// Number of times the completeness sweep had to read a page the crawl
     /// missed (diagnostic; expected to stay at or near zero).
     pub fn crawl_misses(&self) -> u64 {
-        self.crawl_misses.get()
+        self.crawl_misses.load(Ordering::Relaxed)
     }
 
     /// Average neighbourhood size (diagnostic / ablation metric).
@@ -158,7 +164,7 @@ impl FlatIndex {
     }
 
     /// Finds one page intersecting the range using the seed hierarchy.
-    fn find_seed(&self, storage: &mut StorageManager, range: &Aabb) -> Option<u32> {
+    fn find_seed(&self, storage: &StorageManager, range: &Aabb) -> Option<u32> {
         for (mbr, start, end) in &self.seed_groups {
             storage.note_objects_scanned(1);
             if mbr.intersects(range) {
@@ -178,7 +184,7 @@ impl FlatIndex {
 /// coarse uniform grid over page centers to avoid the quadratic pair join.
 /// The pairwise MBR tests are charged to the CPU cost model.
 fn compute_neighbourhoods(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     page_mbrs: &[Aabb],
     bounds: &Aabb,
 ) -> Vec<Vec<u32>> {
@@ -222,7 +228,7 @@ fn compute_neighbourhoods(
 impl SpatialIndexBuild for FlatIndex {
     fn query_range(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>> {
         let Some(seed) = self.find_seed(storage, range) else {
@@ -247,7 +253,7 @@ impl SpatialIndexBuild for FlatIndex {
         // Completeness sweep: pick up any intersecting page the crawl missed.
         for (i, mbr) in self.page_mbrs.iter().enumerate() {
             if !visited[i] && mbr.intersects(range) {
-                self.crawl_misses.set(self.crawl_misses.get() + 1);
+                self.crawl_misses.fetch_add(1, Ordering::Relaxed);
                 pages.push(i as u32);
             }
         }
@@ -282,7 +288,7 @@ impl IndexBuilder for FlatBuilder {
 
     fn build(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         name: &str,
         sources: &[RawDataset],
     ) -> StorageResult<FlatIndex> {
@@ -334,16 +340,16 @@ mod tests {
     }
 
     fn build_flat(n: u64) -> (StorageManager, Vec<SpatialObject>, FlatIndex) {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = clustered_objects(n, 0, 3);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
-        let idx = FlatIndex::build(&mut storage, &FlatConfig::default(), "t", &[raw]).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
+        let idx = FlatIndex::build(&storage, &FlatConfig::default(), "t", &[raw]).unwrap();
         (storage, objs, idx)
     }
 
     #[test]
     fn queries_match_scan_oracle() {
-        let (mut storage, objs, idx) = build_flat(3000);
+        let (storage, objs, idx) = build_flat(3000);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         for _ in 0..30 {
             let c = Vec3::new(
@@ -354,8 +360,12 @@ mod tests {
             let range = Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(1.0..20.0)));
             let q = RangeQuery::new(QueryId(0), range, DatasetSet::single(DatasetId(0)));
             let mut expected: Vec<_> = scan_query(&q, objs.iter()).iter().map(|o| o.id).collect();
-            let mut got: Vec<_> =
-                idx.query_range(&mut storage, &range).unwrap().iter().map(|o| o.id).collect();
+            let mut got: Vec<_> = idx
+                .query_range(&storage, &range)
+                .unwrap()
+                .iter()
+                .map(|o| o.id)
+                .collect();
             expected.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, expected);
@@ -364,7 +374,7 @@ mod tests {
 
     #[test]
     fn crawl_rarely_misses_on_clustered_data() {
-        let (mut storage, _, idx) = build_flat(5000);
+        let (storage, _, idx) = build_flat(5000);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         for _ in 0..50 {
             let c = Vec3::new(
@@ -373,11 +383,15 @@ mod tests {
                 rng.gen_range(10.0..90.0),
             );
             let range = Aabb::from_center_extent(c, Vec3::splat(5.0));
-            idx.query_range(&mut storage, &range).unwrap();
+            idx.query_range(&storage, &range).unwrap();
         }
         // The crawl should find practically everything itself; allow a small
         // number of sweep pickups but not a systematic failure.
-        assert!(idx.crawl_misses() < 25, "crawl missed {} pages", idx.crawl_misses());
+        assert!(
+            idx.crawl_misses() < 25,
+            "crawl missed {} pages",
+            idx.crawl_misses()
+        );
     }
 
     #[test]
@@ -396,19 +410,19 @@ mod tests {
 
     #[test]
     fn empty_query_region_returns_nothing() {
-        let (mut storage, _, idx) = build_flat(500);
+        let (storage, _, idx) = build_flat(500);
         let range = Aabb::from_min_max(Vec3::splat(200.0), Vec3::splat(201.0));
-        assert!(idx.query_range(&mut storage, &range).unwrap().is_empty());
+        assert!(idx.query_range(&storage, &range).unwrap().is_empty());
     }
 
     #[test]
     fn empty_dataset() {
-        let mut storage = StorageManager::in_memory();
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &[]).unwrap();
-        let idx = FlatIndex::build(&mut storage, &FlatConfig::default(), "t", &[raw]).unwrap();
+        let storage = StorageManager::in_memory();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &[]).unwrap();
+        let idx = FlatIndex::build(&storage, &FlatConfig::default(), "t", &[raw]).unwrap();
         assert_eq!(idx.data_pages(), 0);
         assert!(idx
-            .query_range(&mut storage, &Aabb::from_min_max(Vec3::ZERO, Vec3::ONE))
+            .query_range(&storage, &Aabb::from_min_max(Vec3::ZERO, Vec3::ONE))
             .unwrap()
             .is_empty());
     }
@@ -422,9 +436,8 @@ mod tests {
         // simulated disk, as in the paper's out-of-memory setting.
         let objs = clustered_objects(6000, 0, 2);
         let build_cost = |which: &str| {
-            let mut storage =
-                StorageManager::new(odyssey_storage::StorageOptions::in_memory(8));
-            let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+            let storage = StorageManager::new(odyssey_storage::StorageOptions::in_memory(8));
+            let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
             let before = storage.stats();
             match which {
                 "grid" => {
@@ -434,13 +447,13 @@ mod tests {
                         bounds,
                         build_buffer_objects: 2_000,
                     };
-                    GridIndex::build(&mut storage, &config, "g", &[raw]).unwrap();
+                    GridIndex::build(&storage, &config, "g", &[raw]).unwrap();
                 }
                 "rtree" => {
-                    RTreeIndex::build(&mut storage, &RTreeConfig::default(), "r", &[raw]).unwrap();
+                    RTreeIndex::build(&storage, &RTreeConfig::default(), "r", &[raw]).unwrap();
                 }
                 _ => {
-                    FlatIndex::build(&mut storage, &FlatConfig::default(), "f", &[raw]).unwrap();
+                    FlatIndex::build(&storage, &FlatConfig::default(), "f", &[raw]).unwrap();
                 }
             }
             storage.seconds_since(&before)
@@ -448,8 +461,14 @@ mod tests {
         let grid = build_cost("grid");
         let rtree = build_cost("rtree");
         let flat = build_cost("flat");
-        assert!(rtree > grid, "rtree {rtree} must cost more than grid {grid}");
-        assert!(flat > rtree, "flat {flat} must cost more than rtree {rtree}");
+        assert!(
+            rtree > grid,
+            "rtree {rtree} must cost more than grid {grid}"
+        );
+        assert!(
+            flat > rtree,
+            "flat {flat} must cost more than rtree {rtree}"
+        );
     }
 
     #[test]
@@ -458,7 +477,7 @@ mod tests {
         // range queries with less I/O than the R-Tree (no directory reads,
         // mostly sequential data pages).
         let objs = clustered_objects(8000, 0, 12);
-        let bounds_probe = |storage: &mut StorageManager, idx: &dyn SpatialIndexBuild| {
+        let bounds_probe = |storage: &StorageManager, idx: &dyn SpatialIndexBuild| {
             let mut rng = ChaCha8Rng::seed_from_u64(33);
             let before = storage.stats();
             for _ in 0..40 {
@@ -474,13 +493,13 @@ mod tests {
             storage.seconds_since(&before)
         };
         let mut s1 = StorageManager::in_memory();
-        let r1 = write_raw_dataset(&mut s1, DatasetId(0), &objs).unwrap();
-        let flat = FlatIndex::build(&mut s1, &FlatConfig::default(), "f", &[r1]).unwrap();
+        let r1 = write_raw_dataset(&s1, DatasetId(0), &objs).unwrap();
+        let flat = FlatIndex::build(&s1, &FlatConfig::default(), "f", &[r1]).unwrap();
         let flat_cost = bounds_probe(&mut s1, &flat);
 
         let mut s2 = StorageManager::in_memory();
-        let r2 = write_raw_dataset(&mut s2, DatasetId(0), &objs).unwrap();
-        let rtree = RTreeIndex::build(&mut s2, &RTreeConfig::default(), "r", &[r2]).unwrap();
+        let r2 = write_raw_dataset(&s2, DatasetId(0), &objs).unwrap();
+        let rtree = RTreeIndex::build(&s2, &RTreeConfig::default(), "r", &[r2]).unwrap();
         let rtree_cost = bounds_probe(&mut s2, &rtree);
 
         assert!(
@@ -491,12 +510,12 @@ mod tests {
 
     #[test]
     fn builder_trait() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = clustered_objects(200, 0, 1);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
         let b = FlatBuilder(FlatConfig::default());
         assert_eq!(b.kind(), "flat");
-        let idx = b.build(&mut storage, "x", &[raw]).unwrap();
+        let idx = b.build(&storage, "x", &[raw]).unwrap();
         assert_eq!(idx.kind(), "flat");
         assert!(idx.data_pages() > 0);
     }
@@ -505,12 +524,15 @@ mod tests {
     fn disabling_neighbourhood_pass_reduces_build_cost() {
         let objs = clustered_objects(3000, 0, 2);
         let cost = |pass: bool| {
-            let mut storage = StorageManager::in_memory();
-            let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+            let storage = StorageManager::in_memory();
+            let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
             let before = storage.stats();
             FlatIndex::build(
-                &mut storage,
-                &FlatConfig { neighbourhood_pass: pass, ..Default::default() },
+                &storage,
+                &FlatConfig {
+                    neighbourhood_pass: pass,
+                    ..Default::default()
+                },
                 "f",
                 &[raw],
             )

@@ -32,7 +32,11 @@ impl GridConfig {
     /// default build buffer holds roughly 1/8 of a 50 000-object dataset so
     /// that builds take several flush rounds, like the original.
     pub fn paper(bounds: Aabb) -> Self {
-        GridConfig { cells_per_dim: 60, bounds, build_buffer_objects: 200_000 }
+        GridConfig {
+            cells_per_dim: 60,
+            bounds,
+            build_buffer_objects: 200_000,
+        }
     }
 
     /// Same configuration with a different resolution (used by the parameter
@@ -66,12 +70,15 @@ pub struct GridIndex {
 impl GridIndex {
     /// Builds a grid over the union of the given raw datasets.
     pub fn build(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         config: &GridConfig,
         name: &str,
         sources: &[RawDataset],
     ) -> StorageResult<Self> {
-        assert!(config.build_buffer_objects > 0, "build buffer must hold at least one object");
+        assert!(
+            config.build_buffer_objects > 0,
+            "build buffer must hold at least one object"
+        );
         let spec = GridSpec::new(config.bounds, config.cells_per_dim);
         let file = storage.create_file(&format!("grid_{name}"))?;
         let mut cell_runs: Vec<Vec<CellRun>> = vec![Vec::new(); spec.cell_count()];
@@ -85,7 +92,7 @@ impl GridIndex {
             let pages = raw.pages();
             for page_idx in pages {
                 let page = storage.read_page(raw.file, odyssey_storage::PageId(page_idx))?;
-                let objects = page.objects().map_err(Into::<odyssey_storage::StorageError>::into)?;
+                let objects = page.objects()?;
                 storage.note_objects_scanned(objects.len() as u64);
                 for obj in objects {
                     max_ext = max_ext.max(obj.extent());
@@ -103,11 +110,17 @@ impl GridIndex {
             Self::flush(storage, file, &mut cell_buffers, &mut cell_runs)?;
         }
         let data_pages = storage.num_pages(file)?;
-        Ok(GridIndex { spec, file, cell_runs, max_extent: max_ext, data_pages })
+        Ok(GridIndex {
+            spec,
+            file,
+            cell_runs,
+            max_extent: max_ext,
+            data_pages,
+        })
     }
 
     fn flush(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         file: FileId,
         buffers: &mut [Vec<SpatialObject>],
         runs: &mut [Vec<CellRun>],
@@ -117,7 +130,10 @@ impl GridIndex {
                 continue;
             }
             let range: Range<u64> = storage.append_objects(file, buf)?;
-            runs[cell].push(CellRun { start: range.start, end: range.end });
+            runs[cell].push(CellRun {
+                start: range.start,
+                end: range.end,
+            });
             buf.clear();
         }
         Ok(())
@@ -152,7 +168,7 @@ impl GridIndex {
 impl SpatialIndexBuild for GridIndex {
     fn query_range(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>> {
         // Query-window extension: objects were assigned by center, so the
@@ -189,7 +205,7 @@ impl IndexBuilder for GridBuilder {
 
     fn build(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         name: &str,
         sources: &[RawDataset],
     ) -> StorageResult<GridIndex> {
@@ -233,20 +249,24 @@ mod tests {
     }
 
     fn setup(n: u64) -> (StorageManager, Vec<SpatialObject>, RawDataset) {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = random_objects(n, 0, 7);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
         (storage, objs, raw)
     }
 
     fn config() -> GridConfig {
-        GridConfig { cells_per_dim: 8, bounds: bounds(), build_buffer_objects: 500 }
+        GridConfig {
+            cells_per_dim: 8,
+            bounds: bounds(),
+            build_buffer_objects: 500,
+        }
     }
 
     #[test]
     fn build_and_query_matches_scan() {
-        let (mut storage, objs, raw) = setup(3000);
-        let grid = GridIndex::build(&mut storage, &config(), "t", &[raw]).unwrap();
+        let (storage, objs, raw) = setup(3000);
+        let grid = GridIndex::build(&storage, &config(), "t", &[raw]).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..30 {
             let c = Vec3::new(
@@ -258,7 +278,7 @@ mod tests {
             let q = RangeQuery::new(QueryId(0), range, DatasetSet::single(DatasetId(0)));
             let mut expected: Vec<_> = scan_query(&q, objs.iter()).iter().map(|o| o.id).collect();
             let mut got: Vec<_> = grid
-                .query_range(&mut storage, &range)
+                .query_range(&storage, &range)
                 .unwrap()
                 .iter()
                 .map(|o| o.id)
@@ -272,25 +292,31 @@ mod tests {
 
     #[test]
     fn max_extent_recorded() {
-        let (mut storage, objs, raw) = setup(500);
-        let grid = GridIndex::build(&mut storage, &config(), "t", &[raw]).unwrap();
+        let (storage, objs, raw) = setup(500);
+        let grid = GridIndex::build(&storage, &config(), "t", &[raw]).unwrap();
         assert_eq!(grid.max_extent(), odyssey_geom::max_extent(objs.iter()));
     }
 
     #[test]
     fn small_buffer_causes_fragmentation() {
-        let (mut storage, _, raw) = setup(3000);
+        let (storage, _, raw) = setup(3000);
         let fragmented = GridIndex::build(
-            &mut storage,
-            &GridConfig { build_buffer_objects: 200, ..config() },
+            &storage,
+            &GridConfig {
+                build_buffer_objects: 200,
+                ..config()
+            },
             "frag",
             &[raw],
         )
         .unwrap();
-        let (mut storage2, _, raw2) = setup(3000);
+        let (storage2, _, raw2) = setup(3000);
         let contiguous = GridIndex::build(
-            &mut storage2,
-            &GridConfig { build_buffer_objects: 1_000_000, ..config() },
+            &storage2,
+            &GridConfig {
+                build_buffer_objects: 1_000_000,
+                ..config()
+            },
             "cont",
             &[raw2],
         )
@@ -301,31 +327,34 @@ mod tests {
 
     #[test]
     fn query_on_empty_region_returns_nothing() {
-        let (mut storage, _, raw) = setup(200);
-        let grid = GridIndex::build(&mut storage, &config(), "t", &[raw]).unwrap();
+        let (storage, _, raw) = setup(200);
+        let grid = GridIndex::build(&storage, &config(), "t", &[raw]).unwrap();
         // All objects live inside [1, 99]^3; query far in a corner sliver
         // outside any object.
         let range = Aabb::from_min_max(Vec3::splat(99.95), Vec3::splat(99.99));
-        let res = grid.query_range(&mut storage, &range).unwrap();
+        let res = grid.query_range(&storage, &range).unwrap();
         assert!(res.iter().all(|o| o.mbr.intersects(&range)));
     }
 
     #[test]
     fn builds_over_multiple_datasets() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let a = random_objects(800, 0, 1);
         let b = random_objects(800, 1, 2);
-        let raw_a = write_raw_dataset(&mut storage, DatasetId(0), &a).unwrap();
-        let raw_b = write_raw_dataset(&mut storage, DatasetId(1), &b).unwrap();
-        let grid = GridIndex::build(&mut storage, &config(), "ain1", &[raw_a, raw_b]).unwrap();
+        let raw_a = write_raw_dataset(&storage, DatasetId(0), &a).unwrap();
+        let raw_b = write_raw_dataset(&storage, DatasetId(1), &b).unwrap();
+        let grid = GridIndex::build(&storage, &config(), "ain1", &[raw_a, raw_b]).unwrap();
         let range = Aabb::from_min_max(Vec3::splat(20.0), Vec3::splat(60.0));
-        let res = grid.query_range(&mut storage, &range).unwrap();
+        let res = grid.query_range(&storage, &range).unwrap();
         assert!(res.iter().any(|o| o.dataset == DatasetId(0)));
         assert!(res.iter().any(|o| o.dataset == DatasetId(1)));
         // Correctness against the union scan.
         let all: Vec<_> = a.iter().chain(b.iter()).copied().collect();
         let q = RangeQuery::new(QueryId(0), range, DatasetSet::first_n(2));
-        let mut expected: Vec<_> = scan_query(&q, all.iter()).iter().map(|o| (o.dataset, o.id)).collect();
+        let mut expected: Vec<_> = scan_query(&q, all.iter())
+            .iter()
+            .map(|o| (o.dataset, o.id))
+            .collect();
         let mut got: Vec<_> = res.iter().map(|o| (o.dataset, o.id)).collect();
         expected.sort_unstable();
         got.sort_unstable();
@@ -341,10 +370,10 @@ mod tests {
 
     #[test]
     fn builder_trait_roundtrip() {
-        let (mut storage, _, raw) = setup(100);
+        let (storage, _, raw) = setup(100);
         let builder = GridBuilder(config());
         assert_eq!(builder.kind(), "grid");
-        let grid = builder.build(&mut storage, "b", &[raw]).unwrap();
+        let grid = builder.build(&storage, "b", &[raw]).unwrap();
         assert_eq!(grid.kind(), "grid");
         assert!(grid.data_pages() > 0);
         assert!(grid.occupied_cells() > 0);
@@ -352,12 +381,18 @@ mod tests {
 
     #[test]
     fn build_cost_is_counted() {
-        let (mut storage, _, raw) = setup(2000);
+        let (storage, _, raw) = setup(2000);
         let before = storage.stats();
-        let _ = GridIndex::build(&mut storage, &config(), "t", &[raw]).unwrap();
+        let _ = GridIndex::build(&storage, &config(), "t", &[raw]).unwrap();
         let d = storage.stats().since(&before).0;
-        assert!(d.pages_read() + d.buffer_hits >= raw.num_pages(), "raw scan must be charged");
-        assert!(d.pages_written() >= raw.num_pages(), "grid pages must be written");
+        assert!(
+            d.pages_read() + d.buffer_hits >= raw.num_pages(),
+            "raw scan must be charged"
+        );
+        assert!(
+            d.pages_written() >= raw.num_pages(),
+            "grid pages must be written"
+        );
         assert!(d.objects_written >= 2000);
     }
 }

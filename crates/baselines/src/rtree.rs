@@ -69,7 +69,7 @@ const CHILD_IS_NODE: u16 = 1;
 impl RTreeIndex {
     /// Bulk loads an R-Tree over the union of the given raw datasets.
     pub fn build(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         config: &RTreeConfig,
         name: &str,
         sources: &[RawDataset],
@@ -110,7 +110,14 @@ impl RTreeIndex {
             build_directory(storage, node_file, &leaf_mbrs, config.node_fanout)?;
         let directory_pages = storage.num_pages(node_file)?;
 
-        Ok(RTreeIndex { leaf_file, node_file, root_page, data_pages, directory_pages, height })
+        Ok(RTreeIndex {
+            leaf_file,
+            node_file,
+            root_page,
+            data_pages,
+            directory_pages,
+            height,
+        })
     }
 
     /// Height of the directory (1 = root points directly at leaf pages).
@@ -127,7 +134,7 @@ impl RTreeIndex {
 impl SpatialIndexBuild for RTreeIndex {
     fn query_range(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>> {
         // Traverse the directory; every visited node costs a page read.
@@ -171,13 +178,15 @@ impl SpatialIndexBuild for RTreeIndex {
 
 /// Smallest box containing all the objects of a slice.
 fn mbr_of(objects: &[SpatialObject]) -> Aabb {
-    objects.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr))
+    objects
+        .iter()
+        .fold(Aabb::empty(), |acc, o| acc.union(&o.mbr))
 }
 
 /// Charges `passes` full external-sort passes over `objects`: each pass
 /// writes the data to a fresh run file sequentially and reads it back.
 pub(crate) fn charge_external_sort_passes(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     name: &str,
     objects: &[SpatialObject],
     passes: u32,
@@ -230,7 +239,7 @@ pub(crate) fn str_pack(
 /// children from node children, and `mbr` is the child's bounding box.
 /// Returns the root page index and the tree height.
 fn build_directory(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     node_file: FileId,
     leaf_mbrs: &[Aabb],
     fanout: usize,
@@ -253,11 +262,15 @@ fn build_directory(
         for group in level.chunks(fanout) {
             let entries: Vec<SpatialObject> = group
                 .iter()
-                .map(|(child, mbr, tag)| SpatialObject::new(ObjectId(*child), DatasetId(*tag), *mbr))
+                .map(|(child, mbr, tag)| {
+                    SpatialObject::new(ObjectId(*child), DatasetId(*tag), *mbr)
+                })
                 .collect();
             let page = odyssey_storage::Page::from_objects(&entries)?;
             let page_id = storage.append_page(node_file, &page)?;
-            let node_mbr = group.iter().fold(Aabb::empty(), |acc, (_, m, _)| acc.union(m));
+            let node_mbr = group
+                .iter()
+                .fold(Aabb::empty(), |acc, (_, m, _)| acc.union(m));
             next_level.push((page_id.0, node_mbr, CHILD_IS_NODE));
         }
         if next_level.len() == 1 {
@@ -276,7 +289,7 @@ impl IndexBuilder for RTreeBuilder {
 
     fn build(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         name: &str,
         sources: &[RawDataset],
     ) -> StorageResult<RTreeIndex> {
@@ -315,10 +328,10 @@ mod tests {
     }
 
     fn build_index(n: u64) -> (StorageManager, Vec<SpatialObject>, RTreeIndex) {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = random_objects(n, 0, 3);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
-        let idx = RTreeIndex::build(&mut storage, &RTreeConfig::default(), "t", &[raw]).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
+        let idx = RTreeIndex::build(&storage, &RTreeConfig::default(), "t", &[raw]).unwrap();
         (storage, objs, idx)
     }
 
@@ -346,9 +359,14 @@ mod tests {
         let leaves = str_pack(&mut objs, 63);
         let str_avg: f64 =
             leaves.iter().map(|l| mbr_of(l).volume()).sum::<f64>() / leaves.len() as f64;
-        let random_chunks: Vec<Vec<SpatialObject>> =
-            random_objects(2000, 0, 4).chunks(63).map(|c| c.to_vec()).collect();
-        let rnd_avg: f64 = random_chunks.iter().map(|l| mbr_of(l).volume()).sum::<f64>()
+        let random_chunks: Vec<Vec<SpatialObject>> = random_objects(2000, 0, 4)
+            .chunks(63)
+            .map(|c| c.to_vec())
+            .collect();
+        let rnd_avg: f64 = random_chunks
+            .iter()
+            .map(|l| mbr_of(l).volume())
+            .sum::<f64>()
             / random_chunks.len() as f64;
         assert!(str_avg < rnd_avg / 3.0, "STR {str_avg} vs random {rnd_avg}");
     }
@@ -361,7 +379,7 @@ mod tests {
 
     #[test]
     fn queries_match_scan_oracle() {
-        let (mut storage, objs, idx) = build_index(3000);
+        let (storage, objs, idx) = build_index(3000);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         for _ in 0..30 {
             let c = Vec3::new(
@@ -372,8 +390,12 @@ mod tests {
             let range = Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(1.0..25.0)));
             let q = RangeQuery::new(QueryId(0), range, DatasetSet::single(DatasetId(0)));
             let mut expected: Vec<_> = scan_query(&q, objs.iter()).iter().map(|o| o.id).collect();
-            let mut got: Vec<_> =
-                idx.query_range(&mut storage, &range).unwrap().iter().map(|o| o.id).collect();
+            let mut got: Vec<_> = idx
+                .query_range(&storage, &range)
+                .unwrap()
+                .iter()
+                .map(|o| o.id)
+                .collect();
             expected.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, expected);
@@ -382,13 +404,13 @@ mod tests {
 
     #[test]
     fn directory_is_on_disk_and_traversal_reads_it() {
-        let (mut storage, _, idx) = build_index(5000);
+        let (storage, _, idx) = build_index(5000);
         assert!(idx.directory_pages() >= 2, "5000 objects need >1 node page");
         assert!(idx.height() >= 2);
         storage.clear_cache();
         let before = storage.stats();
         let range = Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(5.0));
-        idx.query_range(&mut storage, &range).unwrap();
+        idx.query_range(&storage, &range).unwrap();
         let d = storage.stats().since(&before).0;
         // At least the root and one more directory page were read in addition
         // to any leaf pages.
@@ -397,13 +419,16 @@ mod tests {
 
     #[test]
     fn build_charges_external_sort_passes() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = random_objects(2000, 0, 1);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
         let before = storage.stats();
         let _ = RTreeIndex::build(
-            &mut storage,
-            &RTreeConfig { external_sort_passes: 3, ..Default::default() },
+            &storage,
+            &RTreeConfig {
+                external_sort_passes: 3,
+                ..Default::default()
+            },
             "t",
             &[raw],
         )
@@ -418,13 +443,16 @@ mod tests {
     #[test]
     fn more_sort_passes_cost_more() {
         let cost = |passes: u32| {
-            let mut storage = StorageManager::in_memory();
+            let storage = StorageManager::in_memory();
             let objs = random_objects(2000, 0, 1);
-            let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+            let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
             let before = storage.stats();
             let _ = RTreeIndex::build(
-                &mut storage,
-                &RTreeConfig { external_sort_passes: passes, ..Default::default() },
+                &storage,
+                &RTreeConfig {
+                    external_sort_passes: passes,
+                    ..Default::default()
+                },
                 "t",
                 &[raw],
             )
@@ -436,11 +464,11 @@ mod tests {
 
     #[test]
     fn empty_dataset_builds_and_queries() {
-        let mut storage = StorageManager::in_memory();
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &[]).unwrap();
-        let idx = RTreeIndex::build(&mut storage, &RTreeConfig::default(), "t", &[raw]).unwrap();
+        let storage = StorageManager::in_memory();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &[]).unwrap();
+        let idx = RTreeIndex::build(&storage, &RTreeConfig::default(), "t", &[raw]).unwrap();
         let res = idx
-            .query_range(&mut storage, &Aabb::from_min_max(Vec3::ZERO, Vec3::ONE))
+            .query_range(&storage, &Aabb::from_min_max(Vec3::ZERO, Vec3::ONE))
             .unwrap();
         assert!(res.is_empty());
         assert_eq!(idx.data_pages(), 0);
@@ -448,26 +476,26 @@ mod tests {
 
     #[test]
     fn multi_dataset_build() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let a = random_objects(500, 0, 1);
         let b = random_objects(500, 1, 2);
-        let ra = write_raw_dataset(&mut storage, DatasetId(0), &a).unwrap();
-        let rb = write_raw_dataset(&mut storage, DatasetId(1), &b).unwrap();
-        let idx = RTreeIndex::build(&mut storage, &RTreeConfig::default(), "u", &[ra, rb]).unwrap();
+        let ra = write_raw_dataset(&storage, DatasetId(0), &a).unwrap();
+        let rb = write_raw_dataset(&storage, DatasetId(1), &b).unwrap();
+        let idx = RTreeIndex::build(&storage, &RTreeConfig::default(), "u", &[ra, rb]).unwrap();
         let range = Aabb::from_min_max(Vec3::splat(10.0), Vec3::splat(90.0));
-        let res = idx.query_range(&mut storage, &range).unwrap();
+        let res = idx.query_range(&storage, &range).unwrap();
         assert!(res.iter().any(|o| o.dataset == DatasetId(0)));
         assert!(res.iter().any(|o| o.dataset == DatasetId(1)));
     }
 
     #[test]
     fn builder_trait() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = random_objects(100, 0, 1);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
         let b = RTreeBuilder(RTreeConfig::default());
         assert_eq!(b.kind(), "rtree");
-        let idx = b.build(&mut storage, "x", &[raw]).unwrap();
+        let idx = b.build(&storage, "x", &[raw]).unwrap();
         assert_eq!(idx.kind(), "rtree");
         assert!(idx.data_pages() > 0);
     }

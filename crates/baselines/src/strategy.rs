@@ -42,12 +42,16 @@ impl Strategy {
 
 /// A fully built multi-dataset access method that can answer the paper's
 /// `Q = {A; DS1, …, DSN}` queries.
-pub trait MultiDatasetIndex {
+///
+/// Queries take `&self` and a shared `&StorageManager`, and implementations
+/// must be `Send + Sync`: the concurrent benchmark harness drives every
+/// strategy from multiple threads exactly like the Space Odyssey engine.
+pub trait MultiDatasetIndex: Send + Sync {
     /// Executes a query and returns the objects of the requested datasets
     /// whose MBRs intersect the range.
     fn query(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         query: &RangeQuery,
     ) -> StorageResult<Vec<SpatialObject>>;
 
@@ -67,17 +71,23 @@ pub struct OneForEach<I: SpatialIndexBuild> {
 impl<I: SpatialIndexBuild> OneForEach<I> {
     /// Builds one index per raw dataset using `builder`.
     pub fn build<B: IndexBuilder<Index = I>>(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         builder: &B,
         sources: &[RawDataset],
     ) -> StorageResult<Self> {
         let mut indexes = Vec::with_capacity(sources.len());
         for raw in sources {
-            let idx =
-                builder.build(storage, &format!("ds{}", raw.dataset.0), std::slice::from_ref(raw))?;
+            let idx = builder.build(
+                storage,
+                &format!("ds{}", raw.dataset.0),
+                std::slice::from_ref(raw),
+            )?;
             indexes.push((raw.dataset, idx));
         }
-        Ok(OneForEach { indexes, label: format!("{}-1fE", display_kind(builder.kind())) })
+        Ok(OneForEach {
+            indexes,
+            label: format!("{}-1fE", display_kind(builder.kind())),
+        })
     }
 
     /// Number of per-dataset indexes.
@@ -89,7 +99,7 @@ impl<I: SpatialIndexBuild> OneForEach<I> {
 impl<I: SpatialIndexBuild> MultiDatasetIndex for OneForEach<I> {
     fn query(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         query: &RangeQuery,
     ) -> StorageResult<Vec<SpatialObject>> {
         let mut result = Vec::new();
@@ -121,12 +131,15 @@ pub struct AllInOne<I: SpatialIndexBuild> {
 impl<I: SpatialIndexBuild> AllInOne<I> {
     /// Builds a single index over the union of all raw datasets.
     pub fn build<B: IndexBuilder<Index = I>>(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         builder: &B,
         sources: &[RawDataset],
     ) -> StorageResult<Self> {
         let index = builder.build(storage, "all", sources)?;
-        Ok(AllInOne { index, label: format!("{}-Ain1", display_kind(builder.kind())) })
+        Ok(AllInOne {
+            index,
+            label: format!("{}-Ain1", display_kind(builder.kind())),
+        })
     }
 
     /// The wrapped index.
@@ -138,7 +151,7 @@ impl<I: SpatialIndexBuild> AllInOne<I> {
 impl<I: SpatialIndexBuild> MultiDatasetIndex for AllInOne<I> {
     fn query(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         query: &RangeQuery,
     ) -> StorageResult<Vec<SpatialObject>> {
         let objs = self.index.query_range(storage, &query.range)?;
@@ -184,8 +197,12 @@ pub enum Approach {
 
 impl Approach {
     /// The approaches plotted in Figure 4, in the paper's legend order.
-    pub const FIGURE4: [Approach; 4] =
-        [Approach::FlatAin1, Approach::Flat1fE, Approach::RTreeAin1, Approach::Grid1fE];
+    pub const FIGURE4: [Approach; 4] = [
+        Approach::FlatAin1,
+        Approach::Flat1fE,
+        Approach::RTreeAin1,
+        Approach::Grid1fE,
+    ];
 
     /// Display name matching the paper's legend.
     pub fn name(self) -> &'static str {
@@ -233,30 +250,42 @@ impl ApproachConfig {
 /// Builds one of the competitor approaches over the given raw datasets and
 /// returns it as a trait object the harness can drive uniformly.
 pub fn build_approach(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     approach: Approach,
     config: &ApproachConfig,
     sources: &[RawDataset],
 ) -> StorageResult<Box<dyn MultiDatasetIndex>> {
     Ok(match approach {
-        Approach::FlatAin1 => {
-            Box::new(AllInOne::build(storage, &FlatBuilder(config.flat), sources)?)
-        }
-        Approach::Flat1fE => {
-            Box::new(OneForEach::build(storage, &FlatBuilder(config.flat), sources)?)
-        }
-        Approach::RTreeAin1 => {
-            Box::new(AllInOne::build(storage, &RTreeBuilder(config.rtree), sources)?)
-        }
-        Approach::RTree1fE => {
-            Box::new(OneForEach::build(storage, &RTreeBuilder(config.rtree), sources)?)
-        }
-        Approach::Grid1fE => {
-            Box::new(OneForEach::build(storage, &GridBuilder(config.grid), sources)?)
-        }
-        Approach::GridAin1 => {
-            Box::new(AllInOne::build(storage, &GridBuilder(config.grid), sources)?)
-        }
+        Approach::FlatAin1 => Box::new(AllInOne::build(
+            storage,
+            &FlatBuilder(config.flat),
+            sources,
+        )?),
+        Approach::Flat1fE => Box::new(OneForEach::build(
+            storage,
+            &FlatBuilder(config.flat),
+            sources,
+        )?),
+        Approach::RTreeAin1 => Box::new(AllInOne::build(
+            storage,
+            &RTreeBuilder(config.rtree),
+            sources,
+        )?),
+        Approach::RTree1fE => Box::new(OneForEach::build(
+            storage,
+            &RTreeBuilder(config.rtree),
+            sources,
+        )?),
+        Approach::Grid1fE => Box::new(OneForEach::build(
+            storage,
+            &GridBuilder(config.grid),
+            sources,
+        )?),
+        Approach::GridAin1 => Box::new(AllInOne::build(
+            storage,
+            &GridBuilder(config.grid),
+            sources,
+        )?),
     })
 }
 
@@ -297,15 +326,19 @@ mod tests {
     }
 
     fn fixture(num_datasets: u16, per_dataset: u64) -> Fixture {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let mut raws = Vec::new();
         let mut all_objects = Vec::new();
         for ds in 0..num_datasets {
             let objs = random_objects(per_dataset, ds, ds as u64 + 1);
-            raws.push(write_raw_dataset(&mut storage, DatasetId(ds), &objs).unwrap());
+            raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
             all_objects.extend(objs);
         }
-        Fixture { storage, raws, all_objects }
+        Fixture {
+            storage,
+            raws,
+            all_objects,
+        }
     }
 
     fn sample_query(seed: u64, datasets: &[u16]) -> RangeQuery {
@@ -333,7 +366,11 @@ mod tests {
 
     #[test]
     fn every_approach_answers_queries_correctly() {
-        let Fixture { mut storage, raws, all_objects } = fixture(4, 700);
+        let Fixture {
+            storage,
+            raws,
+            all_objects,
+        } = fixture(4, 700);
         let config = ApproachConfig::paper(bounds());
         for approach in [
             Approach::FlatAin1,
@@ -343,15 +380,17 @@ mod tests {
             Approach::Grid1fE,
             Approach::GridAin1,
         ] {
-            let index = build_approach(&mut storage, approach, &config, &raws).unwrap();
+            let index = build_approach(&storage, approach, &config, &raws).unwrap();
             assert_eq!(index.name(), approach.name());
             assert!(index.data_pages() > 0);
             for seed in 0..10u64 {
                 let q = sample_query(seed, &[0, 2, 3]);
-                let mut expected: Vec<_> =
-                    scan_query(&q, all_objects.iter()).iter().map(|o| (o.dataset, o.id)).collect();
+                let mut expected: Vec<_> = scan_query(&q, all_objects.iter())
+                    .iter()
+                    .map(|o| (o.dataset, o.id))
+                    .collect();
                 let mut got: Vec<_> = index
-                    .query(&mut storage, &q)
+                    .query(&storage, &q)
                     .unwrap()
                     .iter()
                     .map(|o| (o.dataset, o.id))
@@ -366,34 +405,37 @@ mod tests {
 
     #[test]
     fn queries_never_return_unrequested_datasets() {
-        let Fixture { mut storage, raws, .. } = fixture(3, 400);
+        let Fixture { storage, raws, .. } = fixture(3, 400);
         let config = ApproachConfig::paper(bounds());
-        let index = build_approach(&mut storage, Approach::RTreeAin1, &config, &raws).unwrap();
+        let index = build_approach(&storage, Approach::RTreeAin1, &config, &raws).unwrap();
         let q = sample_query(1, &[1]);
-        for obj in index.query(&mut storage, &q).unwrap() {
+        for obj in index.query(&storage, &q).unwrap() {
             assert_eq!(obj.dataset, DatasetId(1));
         }
     }
 
     #[test]
     fn one_for_each_only_probes_requested_indexes() {
-        let Fixture { mut storage, raws, .. } = fixture(4, 800);
+        let Fixture { storage, raws, .. } = fixture(4, 800);
         // Scale the grid resolution to the (small) test data so that queries
         // actually hit populated cells.
-        let grid_config =
-            GridConfig { cells_per_dim: 8, bounds: bounds(), build_buffer_objects: 100_000 };
-        let grid = OneForEach::build(&mut storage, &GridBuilder(grid_config), &raws).unwrap();
+        let grid_config = GridConfig {
+            cells_per_dim: 8,
+            bounds: bounds(),
+            build_buffer_objects: 100_000,
+        };
+        let grid = OneForEach::build(&storage, &GridBuilder(grid_config), &raws).unwrap();
         assert_eq!(grid.index_count(), 4);
         storage.clear_cache();
         let before = storage.stats();
         let q_one = sample_query(3, &[0]);
-        grid.query(&mut storage, &q_one).unwrap();
+        grid.query(&storage, &q_one).unwrap();
         let cost_one = storage.seconds_since(&before);
 
         storage.clear_cache();
         let before = storage.stats();
         let q_all = sample_query(3, &[0, 1, 2, 3]);
-        grid.query(&mut storage, &q_all).unwrap();
+        grid.query(&storage, &q_all).unwrap();
         let cost_all = storage.seconds_since(&before);
         assert!(
             cost_all > cost_one,
@@ -403,14 +445,12 @@ mod tests {
 
     #[test]
     fn ain1_cost_is_insensitive_to_m_while_1fe_grows() {
-        let Fixture { mut storage, raws, .. } = fixture(5, 600);
+        let Fixture { storage, raws, .. } = fixture(5, 600);
         let config = ApproachConfig::paper(bounds());
-        let rtree_ain1 = build_approach(&mut storage, Approach::RTreeAin1, &config, &raws).unwrap();
-        let rtree_1fe = build_approach(&mut storage, Approach::RTree1fE, &config, &raws).unwrap();
+        let rtree_ain1 = build_approach(&storage, Approach::RTreeAin1, &config, &raws).unwrap();
+        let rtree_1fe = build_approach(&storage, Approach::RTree1fE, &config, &raws).unwrap();
 
-        let cost = |storage: &mut StorageManager,
-                    idx: &Box<dyn MultiDatasetIndex>,
-                    datasets: &[u16]| {
+        let cost = |storage: &StorageManager, idx: &dyn MultiDatasetIndex, datasets: &[u16]| {
             let mut total = 0.0;
             for seed in 0..8u64 {
                 storage.clear_cache();
@@ -420,13 +460,16 @@ mod tests {
             }
             total
         };
-        let ain1_m1 = cost(&mut storage, &rtree_ain1, &[0]);
-        let ain1_m5 = cost(&mut storage, &rtree_ain1, &[0, 1, 2, 3, 4]);
-        let ofe_m1 = cost(&mut storage, &rtree_1fe, &[0]);
-        let ofe_m5 = cost(&mut storage, &rtree_1fe, &[0, 1, 2, 3, 4]);
+        let ain1_m1 = cost(&storage, rtree_ain1.as_ref(), &[0]);
+        let ain1_m5 = cost(&storage, rtree_ain1.as_ref(), &[0, 1, 2, 3, 4]);
+        let ofe_m1 = cost(&storage, rtree_1fe.as_ref(), &[0]);
+        let ofe_m5 = cost(&storage, rtree_1fe.as_ref(), &[0, 1, 2, 3, 4]);
         // 1fE cost grows clearly with m; Ain1 grows much less (it reads the
         // same big structure either way, only the filtering changes).
-        assert!(ofe_m5 > 2.0 * ofe_m1, "1fE should scale with m: {ofe_m1} vs {ofe_m5}");
+        assert!(
+            ofe_m5 > 2.0 * ofe_m1,
+            "1fE should scale with m: {ofe_m1} vs {ofe_m5}"
+        );
         let ain1_growth = ain1_m5 / ain1_m1;
         let ofe_growth = ofe_m5 / ofe_m1;
         assert!(

@@ -10,11 +10,14 @@ use odyssey_storage::{RawDataset, StorageManager, StorageResult};
 /// the `maxExtent` they recorded at build time) and return every object whose
 /// MBR intersects `range`, regardless of dataset; dataset filtering is the
 /// job of the [`crate::strategy`] layer.
-pub trait SpatialIndexBuild {
+///
+/// Indexes are immutable once built and must be `Send + Sync` so the
+/// concurrent harness can probe them from many threads.
+pub trait SpatialIndexBuild: Send + Sync {
     /// Executes a spatial range query and returns the matching objects.
     fn query_range(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>>;
 
@@ -40,7 +43,7 @@ pub trait IndexBuilder: Clone {
     /// `name` is used to label the files the index creates.
     fn build(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         name: &str,
         sources: &[RawDataset],
     ) -> StorageResult<Self::Index>;

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmark for the parallel batch API: the same warmed
+//! engine executes the same workload through `execute_batch_with_threads`
+//! with 1, 4 and 8 workers, on a uniform and on a clustered workload.
+//!
+//! On a multi-core host the 4- and 8-thread rows should show well over 1.5×
+//! the sequential throughput (the whole read path runs against `&self`); on a
+//! single-core host the rows collapse to roughly sequential speed, which is
+//! itself a useful regression signal for lock overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
+    WorkloadSpec,
+};
+use odyssey_geom::DatasetId;
+use odyssey_storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+const NUM_DATASETS: usize = 4;
+const OBJECTS_PER_DATASET: usize = 8_000;
+const QUERIES: usize = 120;
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+struct Fixture {
+    storage: StorageManager,
+    engine: SpaceOdyssey,
+}
+
+/// Builds a warmed engine: raw files written, the workload executed once so
+/// first-touch partitioning, refinement and merging have converged. The
+/// measured batches then exercise the steady serving state.
+fn warmed_fixture(workload: &Workload) -> Fixture {
+    let spec = DatasetSpec {
+        num_datasets: NUM_DATASETS,
+        objects_per_dataset: OBJECTS_PER_DATASET,
+        soma_clusters: 6,
+        segments_per_neuron: 40,
+        seed: 42,
+        ..Default::default()
+    };
+    let model = BrainModel::new(spec);
+    // A buffer pool large enough to engage sharding (≥1024 pages) so cache
+    // hits from different threads do not serialize on one LRU lock.
+    let storage = StorageManager::new(StorageOptions::in_memory(8192));
+    let raws = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
+    for q in &workload.queries {
+        engine.execute(&storage, q).unwrap();
+    }
+    Fixture { storage, engine }
+}
+
+fn workload(range: QueryRangeDistribution, seed: u64) -> Workload {
+    WorkloadSpec {
+        num_datasets: NUM_DATASETS,
+        datasets_per_query: 3,
+        num_queries: QUERIES,
+        query_volume_fraction: 1e-5,
+        range_distribution: range,
+        combination_distribution: CombinationDistribution::Zipf,
+        seed,
+    }
+    .generate(&BrainModel::new(DatasetSpec::default()).bounds())
+}
+
+fn bench_workload(c: &mut Criterion, name: &str, range: QueryRangeDistribution, seed: u64) {
+    let wl = workload(range, seed);
+    let fixture = warmed_fixture(&wl);
+    let sequential_results: u64 = fixture
+        .engine
+        .execute_batch_with_threads(&fixture.storage, &wl.queries, 1)
+        .unwrap()
+        .iter()
+        .map(|o| o.objects.len() as u64)
+        .sum();
+
+    let mut group = c.benchmark_group(format!("batch_throughput/{name}"));
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(QUERIES as u64));
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                let outcomes = fixture
+                    .engine
+                    .execute_batch_with_threads(&fixture.storage, &wl.queries, threads)
+                    .unwrap();
+                let results: u64 = outcomes.iter().map(|o| o.objects.len() as u64).sum();
+                assert_eq!(
+                    results, sequential_results,
+                    "answers must not depend on threads"
+                );
+                results
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform(c: &mut Criterion) {
+    bench_workload(c, "uniform", QueryRangeDistribution::Uniform, 7);
+}
+
+fn bench_clustered(c: &mut Criterion) {
+    bench_workload(
+        c,
+        "clustered",
+        QueryRangeDistribution::Clustered { num_clusters: 6 },
+        9,
+    );
+}
+
+criterion_group!(batch_throughput, bench_uniform, bench_clustered);
+criterion_main!(batch_throughput);

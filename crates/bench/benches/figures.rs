@@ -31,10 +31,18 @@ fn bench_figure4_row(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure4");
     group.sample_size(10);
     group.bench_function("panel_a_m3_50q", |b| {
-        b.iter(|| figures::figure4_panel(&runner, Figure4Panel::A, &[3], 50).0.len());
+        b.iter(|| {
+            figures::figure4_panel(&runner, Figure4Panel::A, &[3], 50)
+                .0
+                .len()
+        });
     });
     group.bench_function("panel_d_m3_50q", |b| {
-        b.iter(|| figures::figure4_panel(&runner, Figure4Panel::D, &[3], 50).0.len());
+        b.iter(|| {
+            figures::figure4_panel(&runner, Figure4Panel::D, &[3], 50)
+                .0
+                .len()
+        });
     });
     group.finish();
 }
@@ -44,10 +52,18 @@ fn bench_figure5_series(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure5");
     group.sample_size(10);
     group.bench_function("panel_a_60q", |b| {
-        b.iter(|| figures::figure5_panel(&runner, Figure5Panel::A, 60).series.len());
+        b.iter(|| {
+            figures::figure5_panel(&runner, Figure5Panel::A, 60)
+                .series
+                .len()
+        });
     });
     group.bench_function("panel_c_60q", |b| {
-        b.iter(|| figures::figure5_panel(&runner, Figure5Panel::C, 60).series.len());
+        b.iter(|| {
+            figures::figure5_panel(&runner, Figure5Panel::C, 60)
+                .series
+                .len()
+        });
     });
     group.finish();
 }
@@ -76,5 +92,10 @@ fn bench_single_approach_runs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures_bench, bench_figure4_row, bench_figure5_series, bench_single_approach_runs);
+criterion_group!(
+    figures_bench,
+    bench_figure4_row,
+    bench_figure5_series,
+    bench_single_approach_runs
+);
 criterion_main!(figures_bench);

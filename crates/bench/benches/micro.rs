@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use odyssey_baselines::strategy::{build_approach, Approach, ApproachConfig};
 use odyssey_baselines::GridConfig;
 use odyssey_core::{OdysseyConfig, SpaceOdyssey};
-use odyssey_datagen::{BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec};
+use odyssey_datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec,
+};
 use odyssey_geom::DatasetId;
 use odyssey_storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
 
@@ -28,17 +30,26 @@ fn fixture(objects_per_dataset: usize, num_datasets: usize) -> Fixture {
         ..Default::default()
     };
     let model = BrainModel::new(spec.clone());
-    let mut storage = StorageManager::new(StorageOptions::in_memory(1024));
+    let storage = StorageManager::new(StorageOptions::in_memory(1024));
     let raws: Vec<RawDataset> = model
         .generate_all()
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
         .collect();
-    Fixture { storage, raws, bounds: model.bounds(), spec }
+    Fixture {
+        storage,
+        raws,
+        bounds: model.bounds(),
+        spec,
+    }
 }
 
-fn workload(spec: &DatasetSpec, bounds: &odyssey_geom::Aabb, n: usize) -> odyssey_datagen::Workload {
+fn workload(
+    spec: &DatasetSpec,
+    bounds: &odyssey_geom::Aabb,
+    n: usize,
+) -> odyssey_datagen::Workload {
     WorkloadSpec {
         num_datasets: spec.num_datasets,
         datasets_per_query: 3.min(spec.num_datasets),
@@ -53,7 +64,10 @@ fn workload(spec: &DatasetSpec, bounds: &odyssey_geom::Aabb, n: usize) -> odysse
 
 fn bench_dataset_generation(c: &mut Criterion) {
     c.bench_function("datagen/brain_10k_objects", |b| {
-        let spec = DatasetSpec { objects_per_dataset: 10_000, ..Default::default() };
+        let spec = DatasetSpec {
+            objects_per_dataset: 10_000,
+            ..Default::default()
+        };
         let model = BrainModel::new(spec);
         b.iter(|| model.generate_dataset(DatasetId(0)));
     });
@@ -70,7 +84,7 @@ fn bench_static_builds(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || fixture(5_000, 4),
-                |mut f| {
+                |f| {
                     let config = ApproachConfig {
                         grid: GridConfig {
                             cells_per_dim: 12,
@@ -79,7 +93,7 @@ fn bench_static_builds(c: &mut Criterion) {
                         },
                         ..ApproachConfig::paper(f.bounds)
                     };
-                    build_approach(&mut f.storage, approach, &config, &f.raws).unwrap()
+                    build_approach(&f.storage, approach, &config, &f.raws).unwrap()
                 },
                 BatchSize::LargeInput,
             );
@@ -96,19 +110,23 @@ fn bench_static_queries(c: &mut Criterion) {
         ("rtree_ain1", Approach::RTreeAin1),
         ("flat_ain1", Approach::FlatAin1),
     ] {
-        let mut f = fixture(5_000, 4);
+        let f = fixture(5_000, 4);
         let config = ApproachConfig {
-            grid: GridConfig { cells_per_dim: 12, bounds: f.bounds, build_buffer_objects: 50_000 },
+            grid: GridConfig {
+                cells_per_dim: 12,
+                bounds: f.bounds,
+                build_buffer_objects: 50_000,
+            },
             ..ApproachConfig::paper(f.bounds)
         };
-        let index = build_approach(&mut f.storage, approach, &config, &f.raws).unwrap();
+        let index = build_approach(&f.storage, approach, &config, &f.raws).unwrap();
         let queries = workload(&f.spec, &f.bounds, 50).queries;
         group.bench_function(name, |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let q = &queries[i % queries.len()];
                 i += 1;
-                index.query(&mut f.storage, q).unwrap()
+                index.query(&f.storage, q).unwrap()
             });
         });
     }
@@ -125,11 +143,11 @@ fn bench_odyssey_query_sequence(c: &mut Criterion) {
                 let queries = workload(&f.spec, &f.bounds, 100).queries;
                 (f, queries)
             },
-            |(mut f, queries)| {
-                let mut engine =
+            |(f, queries)| {
+                let engine =
                     SpaceOdyssey::new(OdysseyConfig::paper(f.bounds), f.raws.clone()).unwrap();
                 for q in &queries {
-                    engine.execute(&mut f.storage, q).unwrap();
+                    engine.execute(&f.storage, q).unwrap();
                 }
                 engine.queries_executed()
             },
@@ -137,17 +155,17 @@ fn bench_odyssey_query_sequence(c: &mut Criterion) {
         );
     });
     group.bench_function("converged_query", |b| {
-        let mut f = fixture(5_000, 4);
+        let f = fixture(5_000, 4);
         let queries = workload(&f.spec, &f.bounds, 100).queries;
-        let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(f.bounds), f.raws.clone()).unwrap();
+        let engine = SpaceOdyssey::new(OdysseyConfig::paper(f.bounds), f.raws.clone()).unwrap();
         for q in &queries {
-            engine.execute(&mut f.storage, q).unwrap();
+            engine.execute(&f.storage, q).unwrap();
         }
         let mut i = 0usize;
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            engine.execute(&mut f.storage, q).unwrap().objects.len()
+            engine.execute(&f.storage, q).unwrap().objects.len()
         });
     });
     group.finish();

@@ -1,0 +1,91 @@
+//! Concurrent-throughput experiment: sequential vs N-thread `execute_batch`
+//! for Space Odyssey and the static baselines, all under the same shared
+//! engine + storage manager.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin throughput -- \
+//!     --datasets 6 --objects 20000 --queries 400 --threads 1,2,4,8
+//! ```
+
+use odyssey_baselines::Approach;
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ApproachSelection, ExperimentConfig, ExperimentRunner};
+use odyssey_bench::figures::workload_spec;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::{CombinationDistribution, DatasetSpec, QueryRangeDistribution};
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "throughput — concurrent batch execution experiment\n\
+             \n\
+             options:\n\
+             --datasets N   number of datasets (default 6)\n\
+             --objects N    objects per dataset (default 20000)\n\
+             --queries N    queries in the batch (default 400)\n\
+             --m N          datasets per query (default 3)\n\
+             --threads LIST comma-separated worker counts (default 1,2,4,8)\n\
+             --cold         skip the sequential warm-up pass"
+        );
+        return;
+    }
+    let num_datasets = args.get_usize("datasets", 6);
+    let spec = DatasetSpec {
+        num_datasets,
+        objects_per_dataset: args.get_usize("objects", 20_000),
+        ..Default::default()
+    };
+    let runner = ExperimentRunner::new(ExperimentConfig {
+        odyssey: OdysseyConfig::paper(spec.bounds),
+        dataset_spec: spec,
+        ..Default::default()
+    });
+    let workload = workload_spec(
+        num_datasets,
+        args.get_usize("m", 3).min(num_datasets),
+        args.get_usize("queries", 400),
+        QueryRangeDistribution::Clustered { num_clusters: 8 },
+        CombinationDistribution::Zipf,
+    )
+    .generate(&runner.bounds());
+    let threads: Vec<usize> = args
+        .get("threads")
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let warmed = args.get("cold").is_none();
+
+    println!(
+        "{} queries over {} datasets, host parallelism {} (warm-up: {})\n",
+        workload.len(),
+        num_datasets,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        if warmed { "yes" } else { "no" }
+    );
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>9} {:>12}",
+        "approach", "threads", "wall (s)", "queries/s", "speedup", "results"
+    );
+    for selection in [
+        ApproachSelection::Odyssey,
+        ApproachSelection::Static(Approach::Grid1fE),
+        ApproachSelection::Static(Approach::FlatAin1),
+    ] {
+        let runs = runner.throughput_scaling(selection, &workload, &threads, warmed);
+        let reference = runs[0].clone();
+        for run in &runs {
+            println!(
+                "{:<22} {:>8} {:>12.4} {:>12.0} {:>8.2}x {:>12}",
+                run.approach,
+                run.threads,
+                run.wall_seconds,
+                run.queries_per_second(),
+                run.speedup_over(&reference),
+                run.total_results
+            );
+        }
+        println!();
+    }
+}

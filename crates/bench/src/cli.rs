@@ -12,11 +12,11 @@ pub struct Args {
 impl Args {
     /// Parses `--key value` pairs from `std::env::args`.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args_iter(std::env::args().skip(1))
     }
 
     /// Parses `--key value` pairs from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut args = iter.into_iter().peekable();
         while let Some(arg) = args.next() {
@@ -45,7 +45,10 @@ impl Args {
 
     /// Integer value of a flag with a default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -54,7 +57,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|s| s.to_string()))
+        Args::from_args_iter(s.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -26,35 +26,14 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Which system to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ApproachSelection {
     /// One of the paper's static competitors.
-    Static(#[serde(with = "approach_serde")] Approach),
+    Static(Approach),
     /// Space Odyssey with the full configuration.
     Odyssey,
     /// Space Odyssey with merging disabled (Figure 5c).
     OdysseyNoMerge,
-}
-
-mod approach_serde {
-    use odyssey_baselines::Approach;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(a: &Approach, s: S) -> Result<S::Ok, S::Error> {
-        a.name().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Approach, D::Error> {
-        let name = String::deserialize(d)?;
-        Ok(match name.as_str() {
-            "FLAT-Ain1" => Approach::FlatAin1,
-            "FLAT-1fE" => Approach::Flat1fE,
-            "RTree-Ain1" => Approach::RTreeAin1,
-            "RTree-1fE" => Approach::RTree1fE,
-            "Grid-Ain1" => Approach::GridAin1,
-            _ => Approach::Grid1fE,
-        })
-    }
 }
 
 impl ApproachSelection {
@@ -69,8 +48,10 @@ impl ApproachSelection {
 
     /// The five approaches plotted in Figure 4.
     pub fn figure4_set() -> Vec<ApproachSelection> {
-        let mut v: Vec<ApproachSelection> =
-            Approach::FIGURE4.iter().map(|a| ApproachSelection::Static(*a)).collect();
+        let mut v: Vec<ApproachSelection> = Approach::FIGURE4
+            .iter()
+            .map(|a| ApproachSelection::Static(*a))
+            .collect();
         v.push(ApproachSelection::Odyssey);
         v
     }
@@ -114,7 +95,11 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A small configuration for tests and the Criterion benches.
     pub fn small() -> Self {
-        let spec = DatasetSpec { objects_per_dataset: 4_000, num_datasets: 6, ..Default::default() };
+        let spec = DatasetSpec {
+            objects_per_dataset: 4_000,
+            num_datasets: 6,
+            ..Default::default()
+        };
         ExperimentConfig {
             odyssey: OdysseyConfig::paper(spec.bounds),
             dataset_spec: spec,
@@ -219,7 +204,11 @@ impl ExperimentRunner {
         let model = BrainModel::new(config.dataset_spec.clone());
         let datasets = model.generate_all();
         let bounds = model.bounds();
-        ExperimentRunner { config, datasets, bounds }
+        ExperimentRunner {
+            config,
+            datasets,
+            bounds,
+        }
     }
 
     /// The experiment configuration.
@@ -249,11 +238,11 @@ impl ExperimentRunner {
             .sum();
         let options = StorageOptions::in_memory(self.config.buffer_pages(raw_pages))
             .with_cost_model(self.config.cost_model);
-        let mut storage = StorageManager::new(options);
+        let storage = StorageManager::new(options);
         let mut raws = Vec::with_capacity(self.datasets.len());
         for (i, objects) in self.datasets.iter().enumerate() {
             raws.push(
-                write_raw_dataset(&mut storage, DatasetId(i as u16), objects)
+                write_raw_dataset(&storage, DatasetId(i as u16), objects)
                     .expect("in-memory raw write cannot fail"),
             );
         }
@@ -273,7 +262,7 @@ impl ExperimentRunner {
 
     fn run_static(&self, approach: Approach, workload: &Workload) -> ApproachRun {
         let wall_start = Instant::now();
-        let (mut storage, raws, baseline) = self.fresh_storage();
+        let (storage, raws, baseline) = self.fresh_storage();
         let approach_config = ApproachConfig {
             grid: GridConfig {
                 cells_per_dim: self.config.grid_cells_per_dim(),
@@ -285,7 +274,7 @@ impl ExperimentRunner {
 
         // Indexing phase.
         let before_build = storage.stats();
-        let index = build_approach(&mut storage, approach, &approach_config, &raws)
+        let index = build_approach(&storage, approach, &approach_config, &raws)
             .expect("in-memory build cannot fail");
         let indexing_seconds = storage.seconds_since(&before_build);
 
@@ -297,7 +286,9 @@ impl ExperimentRunner {
                 storage.clear_cache();
             }
             let before = storage.stats();
-            let result = index.query(&mut storage, q).expect("in-memory query cannot fail");
+            let result = index
+                .query(&storage, q)
+                .expect("in-memory query cannot fail");
             let seconds = storage.seconds_since(&before);
             let pages_read = storage.stats().since(&before).0.pages_read();
             total_results += result.len() as u64;
@@ -322,12 +313,11 @@ impl ExperimentRunner {
 
     fn run_odyssey(&self, workload: &Workload, merging: bool) -> ApproachRun {
         let wall_start = Instant::now();
-        let (mut storage, raws, baseline) = self.fresh_storage();
+        let (storage, raws, baseline) = self.fresh_storage();
         let mut odyssey_config = self.config.odyssey;
         odyssey_config.bounds = self.bounds;
         odyssey_config.merge_enabled = merging;
-        let mut engine =
-            SpaceOdyssey::new(odyssey_config, raws).expect("validated configuration");
+        let engine = SpaceOdyssey::new(odyssey_config, raws).expect("validated configuration");
 
         let mut queries = Vec::with_capacity(workload.queries.len());
         let mut total_results = 0u64;
@@ -336,7 +326,9 @@ impl ExperimentRunner {
                 storage.clear_cache();
             }
             let before = storage.stats();
-            let outcome = engine.execute(&mut storage, q).expect("in-memory query cannot fail");
+            let outcome = engine
+                .execute(&storage, q)
+                .expect("in-memory query cannot fail");
             let seconds = storage.seconds_since(&before);
             let pages_read = storage.stats().since(&before).0.pages_read();
             total_results += outcome.objects.len() as u64;
@@ -350,7 +342,12 @@ impl ExperimentRunner {
             });
         }
         ApproachRun {
-            approach: if merging { "Odyssey" } else { "Odyssey w/o merging" }.to_string(),
+            approach: if merging {
+                "Odyssey"
+            } else {
+                "Odyssey w/o merging"
+            }
+            .to_string(),
             indexing_seconds: 0.0,
             queries,
             io: storage.stats().since(&baseline).0,
@@ -433,8 +430,11 @@ mod tests {
         // scale seek costs blur the *time* ratio, so the page counter is the
         // scale-robust check).
         let first_pages = odyssey.queries[0].pages_read;
-        let later_max_pages =
-            odyssey.queries[1..].iter().map(|q| q.pages_read).max().unwrap_or(0);
+        let later_max_pages = odyssey.queries[1..]
+            .iter()
+            .map(|q| q.pages_read)
+            .max()
+            .unwrap_or(0);
         assert!(
             first_pages > later_max_pages,
             "first query read {first_pages} pages vs later max {later_max_pages}"
@@ -456,22 +456,34 @@ mod tests {
     #[test]
     fn grid_resolution_scales_with_data() {
         let small = ExperimentConfig {
-            dataset_spec: DatasetSpec { objects_per_dataset: 1_000, ..Default::default() },
+            dataset_spec: DatasetSpec {
+                objects_per_dataset: 1_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let large = ExperimentConfig {
-            dataset_spec: DatasetSpec { objects_per_dataset: 200_000, ..Default::default() },
+            dataset_spec: DatasetSpec {
+                objects_per_dataset: 200_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!(small.grid_cells_per_dim() < large.grid_cells_per_dim());
-        let fixed = ExperimentConfig { grid_cells_override: Some(60), ..Default::default() };
+        let fixed = ExperimentConfig {
+            grid_cells_override: Some(60),
+            ..Default::default()
+        };
         assert_eq!(fixed.grid_cells_per_dim(), 60);
     }
 
     #[test]
     fn selection_names() {
         assert_eq!(ApproachSelection::Odyssey.name(), "Odyssey");
-        assert_eq!(ApproachSelection::OdysseyNoMerge.name(), "Odyssey w/o merging");
+        assert_eq!(
+            ApproachSelection::OdysseyNoMerge.name(),
+            "Odyssey w/o merging"
+        );
         assert_eq!(
             ApproachSelection::Static(Approach::FlatAin1).name(),
             "FLAT-Ain1"

@@ -30,8 +30,12 @@ pub enum Figure4Panel {
 
 impl Figure4Panel {
     /// All panels.
-    pub const ALL: [Figure4Panel; 4] =
-        [Figure4Panel::A, Figure4Panel::B, Figure4Panel::C, Figure4Panel::D];
+    pub const ALL: [Figure4Panel; 4] = [
+        Figure4Panel::A,
+        Figure4Panel::B,
+        Figure4Panel::C,
+        Figure4Panel::D,
+    ];
 
     /// Parses a panel letter.
     pub fn parse(s: &str) -> Option<Self> {
@@ -313,7 +317,10 @@ pub fn figure5_panel(
                     CombinationDistribution::SelfSimilar,
                 )
             } else {
-                (QueryRangeDistribution::Uniform, CombinationDistribution::Uniform)
+                (
+                    QueryRangeDistribution::Uniform,
+                    CombinationDistribution::Uniform,
+                )
             };
             let workload =
                 workload_spec(n, m, num_queries, range, combos).generate(&runner.bounds());
@@ -322,8 +329,10 @@ pub fn figure5_panel(
                 ApproachSelection::Static(odyssey_baselines::Approach::Grid1fE),
                 ApproachSelection::Odyssey,
             ];
-            let runs: Vec<ApproachRun> =
-                selections.iter().map(|s| runner.run(*s, &workload)).collect();
+            let runs: Vec<ApproachRun> = selections
+                .iter()
+                .map(|s| runner.run(*s, &workload))
+                .collect();
             let series: Vec<Figure5Series> = runs.iter().map(Figure5Series::from_run).collect();
             let mut table = Table::new(["query_id", "approach", "seconds", "used_merge_file"]);
             for s in &series {
@@ -353,7 +362,12 @@ pub fn figure5_panel(
                     fmt_seconds(run.indexing_seconds),
                 ));
             }
-            Figure5Result { series, table, report, merging_gain: None }
+            Figure5Result {
+                series,
+                table,
+                report,
+                merging_gain: None,
+            }
         }
         Figure5Panel::C => {
             // 5 query cluster centers (instead of 10) so queries repeatedly
@@ -369,8 +383,11 @@ pub fn figure5_panel(
             .generate(&runner.bounds());
             let with = runner.run(ApproachSelection::Odyssey, &workload);
             let without = runner.run(ApproachSelection::OdysseyNoMerge, &workload);
-            let hottest: Vec<u32> =
-                workload.hottest_combination_queries().iter().map(|q| q.id.0).collect();
+            let hottest: Vec<u32> = workload
+                .hottest_combination_queries()
+                .iter()
+                .map(|q| q.id.0)
+                .collect();
             let filter = |run: &ApproachRun| Figure5Series {
                 approach: run.approach.clone(),
                 points: run
@@ -423,7 +440,8 @@ pub fn figure5_panel(
             };
             let merging_gain = mean(&gains);
             let fmt_gain = |g: Option<f64>| {
-                g.map(|g| format!("{:.1}%", g * 100.0)).unwrap_or_else(|| "n/a".to_string())
+                g.map(|g| format!("{:.1}%", g * 100.0))
+                    .unwrap_or_else(|| "n/a".to_string())
             };
             let report = format!(
                 "Figure 5c) query ranges: clustered (5 centers), dataset ids: zipf, \
@@ -436,7 +454,12 @@ pub fn figure5_panel(
                 fmt_gain(merging_gain),
                 fmt_gain(mean(&gains_incl_adaptation)),
             );
-            Figure5Result { series, table, report, merging_gain }
+            Figure5Result {
+                series,
+                table,
+                report,
+                merging_gain,
+            }
         }
     }
 }
@@ -461,7 +484,10 @@ pub fn figure3(runner: &ExperimentRunner, num_queries: usize) -> FigureResult {
         ]);
     }
     for (kind, dist) in [
-        ("clustered_query", QueryRangeDistribution::Clustered { num_clusters: 10 }),
+        (
+            "clustered_query",
+            QueryRangeDistribution::Clustered { num_clusters: 10 },
+        ),
         ("uniform_query", QueryRangeDistribution::Uniform),
     ] {
         let spec = workload_spec(
@@ -549,8 +575,7 @@ pub fn headline_claims(
 
     let claims = HeadlineClaims {
         datasets_queried: m,
-        odyssey_queries_before_grid_indexed: odyssey
-            .queries_answered_within(grid.indexing_seconds),
+        odyssey_queries_before_grid_indexed: odyssey.queries_answered_within(grid.indexing_seconds),
         flat_build_over_odyssey_total: flat.indexing_seconds / odyssey.total_seconds(),
         rtree_build_over_odyssey_total: rtree.indexing_seconds / odyssey.total_seconds(),
         flat_build_over_grid_build: flat.indexing_seconds / grid.indexing_seconds,
@@ -619,7 +644,9 @@ pub fn ablation(runner: &ExperimentRunner, num_queries: usize) -> FigureResult {
     run_variant("rt=16", &|c| c.odyssey.refinement_threshold = 16.0);
     run_variant("ppl=8 (octree)", &|c| c.odyssey.partitions_per_level = 8);
     run_variant("mt=8 (merge later)", &|c| c.odyssey.merge_threshold = 8);
-    run_variant("|C|>=2 (merge small combos)", &|c| c.odyssey.min_merge_combination_size = 2);
+    run_variant("|C|>=2 (merge small combos)", &|c| {
+        c.odyssey.min_merge_combination_size = 2
+    });
     run_variant("no merging", &|c| c.odyssey.merge_enabled = false);
     run_variant("merge policy: refine-to-finest", &|c| {
         c.odyssey.merge_level_policy = MergeLevelPolicy::RefineToFinest
@@ -627,7 +654,9 @@ pub fn ablation(runner: &ExperimentRunner, num_queries: usize) -> FigureResult {
     run_variant("merge budget: 256 pages", &|c| {
         c.odyssey.merge_space_budget_pages = Some(256)
     });
-    run_variant("nvme cost model", &|c| c.cost_model = odyssey_storage::CostModel::nvme());
+    run_variant("nvme cost model", &|c| {
+        c.cost_model = odyssey_storage::CostModel::nvme()
+    });
 
     let report = format!(
         "Space Odyssey parameter ablation ({} queries, clustered/zipf, m=5)\n\n{}",
@@ -640,8 +669,8 @@ pub fn ablation(runner: &ExperimentRunner, num_queries: usize) -> FigureResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use odyssey_datagen::DatasetSpec;
     use odyssey_core::OdysseyConfig;
+    use odyssey_datagen::DatasetSpec;
 
     fn tiny_runner() -> ExperimentRunner {
         let spec = DatasetSpec {
@@ -666,8 +695,14 @@ mod tests {
         assert_eq!(Figure4Panel::parse("x"), None);
         assert_eq!(Figure5Panel::parse("c"), Some(Figure5Panel::C));
         assert_eq!(Figure5Panel::parse("z"), None);
-        assert_eq!(Figure4Panel::A.caption(), "query ranges: clustered, dataset ids: zipf");
-        assert_eq!(Figure4Panel::D.caption(), "query ranges: uniform, dataset ids: uniform");
+        assert_eq!(
+            Figure4Panel::A.caption(),
+            "query ranges: clustered, dataset ids: zipf"
+        );
+        assert_eq!(
+            Figure4Panel::D.caption(),
+            "query ranges: uniform, dataset ids: uniform"
+        );
     }
 
     #[test]
@@ -682,7 +717,11 @@ mod tests {
             if r.approach == "Odyssey" {
                 assert_eq!(r.indexing_seconds, 0.0);
             } else {
-                assert!(r.indexing_seconds > 0.0, "{} should pay indexing", r.approach);
+                assert!(
+                    r.indexing_seconds > 0.0,
+                    "{} should pay indexing",
+                    r.approach
+                );
             }
             assert!(r.total_seconds >= r.querying_seconds);
         }

@@ -11,10 +11,13 @@
 //!   visualisation (Figure 3), the total-processing-cost bars (Figure 4a–d),
 //!   the per-query time series (Figure 5a–c), the headline claims of the
 //!   introduction, and the parameter ablations suggested in §3.2.5,
-//! * [`report`] — table/CSV formatting shared by the binaries.
+//! * [`report`] — table/CSV formatting shared by the binaries,
+//! * [`throughput`] — the concurrent-throughput experiments: sequential vs
+//!   N-thread batch execution against one shared engine, for Space Odyssey
+//!   and every static baseline under the same harness.
 //!
-//! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`
-//! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
+//! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
+//! `throughput` (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,8 +26,10 @@ pub mod cli;
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod throughput;
 
 pub use experiment::{
     ApproachRun, ApproachSelection, ExperimentConfig, ExperimentRunner, QueryRecord,
 };
 pub use report::{format_table, write_csv, Table};
+pub use throughput::ThroughputRun;

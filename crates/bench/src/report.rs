@@ -13,13 +13,20 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column names.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
     pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
     }
 
@@ -48,9 +55,21 @@ impl Table {
                 cell.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -74,7 +93,15 @@ pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
             .join("  ")
     };
     let _ = writeln!(out, "{}", fmt_row(header, &widths));
-    let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    let _ = writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let _ = writeln!(out, "{}", fmt_row(row, &widths));
     }

@@ -1,0 +1,289 @@
+//! Concurrent-throughput experiments: how many queries per second an
+//! approach sustains when a batch is fanned out over worker threads against
+//! one shared engine + storage manager.
+//!
+//! This is the serving scenario the shared-state refactor targets (production
+//! portals like ESASky answer many concurrent exploration sessions): the
+//! whole execution path runs against `&self`, so adding threads adds
+//! throughput until the hardware runs out of cores. Space Odyssey executes
+//! through [`SpaceOdyssey::execute_batch_with_threads`]; every static
+//! baseline is driven through an equivalent scoped-thread fan-out, so all
+//! strategies are measured under the same concurrent harness.
+//!
+//! Wall-clock time is the figure of merit here (the simulated disk cost model
+//! measures a *serial* device and is reported separately by the figure
+//! experiments).
+
+use crate::experiment::{ApproachSelection, ExperimentRunner};
+use odyssey_baselines::strategy::{build_approach, ApproachConfig, MultiDatasetIndex};
+use odyssey_baselines::GridConfig;
+use odyssey_core::SpaceOdyssey;
+use odyssey_datagen::Workload;
+use odyssey_geom::RangeQuery;
+use odyssey_storage::{StorageManager, OBJECTS_PER_PAGE};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One measurement: an approach × thread-count cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    /// Approach display name.
+    pub approach: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Number of queries executed (the measured batch).
+    pub queries: usize,
+    /// Wall-clock seconds for the measured batch.
+    pub wall_seconds: f64,
+    /// Sum of result counts — identical across thread counts when the
+    /// answers are identical.
+    pub total_results: u64,
+}
+
+impl ThroughputRun {
+    /// Queries per wall-clock second.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.queries as f64 / self.wall_seconds
+    }
+
+    /// Speedup over a (sequential) reference run.
+    pub fn speedup_over(&self, reference: &ThroughputRun) -> f64 {
+        reference.wall_seconds / self.wall_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Fans `queries` out over `threads` workers against any shared query
+/// function, returning (wall seconds, total results). The work queue is a
+/// shared cursor, exactly like `SpaceOdyssey::execute_batch_with_threads`.
+fn fan_out<F>(queries: &[RangeQuery], threads: usize, run_one: F) -> (f64, u64)
+where
+    F: Fn(&RangeQuery) -> u64 + Send + Sync,
+{
+    let threads = threads.clamp(1, queries.len().max(1));
+    let start = Instant::now();
+    let total = AtomicU64::new(0);
+    if threads <= 1 {
+        for q in queries {
+            total.fetch_add(run_one(q), Ordering::Relaxed);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let (cursor, total, run_one) = (&cursor, &total, &run_one);
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(q) = queries.get(i) else { break };
+                    total.fetch_add(run_one(q), Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    (start.elapsed().as_secs_f64(), total.into_inner())
+}
+
+impl ExperimentRunner {
+    /// Storage options for throughput runs: same memory budget as the
+    /// cost-model experiments, but sized so the sharded buffer pool engages.
+    fn throughput_storage(&self) -> (StorageManager, Vec<odyssey_storage::RawDataset>) {
+        let raw_pages: u64 = self
+            .datasets()
+            .iter()
+            .map(|d| (d.len() as u64).div_ceil(OBJECTS_PER_PAGE as u64))
+            .sum();
+        let buffer_pages = self.config().buffer_pages(raw_pages).max(4096);
+        let options = odyssey_storage::StorageOptions::in_memory(buffer_pages)
+            .with_cost_model(self.config().cost_model);
+        let storage = StorageManager::new(options);
+        let raws = self
+            .datasets()
+            .iter()
+            .enumerate()
+            .map(|(i, objects)| {
+                odyssey_storage::write_raw_dataset(
+                    &storage,
+                    odyssey_geom::DatasetId(i as u16),
+                    objects,
+                )
+                .expect("in-memory raw write cannot fail")
+            })
+            .collect();
+        (storage, raws)
+    }
+
+    /// Measures the wall-clock throughput of `selection` over `workload`
+    /// with `threads` workers sharing one engine and one storage manager.
+    ///
+    /// When `warmed` is true, the workload is executed once sequentially
+    /// before the measurement — for Space Odyssey that converges first-touch
+    /// partitioning, refinement and merging, so the measured batch is the
+    /// steady serving state; static approaches are unaffected beyond cache
+    /// warmth. The measured batch always runs the full workload once.
+    pub fn run_throughput(
+        &self,
+        selection: ApproachSelection,
+        workload: &Workload,
+        threads: usize,
+        warmed: bool,
+    ) -> ThroughputRun {
+        let (storage, raws) = self.throughput_storage();
+        let queries = &workload.queries;
+        let (wall_seconds, total_results) = match selection {
+            ApproachSelection::Odyssey | ApproachSelection::OdysseyNoMerge => {
+                let mut config = self.config().odyssey;
+                config.bounds = self.bounds();
+                config.merge_enabled = matches!(selection, ApproachSelection::Odyssey);
+                let engine = SpaceOdyssey::new(config, raws).expect("validated configuration");
+                if warmed {
+                    for q in queries {
+                        engine
+                            .execute(&storage, q)
+                            .expect("in-memory query cannot fail");
+                    }
+                }
+                fan_out(queries, threads, |q| {
+                    engine
+                        .execute(&storage, q)
+                        .expect("in-memory query cannot fail")
+                        .objects
+                        .len() as u64
+                })
+            }
+            ApproachSelection::Static(approach) => {
+                let approach_config = ApproachConfig {
+                    grid: GridConfig {
+                        cells_per_dim: self.config().grid_cells_per_dim(),
+                        bounds: self.bounds(),
+                        build_buffer_objects: (self.config().buffer_pages(1) * OBJECTS_PER_PAGE)
+                            .max(1_000),
+                    },
+                    ..ApproachConfig::paper(self.bounds())
+                };
+                let index: Box<dyn MultiDatasetIndex> =
+                    build_approach(&storage, approach, &approach_config, &raws)
+                        .expect("in-memory build cannot fail");
+                if warmed {
+                    for q in queries {
+                        index
+                            .query(&storage, q)
+                            .expect("in-memory query cannot fail");
+                    }
+                }
+                fan_out(queries, threads, |q| {
+                    index
+                        .query(&storage, q)
+                        .expect("in-memory query cannot fail")
+                        .len() as u64
+                })
+            }
+        };
+        ThroughputRun {
+            approach: selection.name(),
+            threads,
+            queries: queries.len(),
+            wall_seconds,
+            total_results,
+        }
+    }
+
+    /// Runs `selection` sequentially and at every thread count in `threads`,
+    /// returning the sequential reference first.
+    pub fn throughput_scaling(
+        &self,
+        selection: ApproachSelection,
+        workload: &Workload,
+        threads: &[usize],
+        warmed: bool,
+    ) -> Vec<ThroughputRun> {
+        let mut runs = vec![self.run_throughput(selection, workload, 1, warmed)];
+        for &t in threads {
+            if t > 1 {
+                runs.push(self.run_throughput(selection, workload, t, warmed));
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use odyssey_baselines::Approach;
+    use odyssey_core::OdysseyConfig;
+    use odyssey_datagen::{
+        CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec,
+    };
+
+    fn tiny_runner() -> ExperimentRunner {
+        let spec = DatasetSpec {
+            num_datasets: 4,
+            objects_per_dataset: 1_200,
+            soma_clusters: 4,
+            segments_per_neuron: 30,
+            seed: 5,
+            ..Default::default()
+        };
+        ExperimentRunner::new(ExperimentConfig {
+            odyssey: OdysseyConfig::paper(spec.bounds),
+            dataset_spec: spec,
+            ..Default::default()
+        })
+    }
+
+    fn tiny_workload(runner: &ExperimentRunner, n: usize) -> Workload {
+        WorkloadSpec {
+            num_datasets: runner.config().dataset_spec.num_datasets,
+            datasets_per_query: 3,
+            num_queries: n,
+            query_volume_fraction: 1e-5,
+            range_distribution: QueryRangeDistribution::Clustered { num_clusters: 4 },
+            combination_distribution: CombinationDistribution::Zipf,
+            seed: 11,
+        }
+        .generate(&runner.bounds())
+    }
+
+    #[test]
+    fn odyssey_throughput_results_are_thread_count_invariant() {
+        let runner = tiny_runner();
+        let workload = tiny_workload(&runner, 30);
+        let sequential = runner.run_throughput(ApproachSelection::Odyssey, &workload, 1, true);
+        let parallel = runner.run_throughput(ApproachSelection::Odyssey, &workload, 4, true);
+        assert_eq!(sequential.total_results, parallel.total_results);
+        assert_eq!(sequential.queries, 30);
+        assert_eq!(parallel.threads, 4);
+        assert!(parallel.queries_per_second() > 0.0);
+        assert!(parallel.speedup_over(&sequential) > 0.0);
+    }
+
+    #[test]
+    fn static_approaches_run_under_the_same_harness() {
+        let runner = tiny_runner();
+        let workload = tiny_workload(&runner, 20);
+        let odyssey = runner.run_throughput(ApproachSelection::Odyssey, &workload, 2, true);
+        let grid = runner.run_throughput(
+            ApproachSelection::Static(Approach::Grid1fE),
+            &workload,
+            2,
+            false,
+        );
+        assert_eq!(
+            odyssey.total_results, grid.total_results,
+            "answers must agree"
+        );
+    }
+
+    #[test]
+    fn scaling_report_includes_sequential_reference() {
+        let runner = tiny_runner();
+        let workload = tiny_workload(&runner, 10);
+        let runs = runner.throughput_scaling(ApproachSelection::Odyssey, &workload, &[1, 2], true);
+        assert_eq!(runs.len(), 2); // 1 is deduplicated into the reference
+        assert_eq!(runs[0].threads, 1);
+        assert_eq!(runs[1].threads, 2);
+    }
+}

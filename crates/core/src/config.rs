@@ -122,7 +122,7 @@ impl OdysseyConfig {
 
     /// Basic sanity checks; call once before constructing the engine.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.refinement_threshold > 0.0) {
+        if self.refinement_threshold <= 0.0 || self.refinement_threshold.is_nan() {
             return Err("refinement_threshold must be positive".into());
         }
         let k = (self.partitions_per_level as f64).cbrt().round() as usize;

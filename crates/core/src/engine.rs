@@ -12,6 +12,33 @@
 //! 4. the Merger is invoked when the combination has crossed the merge
 //!    threshold, copying (or extending) its partitions into a merge file and
 //!    enforcing the space budget.
+//!
+//! # Concurrency model
+//!
+//! `execute` takes `&self` and a shared `&StorageManager`: one engine serves
+//! any number of threads. The shared state is sharded so the read path
+//! scales:
+//!
+//! | state                               | synchronization                     |
+//! |-------------------------------------|-------------------------------------|
+//! | partition tables + partition files  | one `RwLock` per dataset            |
+//! | merge directory + merge files       | engine-level `RwLock` (read to route/read, write to merge/evict) |
+//! | statistics collector                | engine-level `RwLock` (short write per query) |
+//! | query counter, LRU clocks           | atomics                             |
+//!
+//! The adaptive semantics survive contention: first-touch partitioning and
+//! each refinement happen exactly once (per-dataset write lock +
+//! re-validation), and a threshold-crossing merge is performed exactly once
+//! (merger write lock + an idempotent, append-only merge directory).
+//! Lock-ordering discipline: a thread never acquires a dataset lock while
+//! holding the merger or stats lock *except* inside `merge_combination`,
+//! which only takes dataset **read** locks and is itself serialized by the
+//! merger write lock — no cycle is possible.
+//!
+//! [`SpaceOdyssey::execute_batch`] fans a workload out over a scoped thread
+//! pool; per-query answers are identical to sequential execution (adaptation
+//! *timing* may differ — merges can land a few queries earlier or later — but
+//! answers are a pure function of the data and the query).
 
 use crate::config::OdysseyConfig;
 use crate::merger::{Merger, RouteKind};
@@ -20,6 +47,8 @@ use crate::partition::PartitionKey;
 use crate::stats::StatsCollector;
 use odyssey_geom::{DatasetId, DatasetSet, RangeQuery, SpatialObject};
 use odyssey_storage::{RawDataset, StorageManager, StorageResult};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 /// What happened while executing one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,13 +78,17 @@ impl QueryOutcome {
 }
 
 /// The Space Odyssey engine over a set of raw datasets.
+///
+/// The engine is `Sync`: share it (and the [`StorageManager`]) by reference
+/// across threads, or use [`SpaceOdyssey::execute_batch`] which does so
+/// internally.
 #[derive(Debug)]
 pub struct SpaceOdyssey {
     config: OdysseyConfig,
     datasets: Vec<DatasetIndex>,
-    stats: StatsCollector,
-    merger: Merger,
-    queries_executed: u64,
+    stats: RwLock<StatsCollector>,
+    merger: RwLock<Merger>,
+    queries_executed: AtomicU64,
 }
 
 impl SpaceOdyssey {
@@ -70,9 +103,9 @@ impl SpaceOdyssey {
         Ok(SpaceOdyssey {
             config,
             datasets,
-            stats: StatsCollector::new(),
-            merger: Merger::new(),
-            queries_executed: 0,
+            stats: RwLock::new(StatsCollector::new()),
+            merger: RwLock::new(Merger::new()),
+            queries_executed: AtomicU64::new(0),
         })
     }
 
@@ -91,32 +124,37 @@ impl SpaceOdyssey {
         &self.datasets
     }
 
-    /// The access statistics collected so far.
-    pub fn stats(&self) -> &StatsCollector {
-        &self.stats
+    /// Read access to the statistics collected so far. The returned guard
+    /// holds the stats read lock; drop it before executing queries from the
+    /// same thread.
+    pub fn stats(&self) -> RwLockReadGuard<'_, StatsCollector> {
+        self.stats.read().unwrap()
     }
 
-    /// The Merger (exposes the merge-file directory).
-    pub fn merger(&self) -> &Merger {
-        &self.merger
+    /// Read access to the Merger (exposes the merge-file directory). The
+    /// returned guard holds the merger read lock; drop it before executing
+    /// queries from the same thread.
+    pub fn merger(&self) -> RwLockReadGuard<'_, Merger> {
+        self.merger.read().unwrap()
     }
 
     /// Number of queries executed so far.
     pub fn queries_executed(&self) -> u64 {
-        self.queries_executed
+        self.queries_executed.load(Ordering::Relaxed)
     }
 
     /// Executes one range query over its combination of datasets.
     pub fn execute(
-        &mut self,
-        storage: &mut StorageManager,
+        &self,
+        storage: &StorageManager,
         query: &RangeQuery,
     ) -> StorageResult<QueryOutcome> {
-        self.queries_executed += 1;
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
         let combination = query.datasets;
 
         // Phase 1: adapt every queried dataset (initialize / refine) and find
-        // out which partitions have to be read.
+        // out which partitions have to be read. Each dataset synchronizes
+        // internally; no engine-level lock is held here.
         let mut objects: Vec<SpatialObject> = Vec::new();
         let mut refined = 0usize;
         let mut from_datasets = 0usize;
@@ -124,7 +162,7 @@ impl SpaceOdyssey {
         // (dataset, key) pairs that still need their data read.
         let mut pending: Vec<(DatasetId, PartitionKey)> = Vec::new();
         for dataset_id in combination.iter() {
-            let Some(index) = self.datasets.iter_mut().find(|d| d.dataset() == dataset_id) else {
+            let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) else {
                 continue; // unknown dataset: nothing to answer
             };
             let prep = index.prepare_query(storage, &self.config, query)?;
@@ -139,82 +177,94 @@ impl SpaceOdyssey {
         retrieved_union.sort_unstable();
         retrieved_union.dedup();
 
-        // Phase 2: route the pending reads through the merge directory.
-        let (route_combination, route) = {
-            let (file, kind) = self.merger.directory_mut().route(combination);
-            (file.map(|f| f.combination), kind)
-        };
+        // Phase 2: route the pending reads through the merge directory. The
+        // merger read lock is held across the merge-file reads so eviction
+        // (a write operation) can never rewrite the directory mid-read;
+        // routing itself only touches atomics, so readers share the lock.
         let mut from_merge = 0usize;
-        if let Some(merged_combo) = route_combination {
-            // Group the pending keys served by the merge file so each key is
-            // read once for all its wanted datasets.
-            let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
-            pending.retain(|(dataset, key)| {
-                let in_file = merged_combo.contains(*dataset)
-                    && self
-                        .merger
-                        .directory()
-                        .iter()
-                        .find(|f| f.combination == merged_combo)
-                        .map(|f| f.contains(key))
-                        .unwrap_or(false);
-                if in_file {
-                    match served.iter_mut().find(|(k, _)| k == key) {
-                        Some((_, set)) => set.insert(*dataset),
-                        None => served.push((*key, DatasetSet::single(*dataset))),
+        let route = {
+            let merger = self.merger.read().unwrap();
+            let (file, route) = merger.directory().route(combination);
+            if let Some(file) = file {
+                let merged_combo = file.combination;
+                // Group the pending keys served by the merge file so each key
+                // is read once for all its wanted datasets.
+                let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
+                pending.retain(|(dataset, key)| {
+                    let in_file = merged_combo.contains(*dataset) && file.contains(key);
+                    if in_file {
+                        match served.iter_mut().find(|(k, _)| k == key) {
+                            Some((_, set)) => set.insert(*dataset),
+                            None => served.push((*key, DatasetSet::single(*dataset))),
+                        }
+                        from_merge += 1;
+                        false
+                    } else {
+                        true
                     }
-                    from_merge += 1;
-                    false
-                } else {
-                    true
-                }
-            });
-            if !served.is_empty() {
-                let file = self
-                    .merger
-                    .directory_mut()
-                    .get_exact_mut(merged_combo)
-                    .expect("routed merge file exists");
-                // Read the merged entries in file order: entries appended by
-                // the same merge operation sit next to each other, so the
-                // whole hot area comes back in long sequential runs — the
-                // point of the merged layout.
-                served.sort_by_key(|(key, _)| {
-                    file.entry(key)
-                        .and_then(|e| e.runs.first().map(|r| r.page_start))
-                        .unwrap_or(u64::MAX)
                 });
-                for (key, wanted) in served {
-                    let objs = file.read(storage, &key, wanted)?;
-                    storage.note_objects_scanned(objs.len() as u64);
-                    objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                if !served.is_empty() {
+                    // Read the merged entries in file order: entries appended
+                    // by the same merge operation sit next to each other, so
+                    // the whole hot area comes back in long sequential runs —
+                    // the point of the merged layout.
+                    served.sort_by_key(|(key, _)| {
+                        file.entry(key)
+                            .and_then(|e| e.runs.first().map(|r| r.page_start))
+                            .unwrap_or(u64::MAX)
+                    });
+                    for (key, wanted) in served {
+                        let objs = file.read(storage, &key, wanted)?;
+                        storage.note_objects_scanned(objs.len() as u64);
+                        objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                    }
                 }
             }
-        }
+            route
+        };
 
         // Phase 3: read whatever is left from the individual dataset files.
+        // `read_region` (rather than a plain key lookup) closes the race
+        // where another thread refines a pending partition away between our
+        // planning phase and this read: the region's objects then come from
+        // its descendant leaves instead of silently vanishing.
         for (dataset_id, key) in &pending {
             let index = self
                 .datasets
                 .iter()
                 .find(|d| d.dataset() == *dataset_id)
                 .expect("pending keys only come from known datasets");
-            let objs = index.read_partition(storage, key)?;
+            let objs = index
+                .read_region(storage, &self.config, key)?
+                .unwrap_or_default();
             storage.note_objects_scanned(objs.len() as u64);
             objects.extend(objs.into_iter().filter(|o| query.matches(o)));
             from_datasets += 1;
         }
 
         // Phase 4: statistics and merging.
-        self.stats.record(combination, &retrieved_union);
+        self.stats
+            .write()
+            .unwrap()
+            .record(combination, &retrieved_union);
         let mut merge_performed = false;
-        if self.merger.should_merge(&self.config, &self.stats, combination) {
+        let should_merge = {
+            let merger = self.merger.read().unwrap();
+            let stats = self.stats.read().unwrap();
+            merger.should_merge(&self.config, &stats, combination)
+        };
+        if should_merge {
             let candidates: Vec<PartitionKey> = self
                 .stats
+                .read()
+                .unwrap()
                 .retrieved(combination)
                 .map(|set| set.iter().copied().collect())
                 .unwrap_or_default();
-            let summary = self.merger.merge_combination(
+            // The merger write lock serializes merge work; a thread that
+            // arrives after another already merged these candidates appends
+            // nothing (the merge file is append-only and checked per key).
+            let summary = self.merger.write().unwrap().merge_combination(
                 storage,
                 &self.config,
                 combination,
@@ -232,6 +282,65 @@ impl SpaceOdyssey {
             partitions_from_datasets: from_datasets,
             merge_performed,
         })
+    }
+
+    /// Executes a batch of queries, fanning out over all available cores.
+    ///
+    /// Results are returned in the order of `queries`, and each per-query
+    /// answer equals what sequential [`SpaceOdyssey::execute`] would return.
+    /// See [`SpaceOdyssey::execute_batch_with_threads`] for the threading
+    /// contract.
+    pub fn execute_batch(
+        &self,
+        storage: &StorageManager,
+        queries: &[RangeQuery],
+    ) -> StorageResult<Vec<QueryOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.execute_batch_with_threads(storage, queries, threads)
+    }
+
+    /// Executes a batch of queries on exactly `threads` worker threads
+    /// (clamped to the batch size; `0` or `1` runs inline on the caller).
+    ///
+    /// Workers pull queries from a shared cursor, so skewed workloads stay
+    /// balanced. The paper's adaptive semantics are preserved under
+    /// contention — first-touch partitioning, refinement and
+    /// threshold-triggered merges each happen exactly once — and the answer
+    /// of every query matches sequential execution. The first error, if any,
+    /// is returned (remaining queries still run to completion).
+    pub fn execute_batch_with_threads(
+        &self,
+        storage: &StorageManager,
+        queries: &[RangeQuery],
+        threads: usize,
+    ) -> StorageResult<Vec<QueryOutcome>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads <= 1 {
+            return queries.iter().map(|q| self.execute(storage, q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Mutex<Option<StorageResult<QueryOutcome>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else { break };
+                    let result = self.execute(storage, query);
+                    *collected[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        collected
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every query slot is filled")
+            })
+            .collect()
     }
 }
 
@@ -288,16 +397,20 @@ mod tests {
     }
 
     fn fixture(num_datasets: u16, per_dataset: u64, cfg: OdysseyConfig) -> Fixture {
-        let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+        let storage = StorageManager::new(StorageOptions::in_memory(256));
         let mut raws = Vec::new();
         let mut all_objects = Vec::new();
         for ds in 0..num_datasets {
             let objs = clustered_objects(per_dataset, ds, ds as u64 + 1);
-            raws.push(write_raw_dataset(&mut storage, DatasetId(ds), &objs).unwrap());
+            raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
             all_objects.extend(objs);
         }
         let engine = SpaceOdyssey::new(cfg, raws).unwrap();
-        Fixture { storage, engine, all_objects }
+        Fixture {
+            storage,
+            engine,
+            all_objects,
+        }
     }
 
     fn query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery {
@@ -317,7 +430,11 @@ mod tests {
 
     #[test]
     fn answers_match_scan_oracle_over_a_workload() {
-        let Fixture { mut storage, mut engine, all_objects } = fixture(4, 1500, config());
+        let Fixture {
+            storage,
+            engine,
+            all_objects,
+        } = fixture(4, 1500, config());
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for i in 0..60 {
             let c = Vec3::new(
@@ -332,7 +449,7 @@ mod tests {
             }
             ids.truncate(m);
             let q = query(i, c, rng.gen_range(2.0..12.0), &ids);
-            let outcome = engine.execute(&mut storage, &q).unwrap();
+            let outcome = engine.execute(&storage, &q).unwrap();
             let mut expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
                 .iter()
                 .map(|o| (o.dataset, o.id))
@@ -348,9 +465,11 @@ mod tests {
 
     #[test]
     fn only_queried_datasets_are_initialized() {
-        let Fixture { mut storage, mut engine, .. } = fixture(5, 500, config());
+        let Fixture {
+            storage, engine, ..
+        } = fixture(5, 500, config());
         let q = query(0, Vec3::splat(50.0), 5.0, &[1, 3]);
-        engine.execute(&mut storage, &q).unwrap();
+        engine.execute(&storage, &q).unwrap();
         assert!(engine.dataset(DatasetId(1)).unwrap().is_initialized());
         assert!(engine.dataset(DatasetId(3)).unwrap().is_initialized());
         assert!(!engine.dataset(DatasetId(0)).unwrap().is_initialized());
@@ -360,7 +479,9 @@ mod tests {
 
     #[test]
     fn hot_combination_gets_merged_and_later_queries_use_the_merge_file() {
-        let Fixture { mut storage, mut engine, .. } = fixture(4, 2000, config());
+        let Fixture {
+            storage, engine, ..
+        } = fixture(4, 2000, config());
         let hot = [0u16, 1, 2];
         let mut merged_seen = false;
         let mut merge_file_used = false;
@@ -369,12 +490,15 @@ mod tests {
             // are retrieved repeatedly.
             let c = Vec3::splat(48.0 + (i % 3) as f64);
             let q = query(i, c, 4.0, &hot);
-            let outcome = engine.execute(&mut storage, &q).unwrap();
+            let outcome = engine.execute(&storage, &q).unwrap();
             merged_seen |= outcome.merge_performed;
             merge_file_used |= outcome.used_merge_file();
         }
         assert!(merged_seen, "the hot combination should have been merged");
-        assert!(merge_file_used, "later queries should read from the merge file");
+        assert!(
+            merge_file_used,
+            "later queries should read from the merge file"
+        );
         assert_eq!(engine.merger().directory().len(), 1);
         assert!(engine.merger().directory().total_pages() > 0);
         // Statistics recorded the combination.
@@ -384,10 +508,12 @@ mod tests {
 
     #[test]
     fn small_combinations_are_never_merged() {
-        let Fixture { mut storage, mut engine, .. } = fixture(3, 800, config());
+        let Fixture {
+            storage, engine, ..
+        } = fixture(3, 800, config());
         for i in 0..8 {
             let q = query(i, Vec3::splat(50.0), 4.0, &[0, 1]);
-            let outcome = engine.execute(&mut storage, &q).unwrap();
+            let outcome = engine.execute(&storage, &q).unwrap();
             assert!(!outcome.merge_performed);
             assert_eq!(outcome.route, RouteKind::None);
         }
@@ -396,11 +522,12 @@ mod tests {
 
     #[test]
     fn disabling_merging_keeps_directory_empty() {
-        let Fixture { mut storage, mut engine, .. } =
-            fixture(4, 1000, config().without_merging());
+        let Fixture {
+            storage, engine, ..
+        } = fixture(4, 1000, config().without_merging());
         for i in 0..10 {
             let q = query(i, Vec3::splat(50.0), 4.0, &[0, 1, 2, 3]);
-            engine.execute(&mut storage, &q).unwrap();
+            engine.execute(&storage, &q).unwrap();
         }
         assert!(engine.merger().directory().is_empty());
         assert_eq!(engine.merger().merges_performed(), 0);
@@ -408,17 +535,19 @@ mod tests {
 
     #[test]
     fn superset_merge_file_serves_smaller_queries() {
-        let Fixture { mut storage, mut engine, .. } = fixture(4, 1500, config());
+        let Fixture {
+            storage, engine, ..
+        } = fixture(4, 1500, config());
         // Heat up {0,1,2,3} so it gets merged.
         for i in 0..6 {
             let q = query(i, Vec3::splat(50.0), 5.0, &[0, 1, 2, 3]);
-            engine.execute(&mut storage, &q).unwrap();
+            engine.execute(&storage, &q).unwrap();
         }
         assert_eq!(engine.merger().directory().len(), 1);
         // Now query a 3-subset in the same region: it should route to the
         // superset merge file.
         let q = query(100, Vec3::splat(50.0), 5.0, &[0, 1, 3]);
-        let outcome = engine.execute(&mut storage, &q).unwrap();
+        let outcome = engine.execute(&storage, &q).unwrap();
         assert_eq!(outcome.route, RouteKind::Superset);
     }
 
@@ -426,10 +555,12 @@ mod tests {
     fn merge_respects_space_budget() {
         let mut cfg = config();
         cfg.merge_space_budget_pages = Some(1);
-        let Fixture { mut storage, mut engine, .. } = fixture(4, 1500, cfg);
+        let Fixture {
+            storage, engine, ..
+        } = fixture(4, 1500, cfg);
         for i in 0..8 {
             let q = query(i, Vec3::splat(50.0), 5.0, &[0, 1, 2]);
-            engine.execute(&mut storage, &q).unwrap();
+            engine.execute(&storage, &q).unwrap();
         }
         // The directory can never exceed the one-page budget; with entries
         // larger than a page it ends up empty (evicted) or minimal.
@@ -438,10 +569,14 @@ mod tests {
 
     #[test]
     fn queries_on_unknown_datasets_return_nothing_extra() {
-        let Fixture { mut storage, mut engine, all_objects } = fixture(2, 500, config());
+        let Fixture {
+            storage,
+            engine,
+            all_objects,
+        } = fixture(2, 500, config());
         // Dataset 7 does not exist; the answer covers only dataset 0.
         let q = query(0, Vec3::splat(50.0), 60.0, &[0, 7]);
-        let outcome = engine.execute(&mut storage, &q).unwrap();
+        let outcome = engine.execute(&storage, &q).unwrap();
         let expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
             .iter()
             .filter(|o| o.dataset == DatasetId(0))
@@ -456,13 +591,19 @@ mod tests {
         // The Figure 5c effect: queries for the hot combination become
         // cheaper once its partitions are merged.
         let run = |merging: bool| {
-            let cfg = if merging { config() } else { config().without_merging() };
-            let Fixture { mut storage, mut engine, .. } = fixture(5, 3000, cfg);
+            let cfg = if merging {
+                config()
+            } else {
+                config().without_merging()
+            };
+            let Fixture {
+                storage, engine, ..
+            } = fixture(5, 3000, cfg);
             let hot = [0u16, 1, 2, 3, 4];
             // Warm-up: let refinement converge and merging trigger.
             for i in 0..10 {
                 let q = query(i, Vec3::splat(50.0), 4.0, &hot);
-                engine.execute(&mut storage, &q).unwrap();
+                engine.execute(&storage, &q).unwrap();
             }
             // Measure steady-state queries with a cold cache, as in the paper.
             let mut total = 0.0;
@@ -470,7 +611,7 @@ mod tests {
                 storage.clear_cache();
                 let before = storage.stats();
                 let q = query(100 + i, Vec3::splat(50.0 + (i % 3) as f64), 4.0, &hot);
-                engine.execute(&mut storage, &q).unwrap();
+                engine.execute(&storage, &q).unwrap();
                 total += storage.seconds_since(&before);
             }
             total
@@ -481,5 +622,71 @@ mod tests {
             with < without,
             "merged hot-combination queries ({with}s) should beat unmerged ({without}s)"
         );
+    }
+
+    #[test]
+    fn execute_batch_returns_results_in_order() {
+        let Fixture {
+            storage,
+            engine,
+            all_objects,
+        } = fixture(3, 1000, config());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let queries: Vec<RangeQuery> = (0..24)
+            .map(|i| {
+                let c = Vec3::new(
+                    rng.gen_range(10.0..90.0),
+                    rng.gen_range(10.0..90.0),
+                    rng.gen_range(10.0..90.0),
+                );
+                query(i, c, rng.gen_range(3.0..10.0), &[0, 1, 2])
+            })
+            .collect();
+        let outcomes = engine
+            .execute_batch_with_threads(&storage, &queries, 4)
+            .unwrap();
+        assert_eq!(outcomes.len(), queries.len());
+        assert_eq!(engine.queries_executed(), queries.len() as u64);
+        for (q, outcome) in queries.iter().zip(&outcomes) {
+            let mut expected: Vec<_> = odyssey_geom::scan_query(q, all_objects.iter())
+                .iter()
+                .map(|o| (o.dataset, o.id))
+                .collect();
+            let mut got: Vec<_> = outcome.objects.iter().map(|o| (o.dataset, o.id)).collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(
+                got, expected,
+                "query {:?} diverged under batch execution",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn execute_batch_with_zero_or_one_thread_runs_inline() {
+        let Fixture {
+            storage, engine, ..
+        } = fixture(2, 400, config());
+        let queries = vec![
+            query(0, Vec3::splat(40.0), 5.0, &[0, 1]),
+            query(1, Vec3::splat(60.0), 5.0, &[0]),
+        ];
+        assert_eq!(
+            engine
+                .execute_batch_with_threads(&storage, &queries, 0)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            engine
+                .execute_batch_with_threads(&storage, &queries, 1)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(engine.execute_batch(&storage, &[]).unwrap().is_empty());
     }
 }

@@ -16,6 +16,7 @@ use crate::partition::PartitionKey;
 use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
 use odyssey_storage::{FileId, StorageManager, StorageResult};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One per-dataset page run inside a merge entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,19 +61,36 @@ pub struct MergeFile {
     file: FileId,
     entries: HashMap<PartitionKey, MergeEntry>,
     total_pages: u64,
-    /// Logical timestamp of the last query that used this file (LRU).
-    pub last_used: u64,
+    /// Logical timestamp of the last query that used this file (LRU). Atomic
+    /// so routing can refresh recency through a shared reference.
+    pub last_used: AtomicU64,
 }
 
 impl MergeFile {
     /// Creates an empty merge file for `combination`.
     pub fn create(
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         combination: DatasetSet,
         label: &str,
     ) -> StorageResult<Self> {
         let file = storage.create_file(&format!("merge_{label}"))?;
-        Ok(MergeFile { combination, file, entries: HashMap::new(), total_pages: 0, last_used: 0 })
+        Ok(MergeFile {
+            combination,
+            file,
+            entries: HashMap::new(),
+            total_pages: 0,
+            last_used: AtomicU64::new(0),
+        })
+    }
+
+    /// Logical timestamp of the last query routed to this file.
+    pub fn last_used(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes the recency stamp.
+    pub fn touch(&self, clock: u64) {
+        self.last_used.store(clock, Ordering::Relaxed);
     }
 
     /// Whether the file already holds the partition `key`.
@@ -103,7 +121,7 @@ impl MergeFile {
     /// existing entries).
     pub fn append_entry(
         &mut self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         key: PartitionKey,
         parts: &[(DatasetId, Vec<SpatialObject>)],
     ) -> StorageResult<bool> {
@@ -133,7 +151,7 @@ impl MergeFile {
     /// empty vector if the key is not merged.
     pub fn read(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         key: &PartitionKey,
         wanted: DatasetSet,
     ) -> StorageResult<Vec<SpatialObject>> {
@@ -160,7 +178,12 @@ mod tests {
     use odyssey_geom::{Aabb, ObjectId, Vec3};
 
     fn key(x: u32) -> PartitionKey {
-        PartitionKey { level: 2, x, y: 0, z: 0 }
+        PartitionKey {
+            level: 2,
+            x,
+            y: 0,
+            z: 0,
+        }
     }
 
     fn objs(ds: u16, n: u64) -> (DatasetId, Vec<SpatialObject>) {
@@ -184,37 +207,42 @@ mod tests {
 
     #[test]
     fn append_and_read_all_datasets() {
-        let mut storage = StorageManager::in_memory();
-        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c012").unwrap();
+        let storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c012").unwrap();
         let parts = vec![objs(0, 100), objs(1, 50), objs(2, 70)];
-        assert!(mf.append_entry(&mut storage, key(3), &parts).unwrap());
+        assert!(mf.append_entry(&storage, key(3), &parts).unwrap());
         assert_eq!(mf.entry_count(), 1);
         assert!(mf.contains(&key(3)));
-        let all = mf.read(&mut storage, &key(3), combo(&[0, 1, 2])).unwrap();
+        let all = mf.read(&storage, &key(3), combo(&[0, 1, 2])).unwrap();
         assert_eq!(all.len(), 220);
     }
 
     #[test]
     fn subset_reads_skip_unwanted_datasets() {
-        let mut storage = StorageManager::in_memory();
-        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c012").unwrap();
-        mf.append_entry(&mut storage, key(1), &[objs(0, 80), objs(1, 90), objs(2, 100)]).unwrap();
-        let only_0_and_2 = mf.read(&mut storage, &key(1), combo(&[0, 2])).unwrap();
+        let storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c012").unwrap();
+        mf.append_entry(&storage, key(1), &[objs(0, 80), objs(1, 90), objs(2, 100)])
+            .unwrap();
+        let only_0_and_2 = mf.read(&storage, &key(1), combo(&[0, 2])).unwrap();
         assert_eq!(only_0_and_2.len(), 180);
         assert!(only_0_and_2.iter().all(|o| o.dataset != DatasetId(1)));
     }
 
     #[test]
     fn skipping_reads_fewer_pages() {
-        let mut storage =
-            StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
-        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
-        mf.append_entry(&mut storage, key(0), &[objs(0, 630), objs(1, 630), objs(2, 630)]).unwrap();
+        let storage = StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c").unwrap();
+        mf.append_entry(
+            &storage,
+            key(0),
+            &[objs(0, 630), objs(1, 630), objs(2, 630)],
+        )
+        .unwrap();
         let before = storage.stats();
-        mf.read(&mut storage, &key(0), combo(&[0, 1, 2])).unwrap();
+        mf.read(&storage, &key(0), combo(&[0, 1, 2])).unwrap();
         let all_pages = storage.stats().since(&before).0.pages_read();
         let before = storage.stats();
-        mf.read(&mut storage, &key(0), combo(&[0])).unwrap();
+        mf.read(&storage, &key(0), combo(&[0])).unwrap();
         let subset_pages = storage.stats().since(&before).0.pages_read();
         assert_eq!(all_pages, 30);
         assert_eq!(subset_pages, 10);
@@ -222,29 +250,34 @@ mod tests {
 
     #[test]
     fn duplicate_append_is_ignored() {
-        let mut storage = StorageManager::in_memory();
-        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
-        assert!(mf.append_entry(&mut storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)]).unwrap());
+        let storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c").unwrap();
+        assert!(mf
+            .append_entry(&storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)])
+            .unwrap());
         let pages = mf.total_pages();
-        assert!(!mf.append_entry(&mut storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)]).unwrap());
+        assert!(!mf
+            .append_entry(&storage, key(0), &[objs(0, 10), objs(1, 10), objs(2, 10)])
+            .unwrap());
         assert_eq!(mf.total_pages(), pages);
         assert_eq!(mf.entry_count(), 1);
     }
 
     #[test]
     fn missing_key_reads_empty() {
-        let mut storage = StorageManager::in_memory();
-        let mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
-        assert!(mf.read(&mut storage, &key(9), combo(&[0])).unwrap().is_empty());
+        let storage = StorageManager::in_memory();
+        let mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c").unwrap();
+        assert!(mf.read(&storage, &key(9), combo(&[0])).unwrap().is_empty());
         assert!(mf.entry(&key(9)).is_none());
         assert_eq!(mf.total_pages(), 0);
     }
 
     #[test]
     fn entry_metadata() {
-        let mut storage = StorageManager::in_memory();
-        let mut mf = MergeFile::create(&mut storage, combo(&[1, 3, 5]), "c").unwrap();
-        mf.append_entry(&mut storage, key(2), &[objs(5, 63), objs(1, 1), objs(3, 64)]).unwrap();
+        let storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&storage, combo(&[1, 3, 5]), "c").unwrap();
+        mf.append_entry(&storage, key(2), &[objs(5, 63), objs(1, 1), objs(3, 64)])
+            .unwrap();
         let entry = mf.entry(&key(2)).unwrap();
         // Runs are stored in ascending dataset order regardless of input order.
         let order: Vec<u16> = entry.runs.iter().map(|r| r.dataset.0).collect();
@@ -256,12 +289,16 @@ mod tests {
 
     #[test]
     fn reads_within_an_entry_are_sequential() {
-        let mut storage =
-            StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
-        let mut mf = MergeFile::create(&mut storage, combo(&[0, 1, 2]), "c").unwrap();
-        mf.append_entry(&mut storage, key(0), &[objs(0, 315), objs(1, 315), objs(2, 315)]).unwrap();
+        let storage = StorageManager::new(odyssey_storage::StorageOptions::in_memory(0));
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c").unwrap();
+        mf.append_entry(
+            &storage,
+            key(0),
+            &[objs(0, 315), objs(1, 315), objs(2, 315)],
+        )
+        .unwrap();
         let before = storage.stats();
-        mf.read(&mut storage, &key(0), combo(&[0, 1, 2])).unwrap();
+        mf.read(&storage, &key(0), combo(&[0, 1, 2])).unwrap();
         let d = storage.stats().since(&before).0;
         // 15 pages total; only the first read of the file seeks.
         assert_eq!(d.pages_read(), 15);

@@ -16,6 +16,7 @@ use crate::partition::PartitionKey;
 use crate::stats::StatsCollector;
 use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
 use odyssey_storage::{StorageManager, StorageResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a query's combination relates to the merge file chosen for it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,10 +33,16 @@ pub enum RouteKind {
 }
 
 /// Directory of merge files, indexed by combination.
+///
+/// Routing (the per-query lookup) works through `&self`: the LRU clock and
+/// the files' recency stamps are atomics, so concurrent queries can route and
+/// read in parallel under the engine's directory read lock. Structural
+/// changes (inserting a merge file, eviction) take `&mut self` and therefore
+/// the engine's write lock.
 #[derive(Debug, Default)]
 pub struct MergeDirectory {
     files: Vec<MergeFile>,
-    clock: u64,
+    clock: AtomicU64,
     evictions: u64,
 }
 
@@ -75,21 +82,26 @@ impl MergeDirectory {
         self.files.iter().position(|f| f.combination == combination)
     }
 
+    /// The merge file storing exactly `combination`, if any.
+    pub fn get_exact(&self, combination: DatasetSet) -> Option<&MergeFile> {
+        self.find_exact(combination).map(|i| &self.files[i])
+    }
+
     /// Mutable access to the merge file for exactly `combination`.
     pub fn get_exact_mut(&mut self, combination: DatasetSet) -> Option<&mut MergeFile> {
-        self.find_exact(combination).map(move |i| &mut self.files[i])
+        self.find_exact(combination)
+            .map(move |i| &mut self.files[i])
     }
 
     /// Chooses the best merge file for a queried combination, following the
     /// paper's routing rules: exact match first, then the smallest superset,
     /// then the file sharing the most datasets with the query. Marks the
     /// chosen file as recently used.
-    pub fn route(&mut self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
-        self.clock += 1;
-        let clock = self.clock;
+    pub fn route(&self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         // Exact.
         if let Some(i) = self.find_exact(combination) {
-            self.files[i].last_used = clock;
+            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Exact);
         }
         // Smallest superset.
@@ -101,7 +113,7 @@ impl MergeDirectory {
             .min_by_key(|(_, f)| f.combination.len())
             .map(|(i, _)| i);
         if let Some(i) = superset {
-            self.files[i].last_used = clock;
+            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Superset);
         }
         // Largest overlap (subset or partial overlap).
@@ -114,16 +126,16 @@ impl MergeDirectory {
             .max_by_key(|(_, overlap)| *overlap)
             .map(|(i, _)| i);
         if let Some(i) = best_overlap {
-            self.files[i].last_used = clock;
+            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Subset);
         }
         (None, RouteKind::None)
     }
 
     /// Registers a new merge file.
-    pub fn insert(&mut self, mut file: MergeFile) {
-        self.clock += 1;
-        file.last_used = self.clock;
+    pub fn insert(&mut self, file: MergeFile) {
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        file.touch(clock);
         self.files.push(file);
     }
 
@@ -139,7 +151,7 @@ impl MergeDirectory {
                 .files
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, f)| f.last_used)
+                .min_by_key(|(_, f)| f.last_used())
                 .map(|(i, _)| i)
                 .expect("non-empty directory");
             let removed = self.files.swap_remove(lru);
@@ -169,6 +181,12 @@ pub struct MergeSummary {
 }
 
 /// The Merger: decides when to merge and performs the copies.
+///
+/// The engine keeps the merger behind an `RwLock`: every query routes and
+/// reads through the read lock (routing only touches atomics); merge
+/// operations and evictions take the write lock, which also makes the
+/// merge-threshold decision execute-exactly-once — a thread that loses the
+/// race re-checks the directory under the lock and finds nothing left to do.
 #[derive(Debug, Default)]
 pub struct Merger {
     directory: MergeDirectory,
@@ -217,7 +235,7 @@ impl Merger {
     /// merged partitions are left untouched (the file is append-only).
     pub fn merge_combination(
         &mut self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         config: &OdysseyConfig,
         combination: DatasetSet,
         candidates: &[PartitionKey],
@@ -262,8 +280,15 @@ impl Merger {
                     continue;
                 }
             }
-            // Gather the partition's objects from every dataset in the
-            // combination, honouring the level policy.
+            // Gather the region's objects from every dataset in the
+            // combination. `read_region` resolves the key at whatever
+            // refinement level each dataset currently holds it, under one
+            // per-dataset lock acquisition — so a refinement racing this
+            // merge can never bake an incomplete entry into the append-only
+            // merge file. (Under the same-level policy the alignment
+            // pre-check above already filtered mismatched candidates; a
+            // refinement slipping in between merely reads the region from
+            // its finer leaves, with identical content.)
             let mut parts: Vec<(DatasetId, Vec<SpatialObject>)> = Vec::new();
             let mut mismatch = false;
             for dataset_id in combination.iter() {
@@ -271,29 +296,11 @@ impl Merger {
                     mismatch = true;
                     break;
                 };
-                if index.partition(key).is_some() {
-                    let objects = index.read_partition(storage, key)?;
-                    parts.push((dataset_id, objects));
-                } else {
-                    match config.merge_level_policy {
-                        MergeLevelPolicy::SameLevelOnly => {
-                            mismatch = true;
-                            break;
-                        }
-                        MergeLevelPolicy::RefineToFinest => {
-                            // The dataset holds this region at a different
-                            // level; gather the region's objects from its
-                            // finer leaves (or its coarser covering leaf).
-                            let objects =
-                                gather_region(storage, index, config, key)?;
-                            match objects {
-                                Some(objs) => parts.push((dataset_id, objs)),
-                                None => {
-                                    mismatch = true;
-                                    break;
-                                }
-                            }
-                        }
+                match index.read_region(storage, config, key)? {
+                    Some(objects) => parts.push((dataset_id, objects)),
+                    None => {
+                        mismatch = true;
+                        break;
                     }
                 }
             }
@@ -313,52 +320,10 @@ impl Merger {
         if summary.entries_appended > 0 {
             self.merges_performed += 1;
         }
-        self.directory.enforce_budget(config.merge_space_budget_pages);
+        self.directory
+            .enforce_budget(config.merge_space_budget_pages);
         Ok(summary)
     }
-}
-
-/// Gathers the objects of the region `key` from a dataset whose leaves are at
-/// a different refinement level: descendants are read and concatenated; a
-/// coarser ancestor is read and filtered to the region. Returns `None` when
-/// the region cannot be assembled (should not happen for initialized
-/// datasets).
-fn gather_region(
-    storage: &mut StorageManager,
-    index: &DatasetIndex,
-    config: &OdysseyConfig,
-    key: &PartitionKey,
-) -> StorageResult<Option<Vec<SpatialObject>>> {
-    let k = config.splits_per_dimension();
-    let region = key.bounds(&config.bounds, k);
-    // Descendants: leaves at deeper levels whose bounds lie inside the region.
-    let descendants: Vec<PartitionKey> = index
-        .partitions()
-        .iter()
-        .filter(|p| p.key.level > key.level && region.contains(&p.bounds))
-        .map(|p| p.key)
-        .collect();
-    if !descendants.is_empty() {
-        let mut out = Vec::new();
-        for d in descendants {
-            out.extend(index.read_partition(storage, &d)?);
-        }
-        return Ok(Some(out));
-    }
-    // Coarser ancestor: a leaf whose bounds contain the region; filter its
-    // objects down to the region (centers only, matching assignment rules).
-    let ancestor = index
-        .partitions()
-        .iter()
-        .find(|p| p.key.level < key.level && p.bounds.contains(&region))
-        .map(|p| p.key);
-    if let Some(a) = ancestor {
-        let objects = index.read_partition(storage, &a)?;
-        return Ok(Some(
-            objects.into_iter().filter(|o| region.contains_point_half_open(o.center()) || region.contains_point(o.center())).collect(),
-        ));
-    }
-    Ok(None)
 }
 
 #[cfg(test)]
@@ -372,20 +337,25 @@ mod tests {
     }
 
     fn key(x: u32) -> PartitionKey {
-        PartitionKey { level: 1, x, y: 0, z: 0 }
+        PartitionKey {
+            level: 1,
+            x,
+            y: 0,
+            z: 0,
+        }
     }
 
-    fn empty_merge_file(storage: &mut StorageManager, ids: &[u16]) -> MergeFile {
+    fn empty_merge_file(storage: &StorageManager, ids: &[u16]) -> MergeFile {
         MergeFile::create(storage, combo(ids), "t").unwrap()
     }
 
     #[test]
     fn routing_prefers_exact_then_superset_then_overlap() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let mut dir = MergeDirectory::new();
-        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2]));
-        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2, 3, 4]));
-        dir.insert(empty_merge_file(&mut storage, &[5, 6, 7]));
+        dir.insert(empty_merge_file(&storage, &[0, 1, 2]));
+        dir.insert(empty_merge_file(&storage, &[0, 1, 2, 3, 4]));
+        dir.insert(empty_merge_file(&storage, &[5, 6, 7]));
 
         let (f, kind) = dir.route(combo(&[0, 1, 2]));
         assert_eq!(kind, RouteKind::Exact);
@@ -407,10 +377,10 @@ mod tests {
 
     #[test]
     fn directory_basic_accounting() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let mut dir = MergeDirectory::new();
         assert!(dir.is_empty());
-        dir.insert(empty_merge_file(&mut storage, &[0, 1, 2]));
+        dir.insert(empty_merge_file(&storage, &[0, 1, 2]));
         assert_eq!(dir.len(), 1);
         assert_eq!(dir.total_pages(), 0);
         assert_eq!(dir.iter().count(), 1);
@@ -418,10 +388,10 @@ mod tests {
 
     #[test]
     fn budget_eviction_drops_least_recently_used() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let mut dir = MergeDirectory::new();
         // Two merge files with one entry each (non-zero pages).
-        let mk = |storage: &mut StorageManager, ids: &[u16]| {
+        let mk = |storage: &StorageManager, ids: &[u16]| {
             let mut f = MergeFile::create(storage, combo(ids), "x").unwrap();
             let objs: Vec<_> = (0..100u64)
                 .map(|i| {
@@ -432,11 +402,12 @@ mod tests {
                     )
                 })
                 .collect();
-            f.append_entry(storage, key(0), &[(DatasetId(ids[0]), objs)]).unwrap();
+            f.append_entry(storage, key(0), &[(DatasetId(ids[0]), objs)])
+                .unwrap();
             f
         };
-        dir.insert(mk(&mut storage, &[0, 1, 2]));
-        dir.insert(mk(&mut storage, &[3, 4, 5]));
+        dir.insert(mk(&storage, &[0, 1, 2]));
+        dir.insert(mk(&storage, &[3, 4, 5]));
         // Touch the first file so the second becomes LRU.
         dir.route(combo(&[0, 1, 2]));
         let total = dir.total_pages();

@@ -7,11 +7,32 @@
 //! still much larger than the query (`Vp / Vq > rt`), splitting it into `ppl`
 //! children, rewriting the partition's pages in place and appending overflow
 //! pages at the end of the file — §3.1 of the paper.
+//!
+//! # Concurrency
+//!
+//! A [`DatasetIndex`] is shared by reference across query threads. Its
+//! mutable state (partition table, partition-file layout, `maxExtent`) lives
+//! behind one `RwLock` per dataset — the sharding unit of the engine:
+//!
+//! * queries that only *read* a dataset (the common case once refinement has
+//!   converged) take the read lock, so reads of the same dataset, and of
+//!   distinct datasets, proceed in parallel;
+//! * first-touch partitioning and refinement take the write lock, which makes
+//!   them atomic with respect to readers **and** keeps partition data
+//!   consistent with partition metadata (a reader can never observe a
+//!   half-rewritten page run, because `read_partition` holds the read lock
+//!   across its page reads);
+//! * double-checked locking ensures first-touch partitioning and each
+//!   individual refinement happen exactly once under contention — a thread
+//!   that lost the race re-validates against the new partition table and
+//!   simply reads the finer partitions.
 
 use crate::config::OdysseyConfig;
 use crate::partition::{Partition, PartitionKey};
 use odyssey_geom::{Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
 use odyssey_storage::{pages_needed, FileId, RawDataset, StorageManager, StorageResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Result of preparing one dataset for a query: which partitions intersect,
 /// which still have to be read, and what was already collected as a side
@@ -31,17 +52,23 @@ pub struct PreparedQuery {
     pub refined: usize,
 }
 
-/// The incremental index of one dataset.
+/// The mutable state of one dataset's index, guarded by the per-dataset lock.
 #[derive(Debug)]
-pub struct DatasetIndex {
-    dataset: DatasetId,
-    raw: RawDataset,
+struct IndexState {
     /// Partition file; created lazily on the dataset's first query.
     file: Option<FileId>,
     /// Current leaf partitions (unordered).
     partitions: Vec<Partition>,
     max_extent: Vec3,
-    total_refinements: u64,
+}
+
+/// The incremental index of one dataset.
+#[derive(Debug)]
+pub struct DatasetIndex {
+    dataset: DatasetId,
+    raw: RawDataset,
+    state: RwLock<IndexState>,
+    total_refinements: AtomicU64,
 }
 
 impl DatasetIndex {
@@ -50,10 +77,12 @@ impl DatasetIndex {
         DatasetIndex {
             dataset: raw.dataset,
             raw,
-            file: None,
-            partitions: Vec::new(),
-            max_extent: Vec3::ZERO,
-            total_refinements: 0,
+            state: RwLock::new(IndexState {
+                file: None,
+                partitions: Vec::new(),
+                max_extent: Vec3::ZERO,
+            }),
+            total_refinements: AtomicU64::new(0),
         }
     }
 
@@ -64,45 +93,55 @@ impl DatasetIndex {
 
     /// Whether the first-touch partitioning has happened.
     pub fn is_initialized(&self) -> bool {
-        self.file.is_some()
+        self.state.read().unwrap().file.is_some()
     }
 
     /// Maximum object extent seen during the initial scan (zero before
     /// initialization). Queries are extended by half of this per dimension.
     pub fn max_extent(&self) -> Vec3 {
-        self.max_extent
+        self.state.read().unwrap().max_extent
     }
 
-    /// Current leaf partitions.
-    pub fn partitions(&self) -> &[Partition] {
-        &self.partitions
+    /// A snapshot of the current leaf partitions (unordered).
+    pub fn partitions(&self) -> Vec<Partition> {
+        self.state.read().unwrap().partitions.clone()
     }
 
     /// Total number of refinement operations performed so far.
     pub fn total_refinements(&self) -> u64 {
-        self.total_refinements
+        self.total_refinements.load(Ordering::Relaxed)
     }
 
     /// Looks up a leaf partition by key.
-    pub fn partition(&self, key: &PartitionKey) -> Option<&Partition> {
-        self.partitions.iter().find(|p| p.key == *key)
+    pub fn partition(&self, key: &PartitionKey) -> Option<Partition> {
+        self.state
+            .read()
+            .unwrap()
+            .partitions
+            .iter()
+            .find(|p| p.key == *key)
+            .copied()
     }
 
     /// The extended probe range for a query against this dataset
     /// (query-window extension with the recorded `maxExtent`).
     pub fn extended_range(&self, query: &RangeQuery) -> Aabb {
-        query.extended_range(self.max_extent)
+        query.extended_range(self.max_extent())
     }
 
     /// First-touch initialization: scan the raw file and create the level-1
-    /// partitioning. Idempotent.
+    /// partitioning. Idempotent and race-free (double-checked locking).
     pub fn ensure_initialized(
-        &mut self,
-        storage: &mut StorageManager,
+        &self,
+        storage: &StorageManager,
         config: &OdysseyConfig,
     ) -> StorageResult<()> {
-        if self.file.is_some() {
+        if self.state.read().unwrap().file.is_some() {
             return Ok(());
+        }
+        let mut state = self.state.write().unwrap();
+        if state.file.is_some() {
+            return Ok(()); // another thread won the race
         }
         let k = config.splits_per_dimension();
         let objects = storage.read_objects(self.raw.file, self.raw.pages())?;
@@ -133,9 +172,9 @@ impl DatasetIndex {
                 }
             }
         }
-        self.file = Some(file);
-        self.partitions = partitions;
-        self.max_extent = max_extent;
+        state.file = Some(file);
+        state.partitions = partitions;
+        state.max_extent = max_extent;
         Ok(())
     }
 
@@ -143,44 +182,79 @@ impl DatasetIndex {
     /// every intersected partition that is still too coarse, and reports the
     /// partitions the query has to read.
     pub fn prepare_query(
-        &mut self,
-        storage: &mut StorageManager,
+        &self,
+        storage: &StorageManager,
         config: &OdysseyConfig,
         query: &RangeQuery,
     ) -> StorageResult<PreparedQuery> {
         let first_touch = !self.is_initialized();
         self.ensure_initialized(storage, config)?;
-        let extended = self.extended_range(query);
         let query_volume = query.volume();
 
+        // Fast path: under the read lock, check whether any intersected
+        // partition still needs refinement. If not (the steady state), the
+        // prepared answer is assembled without ever writing.
+        if !first_touch {
+            let state = self.state.read().unwrap();
+            let extended = query.extended_range(state.max_extent);
+            storage.note_objects_scanned(state.partitions.len() as u64);
+            let hits: Vec<&Partition> = state
+                .partitions
+                .iter()
+                .filter(|p| p.bounds.intersects(&extended))
+                .collect();
+            if !hits
+                .iter()
+                .any(|p| self.should_refine(config, p, query_volume))
+            {
+                let mut out = PreparedQuery::default();
+                for p in hits {
+                    out.retrieved_keys.push(p.key);
+                    out.pending_keys.push(p.key);
+                }
+                return Ok(out);
+            }
+        }
+
+        // Slow path: refinement (or the dataset's very first query). The
+        // write lock makes the whole adapt step atomic; candidates are
+        // re-validated against the current partition table, so a refinement
+        // another thread performed in the meantime is simply observed, never
+        // repeated.
+        let mut state = self.state.write().unwrap();
+        let state = &mut *state;
+        let extended = query.extended_range(state.max_extent);
         let mut out = PreparedQuery::default();
 
         // Identify intersecting partitions; the scan over partition MBRs is
-        // CPU work charged to the cost model.
-        storage.note_objects_scanned(self.partitions.len() as u64);
-        let mut to_visit: Vec<usize> = (0..self.partitions.len())
-            .filter(|&i| self.partitions[i].bounds.intersects(&extended))
+        // CPU work charged to the cost model. (The fast path above also
+        // charged one scan — matching the fact that it really did scan.)
+        storage.note_objects_scanned(state.partitions.len() as u64);
+        let keys: Vec<PartitionKey> = state
+            .partitions
+            .iter()
+            .filter(|p| p.bounds.intersects(&extended))
+            .map(|p| p.key)
             .collect();
 
         // Refine qualifying partitions (one level per query, as in §3.1.1),
         // answering the query from the data read during refinement.
-        // Indices shift as partitions are replaced, so work key-by-key.
-        let keys: Vec<PartitionKey> = to_visit.iter().map(|&i| self.partitions[i].key).collect();
-        to_visit.clear();
         for key in keys {
-            let Some(idx) = self.partitions.iter().position(|p| p.key == key) else {
+            let Some(idx) = state.partitions.iter().position(|p| p.key == key) else {
                 continue;
             };
-            let partition = self.partitions[idx];
+            let partition = state.partitions[idx];
             if self.should_refine(config, &partition, query_volume) {
-                let objects = self.refine(storage, config, idx)?;
+                let objects = Self::refine(state, storage, config, idx)?;
+                self.total_refinements.fetch_add(1, Ordering::Relaxed);
                 out.refined += 1;
                 // The refinement already read every object of the old
                 // partition; answer from it directly and record the child
                 // partitions that intersect the query as retrieved.
-                out.collected.extend(objects.iter().filter(|o| query.matches(o)).copied());
+                out.collected
+                    .extend(objects.iter().filter(|o| query.matches(o)).copied());
                 storage.note_objects_scanned(objects.len() as u64);
-                for child in self.partitions.iter().filter(|p| {
+                for child in state.partitions.iter().filter(|p| {
                     p.key.parent(config.splits_per_dimension()) == Some(key)
                         && p.bounds.intersects(&extended)
                 }) {
@@ -195,12 +269,14 @@ impl DatasetIndex {
         // The very first query on a dataset already scanned the whole raw
         // file; answer it from that scan rather than re-reading partitions.
         if first_touch {
+            let file = state.file.expect("initialized");
             let mut collected_from_pending = Vec::new();
             for key in &out.pending_keys {
-                if let Some(p) = self.partition(key) {
+                if let Some(p) = state.partitions.iter().find(|p| p.key == *key) {
                     if p.object_count > 0 {
-                        let objs = storage.read_objects(self.file.expect("initialized"), p.pages())?;
-                        collected_from_pending.extend(objs.into_iter().filter(|o| query.matches(o)));
+                        let objs = storage.read_objects(file, p.pages())?;
+                        collected_from_pending
+                            .extend(objs.into_iter().filter(|o| query.matches(o)));
                     }
                 }
             }
@@ -231,15 +307,16 @@ impl DatasetIndex {
     /// Refines the partition at `idx` into `ppl` children, rewriting its page
     /// run in place and appending overflow pages. Returns the objects of the
     /// refined partition (they were read anyway, so the caller can answer the
-    /// current query from them without another read).
+    /// current query from them without another read). Runs under the
+    /// dataset's write lock.
     fn refine(
-        &mut self,
-        storage: &mut StorageManager,
+        state: &mut IndexState,
+        storage: &StorageManager,
         config: &OdysseyConfig,
         idx: usize,
     ) -> StorageResult<Vec<SpatialObject>> {
-        let file = self.file.expect("refine requires an initialized dataset");
-        let parent = self.partitions[idx];
+        let file = state.file.expect("refine requires an initialized dataset");
+        let parent = state.partitions[idx];
         let k = config.splits_per_dimension();
         let objects = storage.read_objects(file, parent.pages())?;
 
@@ -261,8 +338,11 @@ impl DatasetIndex {
                     (f as u32).min(k as u32 - 1)
                 }
             };
-            let (cx, cy, cz) =
-                (cell(c.x, pb.min.x, pe.x), cell(c.y, pb.min.y, pe.y), cell(c.z, pb.min.z, pe.z));
+            let (cx, cy, cz) = (
+                cell(c.x, pb.min.x, pe.x),
+                cell(c.y, pb.min.y, pe.y),
+                cell(c.z, pb.min.z, pe.z),
+            );
             groups[((cz as usize * k) + cy as usize) * k + cx as usize].push(*obj);
         }
 
@@ -297,27 +377,106 @@ impl DatasetIndex {
                 }
             }
         }
-        self.partitions.swap_remove(idx);
-        self.partitions.extend(children);
-        self.total_refinements += 1;
+        state.partitions.swap_remove(idx);
+        state.partitions.extend(children);
         Ok(objects)
     }
 
     /// Reads every object of the partition identified by `key` from the
-    /// dataset's partition file.
+    /// dataset's partition file. The read lock is held across the page reads
+    /// so a concurrent refinement can never tear the partition's run.
     pub fn read_partition(
         &self,
-        storage: &mut StorageManager,
+        storage: &StorageManager,
         key: &PartitionKey,
     ) -> StorageResult<Vec<SpatialObject>> {
-        let Some(partition) = self.partition(key) else {
+        let state = self.state.read().unwrap();
+        let Some(partition) = state.partitions.iter().find(|p| p.key == *key) else {
             return Ok(Vec::new());
         };
         if partition.object_count == 0 {
             return Ok(Vec::new());
         }
-        let file = self.file.expect("read_partition requires an initialized dataset");
+        let file = state
+            .file
+            .expect("read_partition requires an initialized dataset");
         storage.read_objects(file, partition.pages())
+    }
+
+    /// Reads every object of the *region* identified by `key`, at whatever
+    /// refinement level the dataset currently holds it: the exact leaf if it
+    /// still exists, otherwise the union of the descendant leaves a
+    /// concurrent (or earlier) refinement produced, otherwise the coarser
+    /// covering leaf filtered down to the region.
+    ///
+    /// Returns `Ok(None)` when the region cannot be assembled at all (the
+    /// dataset is uninitialized or the key lies outside its partitioning).
+    ///
+    /// The lookup and all page reads happen under **one** read-lock
+    /// acquisition, so a refinement that replaces `key` between a caller's
+    /// planning phase and its read phase can never make a populated region
+    /// come back empty — the property the engine's
+    /// "batch answers equal sequential answers" guarantee rests on.
+    pub fn read_region(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        key: &PartitionKey,
+    ) -> StorageResult<Option<Vec<SpatialObject>>> {
+        let state = self.state.read().unwrap();
+        let Some(file) = state.file else {
+            return Ok(None);
+        };
+        // Exact leaf.
+        if let Some(p) = state.partitions.iter().find(|p| p.key == *key) {
+            if p.object_count == 0 {
+                return Ok(Some(Vec::new()));
+            }
+            return storage.read_objects(file, p.pages()).map(Some);
+        }
+        let k = config.splits_per_dimension();
+        let region = key.bounds(&config.bounds, k);
+        // Descendants: leaves at deeper levels whose bounds lie inside the
+        // region. The scan over partition MBRs is CPU work.
+        storage.note_objects_scanned(state.partitions.len() as u64);
+        let mut found_descendant = false;
+        let mut out = Vec::new();
+        for p in state
+            .partitions
+            .iter()
+            .filter(|p| p.key.level > key.level && region.contains(&p.bounds))
+        {
+            found_descendant = true;
+            if p.object_count > 0 {
+                storage.read_objects_into(file, p.pages(), &mut out)?;
+            }
+        }
+        if found_descendant {
+            return Ok(Some(out));
+        }
+        // Coarser ancestor: a leaf whose bounds contain the region; filter
+        // its objects down to the region (centers only, matching assignment
+        // rules).
+        if let Some(p) = state
+            .partitions
+            .iter()
+            .find(|p| p.key.level < key.level && p.bounds.contains(&region))
+        {
+            if p.object_count == 0 {
+                return Ok(Some(Vec::new()));
+            }
+            let objects = storage.read_objects(file, p.pages())?;
+            return Ok(Some(
+                objects
+                    .into_iter()
+                    .filter(|o| {
+                        region.contains_point_half_open(o.center())
+                            || region.contains_point(o.center())
+                    })
+                    .collect(),
+            ));
+        }
+        Ok(None)
     }
 }
 
@@ -359,9 +518,9 @@ mod tests {
     }
 
     fn setup(n: u64) -> (StorageManager, Vec<SpatialObject>, DatasetIndex) {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = random_objects(n, 11);
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
         (storage, objs, DatasetIndex::new(raw))
     }
 
@@ -376,8 +535,8 @@ mod tests {
     /// Runs a full query against the index the way the engine would:
     /// prepare, then read the pending partitions and filter.
     fn run_query(
-        storage: &mut StorageManager,
-        index: &mut DatasetIndex,
+        storage: &StorageManager,
+        index: &DatasetIndex,
         config: &OdysseyConfig,
         q: &RangeQuery,
     ) -> Vec<SpatialObject> {
@@ -400,10 +559,10 @@ mod tests {
 
     #[test]
     fn first_query_partitions_into_ppl_cells() {
-        let (mut storage, _, mut index) = setup(2000);
+        let (storage, _, index) = setup(2000);
         let cfg = config();
         let q = query(40.0, 42.0);
-        let _ = index.prepare_query(&mut storage, &cfg, &q).unwrap();
+        let _ = index.prepare_query(&storage, &cfg, &q).unwrap();
         assert!(index.is_initialized());
         // May already have refined the hit cell once, so at least ppl cells.
         assert!(index.partitions().len() >= cfg.partitions_per_level);
@@ -414,7 +573,7 @@ mod tests {
 
     #[test]
     fn query_results_match_scan_oracle_over_a_sequence() {
-        let (mut storage, objs, mut index) = setup(3000);
+        let (storage, objs, index) = setup(3000);
         let cfg = config();
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         for i in 0..40 {
@@ -429,10 +588,14 @@ mod tests {
                 Aabb::from_center_extent(c, Vec3::splat(side)),
                 DatasetSet::single(DatasetId(0)),
             );
-            let mut expected: Vec<_> =
-                odyssey_geom::scan_query(&q, objs.iter()).iter().map(|o| o.id).collect();
-            let mut got: Vec<_> =
-                run_query(&mut storage, &mut index, &cfg, &q).iter().map(|o| o.id).collect();
+            let mut expected: Vec<_> = odyssey_geom::scan_query(&q, objs.iter())
+                .iter()
+                .map(|o| o.id)
+                .collect();
+            let mut got: Vec<_> = run_query(&storage, &index, &cfg, &q)
+                .iter()
+                .map(|o| o.id)
+                .collect();
             expected.sort_unstable();
             got.sort_unstable();
             got.dedup();
@@ -442,7 +605,7 @@ mod tests {
 
     #[test]
     fn repeated_small_queries_refine_the_hot_area() {
-        let (mut storage, _, mut index) = setup(5000);
+        let (storage, _, index) = setup(5000);
         let cfg = config();
         // Hammer the same small region, well inside one level-1 cell so the
         // opposite corner of the volume is never touched.
@@ -452,7 +615,7 @@ mod tests {
                 Aabb::from_center_extent(Vec3::splat(25.0), Vec3::splat(2.0)),
                 DatasetSet::single(DatasetId(0)),
             );
-            run_query(&mut storage, &mut index, &cfg, &q);
+            run_query(&storage, &index, &cfg, &q);
         }
         assert!(index.total_refinements() > 0);
         // The partition containing the hot point must now be much smaller
@@ -478,7 +641,7 @@ mod tests {
 
     #[test]
     fn refinement_converges_and_stops() {
-        let (mut storage, _, mut index) = setup(4000);
+        let (storage, _, index) = setup(4000);
         let cfg = config();
         let q = RangeQuery::new(
             QueryId(0),
@@ -488,17 +651,17 @@ mod tests {
         // Enough repetitions to converge: afterwards no further refinement
         // happens for this query size.
         for _ in 0..10 {
-            run_query(&mut storage, &mut index, &cfg, &q);
+            run_query(&storage, &index, &cfg, &q);
         }
         let before = index.total_refinements();
-        run_query(&mut storage, &mut index, &cfg, &q);
+        run_query(&storage, &index, &cfg, &q);
         let after = index.total_refinements();
         assert_eq!(before, after, "refinement must stop once Vp/Vq <= rt");
     }
 
     #[test]
     fn object_counts_are_preserved_across_refinements() {
-        let (mut storage, _, mut index) = setup(3000);
+        let (storage, _, index) = setup(3000);
         let cfg = config();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for i in 0..15 {
@@ -512,7 +675,7 @@ mod tests {
                 Aabb::from_center_extent(c, Vec3::splat(3.0)),
                 DatasetSet::single(DatasetId(0)),
             );
-            run_query(&mut storage, &mut index, &cfg, &q);
+            run_query(&storage, &index, &cfg, &q);
             let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
             assert_eq!(total, 3000, "objects lost or duplicated after query {i}");
         }
@@ -520,7 +683,7 @@ mod tests {
 
     #[test]
     fn partition_keys_are_unique_leaves() {
-        let (mut storage, _, mut index) = setup(2000);
+        let (storage, _, index) = setup(2000);
         let cfg = config();
         for i in 0..10 {
             let q = RangeQuery::new(
@@ -528,7 +691,7 @@ mod tests {
                 Aabb::from_center_extent(Vec3::splat(30.0 + i as f64), Vec3::splat(2.0)),
                 DatasetSet::single(DatasetId(0)),
             );
-            run_query(&mut storage, &mut index, &cfg, &q);
+            run_query(&storage, &index, &cfg, &q);
         }
         let mut keys: Vec<_> = index.partitions().iter().map(|p| p.key).collect();
         let before = keys.len();
@@ -539,19 +702,19 @@ mod tests {
 
     #[test]
     fn first_query_cost_dominates_later_queries() {
-        let (mut storage, _, mut index) = setup(5000);
+        let (storage, _, index) = setup(5000);
         let cfg = config();
         let q = query(45.0, 47.0);
         let before = storage.stats();
-        run_query(&mut storage, &mut index, &cfg, &q);
+        run_query(&storage, &index, &cfg, &q);
         let first_cost = storage.seconds_since(&before);
         // Converge, then measure a later identical query.
         for _ in 0..8 {
-            run_query(&mut storage, &mut index, &cfg, &q);
+            run_query(&storage, &index, &cfg, &q);
         }
         storage.clear_cache();
         let before = storage.stats();
-        run_query(&mut storage, &mut index, &cfg, &q);
+        run_query(&storage, &index, &cfg, &q);
         let later_cost = storage.seconds_since(&before);
         assert!(
             first_cost > 3.0 * later_cost,
@@ -561,19 +724,139 @@ mod tests {
 
     #[test]
     fn read_partition_of_unknown_key_is_empty() {
-        let (mut storage, _, mut index) = setup(200);
+        let (storage, _, index) = setup(200);
         let cfg = config();
-        index.ensure_initialized(&mut storage, &cfg).unwrap();
-        let bogus = PartitionKey { level: 5, x: 999, y: 0, z: 0 };
-        assert!(index.read_partition(&mut storage, &bogus).unwrap().is_empty());
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let bogus = PartitionKey {
+            level: 5,
+            x: 999,
+            y: 0,
+            z: 0,
+        };
+        assert!(index.read_partition(&storage, &bogus).unwrap().is_empty());
     }
 
     #[test]
     fn max_extent_is_recorded() {
-        let (mut storage, objs, mut index) = setup(800);
+        let (storage, objs, index) = setup(800);
         let cfg = config();
-        index.ensure_initialized(&mut storage, &cfg).unwrap();
+        index.ensure_initialized(&storage, &cfg).unwrap();
         assert_eq!(index.max_extent(), odyssey_geom::max_extent(objs.iter()));
         assert_eq!(index.dataset(), DatasetId(0));
+    }
+
+    #[test]
+    fn read_region_resolves_keys_refined_away() {
+        // The race the engine's phase 3 must survive: a pending key is
+        // refined into children between planning and reading. read_region
+        // must return the region's full object set from the descendants.
+        let (storage, objs, index) = setup(4000);
+        let cfg = config();
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let parent = index
+            .partitions()
+            .iter()
+            .max_by_key(|p| p.object_count)
+            .map(|p| p.key)
+            .unwrap();
+        let before: usize = index.read_partition(&storage, &parent).unwrap().len();
+        assert!(before > 0, "pick a populated partition");
+        // Refine the parent away by querying a tiny region inside it.
+        let center = index.partition(&parent).unwrap().bounds.center();
+        let q = RangeQuery::new(
+            QueryId(0),
+            Aabb::from_center_extent(center, Vec3::splat(0.5)),
+            DatasetSet::single(DatasetId(0)),
+        );
+        index.prepare_query(&storage, &cfg, &q).unwrap();
+        assert!(
+            index.partition(&parent).is_none(),
+            "parent key must be refined away"
+        );
+        // The stale handle still resolves to the full region.
+        assert!(index.read_partition(&storage, &parent).unwrap().is_empty());
+        let via_region = index.read_region(&storage, &cfg, &parent).unwrap().unwrap();
+        assert_eq!(
+            via_region.len(),
+            before,
+            "descendants must cover the region"
+        );
+        // A key deeper than the current leaves resolves through the ancestor
+        // filter; unknown regions outside any partitioning resolve to None
+        // only for uninitialized datasets.
+        let child = parent.child(cfg.splits_per_dimension(), 0, 0, 0);
+        let deeper = child.child(cfg.splits_per_dimension(), 0, 0, 0);
+        let via_ancestor = index.read_region(&storage, &cfg, &deeper).unwrap().unwrap();
+        let oracle = objs
+            .iter()
+            .filter(|o| {
+                let b = deeper.bounds(&cfg.bounds, cfg.splits_per_dimension());
+                b.contains_point_half_open(o.center()) || b.contains_point(o.center())
+            })
+            .count();
+        assert_eq!(via_ancestor.len(), oracle);
+    }
+
+    #[test]
+    fn concurrent_first_touch_initializes_once() {
+        let (storage, _, index) = setup(3000);
+        let cfg = config();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (storage, index, cfg) = (&storage, &index, &cfg);
+                s.spawn(move || index.ensure_initialized(storage, cfg).unwrap());
+            }
+        });
+        assert!(index.is_initialized());
+        // Exactly one partition file was created (plus the raw file).
+        assert_eq!(storage.file_count(), 2);
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn concurrent_queries_preserve_objects_and_answers() {
+        let (storage, objs, index) = setup(4000);
+        let cfg = config();
+        let queries: Vec<RangeQuery> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(77);
+            (0..32)
+                .map(|i| {
+                    let c = Vec3::new(
+                        rng.gen_range(10.0..90.0),
+                        rng.gen_range(10.0..90.0),
+                        rng.gen_range(10.0..90.0),
+                    );
+                    RangeQuery::new(
+                        QueryId(i),
+                        Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(2.0..8.0))),
+                        DatasetSet::single(DatasetId(0)),
+                    )
+                })
+                .collect()
+        };
+        std::thread::scope(|s| {
+            for chunk in queries.chunks(8) {
+                let (storage, index, cfg, objs) = (&storage, &index, &cfg, &objs);
+                s.spawn(move || {
+                    for q in chunk {
+                        let mut got: Vec<_> = run_query(storage, index, cfg, q)
+                            .iter()
+                            .map(|o| o.id)
+                            .collect();
+                        let mut expected: Vec<_> = odyssey_geom::scan_query(q, objs.iter())
+                            .iter()
+                            .map(|o| o.id)
+                            .collect();
+                        got.sort_unstable();
+                        got.dedup();
+                        expected.sort_unstable();
+                        assert_eq!(got, expected, "query {:?} diverged", q.id);
+                    }
+                });
+            }
+        });
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 4000, "objects lost under concurrent refinement");
     }
 }

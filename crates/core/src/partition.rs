@@ -29,7 +29,12 @@ impl PartitionKey {
     /// The key of one of the `k³` cells of the initial partitioning.
     pub fn root_cell(k: usize, ix: u32, iy: u32, iz: u32) -> Self {
         debug_assert!((ix as usize) < k && (iy as usize) < k && (iz as usize) < k);
-        PartitionKey { level: 1, x: ix, y: iy, z: iz }
+        PartitionKey {
+            level: 1,
+            x: ix,
+            y: iy,
+            z: iz,
+        }
     }
 
     /// Key of the child cell `(cx, cy, cz)` (each in `0..k`) produced by
@@ -68,9 +73,21 @@ impl PartitionKey {
             bounds.min.z + e.z * self.z as f64,
         );
         let max = Vec3::new(
-            if self.x as f64 + 1.0 >= cells { bounds.max.x } else { min.x + e.x },
-            if self.y as f64 + 1.0 >= cells { bounds.max.y } else { min.y + e.y },
-            if self.z as f64 + 1.0 >= cells { bounds.max.z } else { min.z + e.z },
+            if self.x as f64 + 1.0 >= cells {
+                bounds.max.x
+            } else {
+                min.x + e.x
+            },
+            if self.y as f64 + 1.0 >= cells {
+                bounds.max.y
+            } else {
+                min.y + e.y
+            },
+            if self.z as f64 + 1.0 >= cells {
+                bounds.max.z
+            } else {
+                min.z + e.z
+            },
         );
         Aabb::from_min_max(min, max)
     }
@@ -213,8 +230,18 @@ mod tests {
     fn same_key_same_bounds_across_datasets() {
         // The property merging relies on: keys identify regions independently
         // of any particular dataset's refinement history.
-        let a = PartitionKey { level: 3, x: 5, y: 9, z: 2 };
-        let b = PartitionKey { level: 3, x: 5, y: 9, z: 2 };
+        let a = PartitionKey {
+            level: 3,
+            x: 5,
+            y: 9,
+            z: 2,
+        };
+        let b = PartitionKey {
+            level: 3,
+            x: 5,
+            y: 9,
+            z: 2,
+        };
         assert_eq!(a, b);
         assert_eq!(a.bounds(&bounds(), 4), b.bounds(&bounds(), 4));
     }

@@ -81,7 +81,12 @@ mod tests {
     use odyssey_geom::{DatasetId, DatasetSet};
 
     fn key(level: u32, x: u32) -> PartitionKey {
-        PartitionKey { level, x, y: 0, z: 0 }
+        PartitionKey {
+            level,
+            x,
+            y: 0,
+            z: 0,
+        }
     }
 
     fn combo(ids: &[u16]) -> DatasetSet {

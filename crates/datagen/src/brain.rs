@@ -59,7 +59,12 @@ impl DatasetSpec {
     /// Convenience constructor overriding the sizes that the experiment
     /// harness varies.
     pub fn with_size(num_datasets: usize, objects_per_dataset: usize, seed: u64) -> Self {
-        DatasetSpec { num_datasets, objects_per_dataset, seed, ..Default::default() }
+        DatasetSpec {
+            num_datasets,
+            objects_per_dataset,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -76,9 +81,15 @@ impl BrainModel {
     /// spec's seed so the same spec always produces the same brain.
     pub fn new(spec: DatasetSpec) -> Self {
         assert!(spec.num_datasets > 0, "need at least one dataset");
-        assert!(spec.objects_per_dataset > 0, "need at least one object per dataset");
+        assert!(
+            spec.objects_per_dataset > 0,
+            "need at least one object per dataset"
+        );
         assert!(spec.soma_clusters > 0, "need at least one soma cluster");
-        assert!(spec.segments_per_neuron > 0, "need at least one segment per neuron");
+        assert!(
+            spec.segments_per_neuron > 0,
+            "need at least one segment per neuron"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
         let e = spec.bounds.extent();
         let cluster_centers = (0..spec.soma_clusters)
@@ -91,7 +102,11 @@ impl BrainModel {
             })
             .collect();
         let cluster_radius = e.min_component() * 0.08;
-        BrainModel { spec, cluster_centers, cluster_radius }
+        BrainModel {
+            spec,
+            cluster_centers,
+            cluster_radius,
+        }
     }
 
     /// The spec this model was built from.
@@ -256,7 +271,11 @@ mod tests {
         let slack = bounds.extent().min_component() * 0.004;
         let grown = bounds.expanded_uniform(slack);
         for o in model.generate_dataset(DatasetId(1)) {
-            assert!(grown.contains(&o.mbr), "object escapes brain volume: {:?}", o.mbr);
+            assert!(
+                grown.contains(&o.mbr),
+                "object escapes brain volume: {:?}",
+                o.mbr
+            );
         }
     }
 
@@ -284,9 +303,8 @@ mod tests {
         assert_ne!(a[0].mbr, b[0].mbr, "datasets must not be identical");
         // Shared space: both datasets populate a common region (their overall
         // MBRs overlap substantially).
-        let mbr = |objs: &[SpatialObject]| {
-            objs.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr))
-        };
+        let mbr =
+            |objs: &[SpatialObject]| objs.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr));
         let ia = mbr(&a);
         let ib = mbr(&b);
         let inter = ia.intersection(&ib).expect("datasets must overlap");
@@ -326,7 +344,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one dataset")]
     fn zero_datasets_panics() {
-        let _ = BrainModel::new(DatasetSpec { num_datasets: 0, ..small_spec() });
+        let _ = BrainModel::new(DatasetSpec {
+            num_datasets: 0,
+            ..small_spec()
+        });
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl CombinationPicker {
             combinations.swap(i, j);
         }
         let sampler = distribution.sampler(combinations.len());
-        CombinationPicker { combinations, sampler, rng }
+        CombinationPicker {
+            combinations,
+            sampler,
+            rng,
+        }
     }
 
     /// Number of possible combinations (the paper reports this next to the
@@ -110,7 +114,10 @@ mod tests {
         let picks = p.generate(1000);
         let hot_count = picks.iter().filter(|&&c| c == hot).count();
         // Zipf(2) over 252 values puts ~61% of the mass on the first value.
-        assert!(hot_count > 500, "hot combination picked only {hot_count}/1000 times");
+        assert!(
+            hot_count > 500,
+            "hot combination picked only {hot_count}/1000 times"
+        );
     }
 
     #[test]
@@ -132,7 +139,11 @@ mod tests {
         }
         // The paper observes ~216-246 distinct combinations out of 252 for
         // 1000 uniform draws; anything above 180 demonstrates the spread.
-        assert!(counts.len() > 180, "only {} distinct combinations", counts.len());
+        assert!(
+            counts.len() > 180,
+            "only {} distinct combinations",
+            counts.len()
+        );
     }
 
     #[test]
@@ -150,9 +161,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_different_across_seeds() {
-        let run = |seed| {
-            CombinationPicker::new(10, 3, CombinationDistribution::Zipf, seed).generate(100)
-        };
+        let run =
+            |seed| CombinationPicker::new(10, 3, CombinationDistribution::Zipf, seed).generate(100);
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
     }

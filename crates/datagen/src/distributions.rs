@@ -137,7 +137,10 @@ impl DiscreteSampler {
             }
             CombinationDistribution::Zipf => {
                 let u: f64 = rng.gen_range(0.0..1.0);
-                match self.zipf_cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite CDF")) {
+                match self
+                    .zipf_cdf
+                    .binary_search_by(|p| p.partial_cmp(&u).expect("finite CDF"))
+                {
                     Ok(i) => i,
                     Err(i) => i.min(self.n - 1),
                 }
@@ -219,8 +222,7 @@ mod tests {
         let hot = hist[0] as f64 / 100_000.0;
         assert!((hot - 0.5).abs() < 0.02, "hot fraction {hot}");
         // Remaining values share the rest roughly uniformly.
-        let rest_avg: f64 =
-            hist[1..].iter().map(|&c| c as f64).sum::<f64>() / 99.0 / 100_000.0;
+        let rest_avg: f64 = hist[1..].iter().map(|&c| c as f64).sum::<f64>() / 99.0 / 100_000.0;
         assert!((rest_avg - 0.5 / 99.0).abs() < 0.01);
     }
 
@@ -231,7 +233,10 @@ mod tests {
         let hist = histogram(CombinationDistribution::SelfSimilar, n, draws);
         let top20: usize = hist[..n / 5].iter().sum();
         let frac = top20 as f64 / draws as f64;
-        assert!(frac > 0.75 && frac < 0.85, "80-20 violated: first 20% got {frac}");
+        assert!(
+            frac > 0.75 && frac < 0.85,
+            "80-20 violated: first 20% got {frac}"
+        );
     }
 
     #[test]
@@ -252,7 +257,10 @@ mod tests {
         let sampler = CombinationDistribution::Zipf.sampler(20);
         let mut a = ChaCha8Rng::seed_from_u64(5);
         let mut b = ChaCha8Rng::seed_from_u64(5);
-        assert_eq!(sampler.sample_many(&mut a, 100), sampler.sample_many(&mut b, 100));
+        assert_eq!(
+            sampler.sample_many(&mut a, 100),
+            sampler.sample_many(&mut b, 100)
+        );
     }
 
     #[test]

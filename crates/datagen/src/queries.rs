@@ -59,8 +59,11 @@ impl QueryRangeGenerator {
         distribution: QueryRangeDistribution,
         seed: u64,
     ) -> Self {
-        assert!(volume_fraction > 0.0 && volume_fraction <= 1.0, "volume fraction out of (0,1]");
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51EE_D5);
+        assert!(
+            volume_fraction > 0.0 && volume_fraction <= 1.0,
+            "volume fraction out of (0,1]"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0051_EED5);
         let side = (bounds.volume() * volume_fraction).cbrt();
         // The paper spreads query centers around each cluster center with a
         // standard deviation proportional to the query size (σ = qvol · 10).
@@ -73,7 +76,10 @@ impl QueryRangeGenerator {
         let e = bounds.extent();
         let cluster_centers = match distribution {
             QueryRangeDistribution::Clustered { num_clusters } => {
-                assert!(num_clusters > 0, "clustered distribution needs at least one cluster");
+                assert!(
+                    num_clusters > 0,
+                    "clustered distribution needs at least one cluster"
+                );
                 (0..num_clusters)
                     .map(|_| {
                         Vec3::new(
@@ -86,7 +92,14 @@ impl QueryRangeGenerator {
             }
             QueryRangeDistribution::Uniform => Vec::new(),
         };
-        QueryRangeGenerator { bounds, distribution, side, cluster_centers, sigma, rng }
+        QueryRangeGenerator {
+            bounds,
+            distribution,
+            side,
+            cluster_centers,
+            sigma,
+            rng,
+        }
     }
 
     /// The side length of every generated query cube.
@@ -158,7 +171,10 @@ mod tests {
 
     #[test]
     fn queries_stay_inside_bounds() {
-        for dist in [QueryRangeDistribution::Uniform, QueryRangeDistribution::Clustered { num_clusters: 10 }] {
+        for dist in [
+            QueryRangeDistribution::Uniform,
+            QueryRangeDistribution::Clustered { num_clusters: 10 },
+        ] {
             let mut g = QueryRangeGenerator::new(bounds(), 1e-6, dist, 3);
             for q in g.generate(1000) {
                 assert!(bounds().contains(&q), "{dist:?} produced {q:?}");
@@ -174,13 +190,16 @@ mod tests {
             QueryRangeDistribution::Clustered { num_clusters: 10 },
             5,
         );
-        let mut uniform = QueryRangeGenerator::new(bounds(), 1e-6, QueryRangeDistribution::Uniform, 5);
+        let mut uniform =
+            QueryRangeGenerator::new(bounds(), 1e-6, QueryRangeDistribution::Uniform, 5);
         // Measure concentration as the volume of the overall MBR of all query
         // centers; clustered workloads should cover much less of the brain.
         let spread = |ranges: &[Aabb]| {
             ranges
                 .iter()
-                .fold(Aabb::empty(), |acc, r| acc.union(&Aabb::from_point(r.center())))
+                .fold(Aabb::empty(), |acc, r| {
+                    acc.union(&Aabb::from_point(r.center()))
+                })
                 .volume()
         };
         let c = clustered.generate(500);
@@ -221,7 +240,10 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(QueryRangeDistribution::Uniform.name(), "uniform");
-        assert_eq!(QueryRangeDistribution::Clustered { num_clusters: 3 }.name(), "clustered");
+        assert_eq!(
+            QueryRangeDistribution::Clustered { num_clusters: 3 }.name(),
+            "clustered"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl WorkloadSpec {
         let hottest_combination = combos.hottest_combination();
         let queries = (0..self.num_queries)
             .map(|i| {
-                RangeQuery::new(QueryId(i as u32), ranges.next_range(), combos.next_combination())
+                RangeQuery::new(
+                    QueryId(i as u32),
+                    ranges.next_range(),
+                    combos.next_combination(),
+                )
             })
             .collect();
         Workload {
@@ -114,7 +118,10 @@ impl Workload {
     /// How many queries request exactly the hottest combination (Figure 5c
     /// plots only those queries).
     pub fn hottest_combination_queries(&self) -> Vec<&RangeQuery> {
-        self.queries.iter().filter(|q| q.datasets == self.hottest_combination).collect()
+        self.queries
+            .iter()
+            .filter(|q| q.datasets == self.hottest_combination)
+            .collect()
     }
 }
 
@@ -129,7 +136,10 @@ mod tests {
 
     #[test]
     fn generates_requested_queries() {
-        let spec = WorkloadSpec { num_queries: 200, ..Default::default() };
+        let spec = WorkloadSpec {
+            num_queries: 200,
+            ..Default::default()
+        };
         let w = spec.generate(&bounds());
         assert_eq!(w.len(), 200);
         assert!(!w.is_empty());
@@ -182,7 +192,11 @@ mod tests {
         };
         let w = spec.generate(&bounds());
         let hot = w.hottest_combination_queries();
-        assert!(hot.len() > 500, "hottest combination queried {} times", hot.len());
+        assert!(
+            hot.len() > 500,
+            "hottest combination queried {} times",
+            hot.len()
+        );
         assert!(hot.iter().all(|q| q.datasets == w.hottest_combination));
     }
 
@@ -194,15 +208,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = WorkloadSpec { seed: 1, ..Default::default() }.generate(&bounds());
-        let b = WorkloadSpec { seed: 2, ..Default::default() }.generate(&bounds());
+        let a = WorkloadSpec {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate(&bounds());
+        let b = WorkloadSpec {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate(&bounds());
         assert_ne!(a.queries, b.queries);
     }
 
     #[test]
     #[should_panic(expected = "within [1, num_datasets]")]
     fn invalid_m_panics() {
-        let spec = WorkloadSpec { datasets_per_query: 11, ..Default::default() };
+        let spec = WorkloadSpec {
+            datasets_per_query: 11,
+            ..Default::default()
+        };
         let _ = spec.generate(&bounds());
     }
 

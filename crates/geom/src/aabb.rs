@@ -25,7 +25,10 @@ impl Aabb {
     /// Creates a box from two corners, normalising so the invariant holds.
     #[inline]
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Creates a box from corners that are already ordered.
@@ -34,7 +37,10 @@ impl Aabb {
     /// Panics in debug builds if `min` is not component-wise `<= max`.
     #[inline]
     pub fn from_min_max(min: Vec3, max: Vec3) -> Self {
-        debug_assert!(min.le(max), "Aabb::from_min_max requires min <= max: {min:?} {max:?}");
+        debug_assert!(
+            min.le(max),
+            "Aabb::from_min_max requires min <= max: {min:?} {max:?}"
+        );
         Aabb { min, max }
     }
 
@@ -42,7 +48,10 @@ impl Aabb {
     #[inline]
     pub fn from_center_extent(center: Vec3, extent: Vec3) -> Self {
         let half = extent * 0.5;
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// Creates a degenerate box containing exactly one point.
@@ -54,14 +63,20 @@ impl Aabb {
     /// The unit cube `[0,1]^3`.
     #[inline]
     pub fn unit() -> Self {
-        Aabb { min: Vec3::ZERO, max: Vec3::ONE }
+        Aabb {
+            min: Vec3::ZERO,
+            max: Vec3::ONE,
+        }
     }
 
     /// An "empty" box that is the identity for [`Aabb::union`]: its min is
     /// +inf and its max is -inf so that any union with it yields the other box.
     #[inline]
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f64::INFINITY),
+            max: Vec3::splat(f64::NEG_INFINITY),
+        }
     }
 
     /// Returns `true` if this is the special empty box (or otherwise inverted).
@@ -135,7 +150,10 @@ impl Aabb {
     /// Smallest box containing both inputs.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Intersection of the two boxes, or `None` if they do not overlap.
@@ -158,7 +176,10 @@ impl Aabb {
     /// object extent seen in the dataset.
     #[inline]
     pub fn expanded(&self, amount: Vec3) -> Aabb {
-        Aabb { min: self.min - amount, max: self.max + amount }
+        Aabb {
+            min: self.min - amount,
+            max: self.max + amount,
+        }
     }
 
     /// Grows the box by the same `amount` in every dimension.
@@ -217,9 +238,21 @@ impl Aabb {
                     // Use the parent's max on the last cell of each axis to
                     // avoid floating-point gaps at the boundary.
                     let max = Vec3::new(
-                        if ix + 1 == k { self.max.x } else { self.min.x + e.x * (ix + 1) as f64 },
-                        if iy + 1 == k { self.max.y } else { self.min.y + e.y * (iy + 1) as f64 },
-                        if iz + 1 == k { self.max.z } else { self.min.z + e.z * (iz + 1) as f64 },
+                        if ix + 1 == k {
+                            self.max.x
+                        } else {
+                            self.min.x + e.x * (ix + 1) as f64
+                        },
+                        if iy + 1 == k {
+                            self.max.y
+                        } else {
+                            self.min.y + e.y * (iy + 1) as f64
+                        },
+                        if iz + 1 == k {
+                            self.max.z
+                        } else {
+                            self.min.z + e.z * (iz + 1) as f64
+                        },
                     );
                     out.push(Aabb { min, max });
                 }
@@ -388,7 +421,11 @@ mod tests {
         let subs = b.subdivide(k);
         for (i, s) in subs.iter().enumerate() {
             let c = s.center();
-            assert_eq!(b.subdivision_cell_of(k, c), i, "cell center must map to its own cell");
+            assert_eq!(
+                b.subdivision_cell_of(k, c),
+                i,
+                "cell center must map to its own cell"
+            );
         }
         // Clamping outside points.
         assert_eq!(b.subdivision_cell_of(k, Vec3::splat(-10.0)), 0);

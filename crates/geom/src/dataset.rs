@@ -38,7 +38,9 @@ impl From<u16> for DatasetId {
 
 /// A set of datasets represented as a bitmask (bit *i* set ⇔ dataset *i* in
 /// the set). This is the combination `C = {DS1, …, DSN}` of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DatasetSet(pub u64);
 
 impl DatasetSet {
@@ -48,7 +50,10 @@ impl DatasetSet {
     /// Creates a set containing a single dataset.
     #[inline]
     pub fn single(id: DatasetId) -> Self {
-        assert!(id.index() < DatasetId::MAX_DATASETS, "dataset id out of range: {id}");
+        assert!(
+            id.index() < DatasetId::MAX_DATASETS,
+            "dataset id out of range: {id}"
+        );
         DatasetSet(1u64 << id.index())
     }
 
@@ -93,7 +98,10 @@ impl DatasetSet {
     /// Adds a dataset to the set.
     #[inline]
     pub fn insert(&mut self, id: DatasetId) {
-        assert!(id.index() < DatasetId::MAX_DATASETS, "dataset id out of range: {id}");
+        assert!(
+            id.index() < DatasetId::MAX_DATASETS,
+            "dataset id out of range: {id}"
+        );
         self.0 |= 1u64 << id.index();
     }
 
@@ -226,7 +234,9 @@ pub fn enumerate_combinations(n: usize, m: usize) -> Vec<DatasetSet> {
     // Gosper's hack-free recursive enumeration: indices vector.
     let mut idx: Vec<usize> = (0..m).collect();
     loop {
-        out.push(DatasetSet::from_ids(idx.iter().map(|&i| DatasetId(i as u16))));
+        out.push(DatasetSet::from_ids(
+            idx.iter().map(|&i| DatasetId(i as u16)),
+        ));
         // Advance.
         let mut i = m;
         loop {
@@ -290,7 +300,10 @@ mod tests {
     #[test]
     fn first_n_sets() {
         assert_eq!(DatasetSet::first_n(0), DatasetSet::EMPTY);
-        assert_eq!(DatasetSet::first_n(3).to_vec(), vec![DatasetId(0), DatasetId(1), DatasetId(2)]);
+        assert_eq!(
+            DatasetSet::first_n(3).to_vec(),
+            vec![DatasetId(0), DatasetId(1), DatasetId(2)]
+        );
         assert_eq!(DatasetSet::first_n(64).len(), 64);
     }
 

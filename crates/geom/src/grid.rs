@@ -42,8 +42,14 @@ impl GridSpec {
     /// # Panics
     /// Panics if `cells_per_dim` is zero.
     pub fn new(bounds: Aabb, cells_per_dim: u32) -> Self {
-        assert!(cells_per_dim > 0, "a grid needs at least one cell per dimension");
-        GridSpec { bounds, cells_per_dim }
+        assert!(
+            cells_per_dim > 0,
+            "a grid needs at least one cell per dimension"
+        );
+        GridSpec {
+            bounds,
+            cells_per_dim,
+        }
     }
 
     /// Total number of cells in the grid.
@@ -96,7 +102,11 @@ impl GridSpec {
                 (f as u32).min(n - 1)
             }
         };
-        CellCoord { x: axis(rel.x, e.x), y: axis(rel.y, e.y), z: axis(rel.z, e.z) }
+        CellCoord {
+            x: axis(rel.x, e.x),
+            y: axis(rel.y, e.y),
+            z: axis(rel.z, e.z),
+        }
     }
 
     /// Geometric bounds of a cell.
@@ -108,9 +118,21 @@ impl GridSpec {
             self.bounds.min.z + e.z * c.z as f64,
         );
         let max = Vec3::new(
-            if c.x + 1 == self.cells_per_dim { self.bounds.max.x } else { min.x + e.x },
-            if c.y + 1 == self.cells_per_dim { self.bounds.max.y } else { min.y + e.y },
-            if c.z + 1 == self.cells_per_dim { self.bounds.max.z } else { min.z + e.z },
+            if c.x + 1 == self.cells_per_dim {
+                self.bounds.max.x
+            } else {
+                min.x + e.x
+            },
+            if c.y + 1 == self.cells_per_dim {
+                self.bounds.max.y
+            } else {
+                min.y + e.y
+            },
+            if c.z + 1 == self.cells_per_dim {
+                self.bounds.max.z
+            } else {
+                min.z + e.z
+            },
         );
         Aabb::from_min_max(min, max)
     }
@@ -123,8 +145,9 @@ impl GridSpec {
         }
         let lo = self.cell_of_point(range.min);
         let hi = self.cell_of_point(range.max);
-        let mut out =
-            Vec::with_capacity(((hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1)) as usize);
+        let mut out = Vec::with_capacity(
+            ((hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1)) as usize,
+        );
         for z in lo.z..=hi.z {
             for y in lo.y..=hi.y {
                 for x in lo.x..=hi.x {

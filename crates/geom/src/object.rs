@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn max_extent_over_objects() {
-        let objs = vec![
+        let objs = [
             SpatialObject::new(
                 ObjectId(0),
                 DatasetId(0),

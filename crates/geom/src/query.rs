@@ -34,7 +34,11 @@ impl RangeQuery {
     /// Creates a query.
     #[inline]
     pub fn new(id: QueryId, range: Aabb, datasets: DatasetSet) -> Self {
-        RangeQuery { id, range, datasets }
+        RangeQuery {
+            id,
+            range,
+            datasets,
+        }
     }
 
     /// Volume of the queried range (`Vq` in the refinement rule).
@@ -126,7 +130,7 @@ mod tests {
 
     #[test]
     fn scan_query_reference() {
-        let objects = vec![
+        let objects = [
             mk_obj(0, 0, 0.0, 0.1),
             mk_obj(1, 0, 0.45, 0.55),
             mk_obj(2, 1, 0.45, 0.55),

@@ -1,173 +1,232 @@
 //! Property-based tests for the geometry core: these are the invariants the
 //! rest of the system (partitioning, merging, query routing) relies on.
+//!
+//! The properties are exercised over seeded random inputs (the build
+//! environment has no registry access, so `proptest` is replaced by a
+//! deterministic ChaCha-driven case generator with the same assertions).
 
-use odyssey_geom::{Aabb, DatasetId, DatasetSet, GridSpec, ObjectId, RangeQuery, QueryId, SpatialObject, Vec3};
-use proptest::prelude::*;
+use odyssey_geom::{
+    Aabb, DatasetId, DatasetSet, GridSpec, ObjectId, QueryId, RangeQuery, SpatialObject, Vec3,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-fn vec3_strategy(lo: f64, hi: f64) -> impl Strategy<Value = Vec3> {
-    (lo..hi, lo..hi, lo..hi).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 256;
+
+fn rng(salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x9e0_2016 ^ salt)
 }
 
-fn aabb_strategy() -> impl Strategy<Value = Aabb> {
-    (vec3_strategy(-100.0, 100.0), vec3_strategy(-100.0, 100.0)).prop_map(|(a, b)| Aabb::new(a, b))
+fn rand_vec3(rng: &mut ChaCha8Rng, lo: f64, hi: f64) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(lo..hi),
+        rng.gen_range(lo..hi),
+        rng.gen_range(lo..hi),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn rand_aabb(rng: &mut ChaCha8Rng) -> Aabb {
+    Aabb::new(rand_vec3(rng, -100.0, 100.0), rand_vec3(rng, -100.0, 100.0))
+}
 
-    #[test]
-    fn aabb_new_normalises(a in vec3_strategy(-10.0, 10.0), b in vec3_strategy(-10.0, 10.0)) {
-        let bb = Aabb::new(a, b);
-        prop_assert!(bb.min.le(bb.max));
-        prop_assert!(bb.volume() >= 0.0);
+#[test]
+fn aabb_new_normalises() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let bb = Aabb::new(
+            rand_vec3(&mut rng, -10.0, 10.0),
+            rand_vec3(&mut rng, -10.0, 10.0),
+        );
+        assert!(bb.min.le(bb.max));
+        assert!(bb.volume() >= 0.0);
     }
+}
 
-    #[test]
-    fn union_contains_both(a in aabb_strategy(), b in aabb_strategy()) {
+#[test]
+fn union_contains_both() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let (a, b) = (rand_aabb(&mut rng), rand_aabb(&mut rng));
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
-        prop_assert!(u.volume() + 1e-9 >= a.volume().max(b.volume()));
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+        assert!(u.volume() + 1e-9 >= a.volume().max(b.volume()));
     }
+}
 
-    #[test]
-    fn intersection_is_contained_and_symmetric(a in aabb_strategy(), b in aabb_strategy()) {
+#[test]
+fn intersection_is_contained_and_symmetric() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let (a, b) = (rand_aabb(&mut rng), rand_aabb(&mut rng));
         match (a.intersection(&b), b.intersection(&a)) {
             (Some(i1), Some(i2)) => {
-                prop_assert_eq!(i1, i2);
-                prop_assert!(a.contains(&i1));
-                prop_assert!(b.contains(&i1));
-                prop_assert!(a.intersects(&b));
+                assert_eq!(i1, i2);
+                assert!(a.contains(&i1));
+                assert!(b.contains(&i1));
+                assert!(a.intersects(&b));
             }
             (None, None) => {
-                // Boxes may still touch exactly on a face (intersects is inclusive),
-                // but a missing intersection implies no interior overlap.
-                prop_assert!(!a.contains(&b) || a.is_empty() || b.is_empty());
+                assert!(!a.contains(&b) || a.is_empty() || b.is_empty());
             }
-            _ => prop_assert!(false, "intersection not symmetric"),
+            _ => panic!("intersection not symmetric for {a:?} and {b:?}"),
         }
     }
+}
 
-    #[test]
-    fn intersects_iff_intersection_exists(a in aabb_strategy(), b in aabb_strategy()) {
-        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+#[test]
+fn intersects_iff_intersection_exists() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let (a, b) = (rand_aabb(&mut rng), rand_aabb(&mut rng));
+        assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
     }
+}
 
-    #[test]
-    fn expansion_preserves_containment(a in aabb_strategy(), amount in 0.0..5.0f64) {
-        let e = a.expanded_uniform(amount);
-        prop_assert!(e.contains(&a));
+#[test]
+fn expansion_preserves_containment() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let a = rand_aabb(&mut rng);
+        let amount = rng.gen_range(0.0..5.0);
+        assert!(a.expanded_uniform(amount).contains(&a));
     }
+}
 
-    #[test]
-    fn octants_tile_parent(a in aabb_strategy()) {
+#[test]
+fn octants_tile_parent() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let a = rand_aabb(&mut rng);
         let total: f64 = a.octants().iter().map(|o| o.volume()).sum();
-        prop_assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
+        assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
         for o in a.octants() {
-            prop_assert!(a.contains(&o));
+            assert!(a.contains(&o));
         }
     }
+}
 
-    #[test]
-    fn subdivide_tiles_parent(a in aabb_strategy(), k in 1usize..5) {
+#[test]
+fn subdivide_tiles_parent() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let a = rand_aabb(&mut rng);
+        let k = rng.gen_range(1usize..5);
         let subs = a.subdivide(k);
-        prop_assert_eq!(subs.len(), k * k * k);
+        assert_eq!(subs.len(), k * k * k);
         let total: f64 = subs.iter().map(|s| s.volume()).sum();
-        prop_assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
+        assert!((total - a.volume()).abs() <= 1e-6 * (1.0 + a.volume()));
         for s in &subs {
-            prop_assert!(a.contains(s));
+            assert!(a.contains(s));
         }
     }
+}
 
-    #[test]
-    fn subdivision_cell_contains_interior_point(
-        k in 1usize..5,
-        p in vec3_strategy(0.001, 0.999),
-    ) {
+#[test]
+fn subdivision_cell_contains_interior_point() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let k = rng.gen_range(1usize..5);
+        let p = rand_vec3(&mut rng, 0.001, 0.999);
         let bounds = Aabb::unit();
         let idx = bounds.subdivision_cell_of(k, p);
         let cell = bounds.subdivide(k)[idx];
-        prop_assert!(cell.contains_point(p), "point {p:?} not in cell {cell:?} (k={k}, idx={idx})");
+        assert!(
+            cell.contains_point(p),
+            "point {p:?} not in cell {cell:?} (k={k}, idx={idx})"
+        );
     }
+}
 
-    #[test]
-    fn grid_cell_of_point_contains_point(
-        n in 1u32..16,
-        p in vec3_strategy(0.0, 1.0),
-    ) {
+#[test]
+fn grid_cell_of_point_contains_point() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u32..16);
+        let p = rand_vec3(&mut rng, 0.0, 1.0);
         let g = GridSpec::new(Aabb::unit(), n);
         let c = g.cell_of_point(p);
-        prop_assert!(g.cell_bounds(c).contains_point(p));
+        assert!(g.cell_bounds(c).contains_point(p));
     }
+}
 
-    #[test]
-    fn grid_overlap_enumeration_is_sound(
-        n in 1u32..12,
-        a in vec3_strategy(0.0, 1.0),
-        b in vec3_strategy(0.0, 1.0),
-    ) {
+#[test]
+fn grid_overlap_enumeration_is_sound() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u32..12);
         let g = GridSpec::new(Aabb::unit(), n);
-        let q = Aabb::new(a, b);
+        let q = Aabb::new(rand_vec3(&mut rng, 0.0, 1.0), rand_vec3(&mut rng, 0.0, 1.0));
         let cells = g.cells_overlapping(&q);
         // Soundness: every returned cell overlaps.
         for c in &cells {
-            prop_assert!(g.cell_bounds(*c).intersects(&q));
+            assert!(g.cell_bounds(*c).intersects(&q));
         }
         // Completeness: every overlapping cell is returned.
         let set: std::collections::HashSet<_> = cells.into_iter().collect();
         for i in 0..g.cell_count() {
             let c = g.coord_of(i);
             if g.cell_bounds(c).intersects(&q) {
-                prop_assert!(set.contains(&c));
+                assert!(set.contains(&c));
             }
         }
     }
+}
 
-    #[test]
-    fn dataset_set_roundtrip(ids in proptest::collection::vec(0u16..64, 0..20)) {
+#[test]
+fn dataset_set_roundtrip() {
+    let mut rng = rng(11);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..20);
+        let ids: Vec<u16> = (0..len).map(|_| rng.gen_range(0u16..64)).collect();
         let set = DatasetSet::from_ids(ids.iter().map(|&i| DatasetId(i)));
         for &i in &ids {
-            prop_assert!(set.contains(DatasetId(i)));
+            assert!(set.contains(DatasetId(i)));
         }
         let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
-        prop_assert_eq!(set.len(), unique.len());
+        assert_eq!(set.len(), unique.len());
         let back: Vec<u16> = set.iter().map(|d| d.0).collect();
         let expect: Vec<u16> = unique.into_iter().collect();
-        prop_assert_eq!(back, expect);
+        assert_eq!(back, expect);
     }
+}
 
-    #[test]
-    fn dataset_set_algebra_laws(a_bits in any::<u64>(), b_bits in any::<u64>()) {
-        let a = DatasetSet(a_bits);
-        let b = DatasetSet(b_bits);
-        prop_assert_eq!(a.union(b), b.union(a));
-        prop_assert_eq!(a.intersection(b), b.intersection(a));
-        prop_assert!(a.intersection(b).is_subset_of(a));
-        prop_assert!(a.is_subset_of(a.union(b)));
-        prop_assert_eq!(a.difference(b).intersection(b), DatasetSet::EMPTY);
-        prop_assert_eq!(a.difference(b).union(a.intersection(b)), a);
+#[test]
+fn dataset_set_algebra_laws() {
+    let mut rng = rng(12);
+    for _ in 0..CASES {
+        let a = DatasetSet(rng.gen_range(0..=u64::MAX));
+        let b = DatasetSet(rng.gen_range(0..=u64::MAX));
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.intersection(b), b.intersection(a));
+        assert!(a.intersection(b).is_subset_of(a));
+        assert!(a.is_subset_of(a.union(b)));
+        assert_eq!(a.difference(b).intersection(b), DatasetSet::EMPTY);
+        assert_eq!(a.difference(b).union(a.intersection(b)), a);
     }
+}
 
-    #[test]
-    fn query_window_extension_is_correct(
-        obj_center in vec3_strategy(0.1, 0.9),
-        obj_extent in vec3_strategy(0.0, 0.2),
-        q_min in vec3_strategy(0.0, 1.0),
-        q_max in vec3_strategy(0.0, 1.0),
-    ) {
+#[test]
+fn query_window_extension_is_correct() {
+    let mut rng = rng(13);
+    for _ in 0..CASES {
         // The core invariant behind the paper's replication-free partitioning:
         // if an object intersects the query, then its *center* falls inside
         // the query extended by half of the maximum extent.
         let obj = SpatialObject::new(
             ObjectId(0),
             DatasetId(0),
-            Aabb::from_center_extent(obj_center, obj_extent),
+            Aabb::from_center_extent(rand_vec3(&mut rng, 0.1, 0.9), rand_vec3(&mut rng, 0.0, 0.2)),
         );
-        let q = RangeQuery::new(QueryId(0), Aabb::new(q_min, q_max), DatasetSet::single(DatasetId(0)));
+        let q = RangeQuery::new(
+            QueryId(0),
+            Aabb::new(rand_vec3(&mut rng, 0.0, 1.0), rand_vec3(&mut rng, 0.0, 1.0)),
+            DatasetSet::single(DatasetId(0)),
+        );
         let max_extent = obj.extent();
         if q.matches(&obj) {
             let extended = q.extended_range(max_extent);
-            prop_assert!(
+            assert!(
                 extended.contains_point(obj.center()),
                 "center {:?} escaped extended range {:?}",
                 obj.center(),

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! (small) `rand` API surface the workspace actually uses: the [`Rng`]
+//! extension trait with `gen_range` / `gen_bool`, the [`RngCore`] source
+//! trait, and [`SeedableRng::seed_from_u64`]. Determinism is all the
+//! workspace needs — the exact output streams of the real `rand` crate are
+//! not reproduced.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing extension methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        next_f64(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A uniform `f64` in `[0, 1)` built from the top 53 bits of one word.
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let f = next_f64(rng) as $t;
+                let v = self.start + (self.end - self.start) * f;
+                // Guard against rounding up to the exclusive end.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                start + (end - start) * next_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&f));
+            let i = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&i));
+            let j = rng.gen_range(0..=2u32);
+            assert!(j <= 2);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_unsized_generic() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = Counter(3);
+        assert!((0.0..1.0).contains(&sample(&mut rng)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for `rand_chacha`: a deterministic [`ChaCha8Rng`].
+//!
+//! This is a faithful ChaCha block function with 8 rounds; the seeding path
+//! (`seed_from_u64` via SplitMix64) mirrors the real crate's approach but the
+//! produced stream is not bit-identical to upstream `rand_chacha` — the
+//! workspace only relies on determinism, not on a specific stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic random number generator based on the ChaCha stream cipher
+/// with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current 64-byte output block, as 16 words.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means "exhausted".
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Creates a generator from a 256-bit key.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        // Words 12..16: 64-bit block counter + 64-bit nonce (zero).
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal quarter rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // Increment the 64-bit block counter.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64.
+        let mut sm = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reasonable_uniformity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+        let ones = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = ones as f64 / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.03,
+            "gen_bool(0.25) frequency {frac}"
+        );
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

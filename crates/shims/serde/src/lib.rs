@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! See `serde_derive` for the rationale. The derive macros are no-ops and the
+//! traits are blanket-implemented markers: nothing in this workspace
+//! serializes values at runtime, but generic code may still state
+//! `T: Serialize` bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

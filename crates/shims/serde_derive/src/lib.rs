@@ -1,0 +1,23 @@
+//! No-op stand-ins for the `serde_derive` proc macros.
+//!
+//! The build environment for this repository has no network access to a crate
+//! registry, so the real `serde` cannot be vendored. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as annotations (nothing serializes at
+//! runtime), so these derives simply accept the input — including `#[serde(…)]`
+//! helper attributes — and emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and emits
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,37 +1,109 @@
-//! Bounded buffer pool.
+//! Bounded, concurrently shared buffer pool.
 //!
 //! The paper restricts every approach to the same main-memory footprint
 //! (1 GB) so that dataset sizes exceed memory and disk behaviour dominates.
 //! The [`BufferPool`] plays that role here: page reads go through it, hits
 //! cost (almost) nothing in the cost model, and its capacity is the memory
 //! budget knob of [`crate::StorageOptions`].
+//!
+//! # Concurrency
+//!
+//! The pool is safe to use through `&self` from many threads. Large pools
+//! (≥ [`SHARD_MIN_CAPACITY`] pages) are split into [`SHARD_COUNT`] independent
+//! shards, each its own mutex-protected LRU, so concurrent readers of
+//! different pages rarely contend; eviction is then LRU *per shard* rather
+//! than globally. Small pools keep a single shard and therefore exact global
+//! LRU order (which the deterministic cost-model tests rely on).
 
 use crate::file::FileId;
 use crate::page::{Page, PageId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Key of a cached page.
 pub type FramePageKey = (FileId, PageId);
 
-/// A fixed-capacity page cache with least-recently-used eviction.
-pub struct BufferPool {
-    capacity: usize,
+/// Number of shards used by large pools.
+pub const SHARD_COUNT: usize = 16;
+
+/// Pools with at least this many pages of capacity are sharded.
+pub const SHARD_MIN_CAPACITY: usize = 1024;
+
+/// One LRU shard: the seed implementation's map + recency index.
+#[derive(Default)]
+struct Shard {
     tick: u64,
     frames: HashMap<FramePageKey, (Page, u64)>,
     lru: BTreeMap<u64, FramePageKey>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+}
+
+impl Shard {
+    fn get(&mut self, key: FramePageKey) -> Option<Page> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((page, old_tick)) = self.frames.get_mut(&key) {
+            self.lru.remove(old_tick);
+            *old_tick = tick;
+            let page = page.clone();
+            self.lru.insert(tick, key);
+            Some(page)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if an eviction was necessary.
+    fn insert(&mut self, key: FramePageKey, page: Page, capacity: usize) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((slot, old_tick)) = self.frames.get_mut(&key) {
+            *slot = page;
+            self.lru.remove(old_tick);
+            *old_tick = tick;
+            self.lru.insert(tick, key);
+            return false;
+        }
+        let mut evicted = false;
+        if self.frames.len() >= capacity {
+            if let Some((&oldest_tick, &oldest_key)) = self.lru.iter().next() {
+                self.lru.remove(&oldest_tick);
+                self.frames.remove(&oldest_key);
+                evicted = true;
+            }
+        }
+        self.frames.insert(key, (page, tick));
+        self.lru.insert(tick, key);
+        evicted
+    }
+
+    fn invalidate(&mut self, key: FramePageKey) {
+        if let Some((_, tick)) = self.frames.remove(&key) {
+            self.lru.remove(&tick);
+        }
+    }
+}
+
+/// A fixed-capacity page cache with least-recently-used eviction, shared
+/// across query threads.
+pub struct BufferPool {
+    capacity: usize,
+    capacity_per_shard: usize,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity)
-            .field("resident", &self.frames.len())
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
-            .field("evictions", &self.evictions)
+            .field("shards", &self.shards.len())
+            .field("resident", &self.resident())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -40,14 +112,20 @@ impl BufferPool {
     /// Creates a pool that caches up to `capacity` pages. A capacity of zero
     /// disables caching entirely (every access goes to the device).
     pub fn new(capacity: usize) -> Self {
+        let shard_count = if capacity >= SHARD_MIN_CAPACITY {
+            SHARD_COUNT
+        } else {
+            1
+        };
         BufferPool {
             capacity,
-            tick: 0,
-            frames: HashMap::with_capacity(capacity.min(1 << 20)),
-            lru: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            capacity_per_shard: capacity.div_ceil(shard_count),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -57,104 +135,109 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Number of pages currently cached.
+    /// Number of independently locked LRU shards.
     #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pages currently cached.
     pub fn resident(&self) -> usize {
-        self.frames.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().frames.len())
+            .sum()
     }
 
     /// Number of lookups that found the page cached.
     #[inline]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that missed.
     #[inline]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of pages evicted to respect the capacity.
     #[inline]
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.evictions.load(Ordering::Relaxed)
     }
 
-    fn touch(&mut self, key: FramePageKey) {
-        self.tick += 1;
-        if let Some((_, old_tick)) = self.frames.get_mut(&key) {
-            self.lru.remove(old_tick);
-            *old_tick = self.tick;
-            self.lru.insert(self.tick, key);
-        }
+    fn shard(&self, key: &FramePageKey) -> &Mutex<Shard> {
+        // FileId in the high bits, page in the low bits; a multiplicative
+        // hash spreads consecutive pages across shards.
+        let mixed = ((key.0 .0 as u64) << 40 ^ key.1 .0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(mixed >> 48) as usize % self.shards.len()]
     }
 
     /// Looks up a page, refreshing its recency on a hit.
-    pub fn get(&mut self, key: FramePageKey) -> Option<Page> {
-        if self.frames.contains_key(&key) {
-            self.touch(key);
-            self.hits += 1;
-            self.frames.get(&key).map(|(p, _)| p.clone())
-        } else {
-            self.misses += 1;
-            None
-        }
+    pub fn get(&self, key: FramePageKey) -> Option<Page> {
+        let result = self.shard(&key).lock().unwrap().get(key);
+        match &result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
     }
 
     /// Inserts (or refreshes) a page, evicting the least recently used page
-    /// if the pool is full. No-op when the capacity is zero.
-    pub fn insert(&mut self, key: FramePageKey, page: Page) {
+    /// of the key's shard if the shard is full. No-op when the capacity is
+    /// zero.
+    pub fn insert(&self, key: FramePageKey, page: Page) {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
-        if let Some((slot, old_tick)) = self.frames.get_mut(&key) {
-            *slot = page;
-            self.lru.remove(old_tick);
-            *old_tick = self.tick;
-            self.lru.insert(self.tick, key);
-            return;
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .unwrap()
+            .insert(key, page, self.capacity_per_shard);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        if self.frames.len() >= self.capacity {
-            if let Some((&oldest_tick, &oldest_key)) = self.lru.iter().next() {
-                self.lru.remove(&oldest_tick);
-                self.frames.remove(&oldest_key);
-                self.evictions += 1;
-            }
-        }
-        self.frames.insert(key, (page, self.tick));
-        self.lru.insert(self.tick, key);
     }
 
     /// Updates a page if (and only if) it is resident; used by write-through
     /// so cached copies never go stale.
-    pub fn update_if_resident(&mut self, key: FramePageKey, page: &Page) {
-        if let Some((slot, _)) = self.frames.get_mut(&key) {
+    pub fn update_if_resident(&self, key: FramePageKey, page: &Page) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if let Some((slot, _)) = shard.frames.get_mut(&key) {
             *slot = page.clone();
         }
     }
 
     /// Removes a cached page (e.g. when its file is dropped).
-    pub fn invalidate(&mut self, key: FramePageKey) {
-        if let Some((_, tick)) = self.frames.remove(&key) {
-            self.lru.remove(&tick);
-        }
+    pub fn invalidate(&self, key: FramePageKey) {
+        self.shard(&key).lock().unwrap().invalidate(key);
     }
 
     /// Removes every cached page of the given file.
-    pub fn invalidate_file(&mut self, file: FileId) {
-        let keys: Vec<FramePageKey> =
-            self.frames.keys().filter(|(f, _)| *f == file).copied().collect();
-        for k in keys {
-            self.invalidate(k);
+    pub fn invalidate_file(&self, file: FileId) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let keys: Vec<FramePageKey> = shard
+                .frames
+                .keys()
+                .filter(|(f, _)| *f == file)
+                .copied()
+                .collect();
+            for k in keys {
+                shard.invalidate(k);
+            }
         }
     }
 
     /// Drops every cached page (the paper clears caches between phases).
-    pub fn clear(&mut self) {
-        self.frames.clear();
-        self.lru.clear();
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            shard.frames.clear();
+            shard.lru.clear();
+        }
     }
 }
 
@@ -168,7 +251,7 @@ mod tests {
 
     #[test]
     fn empty_pool_misses() {
-        let mut pool = BufferPool::new(4);
+        let pool = BufferPool::new(4);
         assert!(pool.get(key(0, 0)).is_none());
         assert_eq!(pool.misses(), 1);
         assert_eq!(pool.hits(), 0);
@@ -176,7 +259,7 @@ mod tests {
 
     #[test]
     fn insert_then_hit() {
-        let mut pool = BufferPool::new(4);
+        let pool = BufferPool::new(4);
         pool.insert(key(0, 1), Page::empty());
         assert!(pool.get(key(0, 1)).is_some());
         assert_eq!(pool.hits(), 1);
@@ -185,7 +268,7 @@ mod tests {
 
     #[test]
     fn capacity_zero_disables_caching() {
-        let mut pool = BufferPool::new(0);
+        let pool = BufferPool::new(0);
         pool.insert(key(0, 1), Page::empty());
         assert_eq!(pool.resident(), 0);
         assert!(pool.get(key(0, 1)).is_none());
@@ -193,7 +276,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let mut pool = BufferPool::new(2);
+        let pool = BufferPool::new(2);
         pool.insert(key(0, 0), Page::empty());
         pool.insert(key(0, 1), Page::empty());
         // Touch page 0 so page 1 becomes the LRU victim.
@@ -208,7 +291,7 @@ mod tests {
 
     #[test]
     fn reinsert_refreshes_instead_of_duplicating() {
-        let mut pool = BufferPool::new(2);
+        let pool = BufferPool::new(2);
         pool.insert(key(0, 0), Page::empty());
         pool.insert(key(0, 0), Page::empty());
         assert_eq!(pool.resident(), 1);
@@ -220,8 +303,12 @@ mod tests {
     #[test]
     fn update_if_resident_only_touches_existing() {
         use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
-        let mut pool = BufferPool::new(2);
-        let obj = SpatialObject::new(ObjectId(7), DatasetId(0), Aabb::from_min_max(Vec3::ZERO, Vec3::ONE));
+        let pool = BufferPool::new(2);
+        let obj = SpatialObject::new(
+            ObjectId(7),
+            DatasetId(0),
+            Aabb::from_min_max(Vec3::ZERO, Vec3::ONE),
+        );
         let page = Page::from_objects(&[obj]).unwrap();
         pool.update_if_resident(key(0, 0), &page);
         assert_eq!(pool.resident(), 0);
@@ -233,7 +320,7 @@ mod tests {
 
     #[test]
     fn invalidation() {
-        let mut pool = BufferPool::new(8);
+        let pool = BufferPool::new(8);
         pool.insert(key(0, 0), Page::empty());
         pool.insert(key(0, 1), Page::empty());
         pool.insert(key(1, 0), Page::empty());
@@ -248,11 +335,54 @@ mod tests {
 
     #[test]
     fn heavy_insertion_respects_capacity() {
-        let mut pool = BufferPool::new(16);
+        let pool = BufferPool::new(16);
         for i in 0..1000u64 {
             pool.insert(key(0, i), Page::empty());
             assert!(pool.resident() <= 16);
         }
         assert_eq!(pool.evictions(), 1000 - 16);
+    }
+
+    #[test]
+    fn small_pools_are_single_shard_large_pools_are_sharded() {
+        assert_eq!(BufferPool::new(16).shard_count(), 1);
+        assert_eq!(
+            BufferPool::new(SHARD_MIN_CAPACITY).shard_count(),
+            SHARD_COUNT
+        );
+    }
+
+    #[test]
+    fn sharded_pool_respects_total_capacity_approximately() {
+        let pool = BufferPool::new(SHARD_MIN_CAPACITY);
+        for i in 0..100_000u64 {
+            pool.insert(key((i % 7) as u32, i), Page::empty());
+        }
+        // Per-shard capacity is capacity/SHARD_COUNT rounded up, so the pool
+        // may exceed the nominal capacity by at most one page per shard.
+        assert!(pool.resident() <= SHARD_MIN_CAPACITY + SHARD_COUNT);
+        assert!(
+            pool.resident() >= SHARD_MIN_CAPACITY / 2,
+            "shards should fill up"
+        );
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        let pool = BufferPool::new(SHARD_MIN_CAPACITY);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = key(t as u32, i);
+                        pool.insert(k, Page::empty());
+                        let _ = pool.get(k);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.hits() + pool.misses(), 8 * 500);
+        assert!(pool.resident() <= SHARD_MIN_CAPACITY + SHARD_COUNT);
     }
 }

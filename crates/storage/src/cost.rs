@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn default_parameters_are_sane() {
         let m = CostModel::default();
-        assert!(m.seek_seconds > 1e-3, "spinning disk seeks are milliseconds");
+        assert!(
+            m.seek_seconds > 1e-3,
+            "spinning disk seeks are milliseconds"
+        );
         assert!(m.page_transfer_seconds() < 1e-3);
         assert!(m.page_transfer_seconds() > 0.0);
         // A seek dominates a single-page sequential transfer on spinning disks.
@@ -104,16 +107,32 @@ mod tests {
     #[test]
     fn random_reads_cost_more_than_sequential() {
         let m = CostModel::default();
-        let seq = IoStats { sequential_reads: 100, ..Default::default() };
-        let rand = IoStats { random_reads: 100, ..Default::default() };
+        let seq = IoStats {
+            sequential_reads: 100,
+            ..Default::default()
+        };
+        let rand = IoStats {
+            random_reads: 100,
+            ..Default::default()
+        };
         assert!(m.seconds(&rand) > 10.0 * m.seconds(&seq));
     }
 
     #[test]
     fn cost_is_additive() {
         let m = CostModel::default();
-        let a = IoStats { sequential_reads: 10, random_reads: 5, objects_scanned: 100, ..Default::default() };
-        let b = IoStats { sequential_writes: 7, random_writes: 2, objects_written: 50, ..Default::default() };
+        let a = IoStats {
+            sequential_reads: 10,
+            random_reads: 5,
+            objects_scanned: 100,
+            ..Default::default()
+        };
+        let b = IoStats {
+            sequential_writes: 7,
+            random_writes: 2,
+            objects_written: 50,
+            ..Default::default()
+        };
         let mut both = a;
         both.merge(&b);
         let sum = m.seconds(&a) + m.seconds(&b);
@@ -122,15 +141,24 @@ mod tests {
 
     #[test]
     fn nvme_is_faster_than_sas_for_random_io() {
-        let stats = IoStats { random_reads: 1000, ..Default::default() };
+        let stats = IoStats {
+            random_reads: 1000,
+            ..Default::default()
+        };
         assert!(CostModel::nvme().seconds(&stats) < CostModel::default().seconds(&stats) / 10.0);
     }
 
     #[test]
     fn buffer_hits_are_cheaper_than_any_device_access() {
         let m = CostModel::default();
-        let hit = IoStats { buffer_hits: 1, ..Default::default() };
-        let seq = IoStats { sequential_reads: 1, ..Default::default() };
+        let hit = IoStats {
+            buffer_hits: 1,
+            ..Default::default()
+        };
+        let seq = IoStats {
+            sequential_reads: 1,
+            ..Default::default()
+        };
         assert!(m.seconds(&hit) < m.seconds(&seq));
     }
 }

@@ -40,8 +40,14 @@ impl fmt::Display for StorageError {
             StorageError::PageOutOfRange { file, page, len } => {
                 write!(f, "page {page} out of range for file {file} of {len} pages")
             }
-            StorageError::PageOverflow { requested, capacity } => {
-                write!(f, "page overflow: {requested} records requested, capacity {capacity}")
+            StorageError::PageOverflow {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "page overflow: {requested} records requested, capacity {capacity}"
+                )
             }
             StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
@@ -70,22 +76,29 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = StorageError::PageOutOfRange { file: 1, page: 9, len: 3 };
+        let e = StorageError::PageOutOfRange {
+            file: 1,
+            page: 9,
+            len: 3,
+        };
         assert!(format!("{e}").contains("page 9 out of range"));
-        let e = StorageError::PageOverflow { requested: 100, capacity: 63 };
+        let e = StorageError::PageOverflow {
+            requested: 100,
+            capacity: 63,
+        };
         assert!(format!("{e}").contains("overflow"));
         let e = StorageError::UnknownFile(7);
         assert!(format!("{e}").contains("7"));
         let e = StorageError::Corrupt("bad header".into());
         assert!(format!("{e}").contains("bad header"));
-        let e: StorageError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: StorageError = io::Error::other("boom").into();
         assert!(format!("{e}").contains("boom"));
     }
 
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e: StorageError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: StorageError = io::Error::other("boom").into();
         assert!(e.source().is_some());
         let e2 = StorageError::UnknownFile(0);
         assert!(e2.source().is_none());

@@ -6,13 +6,22 @@
 //! access trace, not the medium) and [`DiskFile`] stores pages in a real file
 //! through `std::fs` (used to validate that nothing depends on the in-memory
 //! shortcut).
+//!
+//! # Concurrency
+//!
+//! All operations take `&self` so that a [`crate::StorageManager`] can be
+//! shared across query threads. Individual page reads and writes are atomic
+//! at page granularity (a reader never observes a half-written page);
+//! multi-page runs are kept consistent by the index-level locks of the
+//! callers (see the crate docs of `odyssey-core`).
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
 
 /// Identifier of a file managed by the [`crate::StorageManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -26,23 +35,23 @@ impl FileId {
     }
 }
 
-/// A growable array of fixed-size pages.
-pub trait PagedFile: Send {
+/// A growable array of fixed-size pages, shareable across threads.
+pub trait PagedFile: Send + Sync {
     /// Number of pages currently in the file.
     fn num_pages(&self) -> u64;
 
     /// Reads the page at `page`.
-    fn read_page(&mut self, page: PageId) -> StorageResult<Page>;
+    fn read_page(&self, page: PageId) -> StorageResult<Page>;
 
     /// Overwrites the page at `page` (must already exist).
-    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()>;
+    fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()>;
 
     /// Appends a page at the end of the file and returns its id.
-    fn append_page(&mut self, data: &Page) -> StorageResult<PageId>;
+    fn append_page(&self, data: &Page) -> StorageResult<PageId>;
 
     /// Ensures the file has at least `pages` pages, appending zeroed pages as
     /// needed (used when pre-allocating partition extents).
-    fn grow_to(&mut self, pages: u64) -> StorageResult<()> {
+    fn grow_to(&self, pages: u64) -> StorageResult<()> {
         while self.num_pages() < pages {
             self.append_page(&Page::empty())?;
         }
@@ -53,55 +62,65 @@ pub trait PagedFile: Send {
 /// In-memory paged file.
 #[derive(Default)]
 pub struct MemFile {
-    pages: Vec<Page>,
+    pages: RwLock<Vec<Page>>,
 }
 
 impl MemFile {
     /// Creates an empty in-memory file.
     pub fn new() -> Self {
-        MemFile { pages: Vec::new() }
-    }
-
-    fn check(&self, page: PageId) -> StorageResult<usize> {
-        let idx = page.0 as usize;
-        if idx >= self.pages.len() {
-            return Err(StorageError::PageOutOfRange {
-                file: u32::MAX,
-                page: page.0,
-                len: self.pages.len() as u64,
-            });
+        MemFile {
+            pages: RwLock::new(Vec::new()),
         }
-        Ok(idx)
+    }
+}
+
+fn out_of_range(page: PageId, len: u64) -> StorageError {
+    StorageError::PageOutOfRange {
+        file: u32::MAX,
+        page: page.0,
+        len,
     }
 }
 
 impl PagedFile for MemFile {
     fn num_pages(&self) -> u64 {
-        self.pages.len() as u64
+        self.pages.read().unwrap().len() as u64
     }
 
-    fn read_page(&mut self, page: PageId) -> StorageResult<Page> {
-        let idx = self.check(page)?;
-        Ok(self.pages[idx].clone())
+    fn read_page(&self, page: PageId) -> StorageResult<Page> {
+        let pages = self.pages.read().unwrap();
+        pages
+            .get(page.0 as usize)
+            .cloned()
+            .ok_or_else(|| out_of_range(page, pages.len() as u64))
     }
 
-    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()> {
-        let idx = self.check(page)?;
-        self.pages[idx] = data.clone();
+    fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
+        let mut pages = self.pages.write().unwrap();
+        let len = pages.len() as u64;
+        let slot = pages
+            .get_mut(page.0 as usize)
+            .ok_or_else(|| out_of_range(page, len))?;
+        *slot = data.clone();
         Ok(())
     }
 
-    fn append_page(&mut self, data: &Page) -> StorageResult<PageId> {
-        self.pages.push(data.clone());
-        Ok(PageId(self.pages.len() as u64 - 1))
+    fn append_page(&self, data: &Page) -> StorageResult<PageId> {
+        let mut pages = self.pages.write().unwrap();
+        pages.push(data.clone());
+        Ok(PageId(pages.len() as u64 - 1))
     }
 }
 
 /// Paged file backed by a real file on disk.
+///
+/// Reads and writes use positioned I/O (`pread`/`pwrite`), so concurrent
+/// readers never race on a shared cursor; the page count is guarded by a
+/// mutex so appends are atomic.
 pub struct DiskFile {
     file: File,
     path: PathBuf,
-    num_pages: u64,
+    num_pages: Mutex<u64>,
 }
 
 impl DiskFile {
@@ -114,7 +133,11 @@ impl DiskFile {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        Ok(DiskFile { file, path, num_pages: 0 })
+        Ok(DiskFile {
+            file,
+            path,
+            num_pages: Mutex::new(0),
+        })
     }
 
     /// Opens an existing paged file at `path`.
@@ -128,51 +151,51 @@ impl DiskFile {
                 path.display()
             )));
         }
-        Ok(DiskFile { file, path, num_pages: len / PAGE_SIZE as u64 })
+        Ok(DiskFile {
+            file,
+            path,
+            num_pages: Mutex::new(len / PAGE_SIZE as u64),
+        })
     }
 
     /// Path of the underlying file.
     pub fn path(&self) -> &Path {
         &self.path
     }
-
-    fn check(&self, page: PageId) -> StorageResult<()> {
-        if page.0 >= self.num_pages {
-            return Err(StorageError::PageOutOfRange {
-                file: u32::MAX,
-                page: page.0,
-                len: self.num_pages,
-            });
-        }
-        Ok(())
-    }
 }
 
 impl PagedFile for DiskFile {
     fn num_pages(&self) -> u64 {
-        self.num_pages
+        *self.num_pages.lock().unwrap()
     }
 
-    fn read_page(&mut self, page: PageId) -> StorageResult<Page> {
-        self.check(page)?;
-        self.file.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+    fn read_page(&self, page: PageId) -> StorageResult<Page> {
+        let len = *self.num_pages.lock().unwrap();
+        if page.0 >= len {
+            return Err(out_of_range(page, len));
+        }
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.read_exact(&mut buf)?;
+        self.file
+            .read_exact_at(&mut buf, page.0 * PAGE_SIZE as u64)?;
         Ok(Page::from_bytes(buf))
     }
 
-    fn write_page(&mut self, page: PageId, data: &Page) -> StorageResult<()> {
-        self.check(page)?;
-        self.file.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
-        self.file.write_all(data.as_bytes())?;
+    fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
+        let len = *self.num_pages.lock().unwrap();
+        if page.0 >= len {
+            return Err(out_of_range(page, len));
+        }
+        self.file
+            .write_all_at(data.as_bytes(), page.0 * PAGE_SIZE as u64)?;
         Ok(())
     }
 
-    fn append_page(&mut self, data: &Page) -> StorageResult<PageId> {
-        let id = PageId(self.num_pages);
-        self.file.seek(SeekFrom::Start(self.num_pages * PAGE_SIZE as u64))?;
-        self.file.write_all(data.as_bytes())?;
-        self.num_pages += 1;
+    fn append_page(&self, data: &Page) -> StorageResult<PageId> {
+        let mut len = self.num_pages.lock().unwrap();
+        self.file
+            .write_all_at(data.as_bytes(), *len * PAGE_SIZE as u64)?;
+        let id = PageId(*len);
+        *len += 1;
         Ok(id)
     }
 }
@@ -190,7 +213,7 @@ mod tests {
         )
     }
 
-    fn exercise_file(f: &mut dyn PagedFile) {
+    fn exercise_file(f: &dyn PagedFile) {
         assert_eq!(f.num_pages(), 0);
         let p0 = Page::from_objects(&[obj(1), obj(2)]).unwrap();
         let p1 = Page::from_objects(&[obj(3)]).unwrap();
@@ -217,19 +240,19 @@ mod tests {
 
     #[test]
     fn mem_file_behaviour() {
-        let mut f = MemFile::new();
-        exercise_file(&mut f);
+        let f = MemFile::new();
+        exercise_file(&f);
     }
 
     #[test]
     fn disk_file_behaviour() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("test.pages");
-        let mut f = DiskFile::create(&path).unwrap();
-        exercise_file(&mut f);
+        let f = DiskFile::create(&path).unwrap();
+        exercise_file(&f);
         drop(f);
         // Reopen and verify persistence.
-        let mut f = DiskFile::open(&path).unwrap();
+        let f = DiskFile::open(&path).unwrap();
         assert_eq!(f.num_pages(), 5);
         assert_eq!(f.read_page(PageId(0)).unwrap().objects().unwrap().len(), 3);
         assert_eq!(f.path(), path);
@@ -246,6 +269,45 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("bad.pages");
         std::fs::write(&path, vec![0u8; 100]).unwrap();
-        assert!(matches!(DiskFile::open(&path), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            DiskFile::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_appends_assign_distinct_pages() {
+        let f = MemFile::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let f = &f;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        f.append_page(&Page::empty()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(f.num_pages(), 400);
+    }
+
+    #[test]
+    fn concurrent_reads_see_complete_pages() {
+        let f = MemFile::new();
+        for i in 0..20u64 {
+            f.append_page(&Page::from_objects(&[obj(i), obj(i + 100)]).unwrap())
+                .unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let f = &f;
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let page = f.read_page(PageId(i)).unwrap();
+                        assert_eq!(page.objects().unwrap().len(), 2);
+                    }
+                });
+            }
+        });
     }
 }

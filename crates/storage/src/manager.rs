@@ -5,16 +5,39 @@
 //! object pages and read page ranges; the manager classifies each device
 //! access as sequential or random (the property the paper's evaluation hinges
 //! on) and keeps the running [`IoStats`].
+//!
+//! # Concurrency
+//!
+//! Every operation takes `&self`: a single manager is shared by reference
+//! across all query threads. Internally,
+//!
+//! * the file table is an `RwLock<Vec<Arc<…>>>` — reads of *different* files
+//!   (and, for the in-memory backend, of different pages of the same file)
+//!   proceed fully in parallel; creating a file takes the write lock briefly;
+//! * the buffer pool is sharded (see [`BufferPool`]);
+//! * the I/O counters are atomics ([`crate::stats::AtomicIoStats`]);
+//! * the sequential/random access classifier keeps the last-touched page in
+//!   one atomic word. Under concurrency the classification is a best-effort
+//!   approximation (two interleaved sequential scans can classify each
+//!   other's accesses as random — exactly as interleaved streams would behave
+//!   on a real spinning disk). Single-threaded runs classify identically to
+//!   the pre-concurrency implementation, which the deterministic cost-model
+//!   tests rely on.
+//!
+//! Page-level reads and writes are atomic; runs of pages belonging to one
+//! partition are kept consistent by the per-dataset locks in `odyssey-core`.
 
 use crate::buffer::BufferPool;
 use crate::cost::CostModel;
 use crate::error::{StorageError, StorageResult};
 use crate::file::{DiskFile, FileId, MemFile, PagedFile};
 use crate::page::{pack_objects, Page, PageId};
-use crate::stats::IoStats;
+use crate::stats::{AtomicIoStats, IoStats};
 use odyssey_geom::SpatialObject;
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Where pages physically live.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +77,11 @@ impl Default for StorageOptions {
 impl StorageOptions {
     /// In-memory backend with the given buffer budget (pages).
     pub fn in_memory(buffer_pages: usize) -> Self {
-        StorageOptions { backend: StorageBackend::Memory, buffer_pages, ..Default::default() }
+        StorageOptions {
+            backend: StorageBackend::Memory,
+            buffer_pages,
+            ..Default::default()
+        }
     }
 
     /// On-disk backend rooted at `dir` with the given buffer budget (pages).
@@ -73,22 +100,38 @@ impl StorageOptions {
     }
 }
 
+/// One registered file: its display name plus the backend handle.
+struct FileEntry {
+    name: String,
+    file: Box<dyn PagedFile>,
+}
+
+/// Packed (file, page) cursor used by the sequential/random classifier.
+///
+/// Layout: bits 40.. hold `file id + 1` (so the zero word means "no previous
+/// access"), bits 0..40 hold the page index truncated to 40 bits — files of
+/// up to a trillion pages classify exactly; beyond that, a wrap-around can at
+/// worst misclassify one access.
+#[inline]
+fn pack_cursor(file: FileId, page: u64) -> u64 {
+    ((file.0 as u64 + 1) << 40) | (page & ((1 << 40) - 1))
+}
+
 /// Owns files, buffer pool, statistics and the cost model.
 pub struct StorageManager {
     options: StorageOptions,
-    files: Vec<Box<dyn PagedFile>>,
-    file_names: Vec<String>,
+    files: RwLock<Vec<Arc<FileEntry>>>,
     buffer: BufferPool,
-    stats: IoStats,
-    last_read: Option<(FileId, u64)>,
-    last_write: Option<(FileId, u64)>,
+    stats: AtomicIoStats,
+    last_read: AtomicU64,
+    last_write: AtomicU64,
 }
 
 impl std::fmt::Debug for StorageManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StorageManager")
-            .field("files", &self.files.len())
-            .field("stats", &self.stats)
+            .field("files", &self.file_count())
+            .field("stats", &self.stats())
             .field("buffer", &self.buffer)
             .finish()
     }
@@ -100,12 +143,11 @@ impl StorageManager {
         let buffer = BufferPool::new(options.buffer_pages);
         StorageManager {
             options,
-            files: Vec::new(),
-            file_names: Vec::new(),
+            files: RwLock::new(Vec::new()),
             buffer,
-            stats: IoStats::default(),
-            last_read: None,
-            last_write: None,
+            stats: AtomicIoStats::default(),
+            last_read: AtomicU64::new(0),
+            last_write: AtomicU64::new(0),
         }
     }
 
@@ -126,7 +168,7 @@ impl StorageManager {
 
     /// Current I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Buffer-pool introspection (resident pages, hits, evictions).
@@ -136,30 +178,33 @@ impl StorageManager {
 
     /// Simulated seconds for everything since the given snapshot.
     pub fn seconds_since(&self, snapshot: &IoStats) -> f64 {
-        self.options.cost_model.seconds(&self.stats.since(snapshot).0)
+        self.options
+            .cost_model
+            .seconds(&self.stats().since(snapshot).0)
     }
 
     /// Simulated seconds for all activity so far.
     pub fn total_seconds(&self) -> f64 {
-        self.options.cost_model.seconds(&self.stats)
+        self.options.cost_model.seconds(&self.stats())
     }
 
     /// Records CPU work (object intersection tests) performed by an index on
     /// data it already had in memory, so that pure-CPU filtering is charged.
-    pub fn note_objects_scanned(&mut self, n: u64) {
-        self.stats.objects_scanned += n;
+    pub fn note_objects_scanned(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.objects_scanned, n);
     }
 
     /// Drops all cached pages, mirroring the paper's "OS caches and disk
     /// buffers are cleared before each query" methodology when desired.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.buffer.clear();
     }
 
     /// Creates a new, empty paged file and returns its id. `name` is used for
     /// the on-disk backend's file name and for debugging.
-    pub fn create_file(&mut self, name: &str) -> StorageResult<FileId> {
-        let id = FileId(self.files.len() as u32);
+    pub fn create_file(&self, name: &str) -> StorageResult<FileId> {
+        let mut files = self.files.write().unwrap();
+        let id = FileId(files.len() as u32);
         let file: Box<dyn PagedFile> = match &self.options.backend {
             StorageBackend::Memory => Box::new(MemFile::new()),
             StorageBackend::Disk(dir) => {
@@ -168,97 +213,104 @@ impl StorageManager {
                 Box::new(DiskFile::create(path)?)
             }
         };
-        self.files.push(file);
-        self.file_names.push(name.to_string());
-        self.stats.files_created += 1;
+        files.push(Arc::new(FileEntry {
+            name: name.to_string(),
+            file,
+        }));
+        AtomicIoStats::add(&self.stats.files_created, 1);
         Ok(id)
     }
 
-    /// Name the file was created with.
-    pub fn file_name(&self, file: FileId) -> StorageResult<&str> {
-        self.file_names
+    fn entry(&self, file: FileId) -> StorageResult<Arc<FileEntry>> {
+        self.files
+            .read()
+            .unwrap()
             .get(file.index())
-            .map(|s| s.as_str())
+            .cloned()
             .ok_or(StorageError::UnknownFile(file.0))
+    }
+
+    /// Name the file was created with.
+    pub fn file_name(&self, file: FileId) -> StorageResult<String> {
+        Ok(self.entry(file)?.name.clone())
+    }
+
+    /// Names of all files, in creation order.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files
+            .read()
+            .unwrap()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
     }
 
     /// Number of files created so far.
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        self.files.read().unwrap().len()
     }
 
     /// Number of pages in a file.
     pub fn num_pages(&self, file: FileId) -> StorageResult<u64> {
-        self.files
-            .get(file.index())
-            .map(|f| f.num_pages())
-            .ok_or(StorageError::UnknownFile(file.0))
+        Ok(self.entry(file)?.file.num_pages())
     }
 
-    fn file_mut(&mut self, file: FileId) -> StorageResult<&mut Box<dyn PagedFile>> {
-        self.files.get_mut(file.index()).ok_or(StorageError::UnknownFile(file.0))
+    /// Classifies one access against the packed `(file, page)` cursor and
+    /// advances the cursor.
+    #[inline]
+    fn classify(cursor: &AtomicU64, file: FileId, page: u64) -> bool {
+        let prev = cursor.swap(pack_cursor(file, page), Ordering::Relaxed);
+        page > 0 && prev == pack_cursor(file, page - 1)
     }
 
     /// Reads one page, going through the buffer pool and classifying the
     /// device access as sequential or random.
-    pub fn read_page(&mut self, file: FileId, page: PageId) -> StorageResult<Page> {
+    pub fn read_page(&self, file: FileId, page: PageId) -> StorageResult<Page> {
         if let Some(p) = self.buffer.get((file, page)) {
-            self.stats.buffer_hits += 1;
+            AtomicIoStats::add(&self.stats.buffer_hits, 1);
             return Ok(p);
         }
-        let sequential = self.last_read == Some((file, page.0.wrapping_sub(1)));
-        let data = {
-            let f = self.file_mut(file)?;
-            f.read_page(page)?
-        };
-        if sequential {
-            self.stats.sequential_reads += 1;
+        let entry = self.entry(file)?;
+        let data = entry.file.read_page(page)?;
+        if Self::classify(&self.last_read, file, page.0) {
+            AtomicIoStats::add(&self.stats.sequential_reads, 1);
         } else {
-            self.stats.random_reads += 1;
+            AtomicIoStats::add(&self.stats.random_reads, 1);
         }
-        self.last_read = Some((file, page.0));
         self.buffer.insert((file, page), data.clone());
         Ok(data)
     }
 
     /// Overwrites one page (write-through to the buffer pool).
-    pub fn write_page(&mut self, file: FileId, page: PageId, data: &Page) -> StorageResult<()> {
-        let sequential = self.last_write == Some((file, page.0.wrapping_sub(1)));
-        {
-            let f = self.file_mut(file)?;
-            f.write_page(page, data)?;
-        }
-        if sequential {
-            self.stats.sequential_writes += 1;
+    pub fn write_page(&self, file: FileId, page: PageId, data: &Page) -> StorageResult<()> {
+        let entry = self.entry(file)?;
+        entry.file.write_page(page, data)?;
+        if Self::classify(&self.last_write, file, page.0) {
+            AtomicIoStats::add(&self.stats.sequential_writes, 1);
         } else {
-            self.stats.random_writes += 1;
+            AtomicIoStats::add(&self.stats.random_writes, 1);
         }
-        self.last_write = Some((file, page.0));
         self.buffer.update_if_resident((file, page), data);
         Ok(())
     }
 
     /// Appends one page at the end of a file.
-    pub fn append_page(&mut self, file: FileId, data: &Page) -> StorageResult<PageId> {
-        let id = {
-            let f = self.file_mut(file)?;
-            f.append_page(data)?
-        };
+    pub fn append_page(&self, file: FileId, data: &Page) -> StorageResult<PageId> {
+        let entry = self.entry(file)?;
+        let id = entry.file.append_page(data)?;
         // Appends at the end of a file are sequential whenever the previous
         // write targeted the preceding page of the same file.
-        let sequential = self.last_write == Some((file, id.0.wrapping_sub(1)));
-        if sequential {
-            self.stats.sequential_writes += 1;
+        if Self::classify(&self.last_write, file, id.0) {
+            AtomicIoStats::add(&self.stats.sequential_writes, 1);
         } else {
-            self.stats.random_writes += 1;
+            AtomicIoStats::add(&self.stats.random_writes, 1);
         }
-        self.last_write = Some((file, id.0));
         Ok(id)
     }
 
     /// Grows a file with zeroed pages up to `pages` pages (counted as
     /// sequential writes, matching a bulk pre-allocation).
-    pub fn grow_to(&mut self, file: FileId, pages: u64) -> StorageResult<()> {
+    pub fn grow_to(&self, file: FileId, pages: u64) -> StorageResult<()> {
         let current = self.num_pages(file)?;
         if pages <= current {
             return Ok(());
@@ -273,7 +325,7 @@ impl StorageManager {
     /// Reads every object stored in the page range `[range.start, range.end)`
     /// of `file`, in page order.
     pub fn read_objects(
-        &mut self,
+        &self,
         file: FileId,
         range: Range<u64>,
     ) -> StorageResult<Vec<SpatialObject>> {
@@ -284,7 +336,7 @@ impl StorageManager {
 
     /// Like [`StorageManager::read_objects`] but appends into `out`.
     pub fn read_objects_into(
-        &mut self,
+        &self,
         file: FileId,
         range: Range<u64>,
         out: &mut Vec<SpatialObject>,
@@ -294,15 +346,19 @@ impl StorageManager {
             let page = self.read_page(file, PageId(p))?;
             let n = page.objects_into(out)?;
             total += n;
-            self.stats.objects_scanned += n as u64;
+            AtomicIoStats::add(&self.stats.objects_scanned, n as u64);
         }
         Ok(total)
     }
 
     /// Appends the objects as densely packed pages at the end of `file`,
     /// returning the page range they occupy.
+    ///
+    /// The pages of one call are appended back to back; callers that append
+    /// to the same file from several threads must serialize those calls (the
+    /// engine's per-dataset and merger locks do) or the runs will interleave.
     pub fn append_objects(
-        &mut self,
+        &self,
         file: FileId,
         objects: &[SpatialObject],
     ) -> StorageResult<Range<u64>> {
@@ -310,7 +366,7 @@ impl StorageManager {
         for page in pack_objects(objects) {
             self.append_page(file, &page)?;
         }
-        self.stats.objects_written += objects.len() as u64;
+        AtomicIoStats::add(&self.stats.objects_written, objects.len() as u64);
         Ok(start..self.num_pages(file)?)
     }
 
@@ -319,7 +375,7 @@ impl StorageManager {
     /// Odyssey's in-place partition refinement, which reuses the partition's
     /// old pages and appends any overflow at the end of the file.
     pub fn write_objects_at(
-        &mut self,
+        &self,
         file: FileId,
         start_page: u64,
         objects: &[SpatialObject],
@@ -330,7 +386,7 @@ impl StorageManager {
         for (i, page) in pages.iter().enumerate() {
             self.write_page(file, PageId(start_page + i as u64), page)?;
         }
-        self.stats.objects_written += objects.len() as u64;
+        AtomicIoStats::add(&self.stats.objects_written, objects.len() as u64);
         Ok(start_page..end)
     }
 }
@@ -354,12 +410,16 @@ mod tests {
 
     #[test]
     fn create_files_and_names() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let a = m.create_file("alpha").unwrap();
         let b = m.create_file("beta").unwrap();
         assert_eq!(m.file_count(), 2);
         assert_eq!(m.file_name(a).unwrap(), "alpha");
         assert_eq!(m.file_name(b).unwrap(), "beta");
+        assert_eq!(
+            m.file_names(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
         assert_eq!(m.stats().files_created, 2);
         assert!(m.file_name(FileId(9)).is_err());
         assert!(m.num_pages(FileId(9)).is_err());
@@ -367,7 +427,7 @@ mod tests {
 
     #[test]
     fn append_and_read_objects_roundtrip() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let f = m.create_file("data").unwrap();
         let data = objs(200);
         let range = m.append_objects(f, &data).unwrap();
@@ -380,7 +440,7 @@ mod tests {
 
     #[test]
     fn sequential_vs_random_classification() {
-        let mut m = StorageManager::new(StorageOptions::in_memory(0)); // no cache
+        let m = StorageManager::new(StorageOptions::in_memory(0)); // no cache
         let f = m.create_file("data").unwrap();
         m.append_objects(f, &objs(63 * 10)).unwrap();
         let before = m.stats();
@@ -404,7 +464,7 @@ mod tests {
 
     #[test]
     fn appends_are_sequential_writes() {
-        let mut m = StorageManager::new(StorageOptions::in_memory(0));
+        let m = StorageManager::new(StorageOptions::in_memory(0));
         let f = m.create_file("data").unwrap();
         let before = m.stats();
         m.append_objects(f, &objs(63 * 5)).unwrap();
@@ -415,7 +475,7 @@ mod tests {
 
     #[test]
     fn buffer_hits_avoid_device_reads() {
-        let mut m = StorageManager::new(StorageOptions::in_memory(64));
+        let m = StorageManager::new(StorageOptions::in_memory(64));
         let f = m.create_file("data").unwrap();
         m.append_objects(f, &objs(63)).unwrap();
         m.read_page(f, PageId(0)).unwrap();
@@ -428,7 +488,7 @@ mod tests {
 
     #[test]
     fn clear_cache_forces_rereads() {
-        let mut m = StorageManager::new(StorageOptions::in_memory(64));
+        let m = StorageManager::new(StorageOptions::in_memory(64));
         let f = m.create_file("data").unwrap();
         m.append_objects(f, &objs(63)).unwrap();
         m.read_page(f, PageId(0)).unwrap();
@@ -442,7 +502,7 @@ mod tests {
 
     #[test]
     fn write_objects_at_reuses_and_grows() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let f = m.create_file("data").unwrap();
         // Initially two pages worth of objects.
         m.append_objects(f, &objs(100)).unwrap();
@@ -457,14 +517,14 @@ mod tests {
 
     #[test]
     fn write_page_out_of_range_errors() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let f = m.create_file("data").unwrap();
         assert!(m.write_page(f, PageId(3), &Page::empty()).is_err());
     }
 
     #[test]
     fn simulated_seconds_accumulate() {
-        let mut m = StorageManager::new(StorageOptions::in_memory(0));
+        let m = StorageManager::new(StorageOptions::in_memory(0));
         let f = m.create_file("data").unwrap();
         m.append_objects(f, &objs(63 * 20)).unwrap();
         let snap = m.stats();
@@ -480,7 +540,7 @@ mod tests {
     #[test]
     fn disk_backend_roundtrip() {
         let dir = tempfile::tempdir().unwrap();
-        let mut m = StorageManager::new(StorageOptions::on_disk(dir.path(), 16));
+        let m = StorageManager::new(StorageOptions::on_disk(dir.path(), 16));
         let f = m.create_file("data").unwrap();
         let data = objs(150);
         let range = m.append_objects(f, &data).unwrap();
@@ -493,7 +553,7 @@ mod tests {
 
     #[test]
     fn grow_to_is_idempotent() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let f = m.create_file("data").unwrap();
         m.grow_to(f, 4).unwrap();
         m.grow_to(f, 2).unwrap();
@@ -502,9 +562,58 @@ mod tests {
 
     #[test]
     fn note_objects_scanned_feeds_cost() {
-        let mut m = StorageManager::in_memory();
+        let m = StorageManager::in_memory();
         let before = m.total_seconds();
         m.note_objects_scanned(1_000_000);
         assert!(m.total_seconds() > before);
+    }
+
+    #[test]
+    fn shared_reference_use_across_threads() {
+        let m = StorageManager::new(StorageOptions::in_memory(2048));
+        // One file per "dataset"; readers of distinct files run in parallel.
+        let files: Vec<FileId> = (0..4)
+            .map(|i| {
+                let f = m.create_file(&format!("ds{i}")).unwrap();
+                m.append_objects(f, &objs(63 * 8)).unwrap();
+                f
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for &f in &files {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let objects = m.read_objects(f, 0..8).unwrap();
+                        assert_eq!(objects.len(), 63 * 8);
+                    }
+                });
+            }
+        });
+        // Every page read is accounted for: 4 files × 10 rounds × 8 pages.
+        let total = m.stats();
+        assert_eq!(total.pages_read() + total.buffer_hits, 4 * 10 * 8);
+    }
+
+    #[test]
+    fn concurrent_file_creation_yields_distinct_ids() {
+        let m = StorageManager::in_memory();
+        let ids = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (m, ids) = (&m, &ids);
+                s.spawn(move || {
+                    for i in 0..16 {
+                        let id = m.create_file(&format!("f{t}_{i}")).unwrap();
+                        ids.lock().unwrap().push(id);
+                    }
+                });
+            }
+        });
+        let mut ids = ids.into_inner().unwrap();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8 * 16);
+        assert_eq!(m.file_count(), 8 * 16);
     }
 }

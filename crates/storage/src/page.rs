@@ -73,8 +73,14 @@ impl Page {
     /// # Panics
     /// Panics if `bytes` is not exactly [`PAGE_SIZE`] long.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        assert_eq!(bytes.len(), PAGE_SIZE, "a page must be exactly {PAGE_SIZE} bytes");
-        Page { bytes: bytes.into_boxed_slice() }
+        assert_eq!(
+            bytes.len(),
+            PAGE_SIZE,
+            "a page must be exactly {PAGE_SIZE} bytes"
+        );
+        Page {
+            bytes: bytes.into_boxed_slice(),
+        }
     }
 
     /// Builds a page holding the given object records.
@@ -196,7 +202,11 @@ fn decode_record(buf: &[u8]) -> StorageResult<SpatialObject> {
     if !(min.is_finite() && max.is_finite()) {
         return Err(StorageError::Corrupt("non-finite MBR in record".into()));
     }
-    Ok(SpatialObject::new(ObjectId(id), DatasetId(dataset), Aabb::from_min_max(min, max)))
+    Ok(SpatialObject::new(
+        ObjectId(id),
+        DatasetId(dataset),
+        Aabb::from_min_max(min, max),
+    ))
 }
 
 /// Packs a slice of objects into as many pages as needed, filling each page
@@ -211,7 +221,7 @@ pub fn pack_objects(objects: &[SpatialObject]) -> Vec<Page> {
 /// Number of pages needed to store `n` objects.
 #[inline]
 pub fn pages_needed(n: usize) -> u64 {
-    (n as u64 + OBJECTS_PER_PAGE as u64 - 1) / OBJECTS_PER_PAGE as u64
+    (n as u64).div_ceil(OBJECTS_PER_PAGE as u64)
 }
 
 #[cfg(test)]
@@ -230,7 +240,7 @@ mod tests {
     fn layout_constants_are_consistent() {
         assert_eq!(PAGE_SIZE, 4096);
         assert_eq!(OBJECTS_PER_PAGE, 63);
-        assert!(PAGE_HEADER_SIZE + OBJECTS_PER_PAGE * RECORD_SIZE <= PAGE_SIZE);
+        const { assert!(PAGE_HEADER_SIZE + OBJECTS_PER_PAGE * RECORD_SIZE <= PAGE_SIZE) };
     }
 
     #[test]
@@ -243,7 +253,9 @@ mod tests {
 
     #[test]
     fn roundtrip_objects() {
-        let objs: Vec<_> = (0..OBJECTS_PER_PAGE as u64).map(|i| obj(i, (i % 5) as u16, i as f64, i as f64 + 1.0)).collect();
+        let objs: Vec<_> = (0..OBJECTS_PER_PAGE as u64)
+            .map(|i| obj(i, (i % 5) as u16, i as f64, i as f64 + 1.0))
+            .collect();
         let page = Page::from_objects(&objs).unwrap();
         assert_eq!(page.record_count().unwrap(), OBJECTS_PER_PAGE);
         assert_eq!(page.objects().unwrap(), objs);
@@ -251,7 +263,9 @@ mod tests {
 
     #[test]
     fn overflow_is_detected() {
-        let objs: Vec<_> = (0..OBJECTS_PER_PAGE as u64 + 1).map(|i| obj(i, 0, 0.0, 1.0)).collect();
+        let objs: Vec<_> = (0..OBJECTS_PER_PAGE as u64 + 1)
+            .map(|i| obj(i, 0, 0.0, 1.0))
+            .collect();
         assert!(matches!(
             Page::from_objects(&objs),
             Err(StorageError::PageOverflow { .. })

@@ -45,7 +45,7 @@ impl RawDataset {
 /// output onto the analysis machine; its cost is *not* part of any approach's
 /// indexing time (all approaches start after the raw data exists).
 pub fn write_raw_dataset(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     dataset: DatasetId,
     objects: &[SpatialObject],
 ) -> StorageResult<RawDataset> {
@@ -61,7 +61,7 @@ pub fn write_raw_dataset(
 
 /// Reads back every object of a raw dataset (a full sequential scan).
 pub fn scan_raw_dataset(
-    storage: &mut StorageManager,
+    storage: &StorageManager,
     raw: &RawDataset,
 ) -> StorageResult<Vec<SpatialObject>> {
     storage.read_objects(raw.file, raw.pages())
@@ -86,21 +86,21 @@ mod tests {
 
     #[test]
     fn write_and_scan_roundtrip() {
-        let mut storage = StorageManager::in_memory();
+        let storage = StorageManager::in_memory();
         let objs = objects(500, 3);
-        let raw = write_raw_dataset(&mut storage, DatasetId(3), &objs).unwrap();
+        let raw = write_raw_dataset(&storage, DatasetId(3), &objs).unwrap();
         assert_eq!(raw.dataset, DatasetId(3));
         assert_eq!(raw.num_objects, 500);
         assert_eq!(raw.num_pages(), 8); // ceil(500 / 63)
-        let back = scan_raw_dataset(&mut storage, &raw).unwrap();
+        let back = scan_raw_dataset(&storage, &raw).unwrap();
         assert_eq!(back, objs);
     }
 
     #[test]
     fn raw_files_are_written_sequentially() {
-        let mut storage = StorageManager::new(crate::StorageOptions::in_memory(0));
+        let storage = StorageManager::new(crate::StorageOptions::in_memory(0));
         let before = storage.stats();
-        write_raw_dataset(&mut storage, DatasetId(0), &objects(630, 0)).unwrap();
+        write_raw_dataset(&storage, DatasetId(0), &objects(630, 0)).unwrap();
         let d = storage.stats().since(&before).0;
         assert_eq!(d.pages_written(), 10);
         assert_eq!(d.random_writes, 1, "only the initial placement seeks");
@@ -108,9 +108,9 @@ mod tests {
 
     #[test]
     fn multiple_datasets_get_distinct_files() {
-        let mut storage = StorageManager::in_memory();
-        let a = write_raw_dataset(&mut storage, DatasetId(0), &objects(10, 0)).unwrap();
-        let b = write_raw_dataset(&mut storage, DatasetId(1), &objects(10, 1)).unwrap();
+        let storage = StorageManager::in_memory();
+        let a = write_raw_dataset(&storage, DatasetId(0), &objects(10, 0)).unwrap();
+        let b = write_raw_dataset(&storage, DatasetId(1), &objects(10, 1)).unwrap();
         assert_ne!(a.file, b.file);
         assert_eq!(storage.file_name(a.file).unwrap(), "raw_ds0");
         assert_eq!(storage.file_name(b.file).unwrap(), "raw_ds1");
@@ -118,10 +118,10 @@ mod tests {
 
     #[test]
     fn empty_dataset_is_representable() {
-        let mut storage = StorageManager::in_memory();
-        let raw = write_raw_dataset(&mut storage, DatasetId(0), &[]).unwrap();
+        let storage = StorageManager::in_memory();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &[]).unwrap();
         assert_eq!(raw.num_objects, 0);
         assert_eq!(raw.num_pages(), 0);
-        assert!(scan_raw_dataset(&mut storage, &raw).unwrap().is_empty());
+        assert!(scan_raw_dataset(&storage, &raw).unwrap().is_empty());
     }
 }

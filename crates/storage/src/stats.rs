@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonically increasing counters of storage activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,6 +94,55 @@ impl Sub for IoStats {
     }
 }
 
+/// Concurrently updatable I/O counters.
+///
+/// The [`crate::StorageManager`] is shared by reference across query threads,
+/// so its counters are plain atomics. [`AtomicIoStats::snapshot`] reads each
+/// counter individually — under concurrent updates the snapshot is not a
+/// single instant across counters, which is fine for the throughput and
+/// cost-model aggregations it feeds (each counter is itself exact).
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    /// See [`IoStats::sequential_reads`].
+    pub sequential_reads: AtomicU64,
+    /// See [`IoStats::random_reads`].
+    pub random_reads: AtomicU64,
+    /// See [`IoStats::sequential_writes`].
+    pub sequential_writes: AtomicU64,
+    /// See [`IoStats::random_writes`].
+    pub random_writes: AtomicU64,
+    /// See [`IoStats::buffer_hits`].
+    pub buffer_hits: AtomicU64,
+    /// See [`IoStats::objects_scanned`].
+    pub objects_scanned: AtomicU64,
+    /// See [`IoStats::objects_written`].
+    pub objects_written: AtomicU64,
+    /// See [`IoStats::files_created`].
+    pub files_created: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// Adds `n` to one counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            sequential_writes: self.sequential_writes.load(Ordering::Relaxed),
+            random_writes: self.random_writes.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            objects_scanned: self.objects_scanned.load(Ordering::Relaxed),
+            objects_written: self.objects_written.load(Ordering::Relaxed),
+            files_created: self.files_created.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The activity between two [`IoStats`] snapshots (e.g. one query).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsDelta(pub IoStats);
@@ -133,7 +183,10 @@ mod tests {
 
     #[test]
     fn subtraction_and_since() {
-        let earlier = IoStats { sequential_reads: 4, ..Default::default() };
+        let earlier = IoStats {
+            sequential_reads: 4,
+            ..Default::default()
+        };
         let later = sample();
         let delta = later.since(&earlier);
         assert_eq!(delta.stats().sequential_reads, 6);

@@ -12,19 +12,23 @@ use space_odyssey::prelude::*;
 use space_odyssey::storage::write_raw_dataset;
 
 fn run(label: &str, config: OdysseyConfig) {
-    let spec = DatasetSpec { num_datasets: 6, objects_per_dataset: 6_000, ..Default::default() };
+    let spec = DatasetSpec {
+        num_datasets: 6,
+        objects_per_dataset: 6_000,
+        ..Default::default()
+    };
     let model = BrainModel::new(spec);
     let bounds = model.bounds();
-    let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+    let storage = StorageManager::new(StorageOptions::in_memory(256));
     let raws: Vec<_> = model
         .generate_all()
         .iter()
         .enumerate()
         .map(|(i, objects)| {
-            write_raw_dataset(&mut storage, DatasetId(i as u16), objects).expect("raw write")
+            write_raw_dataset(&storage, DatasetId(i as u16), objects).expect("raw write")
         })
         .collect();
-    let mut odyssey = SpaceOdyssey::new(config, raws).expect("valid configuration");
+    let odyssey = SpaceOdyssey::new(config, raws).expect("valid configuration");
 
     // Two combinations: a hot 4-dataset combination queried repeatedly over
     // the same brain region, and a cold pair queried once in a while.
@@ -36,14 +40,16 @@ fn run(label: &str, config: OdysseyConfig) {
     let mut hot_costs = Vec::new();
     for i in 0..24u32 {
         storage.clear_cache();
-        let (datasets, offset) = if i % 6 == 5 { (cold, 10.0) } else { (hot, (i % 3) as f64) };
-        let range = Aabb::from_center_extent(
-            region + Vec3::splat(offset * side * 0.2),
-            Vec3::splat(side),
-        );
+        let (datasets, offset) = if i % 6 == 5 {
+            (cold, 10.0)
+        } else {
+            (hot, (i % 3) as f64)
+        };
+        let range =
+            Aabb::from_center_extent(region + Vec3::splat(offset * side * 0.2), Vec3::splat(side));
         let query = RangeQuery::new(QueryId(i), range, datasets);
         let before = storage.stats();
-        let outcome = odyssey.execute(&mut storage, &query).expect("query");
+        let outcome = odyssey.execute(&storage, &query).expect("query");
         let cost = storage.seconds_since(&before);
         if datasets == hot {
             hot_costs.push((cost, outcome.route, outcome.used_merge_file()));
@@ -66,7 +72,8 @@ fn run(label: &str, config: OdysseyConfig) {
             used
         );
     }
-    let dir = odyssey.merger().directory();
+    let merger = odyssey.merger();
+    let dir = merger.directory();
     println!(
         "merge files: {} ({} pages replicated, {} evictions)\n",
         dir.len(),
@@ -77,10 +84,19 @@ fn run(label: &str, config: OdysseyConfig) {
 
 fn main() {
     let bounds = BrainModel::new(DatasetSpec::default()).bounds();
-    run("paper configuration (mt=2, |C|>=3, unbounded budget)", OdysseyConfig::paper(bounds));
+    run(
+        "paper configuration (mt=2, |C|>=3, unbounded budget)",
+        OdysseyConfig::paper(bounds),
+    );
     run(
         "tight space budget (64 pages) — LRU eviction kicks in",
-        OdysseyConfig { merge_space_budget_pages: Some(64), ..OdysseyConfig::paper(bounds) },
+        OdysseyConfig {
+            merge_space_budget_pages: Some(64),
+            ..OdysseyConfig::paper(bounds)
+        },
     );
-    run("merging disabled (the Figure 5c baseline)", OdysseyConfig::paper(bounds).without_merging());
+    run(
+        "merging disabled (the Figure 5c baseline)",
+        OdysseyConfig::paper(bounds).without_merging(),
+    );
 }

@@ -12,7 +12,11 @@ use odyssey_core::OdysseyConfig;
 use odyssey_datagen::{CombinationDistribution, DatasetSpec, QueryRangeDistribution};
 
 fn main() {
-    let spec = DatasetSpec { num_datasets: 8, objects_per_dataset: 6_000, ..Default::default() };
+    let spec = DatasetSpec {
+        num_datasets: 8,
+        objects_per_dataset: 6_000,
+        ..Default::default()
+    };
     let config = ExperimentConfig {
         odyssey: OdysseyConfig::paper(spec.bounds),
         dataset_spec: spec,

@@ -16,17 +16,21 @@ use space_odyssey::prelude::*;
 use space_odyssey::storage::write_raw_dataset;
 
 fn main() {
-    let spec = DatasetSpec { num_datasets: 10, objects_per_dataset: 8_000, ..Default::default() };
+    let spec = DatasetSpec {
+        num_datasets: 10,
+        objects_per_dataset: 8_000,
+        ..Default::default()
+    };
     let model = BrainModel::new(spec.clone());
     let bounds = model.bounds();
 
-    let mut storage = StorageManager::new(StorageOptions::in_memory(512));
+    let storage = StorageManager::new(StorageOptions::in_memory(512));
     let raws: Vec<_> = model
         .generate_all()
         .iter()
         .enumerate()
         .map(|(i, objects)| {
-            write_raw_dataset(&mut storage, DatasetId(i as u16), objects).expect("raw write")
+            write_raw_dataset(&storage, DatasetId(i as u16), objects).expect("raw write")
         })
         .collect();
 
@@ -42,7 +46,7 @@ fn main() {
     }
     .generate(&bounds);
 
-    let mut odyssey =
+    let odyssey =
         SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).expect("valid configuration");
 
     let phase_len = workload.len() / 5;
@@ -54,7 +58,7 @@ fn main() {
     for (i, query) in workload.queries.iter().enumerate() {
         storage.clear_cache(); // cold queries, like the paper
         let before = storage.stats();
-        let outcome = odyssey.execute(&mut storage, query).expect("query");
+        let outcome = odyssey.execute(&storage, query).expect("query");
         phase_cost += storage.seconds_since(&before);
         phase_refinements += outcome.partitions_refined;
         if outcome.used_merge_file() {
@@ -75,11 +79,17 @@ fn main() {
         }
     }
 
-    println!("\ncombinations observed: {}", odyssey.stats().distinct_combinations());
+    println!(
+        "\ncombinations observed: {}",
+        odyssey.stats().distinct_combinations()
+    );
     if let Some((hot, count)) = odyssey.stats().hottest() {
         println!("hottest combination: {hot} queried {count} times");
     }
-    println!("merge files created: {}", odyssey.merger().directory().len());
+    println!(
+        "merge files created: {}",
+        odyssey.merger().directory().len()
+    );
     for file in odyssey.merger().directory().iter() {
         println!(
             "  merge file for {}: {} partitions, {} pages",
@@ -89,7 +99,12 @@ fn main() {
         );
     }
     let initialized = (0..spec.num_datasets as u16)
-        .filter(|&d| odyssey.dataset(DatasetId(d)).map(|i| i.is_initialized()).unwrap_or(false))
+        .filter(|&d| {
+            odyssey
+                .dataset(DatasetId(d))
+                .map(|i| i.is_initialized())
+                .unwrap_or(false)
+        })
         .count();
     println!(
         "datasets touched (and therefore partitioned): {initialized} of {}",

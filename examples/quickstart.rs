@@ -14,25 +14,29 @@ use space_odyssey::prelude::*;
 fn main() {
     // 1. Synthetic data: two datasets of 5 000 neuron segments in the same
     //    brain volume.
-    let spec = DatasetSpec { num_datasets: 2, objects_per_dataset: 5_000, ..Default::default() };
+    let spec = DatasetSpec {
+        num_datasets: 2,
+        objects_per_dataset: 5_000,
+        ..Default::default()
+    };
     let model = BrainModel::new(spec);
     let bounds = model.bounds();
 
     // 2. Storage: in-memory pages, a small buffer pool and the default
     //    spinning-disk cost model so we can report simulated I/O seconds.
-    let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+    let storage = StorageManager::new(StorageOptions::in_memory(256));
     let raws: Vec<_> = model
         .generate_all()
         .iter()
         .enumerate()
         .map(|(i, objects)| {
-            space_odyssey::storage::write_raw_dataset(&mut storage, DatasetId(i as u16), objects)
+            space_odyssey::storage::write_raw_dataset(&storage, DatasetId(i as u16), objects)
                 .expect("writing raw datasets")
         })
         .collect();
 
     // 3. The engine: the paper's configuration (rt = 4, ppl = 64, mt = 2).
-    let mut odyssey =
+    let odyssey =
         SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).expect("valid configuration");
 
     // 4. Query the same hot region repeatedly on both datasets.
@@ -47,7 +51,7 @@ fn main() {
         );
         let query = RangeQuery::new(QueryId(i), range, both);
         let before = storage.stats();
-        let outcome = odyssey.execute(&mut storage, &query).expect("query execution");
+        let outcome = odyssey.execute(&storage, &query).expect("query execution");
         let seconds = storage.seconds_since(&before);
         println!(
             "{:>6} | {:>8} | {:>17.5} | {:>3}",

@@ -18,12 +18,12 @@ fn setup(num_datasets: usize, objects: usize) -> (StorageManager, Vec<RawDataset
         ..Default::default()
     };
     let model = BrainModel::new(spec);
-    let mut storage = StorageManager::new(StorageOptions::in_memory(256));
+    let storage = StorageManager::new(StorageOptions::in_memory(256));
     let raws = model
         .generate_all()
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
         .collect();
     (storage, raws, model.bounds())
 }
@@ -38,9 +38,9 @@ fn cube_query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery 
 
 #[test]
 fn refinement_depth_matches_the_convergence_formula() {
-    let (mut storage, raws, bounds) = setup(1, 4_000);
+    let (storage, raws, bounds) = setup(1, 4_000);
     let config = OdysseyConfig::paper(bounds);
-    let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+    let engine = SpaceOdyssey::new(config, raws).unwrap();
 
     // Query volume chosen so the paper's formula predicts exactly two extra
     // levels beyond the initial partitioning: log_ppl(Vp / (Vq * rt)).
@@ -52,7 +52,9 @@ fn refinement_depth_matches_the_convergence_formula() {
 
     let hot = bounds.center() + Vec3::splat(bounds.extent().x * 0.1);
     for i in 0..6u32 {
-        engine.execute(&mut storage, &cube_query(i, hot, side, &[0])).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &[0]))
+            .unwrap();
     }
     let index = engine.dataset(DatasetId(0)).unwrap();
     let deepest = index
@@ -70,22 +72,29 @@ fn refinement_depth_matches_the_convergence_formula() {
     // Further identical queries do not refine any more.
     let refinements = index.total_refinements();
     for i in 10..13u32 {
-        engine.execute(&mut storage, &cube_query(i, hot, side, &[0])).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &[0]))
+            .unwrap();
     }
-    assert_eq!(engine.dataset(DatasetId(0)).unwrap().total_refinements(), refinements);
+    assert_eq!(
+        engine.dataset(DatasetId(0)).unwrap().total_refinements(),
+        refinements
+    );
 }
 
 #[test]
 fn per_query_cost_decreases_once_the_hot_area_converges() {
-    let (mut storage, raws, bounds) = setup(3, 6_000);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let (storage, raws, bounds) = setup(3, 6_000);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
     let hot = bounds.center();
     let side = bounds.extent().x * 0.01;
     let mut costs = Vec::new();
     for i in 0..10u32 {
         storage.clear_cache();
         let before = storage.stats();
-        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2])).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &[0, 1, 2]))
+            .unwrap();
         costs.push(storage.seconds_since(&before));
     }
     let first = costs[0];
@@ -98,39 +107,43 @@ fn per_query_cost_decreases_once_the_hot_area_converges() {
 
 #[test]
 fn merge_routing_prefers_exact_over_superset_over_none() {
-    let (mut storage, raws, bounds) = setup(5, 3_000);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let (storage, raws, bounds) = setup(5, 3_000);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
     let hot = bounds.center();
     let side = bounds.extent().x * 0.012;
 
     // Make {0,1,2,3} hot enough to be merged.
     for i in 0..6u32 {
-        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2, 3])).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &[0, 1, 2, 3]))
+            .unwrap();
     }
     assert_eq!(engine.merger().directory().len(), 1);
 
     // Exact: same combination again.
     let exact = engine
-        .execute(&mut storage, &cube_query(20, hot, side, &[0, 1, 2, 3]))
+        .execute(&storage, &cube_query(20, hot, side, &[0, 1, 2, 3]))
         .unwrap();
     assert_eq!(exact.route, RouteKind::Exact);
 
     // Superset route: a query for a subset of the merged datasets.
     let superset = engine
-        .execute(&mut storage, &cube_query(21, hot, side, &[0, 1, 2]))
+        .execute(&storage, &cube_query(21, hot, side, &[0, 1, 2]))
         .unwrap();
     assert_eq!(superset.route, RouteKind::Superset);
 
     // Unrelated combination: no merge file applies.
-    let none = engine.execute(&mut storage, &cube_query(22, hot, side, &[4])).unwrap();
+    let none = engine
+        .execute(&storage, &cube_query(22, hot, side, &[4]))
+        .unwrap();
     assert_eq!(none.route, RouteKind::None);
 }
 
 #[test]
 fn merged_combination_queries_read_fewer_random_pages() {
-    let (mut storage, raws, bounds) = setup(4, 8_000);
+    let (storage, raws, bounds) = setup(4, 8_000);
     let config = OdysseyConfig::paper(bounds);
-    let mut engine = SpaceOdyssey::new(config, raws.clone()).unwrap();
+    let engine = SpaceOdyssey::new(config, raws.clone()).unwrap();
     // Query a region that actually holds data (a soma cluster), otherwise the
     // touched partitions are empty and no pages are read at all.
     let hot = BrainModel::new(DatasetSpec {
@@ -147,26 +160,34 @@ fn merged_combination_queries_read_fewer_random_pages() {
 
     // Warm up until merging has happened and refinement has converged.
     for i in 0..10u32 {
-        engine.execute(&mut storage, &cube_query(i, hot, side, &combo)).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &combo))
+            .unwrap();
     }
     assert!(!engine.merger().directory().is_empty());
 
     // Measure a steady-state query with merging...
     storage.clear_cache();
     let before = storage.stats();
-    let outcome = engine.execute(&mut storage, &cube_query(50, hot, side, &combo)).unwrap();
+    let outcome = engine
+        .execute(&storage, &cube_query(50, hot, side, &combo))
+        .unwrap();
     let merged_seeks = storage.stats().since(&before).0.random_reads;
     assert!(outcome.used_merge_file());
 
     // ... and the same steady state without merging (fresh engine, merging off).
-    let (mut storage2, raws2, _) = setup(4, 8_000);
-    let mut engine2 = SpaceOdyssey::new(config.without_merging(), raws2).unwrap();
+    let (storage2, raws2, _) = setup(4, 8_000);
+    let engine2 = SpaceOdyssey::new(config.without_merging(), raws2).unwrap();
     for i in 0..10u32 {
-        engine2.execute(&mut storage2, &cube_query(i, hot, side, &combo)).unwrap();
+        engine2
+            .execute(&storage2, &cube_query(i, hot, side, &combo))
+            .unwrap();
     }
     storage2.clear_cache();
     let before2 = storage2.stats();
-    let outcome2 = engine2.execute(&mut storage2, &cube_query(50, hot, side, &combo)).unwrap();
+    let outcome2 = engine2
+        .execute(&storage2, &cube_query(50, hot, side, &combo))
+        .unwrap();
     let unmerged_seeks = storage2.stats().since(&before2).0.random_reads;
     assert!(!outcome2.used_merge_file());
 
@@ -186,18 +207,30 @@ fn odyssey_is_a_hybrid_of_1fe_and_ain1() {
     // Individually-queried datasets keep their own files (1fE character);
     // hot combinations additionally get a shared merged layout (Ain1
     // character). Both must coexist in one engine.
-    let (mut storage, raws, bounds) = setup(6, 2_500);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+    let (storage, raws, bounds) = setup(6, 2_500);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
     let hot = bounds.center();
     let side = bounds.extent().x * 0.012;
 
     for i in 0..6u32 {
-        engine.execute(&mut storage, &cube_query(i, hot, side, &[0, 1, 2])).unwrap();
-        engine.execute(&mut storage, &cube_query(100 + i, hot, side, &[4])).unwrap();
+        engine
+            .execute(&storage, &cube_query(i, hot, side, &[0, 1, 2]))
+            .unwrap();
+        engine
+            .execute(&storage, &cube_query(100 + i, hot, side, &[4]))
+            .unwrap();
     }
     // The hot 3-dataset combination was merged; the single dataset was not.
-    assert!(engine.merger().directory().iter().any(|f| f.combination.len() == 3));
-    assert!(engine.merger().directory().iter().all(|f| f.combination.len() >= 3));
+    assert!(engine
+        .merger()
+        .directory()
+        .iter()
+        .any(|f| f.combination.len() == 3));
+    assert!(engine
+        .merger()
+        .directory()
+        .iter()
+        .all(|f| f.combination.len() >= 3));
     // Dataset 4 is still served (and refined) individually.
     assert!(engine.dataset(DatasetId(4)).unwrap().is_initialized());
     assert!(engine.dataset(DatasetId(4)).unwrap().total_refinements() > 0);

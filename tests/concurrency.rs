@@ -1,0 +1,238 @@
+//! Concurrency tests for the shared-state execution path.
+//!
+//! * **Determinism** — `execute_batch` over a shuffled workload on many
+//!   threads returns, per query, exactly the object set sequential `execute`
+//!   returns: answers are a pure function of data + query, independent of
+//!   thread interleaving and adaptation timing.
+//! * **Contention** — when many threads hammer overlapping hot combinations,
+//!   first-touch partitioning and threshold-triggered merges still happen
+//!   exactly once (one partition file per dataset, one merge file per
+//!   combination) and the statistics totals add up to the query count.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec,
+};
+use space_odyssey::geom::{DatasetId, DatasetSet, RangeQuery, SpatialObject};
+use space_odyssey::storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+use std::collections::HashMap;
+
+fn spec(num_datasets: usize, objects: usize) -> DatasetSpec {
+    DatasetSpec {
+        num_datasets,
+        objects_per_dataset: objects,
+        soma_clusters: 5,
+        segments_per_neuron: 40,
+        seed: 2016,
+        ..Default::default()
+    }
+}
+
+fn fresh_world(spec: &DatasetSpec) -> (StorageManager, Vec<RawDataset>) {
+    let storage = StorageManager::new(StorageOptions::in_memory(2048));
+    let model = BrainModel::new(spec.clone());
+    let raws = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    (storage, raws)
+}
+
+fn sorted_ids(objects: &[SpatialObject]) -> Vec<(u16, u64)> {
+    let mut v: Vec<(u16, u64)> = objects.iter().map(|o| (o.dataset.0, o.id.0)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn shuffled_batch_execution_matches_sequential_answers() {
+    let spec = spec(5, 2_000);
+    let model = BrainModel::new(spec.clone());
+    let workload = WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3,
+        num_queries: 60,
+        query_volume_fraction: 1e-5,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 5 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed: 77,
+    }
+    .generate(&model.bounds());
+
+    // Reference: sequential execution on a fresh engine.
+    let (storage, raws) = fresh_world(&spec);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
+    let mut expected: HashMap<u32, Vec<(u16, u64)>> = HashMap::new();
+    for q in &workload.queries {
+        let outcome = engine.execute(&storage, q).unwrap();
+        expected.insert(q.id.0, sorted_ids(&outcome.objects));
+    }
+
+    // Shuffle the workload and execute it as an 8-thread batch on a fresh
+    // engine: adaptation happens in a completely different order.
+    let mut shuffled: Vec<RangeQuery> = workload.queries.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xbadc0de);
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.gen_range(0..=i));
+    }
+    let (storage2, raws2) = fresh_world(&spec);
+    let engine2 = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws2).unwrap();
+    let outcomes = engine2
+        .execute_batch_with_threads(&storage2, &shuffled, 8)
+        .unwrap();
+
+    assert_eq!(outcomes.len(), shuffled.len());
+    for (q, outcome) in shuffled.iter().zip(&outcomes) {
+        assert_eq!(
+            &sorted_ids(&outcome.objects),
+            expected.get(&q.id.0).expect("query id exists"),
+            "query {:?} diverged between sequential and shuffled batch execution",
+            q.id
+        );
+    }
+    assert_eq!(engine2.queries_executed(), shuffled.len() as u64);
+}
+
+#[test]
+fn contention_creates_each_merge_file_exactly_once_and_stats_add_up() {
+    let spec = spec(6, 2_000);
+    let model = BrainModel::new(spec.clone());
+    let bounds = model.bounds();
+    let (storage, raws) = fresh_world(&spec);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
+
+    // Two overlapping hot combinations ({0,1,2} and {1,2,3}) plus a cold
+    // pair, all querying the same hot region so the same partitions keep
+    // being retrieved — maximum contention on datasets 1 and 2, on the merge
+    // threshold, and on the merge directory.
+    let hot_a: Vec<u16> = vec![0, 1, 2];
+    let hot_b: Vec<u16> = vec![1, 2, 3];
+    let cold: Vec<u16> = vec![4, 5];
+    let mut queries = Vec::new();
+    for i in 0..96u32 {
+        let datasets = match i % 3 {
+            0 => &hot_a,
+            1 => &hot_b,
+            _ => &cold,
+        };
+        let center = bounds.center()
+            + space_odyssey::geom::Vec3::splat(bounds.extent().x * 0.002 * (i % 4) as f64);
+        queries.push(RangeQuery::new(
+            space_odyssey::geom::QueryId(i),
+            space_odyssey::geom::Aabb::from_center_extent(
+                center,
+                space_odyssey::geom::Vec3::splat(bounds.extent().x * 0.012),
+            ),
+            DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d))),
+        ));
+    }
+
+    let outcomes = engine
+        .execute_batch_with_threads(&storage, &queries, 16)
+        .unwrap();
+    assert_eq!(outcomes.len(), queries.len());
+
+    // Each merge file was created exactly once: the storage layer records
+    // every file creation by name, so a double-create would show up as a
+    // duplicate "merge_…" file name.
+    let names = storage.file_names();
+    let merge_files: Vec<&String> = names.iter().filter(|n| n.starts_with("merge_")).collect();
+    let mut unique = merge_files.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(
+        merge_files.len(),
+        unique.len(),
+        "a merge file was created twice: {merge_files:?}"
+    );
+    assert!(
+        merge_files.contains(&&"merge_0_1_2".to_string())
+            && merge_files.contains(&&"merge_1_2_3".to_string()),
+        "both hot combinations must be merged, got {merge_files:?}"
+    );
+    assert_eq!(
+        engine.merger().directory().len(),
+        2,
+        "cold pair must not be merged"
+    );
+
+    // First-touch partitioning happened exactly once per touched dataset:
+    // one partition file each for datasets 0..=3 plus 4 and 5, no duplicates.
+    for d in 0..6u16 {
+        let partition_files = names
+            .iter()
+            .filter(|n| **n == format!("odyssey_partitions_ds{d}"))
+            .count();
+        assert_eq!(
+            partition_files, 1,
+            "dataset {d} must be initialized exactly once"
+        );
+        let index = engine.dataset(DatasetId(d)).unwrap();
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(
+            total, spec.objects_per_dataset as u64,
+            "dataset {d} lost objects"
+        );
+    }
+
+    // Statistics totals add up: every query was recorded under exactly one
+    // combination.
+    let stats = engine.stats();
+    let total: u64 = [&hot_a, &hot_b, &cold]
+        .iter()
+        .map(|ids| stats.count(DatasetSet::from_ids(ids.iter().map(|&d| DatasetId(d)))))
+        .sum();
+    assert_eq!(
+        total,
+        queries.len() as u64,
+        "per-combination counts must sum to the query count"
+    );
+    assert_eq!(stats.distinct_combinations(), 3);
+    drop(stats);
+    assert_eq!(engine.queries_executed(), queries.len() as u64);
+}
+
+#[test]
+fn concurrent_batches_on_one_engine_stay_consistent() {
+    // Two batches executed *simultaneously* against the same engine (not just
+    // one batch fanned out): the engine-level locks must keep the directory,
+    // stats and partition tables consistent.
+    let spec = spec(4, 1_500);
+    let model = BrainModel::new(spec.clone());
+    let (storage, raws) = fresh_world(&spec);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
+    let workload = WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3,
+        num_queries: 40,
+        query_volume_fraction: 1e-5,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 3 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed: 31,
+    }
+    .generate(&model.bounds());
+
+    let (first, second) = workload.queries.split_at(20);
+    std::thread::scope(|s| {
+        let (engine, storage) = (&engine, &storage);
+        s.spawn(move || {
+            engine
+                .execute_batch_with_threads(storage, first, 4)
+                .unwrap()
+        });
+        s.spawn(move || {
+            engine
+                .execute_batch_with_threads(storage, second, 4)
+                .unwrap()
+        });
+    });
+    assert_eq!(engine.queries_executed(), 40);
+    let stats = engine.stats();
+    let recorded: u64 = stats.iter().map(|(_, c)| c.count).sum();
+    assert_eq!(recorded, 40);
+}

@@ -30,15 +30,21 @@ fn world(num_datasets: usize, objects_per_dataset: usize, buffer_pages: usize) -
         ..Default::default()
     };
     let model = BrainModel::new(spec.clone());
-    let mut storage = StorageManager::new(StorageOptions::in_memory(buffer_pages));
+    let storage = StorageManager::new(StorageOptions::in_memory(buffer_pages));
     let datasets = model.generate_all();
     let mut raws = Vec::new();
     let mut all_objects = Vec::new();
     for (i, objects) in datasets.iter().enumerate() {
-        raws.push(write_raw_dataset(&mut storage, DatasetId(i as u16), objects).unwrap());
+        raws.push(write_raw_dataset(&storage, DatasetId(i as u16), objects).unwrap());
         all_objects.extend(objects.iter().copied());
     }
-    World { storage, raws, all_objects, bounds: model.bounds(), spec }
+    World {
+        storage,
+        raws,
+        all_objects,
+        bounds: model.bounds(),
+        spec,
+    }
 }
 
 fn workload(
@@ -69,13 +75,18 @@ fn sorted_ids(objects: &[SpatialObject]) -> Vec<(u16, u64)> {
 
 #[test]
 fn odyssey_matches_the_oracle_on_a_mixed_workload() {
-    let mut w = world(5, 2_000, 256);
+    let w = world(5, 2_000, 256);
     let wl = workload(&w.spec, &w.bounds, 3, 60, CombinationDistribution::Zipf);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     for q in &wl.queries {
-        let outcome = engine.execute(&mut w.storage, q).unwrap();
+        let outcome = engine.execute(&w.storage, q).unwrap();
         let expected = sorted_ids(&scan_query(q, w.all_objects.iter()));
-        assert_eq!(sorted_ids(&outcome.objects), expected, "query {:?} diverged", q.id);
+        assert_eq!(
+            sorted_ids(&outcome.objects),
+            expected,
+            "query {:?} diverged",
+            q.id
+        );
     }
     // The adaptive machinery actually engaged.
     assert!(engine.datasets().iter().any(|d| d.total_refinements() > 0));
@@ -84,10 +95,20 @@ fn odyssey_matches_the_oracle_on_a_mixed_workload() {
 
 #[test]
 fn every_approach_returns_identical_answers() {
-    let mut w = world(4, 1_500, 256);
-    let wl = workload(&w.spec, &w.bounds, 3, 25, CombinationDistribution::HeavyHitter);
+    let w = world(4, 1_500, 256);
+    let wl = workload(
+        &w.spec,
+        &w.bounds,
+        3,
+        25,
+        CombinationDistribution::HeavyHitter,
+    );
     let approach_config = ApproachConfig {
-        grid: GridConfig { cells_per_dim: 8, bounds: w.bounds, build_buffer_objects: 100_000 },
+        grid: GridConfig {
+            cells_per_dim: 8,
+            bounds: w.bounds,
+            build_buffer_objects: 100_000,
+        },
         ..ApproachConfig::paper(w.bounds)
     };
 
@@ -105,28 +126,34 @@ fn every_approach_returns_identical_answers() {
         Approach::RTree1fE,
         Approach::Grid1fE,
     ] {
-        let index = build_approach(&mut w.storage, approach, &approach_config, &w.raws).unwrap();
+        let index = build_approach(&w.storage, approach, &approach_config, &w.raws).unwrap();
         for (q, expected) in wl.queries.iter().zip(&oracle) {
-            let got = index.query(&mut w.storage, q).unwrap();
-            assert_eq!(&sorted_ids(&got), expected, "{} on {:?}", approach.name(), q.id);
+            let got = index.query(&w.storage, q).unwrap();
+            assert_eq!(
+                &sorted_ids(&got),
+                expected,
+                "{} on {:?}",
+                approach.name(),
+                q.id
+            );
         }
     }
 
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     for (q, expected) in wl.queries.iter().zip(&oracle) {
-        let got = engine.execute(&mut w.storage, q).unwrap().objects;
+        let got = engine.execute(&w.storage, q).unwrap().objects;
         assert_eq!(&sorted_ids(&got), expected, "Odyssey on {:?}", q.id);
     }
 }
 
 #[test]
 fn skewed_workloads_trigger_merging_and_merge_files_are_used() {
-    let mut w = world(6, 2_500, 128);
+    let w = world(6, 2_500, 128);
     let wl = workload(&w.spec, &w.bounds, 4, 80, CombinationDistribution::Zipf);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     let mut used_merge = 0usize;
     for q in &wl.queries {
-        let outcome = engine.execute(&mut w.storage, q).unwrap();
+        let outcome = engine.execute(&w.storage, q).unwrap();
         if outcome.used_merge_file() {
             used_merge += 1;
         }
@@ -135,24 +162,30 @@ fn skewed_workloads_trigger_merging_and_merge_files_are_used() {
         !engine.merger().directory().is_empty(),
         "a Zipf-skewed 4-dataset workload must create merge files"
     );
-    assert!(used_merge > 0, "later queries should be served from merge files");
+    assert!(
+        used_merge > 0,
+        "later queries should be served from merge files"
+    );
 }
 
 #[test]
 fn uniform_small_combinations_never_merge() {
-    let mut w = world(6, 1_000, 128);
+    let w = world(6, 1_000, 128);
     let wl = workload(&w.spec, &w.bounds, 2, 40, CombinationDistribution::Uniform);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     for q in &wl.queries {
-        engine.execute(&mut w.storage, q).unwrap();
+        engine.execute(&w.storage, q).unwrap();
     }
-    assert!(engine.merger().directory().is_empty(), "|C| = 2 must never be merged");
+    assert!(
+        engine.merger().directory().is_empty(),
+        "|C| = 2 must never be merged"
+    );
 }
 
 #[test]
 fn odyssey_only_touches_queried_datasets() {
-    let mut w = world(6, 1_000, 128);
-    let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
+    let w = world(6, 1_000, 128);
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     // Query only datasets 0 and 1 repeatedly.
     let wl = WorkloadSpec {
         num_datasets: 2,
@@ -165,7 +198,7 @@ fn odyssey_only_touches_queried_datasets() {
     }
     .generate(&w.bounds);
     for q in &wl.queries {
-        engine.execute(&mut w.storage, q).unwrap();
+        engine.execute(&w.storage, q).unwrap();
     }
     for d in 2..6u16 {
         assert!(
@@ -193,16 +226,16 @@ fn results_are_identical_on_the_disk_backend() {
     let wl = workload(&spec, &model.bounds(), 2, 20, CombinationDistribution::Zipf);
 
     let run = |options: StorageOptions| {
-        let mut storage = StorageManager::new(options);
+        let storage = StorageManager::new(options);
         let raws: Vec<_> = datasets
             .iter()
             .enumerate()
-            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
             .collect();
-        let mut engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
+        let engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
         wl.queries
             .iter()
-            .map(|q| sorted_ids(&engine.execute(&mut storage, q).unwrap().objects))
+            .map(|q| sorted_ids(&engine.execute(&storage, q).unwrap().objects))
             .collect::<Vec<_>>()
     };
 

@@ -2,8 +2,13 @@
 //! sequences, every access method must return exactly the objects the
 //! brute-force scan returns, and Space Odyssey's bookkeeping invariants must
 //! hold after every query.
+//!
+//! Cases are generated from seeded ChaCha streams (the build environment has
+//! no registry access, so `proptest` is replaced by a deterministic case
+//! generator with the same assertions).
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use space_odyssey::baselines::strategy::{build_approach, Approach, ApproachConfig};
 use space_odyssey::baselines::GridConfig;
 use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
@@ -18,45 +23,42 @@ fn bounds() -> Aabb {
     Aabb::from_min_max(Vec3::ZERO, Vec3::splat(WORLD))
 }
 
-prop_compose! {
-    fn arb_object(num_datasets: u16)(
-        ds in 0..num_datasets,
-        x in 1.0..WORLD - 1.0,
-        y in 1.0..WORLD - 1.0,
-        z in 1.0..WORLD - 1.0,
-        ext in 0.05..2.0f64,
-        id in any::<u64>(),
-    ) -> SpatialObject {
-        SpatialObject::new(
-            ObjectId(id),
-            DatasetId(ds),
-            Aabb::from_center_extent(Vec3::new(x, y, z), Vec3::splat(ext)),
-        )
-    }
+fn arb_object(rng: &mut ChaCha8Rng, num_datasets: u16) -> SpatialObject {
+    SpatialObject::new(
+        ObjectId(rng.gen_range(0..=u64::MAX)),
+        DatasetId(rng.gen_range(0..num_datasets)),
+        Aabb::from_center_extent(
+            Vec3::new(
+                rng.gen_range(1.0..WORLD - 1.0),
+                rng.gen_range(1.0..WORLD - 1.0),
+                rng.gen_range(1.0..WORLD - 1.0),
+            ),
+            Vec3::splat(rng.gen_range(0.05..2.0)),
+        ),
+    )
 }
 
-prop_compose! {
-    fn arb_query(num_datasets: u16)(
-        x in 2.0..WORLD - 2.0,
-        y in 2.0..WORLD - 2.0,
-        z in 2.0..WORLD - 2.0,
-        side in 0.5..20.0f64,
-        mask in 1u64..(1 << 4),
-        id in any::<u32>(),
-    ) -> RangeQuery {
-        // Map the 4-bit mask onto the available datasets (at least one set).
-        let mut set = DatasetSet::EMPTY;
-        for bit in 0..4u16 {
-            if mask & (1 << bit) != 0 {
-                set.insert(DatasetId(bit % num_datasets));
-            }
+fn arb_query(rng: &mut ChaCha8Rng, num_datasets: u16) -> RangeQuery {
+    // Map a random 4-bit mask onto the available datasets (at least one set).
+    let mask = rng.gen_range(1u64..(1 << 4));
+    let mut set = DatasetSet::EMPTY;
+    for bit in 0..4u16 {
+        if mask & (1 << bit) != 0 {
+            set.insert(DatasetId(bit % num_datasets));
         }
-        RangeQuery::new(
-            QueryId(id),
-            Aabb::from_center_extent(Vec3::new(x, y, z), Vec3::splat(side)),
-            set,
-        )
     }
+    RangeQuery::new(
+        QueryId(rng.gen_range(0..=u32::MAX)),
+        Aabb::from_center_extent(
+            Vec3::new(
+                rng.gen_range(2.0..WORLD - 2.0),
+                rng.gen_range(2.0..WORLD - 2.0),
+                rng.gen_range(2.0..WORLD - 2.0),
+            ),
+            Vec3::splat(rng.gen_range(0.5..20.0)),
+        ),
+        set,
+    )
 }
 
 fn sorted_ids(objects: &[SpatialObject]) -> Vec<(u16, u64)> {
@@ -77,98 +79,119 @@ fn group_by_dataset(objects: &[SpatialObject], n: u16) -> Vec<Vec<SpatialObject>
     groups
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+#[test]
+fn odyssey_equals_scan_oracle() {
+    for case in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + case);
+        let objects: Vec<SpatialObject> = (0..rng.gen_range(50usize..400))
+            .map(|_| arb_object(&mut rng, 3))
+            .collect();
+        let queries: Vec<RangeQuery> = (0..rng.gen_range(1usize..12))
+            .map(|_| arb_query(&mut rng, 3))
+            .collect();
 
-    #[test]
-    fn odyssey_equals_scan_oracle(
-        objects in proptest::collection::vec(arb_object(3), 50..400),
-        queries in proptest::collection::vec(arb_query(3), 1..12),
-    ) {
         let groups = group_by_dataset(&objects, 3);
-        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let storage = StorageManager::new(StorageOptions::in_memory(64));
         let raws: Vec<_> = groups
             .iter()
             .enumerate()
-            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
             .collect();
         let all: Vec<SpatialObject> = groups.iter().flatten().copied().collect();
         let mut config = OdysseyConfig::paper(bounds());
         config.partitions_per_level = 8;
-        let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+        let engine = SpaceOdyssey::new(config, raws).unwrap();
         for q in &queries {
-            let outcome = engine.execute(&mut storage, q).unwrap();
-            prop_assert_eq!(
+            let outcome = engine.execute(&storage, q).unwrap();
+            assert_eq!(
                 sorted_ids(&outcome.objects),
                 sorted_ids(&scan_query(q, all.iter())),
-                "query {:?}", q
+                "case {case}, query {q:?}"
             );
             // Invariant: no object is ever lost from the per-dataset indexes.
             for (i, group) in groups.iter().enumerate() {
                 let index = engine.dataset(DatasetId(i as u16)).unwrap();
                 if index.is_initialized() {
                     let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
-                    prop_assert_eq!(total, group.len() as u64);
+                    assert_eq!(total, group.len() as u64, "case {case} lost objects");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn static_baselines_equal_scan_oracle(
-        objects in proptest::collection::vec(arb_object(2), 30..250),
-        queries in proptest::collection::vec(arb_query(2), 1..8),
-    ) {
+#[test]
+fn static_baselines_equal_scan_oracle() {
+    for case in 0..16u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(2000 + case);
+        let objects: Vec<SpatialObject> = (0..rng.gen_range(30usize..250))
+            .map(|_| arb_object(&mut rng, 2))
+            .collect();
+        let queries: Vec<RangeQuery> = (0..rng.gen_range(1usize..8))
+            .map(|_| arb_query(&mut rng, 2))
+            .collect();
+
         let groups = group_by_dataset(&objects, 2);
-        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let storage = StorageManager::new(StorageOptions::in_memory(64));
         let raws: Vec<_> = groups
             .iter()
             .enumerate()
-            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
             .collect();
         let all: Vec<SpatialObject> = groups.iter().flatten().copied().collect();
         let approach_config = ApproachConfig {
-            grid: GridConfig { cells_per_dim: 6, bounds: bounds(), build_buffer_objects: 10_000 },
+            grid: GridConfig {
+                cells_per_dim: 6,
+                bounds: bounds(),
+                build_buffer_objects: 10_000,
+            },
             ..ApproachConfig::paper(bounds())
         };
         for approach in [Approach::Grid1fE, Approach::RTreeAin1, Approach::FlatAin1] {
-            let index = build_approach(&mut storage, approach, &approach_config, &raws).unwrap();
+            let index = build_approach(&storage, approach, &approach_config, &raws).unwrap();
             for q in &queries {
-                let got = index.query(&mut storage, q).unwrap();
-                prop_assert_eq!(
+                let got = index.query(&storage, q).unwrap();
+                assert_eq!(
                     sorted_ids(&got),
                     sorted_ids(&scan_query(q, all.iter())),
-                    "{} on {:?}", approach.name(), q
+                    "case {case}: {} on {q:?}",
+                    approach.name()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn merge_directory_pages_respect_any_budget(
-        budget in 0u64..64,
-        queries in proptest::collection::vec(arb_query(4), 4..20),
-        objects in proptest::collection::vec(arb_object(4), 100..400),
-    ) {
+#[test]
+fn merge_directory_pages_respect_any_budget() {
+    for case in 0..16u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(3000 + case);
+        let budget = rng.gen_range(0u64..64);
+        let objects: Vec<SpatialObject> = (0..rng.gen_range(100usize..400))
+            .map(|_| arb_object(&mut rng, 4))
+            .collect();
+        let queries: Vec<RangeQuery> = (0..rng.gen_range(4usize..20))
+            .map(|_| arb_query(&mut rng, 4))
+            .collect();
+
         let groups = group_by_dataset(&objects, 4);
-        let mut storage = StorageManager::new(StorageOptions::in_memory(64));
+        let storage = StorageManager::new(StorageOptions::in_memory(64));
         let raws: Vec<_> = groups
             .iter()
             .enumerate()
-            .map(|(i, objs)| write_raw_dataset(&mut storage, DatasetId(i as u16), objs).unwrap())
+            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
             .collect();
         let mut config = OdysseyConfig::paper(bounds());
         config.partitions_per_level = 8;
         config.merge_space_budget_pages = Some(budget);
         config.merge_threshold = 1;
-        let mut engine = SpaceOdyssey::new(config, raws).unwrap();
+        let engine = SpaceOdyssey::new(config, raws).unwrap();
         for q in &queries {
-            engine.execute(&mut storage, q).unwrap();
-            prop_assert!(
-                engine.merger().directory().total_pages() <= budget,
-                "budget {} exceeded: {} pages",
-                budget,
-                engine.merger().directory().total_pages()
+            engine.execute(&storage, q).unwrap();
+            let pages = engine.merger().directory().total_pages();
+            assert!(
+                pages <= budget,
+                "case {case}: budget {budget} exceeded with {pages} pages"
             );
         }
     }
