@@ -67,6 +67,8 @@ pub struct FlatIndex {
     /// Small in-memory seed hierarchy: MBRs of groups of `seed_fanout`
     /// consecutive pages, used only to find one seed page quickly.
     seed_groups: Vec<(Aabb, u32, u32)>,
+    /// Union of every indexed object's MBR, recorded at build time.
+    data_bounds: Aabb,
     data_pages: u64,
     crawl_misses: AtomicU64,
 }
@@ -144,6 +146,7 @@ impl FlatIndex {
             page_mbrs,
             neighbours,
             seed_groups,
+            data_bounds: bounds,
             data_pages,
             crawl_misses: AtomicU64::new(0),
         })
@@ -268,6 +271,10 @@ impl SpatialIndexBuild for FlatIndex {
             result.extend(scratch.iter().filter(|o| o.mbr.intersects(range)).copied());
         }
         Ok(result)
+    }
+
+    fn data_bounds(&self) -> Aabb {
+        self.data_bounds
     }
 
     fn data_pages(&self) -> u64 {

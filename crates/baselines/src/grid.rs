@@ -64,6 +64,8 @@ pub struct GridIndex {
     /// more than once — exactly the fragmentation the paper's Grid exhibits.
     cell_runs: Vec<Vec<CellRun>>,
     max_extent: Vec3,
+    /// Union of every indexed object's MBR, recorded at build time.
+    data_bounds: Aabb,
     data_pages: u64,
 }
 
@@ -85,6 +87,7 @@ impl GridIndex {
         let mut cell_buffers: Vec<Vec<SpatialObject>> = vec![Vec::new(); spec.cell_count()];
         let mut buffered = 0usize;
         let mut max_ext = Vec3::ZERO;
+        let mut data_bounds = Aabb::empty();
 
         // Single sequential scan over every raw file, assigning objects to
         // cell buffers and flushing when the memory budget is reached.
@@ -96,6 +99,7 @@ impl GridIndex {
                 storage.note_objects_scanned(objects.len() as u64);
                 for obj in objects {
                     max_ext = max_ext.max(obj.extent());
+                    data_bounds = data_bounds.union(&obj.mbr);
                     let cell = spec.linear_index(spec.cell_of_point(obj.center()));
                     cell_buffers[cell].push(obj);
                     buffered += 1;
@@ -115,6 +119,7 @@ impl GridIndex {
             file,
             cell_runs,
             max_extent: max_ext,
+            data_bounds,
             data_pages,
         })
     }
@@ -185,6 +190,10 @@ impl SpatialIndexBuild for GridIndex {
             }
         }
         Ok(result)
+    }
+
+    fn data_bounds(&self) -> Aabb {
+        self.data_bounds
     }
 
     fn data_pages(&self) -> u64 {

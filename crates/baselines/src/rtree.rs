@@ -59,6 +59,8 @@ pub struct RTreeIndex {
     directory_pages: u64,
     /// Height of the tree (1 = root points directly at leaves).
     height: u32,
+    /// Union of every indexed object's MBR, recorded at build time.
+    data_bounds: Aabb,
 }
 
 /// Marker stored in a node entry's `dataset` field: the child is a leaf page.
@@ -110,6 +112,7 @@ impl RTreeIndex {
             build_directory(storage, node_file, &leaf_mbrs, config.node_fanout)?;
         let directory_pages = storage.num_pages(node_file)?;
 
+        let data_bounds = leaf_mbrs.iter().fold(Aabb::empty(), |acc, m| acc.union(m));
         Ok(RTreeIndex {
             leaf_file,
             node_file,
@@ -117,6 +120,7 @@ impl RTreeIndex {
             data_pages,
             directory_pages,
             height,
+            data_bounds,
         })
     }
 
@@ -165,6 +169,10 @@ impl SpatialIndexBuild for RTreeIndex {
             result.extend(scratch.iter().filter(|o| o.mbr.intersects(range)).copied());
         }
         Ok(result)
+    }
+
+    fn data_bounds(&self) -> Aabb {
+        self.data_bounds
     }
 
     fn data_pages(&self) -> u64 {

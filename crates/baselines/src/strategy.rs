@@ -18,7 +18,9 @@ use crate::flat::{FlatBuilder, FlatConfig};
 use crate::grid::{GridBuilder, GridConfig};
 use crate::rtree::{RTreeBuilder, RTreeConfig};
 use crate::traits::{IndexBuilder, SpatialIndexBuild};
-use odyssey_geom::{Aabb, DatasetId, RangeQuery, SpatialObject};
+use odyssey_geom::{
+    knn_key_cmp, Aabb, DatasetId, Query, QueryAnswer, RangeQuery, SpatialObject, Vec3,
+};
 use odyssey_storage::{RawDataset, StorageManager, StorageResult};
 
 /// How a static index is instantiated over multiple datasets.
@@ -60,6 +62,62 @@ pub trait MultiDatasetIndex: Send + Sync {
 
     /// Total data pages across the underlying indexes.
     fn data_pages(&self) -> u64;
+
+    /// Union of the MBRs of every indexed object (bounds the kNN search).
+    fn data_bounds(&self) -> Aabb;
+
+    /// Executes any of the four typed query kinds, so the static baselines
+    /// stay comparable with the adaptive engine on every kind.
+    ///
+    /// The default implementation reduces every kind to range probes:
+    ///
+    /// * **Range** — [`MultiDatasetIndex::query`] as is;
+    /// * **Point** — a degenerate (zero-extent) range at the point;
+    /// * **Count** — a range query whose results are counted. Static indexes
+    ///   keep no per-region object counts, so unlike the adaptive engine
+    ///   they must materialize to count;
+    /// * **kNN** — expanding-radius search: probe a cube around the point
+    ///   and double its radius until the `k`-th best candidate provably
+    ///   cannot be displaced (its distance fits inside the probed radius) or
+    ///   the probe covers the data bounds. Any object within Euclidean
+    ///   distance `r` intersects the cube of half-extent `r`, so the stop
+    ///   condition is exact, and results use the same
+    ///   `(distance, dataset, id)` order as every other execution path.
+    fn execute_query(&self, storage: &StorageManager, query: &Query) -> StorageResult<QueryAnswer> {
+        match query {
+            Query::Range(q) => Ok(QueryAnswer::Objects(self.query(storage, q)?)),
+            Query::Point(q) => Ok(QueryAnswer::Objects(self.query(storage, &q.as_range())?)),
+            Query::Count(q) => Ok(QueryAnswer::Count(
+                self.query(storage, &q.as_range())?.len() as u64,
+            )),
+            Query::KNearestNeighbors(q) => {
+                if q.k == 0 {
+                    return Ok(QueryAnswer::Objects(Vec::new()));
+                }
+                let bounds = self.data_bounds();
+                if bounds.is_empty() {
+                    return Ok(QueryAnswer::Objects(Vec::new()));
+                }
+                let diagonal = (bounds.max - bounds.min).length();
+                let mut radius = (diagonal / 64.0).max(f64::MIN_POSITIVE);
+                loop {
+                    let probe = Aabb::from_center_extent(q.point, Vec3::splat(radius * 2.0));
+                    let rq = RangeQuery::new(q.id, probe, q.datasets);
+                    let mut found = self.query(storage, &rq)?;
+                    found.sort_by(|a, b| knn_key_cmp(&q.rank_key(a), &q.rank_key(b)));
+                    found.truncate(q.k);
+                    let complete = found.len() == q.k
+                        && found
+                            .last()
+                            .is_some_and(|o| q.distance_squared(o) <= radius * radius);
+                    if complete || probe.contains(&bounds) {
+                        return Ok(QueryAnswer::Objects(found));
+                    }
+                    radius *= 2.0;
+                }
+            }
+        }
+    }
 }
 
 /// 1fE wrapper: one index per dataset.
@@ -120,6 +178,12 @@ impl<I: SpatialIndexBuild> MultiDatasetIndex for OneForEach<I> {
     fn data_pages(&self) -> u64 {
         self.indexes.iter().map(|(_, i)| i.data_pages()).sum()
     }
+
+    fn data_bounds(&self) -> Aabb {
+        self.indexes
+            .iter()
+            .fold(Aabb::empty(), |acc, (_, i)| acc.union(&i.data_bounds()))
+    }
 }
 
 /// Ain1 wrapper: one index over everything, with post-filtering by dataset.
@@ -165,6 +229,10 @@ impl<I: SpatialIndexBuild> MultiDatasetIndex for AllInOne<I> {
 
     fn data_pages(&self) -> u64 {
         self.index.data_pages()
+    }
+
+    fn data_bounds(&self) -> Aabb {
+        self.index.data_bounds()
     }
 }
 
@@ -476,6 +544,98 @@ mod tests {
             ain1_growth < ofe_growth,
             "Ain1 growth {ain1_growth} should be below 1fE growth {ofe_growth}"
         );
+    }
+
+    #[test]
+    fn every_approach_answers_every_query_kind_correctly() {
+        use odyssey_geom::{scan_any_query, CountQuery, KnnQuery, PointQuery, Query, QueryId};
+        let Fixture {
+            storage,
+            raws,
+            all_objects,
+        } = fixture(3, 500);
+        let config = ApproachConfig::paper(bounds());
+        let ds = DatasetSet::from_ids([DatasetId(0), DatasetId(2)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let mut queries: Vec<Query> = Vec::new();
+        for i in 0..8u32 {
+            let p = Vec3::new(
+                rng.gen_range(5.0..95.0),
+                rng.gen_range(5.0..95.0),
+                rng.gen_range(5.0..95.0),
+            );
+            let side = rng.gen_range(4.0..20.0);
+            queries.push(
+                RangeQuery::new(
+                    QueryId(i),
+                    Aabb::from_center_extent(p, Vec3::splat(side)),
+                    ds,
+                )
+                .into(),
+            );
+            queries.push(PointQuery::new(QueryId(i), p, ds).into());
+            queries.push(KnnQuery::new(QueryId(i), p, rng.gen_range(1..30), ds).into());
+            queries.push(
+                CountQuery::new(
+                    QueryId(i),
+                    Aabb::from_center_extent(p, Vec3::splat(side)),
+                    ds,
+                )
+                .into(),
+            );
+        }
+        for approach in [Approach::FlatAin1, Approach::RTree1fE, Approach::Grid1fE] {
+            let index = build_approach(&storage, approach, &config, &raws).unwrap();
+            assert!(!index.data_bounds().is_empty());
+            for q in &queries {
+                let got = index.execute_query(&storage, q).unwrap();
+                let expected = scan_any_query(q, all_objects.iter());
+                assert_eq!(got.count(), expected.count(), "{} {:?}", approach.name(), q);
+                match (got.objects(), expected.objects()) {
+                    (Some(g), Some(e)) => {
+                        let mut g: Vec<_> = g.iter().map(|o| (o.dataset, o.id)).collect();
+                        let mut e: Vec<_> = e.iter().map(|o| (o.dataset, o.id)).collect();
+                        if !matches!(q, Query::KNearestNeighbors(_)) {
+                            g.sort_unstable();
+                            e.sort_unstable();
+                        }
+                        assert_eq!(g, e, "{} {:?}", approach.name(), q);
+                    }
+                    (None, None) => {}
+                    _ => panic!("answer representation mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases_on_baselines() {
+        use odyssey_geom::{KnnQuery, Query, QueryId};
+        let Fixture { storage, raws, .. } = fixture(2, 300);
+        let config = ApproachConfig::paper(bounds());
+        let index = build_approach(&storage, Approach::RTreeAin1, &config, &raws).unwrap();
+        let ds = DatasetSet::from_ids([DatasetId(0), DatasetId(1)]);
+        // k = 0.
+        let empty = index
+            .execute_query(
+                &storage,
+                &Query::KNearestNeighbors(KnnQuery::new(QueryId(0), Vec3::splat(50.0), 0, ds)),
+            )
+            .unwrap();
+        assert_eq!(empty.count(), 0);
+        // k beyond the population returns everything of the queried datasets.
+        let all = index
+            .execute_query(
+                &storage,
+                &Query::KNearestNeighbors(KnnQuery::new(
+                    QueryId(0),
+                    Vec3::splat(-500.0), // far outside: forces full expansion
+                    10_000,
+                    ds,
+                )),
+            )
+            .unwrap();
+        assert_eq!(all.count(), 600);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub trait SpatialIndexBuild: Send + Sync {
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>>;
 
+    /// The union of the MBRs of every indexed object, recorded at build
+    /// time ([`Aabb::empty`] for an empty index). The expanding-radius kNN
+    /// search of [`crate::strategy::MultiDatasetIndex::execute_query`] stops
+    /// once its probe range covers this box.
+    fn data_bounds(&self) -> Aabb;
+
     /// Number of disk pages occupied by the index's data pages (used by the
     /// harness to report index sizes).
     fn data_pages(&self) -> u64;

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmark for the typed query kinds: the same warmed
+//! engine answers per-kind batches (range / point / kNN / count) with the
+//! cost-based planner enabled and disabled.
+//!
+//! What to look for: count queries should beat ranges of the same shape
+//! (metadata short-circuit), and planner-on should never lose badly to
+//! planner-off on any kind — where it wins (large counts, huge ranges), the
+//! sequential-scan fallback is doing its job.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{BrainModel, DatasetSpec, MixedWorkloadSpec, QueryKindMix, WorkloadSpec};
+use odyssey_geom::{DatasetId, Query, QueryKind};
+use odyssey_storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+const NUM_DATASETS: usize = 4;
+const OBJECTS_PER_DATASET: usize = 8_000;
+const QUERIES: usize = 120;
+
+struct Fixture {
+    storage: StorageManager,
+    engine: SpaceOdyssey,
+}
+
+fn warmed_fixture(planner_enabled: bool, queries: &[Query]) -> Fixture {
+    let spec = DatasetSpec {
+        num_datasets: NUM_DATASETS,
+        objects_per_dataset: OBJECTS_PER_DATASET,
+        soma_clusters: 6,
+        segments_per_neuron: 40,
+        seed: 42,
+        ..Default::default()
+    };
+    let model = BrainModel::new(spec);
+    let storage = StorageManager::new(StorageOptions::in_memory(8192));
+    let raws = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let mut config = OdysseyConfig::paper(model.bounds());
+    config.planner_enabled = planner_enabled;
+    let engine = SpaceOdyssey::new(config, raws).unwrap();
+    for q in queries {
+        engine.execute_query(&storage, q).unwrap();
+    }
+    Fixture { storage, engine }
+}
+
+fn mixed_queries() -> Vec<Query> {
+    MixedWorkloadSpec {
+        base: WorkloadSpec {
+            num_datasets: NUM_DATASETS,
+            datasets_per_query: 3,
+            num_queries: QUERIES,
+            query_volume_fraction: 1e-5,
+            ..Default::default()
+        },
+        mix: QueryKindMix::balanced(),
+    }
+    .generate(&BrainModel::new(DatasetSpec::default()).bounds())
+    .queries
+}
+
+fn bench_kinds(c: &mut Criterion) {
+    let queries = mixed_queries();
+    for planner in [true, false] {
+        let fixture = warmed_fixture(planner, &queries);
+        let label = if planner { "planner-on" } else { "planner-off" };
+        let mut group = c.benchmark_group(format!("query_kinds/{label}"));
+        for kind in QueryKind::ALL {
+            let batch: Vec<Query> = queries
+                .iter()
+                .filter(|q| q.kind() == kind)
+                .copied()
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            group.throughput(Throughput::Elements(batch.len() as u64));
+            group.bench_function(kind.name(), |b| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for q in &batch {
+                        total += fixture
+                            .engine
+                            .execute_query(&fixture.storage, q)
+                            .unwrap()
+                            .count;
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kinds);
+criterion_main!(benches);

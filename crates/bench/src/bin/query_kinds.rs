@@ -1,0 +1,172 @@
+//! Mixed-kind query experiment: the generalized engine (planner on and off)
+//! versus the static baselines on one workload of range / point / kNN /
+//! count queries, with per-kind simulated cost and the planner's access-path
+//! distribution.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin query_kinds -- \
+//!     --datasets 6 --objects 20000 --queries 400 --k 8
+//! cargo run --release -p odyssey-bench --bin query_kinds -- \
+//!     --queries 200 --save workload.json     # persist for another host
+//! cargo run --release -p odyssey-bench --bin query_kinds -- \
+//!     --load workload.json                   # replay it bit-identically
+//! ```
+
+use odyssey_baselines::Approach;
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::query_kinds::QueryKindsRun;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::{DatasetSpec, MixedWorkloadSpec, QueryKindMix, SavedWorkload, WorkloadSpec};
+use odyssey_geom::{QueryKind, SpatialObject};
+
+fn print_run(run: &QueryKindsRun) {
+    println!("{} (checksum {})", run.approach, run.checksum);
+    println!(
+        "  {:<8} {:>8} {:>14} {:>12} {:>12}",
+        "kind", "queries", "sim. sec", "pages", "results"
+    );
+    for k in &run.kinds {
+        println!(
+            "  {:<8} {:>8} {:>14.6} {:>12} {:>12}",
+            k.kind.name(),
+            k.queries,
+            k.simulated_seconds,
+            k.pages_read,
+            k.results
+        );
+    }
+    println!(
+        "  {:<8} {:>8} {:>14.6}",
+        "total",
+        run.kinds.iter().map(|k| k.queries).sum::<usize>(),
+        run.total_seconds()
+    );
+    if run.paths.distinct_paths() > 0 {
+        println!(
+            "  plans: octree {}, mergefile {}, seqscan {}",
+            run.paths.octree, run.paths.mergefile, run.paths.seqscan
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "query_kinds — mixed-kind workload experiment\n\
+             \n\
+             options:\n\
+             --datasets N   number of datasets (default 6)\n\
+             --objects N    objects per dataset (default 20000)\n\
+             --queries N    queries in the workload (default 400)\n\
+             --m N          datasets per query (default 3)\n\
+             --k N          neighbours per kNN query (default 8)\n\
+             --save PATH    write the generated workload (objects + queries) as JSON\n\
+             --load PATH    replay a previously saved workload instead of generating"
+        );
+        return;
+    }
+
+    let (runner, queries) = if let Some(path) = args.get("load") {
+        let saved = SavedWorkload::load(&path).expect("readable workload JSON");
+        let num_datasets = saved
+            .objects
+            .iter()
+            .map(|o| o.dataset.index() + 1)
+            .max()
+            .unwrap_or(1);
+        let mut datasets: Vec<Vec<SpatialObject>> = vec![Vec::new(); num_datasets];
+        for obj in &saved.objects {
+            datasets[obj.dataset.index()].push(*obj);
+        }
+        let spec = DatasetSpec {
+            num_datasets,
+            objects_per_dataset: datasets.iter().map(|d| d.len()).max().unwrap_or(0),
+            bounds: saved.bounds,
+            ..Default::default()
+        };
+        let runner = ExperimentRunner::from_datasets(
+            ExperimentConfig {
+                odyssey: OdysseyConfig::paper(saved.bounds),
+                dataset_spec: spec,
+                ..Default::default()
+            },
+            datasets,
+            saved.bounds,
+        );
+        println!(
+            "replaying {} queries over {} objects from {path}\n",
+            saved.queries.len(),
+            saved.objects.len()
+        );
+        (runner, saved.queries)
+    } else {
+        let num_datasets = args.get_usize("datasets", 6);
+        let spec = DatasetSpec {
+            num_datasets,
+            objects_per_dataset: args.get_usize("objects", 20_000),
+            ..Default::default()
+        };
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            odyssey: OdysseyConfig::paper(spec.bounds),
+            dataset_spec: spec,
+            ..Default::default()
+        });
+        let mixed = MixedWorkloadSpec {
+            base: WorkloadSpec {
+                num_datasets,
+                datasets_per_query: args.get_usize("m", 3).min(num_datasets),
+                num_queries: args.get_usize("queries", 400),
+                query_volume_fraction: 1e-5,
+                ..Default::default()
+            },
+            mix: QueryKindMix {
+                knn_k: args.get_usize("k", 8),
+                ..QueryKindMix::balanced()
+            },
+        }
+        .generate(&runner.bounds());
+        if let Some(path) = args.get("save") {
+            let saved = SavedWorkload {
+                bounds: runner.bounds(),
+                objects: runner.datasets().iter().flatten().copied().collect(),
+                queries: mixed.queries.clone(),
+            };
+            saved.save(&path).expect("writable workload path");
+            println!("saved workload to {path}\n");
+        }
+        (runner, mixed.queries)
+    };
+
+    let kind_count = |kind: QueryKind| queries.iter().filter(|q| q.kind() == kind).count();
+    println!(
+        "workload: {} queries (range {}, point {}, knn {}, count {})\n",
+        queries.len(),
+        kind_count(QueryKind::Range),
+        kind_count(QueryKind::Point),
+        kind_count(QueryKind::KNearestNeighbors),
+        kind_count(QueryKind::Count),
+    );
+    let planner_on = runner.run_query_kinds_odyssey(true, &queries);
+    let planner_off = runner.run_query_kinds_odyssey(false, &queries);
+    let grid = runner.run_query_kinds_static(Approach::Grid1fE, &queries);
+    let rtree = runner.run_query_kinds_static(Approach::RTreeAin1, &queries);
+
+    for run in [&planner_on, &planner_off, &grid, &rtree] {
+        print_run(run);
+    }
+
+    for run in [&planner_off, &grid, &rtree] {
+        assert_eq!(
+            planner_on.checksum, run.checksum,
+            "{} disagrees with the planner-enabled engine",
+            run.approach
+        );
+    }
+    println!(
+        "checksums agree across all approaches; planner used {} distinct access path(s)",
+        planner_on.paths.distinct_paths()
+    );
+}

@@ -226,11 +226,25 @@ impl ExperimentRunner {
         &self.datasets
     }
 
+    /// Creates a runner over externally supplied datasets (e.g. a workload
+    /// loaded from JSON) instead of generating synthetic ones.
+    pub fn from_datasets(
+        config: ExperimentConfig,
+        datasets: Vec<Vec<SpatialObject>>,
+        bounds: Aabb,
+    ) -> Self {
+        ExperimentRunner {
+            config,
+            datasets,
+            bounds,
+        }
+    }
+
     /// Creates a fresh storage manager and writes the raw dataset files into
     /// it, returning the manager, the raw handles and the I/O snapshot taken
     /// *after* the raw files were written (raw-data creation is not part of
     /// any approach's cost).
-    fn fresh_storage(&self) -> (StorageManager, Vec<RawDataset>, IoStats) {
+    pub(crate) fn fresh_storage(&self) -> (StorageManager, Vec<RawDataset>, IoStats) {
         let raw_pages: u64 = self
             .datasets
             .iter()

@@ -14,10 +14,14 @@
 //! * [`report`] — table/CSV formatting shared by the binaries,
 //! * [`throughput`] — the concurrent-throughput experiments: sequential vs
 //!   N-thread batch execution against one shared engine, for Space Odyssey
-//!   and every static baseline under the same harness.
+//!   and every static baseline under the same harness,
+//! * [`query_kinds`] — the mixed-kind experiment: range / point / kNN /
+//!   count queries against the planner-enabled engine (planner on vs off)
+//!   and the static baselines, with per-kind cost and plan audits.
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput` (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
+//! `throughput`, `query_kinds`
+//! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,11 +29,13 @@
 pub mod cli;
 pub mod experiment;
 pub mod figures;
+pub mod query_kinds;
 pub mod report;
 pub mod throughput;
 
 pub use experiment::{
     ApproachRun, ApproachSelection, ExperimentConfig, ExperimentRunner, QueryRecord,
 };
+pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use report::{format_table, write_csv, Table};
 pub use throughput::ThroughputRun;

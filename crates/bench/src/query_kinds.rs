@@ -1,0 +1,294 @@
+//! The query-kinds experiment: every approach over a mixed-kind workload.
+//!
+//! Drives the generalized engine (and the static baselines through their
+//! [`odyssey_baselines::MultiDatasetIndex::execute_query`] extension) with
+//! one mixed sequence of
+//! range / point / kNN / count queries, reporting per-kind simulated cost and
+//! — for Space Odyssey — the access-path distribution the cost-based planner
+//! chose, with planner-on and planner-off side by side. The per-query result
+//! counts are checksummed so any disagreement between execution paths is
+//! caught immediately.
+
+use crate::experiment::ExperimentRunner;
+use odyssey_baselines::strategy::{build_approach, Approach, ApproachConfig};
+use odyssey_baselines::GridConfig;
+use odyssey_core::{AccessPath, SpaceOdyssey};
+use odyssey_geom::{Query, QueryKind};
+use odyssey_storage::{DeviceProfile, OBJECTS_PER_PAGE};
+use std::time::Instant;
+
+/// Per-kind aggregate of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct KindBreakdown {
+    /// The query kind.
+    pub kind: QueryKind,
+    /// Queries of this kind in the workload.
+    pub queries: usize,
+    /// Simulated seconds (measurement cost model) spent on this kind.
+    pub simulated_seconds: f64,
+    /// Pages read from the simulated device by this kind.
+    pub pages_read: u64,
+    /// Total result count (objects, or counted objects) of this kind.
+    pub results: u64,
+}
+
+/// How many (query, dataset) pairs each access path served (Space Odyssey
+/// runs only; all zero for static baselines, which have one path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathCounts {
+    /// Sequential raw-file sweeps.
+    pub seqscan: usize,
+    /// Adaptive partitioned reads.
+    pub octree: usize,
+    /// Merge-file reads.
+    pub mergefile: usize,
+}
+
+impl PathCounts {
+    fn record(&mut self, path: AccessPath) {
+        match path {
+            AccessPath::SeqScan => self.seqscan += 1,
+            AccessPath::Octree => self.octree += 1,
+            AccessPath::MergeFile => self.mergefile += 1,
+        }
+    }
+
+    /// Number of distinct paths that were actually used.
+    pub fn distinct_paths(&self) -> usize {
+        [self.seqscan, self.octree, self.mergefile]
+            .iter()
+            .filter(|&&n| n > 0)
+            .count()
+    }
+}
+
+/// One approach's measurements over a mixed-kind workload.
+#[derive(Debug, Clone)]
+pub struct QueryKindsRun {
+    /// Approach display name.
+    pub approach: String,
+    /// Per-kind aggregates, in [`QueryKind::ALL`] order.
+    pub kinds: Vec<KindBreakdown>,
+    /// Access-path distribution (Space Odyssey only).
+    pub paths: PathCounts,
+    /// Sum of per-query result counts — identical across approaches when
+    /// every execution path agrees on the answers.
+    pub checksum: u64,
+    /// Wall-clock seconds of the run (diagnostic).
+    pub wall_seconds: f64,
+}
+
+impl QueryKindsRun {
+    /// Total simulated seconds across kinds.
+    pub fn total_seconds(&self) -> f64 {
+        self.kinds.iter().map(|k| k.simulated_seconds).sum()
+    }
+
+    /// The breakdown of one kind.
+    pub fn kind(&self, kind: QueryKind) -> &KindBreakdown {
+        self.kinds
+            .iter()
+            .find(|k| k.kind == kind)
+            .expect("all kinds are always present")
+    }
+}
+
+struct KindAccumulator {
+    kinds: Vec<KindBreakdown>,
+    checksum: u64,
+}
+
+impl KindAccumulator {
+    fn new() -> Self {
+        KindAccumulator {
+            kinds: QueryKind::ALL
+                .iter()
+                .map(|&kind| KindBreakdown {
+                    kind,
+                    queries: 0,
+                    simulated_seconds: 0.0,
+                    pages_read: 0,
+                    results: 0,
+                })
+                .collect(),
+            checksum: 0,
+        }
+    }
+
+    fn record(&mut self, kind: QueryKind, seconds: f64, pages: u64, results: u64) {
+        let slot = self
+            .kinds
+            .iter_mut()
+            .find(|k| k.kind == kind)
+            .expect("all kinds are always present");
+        slot.queries += 1;
+        slot.simulated_seconds += seconds;
+        slot.pages_read += pages;
+        slot.results += results;
+        self.checksum += results;
+    }
+}
+
+impl ExperimentRunner {
+    /// Runs Space Odyssey over a mixed-kind workload, with the cost-based
+    /// planner enabled or disabled.
+    pub fn run_query_kinds_odyssey(
+        &self,
+        planner_enabled: bool,
+        queries: &[Query],
+    ) -> QueryKindsRun {
+        let wall_start = Instant::now();
+        let (storage, raws, _) = self.fresh_storage();
+        let mut config = self.config().odyssey;
+        config.bounds = self.bounds();
+        config.planner_enabled = planner_enabled;
+        // The planner must optimize for the same device this harness
+        // measures with, or the reported planner-on vs planner-off
+        // comparison would judge decisions against constants the planner
+        // never saw.
+        config.device_profile = DeviceProfile::Custom(self.config().cost_model);
+        let engine = SpaceOdyssey::new(config, raws).expect("validated configuration");
+        let mut acc = KindAccumulator::new();
+        let mut paths = PathCounts::default();
+        for query in queries {
+            if self.config().cold_queries {
+                storage.clear_cache();
+            }
+            let before = storage.stats();
+            let outcome = engine
+                .execute_query(&storage, query)
+                .expect("in-memory query cannot fail");
+            let seconds = storage.seconds_since(&before);
+            let pages = storage.stats().since(&before).0.pages_read();
+            for plan in &outcome.plans {
+                paths.record(plan.path);
+            }
+            acc.record(query.kind(), seconds, pages, outcome.count);
+        }
+        QueryKindsRun {
+            approach: if planner_enabled {
+                "Odyssey".to_string()
+            } else {
+                "Odyssey w/o planner".to_string()
+            },
+            kinds: acc.kinds,
+            paths,
+            checksum: acc.checksum,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs a static baseline over the same mixed-kind workload through the
+    /// [`odyssey_baselines::MultiDatasetIndex::execute_query`] extension.
+    /// The indexing phase runs first, as always, but is not part of the
+    /// per-kind breakdown.
+    pub fn run_query_kinds_static(&self, approach: Approach, queries: &[Query]) -> QueryKindsRun {
+        let wall_start = Instant::now();
+        let (storage, raws, _) = self.fresh_storage();
+        let approach_config = ApproachConfig {
+            grid: GridConfig {
+                cells_per_dim: self.config().grid_cells_per_dim(),
+                bounds: self.bounds(),
+                build_buffer_objects: (self.config().buffer_pages(1) * OBJECTS_PER_PAGE).max(1_000),
+            },
+            ..ApproachConfig::paper(self.bounds())
+        };
+        let index = build_approach(&storage, approach, &approach_config, &raws)
+            .expect("in-memory build cannot fail");
+        let mut acc = KindAccumulator::new();
+        for query in queries {
+            if self.config().cold_queries {
+                storage.clear_cache();
+            }
+            let before = storage.stats();
+            let answer = index
+                .execute_query(&storage, query)
+                .expect("in-memory query cannot fail");
+            let seconds = storage.seconds_since(&before);
+            let pages = storage.stats().since(&before).0.pages_read();
+            acc.record(query.kind(), seconds, pages, answer.count());
+        }
+        QueryKindsRun {
+            approach: approach.name().to_string(),
+            kinds: acc.kinds,
+            paths: PathCounts::default(),
+            checksum: acc.checksum,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use odyssey_core::OdysseyConfig;
+    use odyssey_datagen::{DatasetSpec, MixedWorkloadSpec, QueryKindMix, WorkloadSpec};
+
+    fn tiny_runner() -> ExperimentRunner {
+        let spec = DatasetSpec {
+            num_datasets: 4,
+            objects_per_dataset: 1_200,
+            soma_clusters: 4,
+            segments_per_neuron: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        ExperimentRunner::new(ExperimentConfig {
+            odyssey: OdysseyConfig::paper(spec.bounds),
+            dataset_spec: spec,
+            ..Default::default()
+        })
+    }
+
+    fn mixed(runner: &ExperimentRunner, n: usize) -> Vec<odyssey_geom::Query> {
+        MixedWorkloadSpec {
+            base: WorkloadSpec {
+                num_datasets: runner.config().dataset_spec.num_datasets,
+                datasets_per_query: 3,
+                num_queries: n,
+                query_volume_fraction: 1e-5,
+                ..Default::default()
+            },
+            mix: QueryKindMix::balanced(),
+        }
+        .generate(&runner.bounds())
+        .queries
+    }
+
+    #[test]
+    fn all_approaches_agree_on_mixed_kind_checksums() {
+        let runner = tiny_runner();
+        let queries = mixed(&runner, 32);
+        let planner_on = runner.run_query_kinds_odyssey(true, &queries);
+        let planner_off = runner.run_query_kinds_odyssey(false, &queries);
+        let grid = runner.run_query_kinds_static(Approach::Grid1fE, &queries);
+        assert_eq!(planner_on.checksum, planner_off.checksum);
+        assert_eq!(planner_on.checksum, grid.checksum);
+        assert!(planner_on.checksum > 0);
+        // Every kind was exercised and accounted for.
+        for run in [&planner_on, &planner_off, &grid] {
+            assert_eq!(
+                run.kinds.iter().map(|k| k.queries).sum::<usize>(),
+                queries.len()
+            );
+            assert!(run.total_seconds() > 0.0);
+        }
+        // The planner-on run recorded plans; planner-off never scans.
+        assert!(planner_on.paths.distinct_paths() >= 1);
+        assert_eq!(planner_off.paths.seqscan, 0);
+        assert_eq!(grid.paths.distinct_paths(), 0);
+    }
+
+    #[test]
+    fn kind_lookup_and_totals() {
+        let runner = tiny_runner();
+        let queries = mixed(&runner, 16);
+        let run = runner.run_query_kinds_odyssey(true, &queries);
+        let total: f64 = QueryKind::ALL
+            .iter()
+            .map(|&k| run.kind(k).simulated_seconds)
+            .sum();
+        assert!((total - run.total_seconds()).abs() < 1e-12);
+    }
+}

@@ -1,6 +1,7 @@
 //! Configuration of the Space Odyssey engine.
 
 use odyssey_geom::Aabb;
+use odyssey_storage::DeviceProfile;
 use serde::{Deserialize, Serialize};
 
 /// How the Merger treats partitions whose refinement levels differ across the
@@ -64,6 +65,17 @@ pub struct OdysseyConfig {
     /// configurations (a level-`L` partition is `ppl^L` times smaller than
     /// the brain volume).
     pub max_refinement_level: u32,
+    /// Master switch for the cost-based access-path planner. When disabled
+    /// the engine always takes the adaptive partitioned path (with merge-file
+    /// routing), reproducing the paper's behaviour; when enabled, every
+    /// (query, dataset) pair is planned against the device profile and may
+    /// fall back to a sequential scan of the raw file when that is cheaper.
+    pub planner_enabled: bool,
+    /// The storage device the planner's cost estimates assume. Previously the
+    /// cost model was a fixed constant; making it a configurable profile
+    /// (nvme / hdd / custom) lets the planner rank access paths correctly for
+    /// the hardware actually serving the queries.
+    pub device_profile: DeviceProfile,
 }
 
 impl OdysseyConfig {
@@ -80,6 +92,13 @@ impl OdysseyConfig {
             merge_level_policy: MergeLevelPolicy::SameLevelOnly,
             min_objects_to_refine: 0,
             max_refinement_level: 8,
+            planner_enabled: true,
+            // The planning profile defaults to the device class benchmarks
+            // actually run on today. This is a different knob from the
+            // *measurement* cost model of the storage layer (which defaults
+            // to the paper's SAS disks): one decides access paths, the other
+            // converts the resulting I/O trace into reported seconds.
+            device_profile: DeviceProfile::Nvme,
         }
     }
 
@@ -120,6 +139,19 @@ impl OdysseyConfig {
         self
     }
 
+    /// Returns a copy with the access-path planner disabled: every query
+    /// takes the adaptive partitioned path, as in the original paper.
+    pub fn without_planner(mut self) -> Self {
+        self.planner_enabled = false;
+        self
+    }
+
+    /// Returns a copy planning for the given device profile.
+    pub fn with_device_profile(mut self, profile: DeviceProfile) -> Self {
+        self.device_profile = profile;
+        self
+    }
+
     /// Basic sanity checks; call once before constructing the engine.
     pub fn validate(&self) -> Result<(), String> {
         if self.refinement_threshold <= 0.0 || self.refinement_threshold.is_nan() {
@@ -137,6 +169,16 @@ impl OdysseyConfig {
         }
         if self.bounds.volume() <= 0.0 {
             return Err("bounds must have positive volume".into());
+        }
+        let model = self.device_profile.cost_model();
+        let seek_invalid = model.seek_seconds.is_nan() || model.seek_seconds < 0.0;
+        let transfer_invalid =
+            model.transfer_bytes_per_second.is_nan() || model.transfer_bytes_per_second <= 0.0;
+        if seek_invalid || transfer_invalid {
+            return Err(format!(
+                "device profile has invalid constants: seek {}s, transfer {} B/s",
+                model.seek_seconds, model.transfer_bytes_per_second
+            ));
         }
         Ok(())
     }
@@ -234,5 +276,24 @@ mod tests {
     fn without_merging_flips_the_switch() {
         let c = OdysseyConfig::paper(bounds()).without_merging();
         assert!(!c.merge_enabled);
+    }
+
+    #[test]
+    fn planner_and_device_profile_knobs() {
+        use odyssey_storage::{CostModel, DeviceProfile};
+        let c = OdysseyConfig::paper(bounds());
+        assert!(c.planner_enabled);
+        assert_eq!(c.device_profile, DeviceProfile::Nvme);
+        let off = c.without_planner();
+        assert!(!off.planner_enabled);
+        let hdd = c.with_device_profile(DeviceProfile::Hdd);
+        assert_eq!(hdd.device_profile.cost_model(), CostModel::hdd());
+        assert!(hdd.validate().is_ok());
+        // A broken custom profile is rejected up front.
+        let broken = c.with_device_profile(DeviceProfile::Custom(CostModel {
+            transfer_bytes_per_second: 0.0,
+            ..CostModel::hdd()
+        }));
+        assert!(broken.validate().is_err());
     }
 }

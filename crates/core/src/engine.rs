@@ -1,17 +1,28 @@
 //! The Query Processor and the public [`SpaceOdyssey`] engine.
 //!
-//! `SpaceOdyssey::execute` orchestrates one query end to end (§3.2.3):
+//! [`SpaceOdyssey::execute_query`] answers any of the four typed
+//! [`Query`] kinds — range, point, k-nearest-neighbour and count — and
+//! orchestrates each one end to end:
 //!
-//! 1. each queried dataset is prepared by its Adaptor (first-touch
-//!    partitioning, rt-driven refinement),
+//! 0. the cost-based [`Planner`] picks an access path per queried dataset
+//!    (sequential scan of the raw file, the adaptive partitioned path, or
+//!    the merge-file path), recording each decision in the outcome,
+//! 1. each dataset on the partitioned path is prepared by its Adaptor
+//!    (first-touch partitioning, rt-driven refinement; kNN queries traverse
+//!    best-first instead and never refine),
 //! 2. the merge directory is consulted and the query is routed to the exact /
 //!    superset / subset merge file where possible; everything else is read
-//!    from the individual per-dataset partition files,
+//!    from the individual per-dataset partition files (count queries take
+//!    partitions fully inside their range from metadata, without any read),
 //! 3. the Statistics Collector records the combination and the partitions it
 //!    retrieved,
 //! 4. the Merger is invoked when the combination has crossed the merge
 //!    threshold, copying (or extending) its partitions into a merge file and
 //!    enforcing the space budget.
+//!
+//! Every path returns brute-force-identical answers; the planner only moves
+//! work between layouts. [`SpaceOdyssey::execute`] remains as the
+//! range-query entry point the paper's experiments drive.
 //!
 //! # Concurrency model
 //!
@@ -30,10 +41,12 @@
 //! each refinement happen exactly once (per-dataset write lock +
 //! re-validation), and a threshold-crossing merge is performed exactly once
 //! (merger write lock + an idempotent, append-only merge directory).
-//! Lock-ordering discipline: a thread never acquires a dataset lock while
-//! holding the merger or stats lock *except* inside `merge_combination`,
-//! which only takes dataset **read** locks and is itself serialized by the
-//! merger write lock — no cycle is possible.
+//! Lock-ordering discipline: a thread only acquires a dataset lock while
+//! holding the merger or stats lock in two places — `merge_combination`
+//! (merger write lock + dataset **read** locks) and the planner's probe
+//! (merger read lock + dataset **read** locks). No code path waits on a
+//! merger or stats lock while holding a dataset lock, so no cycle is
+//! possible.
 //!
 //! [`SpaceOdyssey::execute_batch`] fans a workload out over a scoped thread
 //! pool; per-query answers are identical to sequential execution (adaptation
@@ -44,8 +57,11 @@ use crate::config::OdysseyConfig;
 use crate::merger::{Merger, RouteKind};
 use crate::octree::DatasetIndex;
 use crate::partition::PartitionKey;
+use crate::planner::{AccessPath, PlanChoice, Planner};
 use crate::stats::StatsCollector;
-use odyssey_geom::{DatasetId, DatasetSet, RangeQuery, SpatialObject};
+use odyssey_geom::{
+    knn_key_cmp, DatasetId, DatasetSet, KnnQuery, Query, RangeQuery, SpatialObject,
+};
 use odyssey_storage::{RawDataset, StorageManager, StorageResult};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
@@ -53,9 +69,16 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard};
 /// What happened while executing one query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
-    /// The query answer: objects of the requested datasets intersecting the
-    /// requested range.
+    /// The materialized query answer. Empty for count queries, which report
+    /// through [`QueryOutcome::count`] only; sorted by
+    /// `(distance, dataset, id)` for kNN queries.
     pub objects: Vec<SpatialObject>,
+    /// Number of matching objects, for every query kind (equals
+    /// `objects.len()` except for count queries).
+    pub count: u64,
+    /// The access path the planner chose for each queried (known) dataset,
+    /// with its cost estimate — the audit trail for plan-quality benches.
+    pub plans: Vec<PlanChoice>,
     /// How the query was routed with respect to merge files.
     pub route: RouteKind,
     /// Number of partitions refined by this query across all its datasets.
@@ -65,6 +88,9 @@ pub struct QueryOutcome {
     /// Number of (dataset, partition) reads served from individual dataset
     /// files (including reads folded into refinement).
     pub partitions_from_datasets: usize,
+    /// Number of (dataset, partition) pairs a count query answered from
+    /// partition metadata alone, without reading a single page.
+    pub partitions_counted_from_metadata: usize,
     /// Whether this query triggered a merge (creation or extension of a merge
     /// file with at least one new entry).
     pub merge_performed: bool,
@@ -74,6 +100,11 @@ impl QueryOutcome {
     /// Convenience: `true` if any part of the answer came from a merge file.
     pub fn used_merge_file(&self) -> bool {
         self.partitions_from_merge_file > 0
+    }
+
+    /// Convenience: `true` if any dataset was answered by the given path.
+    pub fn used_path(&self, path: AccessPath) -> bool {
+        self.plans.iter().any(|p| p.path == path)
     }
 }
 
@@ -143,21 +174,79 @@ impl SpaceOdyssey {
         self.queries_executed.load(Ordering::Relaxed)
     }
 
-    /// Executes one range query over its combination of datasets.
+    /// Executes one range query over its combination of datasets. The
+    /// range-only entry point the paper's experiments drive; equivalent to
+    /// [`SpaceOdyssey::execute_query`] with [`Query::Range`].
     pub fn execute(
         &self,
         storage: &StorageManager,
         query: &RangeQuery,
     ) -> StorageResult<QueryOutcome> {
-        self.queries_executed.fetch_add(1, Ordering::Relaxed);
-        let combination = query.datasets;
+        self.execute_query(storage, &Query::Range(*query))
+    }
 
-        // Phase 1: adapt every queried dataset (initialize / refine) and find
-        // out which partitions have to be read. Each dataset synchronizes
-        // internally; no engine-level lock is held here.
+    /// Executes one typed query — range, point, k-nearest-neighbour or count
+    /// — over its combination of datasets, through the cost-based planner.
+    pub fn execute_query(
+        &self,
+        storage: &StorageManager,
+        query: &Query,
+    ) -> StorageResult<QueryOutcome> {
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        match query {
+            Query::Range(q) => self.execute_rangelike(storage, q, false),
+            Query::Point(q) => self.execute_rangelike(storage, &q.as_range(), false),
+            Query::Count(q) => self.execute_rangelike(storage, &q.as_range(), true),
+            Query::KNearestNeighbors(q) => self.execute_knn(storage, q),
+        }
+    }
+
+    /// The shared execution path of range, point and count queries (point
+    /// queries arrive as degenerate ranges; `counting` selects the
+    /// non-materializing count mode).
+    fn execute_rangelike(
+        &self,
+        storage: &StorageManager,
+        query: &RangeQuery,
+        counting: bool,
+    ) -> StorageResult<QueryOutcome> {
+        let combination = query.datasets;
+        let planner = Planner::new(&self.config);
+
+        // Phase 0: choose an access path per queried dataset. The probe peeks
+        // at the merge directory without bumping its LRU clock; the real
+        // routing decision in phase 2 records recency as before. With the
+        // planner disabled (the paper's behaviour) no probe runs and no plans
+        // are recorded: every dataset takes the adaptive path and stays
+        // eligible for per-key merge routing, exactly as before the planner
+        // existed.
+        let mut plans: Vec<PlanChoice> = Vec::new();
+        let merge_eligible = if self.config.planner_enabled {
+            let merger = self.merger.read().unwrap();
+            let (file, _) = merger.directory().peek(combination);
+            for dataset_id in combination.iter() {
+                if let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) {
+                    plans.push(planner.plan_rangelike(storage, index, query, counting, file));
+                }
+            }
+            DatasetSet::from_ids(
+                plans
+                    .iter()
+                    .filter(|p| p.path == AccessPath::MergeFile)
+                    .map(|p| p.dataset),
+            )
+        } else {
+            combination
+        };
+
+        // Phase 1: per dataset, either sweep the raw file (sequential-scan
+        // path) or adapt and plan the partition reads (partitioned path).
+        // Each dataset synchronizes internally; no engine lock is held here.
         let mut objects: Vec<SpatialObject> = Vec::new();
+        let mut count = 0u64;
         let mut refined = 0usize;
         let mut from_datasets = 0usize;
+        let mut metadata_counted = 0usize;
         let mut retrieved_union: Vec<PartitionKey> = Vec::new();
         // (dataset, key) pairs that still need their data read.
         let mut pending: Vec<(DatasetId, PartitionKey)> = Vec::new();
@@ -165,22 +254,66 @@ impl SpaceOdyssey {
             let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) else {
                 continue; // unknown dataset: nothing to answer
             };
+            let path = plans
+                .iter()
+                .find(|p| p.dataset == dataset_id)
+                .map(|p| p.path)
+                .unwrap_or(AccessPath::Octree);
+            if path == AccessPath::SeqScan {
+                // One sequential sweep, filtered (or counted) on the fly; the
+                // adaptive state is deliberately left untouched.
+                let objs = index.scan_raw(storage)?;
+                if counting {
+                    count += objs.iter().filter(|o| query.matches(o)).count() as u64;
+                } else {
+                    objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                }
+                continue;
+            }
             let prep = index.prepare_query(storage, &self.config, query)?;
             refined += prep.refined;
             // Partitions answered during refinement / first touch count as
             // individual-dataset reads.
             from_datasets += prep.retrieved_keys.len() - prep.pending_keys.len();
-            objects.extend(prep.collected);
+            if counting {
+                count += prep.collected.len() as u64;
+            } else {
+                objects.extend(prep.collected);
+            }
             retrieved_union.extend(prep.retrieved_keys.iter().copied());
             pending.extend(prep.pending_keys.iter().map(|k| (dataset_id, *k)));
         }
         retrieved_union.sort_unstable();
         retrieved_union.dedup();
 
-        // Phase 2: route the pending reads through the merge directory. The
-        // merger read lock is held across the merge-file reads so eviction
-        // (a write operation) can never rewrite the directory mid-read;
-        // routing itself only touches atomics, so readers share the lock.
+        // Count short-circuit: a pending partition whose bounds lie fully
+        // inside the counted range contributes its object count from the
+        // partition table alone — objects are assigned by center, so every
+        // object of such a partition has its center (hence its MBR) in the
+        // range. No page is read.
+        if counting {
+            pending.retain(|(dataset_id, key)| {
+                let index = self
+                    .datasets
+                    .iter()
+                    .find(|d| d.dataset() == *dataset_id)
+                    .expect("pending keys only come from known datasets");
+                if let Some(partition) = index.partition(key) {
+                    if query.range.contains(&partition.bounds) {
+                        count += partition.object_count;
+                        metadata_counted += 1;
+                        return false;
+                    }
+                }
+                true
+            });
+        }
+
+        // Phase 2: route the pending reads of merge-planned datasets through
+        // the merge directory. The merger read lock is held across the
+        // merge-file reads so eviction (a write operation) can never rewrite
+        // the directory mid-read; routing itself only touches atomics, so
+        // readers share the lock.
         let mut from_merge = 0usize;
         let route = {
             let merger = self.merger.read().unwrap();
@@ -191,7 +324,9 @@ impl SpaceOdyssey {
                 // is read once for all its wanted datasets.
                 let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
                 pending.retain(|(dataset, key)| {
-                    let in_file = merged_combo.contains(*dataset) && file.contains(key);
+                    let in_file = merge_eligible.contains(*dataset)
+                        && merged_combo.contains(*dataset)
+                        && file.contains(key);
                     if in_file {
                         match served.iter_mut().find(|(k, _)| k == key) {
                             Some((_, set)) => set.insert(*dataset),
@@ -216,7 +351,11 @@ impl SpaceOdyssey {
                     for (key, wanted) in served {
                         let objs = file.read(storage, &key, wanted)?;
                         storage.note_objects_scanned(objs.len() as u64);
-                        objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                        if counting {
+                            count += objs.iter().filter(|o| query.matches(o)).count() as u64;
+                        } else {
+                            objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+                        }
                     }
                 }
             }
@@ -238,11 +377,18 @@ impl SpaceOdyssey {
                 .read_region(storage, &self.config, key)?
                 .unwrap_or_default();
             storage.note_objects_scanned(objs.len() as u64);
-            objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+            if counting {
+                count += objs.iter().filter(|o| query.matches(o)).count() as u64;
+            } else {
+                objects.extend(objs.into_iter().filter(|o| query.matches(o)));
+            }
             from_datasets += 1;
         }
 
-        // Phase 4: statistics and merging.
+        // Phase 4: statistics and merging. Scan-answered datasets contribute
+        // no partition keys, so a combination only ever answered by scans
+        // accumulates counts but never candidates — the empty-candidate guard
+        // below keeps it from creating empty merge files.
         self.stats
             .write()
             .unwrap()
@@ -261,35 +407,94 @@ impl SpaceOdyssey {
                 .retrieved(combination)
                 .map(|set| set.iter().copied().collect())
                 .unwrap_or_default();
-            // The merger write lock serializes merge work; a thread that
-            // arrives after another already merged these candidates appends
-            // nothing (the merge file is append-only and checked per key).
-            let summary = self.merger.write().unwrap().merge_combination(
-                storage,
-                &self.config,
-                combination,
-                &candidates,
-                &self.datasets,
-            )?;
-            merge_performed = summary.entries_appended > 0;
+            if !candidates.is_empty() {
+                // The merger write lock serializes merge work; a thread that
+                // arrives after another already merged these candidates
+                // appends nothing (the merge file is append-only and checked
+                // per key).
+                let summary = self.merger.write().unwrap().merge_combination(
+                    storage,
+                    &self.config,
+                    combination,
+                    &candidates,
+                    &self.datasets,
+                )?;
+                merge_performed = summary.entries_appended > 0;
+            }
         }
 
+        if !counting {
+            count = objects.len() as u64;
+        }
         Ok(QueryOutcome {
             objects,
+            count,
+            plans,
             route,
             partitions_refined: refined,
             partitions_from_merge_file: from_merge,
             partitions_from_datasets: from_datasets,
+            partitions_counted_from_metadata: metadata_counted,
             merge_performed,
         })
     }
 
-    /// Executes a batch of queries, fanning out over all available cores.
-    ///
-    /// Results are returned in the order of `queries`, and each per-query
-    /// answer equals what sequential [`SpaceOdyssey::execute`] would return.
-    /// See [`SpaceOdyssey::execute_batch_with_threads`] for the threading
-    /// contract.
+    /// Executes one k-nearest-neighbour query: per dataset either a
+    /// best-first traversal of its partitions or (when the planner finds it
+    /// cheaper, e.g. for `k` close to the dataset size) a full scan, then a
+    /// deterministic `(distance, dataset, id)` merge across datasets.
+    fn execute_knn(
+        &self,
+        storage: &StorageManager,
+        query: &KnnQuery,
+    ) -> StorageResult<QueryOutcome> {
+        let combination = query.datasets;
+        let planner = Planner::new(&self.config);
+        let mut plans: Vec<PlanChoice> = Vec::new();
+        let mut best: Vec<((f64, u16, u64), SpatialObject)> = Vec::new();
+        for dataset_id in combination.iter() {
+            let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) else {
+                continue; // unknown dataset: nothing to answer
+            };
+            let path = if self.config.planner_enabled {
+                let plan = planner.plan_knn(storage, index, query);
+                let path = plan.path;
+                plans.push(plan);
+                path
+            } else {
+                AccessPath::Octree
+            };
+            let candidates = if path == AccessPath::SeqScan {
+                index.scan_raw(storage)?
+            } else {
+                index
+                    .knn(storage, &self.config, query.point, query.k)?
+                    .results
+            };
+            best.extend(candidates.into_iter().map(|o| (query.rank_key(&o), o)));
+            best.sort_by(|a, b| knn_key_cmp(&a.0, &b.0));
+            best.truncate(query.k);
+        }
+        // Count the combination for the statistics; no partition keys are
+        // recorded — the kNN path reads partitions directly and never
+        // benefits from merge files.
+        self.stats.write().unwrap().record(combination, &[]);
+        let objects: Vec<SpatialObject> = best.into_iter().map(|(_, o)| o).collect();
+        Ok(QueryOutcome {
+            count: objects.len() as u64,
+            objects,
+            plans,
+            route: RouteKind::None,
+            partitions_refined: 0,
+            partitions_from_merge_file: 0,
+            partitions_from_datasets: 0,
+            partitions_counted_from_metadata: 0,
+            merge_performed: false,
+        })
+    }
+
+    /// Executes a batch of range queries, fanning out over all available
+    /// cores. See [`SpaceOdyssey::execute_batch_with_threads`].
     pub fn execute_batch(
         &self,
         storage: &StorageManager,
@@ -301,7 +506,7 @@ impl SpaceOdyssey {
         self.execute_batch_with_threads(storage, queries, threads)
     }
 
-    /// Executes a batch of queries on exactly `threads` worker threads
+    /// Executes a batch of range queries on exactly `threads` worker threads
     /// (clamped to the batch size; `0` or `1` runs inline on the caller).
     ///
     /// Workers pull queries from a shared cursor, so skewed workloads stay
@@ -316,9 +521,49 @@ impl SpaceOdyssey {
         queries: &[RangeQuery],
         threads: usize,
     ) -> StorageResult<Vec<QueryOutcome>> {
+        self.run_batch(queries, threads, |q| self.execute(storage, q))
+    }
+
+    /// Executes a batch of typed queries, fanning out over all available
+    /// cores. See [`SpaceOdyssey::execute_query_batch_with_threads`].
+    pub fn execute_query_batch(
+        &self,
+        storage: &StorageManager,
+        queries: &[Query],
+    ) -> StorageResult<Vec<QueryOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.execute_query_batch_with_threads(storage, queries, threads)
+    }
+
+    /// Executes a batch of typed queries on exactly `threads` worker threads.
+    ///
+    /// Mixed-kind batches keep the `execute_batch` contract: per-query
+    /// answers (objects or counts) are deterministic — identical to
+    /// sequential execution regardless of thread interleaving — and every
+    /// adaptation (first touch, refinement, merge) happens exactly once.
+    /// Planner *decisions* may differ run to run (they react to live cache
+    /// statistics and adaptation timing); the answers they produce cannot.
+    pub fn execute_query_batch_with_threads(
+        &self,
+        storage: &StorageManager,
+        queries: &[Query],
+        threads: usize,
+    ) -> StorageResult<Vec<QueryOutcome>> {
+        self.run_batch(queries, threads, |q| self.execute_query(storage, q))
+    }
+
+    /// Shared fan-out harness of the two batch entry points.
+    fn run_batch<T: Sync>(
+        &self,
+        queries: &[T],
+        threads: usize,
+        run: impl Fn(&T) -> StorageResult<QueryOutcome> + Sync,
+    ) -> StorageResult<Vec<QueryOutcome>> {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads <= 1 {
-            return queries.iter().map(|q| self.execute(storage, q)).collect();
+            return queries.iter().map(run).collect();
         }
         let cursor = AtomicUsize::new(0);
         let collected: Vec<Mutex<Option<StorageResult<QueryOutcome>>>> =
@@ -328,7 +573,7 @@ impl SpaceOdyssey {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(query) = queries.get(i) else { break };
-                    let result = self.execute(storage, query);
+                    let result = run(query);
                     *collected[i].lock().unwrap() = Some(result);
                 });
             }
@@ -504,6 +749,28 @@ mod tests {
         // Statistics recorded the combination.
         let combo = DatasetSet::from_ids(hot.iter().map(|&d| DatasetId(d)));
         assert_eq!(engine.stats().count(combo), 12);
+    }
+
+    #[test]
+    fn disabled_planner_records_no_plans_and_keeps_legacy_merge_routing() {
+        let Fixture {
+            storage, engine, ..
+        } = fixture(4, 2000, config().without_planner());
+        let hot = [0u16, 1, 2];
+        let mut merge_file_used = false;
+        for i in 0..12 {
+            let q = query(i, Vec3::splat(48.0 + (i % 3) as f64), 4.0, &hot);
+            let outcome = engine.execute(&storage, &q).unwrap();
+            assert!(
+                outcome.plans.is_empty(),
+                "legacy mode must not record planner decisions"
+            );
+            merge_file_used |= outcome.used_merge_file();
+        }
+        assert!(
+            merge_file_used,
+            "legacy per-key merge routing must still serve hot queries"
+        );
     }
 
     #[test]

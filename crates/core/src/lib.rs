@@ -15,10 +15,13 @@
 //! * the **Merger** ([`merger`]) copies the partitions of hot combinations
 //!   into append-only **merge files** ([`merge_file`]) laid out for
 //!   sequential retrieval, within a space budget with LRU eviction;
-//! * the **Query Processor** ([`engine`]) routes every query to the best
-//!   available layout (exact / superset / subset merge file, or the
-//!   individual per-dataset indexes) and feeds the statistics back into the
-//!   adaptation loop.
+//! * the **Planner** ([`planner`]) chooses, per query and per dataset, among
+//!   the merge-file path, the partitioned octree path and a sequential scan
+//!   of the raw file, using the configured device cost model and the live
+//!   I/O statistics;
+//! * the **Query Processor** ([`engine`]) executes any of the four typed
+//!   query kinds (range / point / kNN / count) over the planned access
+//!   paths and feeds the statistics back into the adaptation loop.
 //!
 //! The public entry point is [`SpaceOdyssey`].
 
@@ -31,12 +34,14 @@ pub mod merge_file;
 pub mod merger;
 pub mod octree;
 pub mod partition;
+pub mod planner;
 pub mod stats;
 
 pub use config::{MergeLevelPolicy, OdysseyConfig};
 pub use engine::{QueryOutcome, SpaceOdyssey};
 pub use merge_file::{MergeEntry, MergeFile, MergeRun};
 pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};
-pub use octree::{DatasetIndex, PreparedQuery};
+pub use octree::{DatasetIndex, PreparedKnn, PreparedQuery};
 pub use partition::{Partition, PartitionKey};
+pub use planner::{AccessPath, PlanChoice, Planner};
 pub use stats::{ComboStats, StatsCollector};

@@ -93,15 +93,12 @@ impl MergeDirectory {
             .map(move |i| &mut self.files[i])
     }
 
-    /// Chooses the best merge file for a queried combination, following the
-    /// paper's routing rules: exact match first, then the smallest superset,
-    /// then the file sharing the most datasets with the query. Marks the
-    /// chosen file as recently used.
-    pub fn route(&self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
-        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+    /// Like [`MergeDirectory::route`] but without recording recency: used by
+    /// the access-path planner, whose probe must not perturb the LRU order
+    /// the real routing decision maintains.
+    pub fn peek(&self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
         // Exact.
         if let Some(i) = self.find_exact(combination) {
-            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Exact);
         }
         // Smallest superset.
@@ -113,7 +110,6 @@ impl MergeDirectory {
             .min_by_key(|(_, f)| f.combination.len())
             .map(|(i, _)| i);
         if let Some(i) = superset {
-            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Superset);
         }
         // Largest overlap (subset or partial overlap).
@@ -126,10 +122,22 @@ impl MergeDirectory {
             .max_by_key(|(_, overlap)| *overlap)
             .map(|(i, _)| i);
         if let Some(i) = best_overlap {
-            self.files[i].touch(clock);
             return (Some(&self.files[i]), RouteKind::Subset);
         }
         (None, RouteKind::None)
+    }
+
+    /// Chooses the best merge file for a queried combination, following the
+    /// paper's routing rules: exact match first, then the smallest superset,
+    /// then the file sharing the most datasets with the query. Marks the
+    /// chosen file as recently used.
+    pub fn route(&self, combination: DatasetSet) -> (Option<&MergeFile>, RouteKind) {
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let (file, kind) = self.peek(combination);
+        if let Some(file) = file {
+            file.touch(clock);
+        }
+        (file, kind)
     }
 
     /// Registers a new merge file.

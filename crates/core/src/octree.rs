@@ -29,7 +29,7 @@
 
 use crate::config::OdysseyConfig;
 use crate::partition::{Partition, PartitionKey};
-use odyssey_geom::{Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
+use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
 use odyssey_storage::{pages_needed, FileId, RawDataset, StorageManager, StorageResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -50,6 +50,16 @@ pub struct PreparedQuery {
     pub collected: Vec<SpatialObject>,
     /// Number of partitions refined while executing this query.
     pub refined: usize,
+}
+
+/// Result of a best-first k-nearest-neighbour traversal over one dataset.
+#[derive(Debug, Default)]
+pub struct PreparedKnn {
+    /// The dataset's `k` best candidates, sorted by
+    /// `(distance², dataset, id)`.
+    pub results: Vec<SpatialObject>,
+    /// Keys of the partitions the traversal had to visit.
+    pub retrieved_keys: Vec<PartitionKey>,
 }
 
 /// The mutable state of one dataset's index, guarded by the per-dataset lock.
@@ -89,6 +99,50 @@ impl DatasetIndex {
     /// The dataset this index covers.
     pub fn dataset(&self) -> DatasetId {
         self.dataset
+    }
+
+    /// Metadata of the underlying raw file (used by the planner to cost the
+    /// sequential-scan access path, and by the scan path itself).
+    pub fn raw(&self) -> &RawDataset {
+        &self.raw
+    }
+
+    /// Reads every object of the dataset straight from its raw file — the
+    /// sequential-scan access path. Touches none of the adaptive state: a
+    /// dataset answered by scans stays uninitialized.
+    pub fn scan_raw(&self, storage: &StorageManager) -> StorageResult<Vec<SpatialObject>> {
+        storage.read_objects(self.raw.file, self.raw.pages())
+    }
+
+    /// Size snapshot for the planner: `(partition count, data pages, stored
+    /// objects)`, or `None` while the dataset is uninitialized.
+    pub fn summary(&self) -> Option<(usize, u64, u64)> {
+        let state = self.state.read().unwrap();
+        state.file?;
+        let pages = state.partitions.iter().map(|p| p.page_count).sum();
+        let objects = state.partitions.iter().map(|p| p.object_count).sum();
+        Some((state.partitions.len(), pages, objects))
+    }
+
+    /// Calls `visit` for every current leaf partition whose (query-window
+    /// extended) bounds intersect the query range, under one read-lock
+    /// acquisition and without allocating. Returns `None` when the dataset is
+    /// not initialized yet (the planner then falls back to a geometric
+    /// estimate over the level-1 grid).
+    pub fn probe_hits<F: FnMut(&Partition)>(
+        &self,
+        query: &RangeQuery,
+        mut visit: F,
+    ) -> Option<usize> {
+        let state = self.state.read().unwrap();
+        state.file?;
+        let extended = query.extended_range(state.max_extent);
+        for p in state.partitions.iter() {
+            if p.bounds.intersects(&extended) {
+                visit(p);
+            }
+        }
+        Some(state.partitions.len())
     }
 
     /// Whether the first-touch partitioning has happened.
@@ -478,6 +532,79 @@ impl DatasetIndex {
         }
         Ok(None)
     }
+
+    /// Best-first k-nearest-neighbour traversal: visits leaf partitions in
+    /// ascending `mindist` order and stops as soon as no unvisited partition
+    /// can still improve the `k` best candidates.
+    ///
+    /// Objects are assigned to partitions by center, so an object's MBR may
+    /// stick out of its partition by up to half the dataset's `maxExtent`;
+    /// the pruning bound therefore uses the partition bounds *expanded* by
+    /// that margin — the kNN analogue of query-window extension. Ties at the
+    /// pruning boundary are resolved by reading (`mindist <= kth` rather than
+    /// `<`), so the answer equals the brute-force oracle's including its
+    /// `(distance, dataset, id)` tie-break.
+    ///
+    /// The whole traversal runs under one read-lock acquisition: the
+    /// partition table and every page run it reads belong to one consistent
+    /// snapshot, so concurrent refinement can never tear the answer.
+    /// Initializes the dataset on first touch; never refines.
+    pub fn knn(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        point: Vec3,
+        k: usize,
+    ) -> StorageResult<PreparedKnn> {
+        self.ensure_initialized(storage, config)?;
+        let mut out = PreparedKnn::default();
+        if k == 0 {
+            return Ok(out);
+        }
+        let state = self.state.read().unwrap();
+        let file = state.file.expect("knn requires an initialized dataset");
+        let margin = state.max_extent * 0.5;
+
+        // Rank partitions by the extended-bounds mindist. The scan over the
+        // partition table is CPU work, like every other partition-MBR scan.
+        storage.note_objects_scanned(state.partitions.len() as u64);
+        let mut order: Vec<(f64, &Partition)> = state
+            .partitions
+            .iter()
+            .map(|p| (p.bounds.expanded(margin).min_distance_squared_to(point), p))
+            .collect();
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("partition distances are finite")
+                .then(a.1.key.cmp(&b.1.key))
+        });
+
+        let mut best: Vec<((f64, u16, u64), SpatialObject)> = Vec::new();
+        let mut kth = f64::INFINITY;
+        for (mindist, partition) in order {
+            if best.len() >= k && mindist > kth {
+                break;
+            }
+            out.retrieved_keys.push(partition.key);
+            if partition.object_count == 0 {
+                continue;
+            }
+            let objects = storage.read_objects(file, partition.pages())?;
+            best.extend(objects.into_iter().map(|o| {
+                (
+                    (o.mbr.min_distance_squared_to(point), o.dataset.0, o.id.0),
+                    o,
+                )
+            }));
+            best.sort_by(|a, b| knn_key_cmp(&a.0, &b.0));
+            best.truncate(k);
+            if best.len() == k {
+                kth = best[k - 1].0 .0;
+            }
+        }
+        out.results = best.into_iter().map(|(_, o)| o).collect();
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -795,6 +922,90 @@ mod tests {
             })
             .count();
         assert_eq!(via_ancestor.len(), oracle);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_before_and_after_refinement() {
+        use odyssey_geom::{scan_knn_query, KnnQuery};
+        let (storage, objs, index) = setup(3000);
+        let cfg = config();
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let mut probe = |index: &DatasetIndex| {
+            for i in 0..15u32 {
+                let p = Vec3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                let k = rng.gen_range(1..40usize);
+                let q = KnnQuery::new(QueryId(i), p, k, DatasetSet::single(DatasetId(0)));
+                let got: Vec<_> = index
+                    .knn(&storage, &cfg, p, k)
+                    .unwrap()
+                    .results
+                    .iter()
+                    .map(|o| o.id)
+                    .collect();
+                let expected: Vec<_> = scan_knn_query(&q, objs.iter())
+                    .iter()
+                    .map(|o| o.id)
+                    .collect();
+                assert_eq!(got, expected, "kNN diverged (k={k}, p={p:?})");
+            }
+        };
+        probe(&index);
+        // Refine a hot area, then probe again: answers must be unchanged.
+        for i in 0..6 {
+            let q = RangeQuery::new(
+                QueryId(100 + i),
+                Aabb::from_center_extent(Vec3::splat(30.0), Vec3::splat(2.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&storage, &index, &cfg, &q);
+        }
+        assert!(index.total_refinements() > 0);
+        probe(&index);
+    }
+
+    #[test]
+    fn knn_edge_cases_and_pruning() {
+        let (storage, objs, index) = setup(2000);
+        let cfg = config();
+        // k = 0 returns nothing and reads nothing.
+        let empty = index.knn(&storage, &cfg, Vec3::splat(50.0), 0).unwrap();
+        assert!(empty.results.is_empty());
+        assert!(empty.retrieved_keys.is_empty());
+        // k >= n returns every object.
+        let all = index.knn(&storage, &cfg, Vec3::splat(50.0), 5000).unwrap();
+        assert_eq!(all.results.len(), objs.len());
+        // A small k well inside one cell prunes the far partitions. (A probe
+        // at the exact center would touch all 2³ level-1 cells legitimately —
+        // their expanded bounds all contain it.)
+        let small = index.knn(&storage, &cfg, Vec3::splat(25.0), 3).unwrap();
+        assert_eq!(small.results.len(), 3);
+        assert!(
+            small.retrieved_keys.len() < index.partitions().len(),
+            "best-first must not visit every partition for a small k"
+        );
+    }
+
+    #[test]
+    fn scan_raw_and_probe_hits() {
+        let (storage, objs, index) = setup(1000);
+        let cfg = config();
+        // scan_raw works without initializing the dataset.
+        let scanned = index.scan_raw(&storage).unwrap();
+        assert_eq!(scanned.len(), objs.len());
+        assert!(!index.is_initialized());
+        assert_eq!(index.raw().num_objects, objs.len() as u64);
+        // probe_hits reports None while uninitialized.
+        let q = query(40.0, 60.0);
+        assert!(index.probe_hits(&q, |_| {}).is_none());
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let mut hits = 0usize;
+        let total = index.probe_hits(&q, |_| hits += 1).unwrap();
+        assert_eq!(total, index.partitions().len());
+        assert!(hits > 0 && hits <= total);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   query volume,
 //! * [`combos`] — combination pickers over `C(n, m)` dataset subsets,
 //! * [`workload`] — ties everything together into a reproducible
-//!   [`Workload`] (sequence of [`odyssey_geom::RangeQuery`]).
+//!   [`Workload`] (sequence of [`odyssey_geom::RangeQuery`]),
+//! * [`mixed`] — re-types a base workload into a mixed-kind sequence of
+//!   [`odyssey_geom::Query`] (range / point / kNN / count),
+//! * [`json`] — dependency-free JSON save/load of a full workload
+//!   (objects + queries), for reproducible cross-host benchmark runs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,11 +29,15 @@
 pub mod brain;
 pub mod combos;
 pub mod distributions;
+pub mod json;
+pub mod mixed;
 pub mod queries;
 pub mod workload;
 
 pub use brain::{BrainModel, DatasetSpec};
 pub use combos::CombinationPicker;
 pub use distributions::{CombinationDistribution, DiscreteSampler};
+pub use json::{JsonError, JsonValue, SavedWorkload};
+pub use mixed::{as_typed_queries, MixedWorkload, MixedWorkloadSpec, QueryKindMix};
 pub use queries::{QueryRangeDistribution, QueryRangeGenerator};
 pub use workload::{Workload, WorkloadSpec};

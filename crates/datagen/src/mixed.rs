@@ -1,0 +1,258 @@
+//! Mixed-kind workload generation.
+//!
+//! The paper's workloads are pure range-query sequences. Real exploration
+//! portals interleave kinds: a scientist pans a box (range), clicks an object
+//! (point), asks "what is near this position" (kNN) and reads density
+//! summaries off an overview widget (count). [`MixedWorkloadSpec`] re-types a
+//! base range workload into a reproducible mixed-kind sequence: the spatial
+//! and combination skew of the base workload is preserved (every kind is
+//! derived from the range query at the same position), only the kind varies.
+
+use crate::workload::{Workload, WorkloadSpec};
+use odyssey_geom::{Aabb, CountQuery, DatasetSet, KnnQuery, PointQuery, Query, QueryKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the four query kinds, plus the kind parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryKindMix {
+    /// Weight of plain range queries.
+    pub range: u32,
+    /// Weight of point lookups.
+    pub point: u32,
+    /// Weight of k-nearest-neighbour probes.
+    pub knn: u32,
+    /// Weight of count queries.
+    pub count: u32,
+    /// `k` used for every generated kNN query.
+    pub knn_k: usize,
+    /// Count queries model coarse density summaries: their range is the base
+    /// range scaled by this per-dimension factor.
+    pub count_extent_scale: f64,
+}
+
+impl Default for QueryKindMix {
+    fn default() -> Self {
+        QueryKindMix::balanced()
+    }
+}
+
+impl QueryKindMix {
+    /// Equal weight for every kind, `k = 8`, 4× count ranges.
+    pub fn balanced() -> Self {
+        QueryKindMix {
+            range: 1,
+            point: 1,
+            knn: 1,
+            count: 1,
+            knn_k: 8,
+            count_extent_scale: 4.0,
+        }
+    }
+
+    /// Only range queries (the paper's original workload shape).
+    pub fn range_only() -> Self {
+        QueryKindMix {
+            range: 1,
+            point: 0,
+            knn: 0,
+            count: 0,
+            knn_k: 8,
+            count_extent_scale: 1.0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.range + self.point + self.knn + self.count
+    }
+}
+
+/// Everything needed to (re)generate a mixed-kind workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedWorkloadSpec {
+    /// The base range workload (spatial + combination distributions, seed).
+    pub base: WorkloadSpec,
+    /// How the queries are distributed over kinds.
+    pub mix: QueryKindMix,
+}
+
+impl MixedWorkloadSpec {
+    /// Generates the mixed workload for queries over the given brain volume.
+    ///
+    /// # Panics
+    /// Panics if every kind weight is zero.
+    pub fn generate(&self, bounds: &Aabb) -> MixedWorkload {
+        assert!(self.mix.total() > 0, "at least one kind weight must be > 0");
+        let base = self.base.generate(bounds);
+        // An independent stream decides the kinds, so the same seed varies
+        // kinds without moving the query positions of the base workload.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.base.seed ^ 0x4D49_5845_444B_494E);
+        let queries = base
+            .queries
+            .iter()
+            .map(|rq| {
+                let mut pick = rng.gen_range(0..self.mix.total());
+                if pick < self.mix.range {
+                    return Query::Range(*rq);
+                }
+                pick -= self.mix.range;
+                if pick < self.mix.point {
+                    return Query::Point(PointQuery::new(rq.id, rq.range.center(), rq.datasets));
+                }
+                pick -= self.mix.point;
+                if pick < self.mix.knn {
+                    return Query::KNearestNeighbors(KnnQuery::new(
+                        rq.id,
+                        rq.range.center(),
+                        self.mix.knn_k,
+                        rq.datasets,
+                    ));
+                }
+                let scaled = Aabb::from_center_extent(
+                    rq.range.center(),
+                    rq.range.extent() * self.mix.count_extent_scale,
+                );
+                Query::Count(CountQuery::new(rq.id, scaled, rq.datasets))
+            })
+            .collect();
+        MixedWorkload {
+            spec: self.clone(),
+            queries,
+            hottest_combination: base.hottest_combination,
+        }
+    }
+}
+
+/// A concrete mixed-kind query sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedWorkload {
+    /// The spec the workload was generated from.
+    pub spec: MixedWorkloadSpec,
+    /// The query sequence, in execution order.
+    pub queries: Vec<Query>,
+    /// The combination favoured by the skewed distributions.
+    pub hottest_combination: DatasetSet,
+}
+
+impl MixedWorkload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// How many queries each kind received, in [`QueryKind::ALL`] order.
+    pub fn kind_counts(&self) -> [(QueryKind, usize); 4] {
+        QueryKind::ALL.map(|kind| {
+            (
+                kind,
+                self.queries.iter().filter(|q| q.kind() == kind).count(),
+            )
+        })
+    }
+}
+
+/// Convenience: a [`Workload`]'s queries as typed range queries (used to
+/// drive the typed APIs with the paper's original workloads).
+pub fn as_typed_queries(workload: &Workload) -> Vec<Query> {
+    workload.queries.iter().map(|q| Query::Range(*q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::Vec3;
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(1000.0))
+    }
+
+    fn spec(mix: QueryKindMix) -> MixedWorkloadSpec {
+        MixedWorkloadSpec {
+            base: WorkloadSpec {
+                num_queries: 400,
+                ..Default::default()
+            },
+            mix,
+        }
+    }
+
+    #[test]
+    fn balanced_mix_produces_every_kind() {
+        let w = spec(QueryKindMix::balanced()).generate(&bounds());
+        assert_eq!(w.len(), 400);
+        assert!(!w.is_empty());
+        for (kind, count) in w.kind_counts() {
+            assert!(
+                count > 400 / 8,
+                "kind {kind:?} underrepresented: {count}/400"
+            );
+        }
+    }
+
+    #[test]
+    fn range_only_mix_matches_the_base_workload() {
+        let s = spec(QueryKindMix::range_only());
+        let mixed = s.generate(&bounds());
+        let base = s.base.generate(&bounds());
+        assert_eq!(mixed.queries, as_typed_queries(&base));
+        assert_eq!(mixed.hottest_combination, base.hottest_combination);
+    }
+
+    #[test]
+    fn kinds_preserve_position_and_combination() {
+        let s = spec(QueryKindMix::balanced());
+        let mixed = s.generate(&bounds());
+        let base = s.base.generate(&bounds());
+        for (typed, rq) in mixed.queries.iter().zip(&base.queries) {
+            assert_eq!(typed.id(), rq.id);
+            assert_eq!(typed.datasets(), rq.datasets);
+            match typed {
+                Query::Range(q) => assert_eq!(q.range, rq.range),
+                Query::Point(q) => assert_eq!(q.point, rq.range.center()),
+                Query::KNearestNeighbors(q) => {
+                    assert_eq!(q.point, rq.range.center());
+                    assert_eq!(q.k, 8);
+                }
+                Query::Count(q) => {
+                    // Rebuilding the box from center + scaled extent loses at
+                    // most an ulp per component.
+                    assert!(q.range.center().distance(rq.range.center()) < 1e-9);
+                    let scale = q.range.extent().x / rq.range.extent().x;
+                    assert!((scale - 4.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let s = spec(QueryKindMix::balanced());
+        assert_eq!(s.generate(&bounds()), s.generate(&bounds()));
+        let mut other = s.clone();
+        other.base.seed ^= 1;
+        assert_ne!(
+            s.generate(&bounds()).queries,
+            other.generate(&bounds()).queries
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kind weight")]
+    fn zero_weights_panic() {
+        let mix = QueryKindMix {
+            range: 0,
+            point: 0,
+            knn: 0,
+            count: 0,
+            knn_k: 1,
+            count_extent_scale: 1.0,
+        };
+        let _ = spec(mix).generate(&bounds());
+    }
+}

@@ -261,6 +261,31 @@ impl Aabb {
         out
     }
 
+    /// Squared Euclidean distance from point `p` to the closest point of the
+    /// box (zero when `p` lies inside). This is the `mindist` bound of
+    /// best-first nearest-neighbour traversals: no object stored inside the
+    /// box can be closer to `p` than this.
+    #[inline]
+    pub fn min_distance_squared_to(&self, p: Vec3) -> f64 {
+        let d = (self.min - p).max(p - self.max).max(Vec3::ZERO);
+        d.length_squared()
+    }
+
+    /// Euclidean distance from point `p` to the closest point of the box
+    /// (zero when `p` lies inside).
+    #[inline]
+    pub fn min_distance_to(&self, p: Vec3) -> f64 {
+        self.min_distance_squared_to(p).sqrt()
+    }
+
+    /// Squared Euclidean distance from point `p` to the farthest corner of
+    /// the box — an upper bound on the distance to anything stored inside.
+    #[inline]
+    pub fn max_distance_squared_to(&self, p: Vec3) -> f64 {
+        let d = (p - self.min).abs().max((self.max - p).abs());
+        d.length_squared()
+    }
+
     /// Index (in the order produced by [`Aabb::subdivide`]) of the sub-box of
     /// a `k × k × k` subdivision that contains point `p` under half-open
     /// semantics. Points outside the box are clamped to the nearest cell.
@@ -432,6 +457,29 @@ mod tests {
         assert_eq!(b.subdivision_cell_of(k, Vec3::splat(100.0)), k * k * k - 1);
         // Max corner maps to the last cell, not out of range.
         assert_eq!(b.subdivision_cell_of(k, b.max), k * k * k - 1);
+    }
+
+    #[test]
+    fn point_distance_bounds() {
+        let b = Aabb::from_min_max(Vec3::ZERO, Vec3::splat(2.0));
+        // Inside: zero min distance.
+        assert_eq!(b.min_distance_squared_to(Vec3::ONE), 0.0);
+        assert_eq!(b.min_distance_to(Vec3::ONE), 0.0);
+        // On the boundary: still zero.
+        assert_eq!(b.min_distance_squared_to(Vec3::splat(2.0)), 0.0);
+        // Outside along one axis.
+        assert_eq!(b.min_distance_squared_to(Vec3::new(5.0, 1.0, 1.0)), 9.0);
+        // Outside along all axes (corner distance).
+        assert_eq!(b.min_distance_squared_to(Vec3::splat(3.0)), 3.0);
+        assert_eq!(b.min_distance_squared_to(Vec3::splat(-1.0)), 3.0);
+        // Farthest corner from the center is the main diagonal half-length.
+        assert_eq!(b.max_distance_squared_to(Vec3::ONE), 3.0);
+        // Farthest corner from the min corner is the full diagonal.
+        assert_eq!(b.max_distance_squared_to(Vec3::ZERO), 12.0);
+        // min <= max always.
+        for p in [Vec3::splat(-4.0), Vec3::ONE, Vec3::splat(7.5)] {
+            assert!(b.min_distance_squared_to(p) <= b.max_distance_squared_to(p));
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`SpatialObject`] — an object identifier, its owning dataset and its MBR,
 //! * [`DatasetId`] / [`DatasetSet`] — compact dataset identifiers and bitset
 //!   combinations (the `C = {DS1, …, DSN}` of the paper),
-//! * [`RangeQuery`] — the `Q = {A; DS1, …, DSN}` query form of the paper,
+//! * [`Query`] — the typed query model: [`RangeQuery`] (the paper's
+//!   `Q = {A; DS1, …, DSN}` form) plus [`PointQuery`], [`KnnQuery`] and
+//!   [`CountQuery`], with brute-force oracles for each kind,
 //! * [`GridSpec`] — uniform-grid cell arithmetic used by the static Grid
 //!   baseline and by Space Odyssey's space-oriented partitioning,
 //! * [`morton`] — Z-order encoding used for packing objects into disk pages.
@@ -36,7 +38,10 @@ pub use aabb::Aabb;
 pub use dataset::{binomial, enumerate_combinations, Combination, DatasetId, DatasetSet};
 pub use grid::{CellCoord, GridSpec};
 pub use object::{max_extent, ObjectId, Segment, SpatialObject};
-pub use query::{scan_query, QueryId, RangeQuery};
+pub use query::{
+    knn_key_cmp, scan_any_query, scan_count_query, scan_knn_query, scan_point_query, scan_query,
+    CountQuery, KnnQuery, PointQuery, Query, QueryAnswer, QueryId, QueryKind, RangeQuery,
+};
 pub use vec3::Vec3;
 
 /// Number of spatial dimensions used throughout the system.

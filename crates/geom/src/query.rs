@@ -1,8 +1,20 @@
-//! Range queries over combinations of datasets.
+//! Typed queries over combinations of datasets.
 //!
-//! A query in the paper has the form `Q = {A; DS1, …, DSN}`: an axis-aligned
-//! range `A` evaluated over a set of datasets. Results are the objects of the
-//! requested datasets whose MBRs intersect `A`.
+//! The paper's query has the form `Q = {A; DS1, …, DSN}`: an axis-aligned
+//! range `A` evaluated over a set of datasets, answered with the objects of
+//! the requested datasets whose MBRs intersect `A`. Real exploration portals
+//! are also driven by point lookups, nearest-neighbour probes and
+//! count/density summaries, so this module generalises the model into a typed
+//! [`Query`] with four kinds:
+//!
+//! * [`RangeQuery`] — the paper's box scan,
+//! * [`PointQuery`] — objects whose MBR contains one point,
+//! * [`KnnQuery`] — the `k` objects nearest to a point (MBR `mindist`),
+//! * [`CountQuery`] — the *number* of objects a range query would return,
+//!   answerable without materializing the objects.
+//!
+//! Every kind comes with a brute-force oracle (`scan_*`) used by the tests
+//! and the benchmark harness to validate every execution path.
 
 use crate::{Aabb, DatasetSet, SpatialObject, Vec3};
 use serde::{Deserialize, Serialize};
@@ -82,6 +94,325 @@ where
         .collect()
 }
 
+/// A point lookup: the objects of the requested datasets whose MBR contains
+/// `point` (an ESASky-style "what is at this position" probe).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointQuery {
+    /// Position of the query in the workload (0-based).
+    pub id: QueryId,
+    /// The probed position.
+    pub point: Vec3,
+    /// The datasets the lookup must be evaluated on.
+    pub datasets: DatasetSet,
+}
+
+impl PointQuery {
+    /// Creates a point query.
+    #[inline]
+    pub fn new(id: QueryId, point: Vec3, datasets: DatasetSet) -> Self {
+        PointQuery {
+            id,
+            point,
+            datasets,
+        }
+    }
+
+    /// Returns `true` if `object` is part of the answer.
+    #[inline]
+    pub fn matches(&self, object: &SpatialObject) -> bool {
+        self.datasets.contains(object.dataset) && object.mbr.contains_point(self.point)
+    }
+
+    /// The equivalent degenerate range query: a zero-extent box at the point
+    /// intersects exactly the MBRs containing it, so the whole range-query
+    /// machinery (query-window extension, partition probing, merge routing)
+    /// answers point lookups unchanged.
+    #[inline]
+    pub fn as_range(&self) -> RangeQuery {
+        RangeQuery::new(self.id, Aabb::from_point(self.point), self.datasets)
+    }
+}
+
+/// A k-nearest-neighbour probe: the `k` objects of the requested datasets
+/// whose MBRs are nearest to `point`, by minimum Euclidean distance from the
+/// point to the MBR (zero when the point lies inside).
+///
+/// Ties are broken deterministically by `(distance, dataset, object id)`, so
+/// every execution path — brute force, best-first octree, expanding-radius
+/// baseline — returns the identical answer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnnQuery {
+    /// Position of the query in the workload (0-based).
+    pub id: QueryId,
+    /// The probe position.
+    pub point: Vec3,
+    /// Number of neighbours requested.
+    pub k: usize,
+    /// The datasets the probe must be evaluated on.
+    pub datasets: DatasetSet,
+}
+
+impl KnnQuery {
+    /// Creates a kNN query.
+    #[inline]
+    pub fn new(id: QueryId, point: Vec3, k: usize, datasets: DatasetSet) -> Self {
+        KnnQuery {
+            id,
+            point,
+            k,
+            datasets,
+        }
+    }
+
+    /// Squared distance from the probe point to an object's MBR.
+    #[inline]
+    pub fn distance_squared(&self, object: &SpatialObject) -> f64 {
+        object.mbr.min_distance_squared_to(self.point)
+    }
+
+    /// The total order used to rank candidates: squared distance, then
+    /// dataset, then object id. Deterministic for any set of finite MBRs.
+    #[inline]
+    pub fn rank_key(&self, object: &SpatialObject) -> (f64, u16, u64) {
+        (self.distance_squared(object), object.dataset.0, object.id.0)
+    }
+}
+
+/// Compares two kNN rank keys ((squared distance, dataset, id) triples).
+/// Distances of finite MBRs are never NaN, so the order is total.
+#[inline]
+pub fn knn_key_cmp(a: &(f64, u16, u64), b: &(f64, u16, u64)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0)
+        .expect("kNN distances are finite")
+        .then(a.1.cmp(&b.1))
+        .then(a.2.cmp(&b.2))
+}
+
+/// A count query: how many objects a [`RangeQuery`] with the same range and
+/// datasets would return. The adaptive engine answers it from partition
+/// metadata wherever a partition lies fully inside the range, without reading
+/// the objects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountQuery {
+    /// Position of the query in the workload (0-based).
+    pub id: QueryId,
+    /// The counted spatial range.
+    pub range: Aabb,
+    /// The datasets the count must be evaluated on.
+    pub datasets: DatasetSet,
+}
+
+impl CountQuery {
+    /// Creates a count query.
+    #[inline]
+    pub fn new(id: QueryId, range: Aabb, datasets: DatasetSet) -> Self {
+        CountQuery {
+            id,
+            range,
+            datasets,
+        }
+    }
+
+    /// Returns `true` if `object` is counted.
+    #[inline]
+    pub fn matches(&self, object: &SpatialObject) -> bool {
+        self.datasets.contains(object.dataset) && object.mbr.intersects(&self.range)
+    }
+
+    /// The equivalent materializing range query.
+    #[inline]
+    pub fn as_range(&self) -> RangeQuery {
+        RangeQuery::new(self.id, self.range, self.datasets)
+    }
+}
+
+/// The kind of a [`Query`], for reporting and per-kind aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Axis-aligned box scan.
+    Range,
+    /// Point lookup.
+    Point,
+    /// k-nearest-neighbour probe.
+    KNearestNeighbors,
+    /// Range count without materialization.
+    Count,
+}
+
+impl QueryKind {
+    /// Short display name ("range", "point", "knn", "count").
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Range => "range",
+            QueryKind::Point => "point",
+            QueryKind::KNearestNeighbors => "knn",
+            QueryKind::Count => "count",
+        }
+    }
+
+    /// Every kind, in display order.
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::Range,
+        QueryKind::Point,
+        QueryKind::KNearestNeighbors,
+        QueryKind::Count,
+    ];
+}
+
+/// A typed query: one of the four supported kinds, each over a combination of
+/// datasets. This is what the generalized engine, the baselines and the
+/// workload generators exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Axis-aligned range query (the paper's form).
+    Range(RangeQuery),
+    /// Point lookup.
+    Point(PointQuery),
+    /// k-nearest-neighbour probe.
+    KNearestNeighbors(KnnQuery),
+    /// Range count.
+    Count(CountQuery),
+}
+
+impl Query {
+    /// The query's position in the workload.
+    #[inline]
+    pub fn id(&self) -> QueryId {
+        match self {
+            Query::Range(q) => q.id,
+            Query::Point(q) => q.id,
+            Query::KNearestNeighbors(q) => q.id,
+            Query::Count(q) => q.id,
+        }
+    }
+
+    /// The combination of datasets the query addresses.
+    #[inline]
+    pub fn datasets(&self) -> DatasetSet {
+        match self {
+            Query::Range(q) => q.datasets,
+            Query::Point(q) => q.datasets,
+            Query::KNearestNeighbors(q) => q.datasets,
+            Query::Count(q) => q.datasets,
+        }
+    }
+
+    /// The query's kind tag.
+    #[inline]
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Range(_) => QueryKind::Range,
+            Query::Point(_) => QueryKind::Point,
+            Query::KNearestNeighbors(_) => QueryKind::KNearestNeighbors,
+            Query::Count(_) => QueryKind::Count,
+        }
+    }
+}
+
+impl From<RangeQuery> for Query {
+    fn from(q: RangeQuery) -> Self {
+        Query::Range(q)
+    }
+}
+
+impl From<PointQuery> for Query {
+    fn from(q: PointQuery) -> Self {
+        Query::Point(q)
+    }
+}
+
+impl From<KnnQuery> for Query {
+    fn from(q: KnnQuery) -> Self {
+        Query::KNearestNeighbors(q)
+    }
+}
+
+impl From<CountQuery> for Query {
+    fn from(q: CountQuery) -> Self {
+        Query::Count(q)
+    }
+}
+
+/// The answer of a typed query: the matching objects, or a bare count for
+/// [`CountQuery`] (which never materializes its objects).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Objects, for range / point / kNN queries. kNN answers are sorted by
+    /// `(distance, dataset, id)`.
+    Objects(Vec<SpatialObject>),
+    /// Count, for count queries.
+    Count(u64),
+}
+
+impl QueryAnswer {
+    /// Number of matching objects, regardless of representation.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        match self {
+            QueryAnswer::Objects(objs) => objs.len() as u64,
+            QueryAnswer::Count(n) => *n,
+        }
+    }
+
+    /// The materialized objects, or `None` for count answers.
+    #[inline]
+    pub fn objects(&self) -> Option<&[SpatialObject]> {
+        match self {
+            QueryAnswer::Objects(objs) => Some(objs),
+            QueryAnswer::Count(_) => None,
+        }
+    }
+}
+
+/// Brute-force point-query oracle.
+pub fn scan_point_query<'a, I>(query: &PointQuery, objects: I) -> Vec<SpatialObject>
+where
+    I: IntoIterator<Item = &'a SpatialObject>,
+{
+    objects
+        .into_iter()
+        .filter(|o| query.matches(o))
+        .copied()
+        .collect()
+}
+
+/// Brute-force kNN oracle: every matching object ranked by
+/// `(distance, dataset, id)`, truncated to `k`.
+pub fn scan_knn_query<'a, I>(query: &KnnQuery, objects: I) -> Vec<SpatialObject>
+where
+    I: IntoIterator<Item = &'a SpatialObject>,
+{
+    let mut candidates: Vec<SpatialObject> = objects
+        .into_iter()
+        .filter(|o| query.datasets.contains(o.dataset))
+        .copied()
+        .collect();
+    candidates.sort_by(|a, b| knn_key_cmp(&query.rank_key(a), &query.rank_key(b)));
+    candidates.truncate(query.k);
+    candidates
+}
+
+/// Brute-force count oracle.
+pub fn scan_count_query<'a, I>(query: &CountQuery, objects: I) -> u64
+where
+    I: IntoIterator<Item = &'a SpatialObject>,
+{
+    objects.into_iter().filter(|o| query.matches(o)).count() as u64
+}
+
+/// Brute-force oracle over any query kind.
+pub fn scan_any_query<'a, I>(query: &Query, objects: I) -> QueryAnswer
+where
+    I: IntoIterator<Item = &'a SpatialObject>,
+{
+    match query {
+        Query::Range(q) => QueryAnswer::Objects(scan_query(q, objects)),
+        Query::Point(q) => QueryAnswer::Objects(scan_point_query(q, objects)),
+        Query::KNearestNeighbors(q) => QueryAnswer::Objects(scan_knn_query(q, objects)),
+        Query::Count(q) => QueryAnswer::Count(scan_count_query(q, objects)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +476,114 @@ mod tests {
     #[test]
     fn query_id_index() {
         assert_eq!(QueryId(17).index(), 17);
+    }
+
+    #[test]
+    fn point_query_matches_and_degenerate_range() {
+        let q = PointQuery::new(
+            QueryId(0),
+            Vec3::splat(0.5),
+            DatasetSet::from_ids([DatasetId(0)]),
+        );
+        assert!(q.matches(&mk_obj(1, 0, 0.4, 0.6)));
+        assert!(!q.matches(&mk_obj(2, 0, 0.6, 0.9)));
+        assert!(!q.matches(&mk_obj(3, 1, 0.4, 0.6)));
+        // The degenerate range query answers identically.
+        let rq = q.as_range();
+        assert_eq!(rq.volume(), 0.0);
+        assert!(rq.matches(&mk_obj(1, 0, 0.4, 0.6)));
+        assert!(!rq.matches(&mk_obj(2, 0, 0.6, 0.9)));
+    }
+
+    #[test]
+    fn knn_oracle_ranks_by_distance_then_ids() {
+        let objects = [
+            mk_obj(0, 0, 4.0, 5.0),
+            mk_obj(1, 0, 2.0, 3.0),
+            mk_obj(2, 1, 2.0, 3.0), // same distance as id 1 but dataset 1
+            mk_obj(3, 0, 0.2, 0.4), // contains nothing; nearest to origin
+            mk_obj(4, 2, 0.0, 1.0), // not in the queried datasets
+        ];
+        let q = KnnQuery::new(
+            QueryId(0),
+            Vec3::ZERO,
+            3,
+            DatasetSet::from_ids([DatasetId(0), DatasetId(1)]),
+        );
+        let res = scan_knn_query(&q, objects.iter());
+        let ids: Vec<u64> = res.iter().map(|o| o.id.0).collect();
+        // 3 first (closest), then the tie 1 vs 2 broken by dataset.
+        assert_eq!(ids, vec![3, 1, 2]);
+        // k larger than the candidate pool returns everything eligible.
+        let all = scan_knn_query(&KnnQuery { k: 10, ..q }, objects.iter());
+        assert_eq!(all.len(), 4);
+        // k = 0 returns nothing.
+        assert!(scan_knn_query(&KnnQuery { k: 0, ..q }, objects.iter()).is_empty());
+    }
+
+    #[test]
+    fn count_oracle_matches_range_oracle() {
+        let objects = [
+            mk_obj(0, 0, 0.0, 0.1),
+            mk_obj(1, 0, 0.45, 0.55),
+            mk_obj(2, 1, 0.45, 0.55),
+            mk_obj(3, 0, 0.9, 1.0),
+        ];
+        let rq = mk_query(0.4, 0.6, &[0, 1]);
+        let cq = CountQuery::new(rq.id, rq.range, rq.datasets);
+        assert_eq!(
+            scan_count_query(&cq, objects.iter()),
+            scan_query(&rq, objects.iter()).len() as u64
+        );
+        assert_eq!(cq.as_range(), rq);
+        assert!(cq.matches(&objects[1]));
+        assert!(!cq.matches(&objects[0]));
+    }
+
+    #[test]
+    fn query_enum_accessors_and_conversions() {
+        let ds = DatasetSet::from_ids([DatasetId(2)]);
+        let range: Query = mk_query(0.0, 1.0, &[2]).into();
+        let point: Query = PointQuery::new(QueryId(1), Vec3::ZERO, ds).into();
+        let knn: Query = KnnQuery::new(QueryId(2), Vec3::ZERO, 4, ds).into();
+        let count: Query = CountQuery::new(QueryId(3), Aabb::unit(), ds).into();
+        assert_eq!(range.kind(), QueryKind::Range);
+        assert_eq!(point.kind(), QueryKind::Point);
+        assert_eq!(knn.kind(), QueryKind::KNearestNeighbors);
+        assert_eq!(count.kind(), QueryKind::Count);
+        assert_eq!(point.id(), QueryId(1));
+        assert_eq!(knn.datasets(), ds);
+        assert_eq!(QueryKind::ALL.len(), 4);
+        assert_eq!(QueryKind::KNearestNeighbors.name(), "knn");
+    }
+
+    #[test]
+    fn scan_any_query_dispatches_per_kind() {
+        let objects = [mk_obj(0, 0, 0.0, 1.0), mk_obj(1, 0, 5.0, 6.0)];
+        let ds = DatasetSet::single(DatasetId(0));
+        let a = scan_any_query(&mk_query(0.0, 2.0, &[0]).into(), objects.iter());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.objects().unwrap()[0].id.0, 0);
+        let c = scan_any_query(
+            &CountQuery::new(
+                QueryId(0),
+                Aabb::from_min_max(Vec3::ZERO, Vec3::splat(10.0)),
+                ds,
+            )
+            .into(),
+            objects.iter(),
+        );
+        assert_eq!(c, QueryAnswer::Count(2));
+        assert!(c.objects().is_none());
+        let k = scan_any_query(
+            &KnnQuery::new(QueryId(0), Vec3::ZERO, 1, ds).into(),
+            objects.iter(),
+        );
+        assert_eq!(k.objects().unwrap().len(), 1);
+        let p = scan_any_query(
+            &PointQuery::new(QueryId(0), Vec3::splat(0.5), ds).into(),
+            objects.iter(),
+        );
+        assert_eq!(p.count(), 1);
     }
 }

@@ -120,6 +120,13 @@ impl Vec3 {
         (self - other).length()
     }
 
+    /// Squared Euclidean distance to another point (avoids the square root on
+    /// hot paths such as the kNN best-first traversal).
+    #[inline]
+    pub fn distance_squared(self, other: Vec3) -> f64 {
+        (self - other).length_squared()
+    }
+
     /// Linear interpolation: `self + t * (other - self)`.
     #[inline]
     pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
@@ -299,6 +306,7 @@ mod tests {
         assert_eq!(a.length_squared(), 25.0);
         assert_eq!(a.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
         assert_eq!(Vec3::ZERO.distance(a), 5.0);
+        assert_eq!(Vec3::ZERO.distance_squared(a), 25.0);
     }
 
     #[test]

@@ -30,10 +30,18 @@ pub struct CostModel {
 }
 
 impl Default for CostModel {
+    /// The spinning-disk profile of [`CostModel::hdd`], matching the paper's
+    /// experimental hardware.
+    fn default() -> Self {
+        CostModel::hdd()
+    }
+}
+
+impl CostModel {
     /// Parameters approximating the paper's 10k-RPM SAS disks: ~8 ms random
     /// access, ~150 MB/s sequential transfer, and a CPU that examines an
     /// object in ~100 ns.
-    fn default() -> Self {
+    pub fn hdd() -> Self {
         CostModel {
             seek_seconds: 8e-3,
             transfer_bytes_per_second: 150.0 * 1024.0 * 1024.0,
@@ -42,9 +50,7 @@ impl Default for CostModel {
             buffer_hit_seconds: 2e-6,
         }
     }
-}
 
-impl CostModel {
     /// A cost model for a fast NVMe-class device; useful in tests and for
     /// sensitivity analysis (the paper's conclusions weaken as seeks get
     /// cheaper, which the ablation bench demonstrates).
@@ -79,6 +85,43 @@ impl CostModel {
         let cpu_cost = stats.objects_scanned as f64 * self.cpu_seconds_per_object_scanned
             + stats.objects_written as f64 * self.cpu_seconds_per_object_written;
         read_cost + write_cost + buffer_cost + cpu_cost
+    }
+}
+
+/// A named device profile selecting the [`CostModel`] constants the engine's
+/// access-path planner (and any other consumer) should reason with.
+///
+/// The planner used to assume one hard-coded device; making the profile part
+/// of the engine configuration lets the same binary plan correctly for
+/// spinning disks, NVMe flash, or a custom-calibrated device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceProfile {
+    /// NVMe-class flash: microsecond seeks, multi-GB/s transfer
+    /// ([`CostModel::nvme`]).
+    Nvme,
+    /// 10k-RPM spinning disk, the paper's hardware ([`CostModel::hdd`]).
+    Hdd,
+    /// Custom constants, e.g. calibrated against a real device.
+    Custom(CostModel),
+}
+
+impl DeviceProfile {
+    /// The cost-model constants of the profile.
+    pub fn cost_model(&self) -> CostModel {
+        match self {
+            DeviceProfile::Nvme => CostModel::nvme(),
+            DeviceProfile::Hdd => CostModel::hdd(),
+            DeviceProfile::Custom(model) => *model,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceProfile::Nvme => "nvme",
+            DeviceProfile::Hdd => "hdd",
+            DeviceProfile::Custom(_) => "custom",
+        }
     }
 }
 
@@ -146,6 +189,54 @@ mod tests {
             ..Default::default()
         };
         assert!(CostModel::nvme().seconds(&stats) < CostModel::default().seconds(&stats) / 10.0);
+    }
+
+    #[test]
+    fn device_profiles_resolve_to_their_models() {
+        assert_eq!(DeviceProfile::Nvme.cost_model(), CostModel::nvme());
+        assert_eq!(DeviceProfile::Hdd.cost_model(), CostModel::hdd());
+        assert_eq!(DeviceProfile::Hdd.cost_model(), CostModel::default());
+        let custom = CostModel {
+            seek_seconds: 1e-3,
+            ..CostModel::nvme()
+        };
+        assert_eq!(DeviceProfile::Custom(custom).cost_model(), custom);
+        assert_eq!(DeviceProfile::Nvme.name(), "nvme");
+        assert_eq!(DeviceProfile::Hdd.name(), "hdd");
+        assert_eq!(DeviceProfile::Custom(custom).name(), "custom");
+    }
+
+    #[test]
+    fn seconds_on_each_profile_orders_devices_by_speed() {
+        // A seek-heavy trace: the profile with the costlier seeks must report
+        // more simulated seconds, and a custom profile sits exactly where its
+        // constants put it.
+        let trace = IoStats {
+            random_reads: 500,
+            sequential_reads: 2_000,
+            objects_scanned: 10_000,
+            ..Default::default()
+        };
+        let hdd = DeviceProfile::Hdd.cost_model().seconds(&trace);
+        let nvme = DeviceProfile::Nvme.cost_model().seconds(&trace);
+        assert!(hdd > 10.0 * nvme, "hdd {hdd}s vs nvme {nvme}s");
+        let custom_model = CostModel {
+            seek_seconds: 1e-3, // between nvme (80 µs) and hdd (8 ms)
+            transfer_bytes_per_second: 500.0 * 1024.0 * 1024.0,
+            ..CostModel::hdd()
+        };
+        let custom = DeviceProfile::Custom(custom_model)
+            .cost_model()
+            .seconds(&trace);
+        assert!(nvme < custom && custom < hdd);
+        // Every profile reports zero for an empty trace.
+        for profile in [
+            DeviceProfile::Nvme,
+            DeviceProfile::Hdd,
+            DeviceProfile::Custom(custom_model),
+        ] {
+            assert_eq!(profile.cost_model().seconds(&IoStats::default()), 0.0);
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! This crate provides exactly that measurement surface:
 //!
 //! * [`page`] — the 4 KB page and its object-record codec,
-//! * [`file`] — paged files with an in-memory and an on-disk backend,
+//! * [`mod@file`] — paged files with an in-memory and an on-disk backend,
 //! * [`stats`] — I/O counters ([`IoStats`]) distinguishing sequential from
 //!   random page accesses,
 //! * [`cost`] — a deterministic disk [`CostModel`] turning counters into
@@ -32,7 +32,7 @@ pub mod raw;
 pub mod stats;
 
 pub use buffer::BufferPool;
-pub use cost::CostModel;
+pub use cost::{CostModel, DeviceProfile};
 pub use error::{StorageError, StorageResult};
 pub use file::{DiskFile, FileId, MemFile, PagedFile};
 pub use manager::{StorageBackend, StorageManager, StorageOptions};

@@ -32,14 +32,14 @@ pub mod prelude {
     pub use odyssey_baselines::{
         FlatIndex, GridIndex, MultiDatasetIndex, RTreeIndex, SpatialIndexBuild, Strategy,
     };
-    pub use odyssey_core::{OdysseyConfig, QueryOutcome, SpaceOdyssey};
+    pub use odyssey_core::{AccessPath, OdysseyConfig, PlanChoice, QueryOutcome, SpaceOdyssey};
     pub use odyssey_datagen::{
-        BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
-        WorkloadSpec,
+        BrainModel, CombinationDistribution, DatasetSpec, MixedWorkload, MixedWorkloadSpec,
+        QueryKindMix, QueryRangeDistribution, SavedWorkload, Workload, WorkloadSpec,
     };
     pub use odyssey_geom::{
-        Aabb, Combination, DatasetId, DatasetSet, ObjectId, QueryId, RangeQuery, SpatialObject,
-        Vec3,
+        Aabb, Combination, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId, PointQuery,
+        Query, QueryAnswer, QueryId, QueryKind, RangeQuery, SpatialObject, Vec3,
     };
-    pub use odyssey_storage::{CostModel, IoStats, StorageManager, StorageOptions};
+    pub use odyssey_storage::{CostModel, DeviceProfile, IoStats, StorageManager, StorageOptions};
 }
