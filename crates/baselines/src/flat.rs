@@ -229,6 +229,47 @@ fn compute_neighbourhoods(
 }
 
 impl SpatialIndexBuild for FlatIndex {
+    /// Inserting into FLAT appends packed pages at the end of the data file
+    /// and splices them into the neighbourhood graph: each new page links to
+    /// every existing page whose MBR overlaps it (the pairwise tests are CPU
+    /// work, charged like the build's neighbourhood computation). The seed
+    /// hierarchy grows by rebuilding its tail group.
+    fn insert(&mut self, storage: &StorageManager, objects: &[SpatialObject]) -> StorageResult<()> {
+        let pages_before = self.page_mbrs.len();
+        for chunk in objects.chunks(OBJECTS_PER_PAGE) {
+            storage.append_objects(self.file, chunk)?;
+            let mbr = chunk.iter().fold(Aabb::empty(), |acc, o| acc.union(&o.mbr));
+            let new_page = self.page_mbrs.len() as u32;
+            let mut links = Vec::new();
+            storage.note_objects_scanned(self.page_mbrs.len() as u64);
+            for (i, existing) in self.page_mbrs.iter().enumerate() {
+                if existing.intersects(&mbr) {
+                    links.push(i as u32);
+                    self.neighbours[i].push(new_page);
+                }
+            }
+            self.page_mbrs.push(mbr);
+            self.neighbours.push(links);
+            self.data_bounds = self.data_bounds.union(&mbr);
+        }
+        // Grow the seed hierarchy by rebuilding only its tail: groups fully
+        // below the old page count are unchanged, so rebuild from the group
+        // containing the first appended page (pure CPU).
+        let first_dirty_group = pages_before / SEED_FANOUT;
+        self.seed_groups.truncate(first_dirty_group);
+        for (i, chunk) in self.page_mbrs[first_dirty_group * SEED_FANOUT..]
+            .chunks(SEED_FANOUT)
+            .enumerate()
+        {
+            let mbr = chunk.iter().fold(Aabb::empty(), |acc, m| acc.union(m));
+            let start = ((first_dirty_group + i) * SEED_FANOUT) as u32;
+            self.seed_groups
+                .push((mbr, start, start + chunk.len() as u32));
+        }
+        self.data_pages = storage.num_pages(self.file)?;
+        Ok(())
+    }
+
     fn query_range(
         &self,
         storage: &StorageManager,

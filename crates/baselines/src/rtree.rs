@@ -61,6 +61,12 @@ pub struct RTreeIndex {
     height: u32,
     /// Union of every indexed object's MBR, recorded at build time.
     data_bounds: Aabb,
+    /// Insert buffer: `(leaf page, MBR)` of pages appended after the bulk
+    /// load. An STR-packed directory cannot absorb single inserts without
+    /// node splits, so arrivals are appended as overflow leaves whose MBRs
+    /// are checked on every query — the classic bulk-load + insert-buffer
+    /// compromise.
+    overflow_leaves: Vec<(u64, Aabb)>,
 }
 
 /// Marker stored in a node entry's `dataset` field: the child is a leaf page.
@@ -121,6 +127,7 @@ impl RTreeIndex {
             directory_pages,
             height,
             data_bounds,
+            overflow_leaves: Vec::new(),
         })
     }
 
@@ -133,9 +140,27 @@ impl RTreeIndex {
     pub fn directory_pages(&self) -> u64 {
         self.directory_pages
     }
+
+    /// Number of overflow leaf pages appended by inserts since the bulk load.
+    pub fn overflow_leaf_pages(&self) -> usize {
+        self.overflow_leaves.len()
+    }
 }
 
 impl SpatialIndexBuild for RTreeIndex {
+    fn insert(&mut self, storage: &StorageManager, objects: &[SpatialObject]) -> StorageResult<()> {
+        for chunk in objects.chunks(OBJECTS_PER_PAGE) {
+            let range = storage.append_objects(self.leaf_file, chunk)?;
+            let mbr = mbr_of(chunk);
+            for page in range {
+                self.overflow_leaves.push((page, mbr));
+            }
+            self.data_bounds = self.data_bounds.union(&mbr);
+        }
+        self.data_pages = storage.num_pages(self.leaf_file)?;
+        Ok(())
+    }
+
     fn query_range(
         &self,
         storage: &StorageManager,
@@ -155,6 +180,14 @@ impl SpatialIndexBuild for RTreeIndex {
                         _ => node_stack.push(entry.id.0),
                     }
                 }
+            }
+        }
+        // Overflow leaves from inserts: their MBRs live in memory and are
+        // checked like one more directory level.
+        storage.note_objects_scanned(self.overflow_leaves.len() as u64);
+        for (page, mbr) in &self.overflow_leaves {
+            if mbr.intersects(range) {
+                leaf_pages.push(*page);
             }
         }
         // Read qualifying leaves in ascending page order so contiguous runs

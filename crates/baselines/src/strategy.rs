@@ -57,6 +57,18 @@ pub trait MultiDatasetIndex: Send + Sync {
         query: &RangeQuery,
     ) -> StorageResult<Vec<SpatialObject>>;
 
+    /// Ingests newly arrived objects of `dataset`, keeping later queries
+    /// exact. Mirrors `SpaceOdyssey::ingest` so interleaved ingest+query
+    /// traces can be cross-checked against the static baselines
+    /// apples-to-apples. Arrivals for datasets the strategy has no index for
+    /// are ignored (like queries on unknown datasets).
+    fn ingest(
+        &mut self,
+        storage: &StorageManager,
+        dataset: DatasetId,
+        objects: &[SpatialObject],
+    ) -> StorageResult<()>;
+
     /// Display name, e.g. `"FLAT-Ain1"`.
     fn name(&self) -> String;
 
@@ -155,6 +167,18 @@ impl<I: SpatialIndexBuild> OneForEach<I> {
 }
 
 impl<I: SpatialIndexBuild> MultiDatasetIndex for OneForEach<I> {
+    fn ingest(
+        &mut self,
+        storage: &StorageManager,
+        dataset: DatasetId,
+        objects: &[SpatialObject],
+    ) -> StorageResult<()> {
+        if let Some((_, index)) = self.indexes.iter_mut().find(|(d, _)| *d == dataset) {
+            index.insert(storage, objects)?;
+        }
+        Ok(())
+    }
+
     fn query(
         &self,
         storage: &StorageManager,
@@ -189,6 +213,9 @@ impl<I: SpatialIndexBuild> MultiDatasetIndex for OneForEach<I> {
 /// Ain1 wrapper: one index over everything, with post-filtering by dataset.
 pub struct AllInOne<I: SpatialIndexBuild> {
     index: I,
+    /// The datasets the index was built over; arrivals for any other dataset
+    /// are ignored, mirroring the engine's unknown-dataset no-op.
+    datasets: odyssey_geom::DatasetSet,
     label: String,
 }
 
@@ -202,6 +229,7 @@ impl<I: SpatialIndexBuild> AllInOne<I> {
         let index = builder.build(storage, "all", sources)?;
         Ok(AllInOne {
             index,
+            datasets: sources.iter().map(|r| r.dataset).collect(),
             label: format!("{}-Ain1", display_kind(builder.kind())),
         })
     }
@@ -213,6 +241,18 @@ impl<I: SpatialIndexBuild> AllInOne<I> {
 }
 
 impl<I: SpatialIndexBuild> MultiDatasetIndex for AllInOne<I> {
+    fn ingest(
+        &mut self,
+        storage: &StorageManager,
+        dataset: DatasetId,
+        objects: &[SpatialObject],
+    ) -> StorageResult<()> {
+        if !self.datasets.contains(dataset) {
+            return Ok(());
+        }
+        self.index.insert(storage, objects)
+    }
+
     fn query(
         &self,
         storage: &StorageManager,
@@ -606,6 +646,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_approach_stays_exact_after_online_inserts() {
+        let Fixture {
+            storage,
+            raws,
+            mut all_objects,
+        } = fixture(3, 600);
+        let config = ApproachConfig::paper(bounds());
+        let mut rng = ChaCha8Rng::seed_from_u64(404);
+        // Three rounds of arrivals into datasets 0 and 2, queried after each.
+        let mut indexes: Vec<Box<dyn MultiDatasetIndex>> = [
+            Approach::FlatAin1,
+            Approach::Flat1fE,
+            Approach::RTreeAin1,
+            Approach::RTree1fE,
+            Approach::Grid1fE,
+            Approach::GridAin1,
+        ]
+        .iter()
+        .map(|a| build_approach(&storage, *a, &config, &raws).unwrap())
+        .collect();
+        for round in 0..3u64 {
+            for ds in [0u16, 2] {
+                let arrivals: Vec<SpatialObject> = (0..40u64)
+                    .map(|i| {
+                        let c = Vec3::new(
+                            rng.gen_range(5.0..95.0),
+                            rng.gen_range(5.0..95.0),
+                            rng.gen_range(5.0..95.0),
+                        );
+                        SpatialObject::new(
+                            odyssey_geom::ObjectId(100_000 + round * 1000 + i),
+                            DatasetId(ds),
+                            Aabb::from_center_extent(c, Vec3::splat(0.4)),
+                        )
+                    })
+                    .collect();
+                for index in indexes.iter_mut() {
+                    index.ingest(&storage, DatasetId(ds), &arrivals).unwrap();
+                }
+                all_objects.extend(arrivals);
+            }
+            for seed in 0..6u64 {
+                let q = sample_query(round * 100 + seed, &[0, 1, 2]);
+                let mut expected: Vec<_> = scan_query(&q, all_objects.iter())
+                    .iter()
+                    .map(|o| (o.dataset, o.id))
+                    .collect();
+                expected.sort_unstable();
+                for index in &indexes {
+                    let mut got: Vec<_> = index
+                        .query(&storage, &q)
+                        .unwrap()
+                        .iter()
+                        .map(|o| (o.dataset, o.id))
+                        .collect();
+                    got.sort_unstable();
+                    got.dedup();
+                    assert_eq!(got, expected, "{} after round {round}", index.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ain1_ignores_arrivals_for_unknown_datasets() {
+        let Fixture { storage, raws, .. } = fixture(2, 300);
+        let config = ApproachConfig::paper(bounds());
+        let mut index = build_approach(&storage, Approach::GridAin1, &config, &raws).unwrap();
+        let before = index.data_pages();
+        // Dataset 9 was never built: the arrival is ignored, like the
+        // engine's unknown-dataset no-op, so cross-checks stay aligned.
+        let stray = vec![SpatialObject::new(
+            ObjectId(1),
+            DatasetId(9),
+            Aabb::from_min_max(Vec3::ZERO, Vec3::ONE),
+        )];
+        index.ingest(&storage, DatasetId(9), &stray).unwrap();
+        assert_eq!(index.data_pages(), before);
     }
 
     #[test]

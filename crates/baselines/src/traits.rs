@@ -11,8 +11,11 @@ use odyssey_storage::{RawDataset, StorageManager, StorageResult};
 /// MBR intersects `range`, regardless of dataset; dataset filtering is the
 /// job of the [`crate::strategy`] layer.
 ///
-/// Indexes are immutable once built and must be `Send + Sync` so the
-/// concurrent harness can probe them from many threads.
+/// The read path is immutable and must be `Send + Sync` so the concurrent
+/// harness can probe indexes from many threads; online ingestion goes through
+/// [`SpatialIndexBuild::insert`], which takes `&mut self` (the comparison
+/// harness serializes ingest steps, exactly like the paper's static indexes
+/// would have to).
 pub trait SpatialIndexBuild: Send + Sync {
     /// Executes a spatial range query and returns the matching objects.
     fn query_range(
@@ -20,6 +23,14 @@ pub trait SpatialIndexBuild: Send + Sync {
         storage: &StorageManager,
         range: &Aabb,
     ) -> StorageResult<Vec<SpatialObject>>;
+
+    /// Inserts newly arrived objects, keeping later queries exact. Static
+    /// indexes absorb arrivals with the cheapest structure-preserving
+    /// technique available to them (appended runs, insert buffers); they do
+    /// not rebuild — the comparison against the adaptive engine stays
+    /// apples-to-apples because every approach pays its own ingestion cost
+    /// through the shared storage layer.
+    fn insert(&mut self, storage: &StorageManager, objects: &[SpatialObject]) -> StorageResult<()>;
 
     /// The union of the MBRs of every indexed object, recorded at build
     /// time ([`Aabb::empty`] for an empty index). The expanding-radius kNN

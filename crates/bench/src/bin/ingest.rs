@@ -1,0 +1,189 @@
+//! Online-ingestion experiment: interleaved ingest/query traces against the
+//! append-aware engine (planner on vs off) and a static baseline, with
+//! per-phase simulated cost and staleness-repair counts.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin ingest -- \
+//!     --datasets 6 --objects 20000 --queries 300 --ratio 0.3 --batch 64
+//! cargo run --release -p odyssey-bench --bin ingest -- \
+//!     --queries 100 --save trace.json        # persist for another host
+//! cargo run --release -p odyssey-bench --bin ingest -- \
+//!     --load trace.json                      # replay it bit-identically
+//! ```
+
+use odyssey_baselines::Approach;
+use odyssey_bench::cli::Args;
+use odyssey_bench::experiment::{ExperimentConfig, ExperimentRunner};
+use odyssey_bench::ingest::IngestRun;
+use odyssey_core::OdysseyConfig;
+use odyssey_datagen::{
+    DatasetSpec, IngestProfile, InterleavedTraceSpec, MixedWorkloadSpec, QueryKindMix, SavedTrace,
+    TraceStep, WorkloadSpec,
+};
+use odyssey_geom::SpatialObject;
+
+fn print_run(run: &IngestRun) {
+    println!("{} (checksum {})", run.approach, run.checksum);
+    println!(
+        "  {:<8} {:>8} {:>14} {:>16}",
+        "phase", "steps", "sim. sec", "objects"
+    );
+    println!(
+        "  {:<8} {:>8} {:>14.6} {:>16}",
+        "ingest", run.ingest_steps, run.ingest_seconds, run.objects_ingested
+    );
+    println!(
+        "  {:<8} {:>8} {:>14.6} {:>16}",
+        "query", run.query_steps, run.query_seconds, ""
+    );
+    println!(
+        "  {:<8} {:>8} {:>14.6}",
+        "total",
+        run.ingest_steps + run.query_steps,
+        run.total_seconds()
+    );
+    if run.staleness_repairs + run.stale_bypasses > 0 || run.partitions_split > 0 {
+        println!(
+            "  staleness: {} repair run(s), {} bypass(es); ingest splits: {}",
+            run.staleness_repairs, run.stale_bypasses, run.partitions_split
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "ingest — interleaved ingest/query trace experiment\n\
+             \n\
+             options:\n\
+             --datasets N   number of datasets (default 6)\n\
+             --objects N    initial objects per dataset (default 20000)\n\
+             --queries N    query steps in the trace (default 300)\n\
+             --ratio R      ingest steps per query step, in [0, 1) (default 0.3)\n\
+             --batch N      objects per ingest batch (default 64)\n\
+             --skew S       arrival skew over datasets (default 1.0)\n\
+             --m N          datasets per query (default 3)\n\
+             --k N          neighbours per kNN query (default 8)\n\
+             --save PATH    write the generated trace (objects + steps) as JSON\n\
+             --load PATH    replay a previously saved trace instead of generating"
+        );
+        return;
+    }
+
+    let (runner, steps) = if let Some(path) = args.get("load") {
+        let saved = SavedTrace::load(&path).expect("readable trace JSON");
+        let num_datasets = saved
+            .objects
+            .iter()
+            .map(|o| o.dataset.index() + 1)
+            .max()
+            .unwrap_or(1);
+        let mut datasets: Vec<Vec<SpatialObject>> = vec![Vec::new(); num_datasets];
+        for obj in &saved.objects {
+            datasets[obj.dataset.index()].push(*obj);
+        }
+        let spec = DatasetSpec {
+            num_datasets,
+            objects_per_dataset: datasets.iter().map(|d| d.len()).max().unwrap_or(0),
+            bounds: saved.bounds,
+            ..Default::default()
+        };
+        let runner = ExperimentRunner::from_datasets(
+            ExperimentConfig {
+                odyssey: OdysseyConfig::paper(saved.bounds),
+                dataset_spec: spec,
+                ..Default::default()
+            },
+            datasets,
+            saved.bounds,
+        );
+        println!(
+            "replaying {} steps over {} initial objects from {path}\n",
+            saved.steps.len(),
+            saved.objects.len()
+        );
+        (runner, saved.steps)
+    } else {
+        let num_datasets = args.get_usize("datasets", 6);
+        let spec = DatasetSpec {
+            num_datasets,
+            objects_per_dataset: args.get_usize("objects", 20_000),
+            ..Default::default()
+        };
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            odyssey: OdysseyConfig::paper(spec.bounds),
+            dataset_spec: spec,
+            ..Default::default()
+        });
+        let trace = InterleavedTraceSpec {
+            mixed: MixedWorkloadSpec {
+                base: WorkloadSpec {
+                    num_datasets,
+                    datasets_per_query: args.get_usize("m", 3).min(num_datasets),
+                    num_queries: args.get_usize("queries", 300),
+                    query_volume_fraction: 1e-5,
+                    ..Default::default()
+                },
+                mix: QueryKindMix {
+                    knn_k: args.get_usize("k", 8),
+                    ..QueryKindMix::balanced()
+                },
+            },
+            ingest: IngestProfile {
+                ingest_ratio: args.get_f64("ratio", 0.3),
+                batch_size: args.get_usize("batch", 64),
+                arrival_skew: args.get_f64("skew", 1.0),
+                ..Default::default()
+            },
+        }
+        .generate(&runner.bounds());
+        if let Some(path) = args.get("save") {
+            let saved = SavedTrace::new(
+                runner.bounds(),
+                runner.datasets().iter().flatten().copied().collect(),
+                &trace,
+            );
+            saved.save(&path).expect("writable trace path");
+            println!("saved trace to {path}\n");
+        }
+        (runner, trace.steps)
+    };
+
+    let ingest_steps = steps.iter().filter(|s| s.is_ingest()).count();
+    let arriving: usize = steps
+        .iter()
+        .map(|s| match s {
+            TraceStep::Ingest { objects, .. } => objects.len(),
+            TraceStep::Query(_) => 0,
+        })
+        .sum();
+    println!(
+        "trace: {} steps ({} queries, {} ingest batches, {} arriving objects)\n",
+        steps.len(),
+        steps.len() - ingest_steps,
+        ingest_steps,
+        arriving,
+    );
+
+    let planner_on = runner.run_ingest_odyssey(true, &steps);
+    let planner_off = runner.run_ingest_odyssey(false, &steps);
+    let grid = runner.run_ingest_static(Approach::Grid1fE, &steps);
+    for run in [&planner_on, &planner_off, &grid] {
+        print_run(run);
+    }
+    for run in [&planner_off, &grid] {
+        assert_eq!(
+            planner_on.checksum, run.checksum,
+            "{} disagrees with the planner-enabled engine",
+            run.approach
+        );
+    }
+    println!(
+        "checksums agree across all approaches; {} repair run(s) and {} bypass(es) \
+         kept stale merge files consistent",
+        planner_on.staleness_repairs + planner_off.staleness_repairs,
+        planner_on.stale_bypasses + planner_off.stale_bypasses,
+    );
+}

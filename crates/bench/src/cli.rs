@@ -50,6 +50,14 @@ impl Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// Floating-point value of a flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +94,7 @@ mod tests {
     fn non_numeric_values_fall_back_to_default() {
         let a = args(&["--queries", "many"]);
         assert_eq!(a.get_usize("queries", 7), 7);
+        assert_eq!(a.get_f64("ratio", 0.25), 0.25);
+        assert_eq!(args(&["--ratio", "0.5"]).get_f64("ratio", 0.25), 0.5);
     }
 }

@@ -1,0 +1,240 @@
+//! The online-ingestion experiment: interleaved ingest/query traces against
+//! the append-aware engine (planner on and off) and the static baselines.
+//!
+//! Each run replays one [`odyssey_datagen::TraceStep`] sequence and reports
+//! the cost **per phase** — simulated seconds spent ingesting versus
+//! querying — plus the engine's staleness bookkeeping: how many merge-file
+//! repair runs were appended, how often a stale merge file was bypassed to
+//! the octree path, and how many partitions ingest-triggered splits refined.
+//! Query result counts are checksummed so any disagreement between the
+//! engine and a baseline (or between planner modes) is caught immediately.
+
+use crate::experiment::ExperimentRunner;
+use odyssey_baselines::strategy::{build_approach, Approach, ApproachConfig};
+use odyssey_baselines::GridConfig;
+use odyssey_core::SpaceOdyssey;
+use odyssey_datagen::TraceStep;
+use odyssey_storage::{DeviceProfile, OBJECTS_PER_PAGE};
+use std::time::Instant;
+
+/// One approach's measurements over an interleaved ingest/query trace.
+#[derive(Debug, Clone)]
+pub struct IngestRun {
+    /// Approach display name.
+    pub approach: String,
+    /// Number of ingest steps replayed.
+    pub ingest_steps: usize,
+    /// Number of query steps replayed.
+    pub query_steps: usize,
+    /// Objects ingested over the whole trace.
+    pub objects_ingested: u64,
+    /// Simulated seconds spent in ingest steps.
+    pub ingest_seconds: f64,
+    /// Simulated seconds spent in query steps.
+    pub query_seconds: f64,
+    /// Staleness-repair runs appended to merge files (engine runs only).
+    pub staleness_repairs: u64,
+    /// Queries that bypassed a stale merge file (engine runs only).
+    pub stale_bypasses: u64,
+    /// Partitions refined by ingest-triggered splits (engine runs only).
+    pub partitions_split: usize,
+    /// Sum of per-query result counts — identical across approaches when
+    /// every execution path agrees on the answers.
+    pub checksum: u64,
+    /// Wall-clock seconds of the run (diagnostic).
+    pub wall_seconds: f64,
+}
+
+impl IngestRun {
+    /// Total simulated seconds across both phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.ingest_seconds + self.query_seconds
+    }
+}
+
+impl ExperimentRunner {
+    /// Replays an interleaved trace against the append-aware Space Odyssey
+    /// engine, with the cost-based planner enabled or disabled.
+    pub fn run_ingest_odyssey(&self, planner_enabled: bool, steps: &[TraceStep]) -> IngestRun {
+        let wall_start = Instant::now();
+        let (storage, raws, _) = self.fresh_storage();
+        let mut config = self.config().odyssey;
+        config.bounds = self.bounds();
+        config.planner_enabled = planner_enabled;
+        config.device_profile = DeviceProfile::Custom(self.config().cost_model);
+        let engine = SpaceOdyssey::new(config, raws).expect("validated configuration");
+        let mut run = IngestRun {
+            approach: if planner_enabled {
+                "Odyssey".to_string()
+            } else {
+                "Odyssey w/o planner".to_string()
+            },
+            ingest_steps: 0,
+            query_steps: 0,
+            objects_ingested: 0,
+            ingest_seconds: 0.0,
+            query_seconds: 0.0,
+            staleness_repairs: 0,
+            stale_bypasses: 0,
+            partitions_split: 0,
+            checksum: 0,
+            wall_seconds: 0.0,
+        };
+        for step in steps {
+            match step {
+                TraceStep::Ingest { dataset, objects } => {
+                    let before = storage.stats();
+                    let outcome = engine
+                        .ingest(&storage, *dataset, objects)
+                        .expect("in-memory ingest cannot fail");
+                    run.ingest_seconds += storage.seconds_since(&before);
+                    run.ingest_steps += 1;
+                    run.objects_ingested += outcome.objects_ingested as u64;
+                    run.partitions_split += outcome.partitions_split;
+                }
+                TraceStep::Query(query) => {
+                    if self.config().cold_queries {
+                        storage.clear_cache();
+                    }
+                    let before = storage.stats();
+                    let outcome = engine
+                        .execute_query(&storage, query)
+                        .expect("in-memory query cannot fail");
+                    run.query_seconds += storage.seconds_since(&before);
+                    run.query_steps += 1;
+                    run.checksum += outcome.count;
+                }
+            }
+        }
+        run.staleness_repairs = engine.merger().staleness_repairs();
+        run.stale_bypasses = engine.stale_bypasses();
+        run.wall_seconds = wall_start.elapsed().as_secs_f64();
+        run
+    }
+
+    /// Replays the same trace against a static baseline through its
+    /// [`odyssey_baselines::MultiDatasetIndex`] insert extension, so the
+    /// cross-checks stay apples-to-apples under online arrivals.
+    pub fn run_ingest_static(&self, approach: Approach, steps: &[TraceStep]) -> IngestRun {
+        let wall_start = Instant::now();
+        let (storage, raws, _) = self.fresh_storage();
+        let approach_config = ApproachConfig {
+            grid: GridConfig {
+                cells_per_dim: self.config().grid_cells_per_dim(),
+                bounds: self.bounds(),
+                build_buffer_objects: (self.config().buffer_pages(1) * OBJECTS_PER_PAGE).max(1_000),
+            },
+            ..ApproachConfig::paper(self.bounds())
+        };
+        let mut index = build_approach(&storage, approach, &approach_config, &raws)
+            .expect("in-memory build cannot fail");
+        let mut run = IngestRun {
+            approach: approach.name().to_string(),
+            ingest_steps: 0,
+            query_steps: 0,
+            objects_ingested: 0,
+            ingest_seconds: 0.0,
+            query_seconds: 0.0,
+            staleness_repairs: 0,
+            stale_bypasses: 0,
+            partitions_split: 0,
+            checksum: 0,
+            wall_seconds: 0.0,
+        };
+        for step in steps {
+            match step {
+                TraceStep::Ingest { dataset, objects } => {
+                    let before = storage.stats();
+                    index
+                        .ingest(&storage, *dataset, objects)
+                        .expect("in-memory insert cannot fail");
+                    run.ingest_seconds += storage.seconds_since(&before);
+                    run.ingest_steps += 1;
+                    run.objects_ingested += objects.len() as u64;
+                }
+                TraceStep::Query(query) => {
+                    if self.config().cold_queries {
+                        storage.clear_cache();
+                    }
+                    let before = storage.stats();
+                    let answer = index
+                        .execute_query(&storage, query)
+                        .expect("in-memory query cannot fail");
+                    run.query_seconds += storage.seconds_since(&before);
+                    run.query_steps += 1;
+                    run.checksum += answer.count();
+                }
+            }
+        }
+        run.wall_seconds = wall_start.elapsed().as_secs_f64();
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use odyssey_core::OdysseyConfig;
+    use odyssey_datagen::{
+        DatasetSpec, IngestProfile, InterleavedTraceSpec, MixedWorkloadSpec, QueryKindMix,
+        WorkloadSpec,
+    };
+
+    fn tiny_runner() -> ExperimentRunner {
+        let spec = DatasetSpec {
+            num_datasets: 4,
+            objects_per_dataset: 1_200,
+            soma_clusters: 4,
+            segments_per_neuron: 30,
+            seed: 17,
+            ..Default::default()
+        };
+        ExperimentRunner::new(ExperimentConfig {
+            odyssey: OdysseyConfig::paper(spec.bounds),
+            dataset_spec: spec,
+            ..Default::default()
+        })
+    }
+
+    fn trace(runner: &ExperimentRunner, n: usize) -> Vec<TraceStep> {
+        InterleavedTraceSpec {
+            mixed: MixedWorkloadSpec {
+                base: WorkloadSpec {
+                    num_datasets: runner.config().dataset_spec.num_datasets,
+                    datasets_per_query: 3,
+                    num_queries: n,
+                    query_volume_fraction: 1e-4,
+                    ..Default::default()
+                },
+                mix: QueryKindMix::balanced(),
+            },
+            ingest: IngestProfile {
+                ingest_ratio: 0.3,
+                batch_size: 24,
+                ..Default::default()
+            },
+        }
+        .generate(&runner.bounds())
+        .steps
+    }
+
+    #[test]
+    fn planner_modes_and_baseline_agree_on_an_interleaved_trace() {
+        let runner = tiny_runner();
+        let steps = trace(&runner, 30);
+        let planner_on = runner.run_ingest_odyssey(true, &steps);
+        let planner_off = runner.run_ingest_odyssey(false, &steps);
+        let grid = runner.run_ingest_static(Approach::Grid1fE, &steps);
+        assert_eq!(planner_on.checksum, planner_off.checksum);
+        assert_eq!(planner_on.checksum, grid.checksum);
+        assert!(planner_on.checksum > 0);
+        for run in [&planner_on, &planner_off, &grid] {
+            assert_eq!(run.query_steps + run.ingest_steps, steps.len());
+            assert!(run.ingest_steps > 0, "{}", run.approach);
+            assert!(run.total_seconds() > 0.0);
+            assert!(run.objects_ingested > 0);
+        }
+        assert!(planner_on.ingest_seconds > 0.0);
+    }
+}

@@ -17,10 +17,13 @@
 //!   and every static baseline under the same harness,
 //! * [`query_kinds`] — the mixed-kind experiment: range / point / kNN /
 //!   count queries against the planner-enabled engine (planner on vs off)
-//!   and the static baselines, with per-kind cost and plan audits.
+//!   and the static baselines, with per-kind cost and plan audits,
+//! * [`ingest`] — the online-ingestion experiment: interleaved ingest/query
+//!   traces with per-phase cost, staleness-repair/bypass counts and
+//!   cross-checked result checksums.
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput`, `query_kinds`
+//! `throughput`, `query_kinds`, `ingest`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@
 pub mod cli;
 pub mod experiment;
 pub mod figures;
+pub mod ingest;
 pub mod query_kinds;
 pub mod report;
 pub mod throughput;
@@ -36,6 +40,7 @@ pub mod throughput;
 pub use experiment::{
     ApproachRun, ApproachSelection, ExperimentConfig, ExperimentRunner, QueryRecord,
 };
+pub use ingest::IngestRun;
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use report::{format_table, write_csv, Table};
 pub use throughput::ThroughputRun;

@@ -65,6 +65,12 @@ pub struct OdysseyConfig {
     /// configurations (a level-`L` partition is `ppl^L` times smaller than
     /// the brain volume).
     pub max_refinement_level: u32,
+    /// Online-ingestion split threshold: a partition whose object count
+    /// reaches this value after an ingest is refined immediately (reusing the
+    /// query-driven refinement machinery), so continuously growing hot
+    /// regions never degenerate into giant overflow runs. `0` disables
+    /// ingest-triggered splits; partitions then only refine through queries.
+    pub ingest_split_objects: u64,
     /// Master switch for the cost-based access-path planner. When disabled
     /// the engine always takes the adaptive partitioned path (with merge-file
     /// routing), reproducing the paper's behaviour; when enabled, every
@@ -92,6 +98,9 @@ impl OdysseyConfig {
             merge_level_policy: MergeLevelPolicy::SameLevelOnly,
             min_objects_to_refine: 0,
             max_refinement_level: 8,
+            // Roughly 16 pages of arrivals before an ingest-triggered split;
+            // comfortably above a page so splits never thrash.
+            ingest_split_objects: 1024,
             planner_enabled: true,
             // The planning profile defaults to the device class benchmarks
             // actually run on today. This is a different knob from the
@@ -149,6 +158,13 @@ impl OdysseyConfig {
     /// Returns a copy planning for the given device profile.
     pub fn with_device_profile(mut self, profile: DeviceProfile) -> Self {
         self.device_profile = profile;
+        self
+    }
+
+    /// Returns a copy with the given ingest-triggered split threshold
+    /// (`0` disables splits on ingest).
+    pub fn with_ingest_split_objects(mut self, threshold: u64) -> Self {
+        self.ingest_split_objects = threshold;
         self
     }
 
@@ -211,6 +227,8 @@ mod tests {
         assert_eq!(c.min_merge_combination_size, 3);
         assert!(c.merge_enabled);
         assert_eq!(c.splits_per_dimension(), 4);
+        assert_eq!(c.ingest_split_objects, 1024);
+        assert_eq!(c.with_ingest_split_objects(0).ingest_split_objects, 0);
         assert!(c.validate().is_ok());
     }
 

@@ -55,7 +55,7 @@
 
 use crate::config::OdysseyConfig;
 use crate::merger::{Merger, RouteKind};
-use crate::octree::DatasetIndex;
+use crate::octree::{DatasetIndex, IngestStats};
 use crate::partition::PartitionKey;
 use crate::planner::{AccessPath, PlanChoice, Planner};
 use crate::stats::StatsCollector;
@@ -94,6 +94,13 @@ pub struct QueryOutcome {
     /// Whether this query triggered a merge (creation or extension of a merge
     /// file with at least one new entry).
     pub merge_performed: bool,
+    /// Number of staleness-repair runs this query appended to bring a stale
+    /// merge file up to date before reading from it.
+    pub stale_merge_repairs: usize,
+    /// Whether a routed merge file was stale for at least one queried dataset
+    /// and was bypassed (that dataset read from the octree path instead of
+    /// paying the repair).
+    pub stale_merge_bypassed: bool,
 }
 
 impl QueryOutcome {
@@ -105,6 +112,65 @@ impl QueryOutcome {
     /// Convenience: `true` if any dataset was answered by the given path.
     pub fn used_path(&self, path: AccessPath) -> bool {
         self.plans.iter().any(|p| p.path == path)
+    }
+}
+
+/// What happened while ingesting one batch of objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The dataset the batch went to.
+    pub dataset: DatasetId,
+    /// Number of objects appended (0 when the dataset is unknown).
+    pub objects_ingested: usize,
+    /// Partitions refined because the batch pushed them across the
+    /// ingest-split threshold.
+    pub partitions_split: usize,
+    /// Leaf partitions created for regions that previously had none.
+    pub partitions_created: usize,
+    /// Number of merge files whose combination includes the dataset and that
+    /// are now stale (missing this batch) — the files a later query will
+    /// repair or bypass.
+    pub merge_files_stale: usize,
+}
+
+/// One operation of a mixed ingest+query batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineOp {
+    /// Execute a typed query.
+    Query(Query),
+    /// Ingest a batch of objects into one dataset.
+    Ingest {
+        /// The receiving dataset.
+        dataset: DatasetId,
+        /// The arriving objects (ids must be fresh within the dataset).
+        objects: Vec<SpatialObject>,
+    },
+}
+
+/// The outcome of one [`EngineOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    /// Outcome of a query op.
+    Query(QueryOutcome),
+    /// Outcome of an ingest op.
+    Ingest(IngestOutcome),
+}
+
+impl OpOutcome {
+    /// The query outcome, or `None` for ingest ops.
+    pub fn as_query(&self) -> Option<&QueryOutcome> {
+        match self {
+            OpOutcome::Query(o) => Some(o),
+            OpOutcome::Ingest(_) => None,
+        }
+    }
+
+    /// The ingest outcome, or `None` for query ops.
+    pub fn as_ingest(&self) -> Option<&IngestOutcome> {
+        match self {
+            OpOutcome::Ingest(o) => Some(o),
+            OpOutcome::Query(_) => None,
+        }
     }
 }
 
@@ -120,6 +186,8 @@ pub struct SpaceOdyssey {
     stats: RwLock<StatsCollector>,
     merger: RwLock<Merger>,
     queries_executed: AtomicU64,
+    ingests_performed: AtomicU64,
+    stale_bypasses: AtomicU64,
 }
 
 impl SpaceOdyssey {
@@ -137,6 +205,8 @@ impl SpaceOdyssey {
             stats: RwLock::new(StatsCollector::new()),
             merger: RwLock::new(Merger::new()),
             queries_executed: AtomicU64::new(0),
+            ingests_performed: AtomicU64::new(0),
+            stale_bypasses: AtomicU64::new(0),
         })
     }
 
@@ -172,6 +242,17 @@ impl SpaceOdyssey {
     /// Number of queries executed so far.
     pub fn queries_executed(&self) -> u64 {
         self.queries_executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of ingest calls accepted so far.
+    pub fn ingests_performed(&self) -> u64 {
+        self.ingests_performed.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries that bypassed a stale merge file to the octree path
+    /// instead of repairing it.
+    pub fn stale_bypasses(&self) -> u64 {
+        self.stale_bypasses.load(Ordering::Relaxed)
     }
 
     /// Executes one range query over its combination of datasets. The
@@ -238,6 +319,48 @@ impl SpaceOdyssey {
         } else {
             combination
         };
+
+        // Phase 0.5: staleness resolution. If the routed merge file is stale
+        // for queried datasets (objects were ingested since its entries were
+        // written), repair it — append the missing tails through the
+        // append-only merge path — for every stale dataset the planner still
+        // routed to the file (with the planner disabled: for every stale
+        // queried dataset, preserving the legacy always-use-the-merge-file
+        // behaviour). Stale datasets the planner routed away are *bypassed*:
+        // phase 2 reads them from the octree path until some query deems the
+        // repair worth paying. The repair takes the merger write lock and is
+        // idempotent, so concurrent queries repair exactly once.
+        let mut stale_repairs = 0usize;
+        let mut stale_bypassed = false;
+        {
+            let (target, to_repair, to_bypass) = {
+                let merger = self.merger.read().unwrap();
+                match merger.directory().peek(combination).0 {
+                    Some(file) => {
+                        let stale = self.stale_subset(file, combination);
+                        (
+                            file.combination,
+                            stale.intersection(merge_eligible),
+                            stale.difference(merge_eligible),
+                        )
+                    }
+                    None => (DatasetSet::EMPTY, DatasetSet::EMPTY, DatasetSet::EMPTY),
+                }
+            };
+            if !to_repair.is_empty() {
+                stale_repairs = self.merger.write().unwrap().repair_combination(
+                    storage,
+                    &self.config,
+                    target,
+                    to_repair,
+                    &self.datasets,
+                )?;
+            }
+            if !to_bypass.is_empty() {
+                stale_bypassed = true;
+                self.stale_bypasses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
 
         // Phase 1: per dataset, either sweep the raw file (sequential-scan
         // path) or adapt and plan the partition reads (partitioned path).
@@ -320,12 +443,21 @@ impl SpaceOdyssey {
             let (file, route) = merger.directory().route(combination);
             if let Some(file) = file {
                 let merged_combo = file.combination;
+                // Datasets the file may serve: merge-planned AND fresh. The
+                // freshness re-check (after the phase-0.5 repair) is the
+                // correctness net — a file that is still stale for a dataset
+                // must never serve it, because its entries would silently
+                // drop the objects ingested since; those reads fall through
+                // to the per-dataset octree path below.
+                let fresh = combination
+                    .intersection(merged_combo)
+                    .difference(self.stale_subset(file, combination));
                 // Group the pending keys served by the merge file so each key
                 // is read once for all its wanted datasets.
                 let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
                 pending.retain(|(dataset, key)| {
                     let in_file = merge_eligible.contains(*dataset)
-                        && merged_combo.contains(*dataset)
+                        && fresh.contains(*dataset)
                         && file.contains(key);
                     if in_file {
                         match served.iter_mut().find(|(k, _)| k == key) {
@@ -436,6 +568,8 @@ impl SpaceOdyssey {
             partitions_from_datasets: from_datasets,
             partitions_counted_from_metadata: metadata_counted,
             merge_performed,
+            stale_merge_repairs: stale_repairs,
+            stale_merge_bypassed: stale_bypassed,
         })
     }
 
@@ -490,7 +624,151 @@ impl SpaceOdyssey {
             partitions_from_datasets: 0,
             partitions_counted_from_metadata: 0,
             merge_performed: false,
+            stale_merge_repairs: 0,
+            stale_merge_bypassed: false,
         })
+    }
+
+    /// Ingests a batch of newly arrived objects into `dataset`, online: the
+    /// objects are appended to the dataset's raw file, inserted incrementally
+    /// into its octree (routed to the deepest existing leaf by center, via
+    /// that partition's overflow run, splitting partitions that cross the
+    /// ingest-split threshold), and every merge file covering the dataset
+    /// becomes stale — a later query repairs it through the append-only merge
+    /// path or bypasses it until repaired.
+    ///
+    /// Objects whose `dataset` field disagrees with the target dataset are
+    /// rejected with [`odyssey_storage::StorageError::InvalidIngest`] before
+    /// any of the batch is applied. Ingesting into an unknown dataset is a
+    /// no-op that reports zero objects (mirroring how queries treat unknown
+    /// datasets).
+    pub fn ingest(
+        &self,
+        storage: &StorageManager,
+        dataset: DatasetId,
+        objects: &[SpatialObject],
+    ) -> StorageResult<IngestOutcome> {
+        self.ingests_performed.fetch_add(1, Ordering::Relaxed);
+        let mut outcome = IngestOutcome {
+            dataset,
+            objects_ingested: 0,
+            partitions_split: 0,
+            partitions_created: 0,
+            merge_files_stale: 0,
+        };
+        let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset) else {
+            return Ok(outcome);
+        };
+        if let Some(wrong) = objects.iter().find(|o| o.dataset != dataset) {
+            return Err(odyssey_storage::StorageError::InvalidIngest(format!(
+                "object {:?} is tagged {} but the batch targets {}",
+                wrong.id, wrong.dataset, dataset
+            )));
+        }
+        let stats: IngestStats = index.ingest(storage, &self.config, objects)?;
+        outcome.objects_ingested = stats.objects_ingested;
+        outcome.partitions_split = stats.partitions_split;
+        outcome.partitions_created = stats.partitions_created;
+        if stats.objects_ingested > 0 {
+            let merger = self.merger.read().unwrap();
+            outcome.merge_files_stale = merger
+                .directory()
+                .iter()
+                .filter(|f| !self.stale_subset(f, DatasetSet::single(dataset)).is_empty())
+                .count();
+        }
+        Ok(outcome)
+    }
+
+    /// The subset of `wanted` datasets the merge file is **stale** for: its
+    /// per-dataset high-water mark lags the dataset's live ingest sequence.
+    /// Datasets outside the file's combination or unknown to the engine are
+    /// never reported stale (the file cannot serve them anyway). The single
+    /// source of truth for the phase-0.5 repair/bypass decision, the phase-2
+    /// freshness net, and the post-ingest staleness count.
+    fn stale_subset(&self, file: &crate::merge_file::MergeFile, wanted: DatasetSet) -> DatasetSet {
+        DatasetSet::from_ids(wanted.intersection(file.combination).iter().filter(|id| {
+            self.datasets
+                .iter()
+                .find(|d| d.dataset() == *id)
+                .is_some_and(|d| file.is_stale_for(*id, d.ingest_seq()))
+        }))
+    }
+
+    /// Ingests several batches (dataset, objects) in one call; batches are
+    /// applied in order. See [`SpaceOdyssey::ingest`].
+    pub fn ingest_batch(
+        &self,
+        storage: &StorageManager,
+        batches: &[(DatasetId, Vec<SpatialObject>)],
+    ) -> StorageResult<Vec<IngestOutcome>> {
+        batches
+            .iter()
+            .map(|(dataset, objects)| self.ingest(storage, *dataset, objects))
+            .collect()
+    }
+
+    /// Executes a mixed batch of ingest and query operations, fanning out
+    /// over all available cores. See
+    /// [`SpaceOdyssey::execute_ops_batch_with_threads`].
+    pub fn execute_ops_batch(
+        &self,
+        storage: &StorageManager,
+        ops: &[EngineOp],
+    ) -> StorageResult<Vec<OpOutcome>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.execute_ops_batch_with_threads(storage, ops, threads)
+    }
+
+    /// Executes a mixed ingest+query batch on `threads` worker threads.
+    ///
+    /// The batch runs in two internal phases: **all ingest ops first**, then
+    /// all query ops. That is what keeps mixed batches deterministic under
+    /// the same shuffle rules as adaptation: each ingest is applied exactly
+    /// once (the per-dataset write lock serializes same-dataset batches),
+    /// and every query observes the complete post-ingest state, so per-query
+    /// answers are identical to sequential execution regardless of thread
+    /// interleaving or op order within the batch. Outcomes are returned in
+    /// the input order of `ops`.
+    pub fn execute_ops_batch_with_threads(
+        &self,
+        storage: &StorageManager,
+        ops: &[EngineOp],
+        threads: usize,
+    ) -> StorageResult<Vec<OpOutcome>> {
+        let ingests: Vec<&EngineOp> = ops
+            .iter()
+            .filter(|op| matches!(op, EngineOp::Ingest { .. }))
+            .collect();
+        let queries: Vec<&EngineOp> = ops
+            .iter()
+            .filter(|op| matches!(op, EngineOp::Query(_)))
+            .collect();
+        let mut ingest_results = self
+            .run_batch(&ingests, threads, |op| match op {
+                EngineOp::Ingest { dataset, objects } => self
+                    .ingest(storage, *dataset, objects)
+                    .map(OpOutcome::Ingest),
+                EngineOp::Query(_) => unreachable!("ingest phase only sees ingest ops"),
+            })?
+            .into_iter();
+        let mut query_results = self
+            .run_batch(&queries, threads, |op| match op {
+                EngineOp::Query(query) => self.execute_query(storage, query).map(OpOutcome::Query),
+                EngineOp::Ingest { .. } => unreachable!("query phase only sees query ops"),
+            })?
+            .into_iter();
+        Ok(ops
+            .iter()
+            .map(|op| match op {
+                EngineOp::Ingest { .. } => {
+                    ingest_results.next().expect("one outcome per ingest op")
+                }
+                EngineOp::Query(_) => query_results.next().expect("one outcome per query op"),
+            })
+            .collect())
     }
 
     /// Executes a batch of range queries, fanning out over all available
@@ -554,26 +832,27 @@ impl SpaceOdyssey {
         self.run_batch(queries, threads, |q| self.execute_query(storage, q))
     }
 
-    /// Shared fan-out harness of the two batch entry points.
-    fn run_batch<T: Sync>(
+    /// Shared fan-out harness of the batch entry points (queries, ingests and
+    /// mixed phases all pull work from one cursor).
+    fn run_batch<T: Sync, R: Send>(
         &self,
-        queries: &[T],
+        items: &[T],
         threads: usize,
-        run: impl Fn(&T) -> StorageResult<QueryOutcome> + Sync,
-    ) -> StorageResult<Vec<QueryOutcome>> {
-        let threads = threads.clamp(1, queries.len().max(1));
+        run: impl Fn(&T) -> StorageResult<R> + Sync,
+    ) -> StorageResult<Vec<R>> {
+        let threads = threads.clamp(1, items.len().max(1));
         if threads <= 1 {
-            return queries.iter().map(run).collect();
+            return items.iter().map(run).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let collected: Vec<Mutex<Option<StorageResult<QueryOutcome>>>> =
-            queries.iter().map(|_| Mutex::new(None)).collect();
+        let collected: Vec<Mutex<Option<StorageResult<R>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(query) = queries.get(i) else { break };
-                    let result = run(query);
+                    let Some(item) = items.get(i) else { break };
+                    let result = run(item);
                     *collected[i].lock().unwrap() = Some(result);
                 });
             }
@@ -583,7 +862,7 @@ impl SpaceOdyssey {
             .map(|slot| {
                 slot.into_inner()
                     .unwrap()
-                    .expect("every query slot is filled")
+                    .expect("every work slot is filled")
             })
             .collect()
     }
@@ -929,6 +1208,276 @@ mod tests {
                 q.id
             );
         }
+    }
+
+    #[test]
+    fn ingest_updates_answers_and_unknown_datasets_are_noops() {
+        let Fixture {
+            storage,
+            engine,
+            mut all_objects,
+        } = fixture(2, 800, config());
+        // Warm both datasets.
+        let q = query(0, Vec3::splat(50.0), 30.0, &[0, 1]);
+        engine.execute(&storage, &q).unwrap();
+        let arrivals: Vec<SpatialObject> = (0..150u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(700_000 + i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(Vec3::splat(40.0 + (i % 20) as f64), Vec3::splat(0.4)),
+                )
+            })
+            .collect();
+        let outcome = engine.ingest(&storage, DatasetId(0), &arrivals).unwrap();
+        assert_eq!(outcome.objects_ingested, 150);
+        all_objects.extend(arrivals.iter().copied());
+        assert_eq!(engine.ingests_performed(), 1);
+        assert_eq!(storage.stats().objects_ingested, 150);
+        // Answers include the arrivals immediately.
+        let q2 = query(1, Vec3::splat(50.0), 30.0, &[0, 1]);
+        let got = engine.execute(&storage, &q2).unwrap();
+        let expected = odyssey_geom::scan_query(&q2, all_objects.iter()).len();
+        let mut ids: Vec<_> = got.objects.iter().map(|o| (o.dataset, o.id)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), expected);
+        // Unknown dataset: accepted as a no-op.
+        let unknown = engine.ingest(&storage, DatasetId(9), &[]).unwrap();
+        assert_eq!(unknown.objects_ingested, 0);
+        // A batch tagged with the wrong dataset is rejected before any of it
+        // is applied.
+        let before_seq = engine.dataset(DatasetId(1)).unwrap().ingest_seq();
+        assert!(engine
+            .ingest(&storage, DatasetId(1), &arrivals_for(0, 5))
+            .is_err());
+        assert_eq!(
+            engine.dataset(DatasetId(1)).unwrap().ingest_seq(),
+            before_seq,
+            "a rejected batch must leave the dataset untouched"
+        );
+        // Batched form applies in order.
+        let outcomes = engine
+            .ingest_batch(
+                &storage,
+                &[(DatasetId(1), arrivals_for(1, 10)), (DatasetId(0), vec![])],
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].objects_ingested, 10);
+    }
+
+    fn arrivals_for(ds: u16, n: u64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(800_000 + i),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(Vec3::splat(30.0), Vec3::splat(0.3)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stale_merge_files_are_repaired_before_serving() {
+        // Legacy mode (planner off): a stale merge file must be repaired on
+        // the next touching query, and the repaired file serves the tail.
+        let Fixture {
+            storage,
+            engine,
+            mut all_objects,
+        } = fixture(4, 2000, config().without_planner());
+        let hot = [0u16, 1, 2];
+        for i in 0..8 {
+            let q = query(i, Vec3::splat(48.0 + (i % 3) as f64), 4.0, &hot);
+            engine.execute(&storage, &q).unwrap();
+        }
+        assert_eq!(engine.merger().directory().len(), 1);
+        // Ingest into dataset 1, inside the merged hot region.
+        let arrivals: Vec<SpatialObject> = (0..60u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(900_000 + i),
+                    DatasetId(1),
+                    Aabb::from_center_extent(Vec3::splat(48.0 + (i % 3) as f64), Vec3::splat(0.3)),
+                )
+            })
+            .collect();
+        let ingest = engine.ingest(&storage, DatasetId(1), &arrivals).unwrap();
+        assert_eq!(ingest.merge_files_stale, 1);
+        all_objects.extend(arrivals.iter().copied());
+        // The next hot query repairs the file and serves from it — with the
+        // tail included in the answer.
+        let q = query(100, Vec3::splat(49.0), 4.0, &hot);
+        let outcome = engine.execute(&storage, &q).unwrap();
+        assert!(outcome.stale_merge_repairs > 0, "{outcome:?}");
+        assert!(!outcome.stale_merge_bypassed);
+        assert!(outcome.used_merge_file());
+        let mut got: Vec<_> = outcome.objects.iter().map(|o| (o.dataset, o.id)).collect();
+        let mut expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
+            .iter()
+            .map(|o| (o.dataset, o.id))
+            .collect();
+        got.sort_unstable();
+        got.dedup();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "repaired merge file must serve the tail");
+        assert!(engine.merger().staleness_repairs() > 0);
+        // Once repaired, later queries see a fresh file: no further repairs.
+        let q2 = query(101, Vec3::splat(49.0), 4.0, &hot);
+        let outcome2 = engine.execute(&storage, &q2).unwrap();
+        assert_eq!(outcome2.stale_merge_repairs, 0);
+        assert!(outcome2.used_merge_file());
+    }
+
+    #[test]
+    fn huge_ingest_tail_makes_the_planner_bypass_the_stale_file() {
+        let Fixture {
+            storage,
+            engine,
+            mut all_objects,
+        } = fixture(4, 2000, config());
+        let hot = [0u16, 1, 2];
+        for i in 0..8 {
+            let q = query(i, Vec3::splat(48.0 + (i % 3) as f64), 4.0, &hot);
+            engine.execute(&storage, &q).unwrap();
+        }
+        assert_eq!(engine.merger().directory().len(), 1);
+        // A tail far larger than anything a tiny query would read: repairing
+        // costs more than serving the few hit partitions from the octree.
+        let arrivals: Vec<SpatialObject> = (0..20_000u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(950_000 + i),
+                    DatasetId(1),
+                    Aabb::from_center_extent(
+                        Vec3::new(
+                            10.0 + (i % 80) as f64,
+                            10.0 + ((i / 80) % 80) as f64,
+                            10.0 + ((i / 6400) % 80) as f64,
+                        ),
+                        Vec3::splat(0.2),
+                    ),
+                )
+            })
+            .collect();
+        engine.ingest(&storage, DatasetId(1), &arrivals).unwrap();
+        all_objects.extend(arrivals.iter().copied());
+        let q = query(200, Vec3::splat(48.5), 2.0, &hot);
+        let outcome = engine.execute(&storage, &q).unwrap();
+        assert!(
+            outcome.stale_merge_bypassed,
+            "a tiny query must not pay a 20k-object repair: {:?}",
+            outcome.plans
+        );
+        assert_eq!(outcome.stale_merge_repairs, 0);
+        assert!(engine.stale_bypasses() > 0);
+        // Bypassed — but still exact.
+        let mut got: Vec<_> = outcome.objects.iter().map(|o| (o.dataset, o.id)).collect();
+        let mut expected: Vec<_> = odyssey_geom::scan_query(&q, all_objects.iter())
+            .iter()
+            .map(|o| (o.dataset, o.id))
+            .collect();
+        got.sort_unstable();
+        got.dedup();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "bypassed stale file must not lose the tail");
+    }
+
+    #[test]
+    fn mixed_ops_batch_is_deterministic_and_ordered() {
+        let cfg = config();
+        let Fixture {
+            storage,
+            engine,
+            mut all_objects,
+        } = fixture(3, 1000, cfg);
+        let mut ops: Vec<EngineOp> = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for i in 0..24u32 {
+            if i % 4 == 0 {
+                let ds = (i % 3) as u16;
+                let objects: Vec<SpatialObject> = (0..50u64)
+                    .map(|j| {
+                        SpatialObject::new(
+                            ObjectId(600_000 + i as u64 * 100 + j),
+                            DatasetId(ds),
+                            Aabb::from_center_extent(
+                                Vec3::new(
+                                    rng.gen_range(20.0..80.0),
+                                    rng.gen_range(20.0..80.0),
+                                    rng.gen_range(20.0..80.0),
+                                ),
+                                Vec3::splat(0.3),
+                            ),
+                        )
+                    })
+                    .collect();
+                all_objects.extend(objects.iter().copied());
+                ops.push(EngineOp::Ingest {
+                    dataset: DatasetId(ds),
+                    objects,
+                });
+            } else {
+                let c = Vec3::new(
+                    rng.gen_range(15.0..85.0),
+                    rng.gen_range(15.0..85.0),
+                    rng.gen_range(15.0..85.0),
+                );
+                ops.push(EngineOp::Query(Query::Range(query(
+                    i,
+                    c,
+                    rng.gen_range(3.0..10.0),
+                    &[0, 1, 2],
+                ))));
+            }
+        }
+        let outcomes = engine
+            .execute_ops_batch_with_threads(&storage, &ops, 8)
+            .unwrap();
+        assert_eq!(outcomes.len(), ops.len());
+        // Outcomes align with input ops, every ingest applied exactly once,
+        // and every query answers over the full post-ingest state.
+        for (op, outcome) in ops.iter().zip(&outcomes) {
+            match (op, outcome) {
+                (EngineOp::Ingest { objects, .. }, OpOutcome::Ingest(o)) => {
+                    assert_eq!(o.objects_ingested, objects.len());
+                }
+                (EngineOp::Query(q), OpOutcome::Query(o)) => {
+                    let mut got: Vec<_> = o.objects.iter().map(|x| (x.dataset, x.id)).collect();
+                    let mut expected: Vec<_> = match q {
+                        Query::Range(rq) => odyssey_geom::scan_query(rq, all_objects.iter())
+                            .iter()
+                            .map(|x| (x.dataset, x.id))
+                            .collect(),
+                        _ => unreachable!(),
+                    };
+                    got.sort_unstable();
+                    got.dedup();
+                    expected.sort_unstable();
+                    assert_eq!(got, expected, "query {:?} diverged", q.id());
+                    assert!(outcome.as_query().is_some() && outcome.as_ingest().is_none());
+                }
+                _ => panic!("outcome kind does not match op kind"),
+            }
+        }
+        let total: u64 = (0..3u16)
+            .map(|d| {
+                engine
+                    .dataset(DatasetId(d))
+                    .unwrap()
+                    .partitions()
+                    .iter()
+                    .map(|p| p.object_count)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(
+            total,
+            3 * 1000 + 2 * 50 + 4 * 50,
+            "ingests applied exactly once"
+        );
     }
 
     #[test]

@@ -38,10 +38,10 @@ pub mod planner;
 pub mod stats;
 
 pub use config::{MergeLevelPolicy, OdysseyConfig};
-pub use engine::{QueryOutcome, SpaceOdyssey};
-pub use merge_file::{MergeEntry, MergeFile, MergeRun};
+pub use engine::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, SpaceOdyssey};
+pub use merge_file::{MergeEntry, MergeFile, MergeRun, MergeSource};
 pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};
-pub use octree::{DatasetIndex, PreparedKnn, PreparedQuery};
+pub use octree::{DatasetIndex, IngestStats, PreparedKnn, PreparedQuery, RegionCoverage};
 pub use partition::{Partition, PartitionKey};
 pub use planner::{AccessPath, PlanChoice, Planner};
 pub use stats::{ComboStats, StatsCollector};

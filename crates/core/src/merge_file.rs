@@ -11,6 +11,19 @@
 //!   can read the runs it needs and skip the rest,
 //! * the original per-dataset partitions are kept, so queries on individual
 //!   datasets stay efficient.
+//!
+//! # Online ingestion and staleness
+//!
+//! Merge entries are snapshots: once a dataset keeps ingesting, an entry
+//! written earlier is missing the *tail* of objects that arrived since. Every
+//! run therefore records the dataset's ingest sequence number it is synced to
+//! ([`MergeRun::synced_seq`]); the per-dataset minimum across entries
+//! ([`MergeFile::synced_seq`]) is the file's high-water mark for that
+//! dataset. A file whose high-water mark lags the dataset's live sequence is
+//! **stale** for that dataset and must not serve it until the Merger repairs
+//! it — by appending the missing tail objects as extra runs
+//! ([`MergeFile::append_repair_run`]), reusing the append-only layout — or
+//! the router bypasses it to the per-dataset octree path.
 
 use crate::partition::PartitionKey;
 use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
@@ -29,6 +42,24 @@ pub struct MergeRun {
     pub page_count: u64,
     /// Number of objects in the run.
     pub object_count: u64,
+    /// The dataset's ingest sequence number this run (together with the
+    /// entry's earlier runs for the same dataset) is synced to: every object
+    /// of the region with a log position below this value is present in the
+    /// entry.
+    pub synced_seq: u64,
+}
+
+/// The data of one dataset for a merge entry: the region's objects plus the
+/// ingest sequence number the read is consistent with (see
+/// [`crate::DatasetIndex::read_region_versioned`]).
+#[derive(Debug, Clone)]
+pub struct MergeSource {
+    /// The contributing dataset.
+    pub dataset: DatasetId,
+    /// The region's objects from that dataset.
+    pub objects: Vec<SpatialObject>,
+    /// Ingest sequence the objects are consistent with.
+    pub synced_seq: u64,
 }
 
 /// One merged partition: the same spatial region copied from every dataset of
@@ -50,6 +81,17 @@ impl MergeEntry {
     /// Total pages occupied by the entry.
     pub fn pages(&self) -> u64 {
         self.runs.iter().map(|r| r.page_count).sum()
+    }
+
+    /// The ingest sequence this entry is synced to for `dataset` (0 when the
+    /// entry holds no run of that dataset).
+    pub fn synced_seq(&self, dataset: DatasetId) -> u64 {
+        self.runs
+            .iter()
+            .filter(|r| r.dataset == dataset)
+            .map(|r| r.synced_seq)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -103,6 +145,29 @@ impl MergeFile {
         self.entries.get(key)
     }
 
+    /// The keys of every merged partition (unordered).
+    pub fn keys(&self) -> Vec<PartitionKey> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The ingest sequence the file is synced to for `dataset`: the minimum
+    /// over all entries, i.e. the file's per-dataset high-water mark. A file
+    /// without entries is vacuously synced (`u64::MAX`).
+    pub fn synced_seq(&self, dataset: DatasetId) -> u64 {
+        self.entries
+            .values()
+            .map(|e| e.synced_seq(dataset))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Whether the file is stale for `dataset` given the dataset's live
+    /// ingest sequence: some entry is missing tail objects ingested since it
+    /// was written or last repaired.
+    pub fn is_stale_for(&self, dataset: DatasetId, live_seq: u64) -> bool {
+        self.synced_seq(dataset) < live_seq
+    }
+
     /// Number of merged partitions.
     pub fn entry_count(&self) -> usize {
         self.entries.len()
@@ -118,31 +183,79 @@ impl MergeFile {
     /// skipped on read. Datasets are written in ascending id order.
     ///
     /// Appending an already-present key is a no-op (merge files never rewrite
-    /// existing entries).
+    /// existing entries; tails arriving later go through
+    /// [`MergeFile::append_repair_run`]).
     pub fn append_entry(
         &mut self,
         storage: &StorageManager,
         key: PartitionKey,
-        parts: &[(DatasetId, Vec<SpatialObject>)],
+        parts: &[MergeSource],
     ) -> StorageResult<bool> {
         if self.entries.contains_key(&key) {
             return Ok(false);
         }
-        let mut parts_sorted: Vec<&(DatasetId, Vec<SpatialObject>)> = parts.iter().collect();
-        parts_sorted.sort_by_key(|(d, _)| *d);
+        let mut parts_sorted: Vec<&MergeSource> = parts.iter().collect();
+        parts_sorted.sort_by_key(|s| s.dataset);
         let mut runs = Vec::with_capacity(parts_sorted.len());
-        for (dataset, objects) in parts_sorted {
-            let range = storage.append_objects(self.file, objects)?;
+        for source in parts_sorted {
+            let range = storage.append_objects(self.file, &source.objects)?;
             runs.push(MergeRun {
-                dataset: *dataset,
+                dataset: source.dataset,
                 page_start: range.start,
                 page_count: range.end - range.start,
-                object_count: objects.len() as u64,
+                object_count: source.objects.len() as u64,
+                synced_seq: source.synced_seq,
             });
         }
         let entry = MergeEntry { key, runs };
         self.total_pages += entry.pages();
         self.entries.insert(key, entry);
+        Ok(true)
+    }
+
+    /// Repairs a stale entry for one dataset: appends the missing tail
+    /// `objects` (those ingested into the entry's region since the entry's
+    /// recorded sequence) as one more run at the end of the file — the same
+    /// append-only path a merge extension takes — and advances the entry's
+    /// sequence for that dataset to `synced_seq`.
+    ///
+    /// Returns `true` if a run with data was appended (`objects` may be empty
+    /// when the ingested tail missed this region; the sequence still
+    /// advances so the entry is no longer considered stale).
+    pub fn append_repair_run(
+        &mut self,
+        storage: &StorageManager,
+        key: &PartitionKey,
+        dataset: DatasetId,
+        objects: &[SpatialObject],
+        synced_seq: u64,
+    ) -> StorageResult<bool> {
+        let Some(entry) = self.entries.get_mut(key) else {
+            return Ok(false);
+        };
+        if objects.is_empty() {
+            // Nothing landed in this region: advance the recorded sequence
+            // without touching the file.
+            if let Some(run) = entry
+                .runs
+                .iter_mut()
+                .filter(|r| r.dataset == dataset)
+                .max_by_key(|r| r.synced_seq)
+            {
+                run.synced_seq = run.synced_seq.max(synced_seq);
+            }
+            return Ok(false);
+        }
+        let range = storage.append_objects(self.file, objects)?;
+        let run = MergeRun {
+            dataset,
+            page_start: range.start,
+            page_count: range.end - range.start,
+            object_count: objects.len() as u64,
+            synced_seq,
+        };
+        self.total_pages += run.page_count;
+        entry.runs.push(run);
         Ok(true)
     }
 
@@ -186,10 +299,10 @@ mod tests {
         }
     }
 
-    fn objs(ds: u16, n: u64) -> (DatasetId, Vec<SpatialObject>) {
-        (
-            DatasetId(ds),
-            (0..n)
+    fn objs(ds: u16, n: u64) -> MergeSource {
+        MergeSource {
+            dataset: DatasetId(ds),
+            objects: (0..n)
                 .map(|i| {
                     SpatialObject::new(
                         ObjectId(ds as u64 * 1000 + i),
@@ -198,7 +311,8 @@ mod tests {
                     )
                 })
                 .collect(),
-        )
+            synced_seq: 0,
+        }
     }
 
     fn combo(ids: &[u16]) -> DatasetSet {
@@ -270,6 +384,43 @@ mod tests {
         assert!(mf.read(&storage, &key(9), combo(&[0])).unwrap().is_empty());
         assert!(mf.entry(&key(9)).is_none());
         assert_eq!(mf.total_pages(), 0);
+    }
+
+    #[test]
+    fn repair_runs_extend_entries_and_advance_the_high_water_mark() {
+        let storage = StorageManager::in_memory();
+        let mut mf = MergeFile::create(&storage, combo(&[0, 1, 2]), "c").unwrap();
+        mf.append_entry(&storage, key(0), &[objs(0, 30), objs(1, 30), objs(2, 30)])
+            .unwrap();
+        assert_eq!(mf.synced_seq(DatasetId(0)), 0);
+        assert!(!mf.is_stale_for(DatasetId(0), 0));
+        assert!(mf.is_stale_for(DatasetId(0), 5));
+        // Repair with the 5-object tail: the entry grows, the mark advances.
+        let tail = objs(0, 5).objects;
+        let pages_before = mf.total_pages();
+        assert!(mf
+            .append_repair_run(&storage, &key(0), DatasetId(0), &tail, 5)
+            .unwrap());
+        assert!(mf.total_pages() > pages_before);
+        assert_eq!(mf.synced_seq(DatasetId(0)), 5);
+        assert!(!mf.is_stale_for(DatasetId(0), 5));
+        // The repaired entry serves the tail alongside the original run.
+        let all = mf.read(&storage, &key(0), combo(&[0])).unwrap();
+        assert_eq!(all.len(), 35);
+        // An empty tail advances the mark without writing.
+        let pages = mf.total_pages();
+        assert!(!mf
+            .append_repair_run(&storage, &key(0), DatasetId(0), &[], 9)
+            .unwrap());
+        assert_eq!(mf.total_pages(), pages);
+        assert_eq!(mf.synced_seq(DatasetId(0)), 9);
+        // Unknown keys are ignored.
+        assert!(!mf
+            .append_repair_run(&storage, &key(7), DatasetId(0), &tail, 9)
+            .unwrap());
+        // A file without entries is never stale.
+        let empty = MergeFile::create(&storage, combo(&[0, 1, 2]), "e").unwrap();
+        assert!(!empty.is_stale_for(DatasetId(0), u64::MAX - 1));
     }
 
     #[test]

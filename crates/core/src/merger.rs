@@ -10,11 +10,11 @@
 //! the replicated data bounded (§3.2.4).
 
 use crate::config::{MergeLevelPolicy, OdysseyConfig};
-use crate::merge_file::MergeFile;
+use crate::merge_file::{MergeFile, MergeSource};
 use crate::octree::DatasetIndex;
 use crate::partition::PartitionKey;
 use crate::stats::StatsCollector;
-use odyssey_geom::{DatasetId, DatasetSet, SpatialObject};
+use odyssey_geom::DatasetSet;
 use odyssey_storage::{StorageManager, StorageResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -148,13 +148,18 @@ impl MergeDirectory {
     }
 
     /// Drops least-recently-used merge files until the total replicated space
-    /// fits the budget. Returns the combinations that were evicted.
+    /// fits the budget — down to an *empty* directory when even a single
+    /// file exceeds the budget on its own (the earlier two-phase loop kept
+    /// `files.len() > 1` as its guard, which silently let one oversized file
+    /// violate the budget forever once the guard and the final-file check
+    /// drifted apart). Returns the combinations that were evicted, budget
+    /// violators included, so callers can observe every drop.
     pub fn enforce_budget(&mut self, budget_pages: Option<u64>) -> Vec<DatasetSet> {
         let Some(budget) = budget_pages else {
             return Vec::new();
         };
         let mut evicted = Vec::new();
-        while self.total_pages() > budget && self.files.len() > 1 {
+        while self.total_pages() > budget && !self.files.is_empty() {
             let lru = self
                 .files
                 .iter()
@@ -163,12 +168,6 @@ impl MergeDirectory {
                 .map(|(i, _)| i)
                 .expect("non-empty directory");
             let removed = self.files.swap_remove(lru);
-            evicted.push(removed.combination);
-            self.evictions += 1;
-        }
-        // If a single file alone exceeds the budget, drop it too.
-        if self.files.len() == 1 && self.total_pages() > budget {
-            let removed = self.files.pop().expect("one file");
             evicted.push(removed.combination);
             self.evictions += 1;
         }
@@ -186,6 +185,10 @@ pub struct MergeSummary {
     /// Number of candidate partitions skipped because the datasets held them
     /// at different refinement levels (same-level-only policy).
     pub skipped_level_mismatch: usize,
+    /// Number of staleness-repair runs appended to pre-existing entries
+    /// before the merge proper (a merge always brings its file fully up to
+    /// date first, so the per-dataset high-water marks can advance).
+    pub repair_runs_appended: usize,
 }
 
 /// The Merger: decides when to merge and performs the copies.
@@ -199,6 +202,7 @@ pub struct MergeSummary {
 pub struct Merger {
     directory: MergeDirectory,
     merges_performed: u64,
+    staleness_repairs: u64,
 }
 
 impl Merger {
@@ -224,6 +228,82 @@ impl Merger {
         self.merges_performed
     }
 
+    /// Number of staleness-repair operations performed: one per
+    /// `(merge file, dataset)` pair whose missing ingest tail was appended.
+    pub fn staleness_repairs(&self) -> u64 {
+        self.staleness_repairs
+    }
+
+    /// Brings the merge file of exactly `combination` (if any) up to date for
+    /// the given `datasets` of its combination: for every dataset whose
+    /// ingest sequence has moved past the file's high-water mark, the missing
+    /// tail objects are routed to the entries whose regions contain their
+    /// centers and appended as repair runs — the same append-only path the
+    /// merge itself uses. Returns the number of repair runs appended.
+    ///
+    /// Runs under the engine's merger write lock; the per-entry sequence
+    /// checks make it idempotent, so a thread that lost the race to a
+    /// concurrent repair finds nothing left to append.
+    pub fn repair_combination(
+        &mut self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        combination: DatasetSet,
+        wanted: DatasetSet,
+        datasets: &[DatasetIndex],
+    ) -> StorageResult<usize> {
+        let Some(file_idx) = self.directory.find_exact(combination) else {
+            return Ok(0);
+        };
+        let k = config.splits_per_dimension();
+        let mut runs_appended = 0usize;
+        for dataset_id in combination.intersection(wanted).iter() {
+            let Some(index) = datasets.iter().find(|d| d.dataset() == dataset_id) else {
+                continue;
+            };
+            let file = &mut self.directory.files[file_idx];
+            let synced = file.synced_seq(dataset_id);
+            let (tail, live_seq) = index.ingest_tail(synced);
+            if live_seq <= synced {
+                continue;
+            }
+            // Route each tail object to every entry whose region contains its
+            // center; entries at several levels may each cover the region
+            // (each entry is an independent snapshot of its region, so each
+            // gets the tail). The per-entry sequence skips the prefix a
+            // deeper-synced entry already holds.
+            let mut repaired_any = false;
+            for key in file.keys() {
+                let entry_synced = file
+                    .entry(&key)
+                    .map(|e| e.synced_seq(dataset_id))
+                    .unwrap_or(0);
+                let from = entry_synced.saturating_sub(synced) as usize;
+                let missing: Vec<_> = tail
+                    .iter()
+                    .skip(from)
+                    .filter(|o| {
+                        PartitionKey::containing(&config.bounds, k, key.level, o.center()) == key
+                    })
+                    .copied()
+                    .collect();
+                storage.note_objects_scanned(tail.len().saturating_sub(from) as u64);
+                if file.append_repair_run(storage, &key, dataset_id, &missing, live_seq)? {
+                    runs_appended += 1;
+                }
+                repaired_any = true;
+            }
+            if repaired_any {
+                self.staleness_repairs += 1;
+            }
+        }
+        if runs_appended > 0 {
+            self.directory
+                .enforce_budget(config.merge_space_budget_pages);
+        }
+        Ok(runs_appended)
+    }
+
     /// Returns `true` if the combination qualifies for merging under the
     /// configuration and current statistics.
     pub fn should_merge(
@@ -240,7 +320,9 @@ impl Merger {
     /// Merges (or extends the merge file of) `combination`: every candidate
     /// partition that all datasets of the combination hold at the same
     /// refinement level is copied into the combination's merge file. Already
-    /// merged partitions are left untouched (the file is append-only).
+    /// merged partitions are left untouched (the file is append-only); stale
+    /// pre-existing entries are repaired first, so a merge always leaves the
+    /// file fully synced to every dataset's live ingest sequence.
     pub fn merge_combination(
         &mut self,
         storage: &StorageManager,
@@ -249,7 +331,16 @@ impl Merger {
         candidates: &[PartitionKey],
         datasets: &[DatasetIndex],
     ) -> StorageResult<MergeSummary> {
-        let mut summary = MergeSummary::default();
+        let mut summary = MergeSummary {
+            repair_runs_appended: self.repair_combination(
+                storage,
+                config,
+                combination,
+                combination,
+                datasets,
+            )?,
+            ..MergeSummary::default()
+        };
         // Ensure the merge file exists.
         if self.directory.find_exact(combination).is_none() {
             let label = combination
@@ -274,13 +365,15 @@ impl Merger {
             // Check the level policy for every dataset *before* reading any
             // data: a mismatch discovered halfway through would waste the
             // reads already performed, and mismatched candidates are
-            // re-examined on every later query.
+            // re-examined on every later query. A *hole* (no leaf because
+            // refinement skipped the empty child) counts as holding the
+            // region at that level with zero objects.
             if config.merge_level_policy == MergeLevelPolicy::SameLevelOnly {
                 let aligned = combination.iter().all(|dataset_id| {
                     datasets
                         .iter()
                         .find(|d| d.dataset() == dataset_id)
-                        .map(|d| d.partition(key).is_some())
+                        .map(|d| d.region_coverage(config, key).is_same_level())
                         .unwrap_or(false)
                 });
                 if !aligned {
@@ -297,15 +390,19 @@ impl Merger {
             // pre-check above already filtered mismatched candidates; a
             // refinement slipping in between merely reads the region from
             // its finer leaves, with identical content.)
-            let mut parts: Vec<(DatasetId, Vec<SpatialObject>)> = Vec::new();
+            let mut parts: Vec<MergeSource> = Vec::new();
             let mut mismatch = false;
             for dataset_id in combination.iter() {
                 let Some(index) = datasets.iter().find(|d| d.dataset() == dataset_id) else {
                     mismatch = true;
                     break;
                 };
-                match index.read_region(storage, config, key)? {
-                    Some(objects) => parts.push((dataset_id, objects)),
+                match index.read_region_versioned(storage, config, key)? {
+                    Some((objects, synced_seq)) => parts.push(MergeSource {
+                        dataset: dataset_id,
+                        objects,
+                        synced_seq,
+                    }),
                     None => {
                         mismatch = true;
                         break;
@@ -401,7 +498,7 @@ mod tests {
         // Two merge files with one entry each (non-zero pages).
         let mk = |storage: &StorageManager, ids: &[u16]| {
             let mut f = MergeFile::create(storage, combo(ids), "x").unwrap();
-            let objs: Vec<_> = (0..100u64)
+            let objects: Vec<_> = (0..100u64)
                 .map(|i| {
                     odyssey_geom::SpatialObject::new(
                         odyssey_geom::ObjectId(i),
@@ -410,8 +507,16 @@ mod tests {
                     )
                 })
                 .collect();
-            f.append_entry(storage, key(0), &[(DatasetId(ids[0]), objs)])
-                .unwrap();
+            f.append_entry(
+                storage,
+                key(0),
+                &[MergeSource {
+                    dataset: DatasetId(ids[0]),
+                    objects,
+                    synced_seq: 0,
+                }],
+            )
+            .unwrap();
             f
         };
         dir.insert(mk(&storage, &[0, 1, 2]));
@@ -430,6 +535,43 @@ mod tests {
         let evicted = dir.enforce_budget(Some(0));
         assert_eq!(evicted.len(), 1);
         assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn budget_smaller_than_a_single_file_evicts_it() {
+        // Regression: a lone merge file larger than the budget must not be
+        // allowed to violate it silently — the directory evicts down to zero
+        // files and reports the violator in the evicted list.
+        let storage = StorageManager::in_memory();
+        let mut dir = MergeDirectory::new();
+        let mut f = MergeFile::create(&storage, combo(&[0, 1, 2]), "big").unwrap();
+        let objects: Vec<_> = (0..500u64)
+            .map(|i| {
+                odyssey_geom::SpatialObject::new(
+                    odyssey_geom::ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_min_max(Vec3::ZERO, Vec3::ONE),
+                )
+            })
+            .collect();
+        f.append_entry(
+            &storage,
+            key(0),
+            &[MergeSource {
+                dataset: DatasetId(0),
+                objects,
+                synced_seq: 0,
+            }],
+        )
+        .unwrap();
+        let pages = f.total_pages();
+        assert!(pages > 1);
+        dir.insert(f);
+        let evicted = dir.enforce_budget(Some(1));
+        assert_eq!(evicted, vec![combo(&[0, 1, 2])]);
+        assert!(dir.is_empty());
+        assert_eq!(dir.total_pages(), 0);
+        assert_eq!(dir.evictions(), 1);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 use crate::config::OdysseyConfig;
 use crate::partition::{Partition, PartitionKey};
 use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
-use odyssey_storage::{pages_needed, FileId, RawDataset, StorageManager, StorageResult};
+use odyssey_storage::{
+    append_to_raw_dataset, pages_needed, FileId, RawDataset, StorageManager, StorageResult,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -62,6 +64,45 @@ pub struct PreparedKnn {
     pub retrieved_keys: Vec<PartitionKey>,
 }
 
+/// How a dataset's current leaves cover a region key — the vocabulary of the
+/// Merger's same-refinement-level rule under sparse key coverage (refinement
+/// skips empty children, so a region can legitimately have *no* leaf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionCoverage {
+    /// The dataset has not been initialized yet.
+    Uninitialized,
+    /// A leaf with exactly this key exists.
+    Exact,
+    /// No leaf touches the region although its neighbourhood was refined to
+    /// this level: the region holds zero objects. Equivalent, for merging,
+    /// to an exact leaf with an empty run.
+    Hole,
+    /// The region is covered by deeper leaves (it was refined further).
+    Finer,
+    /// The region lies inside a coarser leaf.
+    Coarser,
+}
+
+impl RegionCoverage {
+    /// Whether the dataset holds the region at exactly the asked level
+    /// (an exact leaf, or a hole = empty at that level).
+    pub fn is_same_level(self) -> bool {
+        matches!(self, RegionCoverage::Exact | RegionCoverage::Hole)
+    }
+}
+
+/// Result of one ingest call on a dataset.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Number of objects appended.
+    pub objects_ingested: usize,
+    /// Partitions that crossed the split threshold and were refined.
+    pub partitions_split: usize,
+    /// Partitions created for regions that previously had no leaf (holes left
+    /// by empty-child-skipping refinement).
+    pub partitions_created: usize,
+}
+
 /// The mutable state of one dataset's index, guarded by the per-dataset lock.
 #[derive(Debug)]
 struct IndexState {
@@ -70,15 +111,27 @@ struct IndexState {
     /// Current leaf partitions (unordered).
     partitions: Vec<Partition>,
     max_extent: Vec3,
+    /// Every object accepted through [`DatasetIndex::ingest`], in arrival
+    /// order. The log position doubles as the ingest sequence number that
+    /// merge files track per dataset: a merge entry whose recorded sequence
+    /// is below `ingest_log.len()` may be missing tail objects and must be
+    /// repaired (or bypassed) before it can serve this dataset.
+    ingest_log: Vec<SpatialObject>,
 }
 
 /// The incremental index of one dataset.
 #[derive(Debug)]
 pub struct DatasetIndex {
     dataset: DatasetId,
-    raw: RawDataset,
+    /// Raw-file metadata, mutable because online ingestion appends to the raw
+    /// file. Lock order: `state` before `raw` (never the other way around).
+    raw: RwLock<RawDataset>,
     state: RwLock<IndexState>,
     total_refinements: AtomicU64,
+    /// Mirror of `ingest_log.len()`, readable without the state lock (used by
+    /// the planner's staleness estimates; exact values are read under the
+    /// state lock).
+    ingested: AtomicU64,
 }
 
 impl DatasetIndex {
@@ -86,13 +139,15 @@ impl DatasetIndex {
     pub fn new(raw: RawDataset) -> Self {
         DatasetIndex {
             dataset: raw.dataset,
-            raw,
+            raw: RwLock::new(raw),
             state: RwLock::new(IndexState {
                 file: None,
                 partitions: Vec::new(),
                 max_extent: Vec3::ZERO,
+                ingest_log: Vec::new(),
             }),
             total_refinements: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
         }
     }
 
@@ -101,17 +156,19 @@ impl DatasetIndex {
         self.dataset
     }
 
-    /// Metadata of the underlying raw file (used by the planner to cost the
-    /// sequential-scan access path, and by the scan path itself).
-    pub fn raw(&self) -> &RawDataset {
-        &self.raw
+    /// Snapshot of the underlying raw file's metadata (used by the planner to
+    /// cost the sequential-scan access path, and by the scan path itself).
+    /// A copy, not a reference: ingestion grows the raw file over time.
+    pub fn raw(&self) -> RawDataset {
+        *self.raw.read().unwrap()
     }
 
     /// Reads every object of the dataset straight from its raw file — the
     /// sequential-scan access path. Touches none of the adaptive state: a
     /// dataset answered by scans stays uninitialized.
     pub fn scan_raw(&self, storage: &StorageManager) -> StorageResult<Vec<SpatialObject>> {
-        storage.read_objects(self.raw.file, self.raw.pages())
+        let raw = self.raw();
+        storage.read_objects(raw.file, raw.pages())
     }
 
     /// Size snapshot for the planner: `(partition count, data pages, stored
@@ -119,9 +176,26 @@ impl DatasetIndex {
     pub fn summary(&self) -> Option<(usize, u64, u64)> {
         let state = self.state.read().unwrap();
         state.file?;
-        let pages = state.partitions.iter().map(|p| p.page_count).sum();
+        let pages = state.partitions.iter().map(|p| p.total_page_count()).sum();
         let objects = state.partitions.iter().map(|p| p.object_count).sum();
         Some((state.partitions.len(), pages, objects))
+    }
+
+    /// The ingest sequence number: how many objects have been ingested into
+    /// this dataset so far. Merge files record the sequence they are synced
+    /// to per dataset; a file whose recorded sequence is older is *stale*.
+    pub fn ingest_seq(&self) -> u64 {
+        self.ingested.load(Ordering::Acquire)
+    }
+
+    /// The ingested objects with log positions in `[from, len)`, plus the
+    /// current sequence number, read under one state-lock acquisition (so the
+    /// tail and the sequence are mutually consistent).
+    pub fn ingest_tail(&self, from: u64) -> (Vec<SpatialObject>, u64) {
+        let state = self.state.read().unwrap();
+        let len = state.ingest_log.len() as u64;
+        let from = from.min(len);
+        (state.ingest_log[from as usize..].to_vec(), len)
     }
 
     /// Calls `visit` for every current leaf partition whose (query-window
@@ -198,7 +272,8 @@ impl DatasetIndex {
             return Ok(()); // another thread won the race
         }
         let k = config.splits_per_dimension();
-        let objects = storage.read_objects(self.raw.file, self.raw.pages())?;
+        let raw = *self.raw.read().unwrap();
+        let objects = storage.read_objects(raw.file, raw.pages())?;
         let mut max_extent = Vec3::ZERO;
         let mut groups: Vec<Vec<SpatialObject>> = vec![Vec::new(); k * k * k];
         for obj in objects {
@@ -216,13 +291,12 @@ impl DatasetIndex {
                     let idx = ((iz as usize * k) + iy as usize) * k + ix as usize;
                     let objs = &groups[idx];
                     let range = storage.append_objects(file, objs)?;
-                    partitions.push(Partition {
+                    partitions.push(Partition::from_main_run(
                         key,
-                        bounds: key.bounds(&config.bounds, k),
-                        page_start: range.start,
-                        page_count: range.end - range.start,
-                        object_count: objs.len() as u64,
-                    });
+                        key.bounds(&config.bounds, k),
+                        range,
+                        objs.len() as u64,
+                    ));
                 }
             }
         }
@@ -328,7 +402,7 @@ impl DatasetIndex {
             for key in &out.pending_keys {
                 if let Some(p) = state.partitions.iter().find(|p| p.key == *key) {
                     if p.object_count > 0 {
-                        let objs = storage.read_objects(file, p.pages())?;
+                        let objs = Self::read_runs(storage, file, p)?;
                         collected_from_pending
                             .extend(objs.into_iter().filter(|o| query.matches(o)));
                     }
@@ -339,6 +413,190 @@ impl DatasetIndex {
         }
 
         Ok(out)
+    }
+
+    /// Reads every object of a partition (main run, then overflow run).
+    fn read_runs(
+        storage: &StorageManager,
+        file: FileId,
+        partition: &Partition,
+    ) -> StorageResult<Vec<SpatialObject>> {
+        let mut out = Vec::new();
+        Self::read_runs_into(storage, file, partition, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`DatasetIndex::read_runs`] but appends into `out`.
+    fn read_runs_into(
+        storage: &StorageManager,
+        file: FileId,
+        partition: &Partition,
+        out: &mut Vec<SpatialObject>,
+    ) -> StorageResult<()> {
+        for run in partition.runs() {
+            storage.read_objects_into(file, run, out)?;
+        }
+        Ok(())
+    }
+
+    /// Appends newly arrived objects to the dataset: the raw file first (the
+    /// ground truth every scan and rebuild reads), then — if the dataset has
+    /// been initialized — incrementally into the octree, routing each object
+    /// to the deepest existing leaf containing its center and appending to
+    /// that partition's overflow run. A partition whose object count crosses
+    /// [`OdysseyConfig::ingest_split_objects`] is refined in place by the
+    /// existing refinement machinery (one level per ingest, like one level
+    /// per query).
+    ///
+    /// The whole operation runs under the dataset's write lock, which makes
+    /// the raw append, the ingest-log append and the partition updates atomic
+    /// with respect to queries and merges: a reader either sees none of the
+    /// batch or all of it, and the log position of every object is exactly
+    /// consistent with the partition data — the invariant merge-file
+    /// staleness repair is built on.
+    pub fn ingest(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        objects: &[SpatialObject],
+    ) -> StorageResult<IngestStats> {
+        let mut stats = IngestStats::default();
+        if objects.is_empty() {
+            return Ok(stats);
+        }
+        let mut state = self.state.write().unwrap();
+        let state = &mut *state;
+        append_to_raw_dataset(storage, &mut self.raw.write().unwrap(), objects)?;
+        stats.objects_ingested = objects.len();
+
+        if let Some(file) = state.file {
+            // Route each object to its leaf; group per partition so every
+            // overflow run is rewritten at most once per batch. Routing uses
+            // a per-batch key → slot map built once over the table, so a
+            // batch costs O(partitions + objects · levels) hash lookups
+            // rather than a table scan per object.
+            let k = config.splits_per_dimension();
+            let mut key_index: std::collections::HashMap<PartitionKey, usize> = state
+                .partitions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.key, i))
+                .collect();
+            let mut max_level = state
+                .partitions
+                .iter()
+                .map(|p| p.key.level)
+                .max()
+                .unwrap_or(1);
+            let mut groups: Vec<(usize, Vec<SpatialObject>)> = Vec::new();
+            for obj in objects {
+                state.max_extent = state.max_extent.max(obj.extent());
+                let center = obj.center();
+                let found = (1..=max_level).find_map(|level| {
+                    key_index
+                        .get(&PartitionKey::containing(&config.bounds, k, level, center))
+                        .copied()
+                });
+                let idx = match found {
+                    Some(idx) => idx,
+                    None => {
+                        // A hole: the region's leaf was never created (its
+                        // refinement produced no objects there). Materialize
+                        // an empty leaf at the hole's level.
+                        let key = Self::hole_key(state, config, k, center);
+                        state.partitions.push(Partition::from_main_run(
+                            key,
+                            key.bounds(&config.bounds, k),
+                            0..0,
+                            0,
+                        ));
+                        stats.partitions_created += 1;
+                        let idx = state.partitions.len() - 1;
+                        key_index.insert(key, idx);
+                        max_level = max_level.max(key.level);
+                        idx
+                    }
+                };
+                match groups.iter_mut().find(|(i, _)| *i == idx) {
+                    Some((_, list)) => list.push(*obj),
+                    None => groups.push((idx, vec![*obj])),
+                }
+            }
+            // Charge the routing pass: the table build plus the per-object
+            // level probes.
+            storage.note_objects_scanned(state.partitions.len() as u64 + objects.len() as u64 * 2);
+
+            let mut split_candidates = Vec::new();
+            for (idx, arrivals) in groups {
+                let partition = state.partitions[idx];
+                // Rebuild the overflow run: existing overflow objects plus
+                // the arrivals. If the grown run still fits the old pages it
+                // is rewritten in place; otherwise a fresh run is appended at
+                // the end of the file (the old pages become dead space until
+                // the next refinement compacts the partition).
+                let mut overflow = if partition.overflow_page_count > 0 {
+                    storage.read_objects(file, partition.overflow_pages())?
+                } else {
+                    Vec::new()
+                };
+                overflow.extend(arrivals.iter().copied());
+                let need = pages_needed(overflow.len());
+                let range = if partition.overflow_page_count == need {
+                    storage.write_objects_at(file, partition.overflow_page_start, &overflow)?
+                } else {
+                    storage.append_objects(file, &overflow)?
+                };
+                let p = &mut state.partitions[idx];
+                p.overflow_page_start = range.start;
+                p.overflow_page_count = range.end - range.start;
+                p.object_count += arrivals.len() as u64;
+                if config.ingest_split_objects > 0
+                    && p.object_count >= config.ingest_split_objects
+                    && p.key.level < config.max_refinement_level
+                {
+                    split_candidates.push(p.key);
+                }
+            }
+            for key in split_candidates {
+                if let Some(idx) = state.partitions.iter().position(|p| p.key == key) {
+                    Self::refine(state, storage, config, idx)?;
+                    self.total_refinements.fetch_add(1, Ordering::Relaxed);
+                    stats.partitions_split += 1;
+                }
+            }
+        }
+
+        // Log last: the sequence number only advances once the data is
+        // queryable, so a concurrent merge can never stamp an entry with a
+        // sequence covering objects it did not read.
+        state.ingest_log.extend(objects.iter().copied());
+        self.ingested
+            .store(state.ingest_log.len() as u64, Ordering::Release);
+        Ok(stats)
+    }
+
+    /// The key at which a missing leaf for `c` should be created: one level
+    /// below the deepest refinement that covers the center's region (level 1
+    /// when not even the root cell exists).
+    fn hole_key(state: &IndexState, config: &OdysseyConfig, k: usize, c: Vec3) -> PartitionKey {
+        // Find the deepest level at which some existing leaf is a descendant
+        // of the center's cell: the refinement reached below that cell, so
+        // the hole sits one level further down. With no related leaf at all,
+        // the hole is the level-1 root cell itself.
+        let mut hole = PartitionKey::containing(&config.bounds, k, 1, c);
+        for level in 1..config.max_refinement_level {
+            let key = PartitionKey::containing(&config.bounds, k, level, c);
+            let refined_below = state
+                .partitions
+                .iter()
+                .any(|p| p.key.level > level && p.key.ancestor(k, level) == key);
+            if refined_below {
+                hole = PartitionKey::containing(&config.bounds, k, level + 1, c);
+            } else {
+                break;
+            }
+        }
+        hole
     }
 
     fn should_refine(
@@ -358,11 +616,16 @@ impl DatasetIndex {
             && partition.key.level < config.max_refinement_level
     }
 
-    /// Refines the partition at `idx` into `ppl` children, rewriting its page
-    /// run in place and appending overflow pages. Returns the objects of the
-    /// refined partition (they were read anyway, so the caller can answer the
-    /// current query from them without another read). Runs under the
-    /// dataset's write lock.
+    /// Refines the partition at `idx` into up to `ppl` children, rewriting
+    /// its main page run in place and appending whatever does not fit at the
+    /// end of the file. Children that would hold zero objects are *not*
+    /// recorded: empty partitions only inflate the partition table (and with
+    /// it every table scan and the planner's CPU term) while answering
+    /// nothing. Probe code must therefore tolerate sparse key coverage —
+    /// lookups for a never-populated region simply find no leaf. Returns the
+    /// objects of the refined partition (they were read anyway, so the caller
+    /// can answer the current query from them without another read). Runs
+    /// under the dataset's write lock.
     fn refine(
         state: &mut IndexState,
         storage: &StorageManager,
@@ -372,7 +635,7 @@ impl DatasetIndex {
         let file = state.file.expect("refine requires an initialized dataset");
         let parent = state.partitions[idx];
         let k = config.splits_per_dimension();
-        let objects = storage.read_objects(file, parent.pages())?;
+        let objects = Self::read_runs(storage, file, &parent)?;
 
         // Group objects into the k³ children by their center's position
         // inside the parent (clamped so boundary centers stay in the parent).
@@ -400,34 +663,37 @@ impl DatasetIndex {
             groups[((cz as usize * k) + cy as usize) * k + cx as usize].push(*obj);
         }
 
-        // Lay the children out: reuse the parent's page run first (in place),
-        // appending at the end of the file once the old pages are exhausted.
-        // Each child keeps a single contiguous run.
+        // Lay the children out: reuse the parent's main page run first (in
+        // place), appending at the end of the file once the old pages are
+        // exhausted. Each child starts with a single contiguous main run and
+        // no overflow; the parent's overflow pages (if any) become dead space
+        // at the end of the file, like the unreclaimed tail of any in-place
+        // rewrite. Empty children are skipped entirely.
         let mut children = Vec::with_capacity(k * k * k);
         let mut in_place_cursor = parent.page_start;
         let in_place_end = parent.page_start + parent.page_count;
         for cz in 0..k as u32 {
             for cy in 0..k as u32 {
                 for cx in 0..k as u32 {
-                    let key = parent.key.child(k, cx, cy, cz);
                     let objs = &groups[((cz as usize * k) + cy as usize) * k + cx as usize];
+                    if objs.is_empty() {
+                        continue;
+                    }
+                    let key = parent.key.child(k, cx, cy, cz);
                     let need = pages_needed(objs.len());
-                    let range = if objs.is_empty() {
-                        in_place_cursor..in_place_cursor
-                    } else if in_place_cursor + need <= in_place_end {
+                    let range = if in_place_cursor + need <= in_place_end {
                         let r = storage.write_objects_at(file, in_place_cursor, objs)?;
                         in_place_cursor = r.end;
                         r
                     } else {
                         storage.append_objects(file, objs)?
                     };
-                    children.push(Partition {
+                    children.push(Partition::from_main_run(
                         key,
-                        bounds: key.bounds(&config.bounds, k),
-                        page_start: range.start,
-                        page_count: range.end - range.start,
-                        object_count: objs.len() as u64,
-                    });
+                        key.bounds(&config.bounds, k),
+                        range,
+                        objs.len() as u64,
+                    ));
                 }
             }
         }
@@ -454,7 +720,7 @@ impl DatasetIndex {
         let file = state
             .file
             .expect("read_partition requires an initialized dataset");
-        storage.read_objects(file, partition.pages())
+        Self::read_runs(storage, file, partition)
     }
 
     /// Reads every object of the *region* identified by `key`, at whatever
@@ -477,16 +743,36 @@ impl DatasetIndex {
         config: &OdysseyConfig,
         key: &PartitionKey,
     ) -> StorageResult<Option<Vec<SpatialObject>>> {
+        Ok(self
+            .read_region_versioned(storage, config, key)?
+            .map(|(objects, _)| objects))
+    }
+
+    /// Like [`DatasetIndex::read_region`] but also returns the dataset's
+    /// ingest sequence number observed under the *same* lock acquisition as
+    /// the read. The merger stamps merge-file entries with this sequence:
+    /// because ingestion appends to the log and to the partitions atomically
+    /// (both under the state write lock), every object with a log position
+    /// below the returned sequence is guaranteed to be in the returned data —
+    /// the exactness the staleness-repair path depends on to never duplicate
+    /// an object into a merge entry.
+    pub fn read_region_versioned(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        key: &PartitionKey,
+    ) -> StorageResult<Option<(Vec<SpatialObject>, u64)>> {
         let state = self.state.read().unwrap();
+        let seq = state.ingest_log.len() as u64;
         let Some(file) = state.file else {
             return Ok(None);
         };
         // Exact leaf.
         if let Some(p) = state.partitions.iter().find(|p| p.key == *key) {
             if p.object_count == 0 {
-                return Ok(Some(Vec::new()));
+                return Ok(Some((Vec::new(), seq)));
             }
-            return storage.read_objects(file, p.pages()).map(Some);
+            return Self::read_runs(storage, file, p).map(|objs| Some((objs, seq)));
         }
         let k = config.splits_per_dimension();
         let region = key.bounds(&config.bounds, k);
@@ -502,11 +788,11 @@ impl DatasetIndex {
         {
             found_descendant = true;
             if p.object_count > 0 {
-                storage.read_objects_into(file, p.pages(), &mut out)?;
+                Self::read_runs_into(storage, file, p, &mut out)?;
             }
         }
         if found_descendant {
-            return Ok(Some(out));
+            return Ok(Some((out, seq)));
         }
         // Coarser ancestor: a leaf whose bounds contain the region; filter
         // its objects down to the region (centers only, matching assignment
@@ -517,10 +803,10 @@ impl DatasetIndex {
             .find(|p| p.key.level < key.level && p.bounds.contains(&region))
         {
             if p.object_count == 0 {
-                return Ok(Some(Vec::new()));
+                return Ok(Some((Vec::new(), seq)));
             }
-            let objects = storage.read_objects(file, p.pages())?;
-            return Ok(Some(
+            let objects = Self::read_runs(storage, file, p)?;
+            return Ok(Some((
                 objects
                     .into_iter()
                     .filter(|o| {
@@ -528,9 +814,39 @@ impl DatasetIndex {
                             || region.contains_point(o.center())
                     })
                     .collect(),
-            ));
+                seq,
+            )));
         }
-        Ok(None)
+        // A hole: the dataset is partitioned but no leaf touches the region
+        // (its objectsless leaves were never materialized). The region is
+        // empty by construction.
+        Ok(Some((Vec::new(), seq)))
+    }
+
+    /// Classifies how the dataset's current leaves cover the region `key`
+    /// (see [`RegionCoverage`]). One read-lock acquisition, no I/O.
+    pub fn region_coverage(&self, config: &OdysseyConfig, key: &PartitionKey) -> RegionCoverage {
+        let state = self.state.read().unwrap();
+        if state.file.is_none() {
+            return RegionCoverage::Uninitialized;
+        }
+        let k = config.splits_per_dimension();
+        let region = key.bounds(&config.bounds, k);
+        let mut coverage = RegionCoverage::Hole;
+        for p in state.partitions.iter() {
+            if p.key == *key {
+                return RegionCoverage::Exact;
+            }
+            if p.key.level > key.level && region.contains(&p.bounds) {
+                coverage = RegionCoverage::Finer;
+            } else if p.key.level < key.level
+                && p.bounds.contains(&region)
+                && coverage == RegionCoverage::Hole
+            {
+                coverage = RegionCoverage::Coarser;
+            }
+        }
+        coverage
     }
 
     /// Best-first k-nearest-neighbour traversal: visits leaf partitions in
@@ -589,7 +905,7 @@ impl DatasetIndex {
             if partition.object_count == 0 {
                 continue;
             }
-            let objects = storage.read_objects(file, partition.pages())?;
+            let objects = Self::read_runs(storage, file, partition)?;
             best.extend(objects.into_iter().map(|o| {
                 (
                     (o.mbr.min_distance_squared_to(point), o.dataset.0, o.id.0),
@@ -1006,6 +1322,315 @@ mod tests {
         let total = index.probe_hits(&q, |_| hits += 1).unwrap();
         assert_eq!(total, index.partitions().len());
         assert!(hits > 0 && hits <= total);
+    }
+
+    #[test]
+    fn refine_skips_empty_children() {
+        // Regression: refining a corner-clustered partition used to push all
+        // k³ children into the table, empty ones included, inflating every
+        // table scan and the planner's CPU term.
+        let storage = StorageManager::in_memory();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // All objects inside one corner of one level-1 cell (cell [0,50)³ for
+        // k = 2; cluster within [0,10)³).
+        let objs: Vec<SpatialObject> = (0..1000)
+            .map(|i| {
+                let c = Vec3::new(
+                    rng.gen_range(1.0..9.0),
+                    rng.gen_range(1.0..9.0),
+                    rng.gen_range(1.0..9.0),
+                );
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(c, Vec3::splat(0.2)),
+                )
+            })
+            .collect();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
+        let index = DatasetIndex::new(raw);
+        let cfg = config();
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        assert_eq!(index.partitions().len(), 8, "level-1 cells are complete");
+        // Refine the corner cell with a tiny query inside the cluster.
+        let q = RangeQuery::new(
+            QueryId(0),
+            Aabb::from_center_extent(Vec3::splat(5.0), Vec3::splat(1.0)),
+            DatasetSet::single(DatasetId(0)),
+        );
+        run_query(&storage, &index, &cfg, &q);
+        assert!(index.total_refinements() >= 1);
+        // Every partition beyond level 1 holds objects: no empty child was
+        // ever materialized, and the object count is preserved.
+        assert!(index
+            .partitions()
+            .iter()
+            .filter(|p| p.key.level > 1)
+            .all(|p| p.object_count > 0));
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 1000);
+        // The corner cluster fits one child: the table shrank below the dense
+        // 8 roots + 8 children it would have held with empty children kept.
+        assert!(
+            index.partitions().len() < 15,
+            "empty children must not inflate the table: {} partitions",
+            index.partitions().len()
+        );
+        // Probe code tolerates the sparse coverage: the refined-away root's
+        // empty siblings resolve to empty regions, not errors.
+        let hole = PartitionKey {
+            level: 2,
+            x: 3,
+            y: 3,
+            z: 3,
+        };
+        assert_eq!(index.region_coverage(&cfg, &hole), RegionCoverage::Coarser);
+        let empty_child = PartitionKey {
+            level: 2,
+            x: 1,
+            y: 1,
+            z: 1,
+        };
+        assert_eq!(
+            index.region_coverage(&cfg, &empty_child),
+            RegionCoverage::Hole
+        );
+        assert!(index
+            .read_region(&storage, &cfg, &empty_child)
+            .unwrap()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn warm_cache_reads_after_refine_are_fresh() {
+        // Satellite check: `refine` rewrites the parent's page run in place
+        // through the write-through storage path, so buffer-pool frames
+        // cached before the refinement must never serve pre-refine bytes.
+        let (storage, objs, index) = setup(4000);
+        let cfg = config();
+        let q = query(20.0, 30.0);
+        // Warm the cache over the queried region (first touch + reads).
+        run_query(&storage, &index, &cfg, &q);
+        let warm_hits_before = storage.buffer().hits();
+        // Refine the hot region with tiny queries; in-place rewrites hit the
+        // same pages that are resident in the pool.
+        for i in 0..4 {
+            let tiny = RangeQuery::new(
+                QueryId(10 + i),
+                Aabb::from_center_extent(Vec3::splat(25.0), Vec3::splat(1.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&storage, &index, &cfg, &tiny);
+        }
+        assert!(index.total_refinements() > 0);
+        // Re-run the original query against the warm cache: served pages come
+        // from the pool and must reflect the post-refine layout exactly.
+        let mut got: Vec<_> = run_query(&storage, &index, &cfg, &q)
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        let mut expected: Vec<_> = odyssey_geom::scan_query(&q, objs.iter())
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        got.sort_unstable();
+        got.dedup();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "a stale cached pre-refine page was served");
+        assert!(
+            storage.buffer().hits() > warm_hits_before,
+            "the verification must actually exercise warm-cache reads"
+        );
+    }
+
+    #[test]
+    fn ingest_routes_to_leaves_and_preserves_answers() {
+        let (storage, mut objs, index) = setup(3000);
+        let cfg = config();
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        // Refine a hot area first so arrivals route to deep leaves.
+        for i in 0..5 {
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(Vec3::splat(30.0), Vec3::splat(2.0)),
+                DatasetSet::single(DatasetId(0)),
+            );
+            run_query(&storage, &index, &cfg, &q);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for round in 0..4u64 {
+            let arrivals: Vec<SpatialObject> = (0..200u64)
+                .map(|i| {
+                    let c = Vec3::new(
+                        rng.gen_range(1.0..99.0),
+                        rng.gen_range(1.0..99.0),
+                        rng.gen_range(1.0..99.0),
+                    );
+                    SpatialObject::new(
+                        ObjectId(1_000_000 + round * 1000 + i),
+                        DatasetId(0),
+                        Aabb::from_center_extent(c, Vec3::splat(0.3)),
+                    )
+                })
+                .collect();
+            let stats = index.ingest(&storage, &cfg, &arrivals).unwrap();
+            assert_eq!(stats.objects_ingested, 200);
+            objs.extend(arrivals);
+            // Invariants: object counts preserved, raw file grew, sequence
+            // advanced, answers stay oracle-exact.
+            let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+            assert_eq!(total, 3000 + (round + 1) * 200);
+            assert_eq!(index.raw().num_objects, 3000 + (round + 1) * 200);
+            assert_eq!(index.ingest_seq(), (round + 1) * 200);
+            for i in 0..8u32 {
+                let c = Vec3::new(
+                    rng.gen_range(5.0..95.0),
+                    rng.gen_range(5.0..95.0),
+                    rng.gen_range(5.0..95.0),
+                );
+                let q = RangeQuery::new(
+                    QueryId(100 + i),
+                    Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(2.0..10.0))),
+                    DatasetSet::single(DatasetId(0)),
+                );
+                let mut got: Vec<_> = run_query(&storage, &index, &cfg, &q)
+                    .iter()
+                    .map(|o| o.id)
+                    .collect();
+                let mut expected: Vec<_> = odyssey_geom::scan_query(&q, objs.iter())
+                    .iter()
+                    .map(|o| o.id)
+                    .collect();
+                got.sort_unstable();
+                got.dedup();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "round {round} query {i} diverged");
+            }
+        }
+        // The ingest log replays the arrival order.
+        let (tail, seq) = index.ingest_tail(0);
+        assert_eq!(seq, 800);
+        assert_eq!(tail.len(), 800);
+        assert_eq!(index.ingest_tail(795).0.len(), 5);
+    }
+
+    #[test]
+    fn ingest_split_threshold_triggers_refinement() {
+        let (storage, _, index) = setup(500);
+        let mut cfg = config();
+        cfg.ingest_split_objects = 128;
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let before_refines = index.total_refinements();
+        // Pour arrivals into one spot until its leaf crosses the threshold.
+        let arrivals: Vec<SpatialObject> = (0..300u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(10_000 + i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(Vec3::splat(10.0 + (i % 7) as f64), Vec3::splat(0.2)),
+                )
+            })
+            .collect();
+        let stats = index.ingest(&storage, &cfg, &arrivals).unwrap();
+        assert!(
+            stats.partitions_split > 0,
+            "crossing the split threshold must refine: {stats:?}"
+        );
+        assert!(index.total_refinements() > before_refines);
+        // Split children carry no overflow and the data is intact.
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 800);
+        // Disabled threshold: no splits, only overflow growth.
+        let (storage2, _, index2) = setup(500);
+        let cfg2 = config().with_ingest_split_objects(0);
+        index2.ensure_initialized(&storage2, &cfg2).unwrap();
+        let stats2 = index2.ingest(&storage2, &cfg2, &arrivals).unwrap();
+        assert_eq!(stats2.partitions_split, 0);
+    }
+
+    #[test]
+    fn ingest_into_holes_creates_leaves() {
+        // Build a corner-clustered dataset, refine so empty siblings become
+        // holes, then ingest into a hole: a leaf must be created there.
+        let storage = StorageManager::in_memory();
+        let objs: Vec<SpatialObject> = (0..600)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(Vec3::splat(2.0 + (i % 5) as f64), Vec3::splat(0.2)),
+                )
+            })
+            .collect();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objs).unwrap();
+        let index = DatasetIndex::new(raw);
+        let cfg = config();
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let q = RangeQuery::new(
+            QueryId(0),
+            Aabb::from_center_extent(Vec3::splat(4.0), Vec3::splat(1.0)),
+            DatasetSet::single(DatasetId(0)),
+        );
+        run_query(&storage, &index, &cfg, &q);
+        assert!(index.total_refinements() > 0);
+        // [30,40]³ lies inside the refined root cell but held no data: a hole.
+        let hole_center = Vec3::splat(35.0);
+        let hole_key = PartitionKey::containing(&cfg.bounds, 2, 2, hole_center);
+        assert_eq!(index.region_coverage(&cfg, &hole_key), RegionCoverage::Hole);
+        let arrival = SpatialObject::new(
+            ObjectId(9999),
+            DatasetId(0),
+            Aabb::from_center_extent(hole_center, Vec3::splat(0.3)),
+        );
+        let stats = index.ingest(&storage, &cfg, &[arrival]).unwrap();
+        assert_eq!(stats.partitions_created, 1);
+        assert_eq!(
+            index.region_coverage(&cfg, &hole_key),
+            RegionCoverage::Exact
+        );
+        let got = index.read_partition(&storage, &hole_key).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, ObjectId(9999));
+    }
+
+    #[test]
+    fn ingest_before_initialization_lands_in_first_touch() {
+        let (storage, mut objs, index) = setup(400);
+        let cfg = config();
+        assert!(!index.is_initialized());
+        let arrivals: Vec<SpatialObject> = (0..100u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(50_000 + i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(Vec3::splat(60.0 + (i % 9) as f64), Vec3::splat(0.3)),
+                )
+            })
+            .collect();
+        let stats = index.ingest(&storage, &cfg, &arrivals).unwrap();
+        assert_eq!(stats.objects_ingested, 100);
+        assert!(
+            !index.is_initialized(),
+            "pre-initialization ingest stays lazy"
+        );
+        objs.extend(arrivals);
+        // The first query partitions raw + ingested together.
+        let q = query(55.0, 75.0);
+        let mut got: Vec<_> = run_query(&storage, &index, &cfg, &q)
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        let mut expected: Vec<_> = odyssey_geom::scan_query(&q, objs.iter())
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        got.sort_unstable();
+        got.dedup();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        let total: u64 = index.partitions().iter().map(|p| p.object_count).sum();
+        assert_eq!(total, 500);
     }
 
     #[test]

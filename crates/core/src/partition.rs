@@ -92,6 +92,21 @@ impl PartitionKey {
         Aabb::from_min_max(min, max)
     }
 
+    /// The ancestor of this key at the (coarser or equal) `level`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `level` is 0 or deeper than `self.level`.
+    pub fn ancestor(&self, k: usize, level: u32) -> PartitionKey {
+        debug_assert!(level >= 1 && level <= self.level);
+        let shrink = (k as u32).pow(self.level - level);
+        PartitionKey {
+            level,
+            x: self.x / shrink,
+            y: self.y / shrink,
+            z: self.z / shrink,
+        }
+    }
+
     /// The key of the level-`level` cell containing point `p`.
     pub fn containing(bounds: &Aabb, k: usize, level: u32, p: Vec3) -> Self {
         let cells = (k as u32).pow(level);
@@ -117,26 +132,76 @@ impl PartitionKey {
 }
 
 /// One leaf partition of a dataset's incremental index.
+///
+/// A partition owns up to two contiguous page runs in the dataset's partition
+/// file: the *main* run laid down by first-touch partitioning or refinement,
+/// and an optional *overflow* run holding objects that arrived through online
+/// ingestion after the main run was written. Refinement folds both runs back
+/// into the children's main runs, so overflow stays a short tail.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Partition {
     /// Identity of the partition in the shared subdivision.
     pub key: PartitionKey,
     /// Geometric bounds (cached from the key).
     pub bounds: Aabb,
-    /// First page of the partition's contiguous run in the dataset's
+    /// First page of the partition's main contiguous run in the dataset's
     /// partition file.
     pub page_start: u64,
-    /// Number of pages in the run.
+    /// Number of pages in the main run.
     pub page_count: u64,
-    /// Number of objects stored in the partition.
+    /// First page of the overflow run (meaningless while
+    /// `overflow_page_count` is 0).
+    pub overflow_page_start: u64,
+    /// Number of pages in the overflow run (0 = no overflow).
+    pub overflow_page_count: u64,
+    /// Number of objects stored in the partition (main + overflow runs).
     pub object_count: u64,
 }
 
 impl Partition {
-    /// The page range of the partition.
+    /// Creates a partition over a single main run with no overflow.
+    pub fn from_main_run(
+        key: PartitionKey,
+        bounds: Aabb,
+        pages: std::ops::Range<u64>,
+        object_count: u64,
+    ) -> Self {
+        Partition {
+            key,
+            bounds,
+            page_start: pages.start,
+            page_count: pages.end - pages.start,
+            overflow_page_start: 0,
+            overflow_page_count: 0,
+            object_count,
+        }
+    }
+
+    /// The page range of the partition's main run.
     #[inline]
     pub fn pages(&self) -> std::ops::Range<u64> {
         self.page_start..self.page_start + self.page_count
+    }
+
+    /// The page range of the partition's overflow run (empty when the
+    /// partition has no overflow).
+    #[inline]
+    pub fn overflow_pages(&self) -> std::ops::Range<u64> {
+        self.overflow_page_start..self.overflow_page_start + self.overflow_page_count
+    }
+
+    /// Total pages across both runs.
+    #[inline]
+    pub fn total_page_count(&self) -> u64 {
+        self.page_count + self.overflow_page_count
+    }
+
+    /// The partition's page runs in read order (main, then overflow), empty
+    /// runs skipped.
+    pub fn runs(&self) -> impl Iterator<Item = std::ops::Range<u64>> {
+        [self.pages(), self.overflow_pages()]
+            .into_iter()
+            .filter(|r| !r.is_empty())
     }
 
     /// Volume of the partition (`Vp` in the refinement rule).
@@ -249,14 +314,33 @@ mod tests {
     #[test]
     fn partition_helpers() {
         let key = PartitionKey::root_cell(4, 0, 0, 0);
-        let p = Partition {
-            key,
-            bounds: key.bounds(&bounds(), 4),
-            page_start: 10,
-            page_count: 3,
-            object_count: 150,
-        };
+        let p = Partition::from_main_run(key, key.bounds(&bounds(), 4), 10..13, 150);
         assert_eq!(p.pages(), 10..13);
         assert!((p.volume() - 25.0f64.powi(3)).abs() < 1e-9);
+        assert_eq!(p.overflow_page_count, 0);
+        assert!(p.overflow_pages().is_empty());
+        assert_eq!(p.total_page_count(), 3);
+        assert_eq!(p.runs().collect::<Vec<_>>(), vec![10..13]);
+        let with_overflow = Partition {
+            overflow_page_start: 40,
+            overflow_page_count: 2,
+            ..p
+        };
+        assert_eq!(with_overflow.total_page_count(), 5);
+        assert_eq!(
+            with_overflow.runs().collect::<Vec<_>>(),
+            vec![10..13, 40..42]
+        );
+    }
+
+    #[test]
+    fn ancestor_inverts_child() {
+        let k = 4;
+        let root = PartitionKey::root_cell(k, 1, 2, 3);
+        let child = root.child(k, 3, 0, 2);
+        let grandchild = child.child(k, 1, 1, 1);
+        assert_eq!(grandchild.ancestor(k, 3), grandchild);
+        assert_eq!(grandchild.ancestor(k, 2), child);
+        assert_eq!(grandchild.ancestor(k, 1), root);
     }
 }

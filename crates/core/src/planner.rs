@@ -37,7 +37,7 @@ use crate::config::OdysseyConfig;
 use crate::merge_file::MergeFile;
 use crate::octree::DatasetIndex;
 use odyssey_geom::{DatasetId, KnnQuery, RangeQuery};
-use odyssey_storage::{CostModel, StorageManager};
+use odyssey_storage::{pages_needed, CostModel, StorageManager};
 
 /// The physical access path chosen for one (query, dataset) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +79,15 @@ struct EffectiveCosts {
     seek: f64,
     page: f64,
     cpu_object: f64,
+}
+
+/// The indexed-path candidates for one `(query, dataset)` pair: the pure
+/// octree cost, and the merge-file cost when the routed file serves at least
+/// one hit partition (repair cost for stale files included).
+#[derive(Debug, Clone, Copy)]
+struct IndexedEstimate {
+    octree: f64,
+    merge: Option<f64>,
 }
 
 /// The planner: stateless per query, parameterised by the engine
@@ -130,14 +139,16 @@ impl<'a> Planner<'a> {
         eff.seek + raw.num_pages() as f64 * eff.page + raw.num_objects as f64 * eff.cpu_object
     }
 
-    /// Cost of the current partitioned path for a range-shaped query, plus
-    /// whether the routed merge file serves at least one hit partition of
-    /// this dataset. The served entries are approximated at the same cost on
-    /// either layout (one run's seek plus their pages and objects), so the
-    /// merge-file path never estimates differently from the octree path —
-    /// what distinguishes it is that its reads stay sequential as entries
-    /// grow, which is why [`Planner::plan_rangelike`] prefers it whenever it
-    /// serves anything.
+    /// Costs of the current partitioned path for a range-shaped query: the
+    /// pure octree path, and — when the routed merge file serves at least one
+    /// hit partition of this dataset — the merge-file path. Entries served
+    /// by the file come back in one sequential run, where the octree pays a
+    /// seek per partition; that is the merged layout's edge. A **stale**
+    /// merge file additionally carries the cost of repairing it (appending
+    /// the dataset's missing ingest tail through the append-only merge
+    /// path), so a freshly ingested-into dataset may plan away from a merge
+    /// file it would otherwise prefer — the router then bypasses the file
+    /// until some query finds the repair worth paying.
     ///
     /// When the dataset is still unpartitioned the estimate falls back to
     /// the converged-neighbourhood geometry (no table exists to probe). The
@@ -151,12 +162,16 @@ impl<'a> Planner<'a> {
         query: &RangeQuery,
         counting: bool,
         merge_file: Option<&MergeFile>,
-    ) -> (f64, bool) {
+    ) -> IndexedEstimate {
         let dataset = index.dataset();
         let merge_file = merge_file.filter(|f| f.combination.contains(dataset));
-        // Page runs of the partitions that must actually be read.
+        // Page runs of the partitions that must be read on either path
+        // (`hit_runs`) and of the partitions the merge file could serve
+        // instead (`alt_runs`, the octree-path alternative for them).
         let mut hit_runs: Vec<(u64, u64)> = Vec::new();
+        let mut alt_runs: Vec<(u64, u64)> = Vec::new();
         let mut hit_objects = 0u64;
+        let mut alt_objects = 0u64;
         let mut served_pages = 0u64;
         let mut served_objects = 0u64;
         let mut served_any = false;
@@ -165,51 +180,86 @@ impl<'a> Planner<'a> {
                 return; // metadata-only count: no I/O on any indexed path
             }
             if let Some(entry) = merge_file.and_then(|f| f.entry(&p.key)) {
-                if let Some(run) = entry.runs.iter().find(|r| r.dataset == dataset) {
+                let runs: Vec<_> = entry.runs.iter().filter(|r| r.dataset == dataset).collect();
+                if !runs.is_empty() {
                     served_any = true;
-                    served_pages += run.page_count;
-                    served_objects += run.object_count;
+                    served_pages += runs.iter().map(|r| r.page_count).sum::<u64>();
+                    served_objects += runs.iter().map(|r| r.object_count).sum::<u64>();
+                    for run in [p.pages(), p.overflow_pages()] {
+                        if !run.is_empty() {
+                            alt_runs.push((run.start, run.end - run.start));
+                        }
+                    }
+                    alt_objects += p.object_count;
                     return;
                 }
             }
-            if p.page_count > 0 {
-                hit_runs.push((p.page_start, p.page_count));
+            for run in [p.pages(), p.overflow_pages()] {
+                if !run.is_empty() {
+                    hit_runs.push((run.start, run.end - run.start));
+                }
             }
             hit_objects += p.object_count;
         });
         match probed {
             Some(total_partitions) => {
                 storage.note_objects_scanned(total_partitions as u64);
-                // The partitioned path reads the hit partitions in page
-                // order; adjacent runs coalesce into one sequential sweep, so
-                // only the run breaks pay seeks — exactly how the storage
-                // layer classifies the accesses.
-                hit_runs.sort_unstable();
-                let mut seeks = 0u64;
-                let mut hit_pages = 0u64;
-                let mut next_page = u64::MAX;
-                for (start, count) in &hit_runs {
-                    if *start != next_page {
-                        seeks += 1;
-                    }
-                    next_page = start + count;
-                    hit_pages += count;
-                }
                 let table_cpu = total_partitions as f64 * eff.cpu_object;
-                let unserved = seeks as f64 * eff.seek
-                    + hit_pages as f64 * eff.page
-                    + hit_objects as f64 * eff.cpu_object;
-                let served_cost = if served_any {
-                    eff.seek
+                let unserved =
+                    Self::run_read_cost(eff, &mut hit_runs) + hit_objects as f64 * eff.cpu_object;
+                let octree = table_cpu
+                    + unserved
+                    + Self::run_read_cost(eff, &mut alt_runs)
+                    + alt_objects as f64 * eff.cpu_object;
+                let merge = served_any.then(|| {
+                    let served = eff.seek
                         + served_pages as f64 * eff.page
-                        + served_objects as f64 * eff.cpu_object
-                } else {
-                    0.0
-                };
-                (table_cpu + unserved + served_cost, served_any)
+                        + served_objects as f64 * eff.cpu_object;
+                    let repair = self.repair_cost(eff, index, merge_file.expect("served"));
+                    table_cpu + unserved + served + repair
+                });
+                IndexedEstimate { octree, merge }
             }
-            None => (self.converged_estimate(eff, index, query, counting), false),
+            None => IndexedEstimate {
+                octree: self.converged_estimate(eff, index, query, counting),
+                merge: None,
+            },
         }
+    }
+
+    /// Read cost of a set of page runs: adjacent runs coalesce into one
+    /// sequential sweep, so only the run breaks pay seeks — exactly how the
+    /// storage layer classifies the accesses. Sorts `runs` in place.
+    fn run_read_cost(eff: &EffectiveCosts, runs: &mut [(u64, u64)]) -> f64 {
+        runs.sort_unstable();
+        let mut seeks = 0u64;
+        let mut pages = 0u64;
+        let mut next_page = u64::MAX;
+        for (start, count) in runs.iter() {
+            if *start != next_page {
+                seeks += 1;
+            }
+            next_page = start + count;
+            pages += count;
+        }
+        seeks as f64 * eff.seek + pages as f64 * eff.page
+    }
+
+    /// Estimated cost of bringing a stale merge file up to date for this
+    /// dataset: read nothing (the tail sits in memory in the ingest log),
+    /// append the tail sequentially, pay CPU to route each tail object to
+    /// its entries. Zero when the file is fresh.
+    fn repair_cost(&self, eff: &EffectiveCosts, index: &DatasetIndex, file: &MergeFile) -> f64 {
+        let live = index.ingest_seq();
+        let synced = file.synced_seq(index.dataset());
+        if live <= synced {
+            return 0.0;
+        }
+        let tail = (live - synced) as usize;
+        let entries = file.entry_count().max(1) as f64;
+        eff.seek
+            + pages_needed(tail) as f64 * eff.page
+            + tail as f64 * entries * self.model.cpu_seconds_per_object_scanned
     }
 
     /// Steady-state estimate for a dataset the adaptive path has not touched
@@ -269,16 +319,15 @@ impl<'a> Planner<'a> {
         merge_file: Option<&MergeFile>,
     ) -> PlanChoice {
         let eff = self.effective_costs(storage);
-        let (octree, merge_serves) =
-            self.indexed_costs(storage, &eff, index, query, counting, merge_file);
-        // Both indexed layouts estimate identically (see `indexed_costs`);
-        // the merged layout is preferred whenever it serves anything because
-        // its reads stay sequential as the entry grows. Statistics and
-        // refinement continue on either path.
-        let mut best = if merge_serves {
-            (AccessPath::MergeFile, octree)
-        } else {
-            (AccessPath::Octree, octree)
+        let est = self.indexed_costs(storage, &eff, index, query, counting, merge_file);
+        // The merged layout wins ties: at equal estimated cost its reads stay
+        // sequential as entries grow. A stale file carries its repair cost,
+        // so it only wins while repairing is cheaper than reading the served
+        // partitions from the octree — otherwise the router bypasses it.
+        // Statistics and refinement continue on either path.
+        let mut best = match est.merge {
+            Some(merge) if merge <= est.octree => (AccessPath::MergeFile, merge),
+            _ => (AccessPath::Octree, est.octree),
         };
         // Scan versus the indexed paths: refinement keeps shrinking the hit
         // set toward the converged neighbourhood, so the octree competes —

@@ -8,6 +8,7 @@
 //! written with Rust's shortest-roundtrip formatting, so a save/load cycle
 //! reproduces every coordinate bit for bit.
 
+use crate::trace::{InterleavedTrace, TraceStep};
 use odyssey_geom::{
     Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId, PointQuery, Query, QueryId,
     RangeQuery, SpatialObject, Vec3,
@@ -458,47 +459,105 @@ fn field<'v>(value: &'v JsonValue, key: &str, what: &str) -> Result<&'v JsonValu
         .ok_or_else(|| schema_err(format!("{what}: missing '{key}'")))
 }
 
+fn object_json(o: &SpatialObject) -> JsonValue {
+    JsonValue::Object(vec![
+        ("id".into(), JsonValue::Number(o.id.0 as f64)),
+        ("dataset".into(), JsonValue::Number(o.dataset.0 as f64)),
+        ("min".into(), vec3_json(o.mbr.min)),
+        ("max".into(), vec3_json(o.mbr.max)),
+    ])
+}
+
+fn object_from(obj: &JsonValue, what: &str) -> Result<SpatialObject, JsonError> {
+    let id = field(obj, "id", what)?
+        .as_u64()
+        .ok_or_else(|| schema_err(format!("{what}: invalid id")))?;
+    let dataset = field(obj, "dataset", what)?
+        .as_u64()
+        .filter(|&v| v < 64)
+        .ok_or_else(|| schema_err(format!("{what}: invalid dataset")))?;
+    let min = vec3_from(field(obj, "min", what)?, what)?;
+    let max = vec3_from(field(obj, "max", what)?, what)?;
+    Ok(SpatialObject::new(
+        ObjectId(id),
+        DatasetId(dataset as u16),
+        Aabb::new(min, max),
+    ))
+}
+
+/// Serializes a typed query as the fields every saved format shares.
+fn query_fields(q: &Query) -> Vec<(String, JsonValue)> {
+    let mut fields = vec![
+        ("kind".into(), JsonValue::String(q.kind().name().into())),
+        ("id".into(), JsonValue::Number(q.id().0 as f64)),
+    ];
+    match q {
+        Query::Range(q) => {
+            fields.push(("range".into(), aabb_json(&q.range)));
+        }
+        Query::Point(q) => {
+            fields.push(("point".into(), vec3_json(q.point)));
+        }
+        Query::KNearestNeighbors(q) => {
+            fields.push(("point".into(), vec3_json(q.point)));
+            fields.push(("k".into(), JsonValue::Number(q.k as f64)));
+        }
+        Query::Count(q) => {
+            fields.push(("range".into(), aabb_json(&q.range)));
+        }
+    }
+    fields.push(("datasets".into(), datasets_json(q.datasets())));
+    fields
+}
+
+fn query_from(q: &JsonValue, what: &str) -> Result<Query, JsonError> {
+    let kind = field(q, "kind", what)?
+        .as_str()
+        .ok_or_else(|| schema_err(format!("{what}: 'kind' must be a string")))?;
+    let id = QueryId(
+        field(q, "id", what)?
+            .as_u64()
+            .ok_or_else(|| schema_err(format!("{what}: invalid id")))? as u32,
+    );
+    let datasets = datasets_from(field(q, "datasets", what)?, what)?;
+    Ok(match kind {
+        "range" => Query::Range(RangeQuery::new(
+            id,
+            aabb_from(field(q, "range", what)?, what)?,
+            datasets,
+        )),
+        "point" => Query::Point(PointQuery::new(
+            id,
+            vec3_from(field(q, "point", what)?, what)?,
+            datasets,
+        )),
+        "knn" => Query::KNearestNeighbors(KnnQuery::new(
+            id,
+            vec3_from(field(q, "point", what)?, what)?,
+            field(q, "k", what)?
+                .as_u64()
+                .ok_or_else(|| schema_err(format!("{what}: invalid k")))? as usize,
+            datasets,
+        )),
+        "count" => Query::Count(CountQuery::new(
+            id,
+            aabb_from(field(q, "range", what)?, what)?,
+            datasets,
+        )),
+        other => {
+            return Err(schema_err(format!("{what}: unknown kind '{other}'")));
+        }
+    })
+}
+
 impl SavedWorkload {
     /// Serializes the workload as a JSON document.
     pub fn to_json(&self) -> String {
-        let objects = self
-            .objects
-            .iter()
-            .map(|o| {
-                JsonValue::Object(vec![
-                    ("id".into(), JsonValue::Number(o.id.0 as f64)),
-                    ("dataset".into(), JsonValue::Number(o.dataset.0 as f64)),
-                    ("min".into(), vec3_json(o.mbr.min)),
-                    ("max".into(), vec3_json(o.mbr.max)),
-                ])
-            })
-            .collect();
+        let objects = self.objects.iter().map(object_json).collect();
         let queries = self
             .queries
             .iter()
-            .map(|q| {
-                let mut fields = vec![
-                    ("kind".into(), JsonValue::String(q.kind().name().into())),
-                    ("id".into(), JsonValue::Number(q.id().0 as f64)),
-                ];
-                match q {
-                    Query::Range(q) => {
-                        fields.push(("range".into(), aabb_json(&q.range)));
-                    }
-                    Query::Point(q) => {
-                        fields.push(("point".into(), vec3_json(q.point)));
-                    }
-                    Query::KNearestNeighbors(q) => {
-                        fields.push(("point".into(), vec3_json(q.point)));
-                        fields.push(("k".into(), JsonValue::Number(q.k as f64)));
-                    }
-                    Query::Count(q) => {
-                        fields.push(("range".into(), aabb_json(&q.range)));
-                    }
-                }
-                fields.push(("datasets".into(), datasets_json(q.datasets())));
-                JsonValue::Object(fields)
-            })
+            .map(|q| JsonValue::Object(query_fields(q)))
             .collect();
         JsonValue::Object(vec![
             ("format".into(), JsonValue::String(WORKLOAD_FORMAT.into())),
@@ -528,21 +587,7 @@ impl SavedWorkload {
             .iter()
             .enumerate()
         {
-            let what = format!("objects[{i}]");
-            let id = field(obj, "id", &what)?
-                .as_u64()
-                .ok_or_else(|| schema_err(format!("{what}: invalid id")))?;
-            let dataset = field(obj, "dataset", &what)?
-                .as_u64()
-                .filter(|&v| v < 64)
-                .ok_or_else(|| schema_err(format!("{what}: invalid dataset")))?;
-            let min = vec3_from(field(obj, "min", &what)?, &what)?;
-            let max = vec3_from(field(obj, "max", &what)?, &what)?;
-            objects.push(SpatialObject::new(
-                ObjectId(id),
-                DatasetId(dataset as u16),
-                Aabb::new(min, max),
-            ));
+            objects.push(object_from(obj, &format!("objects[{i}]"))?);
         }
         let mut queries = Vec::new();
         for (i, q) in field(&doc, "queries", "document")?
@@ -551,47 +596,7 @@ impl SavedWorkload {
             .iter()
             .enumerate()
         {
-            let what = format!("queries[{i}]");
-            let kind = field(q, "kind", &what)?
-                .as_str()
-                .ok_or_else(|| schema_err(format!("{what}: 'kind' must be a string")))?;
-            let id = QueryId(
-                field(q, "id", &what)?
-                    .as_u64()
-                    .ok_or_else(|| schema_err(format!("{what}: invalid id")))?
-                    as u32,
-            );
-            let datasets = datasets_from(field(q, "datasets", &what)?, &what)?;
-            let query = match kind {
-                "range" => Query::Range(RangeQuery::new(
-                    id,
-                    aabb_from(field(q, "range", &what)?, &what)?,
-                    datasets,
-                )),
-                "point" => Query::Point(PointQuery::new(
-                    id,
-                    vec3_from(field(q, "point", &what)?, &what)?,
-                    datasets,
-                )),
-                "knn" => Query::KNearestNeighbors(KnnQuery::new(
-                    id,
-                    vec3_from(field(q, "point", &what)?, &what)?,
-                    field(q, "k", &what)?
-                        .as_u64()
-                        .ok_or_else(|| schema_err(format!("{what}: invalid k")))?
-                        as usize,
-                    datasets,
-                )),
-                "count" => Query::Count(CountQuery::new(
-                    id,
-                    aabb_from(field(q, "range", &what)?, &what)?,
-                    datasets,
-                )),
-                other => {
-                    return Err(schema_err(format!("{what}: unknown kind '{other}'")));
-                }
-            };
-            queries.push(query);
+            queries.push(query_from(q, &format!("queries[{i}]"))?);
         }
         Ok(SavedWorkload {
             bounds,
@@ -609,6 +614,143 @@ impl SavedWorkload {
     pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<SavedWorkload> {
         let text = std::fs::read_to_string(path)?;
         SavedWorkload::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Schema version tag of saved interleaved traces.
+pub const TRACE_FORMAT: &str = "odyssey-trace-v1";
+
+/// A fully materialized interleaved ingest/query trace: the brain volume,
+/// the *initial* objects of every dataset, and the step sequence (queries
+/// plus timed ingest batches). Save it next to a benchmark result and any
+/// host can replay the identical online-ingestion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedTrace {
+    /// The brain volume the engine is configured with.
+    pub bounds: Aabb,
+    /// Every *initial* object of every dataset, in raw-file order (arrivals
+    /// live inside the ingest steps).
+    pub objects: Vec<SpatialObject>,
+    /// The interleaved step sequence, in execution order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl SavedTrace {
+    /// Bundles an [`InterleavedTrace`]'s steps with the initial datasets.
+    pub fn new(bounds: Aabb, objects: Vec<SpatialObject>, trace: &InterleavedTrace) -> Self {
+        SavedTrace {
+            bounds,
+            objects,
+            steps: trace.steps.clone(),
+        }
+    }
+
+    /// Serializes the trace as a JSON document.
+    pub fn to_json(&self) -> String {
+        let objects = self.objects.iter().map(object_json).collect();
+        let steps = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                TraceStep::Query(q) => {
+                    let mut fields = vec![("op".into(), JsonValue::String("query".into()))];
+                    fields.extend(query_fields(q));
+                    JsonValue::Object(fields)
+                }
+                TraceStep::Ingest { dataset, objects } => JsonValue::Object(vec![
+                    ("op".into(), JsonValue::String("ingest".into())),
+                    ("dataset".into(), JsonValue::Number(dataset.0 as f64)),
+                    (
+                        "objects".into(),
+                        JsonValue::Array(objects.iter().map(object_json).collect()),
+                    ),
+                ]),
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("format".into(), JsonValue::String(TRACE_FORMAT.into())),
+            ("bounds".into(), aabb_json(&self.bounds)),
+            ("objects".into(), JsonValue::Array(objects)),
+            ("steps".into(), JsonValue::Array(steps)),
+        ])
+        .to_json()
+    }
+
+    /// Parses a trace from its JSON document.
+    pub fn from_json(input: &str) -> Result<SavedTrace, JsonError> {
+        let doc = JsonValue::parse(input)?;
+        let format = field(&doc, "format", "document")?
+            .as_str()
+            .ok_or_else(|| schema_err("document: 'format' must be a string"))?;
+        if format != TRACE_FORMAT {
+            return Err(schema_err(format!(
+                "unsupported format '{format}' (expected '{TRACE_FORMAT}')"
+            )));
+        }
+        let bounds = aabb_from(field(&doc, "bounds", "document")?, "bounds")?;
+        let mut objects = Vec::new();
+        for (i, obj) in field(&doc, "objects", "document")?
+            .as_array()
+            .ok_or_else(|| schema_err("document: 'objects' must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            objects.push(object_from(obj, &format!("objects[{i}]"))?);
+        }
+        let mut steps = Vec::new();
+        for (i, step) in field(&doc, "steps", "document")?
+            .as_array()
+            .ok_or_else(|| schema_err("document: 'steps' must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let what = format!("steps[{i}]");
+            let op = field(step, "op", &what)?
+                .as_str()
+                .ok_or_else(|| schema_err(format!("{what}: 'op' must be a string")))?;
+            match op {
+                "query" => steps.push(TraceStep::Query(query_from(step, &what)?)),
+                "ingest" => {
+                    let dataset = field(step, "dataset", &what)?
+                        .as_u64()
+                        .filter(|&v| v < 64)
+                        .ok_or_else(|| schema_err(format!("{what}: invalid dataset")))?;
+                    let mut arriving = Vec::new();
+                    for (j, obj) in field(step, "objects", &what)?
+                        .as_array()
+                        .ok_or_else(|| schema_err(format!("{what}: 'objects' must be an array")))?
+                        .iter()
+                        .enumerate()
+                    {
+                        arriving.push(object_from(obj, &format!("{what}.objects[{j}]"))?);
+                    }
+                    steps.push(TraceStep::Ingest {
+                        dataset: DatasetId(dataset as u16),
+                        objects: arriving,
+                    });
+                }
+                other => {
+                    return Err(schema_err(format!("{what}: unknown op '{other}'")));
+                }
+            }
+        }
+        Ok(SavedTrace {
+            bounds,
+            objects,
+            steps,
+        })
+    }
+
+    /// Writes the trace to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a trace from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<SavedTrace> {
+        let text = std::fs::read_to_string(path)?;
+        SavedTrace::from_json(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
@@ -668,6 +810,44 @@ mod tests {
         let w = sample();
         w.save(&path).unwrap();
         assert_eq!(SavedWorkload::load(&path).unwrap(), w);
+    }
+
+    #[test]
+    fn trace_roundtrip_is_bit_exact() {
+        use crate::trace::{IngestProfile, InterleavedTraceSpec};
+        let spec = InterleavedTraceSpec {
+            mixed: MixedWorkloadSpec {
+                base: WorkloadSpec {
+                    num_queries: 40,
+                    ..Default::default()
+                },
+                mix: QueryKindMix::balanced(),
+            },
+            ingest: IngestProfile {
+                ingest_ratio: 0.4,
+                batch_size: 8,
+                ..Default::default()
+            },
+        };
+        let trace = spec.generate(&bounds());
+        assert!(trace.ingest_steps() > 0, "trace must contain ingest steps");
+        let saved = SavedTrace::new(bounds(), sample().objects, &trace);
+        let json = saved.to_json();
+        let back = SavedTrace::from_json(&json).unwrap();
+        assert_eq!(saved, back);
+        assert_eq!(json, back.to_json());
+        // File roundtrip.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("trace.json");
+        saved.save(&path).unwrap();
+        assert_eq!(SavedTrace::load(&path).unwrap(), saved);
+        // Schema errors: wrong format tag, unknown op.
+        assert!(SavedTrace::from_json(&sample().to_json()).is_err());
+        let bad = r#"{"format": "odyssey-trace-v1", "bounds": {"min": [0,0,0], "max": [1,1,1]}, "objects": [], "steps": [{"op": "warp"}]}"#;
+        assert!(SavedTrace::from_json(bad)
+            .unwrap_err()
+            .message
+            .contains("unknown op"));
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   [`Workload`] (sequence of [`odyssey_geom::RangeQuery`]),
 //! * [`mixed`] — re-types a base workload into a mixed-kind sequence of
 //!   [`odyssey_geom::Query`] (range / point / kNN / count),
+//! * [`trace`] — interleaves a mixed-kind workload with an online-arrival
+//!   stream (configurable ingest ratio and per-dataset arrival skew) into an
+//!   ingest+query trace,
 //! * [`json`] — dependency-free JSON save/load of a full workload
-//!   (objects + queries), for reproducible cross-host benchmark runs.
+//!   (objects + queries) or an interleaved trace, for reproducible
+//!   cross-host benchmark runs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,12 +36,14 @@ pub mod distributions;
 pub mod json;
 pub mod mixed;
 pub mod queries;
+pub mod trace;
 pub mod workload;
 
 pub use brain::{BrainModel, DatasetSpec};
 pub use combos::CombinationPicker;
 pub use distributions::{CombinationDistribution, DiscreteSampler};
-pub use json::{JsonError, JsonValue, SavedWorkload};
+pub use json::{JsonError, JsonValue, SavedTrace, SavedWorkload};
 pub use mixed::{as_typed_queries, MixedWorkload, MixedWorkloadSpec, QueryKindMix};
 pub use queries::{QueryRangeDistribution, QueryRangeGenerator};
+pub use trace::{IngestProfile, InterleavedTrace, InterleavedTraceSpec, TraceStep};
 pub use workload::{Workload, WorkloadSpec};

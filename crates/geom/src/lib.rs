@@ -37,7 +37,9 @@ pub mod vec3;
 pub use aabb::Aabb;
 pub use dataset::{binomial, enumerate_combinations, Combination, DatasetId, DatasetSet};
 pub use grid::{CellCoord, GridSpec};
-pub use object::{max_extent, ObjectId, Segment, SpatialObject};
+pub use object::{
+    arrivals_from_mbrs, max_extent, next_object_id, ObjectId, Segment, SpatialObject,
+};
 pub use query::{
     knn_key_cmp, scan_any_query, scan_count_query, scan_knn_query, scan_point_query, scan_query,
     CountQuery, KnnQuery, PointQuery, Query, QueryAnswer, QueryId, QueryKind, RangeQuery,

@@ -109,6 +109,28 @@ impl Segment {
     }
 }
 
+/// The smallest [`ObjectId`] strictly greater than every id in `objects`
+/// (`ObjectId(0)` for an empty collection). Online ingestion uses this to
+/// keep newly arriving objects unique within their dataset.
+pub fn next_object_id<'a, I: IntoIterator<Item = &'a SpatialObject>>(objects: I) -> ObjectId {
+    ObjectId(objects.into_iter().map(|o| o.id.0 + 1).max().unwrap_or(0))
+}
+
+/// Materializes a batch of newly arrived MBRs as objects of `dataset`, with
+/// consecutive ids starting at `first`. This is the arrival-side counterpart
+/// of [`Segment::to_object`]: ingestion sources deliver bare geometry, and
+/// the engine needs stable `(dataset, id)` identities for them.
+pub fn arrivals_from_mbrs<I: IntoIterator<Item = Aabb>>(
+    dataset: DatasetId,
+    first: ObjectId,
+    mbrs: I,
+) -> Vec<SpatialObject> {
+    mbrs.into_iter()
+        .enumerate()
+        .map(|(i, mbr)| SpatialObject::new(ObjectId(first.0 + i as u64), dataset, mbr))
+        .collect()
+}
+
 /// Computes the component-wise maximum extent over a collection of objects.
 ///
 /// This is the `maxExtent` of the query-window-extension technique: when a
@@ -163,6 +185,24 @@ mod tests {
         assert_eq!(o.id, ObjectId(42));
         assert_eq!(o.dataset, DatasetId(3));
         assert_eq!(o.mbr, s.mbr());
+    }
+
+    #[test]
+    fn arrival_helpers_assign_fresh_consecutive_ids() {
+        let existing = [obj(3, 0.0, 1.0), obj(7, 0.0, 1.0), obj(5, 0.0, 1.0)];
+        assert_eq!(next_object_id(existing.iter()), ObjectId(8));
+        assert_eq!(next_object_id(std::iter::empty()), ObjectId(0));
+        let arrivals = arrivals_from_mbrs(
+            DatasetId(2),
+            ObjectId(8),
+            (0..3).map(|i| Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0))),
+        );
+        assert_eq!(arrivals.len(), 3);
+        for (i, o) in arrivals.iter().enumerate() {
+            assert_eq!(o.id, ObjectId(8 + i as u64));
+            assert_eq!(o.dataset, DatasetId(2));
+        }
+        assert_eq!(next_object_id(arrivals.iter()), ObjectId(11));
     }
 
     #[test]

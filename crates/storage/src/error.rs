@@ -31,6 +31,9 @@ pub enum StorageError {
     UnknownFile(u32),
     /// A page's on-disk bytes failed validation while decoding.
     Corrupt(String),
+    /// An ingest batch was rejected before any of it was applied (e.g. an
+    /// object tagged with a different dataset than the batch's target).
+    InvalidIngest(String),
 }
 
 impl fmt::Display for StorageError {
@@ -51,6 +54,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::InvalidIngest(msg) => write!(f, "invalid ingest: {msg}"),
         }
     }
 }
@@ -91,6 +95,8 @@ mod tests {
         assert!(format!("{e}").contains("7"));
         let e = StorageError::Corrupt("bad header".into());
         assert!(format!("{e}").contains("bad header"));
+        let e = StorageError::InvalidIngest("dataset mismatch".into());
+        assert!(format!("{e}").contains("dataset mismatch"));
         let e: StorageError = io::Error::other("boom").into();
         assert!(format!("{e}").contains("boom"));
     }

@@ -37,5 +37,5 @@ pub use error::{StorageError, StorageResult};
 pub use file::{DiskFile, FileId, MemFile, PagedFile};
 pub use manager::{StorageBackend, StorageManager, StorageOptions};
 pub use page::{pack_objects, pages_needed, Page, PageId, OBJECTS_PER_PAGE, PAGE_SIZE};
-pub use raw::{scan_raw_dataset, write_raw_dataset, RawDataset};
+pub use raw::{append_to_raw_dataset, scan_raw_dataset, write_raw_dataset, RawDataset};
 pub use stats::{IoStats, StatsDelta};

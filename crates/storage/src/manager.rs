@@ -194,6 +194,14 @@ impl StorageManager {
         AtomicIoStats::add(&self.stats.objects_scanned, n);
     }
 
+    /// Records `n` objects accepted through the online-ingestion path. The
+    /// page writes the ingest performs are charged separately (and
+    /// automatically) as writes; this counter tracks arrival volume so
+    /// ingest-heavy workloads can be reported per phase.
+    pub fn note_objects_ingested(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.objects_ingested, n);
+    }
+
     /// Drops all cached pages, mirroring the paper's "OS caches and disk
     /// buffers are cleared before each query" methodology when desired.
     pub fn clear_cache(&self) {

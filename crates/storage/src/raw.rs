@@ -59,6 +59,26 @@ pub fn write_raw_dataset(
     })
 }
 
+/// Appends newly arrived `objects` at the end of an existing raw dataset
+/// file, updating its metadata in place and returning the page range the new
+/// pages occupy.
+///
+/// Raw files stay the ground truth under online ingestion: the sequential-scan
+/// access path and any later (re)build of a static index read them, so every
+/// ingested object lands here first. Callers that share the `RawDataset`
+/// across threads must serialize calls (the engine's per-dataset lock does).
+pub fn append_to_raw_dataset(
+    storage: &StorageManager,
+    raw: &mut RawDataset,
+    objects: &[SpatialObject],
+) -> StorageResult<Range<u64>> {
+    let range = storage.append_objects(raw.file, objects)?;
+    raw.page_range.1 = range.end;
+    raw.num_objects += objects.len() as u64;
+    storage.note_objects_ingested(objects.len() as u64);
+    Ok(range)
+}
+
 /// Reads back every object of a raw dataset (a full sequential scan).
 pub fn scan_raw_dataset(
     storage: &StorageManager,
@@ -114,6 +134,23 @@ mod tests {
         assert_ne!(a.file, b.file);
         assert_eq!(storage.file_name(a.file).unwrap(), "raw_ds0");
         assert_eq!(storage.file_name(b.file).unwrap(), "raw_ds1");
+    }
+
+    #[test]
+    fn append_extends_the_raw_file_and_its_metadata() {
+        let storage = StorageManager::in_memory();
+        let mut raw = write_raw_dataset(&storage, DatasetId(0), &objects(100, 0)).unwrap();
+        let before_pages = raw.num_pages();
+        let range = append_to_raw_dataset(&storage, &mut raw, &objects(130, 0)).unwrap();
+        assert_eq!(range.start, before_pages);
+        assert_eq!(raw.num_objects, 230);
+        assert_eq!(raw.num_pages(), range.end);
+        assert_eq!(scan_raw_dataset(&storage, &raw).unwrap().len(), 230);
+        assert_eq!(storage.stats().objects_ingested, 130);
+        // Appending nothing is a no-op.
+        let empty = append_to_raw_dataset(&storage, &mut raw, &[]).unwrap();
+        assert_eq!(empty.start, empty.end);
+        assert_eq!(raw.num_objects, 230);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct IoStats {
     pub objects_scanned: u64,
     /// Object records written (encoded into pages).
     pub objects_written: u64,
+    /// Object records accepted through the online-ingestion path (a subset of
+    /// `objects_written`: every ingested object is also written, first to its
+    /// raw file and possibly again into partition or merge files).
+    pub objects_ingested: u64,
     /// Number of files created.
     pub files_created: u64,
 }
@@ -73,6 +77,7 @@ impl IoStats {
         self.buffer_hits += other.buffer_hits;
         self.objects_scanned += other.objects_scanned;
         self.objects_written += other.objects_written;
+        self.objects_ingested += other.objects_ingested;
         self.files_created += other.files_created;
     }
 }
@@ -89,6 +94,7 @@ impl Sub for IoStats {
             buffer_hits: self.buffer_hits - rhs.buffer_hits,
             objects_scanned: self.objects_scanned - rhs.objects_scanned,
             objects_written: self.objects_written - rhs.objects_written,
+            objects_ingested: self.objects_ingested - rhs.objects_ingested,
             files_created: self.files_created - rhs.files_created,
         }
     }
@@ -117,6 +123,8 @@ pub struct AtomicIoStats {
     pub objects_scanned: AtomicU64,
     /// See [`IoStats::objects_written`].
     pub objects_written: AtomicU64,
+    /// See [`IoStats::objects_ingested`].
+    pub objects_ingested: AtomicU64,
     /// See [`IoStats::files_created`].
     pub files_created: AtomicU64,
 }
@@ -138,6 +146,7 @@ impl AtomicIoStats {
             buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
             objects_scanned: self.objects_scanned.load(Ordering::Relaxed),
             objects_written: self.objects_written.load(Ordering::Relaxed),
+            objects_ingested: self.objects_ingested.load(Ordering::Relaxed),
             files_created: self.files_created.load(Ordering::Relaxed),
         }
     }
@@ -168,6 +177,7 @@ mod tests {
             buffer_hits: 7,
             objects_scanned: 100,
             objects_written: 50,
+            objects_ingested: 20,
             files_created: 1,
         }
     }
@@ -199,6 +209,7 @@ mod tests {
         a.merge(&sample());
         assert_eq!(a.pages_read(), 26);
         assert_eq!(a.objects_scanned, 200);
+        assert_eq!(a.objects_ingested, 40);
         assert_eq!(a.files_created, 2);
     }
 

@@ -31,10 +31,13 @@ fn run(label: &str, config: OdysseyConfig) {
     let odyssey = SpaceOdyssey::new(config, raws).expect("valid configuration");
 
     // Two combinations: a hot 4-dataset combination queried repeatedly over
-    // the same brain region, and a cold pair queried once in a while.
+    // the same brain region, and a cold pair queried once in a while. The
+    // region is anchored on an actual object: partitions only exist where
+    // objects are (empty children are never materialized), so only queries
+    // that hit data retrieve — and therefore merge — partitions.
     let hot = DatasetSet::from_ids([DatasetId(0), DatasetId(1), DatasetId(2), DatasetId(3)]);
     let cold = DatasetSet::from_ids([DatasetId(4), DatasetId(5)]);
-    let region = bounds.center();
+    let region = model.generate_all()[0][0].center();
     let side = bounds.extent().x * 0.012;
 
     let mut hot_costs = Vec::new();

@@ -8,7 +8,7 @@ use space_odyssey::datagen::{BrainModel, DatasetSpec};
 use space_odyssey::geom::{Aabb, DatasetId, DatasetSet, QueryId, RangeQuery, Vec3};
 use space_odyssey::storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
 
-fn setup(num_datasets: usize, objects: usize) -> (StorageManager, Vec<RawDataset>, Aabb) {
+fn setup(num_datasets: usize, objects: usize) -> (StorageManager, Vec<RawDataset>, Aabb, Vec3) {
     let spec = DatasetSpec {
         num_datasets,
         objects_per_dataset: objects,
@@ -25,7 +25,11 @@ fn setup(num_datasets: usize, objects: usize) -> (StorageManager, Vec<RawDataset
         .enumerate()
         .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
         .collect();
-    (storage, raws, model.bounds())
+    // A region that actually holds data: partitions only exist where objects
+    // are (refinement skips empty children), so the adaptive behaviour under
+    // test must be probed inside a soma cluster.
+    let hot = model.cluster_centers()[0];
+    (storage, raws, model.bounds(), hot)
 }
 
 fn cube_query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery {
@@ -38,7 +42,7 @@ fn cube_query(id: u32, center: Vec3, side: f64, datasets: &[u16]) -> RangeQuery 
 
 #[test]
 fn refinement_depth_matches_the_convergence_formula() {
-    let (storage, raws, bounds) = setup(1, 4_000);
+    let (storage, raws, bounds, hot) = setup(1, 4_000);
     let config = OdysseyConfig::paper(bounds);
     let engine = SpaceOdyssey::new(config, raws).unwrap();
 
@@ -50,17 +54,21 @@ fn refinement_depth_matches_the_convergence_formula() {
     let expected_levels = config.queries_to_converge(level1_volume, query_volume);
     assert_eq!(expected_levels, 2);
 
-    let hot = bounds.center() + Vec3::splat(bounds.extent().x * 0.1);
     for i in 0..6u32 {
         engine
             .execute(&storage, &cube_query(i, hot, side, &[0]))
             .unwrap();
     }
     let index = engine.dataset(DatasetId(0)).unwrap();
+    // Judge convergence on the partitions the query actually touches: leaves
+    // only exist where objects are, so the *intersecting* leaves (not a
+    // single probe point, which may sit in a hole) carry the refinement
+    // level.
+    let query_box = Aabb::from_center_extent(hot, Vec3::splat(side));
     let deepest = index
         .partitions()
         .iter()
-        .filter(|p| p.bounds.contains_point(hot))
+        .filter(|p| p.bounds.intersects(&query_box))
         .map(|p| p.key.level)
         .max()
         .unwrap();
@@ -84,9 +92,8 @@ fn refinement_depth_matches_the_convergence_formula() {
 
 #[test]
 fn per_query_cost_decreases_once_the_hot_area_converges() {
-    let (storage, raws, bounds) = setup(3, 6_000);
+    let (storage, raws, bounds, hot) = setup(3, 6_000);
     let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
-    let hot = bounds.center();
     let side = bounds.extent().x * 0.01;
     let mut costs = Vec::new();
     for i in 0..10u32 {
@@ -107,9 +114,8 @@ fn per_query_cost_decreases_once_the_hot_area_converges() {
 
 #[test]
 fn merge_routing_prefers_exact_over_superset_over_none() {
-    let (storage, raws, bounds) = setup(5, 3_000);
+    let (storage, raws, bounds, hot) = setup(5, 3_000);
     let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
-    let hot = bounds.center();
     let side = bounds.extent().x * 0.012;
 
     // Make {0,1,2,3} hot enough to be merged.
@@ -141,20 +147,9 @@ fn merge_routing_prefers_exact_over_superset_over_none() {
 
 #[test]
 fn merged_combination_queries_read_fewer_random_pages() {
-    let (storage, raws, bounds) = setup(4, 8_000);
+    let (storage, raws, bounds, hot) = setup(4, 8_000);
     let config = OdysseyConfig::paper(bounds);
     let engine = SpaceOdyssey::new(config, raws.clone()).unwrap();
-    // Query a region that actually holds data (a soma cluster), otherwise the
-    // touched partitions are empty and no pages are read at all.
-    let hot = BrainModel::new(DatasetSpec {
-        num_datasets: 4,
-        objects_per_dataset: 8_000,
-        soma_clusters: 5,
-        segments_per_neuron: 40,
-        seed: 4242,
-        ..Default::default()
-    })
-    .cluster_centers()[0];
     let side = bounds.extent().x * 0.012;
     let combo = [0u16, 1, 2, 3];
 
@@ -176,7 +171,7 @@ fn merged_combination_queries_read_fewer_random_pages() {
     assert!(outcome.used_merge_file());
 
     // ... and the same steady state without merging (fresh engine, merging off).
-    let (storage2, raws2, _) = setup(4, 8_000);
+    let (storage2, raws2, _, _) = setup(4, 8_000);
     let engine2 = SpaceOdyssey::new(config.without_merging(), raws2).unwrap();
     for i in 0..10u32 {
         engine2
@@ -207,9 +202,8 @@ fn odyssey_is_a_hybrid_of_1fe_and_ain1() {
     // Individually-queried datasets keep their own files (1fE character);
     // hot combinations additionally get a shared merged layout (Ain1
     // character). Both must coexist in one engine.
-    let (storage, raws, bounds) = setup(6, 2_500);
+    let (storage, raws, bounds, hot) = setup(6, 2_500);
     let engine = SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).unwrap();
-    let hot = bounds.center();
     let side = bounds.extent().x * 0.012;
 
     for i in 0..6u32 {

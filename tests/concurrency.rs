@@ -113,6 +113,7 @@ fn contention_creates_each_merge_file_exactly_once_and_stats_add_up() {
     let hot_a: Vec<u16> = vec![0, 1, 2];
     let hot_b: Vec<u16> = vec![1, 2, 3];
     let cold: Vec<u16> = vec![4, 5];
+    let anchor = model.generate_all()[1][0].center();
     let mut queries = Vec::new();
     for i in 0..96u32 {
         let datasets = match i % 3 {
@@ -120,8 +121,13 @@ fn contention_creates_each_merge_file_exactly_once_and_stats_add_up() {
             1 => &hot_b,
             _ => &cold,
         };
-        let center = bounds.center()
-            + space_odyssey::geom::Vec3::splat(bounds.extent().x * 0.002 * (i % 4) as f64);
+        // Anchor the hot region on an actual object of dataset 1 (member of
+        // both hot combinations): leaves only exist where objects are (empty
+        // children are never materialized), so the query box must contain
+        // data or no partition is ever retrieved — and without retrieved
+        // partitions there is nothing to merge.
+        let center =
+            anchor + space_odyssey::geom::Vec3::splat(bounds.extent().x * 0.001 * (i % 4) as f64);
         queries.push(RangeQuery::new(
             space_odyssey::geom::QueryId(i),
             space_odyssey::geom::Aabb::from_center_extent(

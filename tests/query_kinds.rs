@@ -180,7 +180,15 @@ fn planner_switches_access_paths_within_one_workload() {
     let world = fresh_world(&spec(4, 4_000));
     let engine = SpaceOdyssey::new(OdysseyConfig::paper(world.bounds), world.raws.clone()).unwrap();
     let hot = DatasetSet::from_ids((0..3u16).map(DatasetId));
-    let center = world.bounds.center();
+    // Anchor the hot queries on an actual object: leaves only exist where
+    // objects are, and a hot region probing vacuum retrieves (and therefore
+    // merges) nothing.
+    let center = world
+        .all_objects
+        .iter()
+        .find(|o| o.dataset == DatasetId(0))
+        .unwrap()
+        .center();
     let small = |i: u32| {
         Query::Range(RangeQuery::new(
             QueryId(i),
