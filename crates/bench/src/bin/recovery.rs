@@ -1,0 +1,162 @@
+//! Recovery smoke + benchmark: build a durable store with an adaptive
+//! workload, crash it (drop without `close`), reopen, and cross-check the
+//! recovered engine's answers against a from-scratch rebuild. Emits the
+//! cold-open vs rebuild costs (and an optional checkpoint-interval sweep)
+//! as `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin recovery -- \
+//!     --datasets 4 --objects 3000 --queries 120 --out BENCH_recovery.json
+//! cargo run --release -p odyssey-bench --bin recovery -- --sweep 0,10,40
+//! ```
+//!
+//! Exits non-zero if the recovered store's verification checksum disagrees
+//! with the rebuild's — the CI tripwire for durability regressions.
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::recovery::{run_recovery, sweep, RecoveryConfig, RecoveryRun};
+use odyssey_datagen::{DatasetSpec, JsonValue};
+
+fn run_json(run: &RecoveryRun) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "checkpoint_every".into(),
+            JsonValue::Number(run.checkpoint_every as f64),
+        ),
+        ("build_seconds".into(), JsonValue::Number(run.build_seconds)),
+        (
+            "wal_pages_at_crash".into(),
+            JsonValue::Number(run.wal_pages_at_crash as f64),
+        ),
+        (
+            "checkpoints_written".into(),
+            JsonValue::Number(run.checkpoints_written as f64),
+        ),
+        (
+            "cold_open_seconds".into(),
+            JsonValue::Number(run.cold_open_seconds),
+        ),
+        (
+            "cold_open_wall_ms".into(),
+            JsonValue::Number(run.cold_open_wall_ms),
+        ),
+        (
+            "rebuild_seconds".into(),
+            JsonValue::Number(run.rebuild_seconds),
+        ),
+        (
+            "rebuild_wall_ms".into(),
+            JsonValue::Number(run.rebuild_wall_ms),
+        ),
+        ("speedup".into(), JsonValue::Number(run.speedup())),
+        // Hex strings: the full 64 bits do not fit a JSON number exactly.
+        (
+            "checksum_recovered".into(),
+            JsonValue::String(format!("{:016x}", run.checksum_recovered)),
+        ),
+        (
+            "checksum_rebuilt".into(),
+            JsonValue::String(format!("{:016x}", run.checksum_rebuilt)),
+        ),
+        ("answers_match".into(), JsonValue::Bool(run.answers_match())),
+    ])
+}
+
+fn print_run(run: &RecoveryRun) {
+    println!(
+        "checkpoint_every={:<4} wal_pages={:<6} cold_open={:>10.6}s ({:>8.1}ms wall)  \
+         rebuild={:>10.6}s ({:>8.1}ms wall)  speedup={:>6.1}x  match={}",
+        run.checkpoint_every,
+        run.wal_pages_at_crash,
+        run.cold_open_seconds,
+        run.cold_open_wall_ms,
+        run.rebuild_seconds,
+        run.rebuild_wall_ms,
+        run.speedup(),
+        run.answers_match(),
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "recovery — durable-store crash-recovery experiment\n\
+             \n\
+             options:\n\
+             --datasets N    number of datasets (default 4)\n\
+             --objects N     seed objects per dataset (default 3000)\n\
+             --queries N     adaptive build queries (default 120)\n\
+             --verify N      verification queries (default 40)\n\
+             --batch N       objects per ingest batch, 0 = no ingest (default 48)\n\
+             --every N       checkpoint every N build queries, 0 = initial only (default 0)\n\
+             --sweep A,B,C   run a checkpoint-interval sweep instead of one run\n\
+             --out PATH      write results JSON (default BENCH_recovery.json)"
+        );
+        return;
+    }
+    let cfg = RecoveryConfig {
+        dataset_spec: DatasetSpec {
+            num_datasets: args.get_usize("datasets", 4),
+            objects_per_dataset: args.get_usize("objects", 3_000),
+            soma_clusters: 5,
+            segments_per_neuron: 40,
+            seed: 4242,
+            ..Default::default()
+        },
+        build_queries: args.get_usize("queries", 120),
+        ingest_batch: args.get_usize("batch", 48),
+        verify_queries: args.get_usize("verify", 40),
+        checkpoint_every: args.get_usize("every", 0),
+        buffer_pages: 2048,
+    };
+
+    let runs: Vec<RecoveryRun> = match args.get("sweep") {
+        Some(spec) => {
+            let intervals: Vec<usize> = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            sweep(&cfg, &intervals)
+        }
+        None => vec![run_recovery(&cfg)],
+    };
+
+    println!(
+        "recovery experiment: {} datasets x {} objects, {} build queries\n",
+        cfg.dataset_spec.num_datasets, cfg.dataset_spec.objects_per_dataset, cfg.build_queries
+    );
+    for run in &runs {
+        print_run(run);
+    }
+
+    let out = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let doc = JsonValue::Object(vec![
+        ("experiment".into(), JsonValue::String("recovery".into())),
+        (
+            "datasets".into(),
+            JsonValue::Number(cfg.dataset_spec.num_datasets as f64),
+        ),
+        (
+            "objects_per_dataset".into(),
+            JsonValue::Number(cfg.dataset_spec.objects_per_dataset as f64),
+        ),
+        (
+            "build_queries".into(),
+            JsonValue::Number(cfg.build_queries as f64),
+        ),
+        (
+            "runs".into(),
+            JsonValue::Array(runs.iter().map(run_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_json()).expect("write results JSON");
+    println!("\nwrote {out}");
+
+    if !runs.iter().all(|r| r.answers_match()) {
+        eprintln!("FAIL: recovered answers diverged from the rebuilt engine");
+        std::process::exit(1);
+    }
+}

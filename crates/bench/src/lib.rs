@@ -20,10 +20,13 @@
 //!   and the static baselines, with per-kind cost and plan audits,
 //! * [`ingest`] — the online-ingestion experiment: interleaved ingest/query
 //!   traces with per-phase cost, staleness-repair/bypass counts and
-//!   cross-checked result checksums.
+//!   cross-checked result checksums,
+//! * [`recovery`] — the durability experiment: build a durable store, crash
+//!   without closing, and compare the cold-open cost against a full rebuild
+//!   (with a checkpoint-interval sweep and cross-checked checksums).
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput`, `query_kinds`, `ingest`
+//! `throughput`, `query_kinds`, `ingest`, `recovery`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod experiment;
 pub mod figures;
 pub mod ingest;
 pub mod query_kinds;
+pub mod recovery;
 pub mod report;
 pub mod throughput;
 
@@ -42,5 +46,6 @@ pub use experiment::{
 };
 pub use ingest::IngestRun;
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use report::{format_table, write_csv, Table};
 pub use throughput::ThroughputRun;

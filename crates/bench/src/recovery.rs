@@ -1,0 +1,340 @@
+//! The durability experiment: cold-open of a crashed durable store vs a
+//! full rebuild of the adaptive state, plus a checkpoint-interval sweep.
+//!
+//! The scenario mirrors a production restart: a store is built by running an
+//! adaptive workload (refinements, merges, ingests all land in the manifest
+//! plus WAL), the process "crashes" (the engine is dropped without `close`),
+//! and the store is reopened. The experiment reports the **cold-open cost**
+//! — recovering the engine (manifest decode, WAL replay, ingest-tail
+//! re-read, truncation) and answering a verification workload from the
+//! recovered state — against the **rebuild cost** — re-earning the same
+//! adaptive state from the raw files by replaying the original workload from
+//! scratch before the same verification workload —
+//! with both paths' verification answers reduced to a checksum that must
+//! match (recovery that loses or invents objects fails loudly). The
+//! checkpoint-interval sweep shows the WAL-size / recovery-cost trade-off:
+//! frequent checkpoints keep the log short but write the manifest often.
+
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
+    WorkloadSpec,
+};
+use odyssey_geom::DatasetId;
+use odyssey_storage::{crc32, write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+use std::time::Instant;
+
+/// Configuration of one recovery experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Synthetic datasets to build the store from.
+    pub dataset_spec: DatasetSpec,
+    /// Queries in the adaptive (store-building) workload.
+    pub build_queries: usize,
+    /// Objects per ingest batch injected every few queries (0 disables
+    /// ingestion).
+    pub ingest_batch: usize,
+    /// Queries in the verification workload both paths answer.
+    pub verify_queries: usize,
+    /// Checkpoint every N build queries (0 = only the initial checkpoint,
+    /// so recovery replays the whole workload's WAL).
+    pub checkpoint_every: usize,
+    /// Buffer-pool pages for every storage manager involved.
+    pub buffer_pages: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 4,
+                objects_per_dataset: 3_000,
+                soma_clusters: 5,
+                segments_per_neuron: 40,
+                seed: 4242,
+                ..Default::default()
+            },
+            build_queries: 120,
+            ingest_batch: 48,
+            verify_queries: 40,
+            checkpoint_every: 0,
+            buffer_pages: 2048,
+        }
+    }
+}
+
+/// Result of one recovery experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// Checkpoint interval the store was built with.
+    pub checkpoint_every: usize,
+    /// Simulated seconds spent building the store (workload + checkpoints).
+    pub build_seconds: f64,
+    /// WAL pages on disk at the crash point.
+    pub wal_pages_at_crash: u64,
+    /// Checkpoints written while building (the initial one included).
+    pub checkpoints_written: u64,
+    /// Simulated seconds for open + verification on the recovered store.
+    pub cold_open_seconds: f64,
+    /// Wall-clock milliseconds for the same.
+    pub cold_open_wall_ms: f64,
+    /// Simulated seconds for the from-scratch rebuild + verification.
+    pub rebuild_seconds: f64,
+    /// Wall-clock milliseconds for the same.
+    pub rebuild_wall_ms: f64,
+    /// Verification checksum of the recovered engine.
+    pub checksum_recovered: u64,
+    /// Verification checksum of the rebuilt engine.
+    pub checksum_rebuilt: u64,
+}
+
+impl RecoveryRun {
+    /// Whether recovery and rebuild agreed on every verification answer.
+    pub fn answers_match(&self) -> bool {
+        self.checksum_recovered == self.checksum_rebuilt
+    }
+
+    /// Rebuild cost over cold-open cost (simulated): how much work the
+    /// durable state saves on restart.
+    pub fn speedup(&self) -> f64 {
+        if self.cold_open_seconds > 0.0 {
+            self.rebuild_seconds / self.cold_open_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn build_workload(spec: &DatasetSpec, queries: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3.min(spec.num_datasets),
+        num_queries: queries,
+        query_volume_fraction: 1e-4,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 5 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed,
+    }
+}
+
+/// Ingest arrivals near the workload's clusters, tagged for `dataset`.
+fn arrivals(
+    model: &BrainModel,
+    dataset: DatasetId,
+    batch: usize,
+    round: u64,
+) -> Vec<odyssey_geom::SpatialObject> {
+    use odyssey_geom::{Aabb, ObjectId, SpatialObject, Vec3};
+    let b = model.bounds();
+    let e = b.extent();
+    (0..batch as u64)
+        .map(|i| {
+            let t = ((round * 31 + i * 7) % 97) as f64 / 97.0;
+            let c = Vec3::new(
+                b.min.x + e.x * (0.2 + 0.6 * t),
+                b.min.y + e.y * (0.2 + 0.6 * ((t * 3.0) % 1.0)),
+                b.min.z + e.z * (0.2 + 0.6 * ((t * 7.0) % 1.0)),
+            );
+            SpatialObject::new(
+                ObjectId(900_000 + round * 10_000 + i),
+                dataset,
+                Aabb::from_center_extent(c, Vec3::splat(e.x * 0.002)),
+            )
+        })
+        .collect()
+}
+
+/// Runs the build workload on `engine`, ingesting every 8th step and
+/// checkpointing every `checkpoint_every` queries. Returns checkpoints
+/// written.
+fn run_build(
+    engine: &SpaceOdyssey,
+    storage: &StorageManager,
+    model: &BrainModel,
+    workload: &Workload,
+    cfg: &RecoveryConfig,
+) -> u64 {
+    let mut checkpoints = 0u64;
+    for (i, q) in workload.queries.iter().enumerate() {
+        engine.execute(storage, q).expect("build query");
+        if cfg.ingest_batch > 0 && i % 8 == 4 {
+            let ds = DatasetId((i % cfg.dataset_spec.num_datasets) as u16);
+            let objs = arrivals(model, ds, cfg.ingest_batch, i as u64);
+            engine.ingest(storage, ds, &objs).expect("build ingest");
+        }
+        if cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 {
+            engine.checkpoint(storage).expect("mid-build checkpoint");
+            checkpoints += 1;
+        }
+    }
+    checkpoints
+}
+
+/// Answers the verification workload and folds the results into a checksum
+/// (object identities, not just counts, so dropped or invented objects are
+/// caught).
+fn verify_checksum(engine: &SpaceOdyssey, storage: &StorageManager, workload: &Workload) -> u64 {
+    let mut acc = 0u64;
+    for q in &workload.queries {
+        let outcome = engine.execute(storage, q).expect("verification query");
+        let mut ids: Vec<(u16, u64)> = outcome
+            .objects
+            .iter()
+            .map(|o| (o.dataset.0, o.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut bytes = Vec::with_capacity(ids.len() * 10);
+        for (ds, id) in &ids {
+            bytes.extend_from_slice(&ds.to_le_bytes());
+            bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        acc = acc
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(crc32(&bytes) as u64)
+            .wrapping_add(ids.len() as u64);
+    }
+    acc
+}
+
+/// Runs one full recovery experiment (build → crash → cold open vs rebuild).
+pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRun {
+    let model = BrainModel::new(cfg.dataset_spec.clone());
+    let datasets = model.generate_all();
+    let build_wl =
+        build_workload(&cfg.dataset_spec, cfg.build_queries, 11).generate(&model.bounds());
+    let verify_wl =
+        build_workload(&cfg.dataset_spec, cfg.verify_queries, 97).generate(&model.bounds());
+
+    // Phase 1: build the durable store, then crash (drop without close).
+    let dir = tempfile::tempdir().expect("tempdir");
+    let (build_seconds, wal_pages_at_crash, checkpoints_written) = {
+        let storage = StorageManager::create(StorageOptions::durable(dir.path(), cfg.buffer_pages))
+            .expect("create durable store");
+        let raws: Vec<RawDataset> = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+            .collect();
+        let after_seed = storage.stats();
+        let engine = SpaceOdyssey::create(OdysseyConfig::paper(model.bounds()), raws, &storage)
+            .expect("create engine");
+        let checkpoints = run_build(&engine, &storage, &model, &build_wl, cfg) + 1;
+        (
+            storage.seconds_since(&after_seed),
+            storage.wal_pages(),
+            checkpoints,
+        )
+        // engine dropped WITHOUT close: the crash.
+    };
+
+    // Phase 2: cold open + verification.
+    let wall = Instant::now();
+    let (storage2, recovered) =
+        StorageManager::open(StorageOptions::durable(dir.path(), cfg.buffer_pages))
+            .expect("open store");
+    let engine2 = SpaceOdyssey::open(&storage2, recovered).expect("recover engine");
+    let checksum_recovered = verify_checksum(&engine2, &storage2, &verify_wl);
+    let cold_open_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let cold_open_seconds = storage2.total_seconds();
+
+    // Phase 3: full rebuild from the raw files (plain disk backend, no WAL):
+    // re-earn the adaptive state by replaying the build workload, then
+    // answer the same verification workload.
+    let rebuild_dir = tempfile::tempdir().expect("tempdir");
+    let storage3 = StorageManager::new(StorageOptions::on_disk(
+        rebuild_dir.path(),
+        cfg.buffer_pages,
+    ));
+    let raws: Vec<RawDataset> = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage3, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let after_seed = storage3.stats();
+    let wall = Instant::now();
+    let engine3 =
+        SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).expect("rebuild engine");
+    run_build(
+        &engine3,
+        &storage3,
+        &model,
+        &build_wl,
+        &RecoveryConfig {
+            checkpoint_every: 0,
+            ..cfg.clone()
+        },
+    );
+    let checksum_rebuilt = verify_checksum(&engine3, &storage3, &verify_wl);
+    let rebuild_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let rebuild_seconds = storage3.seconds_since(&after_seed);
+
+    RecoveryRun {
+        checkpoint_every: cfg.checkpoint_every,
+        build_seconds,
+        wal_pages_at_crash,
+        checkpoints_written,
+        cold_open_seconds,
+        cold_open_wall_ms,
+        rebuild_seconds,
+        rebuild_wall_ms,
+        checksum_recovered,
+        checksum_rebuilt,
+    }
+}
+
+/// Runs the experiment at several checkpoint intervals (the WAL-size /
+/// recovery-cost trade-off curve).
+pub fn sweep(cfg: &RecoveryConfig, intervals: &[usize]) -> Vec<RecoveryRun> {
+    intervals
+        .iter()
+        .map(|&checkpoint_every| {
+            run_recovery(&RecoveryConfig {
+                checkpoint_every,
+                ..cfg.clone()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_run_matches_rebuild_on_a_tiny_store() {
+        let cfg = RecoveryConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 3,
+                objects_per_dataset: 800,
+                soma_clusters: 4,
+                segments_per_neuron: 30,
+                seed: 5,
+                ..Default::default()
+            },
+            build_queries: 30,
+            ingest_batch: 24,
+            verify_queries: 12,
+            checkpoint_every: 0,
+            buffer_pages: 512,
+        };
+        let run = run_recovery(&cfg);
+        assert!(run.answers_match(), "{run:?}");
+        assert!(run.wal_pages_at_crash > 1, "the WAL must hold the workload");
+        assert!(run.cold_open_seconds > 0.0 && run.rebuild_seconds > 0.0);
+        assert!(
+            run.cold_open_seconds < run.rebuild_seconds,
+            "cold open ({}) should beat a full rebuild ({})",
+            run.cold_open_seconds,
+            run.rebuild_seconds
+        );
+        // Checkpointing mid-build shrinks the WAL at the crash point.
+        let frequent = run_recovery(&RecoveryConfig {
+            checkpoint_every: 10,
+            ..cfg
+        });
+        assert!(frequent.answers_match());
+        assert!(frequent.wal_pages_at_crash < run.wal_pages_at_crash);
+        assert!(frequent.checkpoints_written > run.checkpoints_written);
+    }
+}

@@ -1,0 +1,1285 @@
+//! Durable forms of the engine's adaptive state.
+//!
+//! Everything the engine earns from the workload — octree shape, partition
+//! extents, the merge directory, the ingest logs, the planner's combination
+//! statistics — has two durable representations:
+//!
+//! * the [`EngineSnapshot`]: a full, bit-exact serialization written as the
+//!   manifest payload at every checkpoint ([`crate::SpaceOdyssey::checkpoint`]);
+//! * the [`MetaRecord`]: one write-ahead-log record per adaptive mutation,
+//!   appended *while the mutating lock is held*, so the WAL order equals the
+//!   order in which mutations became visible to other threads.
+//!
+//! Recovery ([`crate::SpaceOdyssey::open`]) decodes the snapshot, replays the
+//! WAL's valid record prefix over it ([`EngineSnapshot::apply`]) and
+//! truncates every data file to its committed length — the recovered engine
+//! then holds exactly the state a never-crashed engine would hold after the
+//! same prefix of operations (data pages are written *before* their metadata
+//! record, so every replayed record's pages are on disk; pages beyond the
+//! last record are orphans and are cut off).
+//!
+//! Records store resulting metadata (physical redo), not the operations
+//! themselves: replay never re-executes a split or merge, it just reinstates
+//! the partition table / merge directory entries the original execution
+//! produced, keeping recovery deterministic and I/O-free (only the ingested
+//! raw tails are re-read, to rebuild the in-memory ingest logs).
+//!
+//! Two classes of state recover *as of the last checkpoint* rather than the
+//! crash point, because logging them per occurrence would put a WAL append
+//! on read-mostly paths for no behavioural gain: LRU recency (the directory
+//! clock and per-file `last_used`, which only steer future eviction order)
+//! and the op-level observability counters `merges_performed` /
+//! `staleness_repairs` (one merge *operation* spans several records, so the
+//! op count is not reconstructible from records). Neither influences query
+//! answers.
+
+use crate::config::{MergeLevelPolicy, OdysseyConfig};
+use crate::merge_file::MergeRun;
+use crate::partition::{Partition, PartitionKey};
+use odyssey_geom::{Aabb, DatasetId, DatasetSet, Vec3};
+use odyssey_storage::codec::{Dec, Enc};
+use odyssey_storage::{
+    CostModel, DeviceProfile, FileId, RawDataset, StorageError, StorageManager, StorageResult,
+};
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(msg.into())
+}
+
+/// Serialized identity + layout of one partition (its bounds are a pure
+/// function of the key and the configured brain volume, so they are
+/// recomputed on restore rather than stored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMeta {
+    /// Identity of the partition in the shared subdivision.
+    pub key: PartitionKey,
+    /// First page of the main run.
+    pub page_start: u64,
+    /// Pages in the main run.
+    pub page_count: u64,
+    /// First page of the overflow run.
+    pub overflow_page_start: u64,
+    /// Pages in the overflow run.
+    pub overflow_page_count: u64,
+    /// Objects across both runs.
+    pub object_count: u64,
+}
+
+impl PartitionMeta {
+    /// Captures a live partition.
+    pub fn of(p: &Partition) -> Self {
+        PartitionMeta {
+            key: p.key,
+            page_start: p.page_start,
+            page_count: p.page_count,
+            overflow_page_start: p.overflow_page_start,
+            overflow_page_count: p.overflow_page_count,
+            object_count: p.object_count,
+        }
+    }
+
+    /// Rebuilds the live partition, recomputing its bounds from the config.
+    pub fn restore(&self, config: &OdysseyConfig) -> Partition {
+        let k = config.splits_per_dimension();
+        Partition {
+            key: self.key,
+            bounds: self.key.bounds(&config.bounds, k),
+            page_start: self.page_start,
+            page_count: self.page_count,
+            overflow_page_start: self.overflow_page_start,
+            overflow_page_count: self.overflow_page_count,
+            object_count: self.object_count,
+        }
+    }
+}
+
+fn enc_key(e: &mut Enc, key: &PartitionKey) {
+    e.u32(key.level);
+    e.u32(key.x);
+    e.u32(key.y);
+    e.u32(key.z);
+}
+
+fn dec_key(d: &mut Dec<'_>) -> StorageResult<PartitionKey> {
+    Ok(PartitionKey {
+        level: d.u32()?,
+        x: d.u32()?,
+        y: d.u32()?,
+        z: d.u32()?,
+    })
+}
+
+fn enc_vec3(e: &mut Enc, v: Vec3) {
+    e.f64(v.x);
+    e.f64(v.y);
+    e.f64(v.z);
+}
+
+fn dec_vec3(d: &mut Dec<'_>) -> StorageResult<Vec3> {
+    Ok(Vec3::new(d.f64()?, d.f64()?, d.f64()?))
+}
+
+fn enc_partition_meta(e: &mut Enc, m: &PartitionMeta) {
+    enc_key(e, &m.key);
+    e.u64(m.page_start);
+    e.u64(m.page_count);
+    e.u64(m.overflow_page_start);
+    e.u64(m.overflow_page_count);
+    e.u64(m.object_count);
+}
+
+fn dec_partition_meta(d: &mut Dec<'_>) -> StorageResult<PartitionMeta> {
+    Ok(PartitionMeta {
+        key: dec_key(d)?,
+        page_start: d.u64()?,
+        page_count: d.u64()?,
+        overflow_page_start: d.u64()?,
+        overflow_page_count: d.u64()?,
+        object_count: d.u64()?,
+    })
+}
+
+fn enc_metas(e: &mut Enc, metas: &[PartitionMeta]) {
+    e.len(metas.len());
+    for m in metas {
+        enc_partition_meta(e, m);
+    }
+}
+
+fn dec_metas(d: &mut Dec<'_>) -> StorageResult<Vec<PartitionMeta>> {
+    let n = d.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec_partition_meta(d)?);
+    }
+    Ok(out)
+}
+
+fn enc_run(e: &mut Enc, r: &MergeRun) {
+    e.u16(r.dataset.0);
+    e.u64(r.page_start);
+    e.u64(r.page_count);
+    e.u64(r.object_count);
+    e.u64(r.synced_seq);
+}
+
+fn dec_run(d: &mut Dec<'_>) -> StorageResult<MergeRun> {
+    Ok(MergeRun {
+        dataset: DatasetId(d.u16()?),
+        page_start: d.u64()?,
+        page_count: d.u64()?,
+        object_count: d.u64()?,
+        synced_seq: d.u64()?,
+    })
+}
+
+/// One metadata mutation, as logged to (and replayed from) the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaRecord {
+    /// First-touch partitioning of a dataset.
+    InitDataset {
+        /// The initialized dataset.
+        dataset: DatasetId,
+        /// Its freshly created partition file.
+        file: FileId,
+        /// Maximum object extent observed in the initial scan.
+        max_extent: Vec3,
+        /// The level-1 partition table.
+        partitions: Vec<PartitionMeta>,
+        /// Committed length of the partition file after the operation.
+        file_len: u64,
+    },
+    /// A partition split (query-driven refinement or ingest-triggered).
+    Refine {
+        /// The refined dataset.
+        dataset: DatasetId,
+        /// Key of the partition that was split away.
+        parent: PartitionKey,
+        /// The surviving children (empty children are skipped, as live).
+        children: Vec<PartitionMeta>,
+        /// Committed length of the partition file after the split.
+        file_len: u64,
+    },
+    /// An accepted ingest batch (raw append + octree routing).
+    Ingest {
+        /// The receiving dataset.
+        dataset: DatasetId,
+        /// Objects appended (advances the ingest sequence by this much).
+        count: u64,
+        /// Committed length of the raw file after the append.
+        raw_len: u64,
+        /// Partitions whose overflow run / object count changed.
+        updated: Vec<PartitionMeta>,
+        /// Partitions materialized for previously hole regions, in creation
+        /// order.
+        created: Vec<PartitionMeta>,
+        /// The dataset's max extent after the batch.
+        max_extent: Vec3,
+        /// Committed length of the partition file after the batch (absent
+        /// while the dataset is uninitialized).
+        part_file_len: Option<u64>,
+    },
+    /// Creation of an (empty) merge file for a combination.
+    MergeCreate {
+        /// The merged combination.
+        combination: DatasetSet,
+        /// The backing paged file.
+        file: FileId,
+    },
+    /// A new entry appended to a merge file.
+    MergeAppend {
+        /// The file's combination.
+        combination: DatasetSet,
+        /// The merged partition.
+        key: PartitionKey,
+        /// The entry's per-dataset runs, in written order.
+        runs: Vec<MergeRun>,
+        /// Committed length of the merge file after the append.
+        file_len: u64,
+    },
+    /// A staleness repair of one merge entry for one dataset.
+    MergeRepair {
+        /// The file's combination.
+        combination: DatasetSet,
+        /// The repaired entry.
+        key: PartitionKey,
+        /// The dataset whose tail was appended.
+        dataset: DatasetId,
+        /// The appended run (`None` when the tail missed the region and only
+        /// the recorded sequence advanced).
+        run: Option<MergeRun>,
+        /// The ingest sequence the entry is synced to afterwards.
+        synced_seq: u64,
+        /// Committed length of the merge file after the repair.
+        file_len: u64,
+    },
+    /// Budget eviction of a merge file.
+    MergeEvict {
+        /// The evicted combination.
+        combination: DatasetSet,
+    },
+    /// One query's contribution to the statistics collector.
+    QueryStats {
+        /// The queried combination.
+        combination: DatasetSet,
+        /// Partitions retrieved in the context of the combination.
+        retrieved: Vec<PartitionKey>,
+        /// Whether the query bypassed a stale merge file (replayed into the
+        /// engine's bypass counter, keeping it crash-exact).
+        stale_bypassed: bool,
+    },
+}
+
+const TAG_INIT: u8 = 1;
+const TAG_REFINE: u8 = 2;
+const TAG_INGEST: u8 = 3;
+const TAG_MERGE_CREATE: u8 = 4;
+const TAG_MERGE_APPEND: u8 = 5;
+const TAG_MERGE_REPAIR: u8 = 6;
+const TAG_MERGE_EVICT: u8 = 7;
+const TAG_QUERY_STATS: u8 = 8;
+
+impl MetaRecord {
+    /// Serializes the record for the WAL.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            MetaRecord::InitDataset {
+                dataset,
+                file,
+                max_extent,
+                partitions,
+                file_len,
+            } => {
+                e.u8(TAG_INIT);
+                e.u16(dataset.0);
+                e.u32(file.0);
+                enc_vec3(&mut e, *max_extent);
+                enc_metas(&mut e, partitions);
+                e.u64(*file_len);
+            }
+            MetaRecord::Refine {
+                dataset,
+                parent,
+                children,
+                file_len,
+            } => {
+                e.u8(TAG_REFINE);
+                e.u16(dataset.0);
+                enc_key(&mut e, parent);
+                enc_metas(&mut e, children);
+                e.u64(*file_len);
+            }
+            MetaRecord::Ingest {
+                dataset,
+                count,
+                raw_len,
+                updated,
+                created,
+                max_extent,
+                part_file_len,
+            } => {
+                e.u8(TAG_INGEST);
+                e.u16(dataset.0);
+                e.u64(*count);
+                e.u64(*raw_len);
+                enc_metas(&mut e, updated);
+                enc_metas(&mut e, created);
+                enc_vec3(&mut e, *max_extent);
+                e.opt_u64(*part_file_len);
+            }
+            MetaRecord::MergeCreate { combination, file } => {
+                e.u8(TAG_MERGE_CREATE);
+                e.u64(combination.0);
+                e.u32(file.0);
+            }
+            MetaRecord::MergeAppend {
+                combination,
+                key,
+                runs,
+                file_len,
+            } => {
+                e.u8(TAG_MERGE_APPEND);
+                e.u64(combination.0);
+                enc_key(&mut e, key);
+                e.len(runs.len());
+                for r in runs {
+                    enc_run(&mut e, r);
+                }
+                e.u64(*file_len);
+            }
+            MetaRecord::MergeRepair {
+                combination,
+                key,
+                dataset,
+                run,
+                synced_seq,
+                file_len,
+            } => {
+                e.u8(TAG_MERGE_REPAIR);
+                e.u64(combination.0);
+                enc_key(&mut e, key);
+                e.u16(dataset.0);
+                match run {
+                    Some(r) => {
+                        e.bool(true);
+                        enc_run(&mut e, r);
+                    }
+                    None => e.bool(false),
+                }
+                e.u64(*synced_seq);
+                e.u64(*file_len);
+            }
+            MetaRecord::MergeEvict { combination } => {
+                e.u8(TAG_MERGE_EVICT);
+                e.u64(combination.0);
+            }
+            MetaRecord::QueryStats {
+                combination,
+                retrieved,
+                stale_bypassed,
+            } => {
+                e.u8(TAG_QUERY_STATS);
+                e.u64(combination.0);
+                e.len(retrieved.len());
+                for k in retrieved {
+                    enc_key(&mut e, k);
+                }
+                e.bool(*stale_bypassed);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes one WAL record.
+    pub fn decode(bytes: &[u8]) -> StorageResult<MetaRecord> {
+        let mut d = Dec::new(bytes);
+        let record = match d.u8()? {
+            TAG_INIT => MetaRecord::InitDataset {
+                dataset: DatasetId(d.u16()?),
+                file: FileId(d.u32()?),
+                max_extent: dec_vec3(&mut d)?,
+                partitions: dec_metas(&mut d)?,
+                file_len: d.u64()?,
+            },
+            TAG_REFINE => MetaRecord::Refine {
+                dataset: DatasetId(d.u16()?),
+                parent: dec_key(&mut d)?,
+                children: dec_metas(&mut d)?,
+                file_len: d.u64()?,
+            },
+            TAG_INGEST => MetaRecord::Ingest {
+                dataset: DatasetId(d.u16()?),
+                count: d.u64()?,
+                raw_len: d.u64()?,
+                updated: dec_metas(&mut d)?,
+                created: dec_metas(&mut d)?,
+                max_extent: dec_vec3(&mut d)?,
+                part_file_len: d.opt_u64()?,
+            },
+            TAG_MERGE_CREATE => MetaRecord::MergeCreate {
+                combination: DatasetSet(d.u64()?),
+                file: FileId(d.u32()?),
+            },
+            TAG_MERGE_APPEND => {
+                let combination = DatasetSet(d.u64()?);
+                let key = dec_key(&mut d)?;
+                let n = d.len()?;
+                let mut runs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    runs.push(dec_run(&mut d)?);
+                }
+                MetaRecord::MergeAppend {
+                    combination,
+                    key,
+                    runs,
+                    file_len: d.u64()?,
+                }
+            }
+            TAG_MERGE_REPAIR => MetaRecord::MergeRepair {
+                combination: DatasetSet(d.u64()?),
+                key: dec_key(&mut d)?,
+                dataset: DatasetId(d.u16()?),
+                run: if d.bool()? {
+                    Some(dec_run(&mut d)?)
+                } else {
+                    None
+                },
+                synced_seq: d.u64()?,
+                file_len: d.u64()?,
+            },
+            TAG_MERGE_EVICT => MetaRecord::MergeEvict {
+                combination: DatasetSet(d.u64()?),
+            },
+            TAG_QUERY_STATS => {
+                let combination = DatasetSet(d.u64()?);
+                let n = d.len()?;
+                let mut retrieved = Vec::with_capacity(n);
+                for _ in 0..n {
+                    retrieved.push(dec_key(&mut d)?);
+                }
+                MetaRecord::QueryStats {
+                    combination,
+                    retrieved,
+                    stale_bypassed: d.bool()?,
+                }
+            }
+            tag => return Err(corrupt(format!("unknown WAL record tag {tag}"))),
+        };
+        d.finish()?;
+        Ok(record)
+    }
+}
+
+/// Logs one metadata record to the storage manager's WAL; a no-op on
+/// non-durable managers. Call sites hold the lock that guards the mutation
+/// they log, so WAL order equals visibility order.
+pub(crate) fn log(storage: &StorageManager, record: MetaRecord) -> StorageResult<()> {
+    if storage.wal_enabled() {
+        storage.log_meta(&record.encode())
+    } else {
+        Ok(())
+    }
+}
+
+/// Checkpointed state of one dataset's index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSnapshot {
+    /// Raw-file metadata (grows with ingestion).
+    pub raw: RawDataset,
+    /// Objects in the raw file at engine creation (everything after them is
+    /// the ingest log).
+    pub seed_objects: u64,
+    /// Pages those seed objects occupy; the ingest log's pages follow.
+    pub seed_pages: u64,
+    /// The partition file, once the dataset has been first-touched.
+    pub file: Option<FileId>,
+    /// Maximum object extent seen so far.
+    pub max_extent: Vec3,
+    /// The leaf partition table, in live order (order matters: it determines
+    /// read order and therefore answer assembly order).
+    pub partitions: Vec<PartitionMeta>,
+    /// Length of the ingest log (the dataset's ingest sequence number).
+    pub ingest_count: u64,
+    /// Refinement operations performed so far.
+    pub total_refinements: u64,
+}
+
+/// Checkpointed state of one merge file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeFileSnapshot {
+    /// The combination the file serves.
+    pub combination: DatasetSet,
+    /// The backing paged file.
+    pub file: FileId,
+    /// LRU recency stamp at checkpoint time.
+    pub last_used: u64,
+    /// The merged entries, sorted by key (the live directory's hash order is
+    /// not deterministic; sorting makes the snapshot bit-stable).
+    pub entries: Vec<(PartitionKey, Vec<MergeRun>)>,
+}
+
+/// Checkpointed state of the merger.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergerSnapshot {
+    /// Completed merge operations.
+    pub merges_performed: u64,
+    /// Completed staleness repairs.
+    pub staleness_repairs: u64,
+    /// The directory's LRU clock.
+    pub clock: u64,
+    /// Files evicted so far.
+    pub evictions: u64,
+    /// The live merge files, in directory order.
+    pub files: Vec<MergeFileSnapshot>,
+}
+
+/// Checkpointed statistics of one combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComboSnapshot {
+    /// The combination.
+    pub combination: DatasetSet,
+    /// Queries recorded for it.
+    pub count: u64,
+    /// Partitions retrieved in its context (sorted).
+    pub retrieved: Vec<PartitionKey>,
+}
+
+/// The complete durable image of an engine: the manifest payload written at
+/// every checkpoint, and the in-memory state WAL replay reconstructs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// The engine configuration (restored verbatim on open, so an opened
+    /// engine always runs with the configuration that shaped its state).
+    pub config: OdysseyConfig,
+    /// Queries executed so far.
+    pub queries_executed: u64,
+    /// Ingest calls accepted so far.
+    pub ingests_performed: u64,
+    /// Stale-merge bypasses so far.
+    pub stale_bypasses: u64,
+    /// Per-dataset state, in engine order.
+    pub datasets: Vec<DatasetSnapshot>,
+    /// Merger + merge directory state.
+    pub merger: MergerSnapshot,
+    /// Statistics collector state, sorted by combination.
+    pub stats: Vec<ComboSnapshot>,
+}
+
+const SNAPSHOT_MAGIC: u32 = 0x534F_534E; // "SOSN"
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
+    enc_vec3(e, c.bounds.min);
+    enc_vec3(e, c.bounds.max);
+    e.f64(c.refinement_threshold);
+    e.u64(c.partitions_per_level as u64);
+    e.u64(c.merge_threshold);
+    e.u64(c.min_merge_combination_size as u64);
+    e.bool(c.merge_enabled);
+    e.opt_u64(c.merge_space_budget_pages);
+    e.u8(match c.merge_level_policy {
+        MergeLevelPolicy::SameLevelOnly => 0,
+        MergeLevelPolicy::RefineToFinest => 1,
+    });
+    e.u64(c.min_objects_to_refine as u64);
+    e.u32(c.max_refinement_level);
+    e.u64(c.ingest_split_objects);
+    e.bool(c.planner_enabled);
+    match c.device_profile {
+        DeviceProfile::Nvme => e.u8(0),
+        DeviceProfile::Hdd => e.u8(1),
+        DeviceProfile::Custom(m) => {
+            e.u8(2);
+            e.f64(m.seek_seconds);
+            e.f64(m.transfer_bytes_per_second);
+            e.f64(m.cpu_seconds_per_object_scanned);
+            e.f64(m.cpu_seconds_per_object_written);
+            e.f64(m.buffer_hit_seconds);
+        }
+    }
+}
+
+fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
+    let min = dec_vec3(d)?;
+    let max = dec_vec3(d)?;
+    Ok(OdysseyConfig {
+        bounds: Aabb::from_min_max(min, max),
+        refinement_threshold: d.f64()?,
+        partitions_per_level: d.u64()? as usize,
+        merge_threshold: d.u64()?,
+        min_merge_combination_size: d.u64()? as usize,
+        merge_enabled: d.bool()?,
+        merge_space_budget_pages: d.opt_u64()?,
+        merge_level_policy: match d.u8()? {
+            0 => MergeLevelPolicy::SameLevelOnly,
+            1 => MergeLevelPolicy::RefineToFinest,
+            t => return Err(corrupt(format!("unknown merge level policy {t}"))),
+        },
+        min_objects_to_refine: d.u64()? as usize,
+        max_refinement_level: d.u32()?,
+        ingest_split_objects: d.u64()?,
+        planner_enabled: d.bool()?,
+        device_profile: match d.u8()? {
+            0 => DeviceProfile::Nvme,
+            1 => DeviceProfile::Hdd,
+            2 => DeviceProfile::Custom(CostModel {
+                seek_seconds: d.f64()?,
+                transfer_bytes_per_second: d.f64()?,
+                cpu_seconds_per_object_scanned: d.f64()?,
+                cpu_seconds_per_object_written: d.f64()?,
+                buffer_hit_seconds: d.f64()?,
+            }),
+            t => return Err(corrupt(format!("unknown device profile tag {t}"))),
+        },
+    })
+}
+
+impl EngineSnapshot {
+    /// Serializes the snapshot as the manifest payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(SNAPSHOT_MAGIC);
+        e.u32(SNAPSHOT_VERSION);
+        enc_config(&mut e, &self.config);
+        e.u64(self.queries_executed);
+        e.u64(self.ingests_performed);
+        e.u64(self.stale_bypasses);
+        e.len(self.datasets.len());
+        for ds in &self.datasets {
+            e.u16(ds.raw.dataset.0);
+            e.u32(ds.raw.file.0);
+            e.u64(ds.raw.page_range.0);
+            e.u64(ds.raw.page_range.1);
+            e.u64(ds.raw.num_objects);
+            e.u64(ds.seed_objects);
+            e.u64(ds.seed_pages);
+            match ds.file {
+                Some(f) => {
+                    e.bool(true);
+                    e.u32(f.0);
+                }
+                None => e.bool(false),
+            }
+            enc_vec3(&mut e, ds.max_extent);
+            enc_metas(&mut e, &ds.partitions);
+            e.u64(ds.ingest_count);
+            e.u64(ds.total_refinements);
+        }
+        e.u64(self.merger.merges_performed);
+        e.u64(self.merger.staleness_repairs);
+        e.u64(self.merger.clock);
+        e.u64(self.merger.evictions);
+        e.len(self.merger.files.len());
+        for f in &self.merger.files {
+            e.u64(f.combination.0);
+            e.u32(f.file.0);
+            e.u64(f.last_used);
+            e.len(f.entries.len());
+            for (key, runs) in &f.entries {
+                enc_key(&mut e, key);
+                e.len(runs.len());
+                for r in runs {
+                    enc_run(&mut e, r);
+                }
+            }
+        }
+        e.len(self.stats.len());
+        for c in &self.stats {
+            e.u64(c.combination.0);
+            e.u64(c.count);
+            e.len(c.retrieved.len());
+            for k in &c.retrieved {
+                enc_key(&mut e, k);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a manifest payload.
+    pub fn decode(bytes: &[u8]) -> StorageResult<EngineSnapshot> {
+        let mut d = Dec::new(bytes);
+        if d.u32()? != SNAPSHOT_MAGIC {
+            return Err(corrupt("engine snapshot: bad magic"));
+        }
+        let version = d.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt(format!(
+                "engine snapshot: unsupported version {version}"
+            )));
+        }
+        let config = dec_config(&mut d)?;
+        let queries_executed = d.u64()?;
+        let ingests_performed = d.u64()?;
+        let stale_bypasses = d.u64()?;
+        let n = d.len()?;
+        let mut datasets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dataset = DatasetId(d.u16()?);
+            let raw = RawDataset {
+                dataset,
+                file: FileId(d.u32()?),
+                page_range: (d.u64()?, d.u64()?),
+                num_objects: d.u64()?,
+            };
+            datasets.push(DatasetSnapshot {
+                raw,
+                seed_objects: d.u64()?,
+                seed_pages: d.u64()?,
+                file: if d.bool()? {
+                    Some(FileId(d.u32()?))
+                } else {
+                    None
+                },
+                max_extent: dec_vec3(&mut d)?,
+                partitions: dec_metas(&mut d)?,
+                ingest_count: d.u64()?,
+                total_refinements: d.u64()?,
+            });
+        }
+        let mut merger = MergerSnapshot {
+            merges_performed: d.u64()?,
+            staleness_repairs: d.u64()?,
+            clock: d.u64()?,
+            evictions: d.u64()?,
+            files: Vec::new(),
+        };
+        let n = d.len()?;
+        for _ in 0..n {
+            let combination = DatasetSet(d.u64()?);
+            let file = FileId(d.u32()?);
+            let last_used = d.u64()?;
+            let entry_count = d.len()?;
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let key = dec_key(&mut d)?;
+                let run_count = d.len()?;
+                let mut runs = Vec::with_capacity(run_count);
+                for _ in 0..run_count {
+                    runs.push(dec_run(&mut d)?);
+                }
+                entries.push((key, runs));
+            }
+            merger.files.push(MergeFileSnapshot {
+                combination,
+                file,
+                last_used,
+                entries,
+            });
+        }
+        let n = d.len()?;
+        let mut stats = Vec::with_capacity(n);
+        for _ in 0..n {
+            let combination = DatasetSet(d.u64()?);
+            let count = d.u64()?;
+            let key_count = d.len()?;
+            let mut retrieved = Vec::with_capacity(key_count);
+            for _ in 0..key_count {
+                retrieved.push(dec_key(&mut d)?);
+            }
+            stats.push(ComboSnapshot {
+                combination,
+                count,
+                retrieved,
+            });
+        }
+        d.finish()?;
+        Ok(EngineSnapshot {
+            config,
+            queries_executed,
+            ingests_performed,
+            stale_bypasses,
+            datasets,
+            merger,
+            stats,
+        })
+    }
+
+    fn dataset_mut(&mut self, id: DatasetId) -> StorageResult<&mut DatasetSnapshot> {
+        self.datasets
+            .iter_mut()
+            .find(|d| d.raw.dataset == id)
+            .ok_or_else(|| corrupt(format!("WAL references unknown dataset {id}")))
+    }
+
+    fn merge_file_mut(&mut self, combination: DatasetSet) -> StorageResult<&mut MergeFileSnapshot> {
+        self.merger
+            .files
+            .iter_mut()
+            .find(|f| f.combination == combination)
+            .ok_or_else(|| corrupt(format!("WAL references unknown merge file {combination}")))
+    }
+
+    /// Applies one replayed WAL record, updating the committed length map
+    /// (`file_lens`, indexed by file id) as a side effect. The mutations
+    /// mirror the live operations exactly — including `swap_remove` + push
+    /// ordering — so the recovered partition-table and directory orders are
+    /// identical to a never-crashed engine's.
+    pub fn apply(&mut self, record: &MetaRecord, file_lens: &mut Vec<u64>) -> StorageResult<()> {
+        let set_len = |file_lens: &mut Vec<u64>, file: FileId, len: u64| {
+            if file_lens.len() <= file.index() {
+                file_lens.resize(file.index() + 1, 0);
+            }
+            file_lens[file.index()] = len;
+        };
+        match record {
+            MetaRecord::InitDataset {
+                dataset,
+                file,
+                max_extent,
+                partitions,
+                file_len,
+            } => {
+                let ds = self.dataset_mut(*dataset)?;
+                ds.file = Some(*file);
+                ds.max_extent = *max_extent;
+                ds.partitions = partitions.clone();
+                set_len(file_lens, *file, *file_len);
+            }
+            MetaRecord::Refine {
+                dataset,
+                parent,
+                children,
+                file_len,
+            } => {
+                let ds = self.dataset_mut(*dataset)?;
+                let idx = ds
+                    .partitions
+                    .iter()
+                    .position(|p| p.key == *parent)
+                    .ok_or_else(|| corrupt(format!("refine of unknown partition {parent:?}")))?;
+                ds.partitions.swap_remove(idx);
+                ds.partitions.extend(children.iter().copied());
+                ds.total_refinements += 1;
+                let file = ds
+                    .file
+                    .ok_or_else(|| corrupt("refine of an uninitialized dataset"))?;
+                set_len(file_lens, file, *file_len);
+            }
+            MetaRecord::Ingest {
+                dataset,
+                count,
+                raw_len,
+                updated,
+                created,
+                max_extent,
+                part_file_len,
+            } => {
+                let ds = self.dataset_mut(*dataset)?;
+                ds.raw.page_range.1 = *raw_len;
+                ds.raw.num_objects += count;
+                ds.ingest_count += count;
+                ds.max_extent = *max_extent;
+                for meta in created {
+                    ds.partitions.push(*meta);
+                }
+                for meta in updated {
+                    let slot = ds
+                        .partitions
+                        .iter_mut()
+                        .find(|p| p.key == meta.key)
+                        .ok_or_else(|| {
+                            corrupt(format!("ingest update of unknown partition {:?}", meta.key))
+                        })?;
+                    *slot = *meta;
+                }
+                let raw_file = ds.raw.file;
+                let part_file = ds.file;
+                set_len(file_lens, raw_file, *raw_len);
+                if let (Some(file), Some(len)) = (part_file, part_file_len) {
+                    set_len(file_lens, file, *len);
+                }
+                self.ingests_performed += 1;
+            }
+            MetaRecord::MergeCreate { combination, file } => {
+                // Mirrors MergeDirectory::insert: advance the clock, stamp
+                // the new file with it. (Routing's clock ticks are not
+                // logged, so recovered recency is approximate — it only
+                // influences future LRU eviction order, never answers.)
+                self.merger.clock += 1;
+                self.merger.files.push(MergeFileSnapshot {
+                    combination: *combination,
+                    file: *file,
+                    last_used: self.merger.clock,
+                    entries: Vec::new(),
+                });
+            }
+            MetaRecord::MergeAppend {
+                combination,
+                key,
+                runs,
+                file_len,
+            } => {
+                let f = self.merge_file_mut(*combination)?;
+                if !f.entries.iter().any(|(k, _)| k == key) {
+                    f.entries.push((*key, runs.clone()));
+                }
+                let file = f.file;
+                set_len(file_lens, file, *file_len);
+            }
+            MetaRecord::MergeRepair {
+                combination,
+                key,
+                dataset,
+                run,
+                synced_seq,
+                file_len,
+            } => {
+                let f = self.merge_file_mut(*combination)?;
+                let file = f.file;
+                let Some((_, runs)) = f.entries.iter_mut().find(|(k, _)| k == key) else {
+                    return Err(corrupt(format!("repair of unknown merge entry {key:?}")));
+                };
+                match run {
+                    Some(r) => runs.push(*r),
+                    None => {
+                        if let Some(r) = runs
+                            .iter_mut()
+                            .filter(|r| r.dataset == *dataset)
+                            .max_by_key(|r| r.synced_seq)
+                        {
+                            r.synced_seq = r.synced_seq.max(*synced_seq);
+                        }
+                    }
+                }
+                set_len(file_lens, file, *file_len);
+            }
+            MetaRecord::MergeEvict { combination } => {
+                let idx = self
+                    .merger
+                    .files
+                    .iter()
+                    .position(|f| f.combination == *combination)
+                    .ok_or_else(|| corrupt(format!("eviction of unknown file {combination}")))?;
+                self.merger.files.swap_remove(idx);
+                self.merger.evictions += 1;
+            }
+            MetaRecord::QueryStats {
+                combination,
+                retrieved,
+                stale_bypassed,
+            } => {
+                if *stale_bypassed {
+                    self.stale_bypasses += 1;
+                }
+                match self
+                    .stats
+                    .iter_mut()
+                    .find(|c| c.combination == *combination)
+                {
+                    Some(c) => {
+                        c.count += 1;
+                        for k in retrieved {
+                            if !c.retrieved.contains(k) {
+                                c.retrieved.push(*k);
+                            }
+                        }
+                        c.retrieved.sort_unstable();
+                    }
+                    None => {
+                        let mut keys = retrieved.clone();
+                        keys.sort_unstable();
+                        keys.dedup();
+                        self.stats.push(ComboSnapshot {
+                            combination: *combination,
+                            count: 1,
+                            retrieved: keys,
+                        });
+                    }
+                }
+                self.queries_executed += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(level: u32, x: u32) -> PartitionKey {
+        PartitionKey {
+            level,
+            x,
+            y: 0,
+            z: 0,
+        }
+    }
+
+    fn meta(level: u32, x: u32, start: u64) -> PartitionMeta {
+        PartitionMeta {
+            key: key(level, x),
+            page_start: start,
+            page_count: 3,
+            overflow_page_start: 0,
+            overflow_page_count: 0,
+            object_count: 42,
+        }
+    }
+
+    fn run(ds: u16, seq: u64) -> MergeRun {
+        MergeRun {
+            dataset: DatasetId(ds),
+            page_start: 5,
+            page_count: 2,
+            object_count: 9,
+            synced_seq: seq,
+        }
+    }
+
+    fn combo(ids: &[u16]) -> DatasetSet {
+        DatasetSet::from_ids(ids.iter().map(|&i| DatasetId(i)))
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            MetaRecord::InitDataset {
+                dataset: DatasetId(3),
+                file: FileId(7),
+                max_extent: Vec3::new(0.25, -1.5, 1e-12),
+                partitions: vec![meta(1, 0, 0), meta(1, 1, 3)],
+                file_len: 6,
+            },
+            MetaRecord::Refine {
+                dataset: DatasetId(0),
+                parent: key(1, 1),
+                children: vec![meta(2, 4, 3), meta(2, 5, 20)],
+                file_len: 23,
+            },
+            MetaRecord::Ingest {
+                dataset: DatasetId(1),
+                count: 50,
+                raw_len: 9,
+                updated: vec![meta(2, 4, 3)],
+                created: vec![meta(3, 9, 30)],
+                max_extent: Vec3::splat(0.5),
+                part_file_len: Some(33),
+            },
+            MetaRecord::Ingest {
+                dataset: DatasetId(1),
+                count: 1,
+                raw_len: 10,
+                updated: vec![],
+                created: vec![],
+                max_extent: Vec3::ZERO,
+                part_file_len: None,
+            },
+            MetaRecord::MergeCreate {
+                combination: combo(&[0, 1, 2]),
+                file: FileId(9),
+            },
+            MetaRecord::MergeAppend {
+                combination: combo(&[0, 1, 2]),
+                key: key(2, 4),
+                runs: vec![run(0, 0), run(1, 50)],
+                file_len: 4,
+            },
+            MetaRecord::MergeRepair {
+                combination: combo(&[0, 1, 2]),
+                key: key(2, 4),
+                dataset: DatasetId(1),
+                run: Some(run(1, 51)),
+                synced_seq: 51,
+                file_len: 6,
+            },
+            MetaRecord::MergeRepair {
+                combination: combo(&[0, 1, 2]),
+                key: key(2, 4),
+                dataset: DatasetId(0),
+                run: None,
+                synced_seq: 12,
+                file_len: 6,
+            },
+            MetaRecord::MergeEvict {
+                combination: combo(&[0, 1, 2]),
+            },
+            MetaRecord::QueryStats {
+                combination: combo(&[1, 2]),
+                retrieved: vec![key(2, 4), key(2, 5)],
+                stale_bypassed: true,
+            },
+        ];
+        for r in &records {
+            let bytes = r.encode();
+            assert_eq!(&MetaRecord::decode(&bytes).unwrap(), r);
+        }
+        assert!(MetaRecord::decode(&[99]).is_err());
+        assert!(MetaRecord::decode(&records[0].encode()[..5]).is_err());
+        let mut extra = records[0].encode();
+        extra.push(0);
+        assert!(MetaRecord::decode(&extra).is_err(), "trailing bytes");
+    }
+
+    fn sample_snapshot() -> EngineSnapshot {
+        EngineSnapshot {
+            config: OdysseyConfig::default(),
+            queries_executed: 11,
+            ingests_performed: 2,
+            stale_bypasses: 1,
+            datasets: vec![DatasetSnapshot {
+                raw: RawDataset {
+                    dataset: DatasetId(0),
+                    file: FileId(0),
+                    page_range: (0, 4),
+                    num_objects: 200,
+                },
+                seed_objects: 150,
+                seed_pages: 3,
+                file: Some(FileId(1)),
+                max_extent: Vec3::new(0.5, 0.25, 0.125),
+                partitions: vec![meta(1, 0, 0), meta(2, 5, 3)],
+                ingest_count: 50,
+                total_refinements: 2,
+            }],
+            merger: MergerSnapshot {
+                merges_performed: 1,
+                staleness_repairs: 0,
+                clock: 4,
+                evictions: 0,
+                files: vec![MergeFileSnapshot {
+                    combination: combo(&[0, 1, 2]),
+                    file: FileId(2),
+                    last_used: 3,
+                    entries: vec![(key(2, 5), vec![run(0, 50), run(1, 0)])],
+                }],
+            },
+            stats: vec![ComboSnapshot {
+                combination: combo(&[0, 1, 2]),
+                count: 5,
+                retrieved: vec![key(2, 5)],
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = EngineSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes, "re-encoding is stable");
+        assert!(EngineSnapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(EngineSnapshot::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn apply_replays_mutations_and_tracks_lengths() {
+        let mut snap = sample_snapshot();
+        let mut lens = vec![4u64, 10, 4];
+        // A refine replaces a partition in swap_remove order.
+        snap.apply(
+            &MetaRecord::Refine {
+                dataset: DatasetId(0),
+                parent: key(1, 0),
+                children: vec![meta(2, 0, 0), meta(2, 1, 12)],
+                file_len: 15,
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert_eq!(
+            snap.datasets[0]
+                .partitions
+                .iter()
+                .map(|p| p.key)
+                .collect::<Vec<_>>(),
+            vec![key(2, 5), key(2, 0), key(2, 1)],
+            "swap_remove + extend order must match the live engine"
+        );
+        assert_eq!(lens[1], 15);
+        // An ingest advances raw metadata and the sequence.
+        snap.apply(
+            &MetaRecord::Ingest {
+                dataset: DatasetId(0),
+                count: 10,
+                raw_len: 5,
+                updated: vec![PartitionMeta {
+                    object_count: 52,
+                    ..meta(2, 5, 3)
+                }],
+                created: vec![],
+                max_extent: Vec3::splat(1.0),
+                part_file_len: Some(16),
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert_eq!(snap.datasets[0].ingest_count, 60);
+        assert_eq!(snap.datasets[0].raw.num_objects, 210);
+        assert_eq!(snap.datasets[0].partitions[0].object_count, 52);
+        assert_eq!((lens[0], lens[1]), (5, 16));
+        // Merge repair with an empty tail advances the recorded sequence.
+        snap.apply(
+            &MetaRecord::MergeRepair {
+                combination: combo(&[0, 1, 2]),
+                key: key(2, 5),
+                dataset: DatasetId(0),
+                run: None,
+                synced_seq: 60,
+                file_len: 4,
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert_eq!(snap.merger.files[0].entries[0].1[0].synced_seq, 60);
+        // Eviction removes the file; stats replay counts the query.
+        snap.apply(
+            &MetaRecord::MergeEvict {
+                combination: combo(&[0, 1, 2]),
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert!(snap.merger.files.is_empty());
+        assert_eq!(snap.merger.evictions, 1);
+        snap.apply(
+            &MetaRecord::QueryStats {
+                combination: combo(&[0, 1]),
+                retrieved: vec![key(2, 0)],
+                stale_bypassed: true,
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert_eq!(snap.queries_executed, 12);
+        assert_eq!(
+            snap.stale_bypasses, 2,
+            "bypass flags replay into the counter"
+        );
+        assert_eq!(snap.stats.len(), 2);
+        // Records referencing unknown entities are corruption.
+        assert!(snap
+            .apply(
+                &MetaRecord::Refine {
+                    dataset: DatasetId(9),
+                    parent: key(1, 0),
+                    children: vec![],
+                    file_len: 0,
+                },
+                &mut lens,
+            )
+            .is_err());
+        // A merge create followed by an append lands on the new file.
+        snap.apply(
+            &MetaRecord::MergeCreate {
+                combination: combo(&[0, 1, 3]),
+                file: FileId(5),
+            },
+            &mut lens,
+        )
+        .unwrap();
+        snap.apply(
+            &MetaRecord::MergeAppend {
+                combination: combo(&[0, 1, 3]),
+                key: key(2, 1),
+                runs: vec![run(0, 60)],
+                file_len: 2,
+            },
+            &mut lens,
+        )
+        .unwrap();
+        assert_eq!(lens, vec![5, 16, 4, 0, 0, 2]);
+    }
+}

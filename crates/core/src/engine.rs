@@ -54,7 +54,11 @@
 //! answers are a pure function of the data and the query).
 
 use crate::config::OdysseyConfig;
-use crate::merger::{Merger, RouteKind};
+use crate::durability::{
+    self, ComboSnapshot, EngineSnapshot, MergeFileSnapshot, MergerSnapshot, MetaRecord,
+};
+use crate::merge_file::{MergeEntry, MergeFile};
+use crate::merger::{MergeDirectory, Merger, RouteKind};
 use crate::octree::{DatasetIndex, IngestStats};
 use crate::partition::PartitionKey;
 use crate::planner::{AccessPath, PlanChoice, Planner};
@@ -62,7 +66,9 @@ use crate::stats::StatsCollector;
 use odyssey_geom::{
     knn_key_cmp, DatasetId, DatasetSet, KnnQuery, Query, RangeQuery, SpatialObject,
 };
-use odyssey_storage::{RawDataset, StorageManager, StorageResult};
+use odyssey_storage::{
+    FileId, RawDataset, RecoveredState, StorageError, StorageManager, StorageResult,
+};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
@@ -210,6 +216,186 @@ impl SpaceOdyssey {
         })
     }
 
+    /// Creates an engine over `raws` on a **durable** storage manager
+    /// (built with `StorageManager::create`) and writes the initial
+    /// checkpoint, which is what makes the store's directory openable later
+    /// with [`SpaceOdyssey::open`]. Use this instead of
+    /// [`SpaceOdyssey::new`] whenever the storage is durable — mutations
+    /// logged before the first checkpoint would otherwise have no manifest
+    /// to replay over.
+    pub fn create(
+        config: OdysseyConfig,
+        raws: Vec<RawDataset>,
+        storage: &StorageManager,
+    ) -> StorageResult<Self> {
+        let engine = SpaceOdyssey::new(config, raws).map_err(StorageError::Corrupt)?;
+        engine.checkpoint(storage)?;
+        Ok(engine)
+    }
+
+    /// Reopens the engine persisted in a durable store: decodes the
+    /// checkpointed [`EngineSnapshot`] from the manifest payload, replays
+    /// the WAL's valid record prefix over it, truncates every data file to
+    /// its committed length (cutting orphaned appends a crash may have left)
+    /// and rebuilds the in-memory ingest logs from the raw files' tails.
+    ///
+    /// Seed data is **not** re-scanned: an opened engine resumes from the
+    /// recovered adaptive state — octree shape, merge directory, ingest
+    /// logs, statistics — and answers queries exactly like an engine that
+    /// never shut down after the same operations. A fresh checkpoint is
+    /// written at the end, collapsing the replayed WAL.
+    pub fn open(storage: &StorageManager, recovered: RecoveredState) -> StorageResult<Self> {
+        let mut snap = EngineSnapshot::decode(&recovered.payload)?;
+        let mut lens = recovered.file_pages.clone();
+        for bytes in &recovered.wal_records {
+            snap.apply(&MetaRecord::decode(bytes)?, &mut lens)?;
+        }
+        snap.config.validate().map_err(StorageError::Corrupt)?;
+
+        // Cut every file back to its committed length. Files no surviving
+        // metadata references (created right before the crash) go to zero;
+        // they keep their id slot but hold no data.
+        for id in 0..storage.file_count() {
+            let len = lens.get(id).copied().unwrap_or(0);
+            storage.truncate_file(FileId(id as u32), len)?;
+        }
+
+        // Rebuild the per-dataset ingest logs by re-reading the raw tails
+        // (each committed ingest batch occupies its own pages after the
+        // seed, so the tail pages hold exactly the logged objects).
+        let mut datasets = Vec::with_capacity(snap.datasets.len());
+        for ds in &snap.datasets {
+            let log = if ds.ingest_count > 0 {
+                let objects =
+                    storage.read_objects(ds.raw.file, ds.seed_pages..ds.raw.page_range.1)?;
+                if objects.len() as u64 != ds.ingest_count {
+                    return Err(StorageError::Corrupt(format!(
+                        "dataset {}: raw tail holds {} objects but the ingest log \
+                         committed {}",
+                        ds.raw.dataset,
+                        objects.len(),
+                        ds.ingest_count
+                    )));
+                }
+                objects
+            } else {
+                Vec::new()
+            };
+            datasets.push(DatasetIndex::restore(&snap.config, ds, log));
+        }
+
+        let files: Vec<MergeFile> = snap
+            .merger
+            .files
+            .iter()
+            .map(|f| {
+                MergeFile::restore(
+                    f.combination,
+                    f.file,
+                    f.entries.iter().map(|(key, runs)| MergeEntry {
+                        key: *key,
+                        runs: runs.clone(),
+                    }),
+                    f.last_used,
+                )
+            })
+            .collect();
+        let directory = MergeDirectory::restore(files, snap.merger.clock, snap.merger.evictions);
+        let merger = Merger::restore(
+            directory,
+            snap.merger.merges_performed,
+            snap.merger.staleness_repairs,
+        );
+        let mut stats = StatsCollector::new();
+        for c in &snap.stats {
+            stats.restore_combo(c.combination, c.count, c.retrieved.iter().copied());
+        }
+
+        let engine = SpaceOdyssey {
+            config: snap.config,
+            datasets,
+            stats: RwLock::new(stats),
+            merger: RwLock::new(merger),
+            queries_executed: AtomicU64::new(snap.queries_executed),
+            ingests_performed: AtomicU64::new(snap.ingests_performed),
+            stale_bypasses: AtomicU64::new(snap.stale_bypasses),
+        };
+        // Collapse the replayed records into a fresh checkpoint so the WAL
+        // stays bounded across repeated crash/reopen cycles.
+        engine.checkpoint(storage)?;
+        Ok(engine)
+    }
+
+    /// Captures the engine's complete durable state. Also the checkpoint
+    /// payload; exposed so tests and tools can compare recovered state
+    /// deeply against a live engine's.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let datasets = self.datasets.iter().map(|d| d.snapshot()).collect();
+        let merger_snapshot = {
+            let merger = self.merger.read().unwrap();
+            let dir = merger.directory();
+            MergerSnapshot {
+                merges_performed: merger.merges_performed(),
+                staleness_repairs: merger.staleness_repairs(),
+                clock: dir.clock(),
+                evictions: dir.evictions(),
+                files: dir
+                    .iter()
+                    .map(|f| MergeFileSnapshot {
+                        combination: f.combination,
+                        file: f.file_id(),
+                        last_used: f.last_used(),
+                        entries: f
+                            .entries_sorted()
+                            .into_iter()
+                            .map(|e| (e.key, e.runs.clone()))
+                            .collect(),
+                    })
+                    .collect(),
+            }
+        };
+        let mut stats: Vec<ComboSnapshot> = self
+            .stats
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(set, combo)| ComboSnapshot {
+                combination: *set,
+                count: combo.count,
+                retrieved: combo.retrieved.iter().copied().collect(),
+            })
+            .collect();
+        stats.sort_by_key(|c| c.combination.0);
+        EngineSnapshot {
+            config: self.config,
+            queries_executed: self.queries_executed.load(Ordering::Relaxed),
+            ingests_performed: self.ingests_performed.load(Ordering::Relaxed),
+            stale_bypasses: self.stale_bypasses.load(Ordering::Relaxed),
+            datasets,
+            merger: merger_snapshot,
+            stats,
+        }
+    }
+
+    /// Writes a checkpoint: the full engine snapshot becomes the new
+    /// manifest (committed atomically by the storage layer) and the WAL is
+    /// reset. Requires a durable storage manager.
+    ///
+    /// Call from a quiescent point — no queries or ingests may be executing
+    /// concurrently, or the snapshot could miss a mutation whose WAL record
+    /// the reset then discards. (The batch entry points return before their
+    /// last operation's locks are released, so "after a batch" is safe.)
+    pub fn checkpoint(&self, storage: &StorageManager) -> StorageResult<()> {
+        storage.checkpoint(&self.snapshot().encode())
+    }
+
+    /// Clean shutdown: checkpoint and consume the engine. A dropped engine
+    /// that skips `close` loses nothing — the WAL replays on the next open —
+    /// but closing makes the subsequent open cheaper (no replay).
+    pub fn close(self, storage: &StorageManager) -> StorageResult<()> {
+        self.checkpoint(storage)
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &OdysseyConfig {
         &self.config
@@ -244,7 +430,9 @@ impl SpaceOdyssey {
         self.queries_executed.load(Ordering::Relaxed)
     }
 
-    /// Number of ingest calls accepted so far.
+    /// Number of non-empty ingest batches accepted so far (empty batches and
+    /// unknown-dataset no-ops are not counted — this counter mirrors the WAL
+    /// exactly, so it survives crash recovery unchanged).
     pub fn ingests_performed(&self) -> u64 {
         self.ingests_performed.load(Ordering::Relaxed)
     }
@@ -520,11 +708,21 @@ impl SpaceOdyssey {
         // Phase 4: statistics and merging. Scan-answered datasets contribute
         // no partition keys, so a combination only ever answered by scans
         // accumulates counts but never candidates — the empty-candidate guard
-        // below keeps it from creating empty merge files.
-        self.stats
-            .write()
-            .unwrap()
-            .record(combination, &retrieved_union);
+        // below keeps it from creating empty merge files. The WAL record is
+        // appended under the stats lock, so recovered statistics count
+        // exactly the queries a never-crashed engine would have counted.
+        {
+            let mut stats = self.stats.write().unwrap();
+            stats.record(combination, &retrieved_union);
+            durability::log(
+                storage,
+                MetaRecord::QueryStats {
+                    combination,
+                    retrieved: retrieved_union,
+                    stale_bypassed,
+                },
+            )?;
+        }
         let mut merge_performed = false;
         let should_merge = {
             let merger = self.merger.read().unwrap();
@@ -612,7 +810,18 @@ impl SpaceOdyssey {
         // Count the combination for the statistics; no partition keys are
         // recorded — the kNN path reads partitions directly and never
         // benefits from merge files.
-        self.stats.write().unwrap().record(combination, &[]);
+        {
+            let mut stats = self.stats.write().unwrap();
+            stats.record(combination, &[]);
+            durability::log(
+                storage,
+                MetaRecord::QueryStats {
+                    combination,
+                    retrieved: Vec::new(),
+                    stale_bypassed: false,
+                },
+            )?;
+        }
         let objects: Vec<SpatialObject> = best.into_iter().map(|(_, o)| o).collect();
         Ok(QueryOutcome {
             count: objects.len() as u64,
@@ -648,7 +857,6 @@ impl SpaceOdyssey {
         dataset: DatasetId,
         objects: &[SpatialObject],
     ) -> StorageResult<IngestOutcome> {
-        self.ingests_performed.fetch_add(1, Ordering::Relaxed);
         let mut outcome = IngestOutcome {
             dataset,
             objects_ingested: 0,
@@ -670,6 +878,10 @@ impl SpaceOdyssey {
         outcome.partitions_split = stats.partitions_split;
         outcome.partitions_created = stats.partitions_created;
         if stats.objects_ingested > 0 {
+            // Count accepted non-empty batches only — exactly the batches
+            // that produce a WAL record, so a recovered engine's counter
+            // matches a never-crashed one's.
+            self.ingests_performed.fetch_add(1, Ordering::Relaxed);
             let merger = self.merger.read().unwrap();
             outcome.merge_files_stale = merger
                 .directory()

@@ -21,14 +21,22 @@
 //!   I/O statistics;
 //! * the **Query Processor** ([`engine`]) executes any of the four typed
 //!   query kinds (range / point / kNN / count) over the planned access
-//!   paths and feeds the statistics back into the adaptation loop.
+//!   paths and feeds the statistics back into the adaptation loop;
+//! * the **durability layer** ([`durability`], [`codec`]) gives all of that
+//!   adaptive state explicit serialized forms — a checkpointed
+//!   [`EngineSnapshot`] plus per-mutation [`MetaRecord`] WAL records — so a
+//!   durable store reopens ([`SpaceOdyssey::open`]) to exactly the state a
+//!   never-crashed engine would hold.
 //!
 //! The public entry point is [`SpaceOdyssey`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use odyssey_storage::codec;
+
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod merge_file;
 pub mod merger;
@@ -38,6 +46,7 @@ pub mod planner;
 pub mod stats;
 
 pub use config::{MergeLevelPolicy, OdysseyConfig};
+pub use durability::{EngineSnapshot, MetaRecord, PartitionMeta};
 pub use engine::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, SpaceOdyssey};
 pub use merge_file::{MergeEntry, MergeFile, MergeRun, MergeSource};
 pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};

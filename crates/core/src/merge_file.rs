@@ -125,6 +125,40 @@ impl MergeFile {
         })
     }
 
+    /// Reinstates a checkpointed merge file: the entries are adopted as-is
+    /// (their page runs already exist in the backing file) and the total
+    /// page count is recomputed from them.
+    pub fn restore(
+        combination: DatasetSet,
+        file: FileId,
+        entries: impl IntoIterator<Item = MergeEntry>,
+        last_used: u64,
+    ) -> Self {
+        let entries: HashMap<PartitionKey, MergeEntry> =
+            entries.into_iter().map(|e| (e.key, e)).collect();
+        let total_pages = entries.values().map(|e| e.pages()).sum();
+        MergeFile {
+            combination,
+            file,
+            entries,
+            total_pages,
+            last_used: AtomicU64::new(last_used),
+        }
+    }
+
+    /// Id of the backing paged file.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// The merged entries sorted by key — the deterministic iteration order
+    /// checkpoints serialize (the internal hash map's order is not stable).
+    pub fn entries_sorted(&self) -> Vec<&MergeEntry> {
+        let mut entries: Vec<&MergeEntry> = self.entries.values().collect();
+        entries.sort_by_key(|e| e.key);
+        entries
+    }
+
     /// Logical timestamp of the last query routed to this file.
     pub fn last_used(&self) -> u64 {
         self.last_used.load(Ordering::Relaxed)

@@ -10,6 +10,7 @@
 //! the replicated data bounded (§3.2.4).
 
 use crate::config::{MergeLevelPolicy, OdysseyConfig};
+use crate::durability::{self, MetaRecord};
 use crate::merge_file::{MergeFile, MergeSource};
 use crate::octree::DatasetIndex;
 use crate::partition::PartitionKey;
@@ -70,6 +71,21 @@ impl MergeDirectory {
     /// Number of merge files evicted so far to respect the space budget.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Current value of the routing LRU clock.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Reinstates a checkpointed directory (files in checkpoint order, which
+    /// is the live directory's order).
+    pub fn restore(files: Vec<MergeFile>, clock: u64, evictions: u64) -> Self {
+        MergeDirectory {
+            files,
+            clock: AtomicU64::new(clock),
+            evictions,
+        }
     }
 
     /// Iterates over the live merge files.
@@ -211,6 +227,35 @@ impl Merger {
         Merger::default()
     }
 
+    /// Reinstates a checkpointed merger.
+    pub fn restore(
+        directory: MergeDirectory,
+        merges_performed: u64,
+        staleness_repairs: u64,
+    ) -> Self {
+        Merger {
+            directory,
+            merges_performed,
+            staleness_repairs,
+        }
+    }
+
+    /// Enforces the space budget and logs one [`MetaRecord::MergeEvict`] per
+    /// dropped file, so recovery reproduces the eviction.
+    fn enforce_budget_logged(
+        &mut self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+    ) -> StorageResult<()> {
+        for combination in self
+            .directory
+            .enforce_budget(config.merge_space_budget_pages)
+        {
+            durability::log(storage, MetaRecord::MergeEvict { combination })?;
+        }
+        Ok(())
+    }
+
     /// The merge-file directory.
     pub fn directory(&self) -> &MergeDirectory {
         &self.directory
@@ -288,9 +333,28 @@ impl Merger {
                     .copied()
                     .collect();
                 storage.note_objects_scanned(tail.len().saturating_sub(from) as u64);
-                if file.append_repair_run(storage, &key, dataset_id, &missing, live_seq)? {
+                let appended =
+                    file.append_repair_run(storage, &key, dataset_id, &missing, live_seq)?;
+                if appended {
                     runs_appended += 1;
                 }
+                // Log the repair — appended run or pure sequence advance —
+                // so a recovered file's high-water marks match the live ones.
+                let run = if appended {
+                    file.entry(&key).and_then(|e| e.runs.last()).copied()
+                } else {
+                    None
+                };
+                let record = MetaRecord::MergeRepair {
+                    combination,
+                    key,
+                    dataset: dataset_id,
+                    run,
+                    synced_seq: live_seq,
+                    file_len: storage.num_pages(file.file_id())?,
+                };
+                storage.sync_file(file.file_id())?; // data before its record
+                durability::log(storage, record)?;
                 repaired_any = true;
             }
             if repaired_any {
@@ -298,8 +362,7 @@ impl Merger {
             }
         }
         if runs_appended > 0 {
-            self.directory
-                .enforce_budget(config.merge_space_budget_pages);
+            self.enforce_budget_logged(storage, config)?;
         }
         Ok(runs_appended)
     }
@@ -349,6 +412,13 @@ impl Merger {
                 .collect::<Vec<_>>()
                 .join("_");
             let file = MergeFile::create(storage, combination, &label)?;
+            durability::log(
+                storage,
+                MetaRecord::MergeCreate {
+                    combination,
+                    file: file.file_id(),
+                },
+            )?;
             self.directory.insert(file);
             summary.created_file = true;
         }
@@ -419,14 +489,24 @@ impl Merger {
                 .expect("merge file created above");
             if file.append_entry(storage, *key, &parts)? {
                 summary.entries_appended += 1;
+                let record = MetaRecord::MergeAppend {
+                    combination,
+                    key: *key,
+                    runs: file
+                        .entry(key)
+                        .map(|e| e.runs.clone())
+                        .expect("entry appended above"),
+                    file_len: storage.num_pages(file.file_id())?,
+                };
+                storage.sync_file(file.file_id())?; // data before its record
+                durability::log(storage, record)?;
             }
         }
 
         if summary.entries_appended > 0 {
             self.merges_performed += 1;
         }
-        self.directory
-            .enforce_budget(config.merge_space_budget_pages);
+        self.enforce_budget_logged(storage, config)?;
         Ok(summary)
     }
 }

@@ -28,6 +28,7 @@
 //!   simply reads the finer partitions.
 
 use crate::config::OdysseyConfig;
+use crate::durability::{self, DatasetSnapshot, MetaRecord, PartitionMeta};
 use crate::partition::{Partition, PartitionKey};
 use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
 use odyssey_storage::{
@@ -132,6 +133,12 @@ pub struct DatasetIndex {
     /// the planner's staleness estimates; exact values are read under the
     /// state lock).
     ingested: AtomicU64,
+    /// Objects in the raw file when the index was created — everything after
+    /// them is the ingest log, which is how recovery re-reads the log from
+    /// the raw file instead of duplicating it in the checkpoint.
+    seed_objects: u64,
+    /// Pages those seed objects occupy.
+    seed_pages: u64,
 }
 
 impl DatasetIndex {
@@ -139,6 +146,8 @@ impl DatasetIndex {
     pub fn new(raw: RawDataset) -> Self {
         DatasetIndex {
             dataset: raw.dataset,
+            seed_objects: raw.num_objects,
+            seed_pages: raw.page_range.1,
             raw: RwLock::new(raw),
             state: RwLock::new(IndexState {
                 file: None,
@@ -148,6 +157,53 @@ impl DatasetIndex {
             }),
             total_refinements: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
+        }
+    }
+
+    /// Reinstates a checkpointed index (see
+    /// [`crate::durability::DatasetSnapshot`]); `ingest_log` must hold
+    /// exactly the objects the snapshot's ingest count covers, re-read from
+    /// the raw file's tail.
+    pub fn restore(
+        config: &OdysseyConfig,
+        snapshot: &DatasetSnapshot,
+        ingest_log: Vec<SpatialObject>,
+    ) -> Self {
+        debug_assert_eq!(ingest_log.len() as u64, snapshot.ingest_count);
+        DatasetIndex {
+            dataset: snapshot.raw.dataset,
+            seed_objects: snapshot.seed_objects,
+            seed_pages: snapshot.seed_pages,
+            raw: RwLock::new(snapshot.raw),
+            ingested: AtomicU64::new(ingest_log.len() as u64),
+            state: RwLock::new(IndexState {
+                file: snapshot.file,
+                partitions: snapshot
+                    .partitions
+                    .iter()
+                    .map(|m| m.restore(config))
+                    .collect(),
+                max_extent: snapshot.max_extent,
+                ingest_log,
+            }),
+            total_refinements: AtomicU64::new(snapshot.total_refinements),
+        }
+    }
+
+    /// Captures the index's durable state under one consistent lock
+    /// acquisition (the checkpoint building block).
+    pub fn snapshot(&self) -> DatasetSnapshot {
+        let state = self.state.read().unwrap();
+        let raw = *self.raw.read().unwrap();
+        DatasetSnapshot {
+            raw,
+            seed_objects: self.seed_objects,
+            seed_pages: self.seed_pages,
+            file: state.file,
+            max_extent: state.max_extent,
+            partitions: state.partitions.iter().map(PartitionMeta::of).collect(),
+            ingest_count: state.ingest_log.len() as u64,
+            total_refinements: self.total_refinements.load(Ordering::Relaxed),
         }
     }
 
@@ -303,6 +359,17 @@ impl DatasetIndex {
         state.file = Some(file);
         state.partitions = partitions;
         state.max_extent = max_extent;
+        // Log the first-touch result while the write lock is held, so no
+        // later record can reference partitions the WAL does not know yet.
+        let record = MetaRecord::InitDataset {
+            dataset: self.dataset,
+            file,
+            max_extent,
+            partitions: state.partitions.iter().map(PartitionMeta::of).collect(),
+            file_len: storage.num_pages(file)?,
+        };
+        storage.sync_file(file)?; // data before its record, durably
+        durability::log(storage, record)?;
         Ok(())
     }
 
@@ -373,7 +440,7 @@ impl DatasetIndex {
             };
             let partition = state.partitions[idx];
             if self.should_refine(config, &partition, query_volume) {
-                let objects = Self::refine(state, storage, config, idx)?;
+                let objects = Self::refine(state, storage, config, idx, self.dataset)?;
                 self.total_refinements.fetch_add(1, Ordering::Relaxed);
                 out.refined += 1;
                 // The refinement already read every object of the old
@@ -489,6 +556,7 @@ impl DatasetIndex {
                 .max()
                 .unwrap_or(1);
             let mut groups: Vec<(usize, Vec<SpatialObject>)> = Vec::new();
+            let mut created_keys: Vec<PartitionKey> = Vec::new();
             for obj in objects {
                 state.max_extent = state.max_extent.max(obj.extent());
                 let center = obj.center();
@@ -511,6 +579,7 @@ impl DatasetIndex {
                             0,
                         ));
                         stats.partitions_created += 1;
+                        created_keys.push(key);
                         let idx = state.partitions.len() - 1;
                         key_index.insert(key, idx);
                         max_level = max_level.max(key.level);
@@ -527,13 +596,20 @@ impl DatasetIndex {
             storage.note_objects_scanned(state.partitions.len() as u64 + objects.len() as u64 * 2);
 
             let mut split_candidates = Vec::new();
+            let mut updated_keys: Vec<PartitionKey> = Vec::new();
             for (idx, arrivals) in groups {
                 let partition = state.partitions[idx];
                 // Rebuild the overflow run: existing overflow objects plus
-                // the arrivals. If the grown run still fits the old pages it
-                // is rewritten in place; otherwise a fresh run is appended at
-                // the end of the file (the old pages become dead space until
-                // the next refinement compacts the partition).
+                // the arrivals. On a non-durable manager the grown run is
+                // rewritten in place when it still fits the old pages;
+                // otherwise — and always on a durable manager — a fresh run
+                // is appended at the end of the file (the old pages become
+                // dead space until the next refinement compacts the
+                // partition). Durable stores are strictly append-only on
+                // purpose: the old run stays intact until the batch's WAL
+                // record commits, so a crash mid-batch can never tear an
+                // overflow run — recovery truncates the orphaned appends and
+                // the partition reads exactly as before the batch.
                 let mut overflow = if partition.overflow_page_count > 0 {
                     storage.read_objects(file, partition.overflow_pages())?
                 } else {
@@ -541,7 +617,7 @@ impl DatasetIndex {
                 };
                 overflow.extend(arrivals.iter().copied());
                 let need = pages_needed(overflow.len());
-                let range = if partition.overflow_page_count == need {
+                let range = if !storage.wal_enabled() && partition.overflow_page_count == need {
                     storage.write_objects_at(file, partition.overflow_page_start, &overflow)?
                 } else {
                     storage.append_objects(file, &overflow)?
@@ -550,6 +626,7 @@ impl DatasetIndex {
                 p.overflow_page_start = range.start;
                 p.overflow_page_count = range.end - range.start;
                 p.object_count += arrivals.len() as u64;
+                updated_keys.push(p.key);
                 if config.ingest_split_objects > 0
                     && p.object_count >= config.ingest_split_objects
                     && p.key.level < config.max_refinement_level
@@ -557,13 +634,50 @@ impl DatasetIndex {
                     split_candidates.push(p.key);
                 }
             }
+            // Log the batch's routing result *before* any ingest-triggered
+            // split: replay applies the batch metadata first, then the
+            // splits' own Refine records, matching the live mutation order.
+            let meta_of = |key: &PartitionKey| {
+                state
+                    .partitions
+                    .iter()
+                    .find(|p| p.key == *key)
+                    .map(PartitionMeta::of)
+                    .expect("logged partitions exist")
+            };
+            let record = MetaRecord::Ingest {
+                dataset: self.dataset,
+                count: objects.len() as u64,
+                raw_len: self.raw.read().unwrap().page_range.1,
+                updated: updated_keys.iter().map(meta_of).collect(),
+                created: created_keys.iter().map(meta_of).collect(),
+                max_extent: state.max_extent,
+                part_file_len: Some(storage.num_pages(file)?),
+            };
+            storage.sync_file(self.raw.read().unwrap().file)?;
+            storage.sync_file(file)?;
+            durability::log(storage, record)?;
             for key in split_candidates {
                 if let Some(idx) = state.partitions.iter().position(|p| p.key == key) {
-                    Self::refine(state, storage, config, idx)?;
+                    Self::refine(state, storage, config, idx, self.dataset)?;
                     self.total_refinements.fetch_add(1, Ordering::Relaxed);
                     stats.partitions_split += 1;
                 }
             }
+        } else {
+            // Uninitialized dataset: the batch only extends the raw file and
+            // the ingest log.
+            let record = MetaRecord::Ingest {
+                dataset: self.dataset,
+                count: objects.len() as u64,
+                raw_len: self.raw.read().unwrap().page_range.1,
+                updated: Vec::new(),
+                created: Vec::new(),
+                max_extent: state.max_extent,
+                part_file_len: None,
+            };
+            storage.sync_file(self.raw.read().unwrap().file)?;
+            durability::log(storage, record)?;
         }
 
         // Log last: the sequence number only advances once the data is
@@ -631,6 +745,7 @@ impl DatasetIndex {
         storage: &StorageManager,
         config: &OdysseyConfig,
         idx: usize,
+        dataset: DatasetId,
     ) -> StorageResult<Vec<SpatialObject>> {
         let file = state.file.expect("refine requires an initialized dataset");
         let parent = state.partitions[idx];
@@ -663,12 +778,19 @@ impl DatasetIndex {
             groups[((cz as usize * k) + cy as usize) * k + cx as usize].push(*obj);
         }
 
-        // Lay the children out: reuse the parent's main page run first (in
-        // place), appending at the end of the file once the old pages are
-        // exhausted. Each child starts with a single contiguous main run and
-        // no overflow; the parent's overflow pages (if any) become dead space
-        // at the end of the file, like the unreclaimed tail of any in-place
-        // rewrite. Empty children are skipped entirely.
+        // Lay the children out. Non-durable managers reuse the parent's main
+        // page run first (in place), appending at the end of the file once
+        // the old pages are exhausted — the paper's §3.1 layout. Durable
+        // managers lay every child out append-only instead: the parent's
+        // pages stay untouched until the split's WAL record commits, so a
+        // crash at *any* WAL prefix leaves either the parent (record lost;
+        // the appended children are unreferenced orphans recovery truncates)
+        // or the children (record present; their appended pages were written
+        // before it) — never a torn mix. The write volume is identical; the
+        // parent's pages become dead space like any unreclaimed rewrite.
+        // Each child starts with a single contiguous main run and no
+        // overflow; empty children are skipped entirely.
+        let in_place_allowed = !storage.wal_enabled();
         let mut children = Vec::with_capacity(k * k * k);
         let mut in_place_cursor = parent.page_start;
         let in_place_end = parent.page_start + parent.page_count;
@@ -681,7 +803,7 @@ impl DatasetIndex {
                     }
                     let key = parent.key.child(k, cx, cy, cz);
                     let need = pages_needed(objs.len());
-                    let range = if in_place_cursor + need <= in_place_end {
+                    let range = if in_place_allowed && in_place_cursor + need <= in_place_end {
                         let r = storage.write_objects_at(file, in_place_cursor, objs)?;
                         in_place_cursor = r.end;
                         r
@@ -697,8 +819,16 @@ impl DatasetIndex {
                 }
             }
         }
+        let record = MetaRecord::Refine {
+            dataset,
+            parent: parent.key,
+            children: children.iter().map(PartitionMeta::of).collect(),
+            file_len: storage.num_pages(file)?,
+        };
         state.partitions.swap_remove(idx);
         state.partitions.extend(children);
+        storage.sync_file(file)?; // data before its record, durably
+        durability::log(storage, record)?;
         Ok(objects)
     }
 

@@ -73,6 +73,23 @@ impl StatsCollector {
     pub fn iter(&self) -> impl Iterator<Item = (&DatasetSet, &ComboStats)> {
         self.combos.iter()
     }
+
+    /// Reinstates one combination's statistics wholesale (checkpoint
+    /// restore); replaces any existing entry for the combination.
+    pub fn restore_combo(
+        &mut self,
+        combination: DatasetSet,
+        count: u64,
+        retrieved: impl IntoIterator<Item = PartitionKey>,
+    ) {
+        self.combos.insert(
+            combination,
+            ComboStats {
+                count,
+                retrieved: retrieved.into_iter().collect(),
+            },
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,263 @@
+//! A tiny little-endian binary codec for the durable metadata formats.
+//!
+//! The manifest, the WAL records and the engine snapshot need a bit-exact,
+//! dependency-free serialization (the build environment has no crate
+//! registry). This module provides the same style of fixed-width
+//! little-endian encoding the 64-byte object records use: `f64` round-trips
+//! through its raw bits, so a save/restore cycle reproduces every coordinate
+//! exactly, and decoding is bounds-checked so corrupt input surfaces as
+//! [`StorageError::Corrupt`] instead of a panic.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Byte-buffer encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bits (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends an optional `u64` (presence byte + value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a length prefix (`u32`) for a following sequence.
+    pub fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+
+    /// Appends raw bytes (framing is the caller's concern).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.raw(s.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(msg: &str) -> StorageError {
+    StorageError::Corrupt(format!("decode: {msg}"))
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless the input was consumed exactly.
+    pub fn finish(&self) -> StorageResult<()> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("truncated input"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> StorageResult<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> StorageResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean byte (0 or 1).
+    pub fn bool(&mut self) -> StorageResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(corrupt(&format!("invalid boolean byte {b}"))),
+        }
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> StorageResult<Option<u64>> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a sequence length prefix, sanity-capped so corrupt input cannot
+    /// trigger enormous allocations. (Not a container length — the lint's
+    /// `is_empty` pairing does not apply to a decoding step.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> StorageResult<usize> {
+        let n = self.u32()? as usize;
+        // A length that could not possibly fit the remaining input is bogus
+        // (every element encodes to at least one byte).
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(corrupt("sequence length exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> StorageResult<String> {
+        let n = self.len()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| corrupt("invalid UTF-8 string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(65535);
+        e.u32(123_456);
+        e.u64(u64::MAX - 3);
+        e.f64(-0.1);
+        e.f64(f64::MIN_POSITIVE);
+        e.bool(true);
+        e.bool(false);
+        e.opt_u64(Some(42));
+        e.opt_u64(None);
+        e.len(3);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 65535);
+        assert_eq!(d.u32().unwrap(), 123_456);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert_eq!(d.f64().unwrap(), f64::MIN_POSITIVE);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.opt_u64().unwrap(), Some(42));
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert!(d.len().is_err(), "length larger than the remaining input");
+        let mut d = Dec::new(&bytes);
+        assert!(d.finish().is_err());
+        let _ = d.take(bytes.len()).unwrap();
+        assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.u32().is_err());
+        let mut d = Dec::new(&[9]);
+        assert!(d.bool().is_err());
+        let mut d = Dec::new(&[255, 255, 255, 255]);
+        assert!(d.len().is_err());
+    }
+
+    #[test]
+    fn nan_bits_roundtrip_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let mut e = Enc::new();
+        e.f64(weird);
+        let bytes = e.into_bytes();
+        assert_eq!(
+            Dec::new(&bytes).f64().unwrap().to_bits(),
+            0x7FF8_0000_DEAD_BEEF
+        );
+    }
+}

@@ -31,6 +31,14 @@ pub enum StorageError {
     UnknownFile(u32),
     /// A page's on-disk bytes failed validation while decoding.
     Corrupt(String),
+    /// A page read from the device failed its header CRC-32 check: the bytes
+    /// on the medium are not the bytes that were written.
+    CorruptPage {
+        /// File the page belongs to.
+        file: u32,
+        /// Index of the corrupt page.
+        page: u64,
+    },
     /// An ingest batch was rejected before any of it was applied (e.g. an
     /// object tagged with a different dataset than the batch's target).
     InvalidIngest(String),
@@ -54,6 +62,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::CorruptPage { file, page } => {
+                write!(f, "checksum mismatch on page {page} of file {file}")
+            }
             StorageError::InvalidIngest(msg) => write!(f, "invalid ingest: {msg}"),
         }
     }
@@ -95,6 +106,8 @@ mod tests {
         assert!(format!("{e}").contains("7"));
         let e = StorageError::Corrupt("bad header".into());
         assert!(format!("{e}").contains("bad header"));
+        let e = StorageError::CorruptPage { file: 2, page: 17 };
+        assert!(format!("{e}").contains("page 17 of file 2"));
         let e = StorageError::InvalidIngest("dataset mismatch".into());
         assert!(format!("{e}").contains("dataset mismatch"));
         let e: StorageError = io::Error::other("boom").into();

@@ -49,15 +49,36 @@ pub trait PagedFile: Send + Sync {
     /// Appends a page at the end of the file and returns its id.
     fn append_page(&self, data: &Page) -> StorageResult<PageId>;
 
-    /// Ensures the file has at least `pages` pages, appending zeroed pages as
-    /// needed (used when pre-allocating partition extents).
+    /// Ensures the file has at least `pages` pages, filling with empty pages
+    /// as needed (used when pre-allocating partition extents). The default
+    /// implementation appends one page at a time; [`MemFile`] and
+    /// [`DiskFile`] override it with bulk extension.
     fn grow_to(&self, pages: u64) -> StorageResult<()> {
         while self.num_pages() < pages {
             self.append_page(&Page::empty())?;
         }
         Ok(())
     }
+
+    /// Shrinks the file to at most `pages` pages, dropping everything beyond.
+    /// A no-op when the file is already short enough. Crash recovery uses
+    /// this to cut orphaned pages (written after the last committed metadata
+    /// record) off the tail of every data file.
+    fn truncate(&self, pages: u64) -> StorageResult<()>;
+
+    /// Flushes written pages to the device (`fdatasync` for [`DiskFile`]).
+    /// The durability protocol syncs a data file before appending the WAL
+    /// record that references its pages, and the WAL after every append, so
+    /// the write ordering recovery relies on holds against power loss, not
+    /// just process crashes. A no-op for in-memory files.
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
 }
+
+/// Pages per positioned write in [`DiskFile::grow_to`]'s bulk extension
+/// (1 MiB chunks).
+const GROW_CHUNK_PAGES: u64 = 256;
 
 /// In-memory paged file.
 #[derive(Default)]
@@ -109,6 +130,22 @@ impl PagedFile for MemFile {
         let mut pages = self.pages.write().unwrap();
         pages.push(data.clone());
         Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn grow_to(&self, target: u64) -> StorageResult<()> {
+        let mut pages = self.pages.write().unwrap();
+        if (pages.len() as u64) < target {
+            pages.resize(target as usize, Page::empty());
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, target: u64) -> StorageResult<()> {
+        let mut pages = self.pages.write().unwrap();
+        if (pages.len() as u64) > target {
+            pages.truncate(target as usize);
+        }
+        Ok(())
     }
 }
 
@@ -198,6 +235,125 @@ impl PagedFile for DiskFile {
         *len += 1;
         Ok(id)
     }
+
+    /// Bulk extension: instead of one 4 KB write (and one length-mutex round
+    /// trip) per page, the new empty pages are written in 1 MiB chunks with
+    /// a single positioned write each — one large sequential transfer rather
+    /// than thousands of tiny ones.
+    fn grow_to(&self, target: u64) -> StorageResult<()> {
+        let mut len = self.num_pages.lock().unwrap();
+        if *len >= target {
+            return Ok(());
+        }
+        let empty = Page::empty();
+        let mut chunk: Vec<u8> = Vec::new();
+        while *len < target {
+            let pages = (target - *len).min(GROW_CHUNK_PAGES) as usize;
+            let want = pages * PAGE_SIZE;
+            if chunk.len() < want {
+                while chunk.len() < want {
+                    chunk.extend_from_slice(empty.as_bytes());
+                }
+            }
+            self.file
+                .write_all_at(&chunk[..want], *len * PAGE_SIZE as u64)?;
+            *len += pages as u64;
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, target: u64) -> StorageResult<()> {
+        let mut len = self.num_pages.lock().unwrap();
+        if *len > target {
+            self.file.set_len(target * PAGE_SIZE as u64)?;
+            *len = target;
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// A [`PagedFile`] wrapper that injects a write failure after a configured
+/// number of page writes — the crash lever of the durability tests.
+///
+/// Reads always pass through. Every page the wrapper writes (via
+/// [`PagedFile::write_page`], [`PagedFile::append_page`] or
+/// [`PagedFile::grow_to`]) consumes one unit of the budget; once the budget
+/// is exhausted, writes fail with an I/O error *without touching the inner
+/// file*, exactly like a device that died mid-workload. Reopening the
+/// directory that the inner [`DiskFile`] lives in then recovers from a real
+/// crash image: everything written before the fault is on disk, nothing
+/// after.
+pub struct FaultInjectingFile {
+    inner: Box<dyn PagedFile>,
+    writes_left: Mutex<u64>,
+}
+
+impl FaultInjectingFile {
+    /// Wraps `inner`, allowing `write_budget` page writes before faulting.
+    pub fn new(inner: Box<dyn PagedFile>, write_budget: u64) -> Self {
+        FaultInjectingFile {
+            inner,
+            writes_left: Mutex::new(write_budget),
+        }
+    }
+
+    /// Page writes remaining before the injected fault.
+    pub fn writes_remaining(&self) -> u64 {
+        *self.writes_left.lock().unwrap()
+    }
+
+    fn charge(&self, pages: u64) -> StorageResult<()> {
+        let mut left = self.writes_left.lock().unwrap();
+        if *left < pages {
+            *left = 0;
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected write fault (simulated crash)",
+            )));
+        }
+        *left -= pages;
+        Ok(())
+    }
+}
+
+impl PagedFile for FaultInjectingFile {
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&self, page: PageId) -> StorageResult<Page> {
+        self.inner.read_page(page)
+    }
+
+    fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
+        self.charge(1)?;
+        self.inner.write_page(page, data)
+    }
+
+    fn append_page(&self, data: &Page) -> StorageResult<PageId> {
+        self.charge(1)?;
+        self.inner.append_page(data)
+    }
+
+    fn grow_to(&self, pages: u64) -> StorageResult<()> {
+        let current = self.inner.num_pages();
+        if pages > current {
+            self.charge(pages - current)?;
+        }
+        self.inner.grow_to(pages)
+    }
+
+    fn truncate(&self, pages: u64) -> StorageResult<()> {
+        self.inner.truncate(pages)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.inner.sync()
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +392,16 @@ mod tests {
         // grow_to with a smaller target is a no-op.
         f.grow_to(2).unwrap();
         assert_eq!(f.num_pages(), 5);
+        // Grown pages are valid, checksummed empty pages.
+        assert!(f.read_page(PageId(3)).unwrap().verify_checksum());
+        // Truncation drops the tail; truncating to a larger size is a no-op.
+        f.truncate(3).unwrap();
+        assert_eq!(f.num_pages(), 3);
+        assert!(f.read_page(PageId(3)).is_err());
+        f.truncate(10).unwrap();
+        assert_eq!(f.num_pages(), 3);
+        f.grow_to(5).unwrap();
+        assert_eq!(f.num_pages(), 5);
     }
 
     #[test]
@@ -273,6 +439,51 @@ mod tests {
             DiskFile::open(&path),
             Err(StorageError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn disk_grow_to_bulk_extension_is_equivalent() {
+        let dir = tempfile::tempdir().unwrap();
+        let f = DiskFile::create(dir.path().join("grow.pages")).unwrap();
+        f.append_page(&Page::from_objects(&[obj(1)]).unwrap())
+            .unwrap();
+        // Grow past one chunk boundary to exercise the chunked path.
+        let target = GROW_CHUNK_PAGES + 10;
+        f.grow_to(target).unwrap();
+        assert_eq!(f.num_pages(), target);
+        assert_eq!(
+            std::fs::metadata(f.path()).unwrap().len(),
+            target * PAGE_SIZE as u64
+        );
+        assert_eq!(f.read_page(PageId(0)).unwrap().objects().unwrap().len(), 1);
+        let tail = f.read_page(PageId(target - 1)).unwrap();
+        assert_eq!(tail.record_count().unwrap(), 0);
+        assert!(tail.verify_checksum());
+        // Truncate back down and verify the physical size follows.
+        f.truncate(2).unwrap();
+        assert_eq!(
+            std::fs::metadata(f.path()).unwrap().len(),
+            2 * PAGE_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn fault_injecting_file_fails_after_budget() {
+        let f = FaultInjectingFile::new(Box::new(MemFile::new()), 3);
+        let page = Page::from_objects(&[obj(1)]).unwrap();
+        f.append_page(&page).unwrap();
+        f.append_page(&page).unwrap();
+        assert_eq!(f.writes_remaining(), 1);
+        f.write_page(PageId(0), &page).unwrap();
+        // Budget exhausted: writes fail, the inner file is untouched.
+        assert!(f.append_page(&page).is_err());
+        assert!(f.write_page(PageId(0), &page).is_err());
+        assert!(f.grow_to(5).is_err());
+        assert_eq!(f.num_pages(), 2);
+        // Reads and truncation still work.
+        assert_eq!(f.read_page(PageId(1)).unwrap().objects().unwrap().len(), 1);
+        f.truncate(1).unwrap();
+        assert_eq!(f.num_pages(), 1);
     }
 
     #[test]

@@ -17,25 +17,40 @@
 //! * [`buffer`] — a bounded [`BufferPool`] so the configured memory budget is
 //!   honoured,
 //! * [`manager`] — the [`StorageManager`] façade every index implementation
-//!   uses to create files and read/write object pages.
+//!   uses to create files and read/write object pages,
+//! * [`crc`] — the shared CRC-32 implementation behind every on-disk
+//!   integrity check,
+//! * [`manifest`] — the atomically rewritten superblock + file table +
+//!   engine-payload root of a durable store,
+//! * [`wal`] — the page-granular, checksummed metadata write-ahead log whose
+//!   valid prefix recovery replays over the last manifest.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod buffer;
+pub mod codec;
 pub mod cost;
+pub mod crc;
 pub mod error;
 pub mod file;
 pub mod manager;
+pub mod manifest;
 pub mod page;
 pub mod raw;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use cost::{CostModel, DeviceProfile};
+pub use crc::crc32;
 pub use error::{StorageError, StorageResult};
-pub use file::{DiskFile, FileId, MemFile, PagedFile};
-pub use manager::{StorageBackend, StorageManager, StorageOptions};
+pub use file::{DiskFile, FaultInjectingFile, FileId, MemFile, PagedFile};
+pub use manager::{
+    DurabilityOptions, RecoveredState, StorageBackend, StorageManager, StorageOptions,
+};
+pub use manifest::{Manifest, ManifestFileEntry, MANIFEST_FILE_NAME};
 pub use page::{pack_objects, pages_needed, Page, PageId, OBJECTS_PER_PAGE, PAGE_SIZE};
 pub use raw::{append_to_raw_dataset, scan_raw_dataset, write_raw_dataset, RawDataset};
 pub use stats::{IoStats, StatsDelta};
+pub use wal::{MetaWal, WalRecovery, WAL_FILE_NAME};

@@ -1,0 +1,215 @@
+//! The versioned on-disk manifest of a durable store.
+//!
+//! The manifest is the root of recovery: a single small file holding the
+//! superblock (magic, format version, checkpoint epoch), the file table
+//! (every paged file's id, name and committed page count) and an opaque
+//! engine payload (the checkpointed engine snapshot, encoded by
+//! `odyssey-core`). It is rewritten in full at every checkpoint, atomically:
+//! the new image is written to a temporary file, fsynced, and renamed over
+//! the old manifest — a crash at any point leaves either the old or the new
+//! manifest intact, never a mix. A whole-file CRC-32 guards against torn or
+//! bit-rotted images; the rename is the commit point of a checkpoint.
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use crate::error::{StorageError, StorageResult};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File name of the manifest inside a durable store's directory.
+pub const MANIFEST_FILE_NAME: &str = "MANIFEST.som";
+
+/// Magic bytes opening the manifest.
+const MANIFEST_MAGIC: [u8; 4] = *b"SOMF";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Fsyncs a directory, making recent renames and file creations in it
+/// durable (directory entries are metadata the data-file fsyncs don't
+/// cover).
+pub fn sync_dir(dir: &Path) -> StorageResult<()> {
+    fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// One entry of the manifest's file table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestFileEntry {
+    /// The file's id (its index in the storage manager's file table).
+    pub id: u32,
+    /// The name the file was created with (also encoded in its file name).
+    pub name: String,
+    /// Number of pages committed at checkpoint time. Recovery treats pages
+    /// beyond this count as orphans unless a WAL record extends the file.
+    pub pages: u64,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint epoch; the WAL whose header carries the same epoch holds
+    /// the mutations that happened after this manifest was written.
+    pub epoch: u64,
+    /// The file table at checkpoint time, ordered by id.
+    pub files: Vec<ManifestFileEntry>,
+    /// Opaque engine snapshot (encoded/decoded by the engine layer).
+    pub payload: Vec<u8>,
+}
+
+impl Manifest {
+    /// Serializes the manifest, CRC-32 trailer included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.raw(&MANIFEST_MAGIC);
+        e.u32(MANIFEST_VERSION);
+        e.u64(self.epoch);
+        e.len(self.files.len());
+        for f in &self.files {
+            e.u32(f.id);
+            e.u64(f.pages);
+            e.str(&f.name);
+        }
+        e.len(self.payload.len());
+        e.raw(&self.payload);
+        let mut out = e.into_bytes();
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a manifest image.
+    pub fn decode(bytes: &[u8]) -> StorageResult<Manifest> {
+        let corrupt = |msg: &str| StorageError::Corrupt(format!("manifest: {msg}"));
+        if bytes.len() < 4 {
+            return Err(corrupt("image shorter than its checksum"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc"));
+        if stored != crc32(body) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut d = Dec::new(body);
+        if d.raw(4)? != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = d.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "manifest: unsupported version {version} (expected {MANIFEST_VERSION})"
+            )));
+        }
+        let epoch = d.u64()?;
+        let file_count = d.len()?;
+        let mut files = Vec::with_capacity(file_count);
+        for _ in 0..file_count {
+            files.push(ManifestFileEntry {
+                id: d.u32()?,
+                pages: d.u64()?,
+                name: d.str()?,
+            });
+        }
+        let payload_len = d.len()?;
+        let payload = d.raw(payload_len)?.to_vec();
+        d.finish()?;
+        Ok(Manifest {
+            epoch,
+            files,
+            payload,
+        })
+    }
+
+    /// Atomically (re)writes the manifest in `dir`: write the new image to a
+    /// temporary file, fsync it, rename it over [`MANIFEST_FILE_NAME`], and
+    /// fsync the directory so the rename itself survives power loss (the
+    /// rename is the checkpoint's commit point — losing it after the WAL
+    /// reset would lose the mutations folded into the new image).
+    pub fn write_atomic(&self, dir: &Path) -> StorageResult<()> {
+        let tmp = dir.join(format!("{MANIFEST_FILE_NAME}.tmp"));
+        let target = dir.join(MANIFEST_FILE_NAME);
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&self.encode())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &target)?;
+        sync_dir(dir)
+    }
+
+    /// Reads the manifest from `dir`; `Ok(None)` when none exists (the
+    /// directory is not — or not yet — a durable store).
+    pub fn read(dir: &Path) -> StorageResult<Option<Manifest>> {
+        let path = dir.join(MANIFEST_FILE_NAME);
+        match fs::read(&path) {
+            Ok(bytes) => Manifest::decode(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            epoch: 7,
+            files: vec![
+                ManifestFileEntry {
+                    id: 0,
+                    name: "raw_ds0".into(),
+                    pages: 12,
+                },
+                ManifestFileEntry {
+                    id: 1,
+                    name: "odyssey_partitions_ds0".into(),
+                    pages: 30,
+                },
+            ],
+            payload: vec![1, 2, 3, 250, 0, 9],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let empty = Manifest {
+            epoch: 0,
+            files: Vec::new(),
+            payload: Vec::new(),
+        };
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(Manifest::decode(&[]).is_err());
+        assert!(Manifest::decode(&sample().encode()[..10]).is_err());
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(Manifest::read(dir.path()).unwrap().is_none());
+        let m = sample();
+        m.write_atomic(dir.path()).unwrap();
+        assert_eq!(Manifest::read(dir.path()).unwrap(), Some(m.clone()));
+        // Overwrite with a newer epoch; the temp file must not linger.
+        let newer = Manifest { epoch: 8, ..m };
+        newer.write_atomic(dir.path()).unwrap();
+        assert_eq!(Manifest::read(dir.path()).unwrap().unwrap().epoch, 8);
+        assert!(!dir
+            .path()
+            .join(format!("{MANIFEST_FILE_NAME}.tmp"))
+            .exists());
+    }
+}

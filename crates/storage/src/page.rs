@@ -4,7 +4,15 @@
 //! this repository stores spatial objects in pages of that size. An object
 //! record is 64 bytes (id, dataset id, MBR), so a page holds up to 63 records
 //! after a 16-byte header.
+//!
+//! Header layout: bytes 0..4 magic, 4..6 record count, 6..12 reserved,
+//! 12..16 a CRC-32 of the rest of the page ([`PAGE_CHECKSUM_OFFSET`]). The
+//! checksum is owned by the [`crate::StorageManager`]: it stamps it on every
+//! write path and verifies it on every device read, surfacing
+//! [`StorageError::CorruptPage`] on a mismatch. Code that builds pages by
+//! hand only has to leave the slot alone.
 
+use crate::crc::{crc32_finish, crc32_update};
 use crate::error::{StorageError, StorageResult};
 use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
 use serde::{Deserialize, Serialize};
@@ -20,6 +28,10 @@ pub const RECORD_SIZE: usize = 64;
 
 /// Maximum number of object records stored in one page.
 pub const OBJECTS_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER_SIZE) / RECORD_SIZE;
+
+/// Byte offset of the page checksum inside the (reserved area of the) page
+/// header: bytes 12..16 hold a CRC-32 of every other byte of the page.
+pub const PAGE_CHECKSUM_OFFSET: usize = 12;
 
 /// Magic bytes identifying an object page (helps catch corruption in tests).
 const PAGE_MAGIC: [u8; 4] = *b"SOPG";
@@ -65,7 +77,9 @@ impl Page {
     pub fn empty() -> Self {
         let mut bytes = vec![0u8; PAGE_SIZE].into_boxed_slice();
         bytes[..4].copy_from_slice(&PAGE_MAGIC);
-        Page { bytes }
+        let mut page = Page { bytes };
+        page.stamp_checksum();
+        page
     }
 
     /// Wraps raw bytes as a page.
@@ -100,6 +114,7 @@ impl Page {
         for (i, obj) in objects.iter().enumerate() {
             encode_record(obj, page.record_slice_mut(i));
         }
+        page.stamp_checksum();
         Ok(page)
     }
 
@@ -145,6 +160,31 @@ impl Page {
     fn record_slice_mut(&mut self, i: usize) -> &mut [u8] {
         let start = PAGE_HEADER_SIZE + i * RECORD_SIZE;
         &mut self.bytes[start..start + RECORD_SIZE]
+    }
+
+    /// CRC-32 of the page contents, excluding the checksum slot itself.
+    fn content_checksum(&self) -> u32 {
+        let state = crc32_update(0xFFFF_FFFF, &self.bytes[..PAGE_CHECKSUM_OFFSET]);
+        crc32_finish(crc32_update(state, &self.bytes[PAGE_CHECKSUM_OFFSET + 4..]))
+    }
+
+    /// Writes the content checksum into the header's checksum slot. Called by
+    /// the storage manager on every write path ([`Page::empty`] pages start
+    /// out stamped, so bulk pre-allocation stays valid).
+    pub fn stamp_checksum(&mut self) {
+        let crc = self.content_checksum();
+        self.bytes[PAGE_CHECKSUM_OFFSET..PAGE_CHECKSUM_OFFSET + 4]
+            .copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Verifies the stored checksum against the page contents.
+    pub fn verify_checksum(&self) -> bool {
+        let stored = u32::from_le_bytes(
+            self.bytes[PAGE_CHECKSUM_OFFSET..PAGE_CHECKSUM_OFFSET + 4]
+                .try_into()
+                .expect("checksum slot is 4 bytes"),
+        );
+        stored == self.content_checksum()
     }
 
     /// Decodes every object record stored in the page.
@@ -344,6 +384,26 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id, ObjectId(1));
         assert_eq!(out[1].id, ObjectId(2));
+    }
+
+    #[test]
+    fn checksum_stamp_and_verify() {
+        // Freshly built pages are stamped.
+        assert!(Page::empty().verify_checksum());
+        let mut p = Page::from_objects(&[obj(1, 2, 0.0, 1.0)]).unwrap();
+        assert!(p.verify_checksum());
+        // Any mutation invalidates until restamped — including mutations of
+        // the reserved header bytes outside the checksum slot.
+        p.as_bytes_mut()[PAGE_HEADER_SIZE + 3] ^= 0x40;
+        assert!(!p.verify_checksum());
+        p.stamp_checksum();
+        assert!(p.verify_checksum());
+        p.as_bytes_mut()[6] ^= 0x01;
+        assert!(!p.verify_checksum());
+        // Corrupting the slot itself is also detected.
+        p.stamp_checksum();
+        p.as_bytes_mut()[PAGE_CHECKSUM_OFFSET] ^= 0xFF;
+        assert!(!p.verify_checksum());
     }
 
     #[test]

@@ -18,9 +18,33 @@ struct World {
     all_objects: Vec<SpatialObject>,
     bounds: space_odyssey::geom::Aabb,
     spec: DatasetSpec,
+    /// Keeps the tempdir of a disk-backed world alive for the test's run.
+    _dir: Option<tempfile::TempDir>,
 }
 
 fn world(num_datasets: usize, objects_per_dataset: usize, buffer_pages: usize) -> World {
+    world_on(
+        num_datasets,
+        objects_per_dataset,
+        StorageOptions::in_memory(buffer_pages),
+        None,
+    )
+}
+
+/// The same world against real files (tempdir), so the full adaptive engine
+/// — not just the one-off file tests — runs on `StorageBackend::Disk`.
+fn disk_world(num_datasets: usize, objects_per_dataset: usize, buffer_pages: usize) -> World {
+    let dir = tempfile::tempdir().unwrap();
+    let options = StorageOptions::on_disk(dir.path(), buffer_pages);
+    world_on(num_datasets, objects_per_dataset, options, Some(dir))
+}
+
+fn world_on(
+    num_datasets: usize,
+    objects_per_dataset: usize,
+    options: StorageOptions,
+    dir: Option<tempfile::TempDir>,
+) -> World {
     let spec = DatasetSpec {
         num_datasets,
         objects_per_dataset,
@@ -30,7 +54,7 @@ fn world(num_datasets: usize, objects_per_dataset: usize, buffer_pages: usize) -
         ..Default::default()
     };
     let model = BrainModel::new(spec.clone());
-    let storage = StorageManager::new(StorageOptions::in_memory(buffer_pages));
+    let storage = StorageManager::new(options);
     let datasets = model.generate_all();
     let mut raws = Vec::new();
     let mut all_objects = Vec::new();
@@ -44,6 +68,7 @@ fn world(num_datasets: usize, objects_per_dataset: usize, buffer_pages: usize) -
         all_objects,
         bounds: model.bounds(),
         spec,
+        _dir: dir,
     }
 }
 
@@ -75,7 +100,15 @@ fn sorted_ids(objects: &[SpatialObject]) -> Vec<(u16, u64)> {
 
 #[test]
 fn odyssey_matches_the_oracle_on_a_mixed_workload() {
-    let w = world(5, 2_000, 256);
+    odyssey_matches_oracle(world(5, 2_000, 256));
+}
+
+#[test]
+fn odyssey_matches_the_oracle_on_a_mixed_workload_on_disk() {
+    odyssey_matches_oracle(disk_world(5, 2_000, 256));
+}
+
+fn odyssey_matches_oracle(w: World) {
     let wl = workload(&w.spec, &w.bounds, 3, 60, CombinationDistribution::Zipf);
     let engine = SpaceOdyssey::new(OdysseyConfig::paper(w.bounds), w.raws.clone()).unwrap();
     for q in &wl.queries {
@@ -95,7 +128,15 @@ fn odyssey_matches_the_oracle_on_a_mixed_workload() {
 
 #[test]
 fn every_approach_returns_identical_answers() {
-    let w = world(4, 1_500, 256);
+    every_approach_identical(world(4, 1_500, 256));
+}
+
+#[test]
+fn every_approach_returns_identical_answers_on_disk() {
+    every_approach_identical(disk_world(4, 1_500, 256));
+}
+
+fn every_approach_identical(w: World) {
     let wl = workload(
         &w.spec,
         &w.bounds,
@@ -148,7 +189,15 @@ fn every_approach_returns_identical_answers() {
 
 #[test]
 fn skewed_workloads_trigger_merging_and_merge_files_are_used() {
-    let w = world(6, 2_500, 128);
+    skewed_workloads_merge(world(6, 2_500, 128));
+}
+
+#[test]
+fn skewed_workloads_trigger_merging_on_disk() {
+    skewed_workloads_merge(disk_world(6, 2_500, 128));
+}
+
+fn skewed_workloads_merge(w: World) {
     // Larger query boxes than the default harness workload: partitions only
     // exist where objects are, so merge candidates accumulate only for
     // queries that actually intersect data — a hot combination probing

@@ -33,10 +33,25 @@ struct World {
     raws: Vec<RawDataset>,
     bounds: Aabb,
     all_objects: Vec<SpatialObject>,
+    /// Keeps the tempdir of a disk-backed world alive for the test's run.
+    _dir: Option<tempfile::TempDir>,
 }
 
 fn fresh_world(spec: &DatasetSpec) -> World {
-    let storage = StorageManager::new(StorageOptions::in_memory(2048));
+    world_on(spec, StorageOptions::in_memory(2048), None)
+}
+
+/// Same world on the real-file backend (tempdir), so adaptation and ingest
+/// are exercised against `StorageBackend::Disk`, not just the in-memory
+/// default.
+fn fresh_world_on_disk(spec: &DatasetSpec) -> World {
+    let dir = tempfile::tempdir().unwrap();
+    let options = StorageOptions::on_disk(dir.path(), 2048);
+    world_on(spec, options, Some(dir))
+}
+
+fn world_on(spec: &DatasetSpec, options: StorageOptions, dir: Option<tempfile::TempDir>) -> World {
+    let storage = StorageManager::new(options);
     let model = BrainModel::new(spec.clone());
     let mut all_objects = Vec::new();
     let raws = model
@@ -53,6 +68,7 @@ fn fresh_world(spec: &DatasetSpec) -> World {
         raws,
         bounds: model.bounds(),
         all_objects,
+        _dir: dir,
     }
 }
 
@@ -119,9 +135,20 @@ fn normalize_answer(query: &Query, answer: &QueryAnswer) -> (Vec<(DatasetId, u64
 /// ingest-triggered refinement.
 #[test]
 fn interleaved_trace_matches_the_oracle_after_every_ingest() {
+    interleaved_trace_matches_the_oracle(fresh_world);
+}
+
+/// The same acceptance property against real files: adaptation, ingestion
+/// and staleness repair all hit the disk backend.
+#[test]
+fn interleaved_trace_matches_the_oracle_on_the_disk_backend() {
+    interleaved_trace_matches_the_oracle(fresh_world_on_disk);
+}
+
+fn interleaved_trace_matches_the_oracle(make_world: fn(&DatasetSpec) -> World) {
     for planner_enabled in [true, false] {
         let ds_spec = spec(5, 2_500);
-        let world = fresh_world(&ds_spec);
+        let world = make_world(&ds_spec);
         let mut config = OdysseyConfig::paper(world.bounds);
         config.planner_enabled = planner_enabled;
         // A split threshold the skewed arrival stream will actually cross.
