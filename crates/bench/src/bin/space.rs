@@ -1,0 +1,161 @@
+//! Space-reclamation smoke + benchmark: run the same churn loop (hot-region
+//! ingest batches + adaptive query mix + merge evictions) on two durable
+//! stores — online compaction on versus off — and emit the space
+//! amplification of each as `BENCH_space.json`.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin space -- \
+//!     --datasets 4 --objects 2500 --rounds 36 --out BENCH_space.json
+//! ```
+//!
+//! Exits non-zero if the two stores' verification checksums disagree (a
+//! compaction that loses or duplicates objects) or if the compacted store's
+//! amplification is not below the uncompacted one's.
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::space::{run_space, SpaceConfig, SpaceRun};
+use odyssey_datagen::{DatasetSpec, JsonValue};
+
+fn run_json(run: &SpaceRun) -> JsonValue {
+    JsonValue::Object(vec![
+        ("compaction".into(), JsonValue::Bool(run.compaction)),
+        (
+            "total_pages".into(),
+            JsonValue::Number(run.total_pages as f64),
+        ),
+        (
+            "live_pages".into(),
+            JsonValue::Number(run.live_pages as f64),
+        ),
+        (
+            "dead_pages".into(),
+            JsonValue::Number(run.dead_pages as f64),
+        ),
+        ("amplification".into(), JsonValue::Number(run.amplification)),
+        (
+            "compactions".into(),
+            JsonValue::Number(run.compactions as f64),
+        ),
+        (
+            "pages_reclaimed".into(),
+            JsonValue::Number(run.pages_reclaimed as f64),
+        ),
+        ("evictions".into(), JsonValue::Number(run.evictions as f64)),
+        (
+            "files_deleted".into(),
+            JsonValue::Number(run.files_deleted as f64),
+        ),
+        ("churn_seconds".into(), JsonValue::Number(run.churn_seconds)),
+        (
+            "checksum".into(),
+            JsonValue::String(format!("{:016x}", run.checksum)),
+        ),
+    ])
+}
+
+fn print_run(run: &SpaceRun) {
+    println!(
+        "compaction={:<5} total={:<7} live={:<7} dead={:<7} amplification={:>5.2}x  \
+         compactions={:<3} reclaimed={:<6} evictions={:<3} churn={:>9.4}s",
+        run.compaction,
+        run.total_pages,
+        run.live_pages,
+        run.dead_pages,
+        run.amplification,
+        run.compactions,
+        run.pages_reclaimed,
+        run.evictions,
+        run.churn_seconds,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "space — space-amplification experiment (compaction on vs off)\n\
+             \n\
+             options:\n\
+             --datasets N    number of datasets (default 4)\n\
+             --objects N     seed objects per dataset (default 2500)\n\
+             --rounds N      churn rounds (default 36)\n\
+             --batch N       objects per ingest batch (default 96)\n\
+             --queries N     adaptive queries per round (default 3)\n\
+             --budget N      merge space budget in pages (default 64)\n\
+             --verify N      verification queries (default 32)\n\
+             --out PATH      write results JSON (default BENCH_space.json)"
+        );
+        return;
+    }
+    let cfg = SpaceConfig {
+        dataset_spec: DatasetSpec {
+            num_datasets: args.get_usize("datasets", 4),
+            objects_per_dataset: args.get_usize("objects", 2_500),
+            soma_clusters: 5,
+            segments_per_neuron: 40,
+            seed: 777,
+            ..Default::default()
+        },
+        rounds: args.get_usize("rounds", 36),
+        ingest_batch: args.get_usize("batch", 96),
+        queries_per_round: args.get_usize("queries", 3),
+        merge_budget_pages: Some(args.get_usize("budget", 64) as u64),
+        verify_queries: args.get_usize("verify", 32),
+        buffer_pages: 2048,
+    };
+
+    let cmp = run_space(&cfg);
+    println!(
+        "space experiment: {} datasets x {} objects, {} rounds x {} arrivals\n",
+        cfg.dataset_spec.num_datasets,
+        cfg.dataset_spec.objects_per_dataset,
+        cfg.rounds,
+        cfg.ingest_batch
+    );
+    print_run(&cmp.with_compaction);
+    print_run(&cmp.without_compaction);
+    println!(
+        "\namplification saved by compaction: {:.2}x  answers_match={}",
+        cmp.amplification_ratio(),
+        cmp.answers_match()
+    );
+
+    let out = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_space.json".to_string());
+    let doc = JsonValue::Object(vec![
+        ("experiment".into(), JsonValue::String("space".into())),
+        (
+            "datasets".into(),
+            JsonValue::Number(cfg.dataset_spec.num_datasets as f64),
+        ),
+        (
+            "objects_per_dataset".into(),
+            JsonValue::Number(cfg.dataset_spec.objects_per_dataset as f64),
+        ),
+        ("rounds".into(), JsonValue::Number(cfg.rounds as f64)),
+        (
+            "amplification_ratio".into(),
+            JsonValue::Number(cmp.amplification_ratio()),
+        ),
+        ("answers_match".into(), JsonValue::Bool(cmp.answers_match())),
+        (
+            "runs".into(),
+            JsonValue::Array(vec![
+                run_json(&cmp.with_compaction),
+                run_json(&cmp.without_compaction),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_json()).expect("write results JSON");
+    println!("wrote {out}");
+
+    if !cmp.answers_match() {
+        eprintln!("FAIL: compaction changed verification answers");
+        std::process::exit(1);
+    }
+    if cmp.with_compaction.amplification >= cmp.without_compaction.amplification {
+        eprintln!("FAIL: compaction did not reduce space amplification");
+        std::process::exit(1);
+    }
+}

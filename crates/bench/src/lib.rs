@@ -23,10 +23,13 @@
 //!   cross-checked result checksums,
 //! * [`recovery`] — the durability experiment: build a durable store, crash
 //!   without closing, and compare the cold-open cost against a full rebuild
-//!   (with a checkpoint-interval sweep and cross-checked checksums).
+//!   (with a checkpoint-interval sweep and cross-checked checksums),
+//! * [`space`] — the space-reclamation experiment: the same churn loop on
+//!   two durable stores, online compaction on vs off, reporting each one's
+//!   space amplification with checksum-verified answer equality.
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput`, `query_kinds`, `ingest`, `recovery`
+//! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod ingest;
 pub mod query_kinds;
 pub mod recovery;
 pub mod report;
+pub mod space;
 pub mod throughput;
 
 pub use experiment::{
@@ -48,4 +52,5 @@ pub use ingest::IngestRun;
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use report::{format_table, write_csv, Table};
+pub use space::{run_space, SpaceComparison, SpaceConfig, SpaceRun};
 pub use throughput::ThroughputRun;

@@ -1,0 +1,292 @@
+//! The space-reclamation experiment: bounded space amplification under
+//! churn, with online compaction on versus off.
+//!
+//! Durable stores are strictly append-only, so every ingest-batch overflow
+//! rewrite and every refinement orphans its old pages. This experiment runs
+//! the same churn loop — ingest batches aimed at a hot region, interleaved
+//! with an adaptive query mix that refines, merges and evicts — on two
+//! durable stores that differ only in [`OdysseyConfig::compaction_enabled`],
+//! and reports each store's **space amplification**: total physical pages
+//! across all live files divided by the pages live metadata references.
+//! With compaction the ratio stays within a small constant; without it the
+//! dead pages grow with the churn volume, not the live data.
+//!
+//! Both stores answer an identical verification workload afterwards; the
+//! answers are reduced to a checksum that must match (compaction that loses
+//! or duplicates an object fails loudly).
+
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
+    WorkloadSpec,
+};
+use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+use odyssey_storage::{crc32, write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+
+/// Configuration of one space-reclamation experiment.
+#[derive(Debug, Clone)]
+pub struct SpaceConfig {
+    /// Synthetic datasets seeding both stores.
+    pub dataset_spec: DatasetSpec,
+    /// Churn rounds (each: one ingest batch per dataset + a query slice).
+    pub rounds: usize,
+    /// Objects per ingest batch.
+    pub ingest_batch: usize,
+    /// Adaptive queries interleaved per round.
+    pub queries_per_round: usize,
+    /// Merge-file space budget (small values force evictions, exercising
+    /// eviction GC).
+    pub merge_budget_pages: Option<u64>,
+    /// Verification queries answered by both stores at the end.
+    pub verify_queries: usize,
+    /// Buffer-pool pages for every storage manager involved.
+    pub buffer_pages: usize,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 4,
+                objects_per_dataset: 2_500,
+                soma_clusters: 5,
+                segments_per_neuron: 40,
+                seed: 777,
+                ..Default::default()
+            },
+            rounds: 36,
+            ingest_batch: 96,
+            queries_per_round: 3,
+            merge_budget_pages: Some(64),
+            verify_queries: 32,
+            buffer_pages: 2048,
+        }
+    }
+}
+
+/// Result of one store's churn run.
+#[derive(Debug, Clone)]
+pub struct SpaceRun {
+    /// Whether online compaction was enabled.
+    pub compaction: bool,
+    /// Total physical pages across all live files after the churn.
+    pub total_pages: u64,
+    /// Pages referenced by live metadata (raw + partition runs + merge
+    /// entries).
+    pub live_pages: u64,
+    /// Dead pages the accounting still tracks (uncompacted garbage).
+    pub dead_pages: u64,
+    /// `total_pages / live_pages`.
+    pub amplification: f64,
+    /// Dataset-file compactions committed.
+    pub compactions: u64,
+    /// Pages those compactions reclaimed.
+    pub pages_reclaimed: u64,
+    /// Merge files evicted (each eviction now deletes its backing file).
+    pub evictions: u64,
+    /// Files deleted on the storage manager (evictions + compaction swaps).
+    pub files_deleted: u64,
+    /// Simulated seconds the churn + verification cost.
+    pub churn_seconds: f64,
+    /// Verification answer checksum (object identities).
+    pub checksum: u64,
+}
+
+/// Result of the paired experiment.
+#[derive(Debug, Clone)]
+pub struct SpaceComparison {
+    /// The compaction-enabled run.
+    pub with_compaction: SpaceRun,
+    /// The compaction-disabled run.
+    pub without_compaction: SpaceRun,
+}
+
+impl SpaceComparison {
+    /// Whether both stores answered the verification workload identically.
+    pub fn answers_match(&self) -> bool {
+        self.with_compaction.checksum == self.without_compaction.checksum
+    }
+
+    /// Amplification saved by compaction (without / with).
+    pub fn amplification_ratio(&self) -> f64 {
+        if self.with_compaction.amplification > 0.0 {
+            self.without_compaction.amplification / self.with_compaction.amplification
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn churn_workload(spec: &DatasetSpec, queries: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3.min(spec.num_datasets),
+        num_queries: queries,
+        query_volume_fraction: 1e-4,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 4 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed,
+    }
+}
+
+/// Arrivals aimed at a narrow hot band, so the same partitions' overflow
+/// runs are rewritten round after round — the worst-case garbage producer.
+fn arrivals(bounds: &Aabb, dataset: DatasetId, batch: usize, round: u64) -> Vec<SpatialObject> {
+    let e = bounds.extent();
+    (0..batch as u64)
+        .map(|i| {
+            let t = ((round * 13 + i) % 89) as f64 / 89.0;
+            let c = Vec3::new(
+                bounds.min.x + e.x * (0.40 + 0.12 * t),
+                bounds.min.y + e.y * (0.40 + 0.12 * ((t * 3.0) % 1.0)),
+                bounds.min.z + e.z * (0.40 + 0.12 * ((t * 7.0) % 1.0)),
+            );
+            SpatialObject::new(
+                ObjectId(700_000 + round * 100_000 + i),
+                dataset,
+                Aabb::from_center_extent(c, Vec3::splat(e.x * 0.002)),
+            )
+        })
+        .collect()
+}
+
+fn verify_checksum(engine: &SpaceOdyssey, storage: &StorageManager, workload: &Workload) -> u64 {
+    let mut acc = 0u64;
+    for q in &workload.queries {
+        let outcome = engine.execute(storage, q).expect("verification query");
+        let mut ids: Vec<(u16, u64)> = outcome
+            .objects
+            .iter()
+            .map(|o| (o.dataset.0, o.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut bytes = Vec::with_capacity(ids.len() * 10);
+        for (ds, id) in &ids {
+            bytes.extend_from_slice(&ds.to_le_bytes());
+            bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        acc = acc
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(crc32(&bytes) as u64)
+            .wrapping_add(ids.len() as u64);
+    }
+    acc
+}
+
+fn run_one(cfg: &SpaceConfig, compaction: bool) -> SpaceRun {
+    let model = BrainModel::new(cfg.dataset_spec.clone());
+    let datasets = model.generate_all();
+    let total_queries = cfg.rounds * cfg.queries_per_round;
+    let churn_wl = churn_workload(&cfg.dataset_spec, total_queries, 31).generate(&model.bounds());
+    let verify_wl =
+        churn_workload(&cfg.dataset_spec, cfg.verify_queries, 67).generate(&model.bounds());
+
+    let dir = tempfile::tempdir().expect("tempdir");
+    let storage = StorageManager::create(StorageOptions::durable(dir.path(), cfg.buffer_pages))
+        .expect("create durable store");
+    let raws: Vec<RawDataset> = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let mut odyssey_cfg = OdysseyConfig::paper(model.bounds());
+    odyssey_cfg.merge_space_budget_pages = cfg.merge_budget_pages;
+    if !compaction {
+        odyssey_cfg = odyssey_cfg.without_compaction();
+    }
+    let engine = SpaceOdyssey::create(odyssey_cfg, raws, &storage).expect("create engine");
+
+    let after_seed = storage.stats();
+    for round in 0..cfg.rounds {
+        for ds in 0..cfg.dataset_spec.num_datasets {
+            let objs = arrivals(
+                &model.bounds(),
+                DatasetId(ds as u16),
+                cfg.ingest_batch,
+                (round * cfg.dataset_spec.num_datasets + ds) as u64,
+            );
+            engine
+                .ingest(&storage, DatasetId(ds as u16), &objs)
+                .expect("churn ingest");
+        }
+        let from = round * cfg.queries_per_round;
+        for q in &churn_wl.queries[from..from + cfg.queries_per_round] {
+            engine.execute(&storage, q).expect("churn query");
+        }
+    }
+    let checksum = verify_checksum(&engine, &storage, &verify_wl);
+    let churn_seconds = storage.seconds_since(&after_seed);
+
+    let total_pages = storage.total_file_pages();
+    let live_pages = engine.live_pages();
+    let evictions = engine.merger().directory().evictions();
+    SpaceRun {
+        compaction,
+        total_pages,
+        live_pages,
+        dead_pages: storage.total_dead_pages(),
+        amplification: if live_pages > 0 {
+            total_pages as f64 / live_pages as f64
+        } else {
+            f64::INFINITY
+        },
+        compactions: engine.compactions_performed(),
+        pages_reclaimed: engine.compactor().pages_reclaimed(),
+        evictions,
+        files_deleted: storage.stats().files_deleted,
+        churn_seconds,
+        checksum,
+    }
+}
+
+/// Runs the paired experiment: the same churn on two stores, compaction on
+/// versus off.
+pub fn run_space(cfg: &SpaceConfig) -> SpaceComparison {
+    SpaceComparison {
+        with_compaction: run_one(cfg, true),
+        without_compaction: run_one(cfg, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_bounds_amplification_and_preserves_answers() {
+        let cfg = SpaceConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 3,
+                objects_per_dataset: 900,
+                soma_clusters: 4,
+                segments_per_neuron: 30,
+                seed: 11,
+                ..Default::default()
+            },
+            rounds: 18,
+            ingest_batch: 64,
+            queries_per_round: 2,
+            merge_budget_pages: Some(48),
+            verify_queries: 10,
+            buffer_pages: 512,
+        };
+        let cmp = run_space(&cfg);
+        assert!(cmp.answers_match(), "{cmp:?}");
+        assert!(
+            cmp.with_compaction.compactions > 0,
+            "churn must trigger compaction: {:?}",
+            cmp.with_compaction
+        );
+        assert_eq!(cmp.without_compaction.compactions, 0);
+        assert!(
+            cmp.with_compaction.amplification < cmp.without_compaction.amplification,
+            "compaction must lower amplification: {cmp:?}"
+        );
+        assert!(
+            cmp.with_compaction.amplification <= 3.0,
+            "compacted store must stay within 3x: {:?}",
+            cmp.with_compaction
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Online compaction: the garbage collector of append-only stores.
+//!
+//! PR 4 made every durable mutation strictly append-only — ingest overflow
+//! rewrites always append a fresh run and refinement lays children out
+//! append-only — which is what makes crash recovery a pure prefix property,
+//! but it also means dead pages accumulate forever: every rewrite orphans
+//! the previous run and every split orphans the parent's pages. Under
+//! sustained ingestion a long-lived archive would exhaust disk at constant
+//! live-data size.
+//!
+//! The space-reclamation subsystem has two halves:
+//!
+//! * **Immediate GC of evicted merge files** — eviction deletes the backing
+//!   paged file at the eviction site itself
+//!   (`Merger::enforce_budget_logged`), since nothing can reference an
+//!   evicted file again;
+//! * **this [`Compactor`]** — per-dataset copy-forward rewrites. The storage
+//!   manager keeps per-file dead-page counters
+//!   ([`odyssey_storage::FileSpaceStats`], fed by the orphaning sites in
+//!   `octree.rs`); once a partition file's dead ratio crosses
+//!   [`OdysseyConfig::compaction_dead_ratio`], the live partition runs are
+//!   copied into a fresh file ([`DatasetIndex::compact`]), each partition's
+//!   main + overflow runs coalesced into one contiguous run, and the swap
+//!   commits through a single `CompactionCommit` WAL record.
+//!
+//! Compaction runs *inline* from the engine's ingest and query trigger
+//! points — no background thread, so single-core CI and the deterministic
+//! cost model stay exact — and is a no-op on non-durable managers, which
+//! rewrite in place and hence shed most dead space on their own. Beyond
+//! bounding disk use, the rewrite restores sequential layout: a compacted
+//! partition is one contiguous run, so the planner's run-coalescing cost
+//! estimates (and real scans) see fewer seeks.
+
+use crate::config::OdysseyConfig;
+use crate::octree::{CompactionStats, DatasetIndex};
+use odyssey_storage::{StorageManager, StorageResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Drives per-dataset copy-forward compaction from the engine's inline
+/// trigger points. Shared by reference across query threads; the per-dataset
+/// write lock inside [`DatasetIndex::compact`] makes each rewrite
+/// exactly-once under contention.
+#[derive(Debug, Default)]
+pub struct Compactor {
+    compactions_performed: AtomicU64,
+    pages_reclaimed: AtomicU64,
+}
+
+impl Compactor {
+    /// Creates a compactor with zeroed counters.
+    pub fn new() -> Self {
+        Compactor::default()
+    }
+
+    /// Reinstates the checkpoint-replayed compaction counter (reclaimed
+    /// pages are a live observability sum and restart at zero, like the
+    /// buffer-pool counters).
+    pub fn restore(compactions_performed: u64) -> Self {
+        Compactor {
+            compactions_performed: AtomicU64::new(compactions_performed),
+            pages_reclaimed: AtomicU64::new(0),
+        }
+    }
+
+    /// Dataset-file compactions committed so far.
+    pub fn compactions_performed(&self) -> u64 {
+        self.compactions_performed.load(Ordering::Relaxed)
+    }
+
+    /// Pages reclaimed by those compactions since the engine was (re)opened.
+    pub fn pages_reclaimed(&self) -> u64 {
+        self.pages_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Cheap, lock-free-ish trigger check: compaction is enabled, the
+    /// manager is durable (non-durable managers rewrite in place), and the
+    /// dataset's partition file has crossed the dead-page ratio.
+    fn should_compact(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        index: &DatasetIndex,
+    ) -> bool {
+        if !config.compaction_enabled || !storage.wal_enabled() {
+            return false;
+        }
+        let Some(file) = index.partition_file() else {
+            return false;
+        };
+        match storage.space_stats(file) {
+            Ok(s) => s.dead_pages > 0 && s.dead_ratio() >= config.compaction_dead_ratio,
+            Err(_) => false,
+        }
+    }
+
+    /// Compacts the dataset if its trigger holds, updating the counters.
+    /// Returns the committed rewrite's stats, or `None` when nothing was
+    /// done (trigger not met, or another thread compacted first — the
+    /// re-check inside [`DatasetIndex::compact`] settles races).
+    pub fn maybe_compact(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        index: &DatasetIndex,
+    ) -> StorageResult<Option<CompactionStats>> {
+        if !self.should_compact(storage, config, index) {
+            return Ok(None);
+        }
+        let Some(stats) = index.compact(storage, config)? else {
+            return Ok(None);
+        };
+        self.compactions_performed.fetch_add(1, Ordering::Relaxed);
+        self.pages_reclaimed
+            .fetch_add(stats.pages_reclaimed, Ordering::Relaxed);
+        Ok(Some(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+    use odyssey_storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+    fn objects(n: u64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                let c = Vec3::new(
+                    (i as f64 * 7.3) % 98.0 + 1.0,
+                    (i as f64 * 13.7) % 98.0 + 1.0,
+                    (i as f64 * 29.1) % 98.0 + 1.0,
+                );
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_center_extent(c, Vec3::splat(0.3)),
+                )
+            })
+            .collect()
+    }
+
+    fn config() -> OdysseyConfig {
+        let mut c = OdysseyConfig::paper(Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0)));
+        c.partitions_per_level = 8;
+        c
+    }
+
+    #[test]
+    fn non_durable_managers_never_compact() {
+        let storage = StorageManager::new(StorageOptions::in_memory(256));
+        let cfg = config();
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objects(500)).unwrap();
+        let index = DatasetIndex::new(raw);
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let compactor = Compactor::new();
+        // Even with dead pages reported, the non-durable manager is skipped.
+        storage.note_dead_pages(index.partition_file().unwrap(), 1_000);
+        assert!(compactor
+            .maybe_compact(&storage, &cfg, &index)
+            .unwrap()
+            .is_none());
+        assert_eq!(compactor.compactions_performed(), 0);
+    }
+
+    #[test]
+    fn durable_compaction_rewrites_coalesces_and_deletes() {
+        let dir = tempfile::tempdir().unwrap();
+        let storage = StorageManager::create(StorageOptions::durable(dir.path(), 256)).unwrap();
+        let cfg = config().with_ingest_split_objects(0);
+        let raw = write_raw_dataset(&storage, DatasetId(0), &objects(800)).unwrap();
+        let index = DatasetIndex::new(raw);
+        index.ensure_initialized(&storage, &cfg).unwrap();
+        let old_file = index.partition_file().unwrap();
+        // Churn overflow runs: every batch appends a fresh run, orphaning
+        // the previous one.
+        for round in 0..12u64 {
+            let batch: Vec<SpatialObject> = (0..80)
+                .map(|i| {
+                    SpatialObject::new(
+                        ObjectId(10_000 + round * 1_000 + i),
+                        DatasetId(0),
+                        Aabb::from_center_extent(
+                            Vec3::splat(20.0 + (i % 40) as f64),
+                            Vec3::splat(0.2),
+                        ),
+                    )
+                })
+                .collect();
+            index.ingest(&storage, &cfg, &batch).unwrap();
+        }
+        let space = storage.space_stats(old_file).unwrap();
+        assert!(
+            space.dead_ratio() >= cfg.compaction_dead_ratio,
+            "churn must cross the trigger ({space:?})"
+        );
+        let before: Vec<SpatialObject> = {
+            let mut all = Vec::new();
+            for p in index.partitions() {
+                all.extend(index.read_partition(&storage, &p.key).unwrap());
+            }
+            all.sort_by_key(|o| o.id);
+            all
+        };
+        let compactor = Compactor::new();
+        let stats = compactor
+            .maybe_compact(&storage, &cfg, &index)
+            .unwrap()
+            .expect("trigger held");
+        assert_eq!(compactor.compactions_performed(), 1);
+        assert_eq!(stats.pages_reclaimed, stats.pages_before);
+        assert!(stats.pages_after < stats.pages_before);
+        let new_file = index.partition_file().unwrap();
+        assert_ne!(new_file, old_file);
+        assert!(!storage.file_exists(old_file), "old file must be deleted");
+        assert_eq!(storage.space_stats(new_file).unwrap().dead_pages, 0);
+        // Every partition is one contiguous run now.
+        for p in index.partitions() {
+            assert_eq!(p.overflow_page_count, 0);
+        }
+        // Content identical.
+        let after: Vec<SpatialObject> = {
+            let mut all = Vec::new();
+            for p in index.partitions() {
+                all.extend(index.read_partition(&storage, &p.key).unwrap());
+            }
+            all.sort_by_key(|o| o.id);
+            all
+        };
+        assert_eq!(before, after, "compaction must preserve every object");
+        // Idempotent: a second call finds nothing to do.
+        assert!(compactor
+            .maybe_compact(&storage, &cfg, &index)
+            .unwrap()
+            .is_none());
+    }
+}

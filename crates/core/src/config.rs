@@ -82,6 +82,17 @@ pub struct OdysseyConfig {
     /// (nvme / hdd / custom) lets the planner rank access paths correctly for
     /// the hardware actually serving the queries.
     pub device_profile: DeviceProfile,
+    /// Master switch for online compaction. Durable stores are strictly
+    /// append-only, so every overflow rewrite and append-only refinement
+    /// orphans its old pages; the compactor copy-forwards a dataset file's
+    /// live runs into a fresh file once its dead-page ratio crosses
+    /// [`OdysseyConfig::compaction_dead_ratio`], bounding space
+    /// amplification. A no-op on non-durable managers, which rewrite in
+    /// place.
+    pub compaction_enabled: bool,
+    /// Dead-page ratio (dead / total pages of a dataset's partition file)
+    /// above which the compactor rewrites the file. Must be in `(0, 1]`.
+    pub compaction_dead_ratio: f64,
 }
 
 impl OdysseyConfig {
@@ -108,6 +119,11 @@ impl OdysseyConfig {
             // to the paper's SAS disks): one decides access paths, the other
             // converts the resulting I/O trace into reported seconds.
             device_profile: DeviceProfile::Nvme,
+            compaction_enabled: true,
+            // Rewrite once half of a partition file is dead: the copy then
+            // moves at most as many pages as it reclaims, so compaction I/O
+            // amortizes against the space (and scan time) it wins back.
+            compaction_dead_ratio: 0.5,
         }
     }
 
@@ -168,6 +184,20 @@ impl OdysseyConfig {
         self
     }
 
+    /// Returns a copy with online compaction disabled (dead pages then
+    /// accumulate for the store's lifetime — the space-amplification
+    /// benchmarks compare against exactly this).
+    pub fn without_compaction(mut self) -> Self {
+        self.compaction_enabled = false;
+        self
+    }
+
+    /// Returns a copy with the given compaction trigger ratio.
+    pub fn with_compaction_dead_ratio(mut self, ratio: f64) -> Self {
+        self.compaction_dead_ratio = ratio;
+        self
+    }
+
     /// Basic sanity checks; call once before constructing the engine.
     pub fn validate(&self) -> Result<(), String> {
         if self.refinement_threshold <= 0.0 || self.refinement_threshold.is_nan() {
@@ -185,6 +215,15 @@ impl OdysseyConfig {
         }
         if self.bounds.volume() <= 0.0 {
             return Err("bounds must have positive volume".into());
+        }
+        if self.compaction_dead_ratio.is_nan()
+            || self.compaction_dead_ratio <= 0.0
+            || self.compaction_dead_ratio > 1.0
+        {
+            return Err(format!(
+                "compaction_dead_ratio must be in (0, 1], got {}",
+                self.compaction_dead_ratio
+            ));
         }
         let model = self.device_profile.cost_model();
         let seek_invalid = model.seek_seconds.is_nan() || model.seek_seconds < 0.0;

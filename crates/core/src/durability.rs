@@ -253,10 +253,34 @@ pub enum MetaRecord {
         /// Committed length of the merge file after the repair.
         file_len: u64,
     },
-    /// Budget eviction of a merge file.
+    /// Budget eviction of a merge file. Replay also marks the file's backing
+    /// paged file deleted: eviction frees the replicated space immediately
+    /// (the directory-entry-only eviction of earlier versions leaked the
+    /// whole file), and the one record makes drop-entry + delete-file
+    /// crash-atomic.
     MergeEvict {
         /// The evicted combination.
         combination: DatasetSet,
+    },
+    /// Commit point of one dataset-file compaction: the live partition runs
+    /// were copy-forwarded into `new_file` (each partition's main + overflow
+    /// runs coalesced into one contiguous main run), and this single record
+    /// swaps the dataset onto the new layout — a crash at any WAL prefix
+    /// recovers either the old file (record absent; the new file is an
+    /// unreferenced orphan recovery truncates) or the new one (record
+    /// present; `old_file` is deleted), never a mix.
+    CompactionCommit {
+        /// The compacted dataset.
+        dataset: DatasetId,
+        /// The partition file being retired (deleted once the record is
+        /// durable).
+        old_file: FileId,
+        /// The freshly written partition file.
+        new_file: FileId,
+        /// The full partition table after the swap, in live order.
+        partitions: Vec<PartitionMeta>,
+        /// Committed length of the new file.
+        new_len: u64,
     },
     /// One query's contribution to the statistics collector.
     QueryStats {
@@ -278,6 +302,7 @@ const TAG_MERGE_APPEND: u8 = 5;
 const TAG_MERGE_REPAIR: u8 = 6;
 const TAG_MERGE_EVICT: u8 = 7;
 const TAG_QUERY_STATS: u8 = 8;
+const TAG_COMPACTION_COMMIT: u8 = 9;
 
 impl MetaRecord {
     /// Serializes the record for the WAL.
@@ -374,6 +399,20 @@ impl MetaRecord {
                 e.u8(TAG_MERGE_EVICT);
                 e.u64(combination.0);
             }
+            MetaRecord::CompactionCommit {
+                dataset,
+                old_file,
+                new_file,
+                partitions,
+                new_len,
+            } => {
+                e.u8(TAG_COMPACTION_COMMIT);
+                e.u16(dataset.0);
+                e.u32(old_file.0);
+                e.u32(new_file.0);
+                enc_metas(&mut e, partitions);
+                e.u64(*new_len);
+            }
             MetaRecord::QueryStats {
                 combination,
                 retrieved,
@@ -450,6 +489,13 @@ impl MetaRecord {
             },
             TAG_MERGE_EVICT => MetaRecord::MergeEvict {
                 combination: DatasetSet(d.u64()?),
+            },
+            TAG_COMPACTION_COMMIT => MetaRecord::CompactionCommit {
+                dataset: DatasetId(d.u16()?),
+                old_file: FileId(d.u32()?),
+                new_file: FileId(d.u32()?),
+                partitions: dec_metas(&mut d)?,
+                new_len: d.u64()?,
             },
             TAG_QUERY_STATS => {
                 let combination = DatasetSet(d.u64()?);
@@ -558,6 +604,9 @@ pub struct EngineSnapshot {
     pub ingests_performed: u64,
     /// Stale-merge bypasses so far.
     pub stale_bypasses: u64,
+    /// Dataset-file compactions committed so far (replayed from
+    /// [`MetaRecord::CompactionCommit`], so the counter is crash-exact).
+    pub compactions_performed: u64,
     /// Per-dataset state, in engine order.
     pub datasets: Vec<DatasetSnapshot>,
     /// Merger + merge directory state.
@@ -567,7 +616,7 @@ pub struct EngineSnapshot {
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x534F_534E; // "SOSN"
-const SNAPSHOT_VERSION: u32 = 1;
+const SNAPSHOT_VERSION: u32 = 2; // 2: compaction config + counter
 
 fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     enc_vec3(e, c.bounds.min);
@@ -586,6 +635,8 @@ fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     e.u32(c.max_refinement_level);
     e.u64(c.ingest_split_objects);
     e.bool(c.planner_enabled);
+    e.bool(c.compaction_enabled);
+    e.f64(c.compaction_dead_ratio);
     match c.device_profile {
         DeviceProfile::Nvme => e.u8(0),
         DeviceProfile::Hdd => e.u8(1),
@@ -620,6 +671,8 @@ fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
         max_refinement_level: d.u32()?,
         ingest_split_objects: d.u64()?,
         planner_enabled: d.bool()?,
+        compaction_enabled: d.bool()?,
+        compaction_dead_ratio: d.f64()?,
         device_profile: match d.u8()? {
             0 => DeviceProfile::Nvme,
             1 => DeviceProfile::Hdd,
@@ -645,6 +698,7 @@ impl EngineSnapshot {
         e.u64(self.queries_executed);
         e.u64(self.ingests_performed);
         e.u64(self.stale_bypasses);
+        e.u64(self.compactions_performed);
         e.len(self.datasets.len());
         for ds in &self.datasets {
             e.u16(ds.raw.dataset.0);
@@ -712,6 +766,7 @@ impl EngineSnapshot {
         let queries_executed = d.u64()?;
         let ingests_performed = d.u64()?;
         let stale_bypasses = d.u64()?;
+        let compactions_performed = d.u64()?;
         let n = d.len()?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
@@ -789,6 +844,7 @@ impl EngineSnapshot {
             queries_executed,
             ingests_performed,
             stale_bypasses,
+            compactions_performed,
             datasets,
             merger,
             stats,
@@ -811,11 +867,18 @@ impl EngineSnapshot {
     }
 
     /// Applies one replayed WAL record, updating the committed length map
-    /// (`file_lens`, indexed by file id) as a side effect. The mutations
-    /// mirror the live operations exactly — including `swap_remove` + push
-    /// ordering — so the recovered partition-table and directory orders are
-    /// identical to a never-crashed engine's.
-    pub fn apply(&mut self, record: &MetaRecord, file_lens: &mut Vec<u64>) -> StorageResult<()> {
+    /// (`file_lens`, indexed by file id) and the set of files the replayed
+    /// prefix deleted (`deleted`; recovery unlinks any that still exist on
+    /// disk) as side effects. The mutations mirror the live operations
+    /// exactly — including `swap_remove` + push ordering — so the recovered
+    /// partition-table and directory orders are identical to a never-crashed
+    /// engine's.
+    pub fn apply(
+        &mut self,
+        record: &MetaRecord,
+        file_lens: &mut Vec<u64>,
+        deleted: &mut Vec<FileId>,
+    ) -> StorageResult<()> {
         let set_len = |file_lens: &mut Vec<u64>, file: FileId, len: u64| {
             if file_lens.len() <= file.index() {
                 file_lens.resize(file.index() + 1, 0);
@@ -951,8 +1014,33 @@ impl EngineSnapshot {
                     .iter()
                     .position(|f| f.combination == *combination)
                     .ok_or_else(|| corrupt(format!("eviction of unknown file {combination}")))?;
+                let file = self.merger.files[idx].file;
                 self.merger.files.swap_remove(idx);
                 self.merger.evictions += 1;
+                // Eviction deletes the backing file; redo the deletion.
+                set_len(file_lens, file, 0);
+                deleted.push(file);
+            }
+            MetaRecord::CompactionCommit {
+                dataset,
+                old_file,
+                new_file,
+                partitions,
+                new_len,
+            } => {
+                let ds = self.dataset_mut(*dataset)?;
+                if ds.file != Some(*old_file) {
+                    return Err(corrupt(format!(
+                        "compaction of dataset {dataset} expected file {} to be live",
+                        old_file.0
+                    )));
+                }
+                ds.file = Some(*new_file);
+                ds.partitions = partitions.clone();
+                set_len(file_lens, *new_file, *new_len);
+                set_len(file_lens, *old_file, 0);
+                deleted.push(*old_file);
+                self.compactions_performed += 1;
             }
             MetaRecord::QueryStats {
                 combination,
@@ -1095,6 +1183,13 @@ mod tests {
             MetaRecord::MergeEvict {
                 combination: combo(&[0, 1, 2]),
             },
+            MetaRecord::CompactionCommit {
+                dataset: DatasetId(0),
+                old_file: FileId(1),
+                new_file: FileId(6),
+                partitions: vec![meta(2, 4, 0), meta(2, 5, 3)],
+                new_len: 6,
+            },
             MetaRecord::QueryStats {
                 combination: combo(&[1, 2]),
                 retrieved: vec![key(2, 4), key(2, 5)],
@@ -1118,6 +1213,7 @@ mod tests {
             queries_executed: 11,
             ingests_performed: 2,
             stale_bypasses: 1,
+            compactions_performed: 1,
             datasets: vec![DatasetSnapshot {
                 raw: RawDataset {
                     dataset: DatasetId(0),
@@ -1168,6 +1264,7 @@ mod tests {
     fn apply_replays_mutations_and_tracks_lengths() {
         let mut snap = sample_snapshot();
         let mut lens = vec![4u64, 10, 4];
+        let mut deleted: Vec<FileId> = Vec::new();
         // A refine replaces a partition in swap_remove order.
         snap.apply(
             &MetaRecord::Refine {
@@ -1177,6 +1274,7 @@ mod tests {
                 file_len: 15,
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         assert_eq!(
@@ -1204,6 +1302,7 @@ mod tests {
                 part_file_len: Some(16),
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         assert_eq!(snap.datasets[0].ingest_count, 60);
@@ -1221,6 +1320,7 @@ mod tests {
                 file_len: 4,
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         assert_eq!(snap.merger.files[0].entries[0].1[0].synced_seq, 60);
@@ -1230,10 +1330,16 @@ mod tests {
                 combination: combo(&[0, 1, 2]),
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         assert!(snap.merger.files.is_empty());
         assert_eq!(snap.merger.evictions, 1);
+        assert_eq!(
+            deleted,
+            vec![FileId(2)],
+            "eviction replay must delete the backing file"
+        );
         snap.apply(
             &MetaRecord::QueryStats {
                 combination: combo(&[0, 1]),
@@ -1241,6 +1347,7 @@ mod tests {
                 stale_bypassed: true,
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         assert_eq!(snap.queries_executed, 12);
@@ -1259,6 +1366,7 @@ mod tests {
                     file_len: 0,
                 },
                 &mut lens,
+                &mut deleted,
             )
             .is_err());
         // A merge create followed by an append lands on the new file.
@@ -1268,6 +1376,7 @@ mod tests {
                 file: FileId(5),
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
         snap.apply(
@@ -1278,8 +1387,9 @@ mod tests {
                 file_len: 2,
             },
             &mut lens,
+            &mut deleted,
         )
         .unwrap();
-        assert_eq!(lens, vec![5, 16, 4, 0, 0, 2]);
+        assert_eq!(lens, vec![5, 16, 0, 0, 0, 2], "evicted file len drops to 0");
     }
 }

@@ -53,6 +53,7 @@
 //! *timing* may differ — merges can land a few queries earlier or later — but
 //! answers are a pure function of the data and the query).
 
+use crate::compactor::Compactor;
 use crate::config::OdysseyConfig;
 use crate::durability::{
     self, ComboSnapshot, EngineSnapshot, MergeFileSnapshot, MergerSnapshot, MetaRecord,
@@ -107,6 +108,10 @@ pub struct QueryOutcome {
     /// and was bypassed (that dataset read from the octree path instead of
     /// paying the repair).
     pub stale_merge_bypassed: bool,
+    /// Dataset-file compactions this query triggered inline (dead-page ratio
+    /// crossed [`OdysseyConfig::compaction_dead_ratio`] on a queried
+    /// dataset).
+    pub compactions_performed: usize,
 }
 
 impl QueryOutcome {
@@ -137,6 +142,10 @@ pub struct IngestOutcome {
     /// are now stale (missing this batch) — the files a later query will
     /// repair or bypass.
     pub merge_files_stale: usize,
+    /// Whether this batch triggered an inline dataset-file compaction.
+    pub compaction_performed: bool,
+    /// Pages reclaimed by that compaction (0 when none ran).
+    pub pages_reclaimed: u64,
 }
 
 /// One operation of a mixed ingest+query batch.
@@ -191,6 +200,7 @@ pub struct SpaceOdyssey {
     datasets: Vec<DatasetIndex>,
     stats: RwLock<StatsCollector>,
     merger: RwLock<Merger>,
+    compactor: Compactor,
     queries_executed: AtomicU64,
     ingests_performed: AtomicU64,
     stale_bypasses: AtomicU64,
@@ -210,6 +220,7 @@ impl SpaceOdyssey {
             datasets,
             stats: RwLock::new(StatsCollector::new()),
             merger: RwLock::new(Merger::new()),
+            compactor: Compactor::new(),
             queries_executed: AtomicU64::new(0),
             ingests_performed: AtomicU64::new(0),
             stale_bypasses: AtomicU64::new(0),
@@ -247,17 +258,66 @@ impl SpaceOdyssey {
     pub fn open(storage: &StorageManager, recovered: RecoveredState) -> StorageResult<Self> {
         let mut snap = EngineSnapshot::decode(&recovered.payload)?;
         let mut lens = recovered.file_pages.clone();
+        let mut deleted: Vec<FileId> = Vec::new();
         for bytes in &recovered.wal_records {
-            snap.apply(&MetaRecord::decode(bytes)?, &mut lens)?;
+            snap.apply(&MetaRecord::decode(bytes)?, &mut lens, &mut deleted)?;
         }
         snap.config.validate().map_err(StorageError::Corrupt)?;
 
-        // Cut every file back to its committed length. Files no surviving
-        // metadata references (created right before the crash) go to zero;
-        // they keep their id slot but hold no data.
+        // Integrity net for deletions: a file the manifest committed as live
+        // but that is missing on disk can only mean it was deleted after the
+        // checkpoint — and a deletion's WAL record is durable *before* the
+        // unlink, so the replayed prefix must account for every hole.
+        for missing in &recovered.missing_files {
+            if !deleted.contains(missing) {
+                return Err(StorageError::Corrupt(format!(
+                    "file {} is missing on disk but no replayed record deletes it",
+                    missing.0
+                )));
+            }
+        }
+
+        // Cut every surviving file back to its committed length. Files no
+        // surviving metadata references (created right before the crash) go
+        // to zero; they keep their id slot but hold no data. Files the
+        // replayed records deleted are re-deleted — redo for a crash that
+        // hit between a deletion's record and its unlink.
         for id in 0..storage.file_count() {
+            let file = FileId(id as u32);
+            if deleted.contains(&file) {
+                storage.delete_file(file)?;
+                continue;
+            }
+            if !storage.file_exists(file) {
+                continue;
+            }
             let len = lens.get(id).copied().unwrap_or(0);
-            storage.truncate_file(FileId(id as u32), len)?;
+            storage.truncate_file(file, len)?;
+        }
+
+        // Rebuild the dead-page accounting the compactor triggers on: the
+        // live counters died with the process, but dead space is exactly
+        // "committed size minus metadata-referenced pages".
+        for ds in &snap.datasets {
+            if let Some(file) = ds.file {
+                let live: u64 = ds
+                    .partitions
+                    .iter()
+                    .map(|m| m.page_count + m.overflow_page_count)
+                    .sum();
+                let len = lens.get(file.index()).copied().unwrap_or(0);
+                storage.set_dead_pages(file, len.saturating_sub(live));
+            }
+        }
+        for f in &snap.merger.files {
+            let live: u64 = f
+                .entries
+                .iter()
+                .flat_map(|(_, runs)| runs.iter())
+                .map(|r| r.page_count)
+                .sum();
+            let len = lens.get(f.file.index()).copied().unwrap_or(0);
+            storage.set_dead_pages(f.file, len.saturating_sub(live));
         }
 
         // Rebuild the per-dataset ingest logs by re-reading the raw tails
@@ -316,6 +376,7 @@ impl SpaceOdyssey {
             datasets,
             stats: RwLock::new(stats),
             merger: RwLock::new(merger),
+            compactor: Compactor::restore(snap.compactions_performed),
             queries_executed: AtomicU64::new(snap.queries_executed),
             ingests_performed: AtomicU64::new(snap.ingests_performed),
             stale_bypasses: AtomicU64::new(snap.stale_bypasses),
@@ -371,6 +432,7 @@ impl SpaceOdyssey {
             queries_executed: self.queries_executed.load(Ordering::Relaxed),
             ingests_performed: self.ingests_performed.load(Ordering::Relaxed),
             stale_bypasses: self.stale_bypasses.load(Ordering::Relaxed),
+            compactions_performed: self.compactor.compactions_performed(),
             datasets,
             merger: merger_snapshot,
             stats,
@@ -441,6 +503,26 @@ impl SpaceOdyssey {
     /// instead of repairing it.
     pub fn stale_bypasses(&self) -> u64 {
         self.stale_bypasses.load(Ordering::Relaxed)
+    }
+
+    /// The online compactor (inline dataset-file copy-forward rewrites).
+    pub fn compactor(&self) -> &Compactor {
+        &self.compactor
+    }
+
+    /// Dataset-file compactions committed so far (crash-exact: replayed from
+    /// `CompactionCommit` records).
+    pub fn compactions_performed(&self) -> u64 {
+        self.compactor.compactions_performed()
+    }
+
+    /// Pages currently referenced by live metadata across the whole engine:
+    /// every raw file, every partition run, every merge-file entry run. The
+    /// denominator of the space-amplification metric — a healthy store keeps
+    /// `storage.total_file_pages()` within a small constant factor of this.
+    pub fn live_pages(&self) -> u64 {
+        let datasets: u64 = self.datasets.iter().map(|d| d.live_pages()).sum();
+        datasets + self.merger.read().unwrap().directory().total_pages()
     }
 
     /// Executes one range query over its combination of datasets. The
@@ -753,6 +835,23 @@ impl SpaceOdyssey {
             }
         }
 
+        // Phase 5: space reclamation. Refinements (this query's included)
+        // orphan pages append-only on durable managers; once a queried
+        // dataset's file crosses the dead-page ratio, compact it inline —
+        // queries are the only trigger point read-mostly workloads ever hit.
+        let mut compactions = 0usize;
+        for dataset_id in combination.iter() {
+            if let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) {
+                if self
+                    .compactor
+                    .maybe_compact(storage, &self.config, index)?
+                    .is_some()
+                {
+                    compactions += 1;
+                }
+            }
+        }
+
         if !counting {
             count = objects.len() as u64;
         }
@@ -768,6 +867,7 @@ impl SpaceOdyssey {
             merge_performed,
             stale_merge_repairs: stale_repairs,
             stale_merge_bypassed: stale_bypassed,
+            compactions_performed: compactions,
         })
     }
 
@@ -835,6 +935,7 @@ impl SpaceOdyssey {
             merge_performed: false,
             stale_merge_repairs: 0,
             stale_merge_bypassed: false,
+            compactions_performed: 0,
         })
     }
 
@@ -863,6 +964,8 @@ impl SpaceOdyssey {
             partitions_split: 0,
             partitions_created: 0,
             merge_files_stale: 0,
+            compaction_performed: false,
+            pages_reclaimed: 0,
         };
         let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset) else {
             return Ok(outcome);
@@ -888,6 +991,14 @@ impl SpaceOdyssey {
                 .iter()
                 .filter(|f| !self.stale_subset(f, DatasetSet::single(dataset)).is_empty())
                 .count();
+            drop(merger);
+            // Ingest is the heaviest dead-page producer (every batch's
+            // overflow rewrite orphans the previous run on durable
+            // managers), so it is also a compaction trigger point.
+            if let Some(c) = self.compactor.maybe_compact(storage, &self.config, index)? {
+                outcome.compaction_performed = true;
+                outcome.pages_reclaimed = c.pages_reclaimed;
+            }
         }
         Ok(outcome)
     }

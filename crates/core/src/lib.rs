@@ -26,7 +26,12 @@
 //!   adaptive state explicit serialized forms — a checkpointed
 //!   [`EngineSnapshot`] plus per-mutation [`MetaRecord`] WAL records — so a
 //!   durable store reopens ([`SpaceOdyssey::open`]) to exactly the state a
-//!   never-crashed engine would hold.
+//!   never-crashed engine would hold;
+//! * the **Compactor** ([`compactor`]) reclaims the dead pages the
+//!   append-only durable layout leaves behind: evicted merge files release
+//!   their backing file immediately, and a dataset file whose dead-page
+//!   ratio crosses the configured threshold is copy-forwarded into a fresh
+//!   contiguous layout under a single `CompactionCommit` WAL record.
 //!
 //! The public entry point is [`SpaceOdyssey`].
 
@@ -35,6 +40,7 @@
 
 pub use odyssey_storage::codec;
 
+pub mod compactor;
 pub mod config;
 pub mod durability;
 pub mod engine;
@@ -45,12 +51,15 @@ pub mod partition;
 pub mod planner;
 pub mod stats;
 
+pub use compactor::Compactor;
 pub use config::{MergeLevelPolicy, OdysseyConfig};
 pub use durability::{EngineSnapshot, MetaRecord, PartitionMeta};
 pub use engine::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, SpaceOdyssey};
 pub use merge_file::{MergeEntry, MergeFile, MergeRun, MergeSource};
 pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};
-pub use octree::{DatasetIndex, IngestStats, PreparedKnn, PreparedQuery, RegionCoverage};
+pub use octree::{
+    CompactionStats, DatasetIndex, IngestStats, PreparedKnn, PreparedQuery, RegionCoverage,
+};
 pub use partition::{Partition, PartitionKey};
 pub use planner::{AccessPath, PlanChoice, Planner};
 pub use stats::{ComboStats, StatsCollector};

@@ -63,9 +63,22 @@ impl MergeDirectory {
         self.files.is_empty()
     }
 
-    /// Total pages across all live merge files (the replicated space).
+    /// Total pages across all live merge files, counted from their directory
+    /// entries (the replicated space a query can actually be served from).
     pub fn total_pages(&self) -> u64 {
         self.files.iter().map(|f| f.total_pages()).sum()
+    }
+
+    /// Total pages the merge files' *backing files* occupy on the storage
+    /// manager. This is what the space budget is enforced against: entry
+    /// page counts drift below the physical size whenever an append partially
+    /// fails or a repair lands pages the entry bookkeeping missed, and a
+    /// budget enforced on the drifting number silently overshoots.
+    pub fn total_file_pages(&self, storage: &StorageManager) -> u64 {
+        self.files
+            .iter()
+            .map(|f| storage.num_pages(f.file_id()).unwrap_or(f.total_pages()))
+            .sum()
     }
 
     /// Number of merge files evicted so far to respect the space budget.
@@ -168,14 +181,22 @@ impl MergeDirectory {
     /// file exceeds the budget on its own (the earlier two-phase loop kept
     /// `files.len() > 1` as its guard, which silently let one oversized file
     /// violate the budget forever once the guard and the final-file check
-    /// drifted apart). Returns the combinations that were evicted, budget
-    /// violators included, so callers can observe every drop.
-    pub fn enforce_budget(&mut self, budget_pages: Option<u64>) -> Vec<DatasetSet> {
+    /// drifted apart). The budget is measured against the **actual backing
+    /// file sizes** on `storage`, not the entry-derived page counts, so
+    /// append drift (a partially failed append, repair pages the entry
+    /// bookkeeping missed) can never grow a file past what the budget sees.
+    /// Returns the evicted files themselves, budget violators included, so
+    /// callers can observe every drop *and* delete the backing files.
+    pub fn enforce_budget(
+        &mut self,
+        storage: &StorageManager,
+        budget_pages: Option<u64>,
+    ) -> Vec<MergeFile> {
         let Some(budget) = budget_pages else {
             return Vec::new();
         };
         let mut evicted = Vec::new();
-        while self.total_pages() > budget && !self.files.is_empty() {
+        while self.total_file_pages(storage) > budget && !self.files.is_empty() {
             let lru = self
                 .files
                 .iter()
@@ -183,8 +204,7 @@ impl MergeDirectory {
                 .min_by_key(|(_, f)| f.last_used())
                 .map(|(i, _)| i)
                 .expect("non-empty directory");
-            let removed = self.files.swap_remove(lru);
-            evicted.push(removed.combination);
+            evicted.push(self.files.swap_remove(lru));
             self.evictions += 1;
         }
         evicted
@@ -240,18 +260,28 @@ impl Merger {
         }
     }
 
-    /// Enforces the space budget and logs one [`MetaRecord::MergeEvict`] per
-    /// dropped file, so recovery reproduces the eviction.
+    /// Enforces the space budget; every dropped file's backing paged file is
+    /// **deleted** (an evicted merge file used to leak its file forever —
+    /// the directory entry vanished but the pages stayed). One
+    /// [`MetaRecord::MergeEvict`] is logged per drop *before* the unlink, so
+    /// recovery redoes both the directory removal and the deletion from the
+    /// single record at any crash point.
     fn enforce_budget_logged(
         &mut self,
         storage: &StorageManager,
         config: &OdysseyConfig,
     ) -> StorageResult<()> {
-        for combination in self
+        for file in self
             .directory
-            .enforce_budget(config.merge_space_budget_pages)
+            .enforce_budget(storage, config.merge_space_budget_pages)
         {
-            durability::log(storage, MetaRecord::MergeEvict { combination })?;
+            durability::log(
+                storage,
+                MetaRecord::MergeEvict {
+                    combination: file.combination,
+                },
+            )?;
+            storage.delete_file(file.file_id())?;
         }
         Ok(())
     }
@@ -605,14 +635,18 @@ mod tests {
         dir.route(combo(&[0, 1, 2]));
         let total = dir.total_pages();
         assert!(total > 0);
-        let evicted = dir.enforce_budget(Some(total / 2));
-        assert_eq!(evicted, vec![combo(&[3, 4, 5])]);
+        assert_eq!(dir.total_file_pages(&storage), total);
+        let evicted = dir.enforce_budget(&storage, Some(total / 2));
+        assert_eq!(
+            evicted.iter().map(|f| f.combination).collect::<Vec<_>>(),
+            vec![combo(&[3, 4, 5])]
+        );
         assert_eq!(dir.len(), 1);
         assert_eq!(dir.evictions(), 1);
         // No budget: nothing happens.
-        assert!(dir.enforce_budget(None).is_empty());
+        assert!(dir.enforce_budget(&storage, None).is_empty());
         // Budget of zero drops everything.
-        let evicted = dir.enforce_budget(Some(0));
+        let evicted = dir.enforce_budget(&storage, Some(0));
         assert_eq!(evicted.len(), 1);
         assert!(dir.is_empty());
     }
@@ -647,8 +681,11 @@ mod tests {
         let pages = f.total_pages();
         assert!(pages > 1);
         dir.insert(f);
-        let evicted = dir.enforce_budget(Some(1));
-        assert_eq!(evicted, vec![combo(&[0, 1, 2])]);
+        let evicted = dir.enforce_budget(&storage, Some(1));
+        assert_eq!(
+            evicted.iter().map(|f| f.combination).collect::<Vec<_>>(),
+            vec![combo(&[0, 1, 2])]
+        );
         assert!(dir.is_empty());
         assert_eq!(dir.total_pages(), 0);
         assert_eq!(dir.evictions(), 1);

@@ -92,6 +92,17 @@ impl RegionCoverage {
     }
 }
 
+/// Result of one committed dataset-file compaction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Pages the old partition file occupied.
+    pub pages_before: u64,
+    /// Pages the rewritten file occupies.
+    pub pages_after: u64,
+    /// Pages reclaimed by deleting the old file (equals `pages_before`).
+    pub pages_reclaimed: u64,
+}
+
 /// Result of one ingest call on a dataset.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IngestStats {
@@ -242,6 +253,93 @@ impl DatasetIndex {
     /// to per dataset; a file whose recorded sequence is older is *stale*.
     pub fn ingest_seq(&self) -> u64 {
         self.ingested.load(Ordering::Acquire)
+    }
+
+    /// The dataset's partition file, once first-touch partitioning created
+    /// it. The compactor polls this file's space stats for the dead-page
+    /// trigger.
+    pub fn partition_file(&self) -> Option<FileId> {
+        self.state.read().unwrap().file
+    }
+
+    /// Pages currently referenced by live metadata: the raw file plus every
+    /// partition's main and overflow runs. The denominator of the
+    /// space-amplification metric (total physical pages / live pages).
+    pub fn live_pages(&self) -> u64 {
+        let state = self.state.read().unwrap();
+        let partitions: u64 = state.partitions.iter().map(|p| p.total_page_count()).sum();
+        self.raw.read().unwrap().num_pages() + partitions
+    }
+
+    /// Copy-forwards the dataset's live partition runs into a fresh partition
+    /// file — the compaction rewrite. Every partition's main + overflow runs
+    /// are coalesced into one contiguous main run (written in key order, so
+    /// spatially adjacent regions end up physically adjacent and later
+    /// multi-partition reads coalesce into sequential sweeps), the swap is
+    /// committed with a single [`MetaRecord::CompactionCommit`] record, and
+    /// the old file is deleted. Crash at any WAL prefix recovers either the
+    /// old layout (record absent: the new file is an unreferenced orphan
+    /// recovery truncates to zero) or the new one (record present: the old
+    /// file is redeleted on open) — never a mix.
+    ///
+    /// Runs under the dataset's write lock and re-checks the dead-page
+    /// trigger there, so concurrent trigger points compact exactly once.
+    /// Returns `Ok(None)` when the dataset is uninitialized or the trigger
+    /// no longer holds.
+    pub fn compact(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+    ) -> StorageResult<Option<CompactionStats>> {
+        let mut state = self.state.write().unwrap();
+        let state = &mut *state;
+        let Some(old_file) = state.file else {
+            return Ok(None);
+        };
+        // Re-check under the lock (double-checked trigger): a thread that
+        // lost the race finds a fresh file with zero dead pages.
+        let space = storage.space_stats(old_file)?;
+        if space.dead_pages == 0 || space.dead_ratio() < config.compaction_dead_ratio {
+            return Ok(None);
+        }
+        let new_file = storage.create_file(&format!("odyssey_partitions_ds{}", self.dataset.0))?;
+        // Stage the rewritten layout in a copy of the table: the shared state
+        // must not change until the commit record is durable, or an error
+        // between the first copied partition and the WAL append would leave
+        // the live table pointing at new-file offsets while `state.file`
+        // still names the old file — silently wrong reads from then on.
+        let mut staged = state.partitions.clone();
+        let mut order: Vec<usize> = (0..staged.len()).collect();
+        order.sort_by_key(|&i| staged[i].key);
+        for idx in order {
+            let partition = staged[idx];
+            let objects = Self::read_runs(storage, old_file, &partition)?;
+            debug_assert_eq!(objects.len() as u64, partition.object_count);
+            let range = storage.append_objects(new_file, &objects)?;
+            let slot = &mut staged[idx];
+            slot.page_start = range.start;
+            slot.page_count = range.end - range.start;
+            slot.overflow_page_start = 0;
+            slot.overflow_page_count = 0;
+        }
+        let new_len = storage.num_pages(new_file)?;
+        let record = MetaRecord::CompactionCommit {
+            dataset: self.dataset,
+            old_file,
+            new_file,
+            partitions: staged.iter().map(PartitionMeta::of).collect(),
+            new_len,
+        };
+        storage.sync_file(new_file)?; // data before its record, durably
+        durability::log(storage, record)?;
+        state.partitions = staged;
+        state.file = Some(new_file);
+        let pages_reclaimed = storage.delete_file(old_file)?;
+        Ok(Some(CompactionStats {
+            pages_before: space.pages,
+            pages_after: new_len,
+            pages_reclaimed,
+        }))
     }
 
     /// The ingested objects with log positions in `[from, len)`, plus the
@@ -620,6 +718,10 @@ impl DatasetIndex {
                 let range = if !storage.wal_enabled() && partition.overflow_page_count == need {
                     storage.write_objects_at(file, partition.overflow_page_start, &overflow)?
                 } else {
+                    // The fresh run orphans the old overflow run: its pages
+                    // stay in the file as dead space until compaction
+                    // copy-forwards the partition.
+                    storage.note_dead_pages(file, partition.overflow_page_count);
                     storage.append_objects(file, &overflow)?
                 };
                 let p = &mut state.partitions[idx];
@@ -819,6 +921,15 @@ impl DatasetIndex {
                 }
             }
         }
+        // Space accounting: the append-only layout kills both parent runs;
+        // the in-place layout kills the parent's overflow run plus whatever
+        // tail of the main run the children did not refill.
+        let dead = if in_place_allowed {
+            (in_place_end - in_place_cursor) + parent.overflow_page_count
+        } else {
+            parent.total_page_count()
+        };
+        storage.note_dead_pages(file, dead);
         let record = MetaRecord::Refine {
             dataset,
             parent: parent.key,

@@ -230,6 +230,12 @@ impl<'a> Planner<'a> {
     /// Read cost of a set of page runs: adjacent runs coalesce into one
     /// sequential sweep, so only the run breaks pay seeks — exactly how the
     /// storage layer classifies the accesses. Sorts `runs` in place.
+    ///
+    /// This is also where compaction pays off for *scans*, not just disk
+    /// space: a compacted dataset file holds one contiguous run per
+    /// partition, laid out in key order, so the hit set of a query collapses
+    /// into long coalesced sweeps and the octree path's estimate (and real
+    /// cost) drops accordingly.
     fn run_read_cost(eff: &EffectiveCosts, runs: &mut [(u64, u64)]) -> f64 {
         runs.sort_unstable();
         let mut seeks = 0u64;

@@ -47,7 +47,8 @@ pub use crc::crc32;
 pub use error::{StorageError, StorageResult};
 pub use file::{DiskFile, FaultInjectingFile, FileId, MemFile, PagedFile};
 pub use manager::{
-    DurabilityOptions, RecoveredState, StorageBackend, StorageManager, StorageOptions,
+    DurabilityOptions, FileSpaceStats, RecoveredState, StorageBackend, StorageManager,
+    StorageOptions,
 };
 pub use manifest::{Manifest, ManifestFileEntry, MANIFEST_FILE_NAME};
 pub use page::{pack_objects, pages_needed, Page, PageId, OBJECTS_PER_PAGE, PAGE_SIZE};

@@ -153,6 +153,13 @@ pub struct RecoveredState {
     /// absent from the manifest) report 0 committed pages; only WAL records
     /// can extend them.
     pub file_pages: Vec<u64>,
+    /// Files the manifest committed as live but that are missing on disk.
+    /// The only legitimate cause is a deletion that happened after the
+    /// checkpoint (the deletion's WAL record is durable *before* the unlink,
+    /// so it is guaranteed to be in [`RecoveredState::wal_records`]); the
+    /// engine layer verifies each one is deleted by the replayed records and
+    /// treats anything else as corruption.
+    pub missing_files: Vec<FileId>,
     /// The valid record prefix of the metadata WAL, in append order.
     pub wal_records: Vec<Vec<u8>>,
     /// `true` if the WAL ended in a torn record (crash mid-append); the
@@ -161,10 +168,52 @@ pub struct RecoveredState {
     pub wal_truncated: bool,
 }
 
-/// One registered file: its display name plus the backend handle.
+/// Space accounting of one live paged file: its current size and how many of
+/// those pages no metadata references anymore (orphaned by an append-only
+/// rewrite, a refinement that laid its children elsewhere, …). The index
+/// layer reports dead pages through [`StorageManager::note_dead_pages`]; the
+/// compactor reads the ratio to decide when a copy-forward rewrite pays off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileSpaceStats {
+    /// Pages the file currently occupies.
+    pub pages: u64,
+    /// Pages no longer referenced by any live metadata.
+    pub dead_pages: u64,
+}
+
+impl FileSpaceStats {
+    /// Pages still referenced (`pages - dead_pages`, saturating).
+    #[inline]
+    pub fn live_pages(&self) -> u64 {
+        self.pages.saturating_sub(self.dead_pages)
+    }
+
+    /// Fraction of the file that is dead space (0.0 for an empty file).
+    #[inline]
+    pub fn dead_ratio(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.dead_pages as f64 / self.pages as f64
+        }
+    }
+}
+
+/// One registered file: its display name, the backend handle, and the
+/// dead-page counter of the space accounting.
 struct FileEntry {
     name: String,
     file: Box<dyn PagedFile>,
+    dead_pages: AtomicU64,
+}
+
+/// On-disk path of a paged file: the `NNNN_` prefix *is* the file id, which
+/// is how `open`'s directory scan recovers the table. The single source of
+/// the naming format — `create_file`, `delete_file` and the scan must agree,
+/// or a drifted unlink would silently leak the file (deletion swallows
+/// `NotFound` for crash redo) and the next open would resurrect it.
+fn paged_file_path(dir: &Path, id: FileId, name: &str) -> PathBuf {
+    dir.join(format!("{:04}_{name}.pages", id.0))
 }
 
 /// Packed (file, page) cursor used by the sequential/random classifier.
@@ -181,7 +230,10 @@ fn pack_cursor(file: FileId, page: u64) -> u64 {
 /// Owns files, buffer pool, statistics and the cost model.
 pub struct StorageManager {
     options: StorageOptions,
-    files: RwLock<Vec<Arc<FileEntry>>>,
+    /// File table indexed by [`FileId`]. A `None` slot is a tombstone left by
+    /// [`StorageManager::delete_file`]: ids are **never reused**, so a stale
+    /// cached frame or metadata handle can never alias a newer file.
+    files: RwLock<Vec<Option<Arc<FileEntry>>>>,
     buffer: BufferPool,
     stats: AtomicIoStats,
     last_read: AtomicU64,
@@ -331,31 +383,38 @@ impl StorageManager {
             found.push((id, name.to_string(), entry.path()));
         }
         found.sort_by_key(|(id, _, _)| *id);
-        for (expect, (id, _, _)) in found.iter().enumerate() {
-            if *id != expect as u32 {
-                return Err(StorageError::Corrupt(format!(
-                    "file table has a gap: expected id {expect}, found {id}"
-                )));
-            }
-        }
-        // Every file the manifest committed must still exist.
+        // The table spans every id ever assigned: ids found on disk, ids the
+        // manifest committed, and the manifest's recorded slot count (which
+        // covers files created *and* deleted between two checkpoints, so
+        // their ids are never handed out again). A gap is a tombstone left
+        // by `delete_file`, not corruption.
+        let slots = found
+            .iter()
+            .map(|(id, _, _)| *id as usize + 1)
+            .chain(manifest.files.iter().map(|f| f.id as usize + 1))
+            .chain(std::iter::once(manifest.file_slots as usize))
+            .max()
+            .unwrap_or(0);
+        // A manifest-committed file missing on disk was deleted after the
+        // checkpoint; the deletion's WAL record preceded the unlink, so the
+        // engine layer verifies it during replay. With no same-epoch WAL to
+        // replay there is no record that could justify the hole — corrupt.
+        let mut missing_files: Vec<FileId> = Vec::new();
         for entry in &manifest.files {
             if !found
                 .iter()
                 .any(|(id, name, _)| *id == entry.id && *name == entry.name)
             {
-                return Err(StorageError::Corrupt(format!(
-                    "file {} ({}) listed in the manifest is missing on disk",
-                    entry.id, entry.name
-                )));
+                missing_files.push(FileId(entry.id));
             }
         }
 
-        let mut entries: Vec<Arc<FileEntry>> = Vec::with_capacity(found.len());
-        for (_, name, path) in &found {
-            entries.push(Arc::new(FileEntry {
+        let mut entries: Vec<Option<Arc<FileEntry>>> = (0..slots).map(|_| None).collect();
+        for (id, name, path) in &found {
+            entries[*id as usize] = Some(Arc::new(FileEntry {
                 name: name.clone(),
                 file: Box::new(DiskFile::open(path)?),
+                dead_pages: AtomicU64::new(0),
             }));
         }
 
@@ -371,6 +430,13 @@ impl StorageManager {
             wal.reset(manifest.epoch)?;
             (wal, Vec::new(), false)
         };
+        if !missing_files.is_empty() && wal_records.is_empty() {
+            return Err(StorageError::Corrupt(format!(
+                "file {} listed in the manifest is missing on disk and no WAL \
+                 record can account for its deletion",
+                missing_files[0].0
+            )));
+        }
 
         let mut file_pages = vec![0u64; entries.len()];
         for entry in &manifest.files {
@@ -386,6 +452,7 @@ impl StorageManager {
             RecoveredState {
                 payload: manifest.payload,
                 file_pages,
+                missing_files,
                 wal_records,
                 wal_truncated,
             },
@@ -434,14 +501,16 @@ impl StorageManager {
         // its pages — this covers writes that never produce a WAL record
         // (seed raw files written before the first checkpoint, in
         // particular), completing the data-before-commit ordering.
-        for entry in files.iter() {
+        for entry in files.iter().flatten() {
             entry.file.sync()?;
         }
         let manifest = Manifest {
             epoch,
+            file_slots: files.len() as u64,
             files: files
                 .iter()
                 .enumerate()
+                .filter_map(|(id, slot)| slot.as_ref().map(|e| (id, e)))
                 .map(|(id, e)| ManifestFileEntry {
                     id: id as u32,
                     name: e.name.clone(),
@@ -539,8 +608,7 @@ impl StorageManager {
             StorageBackend::Memory => Box::new(MemFile::new()),
             StorageBackend::Disk(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let path = dir.join(format!("{:04}_{name}.pages", id.0));
-                let file = DiskFile::create(path)?;
+                let file = DiskFile::create(paged_file_path(dir, id, name))?;
                 if self.wal.is_some() {
                     // A durable store's file table is recovered from the
                     // directory listing, so the new directory entry must
@@ -550,12 +618,121 @@ impl StorageManager {
                 Box::new(file)
             }
         };
-        files.push(Arc::new(FileEntry {
+        files.push(Some(Arc::new(FileEntry {
             name: name.to_string(),
             file,
-        }));
+            dead_pages: AtomicU64::new(0),
+        })));
         AtomicIoStats::add(&self.stats.files_created, 1);
         Ok(id)
+    }
+
+    /// Deletes a file: its table slot becomes a permanent tombstone (the id
+    /// is never handed out again), every buffer frame of the file is
+    /// invalidated, and — on the disk backend — the backing file is removed
+    /// and the directory fsynced so the deletion survives power loss.
+    /// Returns the number of pages the file occupied (the reclaimed space).
+    ///
+    /// Idempotent: deleting an already-deleted file returns `Ok(0)`, which is
+    /// what makes crash-recovery redo (replay a deletion record whose unlink
+    /// already happened) safe. On durable managers, callers must log the WAL
+    /// record that implies the deletion *before* calling — the record is
+    /// what recovery uses to tell a legitimate post-checkpoint deletion from
+    /// a corrupt store.
+    pub fn delete_file(&self, file: FileId) -> StorageResult<u64> {
+        let entry = {
+            let mut files = self.files.write().unwrap();
+            let slot = files
+                .get_mut(file.index())
+                .ok_or(StorageError::UnknownFile(file.0))?;
+            match slot.take() {
+                Some(entry) => entry,
+                None => return Ok(0), // already deleted
+            }
+        };
+        // Invalidate *after* the tombstone is in place: a concurrent reader
+        // that re-inserts a frame mid-invalidation would have had to resolve
+        // the id through the table first, which now refuses it.
+        self.buffer.invalidate_file(file);
+        let pages = entry.file.num_pages();
+        if let StorageBackend::Disk(dir) = &self.options.backend {
+            match std::fs::remove_file(paged_file_path(dir, file, &entry.name)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            if self.wal.is_some() {
+                // The durable file table is recovered from the directory
+                // listing; the removal must be durable before the next
+                // checkpoint claims the file no longer exists.
+                crate::manifest::sync_dir(dir)?;
+            }
+        }
+        AtomicIoStats::add(&self.stats.files_deleted, 1);
+        Ok(pages)
+    }
+
+    /// Whether the file id maps to a live (not deleted, in-range) file.
+    pub fn file_exists(&self, file: FileId) -> bool {
+        self.files
+            .read()
+            .unwrap()
+            .get(file.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// Records that `n` pages of `file` lost their last metadata reference
+    /// (an append-only overflow rewrite, a refinement that laid children
+    /// elsewhere, …). Feeds [`StorageManager::space_stats`], which the
+    /// compactor polls. A no-op for deleted files.
+    pub fn note_dead_pages(&self, file: FileId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Ok(entry) = self.entry(file) {
+            entry.dead_pages.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the dead-page counter of `file` (recovery recomputes dead
+    /// space as committed size minus metadata-referenced pages, since the
+    /// live counters die with the process).
+    pub fn set_dead_pages(&self, file: FileId, n: u64) {
+        if let Ok(entry) = self.entry(file) {
+            entry.dead_pages.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Space accounting of one live file (size + dead pages).
+    pub fn space_stats(&self, file: FileId) -> StorageResult<FileSpaceStats> {
+        let entry = self.entry(file)?;
+        Ok(FileSpaceStats {
+            pages: entry.file.num_pages(),
+            dead_pages: entry.dead_pages.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Total pages across all live files — the store's physical footprint
+    /// (the numerator of the space-amplification metric).
+    pub fn total_file_pages(&self) -> u64 {
+        self.files
+            .read()
+            .unwrap()
+            .iter()
+            .flatten()
+            .map(|e| e.file.num_pages())
+            .sum()
+    }
+
+    /// Total dead pages across all live files.
+    pub fn total_dead_pages(&self) -> u64 {
+        self.files
+            .read()
+            .unwrap()
+            .iter()
+            .flatten()
+            .map(|e| e.dead_pages.load(Ordering::Relaxed))
+            .sum()
     }
 
     fn entry(&self, file: FileId) -> StorageResult<Arc<FileEntry>> {
@@ -563,7 +740,7 @@ impl StorageManager {
             .read()
             .unwrap()
             .get(file.index())
-            .cloned()
+            .and_then(|slot| slot.clone())
             .ok_or(StorageError::UnknownFile(file.0))
     }
 
@@ -572,17 +749,20 @@ impl StorageManager {
         Ok(self.entry(file)?.name.clone())
     }
 
-    /// Names of all files, in creation order.
+    /// Names of all live (not deleted) files, in creation order.
     pub fn file_names(&self) -> Vec<String> {
         self.files
             .read()
             .unwrap()
             .iter()
+            .flatten()
             .map(|e| e.name.clone())
             .collect()
     }
 
-    /// Number of files created so far.
+    /// Number of file-table slots assigned so far (deleted files keep their
+    /// slot as a tombstone, so this is "ids ever handed out", not the live
+    /// count).
     pub fn file_count(&self) -> usize {
         self.files.read().unwrap().len()
     }
@@ -1082,6 +1262,73 @@ mod tests {
             rec.wal_records.is_empty(),
             "records from a stale epoch must not replay"
         );
+    }
+
+    #[test]
+    fn delete_file_reclaims_space_and_updates_accounting() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = StorageManager::new(StorageOptions::on_disk(dir.path(), 16));
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(200)).unwrap();
+        assert_eq!(m.space_stats(f).unwrap().pages, 4);
+        m.note_dead_pages(f, 3);
+        let s = m.space_stats(f).unwrap();
+        assert_eq!(s.dead_pages, 3);
+        assert_eq!(s.live_pages(), 1);
+        assert!((s.dead_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(m.total_file_pages(), 4);
+        assert_eq!(m.total_dead_pages(), 3);
+        // Deletion removes the physical file and the accounting.
+        assert_eq!(m.delete_file(f).unwrap(), 4);
+        assert_eq!(m.total_file_pages(), 0);
+        assert_eq!(m.total_dead_pages(), 0);
+        assert!(m.space_stats(f).is_err());
+        assert!(!dir.path().join("0000_data.pages").exists());
+        // Dead-page notes on deleted files are silently dropped.
+        m.note_dead_pages(f, 5);
+        m.set_dead_pages(f, 5);
+        assert_eq!(m.total_dead_pages(), 0);
+        // file_names skips tombstones; file_count keeps the slot.
+        assert!(m.file_names().is_empty());
+        assert_eq!(m.file_count(), 1);
+    }
+
+    #[test]
+    fn missing_manifest_file_without_wal_records_is_corrupt() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = StorageManager::create(StorageOptions::durable(dir.path(), 16)).unwrap();
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(10)).unwrap();
+        m.checkpoint(b"p").unwrap();
+        drop(m);
+        // Simulate an impossible hole: the file vanishes although no WAL
+        // record of the manifest's epoch could have deleted it.
+        std::fs::remove_file(dir.path().join("0000_data.pages")).unwrap();
+        assert!(matches!(
+            StorageManager::open(StorageOptions::durable(dir.path(), 16)),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_manifest_file_with_wal_records_is_reported_for_replay() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = StorageManager::create(StorageOptions::durable(dir.path(), 16)).unwrap();
+        let f = m.create_file("data").unwrap();
+        m.append_objects(f, &objs(10)).unwrap();
+        m.checkpoint(b"p").unwrap();
+        // A post-checkpoint record that (at the engine layer) would justify
+        // the deletion; storage only validates that *some* record exists and
+        // leaves the verification to the engine's replay.
+        m.log_meta(b"delete-record").unwrap();
+        m.delete_file(f).unwrap();
+        drop(m);
+        let (m2, rec) = StorageManager::open(StorageOptions::durable(dir.path(), 16)).unwrap();
+        assert_eq!(rec.missing_files, vec![f]);
+        assert_eq!(rec.wal_records, vec![b"delete-record".to_vec()]);
+        assert!(!m2.file_exists(f));
+        // The tombstone keeps its slot: the next id continues after it.
+        assert_eq!(m2.create_file("next").unwrap(), FileId(1));
     }
 
     #[test]

@@ -23,8 +23,9 @@ pub const MANIFEST_FILE_NAME: &str = "MANIFEST.som";
 /// Magic bytes opening the manifest.
 const MANIFEST_MAGIC: [u8; 4] = *b"SOMF";
 
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current manifest format version (2 added the file-slot count, so ids of
+/// files deleted between checkpoints are never reused after a reopen).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Fsyncs a directory, making recent renames and file creations in it
 /// durable (directory entries are metadata the data-file fsyncs don't
@@ -52,7 +53,13 @@ pub struct Manifest {
     /// Checkpoint epoch; the WAL whose header carries the same epoch holds
     /// the mutations that happened after this manifest was written.
     pub epoch: u64,
-    /// The file table at checkpoint time, ordered by id.
+    /// Total file-table slots assigned at checkpoint time, deleted files'
+    /// tombstones included. Recovery sizes the table from this so a file id
+    /// is never reused even when its file was created *and* deleted between
+    /// two checkpoints.
+    pub file_slots: u64,
+    /// The live files at checkpoint time, ordered by id (deleted files are
+    /// simply absent — their ids are gaps below `file_slots`).
     pub files: Vec<ManifestFileEntry>,
     /// Opaque engine snapshot (encoded/decoded by the engine layer).
     pub payload: Vec<u8>,
@@ -65,6 +72,7 @@ impl Manifest {
         e.raw(&MANIFEST_MAGIC);
         e.u32(MANIFEST_VERSION);
         e.u64(self.epoch);
+        e.u64(self.file_slots);
         e.len(self.files.len());
         for f in &self.files {
             e.u32(f.id);
@@ -101,6 +109,7 @@ impl Manifest {
             )));
         }
         let epoch = d.u64()?;
+        let file_slots = d.u64()?;
         let file_count = d.len()?;
         let mut files = Vec::with_capacity(file_count);
         for _ in 0..file_count {
@@ -115,6 +124,7 @@ impl Manifest {
         d.finish()?;
         Ok(Manifest {
             epoch,
+            file_slots,
             files,
             payload,
         })
@@ -155,6 +165,7 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             epoch: 7,
+            file_slots: 3,
             files: vec![
                 ManifestFileEntry {
                     id: 0,
@@ -177,6 +188,7 @@ mod tests {
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
         let empty = Manifest {
             epoch: 0,
+            file_slots: 0,
             files: Vec::new(),
             payload: Vec::new(),
         };

@@ -35,6 +35,9 @@ pub struct IoStats {
     pub objects_ingested: u64,
     /// Number of files created.
     pub files_created: u64,
+    /// Number of files deleted (merge-file eviction, compaction's
+    /// copy-forward swap).
+    pub files_deleted: u64,
 }
 
 impl IoStats {
@@ -79,6 +82,7 @@ impl IoStats {
         self.objects_written += other.objects_written;
         self.objects_ingested += other.objects_ingested;
         self.files_created += other.files_created;
+        self.files_deleted += other.files_deleted;
     }
 }
 
@@ -96,6 +100,7 @@ impl Sub for IoStats {
             objects_written: self.objects_written - rhs.objects_written,
             objects_ingested: self.objects_ingested - rhs.objects_ingested,
             files_created: self.files_created - rhs.files_created,
+            files_deleted: self.files_deleted - rhs.files_deleted,
         }
     }
 }
@@ -127,6 +132,8 @@ pub struct AtomicIoStats {
     pub objects_ingested: AtomicU64,
     /// See [`IoStats::files_created`].
     pub files_created: AtomicU64,
+    /// See [`IoStats::files_deleted`].
+    pub files_deleted: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -148,6 +155,7 @@ impl AtomicIoStats {
             objects_written: self.objects_written.load(Ordering::Relaxed),
             objects_ingested: self.objects_ingested.load(Ordering::Relaxed),
             files_created: self.files_created.load(Ordering::Relaxed),
+            files_deleted: self.files_deleted.load(Ordering::Relaxed),
         }
     }
 }
@@ -179,6 +187,7 @@ mod tests {
             objects_written: 50,
             objects_ingested: 20,
             files_created: 1,
+            files_deleted: 0,
         }
     }
 

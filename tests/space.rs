@@ -1,0 +1,684 @@
+//! Space-reclamation integration tests: bounded space amplification under
+//! churn, oracle-exact answers before and after every compaction, crash
+//! injection at every WAL page prefix through a compaction, and the
+//! file-deletion regressions (evicted merge files release their backing
+//! file; deleted file ids are never reused and leave no stale buffer
+//! frames).
+
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::geom::{
+    scan_knn_query, scan_query, Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId,
+    PointQuery, Query, QueryId, RangeQuery, SpatialObject, Vec3,
+};
+use space_odyssey::storage::{write_raw_dataset, FileId, PageId, StorageManager, StorageOptions};
+use std::path::Path;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NUM_DATASETS: u16 = 3;
+const PER_DATASET: u64 = 1200;
+
+fn bounds() -> Aabb {
+    Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+}
+
+fn config() -> OdysseyConfig {
+    let mut c = OdysseyConfig::paper(bounds());
+    c.partitions_per_level = 8;
+    c.merge_space_budget_pages = Some(96);
+    c
+}
+
+fn clustered_objects(n: u64, ds: u16, seed: u64) -> Vec<SpatialObject> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed * 977 + 13);
+    let centers: Vec<Vec3> = (0..6)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(15.0..85.0),
+                rng.gen_range(15.0..85.0),
+                rng.gen_range(15.0..85.0),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let jitter = Vec3::new(
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            );
+            SpatialObject::new(
+                ObjectId(i),
+                DatasetId(ds),
+                Aabb::from_center_extent(c + jitter, Vec3::splat(rng.gen_range(0.1..0.5))),
+            )
+        })
+        .collect()
+}
+
+/// Arrivals aimed at a narrow hot band so the same partitions' overflow runs
+/// are rewritten round after round — the worst-case dead-page producer.
+fn arrivals(ds: u16, round: u64, n: u64) -> Vec<SpatialObject> {
+    (0..n)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(600_000 + round * 10_000 + i),
+                DatasetId(ds),
+                Aabb::from_center_extent(
+                    Vec3::new(
+                        44.0 + ((round + i) % 9) as f64,
+                        46.0 + ((round * 3 + i) % 7) as f64,
+                        45.0 + ((round * 5 + i) % 8) as f64,
+                    ),
+                    Vec3::splat(0.3),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn hot_query(id: u32, offset: f64, side: f64) -> RangeQuery {
+    RangeQuery::new(
+        QueryId(id),
+        Aabb::from_center_extent(Vec3::splat(48.0 + offset), Vec3::splat(side)),
+        DatasetSet::first_n(NUM_DATASETS as usize),
+    )
+}
+
+/// The verification mix: every query kind, spread over the volume plus the
+/// hot region.
+fn verification_mix() -> Vec<Query> {
+    let mut queries = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(4141);
+    for i in 0..16u32 {
+        let c = Vec3::new(
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+        );
+        let combo = DatasetSet::first_n(NUM_DATASETS as usize);
+        queries.push(match i % 4 {
+            0 => Query::Range(RangeQuery::new(
+                QueryId(1000 + i),
+                Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(3.0..10.0))),
+                combo,
+            )),
+            1 => Query::Point(PointQuery::new(QueryId(1000 + i), c, combo)),
+            2 => Query::Count(CountQuery::new(
+                QueryId(1000 + i),
+                Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(5.0..20.0))),
+                combo,
+            )),
+            _ => Query::KNearestNeighbors(KnnQuery::new(
+                QueryId(1000 + i),
+                c,
+                rng.gen_range(1..20),
+                combo,
+            )),
+        });
+    }
+    queries.push(Query::Range(hot_query(2000, 0.5, 4.0)));
+    queries
+}
+
+fn canonical(engine: &SpaceOdyssey, storage: &StorageManager, q: &Query) -> (u64, Vec<(u16, u64)>) {
+    let outcome = engine.execute_query(storage, q).unwrap();
+    let mut ids: Vec<(u16, u64)> = outcome
+        .objects
+        .iter()
+        .map(|o| (o.dataset.0, o.id.0))
+        .collect();
+    if !matches!(q, Query::KNearestNeighbors(_)) {
+        ids.sort_unstable();
+        ids.dedup();
+    }
+    (outcome.count, ids)
+}
+
+fn oracle(all: &[SpatialObject], q: &Query) -> (u64, Vec<(u16, u64)>) {
+    let range_ids = |rq: &RangeQuery| -> Vec<(u16, u64)> {
+        let mut ids: Vec<(u16, u64)> = scan_query(rq, all.iter())
+            .iter()
+            .map(|o| (o.dataset.0, o.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    match q {
+        Query::Range(rq) => {
+            let ids = range_ids(rq);
+            (ids.len() as u64, ids)
+        }
+        Query::Point(pq) => {
+            let ids = range_ids(&pq.as_range());
+            (ids.len() as u64, ids)
+        }
+        Query::Count(cq) => {
+            let ids = range_ids(&cq.as_range());
+            (ids.len() as u64, Vec::new())
+        }
+        Query::KNearestNeighbors(kq) => {
+            let ids: Vec<(u16, u64)> = scan_knn_query(kq, all.iter())
+                .iter()
+                .map(|o| (o.dataset.0, o.id.0))
+                .collect();
+            (ids.len() as u64, ids)
+        }
+    }
+}
+
+fn assert_oracle_exact(
+    engine: &SpaceOdyssey,
+    storage: &StorageManager,
+    all: &[SpatialObject],
+    context: &str,
+) {
+    for q in &verification_mix() {
+        assert_eq!(
+            canonical(engine, storage, q),
+            oracle(all, q),
+            "query {:?} diverged ({context})",
+            q.id()
+        );
+    }
+}
+
+struct ChurnResult {
+    seeds: Vec<Vec<SpatialObject>>,
+    sent: Vec<Vec<SpatialObject>>,
+    total_pages: u64,
+    live_pages: u64,
+    compactions: u64,
+}
+
+/// Runs the churn loop on a fresh durable store in `dir`: hot-band ingest
+/// batches (overflow rewrites orphan a run per batch), an adaptive query mix
+/// (refinement + merging + budget evictions), and — when `verify` is set —
+/// an oracle check of all four query kinds on every round where the
+/// compaction counter moved.
+fn churn(dir: &Path, cfg: OdysseyConfig, rounds: u64, verify: bool) -> ChurnResult {
+    let storage = StorageManager::create(StorageOptions::durable(dir, 256)).unwrap();
+    let mut raws = Vec::new();
+    let mut seeds = Vec::new();
+    for ds in 0..NUM_DATASETS {
+        let objs = clustered_objects(PER_DATASET, ds, ds as u64 + 1);
+        raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+        seeds.push(objs);
+    }
+    let engine = SpaceOdyssey::create(cfg, raws, &storage).unwrap();
+    let mut sent: Vec<Vec<SpatialObject>> = (0..NUM_DATASETS).map(|_| Vec::new()).collect();
+    let mut all: Vec<SpatialObject> = seeds.iter().flatten().copied().collect();
+    let mut seen_compactions = 0u64;
+    for round in 0..rounds {
+        for ds in 0..NUM_DATASETS {
+            let objs = arrivals(ds, round, 100);
+            engine.ingest(&storage, DatasetId(ds), &objs).unwrap();
+            sent[ds as usize].extend(objs.iter().copied());
+            all.extend(objs);
+        }
+        engine
+            .execute(&storage, &hot_query(round as u32, (round % 3) as f64, 4.0))
+            .unwrap();
+        if verify && engine.compactions_performed() > seen_compactions {
+            seen_compactions = engine.compactions_performed();
+            assert_oracle_exact(
+                &engine,
+                &storage,
+                &all,
+                &format!("after compaction #{seen_compactions}, round {round}"),
+            );
+        }
+    }
+    if verify {
+        assert_oracle_exact(&engine, &storage, &all, "after the churn loop");
+        // The accounting invariant: physical = live + tracked dead.
+        assert_eq!(
+            storage.total_file_pages(),
+            engine.live_pages() + storage.total_dead_pages(),
+            "space accounting must balance"
+        );
+    }
+    ChurnResult {
+        seeds,
+        sent,
+        total_pages: storage.total_file_pages(),
+        live_pages: engine.live_pages(),
+        compactions: engine.compactions_performed(),
+    }
+    // storage + engine dropped without close = crash image in `dir`.
+}
+
+#[test]
+fn churn_keeps_space_amplification_bounded() {
+    const ROUNDS: u64 = 30;
+    let on_dir = tempfile::tempdir().unwrap();
+    let on = churn(on_dir.path(), config(), ROUNDS, true);
+    assert!(
+        on.compactions > 0,
+        "churn must trigger at least one compaction"
+    );
+    assert!(
+        on.total_pages <= 3 * on.live_pages,
+        "with compaction, total pages ({}) must stay within 3x live pages ({})",
+        on.total_pages,
+        on.live_pages
+    );
+
+    let off_dir = tempfile::tempdir().unwrap();
+    let off = churn(off_dir.path(), config().without_compaction(), ROUNDS, false);
+    assert_eq!(off.compactions, 0);
+    assert!(
+        off.total_pages > 3 * off.live_pages,
+        "without compaction, the same churn must exceed the 3x bound \
+         (total {}, live {})",
+        off.total_pages,
+        off.live_pages
+    );
+    // Same logical content churned into both stores (live pages may differ
+    // slightly: coalescing a partition's main + overflow runs can pack
+    // partial pages tighter).
+    assert_eq!(on.sent, off.sent);
+    assert_eq!(on.seeds, off.seeds);
+}
+
+/// Consistent-prefix check of one crash image, space accounting included.
+fn assert_consistent_prefix(dir: &Path, seeds: &[Vec<SpatialObject>], sent: &[Vec<SpatialObject>]) {
+    let (storage, recovered) = StorageManager::open(StorageOptions::durable(dir, 256)).unwrap();
+    let engine = SpaceOdyssey::open(&storage, recovered).unwrap();
+    let mut visible: Vec<SpatialObject> = seeds.iter().flatten().copied().collect();
+    for ds in 0..NUM_DATASETS {
+        let (log, seq) = engine.dataset(DatasetId(ds)).unwrap().ingest_tail(0);
+        assert_eq!(seq as usize, log.len());
+        assert!(log.len() <= sent[ds as usize].len());
+        assert_eq!(
+            log,
+            sent[ds as usize][..log.len()],
+            "recovered ingest log of DS{ds} is not a prefix of the sent batches"
+        );
+        visible.extend(log);
+    }
+    assert_oracle_exact(&engine, &storage, &visible, "crash image");
+    // Recovered space accounting balances: committed pages = live pages +
+    // recomputed dead pages (the compactor can keep going after recovery).
+    assert_eq!(
+        storage.total_file_pages(),
+        engine.live_pages() + storage.total_dead_pages(),
+        "recovered space accounting must balance"
+    );
+}
+
+/// One churn attempt against a (possibly fault-injected) store. Stops at the
+/// first error — the injected WAL fault — and reports what was sent up to
+/// then, following the prefix convention of the durability tests (a batch
+/// whose ingest errored may still be partially durable and counts as sent).
+fn churn_until_fault(
+    storage: &StorageManager,
+    engine: &SpaceOdyssey,
+    rounds: u64,
+    sent: &mut [Vec<SpatialObject>],
+) -> bool {
+    for round in 0..rounds {
+        for ds in 0..NUM_DATASETS {
+            let objs = arrivals(ds, round, 100);
+            let failed = engine.ingest(storage, DatasetId(ds), &objs).is_err();
+            sent[ds as usize].extend(objs);
+            if failed {
+                return true;
+            }
+        }
+        if engine
+            .execute(storage, &hot_query(round as u32, (round % 3) as f64, 4.0))
+            .is_err()
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn injected_crashes_at_every_wal_budget_through_a_compaction_recover_consistently() {
+    // Probe run (no fault): find the round the first compaction commits in
+    // and the WAL page counts bracketing it. The churn is single-threaded
+    // and seeded, so a fault-injected rerun replays the identical trace up
+    // to its crash point.
+    let probe_dir = tempfile::tempdir().unwrap();
+    let (wal_pages, compaction_round) = {
+        let storage =
+            StorageManager::create(StorageOptions::durable(probe_dir.path(), 256)).unwrap();
+        let mut raws = Vec::new();
+        for ds in 0..NUM_DATASETS {
+            let objs = clustered_objects(PER_DATASET, ds, ds as u64 + 1);
+            raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+        }
+        let engine = SpaceOdyssey::create(config(), raws, &storage).unwrap();
+        let mut hit = None;
+        for round in 0..24u64 {
+            for ds in 0..NUM_DATASETS {
+                engine
+                    .ingest(&storage, DatasetId(ds), &arrivals(ds, round, 100))
+                    .unwrap();
+            }
+            engine
+                .execute(&storage, &hot_query(round as u32, (round % 3) as f64, 4.0))
+                .unwrap();
+            if engine.compactions_performed() > 0 {
+                hit = Some(round);
+                break;
+            }
+        }
+        let round = hit.expect("24 churn rounds must trigger a compaction");
+        (storage.wal_pages(), round)
+    };
+    // The probe image's record count bounds the WAL *write* count of the
+    // trace: every append persists its tail page (one write, two when the
+    // record crosses a page boundary), so writes <= records + pages.
+    let records = {
+        let (_, recovered) =
+            StorageManager::open(StorageOptions::durable(probe_dir.path(), 256)).unwrap();
+        recovered.wal_records.len() as u64
+    };
+    let write_upper = records + wal_pages + 4;
+
+    // Crash at every WAL write budget across the compaction round (its
+    // ingest records, the refines, the CompactionCommit itself), plus a
+    // sparse sweep of the earlier churn. Fault injection produces *real*
+    // crash images — a deletion's unlink only ever happens after its record
+    // is durable, so every recovered store must be a consistent prefix.
+    let dense_from = write_upper.saturating_sub(28).max(2);
+    let early_step = ((dense_from - 2) / 5).max(1);
+    let budgets: Vec<u64> = (2..dense_from)
+        .step_by(early_step as usize)
+        .chain(dense_from..=write_upper + 2)
+        .collect();
+    let mut recovered_compactions = 0u64;
+    for budget in budgets {
+        let dir = tempfile::tempdir().unwrap();
+        let (seeds, sent) = {
+            let storage = StorageManager::create(
+                StorageOptions::durable(dir.path(), 256).with_wal_write_limit(budget),
+            )
+            .unwrap();
+            let mut raws = Vec::new();
+            let mut seeds = Vec::new();
+            for ds in 0..NUM_DATASETS {
+                let objs = clustered_objects(PER_DATASET, ds, ds as u64 + 1);
+                raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+                seeds.push(objs);
+            }
+            // The creation checkpoint itself may hit the fault for tiny
+            // budgets; skip those runs (no manifest = no store).
+            let Ok(engine) = SpaceOdyssey::create(config(), raws, &storage) else {
+                continue;
+            };
+            let mut sent: Vec<Vec<SpatialObject>> = (0..NUM_DATASETS).map(|_| Vec::new()).collect();
+            churn_until_fault(&storage, &engine, compaction_round + 2, &mut sent);
+            (seeds, sent)
+        };
+        assert_consistent_prefix(dir.path(), &seeds, &sent);
+        let (storage, recovered) =
+            StorageManager::open(StorageOptions::durable(dir.path(), 256)).unwrap();
+        let engine = SpaceOdyssey::open(&storage, recovered).unwrap();
+        recovered_compactions = recovered_compactions.max(engine.compactions_performed());
+    }
+    assert!(
+        recovered_compactions > 0,
+        "the largest budgets must crash after the compaction committed, \
+         and the commit must survive recovery"
+    );
+}
+
+#[test]
+fn compaction_after_a_checkpoint_recovers_across_the_manifest_hole() {
+    // A checkpoint commits the partition file to the manifest; a later
+    // compaction deletes it. On reopen the manifest lists a file that no
+    // longer exists — recovery must accept the hole because the replayed
+    // CompactionCommit accounts for it, and still answer oracle-exact.
+    let dir = tempfile::tempdir().unwrap();
+    let (seeds, sent) = {
+        let storage = StorageManager::create(StorageOptions::durable(dir.path(), 256)).unwrap();
+        let mut raws = Vec::new();
+        let mut seeds = Vec::new();
+        for ds in 0..NUM_DATASETS {
+            let objs = clustered_objects(PER_DATASET, ds, ds as u64 + 1);
+            raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+            seeds.push(objs);
+        }
+        let engine = SpaceOdyssey::create(config(), raws, &storage).unwrap();
+        // First touch creates the partition files, then the checkpoint
+        // commits them to the manifest.
+        engine.execute(&storage, &hot_query(0, 0.0, 4.0)).unwrap();
+        engine.checkpoint(&storage).unwrap();
+        let mut sent: Vec<Vec<SpatialObject>> = (0..NUM_DATASETS).map(|_| Vec::new()).collect();
+        let mut compacted = false;
+        for round in 0..24u64 {
+            for ds in 0..NUM_DATASETS {
+                let objs = arrivals(ds, round, 100);
+                engine.ingest(&storage, DatasetId(ds), &objs).unwrap();
+                sent[ds as usize].extend(objs);
+            }
+            engine
+                .execute(
+                    &storage,
+                    &hot_query(1 + round as u32, (round % 3) as f64, 4.0),
+                )
+                .unwrap();
+            if engine.compactions_performed() > 0 {
+                compacted = true;
+                break;
+            }
+        }
+        assert!(compacted, "24 churn rounds must trigger a compaction");
+        (seeds, sent)
+        // Crash without close: the manifest still lists the old file.
+    };
+    let (_, recovered) = StorageManager::open(StorageOptions::durable(dir.path(), 256)).unwrap();
+    assert!(
+        !recovered.missing_files.is_empty(),
+        "the checkpointed-then-compacted file must surface as missing"
+    );
+    drop(recovered);
+    assert_consistent_prefix(dir.path(), &seeds, &sent);
+}
+
+#[test]
+fn deletion_redo_survives_a_crash_between_record_and_unlink() {
+    // The one crash window fault injection cannot reach: the deletion's WAL
+    // record is durable but the process dies before the unlink. Simulate it
+    // by running a churn through its first compaction while keeping a byte
+    // copy of every paged file from just before the compaction round, then
+    // restoring the files the final round deleted: the image now has the
+    // CompactionCommit (and any same-round MergeEvict) in the WAL *and* the
+    // supposedly deleted files on disk. Recovery must redo the deletions.
+    let dir = tempfile::tempdir().unwrap();
+    let storage = StorageManager::create(StorageOptions::durable(dir.path(), 256)).unwrap();
+    let mut raws = Vec::new();
+    let mut seeds = Vec::new();
+    for ds in 0..NUM_DATASETS {
+        let objs = clustered_objects(PER_DATASET, ds, ds as u64 + 1);
+        raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+        seeds.push(objs);
+    }
+    let engine = SpaceOdyssey::create(config(), raws, &storage).unwrap();
+    let mut sent: Vec<Vec<SpatialObject>> = (0..NUM_DATASETS).map(|_| Vec::new()).collect();
+    let mut pre_round_files: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut compacted = false;
+    for round in 0..24u64 {
+        pre_round_files = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| {
+                let e = e.unwrap();
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.ends_with(".pages")
+                    .then(|| (name, std::fs::read(e.path()).unwrap()))
+            })
+            .collect();
+        for ds in 0..NUM_DATASETS {
+            let objs = arrivals(ds, round, 100);
+            engine.ingest(&storage, DatasetId(ds), &objs).unwrap();
+            sent[ds as usize].extend(objs);
+        }
+        engine
+            .execute(&storage, &hot_query(round as u32, (round % 3) as f64, 4.0))
+            .unwrap();
+        if engine.compactions_performed() > 0 {
+            compacted = true;
+            break;
+        }
+    }
+    assert!(compacted, "24 churn rounds must trigger a compaction");
+    drop(engine);
+    drop(storage); // crash
+
+    // Restore every file the final round deleted (the compacted-away
+    // partition file, plus any merge file the round evicted).
+    let mut restored = 0;
+    for (name, bytes) in &pre_round_files {
+        let path = dir.path().join(name);
+        if !path.exists() {
+            std::fs::write(&path, bytes).unwrap();
+            restored += 1;
+        }
+    }
+    assert!(
+        restored > 0,
+        "the compaction must have deleted its old file"
+    );
+
+    assert_consistent_prefix(dir.path(), &seeds, &sent);
+    // And the redo actually unlinked the restored files again.
+    let (storage, recovered) =
+        StorageManager::open(StorageOptions::durable(dir.path(), 256)).unwrap();
+    let engine = SpaceOdyssey::open(&storage, recovered).unwrap();
+    assert!(engine.compactions_performed() > 0);
+    for (name, _) in &pre_round_files {
+        let id: u32 = name
+            .split('_')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .expect("paged file names start with their id");
+        let still_there = dir.path().join(name).exists();
+        assert_eq!(
+            still_there,
+            storage.file_exists(FileId(id)),
+            "file {name}: recovery must re-delete exactly the files the \
+             replayed records deleted"
+        );
+    }
+}
+
+#[test]
+fn evicted_merge_files_release_their_backing_file() {
+    // Regression: eviction used to drop only the directory entry; the
+    // backing paged file kept its pages forever.
+    let mut cfg = OdysseyConfig::paper(bounds());
+    cfg.partitions_per_level = 8;
+    cfg.merge_space_budget_pages = Some(1);
+    let storage = StorageManager::new(StorageOptions::in_memory(256));
+    let mut raws = Vec::new();
+    for ds in 0..4u16 {
+        let objs = clustered_objects(1500, ds, ds as u64 + 1);
+        raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+    }
+    let engine = SpaceOdyssey::new(cfg, raws).unwrap();
+    for i in 0..10 {
+        let q = RangeQuery::new(
+            QueryId(i),
+            Aabb::from_center_extent(Vec3::splat(48.0 + (i % 3) as f64), Vec3::splat(4.0)),
+            DatasetSet::from_ids((0..3).map(DatasetId)),
+        );
+        engine.execute(&storage, &q).unwrap();
+    }
+    let evictions = engine.merger().directory().evictions();
+    assert!(evictions > 0, "the 1-page budget must evict");
+    assert_eq!(
+        storage.stats().files_deleted,
+        evictions,
+        "every eviction must delete its backing file"
+    );
+    // No orphaned merge pages: the physical footprint balances with live
+    // metadata plus the tracked (partition-file) dead pages.
+    assert_eq!(
+        storage.total_file_pages(),
+        engine.live_pages() + storage.total_dead_pages()
+    );
+}
+
+#[test]
+fn deleted_file_ids_are_never_reused_and_leave_no_stale_frames() {
+    // Regression: if a FileId were ever recycled after deletion, a stale
+    // buffer frame keyed by (old id, page) could serve the *new* file's
+    // reads. delete_file therefore invalidates all frames AND tombstones
+    // the id forever.
+    let storage = StorageManager::new(StorageOptions::in_memory(64));
+    let a = storage.create_file("alpha").unwrap();
+    let objs: Vec<SpatialObject> = (0..63)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(i),
+                DatasetId(0),
+                Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+            )
+        })
+        .collect();
+    storage.append_objects(a, &objs).unwrap();
+    // Cache the page, then delete the file.
+    storage.read_page(a, PageId(0)).unwrap();
+    assert!(storage.file_exists(a));
+    let reclaimed = storage.delete_file(a).unwrap();
+    assert_eq!(reclaimed, 1);
+    assert!(!storage.file_exists(a));
+    // The cached frame is gone and the id resolves to nothing.
+    assert!(storage.buffer().get((a, PageId(0))).is_none());
+    assert!(storage.read_page(a, PageId(0)).is_err());
+    assert!(storage.num_pages(a).is_err());
+    // A new file gets a FRESH id — never the tombstoned one.
+    let b = storage.create_file("beta").unwrap();
+    assert_ne!(b, a);
+    assert!(
+        b.0 > a.0,
+        "ids are monotonic; tombstones are never recycled"
+    );
+    // Deleting twice is a no-op; unknown ids still error.
+    assert_eq!(storage.delete_file(a).unwrap(), 0);
+    assert!(storage.delete_file(FileId(99)).is_err());
+    assert_eq!(storage.stats().files_deleted, 1);
+}
+
+#[test]
+fn durable_stores_reopen_across_deleted_file_gaps() {
+    // A durable store whose file table has tombstones (deleted files)
+    // checkpoints and reopens cleanly; the gap ids stay reserved.
+    let dir = tempfile::tempdir().unwrap();
+    let storage = StorageManager::create(StorageOptions::durable(dir.path(), 64)).unwrap();
+    let keep = storage.create_file("keep").unwrap();
+    let drop_me = storage.create_file("dropme").unwrap();
+    let objs: Vec<SpatialObject> = (0..100)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(i),
+                DatasetId(0),
+                Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+            )
+        })
+        .collect();
+    storage.append_objects(keep, &objs).unwrap();
+    storage.append_objects(drop_me, &objs).unwrap();
+    storage.delete_file(drop_me).unwrap();
+    storage.checkpoint(b"payload").unwrap();
+    drop(storage);
+
+    let (reopened, recovered) =
+        StorageManager::open(StorageOptions::durable(dir.path(), 64)).unwrap();
+    assert_eq!(recovered.payload, b"payload");
+    assert!(recovered.missing_files.is_empty());
+    assert!(reopened.file_exists(keep));
+    assert!(!reopened.file_exists(drop_me));
+    assert_eq!(reopened.read_objects(keep, 0..2).unwrap(), objs);
+    // The tombstoned id stays reserved: the next file continues after it.
+    let next = reopened.create_file("next").unwrap();
+    assert_eq!(next.0, drop_me.0 + 1);
+}
