@@ -1,0 +1,176 @@
+//! Streaming/caching latency smoke + benchmark: measure time-to-first-batch
+//! through the seeking cursors against time-to-full-result through the
+//! materialized API, and cold (cache-fill) against warm (cache-hit) query
+//! cost through the result cache, emitting `BENCH_latency.json`.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin latency -- \
+//!     --datasets 4 --objects 20000 --queries 24 --out BENCH_latency.json
+//! ```
+//!
+//! Exits non-zero if the streamed, materialized and cached answers disagree,
+//! if the first batch is not at least `--min-ttfb`x cheaper than the full
+//! result, or if a warm cache hit is not at least `--min-warm`x cheaper than
+//! the cold fill.
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::latency::{describe, run_latency, LatencyConfig};
+use odyssey_datagen::{DatasetSpec, JsonValue};
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "latency — streaming TTFB vs full result, cold vs warm cache\n\
+             \n\
+             options:\n\
+             --datasets N    number of datasets (default 4)\n\
+             --objects N     objects per dataset (default 20000)\n\
+             --warmup N      convergence queries before measuring (default 24)\n\
+             --queries N     measured queries (default 24)\n\
+             --per-query N   datasets per query (default 3)\n\
+             --fraction F    query volume fraction (default 5e-2)\n\
+             --batch N       streamed batch size in objects (default 256)\n\
+             --min-ttfb F    required full/TTFB speedup (default 5)\n\
+             --min-warm F    required cold/warm speedup (default 10)\n\
+             --out PATH      write results JSON (default BENCH_latency.json)"
+        );
+        return;
+    }
+    let cfg = LatencyConfig {
+        dataset_spec: DatasetSpec {
+            num_datasets: args.get_usize("datasets", 4),
+            objects_per_dataset: args.get_usize("objects", 20_000),
+            soma_clusters: 5,
+            segments_per_neuron: 40,
+            seed: 4321,
+            ..Default::default()
+        },
+        warmup_queries: args.get_usize("warmup", 24),
+        measured_queries: args.get_usize("queries", 24),
+        datasets_per_query: args.get_usize("per-query", 3),
+        query_volume_fraction: args.get_f64("fraction", 5e-2),
+        stream_batch_objects: args.get_usize("batch", 256),
+        ..Default::default()
+    };
+    let min_ttfb = args.get_f64("min-ttfb", 5.0);
+    let min_warm = args.get_f64("min-warm", 10.0);
+
+    let report = run_latency(&cfg);
+    println!("latency experiment: {}\n", describe(&cfg));
+    println!(
+        "streaming:  first batch {:>9.4}s  full result {:>9.4}s  speedup {:>7.2}x",
+        report.ttfb_seconds, report.full_seconds, report.ttfb_speedup
+    );
+    println!(
+        "caching:    cold fill   {:>9.4}s  warm hit    {:>9.4}s  speedup {:>7.2}x",
+        report.cold_seconds, report.warm_seconds, report.warm_speedup
+    );
+    println!(
+        "answers:    streamed={:016x} materialized={:016x} cached={:016x} agree={}",
+        report.streamed_checksum,
+        report.materialized_checksum,
+        report.cached_checksum,
+        report.checksums_agree()
+    );
+    println!(
+        "cache:      hits={} misses={}  wall={:.2}s",
+        report.cache_hits, report.cache_misses, report.wall_seconds
+    );
+
+    let out = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_latency.json".to_string());
+    let doc = JsonValue::Object(vec![
+        ("experiment".into(), JsonValue::String("latency".into())),
+        (
+            "datasets".into(),
+            JsonValue::Number(cfg.dataset_spec.num_datasets as f64),
+        ),
+        (
+            "objects_per_dataset".into(),
+            JsonValue::Number(cfg.dataset_spec.objects_per_dataset as f64),
+        ),
+        (
+            "measured_queries".into(),
+            JsonValue::Number(report.queries as f64),
+        ),
+        (
+            "stream_batch_objects".into(),
+            JsonValue::Number(cfg.stream_batch_objects as f64),
+        ),
+        (
+            "ttfb_seconds".into(),
+            JsonValue::Number(report.ttfb_seconds),
+        ),
+        (
+            "full_seconds".into(),
+            JsonValue::Number(report.full_seconds),
+        ),
+        (
+            "ttfb_speedup".into(),
+            JsonValue::Number(report.ttfb_speedup),
+        ),
+        (
+            "cold_seconds".into(),
+            JsonValue::Number(report.cold_seconds),
+        ),
+        (
+            "warm_seconds".into(),
+            JsonValue::Number(report.warm_seconds),
+        ),
+        (
+            "warm_speedup".into(),
+            JsonValue::Number(report.warm_speedup),
+        ),
+        (
+            "cache_hits".into(),
+            JsonValue::Number(report.cache_hits as f64),
+        ),
+        (
+            "cache_misses".into(),
+            JsonValue::Number(report.cache_misses as f64),
+        ),
+        (
+            "streamed_checksum".into(),
+            JsonValue::String(format!("{:016x}", report.streamed_checksum)),
+        ),
+        (
+            "materialized_checksum".into(),
+            JsonValue::String(format!("{:016x}", report.materialized_checksum)),
+        ),
+        (
+            "cached_checksum".into(),
+            JsonValue::String(format!("{:016x}", report.cached_checksum)),
+        ),
+        (
+            "checksums_agree".into(),
+            JsonValue::Bool(report.checksums_agree()),
+        ),
+        (
+            "wall_seconds".into(),
+            JsonValue::Number(report.wall_seconds),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_json()).expect("write results JSON");
+    println!("wrote {out}");
+
+    if !report.checksums_agree() {
+        eprintln!("FAIL: streamed/materialized/cached answers disagree");
+        std::process::exit(1);
+    }
+    if report.ttfb_speedup < min_ttfb {
+        eprintln!(
+            "FAIL: first batch only {:.2}x cheaper than the full result (need {:.1}x)",
+            report.ttfb_speedup, min_ttfb
+        );
+        std::process::exit(1);
+    }
+    if report.warm_speedup < min_warm {
+        eprintln!(
+            "FAIL: warm hit only {:.2}x cheaper than the cold fill (need {:.1}x)",
+            report.warm_speedup, min_warm
+        );
+        std::process::exit(1);
+    }
+}

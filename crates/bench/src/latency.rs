@@ -1,0 +1,344 @@
+//! The latency experiment: streaming time-to-first-batch versus full
+//! materialization, and cold versus warm result-cache cost.
+//!
+//! Three identically built engines run the same converged workload:
+//!
+//! * **streaming** — each measured query is opened as a cursor and the
+//!   simulated cost up to (and including) the *first* batch is recorded,
+//!   then the cursor is drained for the checksum;
+//! * **materialized** — the same queries through `execute_query`, recording
+//!   the full-result cost;
+//! * **cached** — the same queries on a result-cache-enabled engine, each
+//!   executed twice from a cold page cache: the first fill (miss) and the
+//!   repeat (hit).
+//!
+//! All costs are simulated seconds from the storage cost model, measured
+//! from a cold page cache, after an identical warm-up phase has converged
+//! the adaptive state on every engine. Answers are checksummed
+//! order-insensitively across all paths — streamed, materialized and cached
+//! answers must be identical sets.
+
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{BrainModel, DatasetSpec, WorkloadSpec};
+use odyssey_geom::{scan_query, DatasetId, Query, SpatialObject};
+use odyssey_storage::{write_raw_dataset, StorageManager, StorageOptions};
+use std::time::Instant;
+
+/// Configuration of the latency experiment.
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    /// The synthetic datasets.
+    pub dataset_spec: DatasetSpec,
+    /// Queries run (and fully drained) before measuring, so refinement and
+    /// merging converge the same way on every engine.
+    pub warmup_queries: usize,
+    /// Queries measured after the warm-up.
+    pub measured_queries: usize,
+    /// Datasets per query.
+    pub datasets_per_query: usize,
+    /// Query volume as a fraction of the universe — deliberately large, so
+    /// a full answer spans many partitions and first-batch latency means
+    /// something.
+    pub query_volume_fraction: f64,
+    /// Streaming batch size in objects.
+    pub stream_batch_objects: usize,
+    /// Result-cache budget for the cached engine, in bytes.
+    pub cache_budget_bytes: u64,
+    /// Buffer-pool pages per engine.
+    pub buffer_pages: usize,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 4,
+                objects_per_dataset: 20_000,
+                soma_clusters: 5,
+                segments_per_neuron: 40,
+                seed: 4321,
+                ..Default::default()
+            },
+            warmup_queries: 24,
+            measured_queries: 24,
+            datasets_per_query: 3,
+            query_volume_fraction: 5e-2,
+            stream_batch_objects: 256,
+            cache_budget_bytes: 32 << 20,
+            buffer_pages: 4096,
+        }
+    }
+}
+
+/// The measurements of one latency experiment.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// Measured queries.
+    pub queries: usize,
+    /// Simulated seconds to the first streamed batch, summed.
+    pub ttfb_seconds: f64,
+    /// Simulated seconds to the full materialized result, summed.
+    pub full_seconds: f64,
+    /// `full_seconds / ttfb_seconds`.
+    pub ttfb_speedup: f64,
+    /// Simulated seconds of the cache-filling (cold) executions, summed.
+    pub cold_seconds: f64,
+    /// Simulated seconds of the repeat (warm, cache-hit) executions,
+    /// summed. A pure hit performs no storage I/O, so this can be zero.
+    pub warm_seconds: f64,
+    /// `cold_seconds / warm_seconds`, capped at 1e6 when the warm cost is
+    /// (near-)zero.
+    pub warm_speedup: f64,
+    /// Order-insensitive checksum of every streamed answer.
+    pub streamed_checksum: u64,
+    /// Order-insensitive checksum of every materialized answer.
+    pub materialized_checksum: u64,
+    /// Order-insensitive checksum of every warm (cache-hit) answer.
+    pub cached_checksum: u64,
+    /// Cache hits the cached engine counted (one per measured query).
+    pub cache_hits: u64,
+    /// Cache misses the cached engine counted.
+    pub cache_misses: u64,
+    /// Wall-clock seconds of the whole experiment (diagnostic).
+    pub wall_seconds: f64,
+}
+
+impl LatencyReport {
+    /// `true` when streamed, materialized and cached answers are identical.
+    pub fn checksums_agree(&self) -> bool {
+        self.streamed_checksum == self.materialized_checksum
+            && self.streamed_checksum == self.cached_checksum
+    }
+
+    /// `true` when both speedups clear their thresholds and the checksums
+    /// agree.
+    pub fn passes(&self, min_ttfb_speedup: f64, min_warm_speedup: f64) -> bool {
+        self.checksums_agree()
+            && self.ttfb_speedup >= min_ttfb_speedup
+            && self.warm_speedup >= min_warm_speedup
+    }
+}
+
+/// 64-bit avalanche of one object key.
+fn mix(o: &SpatialObject) -> u64 {
+    let mut h = ((o.dataset.0 as u64) << 48) ^ o.id.0;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Order-insensitive, duplicate-insensitive answer checksum.
+fn checksum(objects: &[SpatialObject]) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    objects
+        .iter()
+        .filter(|o| seen.insert((o.dataset.0, o.id.0)))
+        .map(mix)
+        .fold(0u64, u64::wrapping_add)
+}
+
+fn build_engine(
+    datasets: &[Vec<SpatialObject>],
+    config: OdysseyConfig,
+    buffer_pages: usize,
+) -> (StorageManager, SpaceOdyssey) {
+    let storage = StorageManager::new(StorageOptions::in_memory(buffer_pages));
+    let raws = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let engine = SpaceOdyssey::new(config, raws).expect("validated configuration");
+    (storage, engine)
+}
+
+/// Runs the latency experiment.
+pub fn run_latency(cfg: &LatencyConfig) -> LatencyReport {
+    let wall_start = Instant::now();
+    let model = BrainModel::new(cfg.dataset_spec.clone());
+    let datasets = model.generate_all();
+    let bounds = model.bounds();
+    // Generate a candidate pool and measure the largest-answer queries:
+    // time-to-first-batch is a latency metric for queries that *produce*
+    // batches — a query whose answer fits in one batch (or is empty) has
+    // nothing left to defer, so its first batch costs the full result by
+    // definition. The warm-up keeps the pool's natural mix.
+    let workload = WorkloadSpec {
+        num_datasets: cfg.dataset_spec.num_datasets,
+        datasets_per_query: cfg.datasets_per_query.min(cfg.dataset_spec.num_datasets),
+        num_queries: cfg.warmup_queries + 4 * cfg.measured_queries,
+        query_volume_fraction: cfg.query_volume_fraction,
+        ..Default::default()
+    }
+    .generate(&bounds);
+    let (warmup, candidates) = workload.queries.split_at(cfg.warmup_queries);
+    let all_objects: Vec<SpatialObject> = datasets.iter().flatten().copied().collect();
+    let mut ranked: Vec<(usize, &odyssey_geom::RangeQuery)> = candidates
+        .iter()
+        .map(|q| (scan_query(q, &all_objects).len(), q))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.id.0.cmp(&b.1.id.0)));
+    let measured: Vec<odyssey_geom::RangeQuery> = ranked
+        .iter()
+        .take(cfg.measured_queries)
+        .map(|(_, q)| **q)
+        .collect();
+    let measured = &measured[..];
+    let base_config =
+        OdysseyConfig::paper(bounds).with_stream_batch_objects(cfg.stream_batch_objects);
+
+    let warm_up = |storage: &StorageManager, engine: &SpaceOdyssey| {
+        for q in warmup {
+            engine.execute(storage, q).unwrap();
+        }
+    };
+
+    // Streaming: cost up to the first batch, then drain for the checksum.
+    let (storage, engine) = build_engine(&datasets, base_config, cfg.buffer_pages);
+    warm_up(&storage, &engine);
+    let mut ttfb_seconds = 0.0;
+    let mut streamed_checksum = 0u64;
+    for q in measured {
+        storage.clear_cache();
+        let before = storage.stats();
+        let mut cursor = engine.open_cursor(&storage, &Query::Range(*q)).unwrap();
+        let open_stats = storage.stats();
+        let mut objects = cursor.next_batch().unwrap().unwrap_or_default();
+        ttfb_seconds += storage.seconds_since(&before);
+        let first_stats = storage.stats();
+        while let Some(batch) = cursor.next_batch().unwrap() {
+            objects.extend(batch);
+        }
+        if std::env::var_os("LATENCY_DEBUG").is_some() {
+            let end = storage.stats();
+            eprintln!(
+                "q={:?} open: seq={} rand={} scanned={} | first: seq={} rand={} scanned={} ({} objs) | drain: seq={} rand={} scanned={} ({} objs)",
+                q.id,
+                open_stats.sequential_reads - before.sequential_reads,
+                open_stats.random_reads - before.random_reads,
+                open_stats.objects_scanned - before.objects_scanned,
+                first_stats.sequential_reads - open_stats.sequential_reads,
+                first_stats.random_reads - open_stats.random_reads,
+                first_stats.objects_scanned - open_stats.objects_scanned,
+                objects.len().min(cfg.stream_batch_objects),
+                end.sequential_reads - first_stats.sequential_reads,
+                end.random_reads - first_stats.random_reads,
+                end.objects_scanned - first_stats.objects_scanned,
+                objects.len(),
+            );
+        }
+        streamed_checksum = streamed_checksum.wrapping_add(checksum(&objects));
+    }
+
+    // Materialized: the full-result cost of the same queries on an
+    // identically built and warmed engine.
+    let (storage, engine) = build_engine(&datasets, base_config, cfg.buffer_pages);
+    warm_up(&storage, &engine);
+    let mut full_seconds = 0.0;
+    let mut materialized_checksum = 0u64;
+    for q in measured {
+        storage.clear_cache();
+        let before = storage.stats();
+        let outcome = engine.execute(&storage, q).unwrap();
+        full_seconds += storage.seconds_since(&before);
+        materialized_checksum = materialized_checksum.wrapping_add(checksum(&outcome.objects));
+    }
+
+    // Cached: each measured query twice from a cold page cache — the fill
+    // (miss) and the repeat (hit).
+    let (storage, engine) = build_engine(
+        &datasets,
+        base_config.with_result_cache(cfg.cache_budget_bytes),
+        cfg.buffer_pages,
+    );
+    warm_up(&storage, &engine);
+    let mut cold_seconds = 0.0;
+    let mut warm_seconds = 0.0;
+    let mut cached_checksum = 0u64;
+    for q in measured {
+        storage.clear_cache();
+        let before = storage.stats();
+        engine.execute(&storage, q).unwrap();
+        cold_seconds += storage.seconds_since(&before);
+        storage.clear_cache();
+        let before = storage.stats();
+        let warm = engine.execute(&storage, q).unwrap();
+        warm_seconds += storage.seconds_since(&before);
+        assert_eq!(
+            warm.cache_hits, 1,
+            "repeat of {:?} must be a cache hit",
+            q.id
+        );
+        cached_checksum = cached_checksum.wrapping_add(checksum(&warm.objects));
+    }
+
+    LatencyReport {
+        queries: measured.len(),
+        ttfb_seconds,
+        full_seconds,
+        ttfb_speedup: full_seconds / ttfb_seconds.max(1e-12),
+        cold_seconds,
+        warm_seconds,
+        warm_speedup: (cold_seconds / warm_seconds.max(1e-12)).min(1e6),
+        streamed_checksum,
+        materialized_checksum,
+        cached_checksum,
+        cache_hits: engine.cache_hits(),
+        cache_misses: engine.cache_misses(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Workload accessor used by the binary's banner.
+pub fn describe(cfg: &LatencyConfig) -> String {
+    format!(
+        "{} datasets x {} objects, {} warm-up + {} measured range queries \
+         (volume fraction {:.0e}, batch {} objects)",
+        cfg.dataset_spec.num_datasets,
+        cfg.dataset_spec.objects_per_dataset,
+        cfg.warmup_queries,
+        cfg.measured_queries,
+        cfg.query_volume_fraction,
+        cfg.stream_batch_objects,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_latency_run_agrees_and_streams_faster() {
+        let cfg = LatencyConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 3,
+                objects_per_dataset: 3_000,
+                soma_clusters: 4,
+                segments_per_neuron: 30,
+                seed: 77,
+                ..Default::default()
+            },
+            warmup_queries: 8,
+            measured_queries: 8,
+            datasets_per_query: 2,
+            stream_batch_objects: 128,
+            ..Default::default()
+        };
+        let report = run_latency(&cfg);
+        assert!(report.checksums_agree(), "{report:?}");
+        assert!(
+            report.cache_hits >= cfg.measured_queries as u64,
+            "{report:?}"
+        );
+        assert!(
+            report.ttfb_speedup > 1.0,
+            "first batch must be cheaper than the full result: {report:?}"
+        );
+        assert!(
+            report.warm_speedup > 1.0,
+            "a cache hit must be cheaper than the fill: {report:?}"
+        );
+    }
+}

@@ -26,10 +26,13 @@
 //!   (with a checkpoint-interval sweep and cross-checked checksums),
 //! * [`space`] — the space-reclamation experiment: the same churn loop on
 //!   two durable stores, online compaction on vs off, reporting each one's
-//!   space amplification with checksum-verified answer equality.
+//!   space amplification with checksum-verified answer equality,
+//! * [`latency`] — the streaming/caching experiment: time-to-first-batch
+//!   vs time-to-full-result through the seeking cursors, and cold-vs-warm
+//!   query cost through the result cache, with cross-checked checksums.
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`
+//! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`, `latency`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod cli;
 pub mod experiment;
 pub mod figures;
 pub mod ingest;
+pub mod latency;
 pub mod query_kinds;
 pub mod recovery;
 pub mod report;
@@ -49,6 +53,7 @@ pub use experiment::{
     ApproachRun, ApproachSelection, ExperimentConfig, ExperimentRunner, QueryRecord,
 };
 pub use ingest::IngestRun;
+pub use latency::{run_latency, LatencyConfig, LatencyReport};
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use report::{format_table, write_csv, Table};

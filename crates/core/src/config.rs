@@ -93,6 +93,21 @@ pub struct OdysseyConfig {
     /// Dead-page ratio (dead / total pages of a dataset's partition file)
     /// above which the compactor rewrites the file. Must be in `(0, 1]`.
     pub compaction_dead_ratio: f64,
+    /// Target number of objects per streamed batch of a
+    /// [`crate::QueryCursor`]. Bounds the memory of an in-flight query by the
+    /// batch (plus at most one partition or merge entry being drained), not by
+    /// the result cardinality. The materialized `execute_query` path drains
+    /// batches of this size internally. Must be at least 1.
+    pub stream_batch_objects: usize,
+    /// Master switch for the engine's result cache. Off in the paper
+    /// configuration (the paper has no result cache); when on, materialized
+    /// answers are cached per query signature and invalidated by the
+    /// per-dataset ingest sequence numbers captured at fill time.
+    pub result_cache_enabled: bool,
+    /// Byte budget for cached results. Least-recently-used entries are
+    /// evicted when the budget is exceeded, mirroring the merge directory's
+    /// space-budget enforcement. Must be positive when the cache is enabled.
+    pub result_cache_budget_bytes: u64,
 }
 
 impl OdysseyConfig {
@@ -124,6 +139,12 @@ impl OdysseyConfig {
             // moves at most as many pages as it reclaims, so compaction I/O
             // amortizes against the space (and scan time) it wins back.
             compaction_dead_ratio: 0.5,
+            // Sixteen pages' worth of objects per batch: big enough to keep
+            // reads sequential, small enough that the first batch of a large
+            // range query returns long before the full answer would.
+            stream_batch_objects: 1024,
+            result_cache_enabled: false,
+            result_cache_budget_bytes: 8 * 1024 * 1024,
         }
     }
 
@@ -198,6 +219,27 @@ impl OdysseyConfig {
         self
     }
 
+    /// Returns a copy with the given streamed batch size (objects per
+    /// [`crate::QueryCursor::next_batch`] call).
+    pub fn with_stream_batch_objects(mut self, objects: usize) -> Self {
+        self.stream_batch_objects = objects;
+        self
+    }
+
+    /// Returns a copy with the result cache enabled under the given byte
+    /// budget.
+    pub fn with_result_cache(mut self, budget_bytes: u64) -> Self {
+        self.result_cache_enabled = true;
+        self.result_cache_budget_bytes = budget_bytes;
+        self
+    }
+
+    /// Returns a copy with the result cache disabled (the paper's behaviour).
+    pub fn without_result_cache(mut self) -> Self {
+        self.result_cache_enabled = false;
+        self
+    }
+
     /// Basic sanity checks; call once before constructing the engine.
     pub fn validate(&self) -> Result<(), String> {
         if self.refinement_threshold <= 0.0 || self.refinement_threshold.is_nan() {
@@ -224,6 +266,12 @@ impl OdysseyConfig {
                 "compaction_dead_ratio must be in (0, 1], got {}",
                 self.compaction_dead_ratio
             ));
+        }
+        if self.stream_batch_objects == 0 {
+            return Err("stream_batch_objects must be at least 1".into());
+        }
+        if self.result_cache_enabled && self.result_cache_budget_bytes == 0 {
+            return Err("result_cache_budget_bytes must be positive when the cache is on".into());
         }
         let model = self.device_profile.cost_model();
         let seek_invalid = model.seek_seconds.is_nan() || model.seek_seconds < 0.0;
@@ -268,6 +316,9 @@ mod tests {
         assert_eq!(c.splits_per_dimension(), 4);
         assert_eq!(c.ingest_split_objects, 1024);
         assert_eq!(c.with_ingest_split_objects(0).ingest_split_objects, 0);
+        assert_eq!(c.stream_batch_objects, 1024);
+        assert!(!c.result_cache_enabled);
+        assert_eq!(c.result_cache_budget_bytes, 8 * 1024 * 1024);
         assert!(c.validate().is_ok());
     }
 
@@ -313,6 +364,22 @@ mod tests {
         let mut c = good;
         c.bounds = Aabb::from_point(Vec3::ZERO);
         assert!(c.validate().is_err());
+        let mut c = good;
+        c.stream_batch_objects = 0;
+        assert!(c.validate().is_err());
+        let c = good.with_result_cache(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn streaming_and_cache_knobs() {
+        let c = OdysseyConfig::paper(bounds());
+        assert_eq!(c.with_stream_batch_objects(1).stream_batch_objects, 1);
+        let cached = c.with_result_cache(1 << 20);
+        assert!(cached.result_cache_enabled);
+        assert_eq!(cached.result_cache_budget_bytes, 1 << 20);
+        assert!(cached.validate().is_ok());
+        assert!(!cached.without_result_cache().result_cache_enabled);
     }
 
     #[test]

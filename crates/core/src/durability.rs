@@ -607,6 +607,20 @@ pub struct EngineSnapshot {
     /// Dataset-file compactions committed so far (replayed from
     /// [`MetaRecord::CompactionCommit`], so the counter is crash-exact).
     pub compactions_performed: u64,
+    /// Result-cache hits as of the checkpoint. Cache events produce no WAL
+    /// records (the cache is in-memory observability, not durable state),
+    /// so unlike `queries_executed` these counters recover only as of the
+    /// last checkpoint — events since it are lost on a crash.
+    pub cache_hits: u64,
+    /// Result-cache misses as of the checkpoint (same caveat as
+    /// [`EngineSnapshot::cache_hits`]).
+    pub cache_misses: u64,
+    /// Result-cache partial reuses as of the checkpoint (same caveat as
+    /// [`EngineSnapshot::cache_hits`]).
+    pub cache_partial_reuses: u64,
+    /// Rows provably skipped by early exits as of the checkpoint (same
+    /// caveat as [`EngineSnapshot::cache_hits`]).
+    pub rows_skipped_by_early_exit: u64,
     /// Per-dataset state, in engine order.
     pub datasets: Vec<DatasetSnapshot>,
     /// Merger + merge directory state.
@@ -616,7 +630,7 @@ pub struct EngineSnapshot {
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x534F_534E; // "SOSN"
-const SNAPSHOT_VERSION: u32 = 2; // 2: compaction config + counter
+const SNAPSHOT_VERSION: u32 = 3; // 3: streaming/cache config + counters
 
 fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     enc_vec3(e, c.bounds.min);
@@ -649,6 +663,9 @@ fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
             e.f64(m.buffer_hit_seconds);
         }
     }
+    e.u64(c.stream_batch_objects as u64);
+    e.bool(c.result_cache_enabled);
+    e.u64(c.result_cache_budget_bytes);
 }
 
 fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
@@ -685,6 +702,9 @@ fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
             }),
             t => return Err(corrupt(format!("unknown device profile tag {t}"))),
         },
+        stream_batch_objects: d.u64()? as usize,
+        result_cache_enabled: d.bool()?,
+        result_cache_budget_bytes: d.u64()?,
     })
 }
 
@@ -699,6 +719,10 @@ impl EngineSnapshot {
         e.u64(self.ingests_performed);
         e.u64(self.stale_bypasses);
         e.u64(self.compactions_performed);
+        e.u64(self.cache_hits);
+        e.u64(self.cache_misses);
+        e.u64(self.cache_partial_reuses);
+        e.u64(self.rows_skipped_by_early_exit);
         e.len(self.datasets.len());
         for ds in &self.datasets {
             e.u16(ds.raw.dataset.0);
@@ -767,6 +791,10 @@ impl EngineSnapshot {
         let ingests_performed = d.u64()?;
         let stale_bypasses = d.u64()?;
         let compactions_performed = d.u64()?;
+        let cache_hits = d.u64()?;
+        let cache_misses = d.u64()?;
+        let cache_partial_reuses = d.u64()?;
+        let rows_skipped_by_early_exit = d.u64()?;
         let n = d.len()?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
@@ -845,6 +873,10 @@ impl EngineSnapshot {
             ingests_performed,
             stale_bypasses,
             compactions_performed,
+            cache_hits,
+            cache_misses,
+            cache_partial_reuses,
+            rows_skipped_by_early_exit,
             datasets,
             merger,
             stats,
@@ -1214,6 +1246,10 @@ mod tests {
             ingests_performed: 2,
             stale_bypasses: 1,
             compactions_performed: 1,
+            cache_hits: 3,
+            cache_misses: 5,
+            cache_partial_reuses: 2,
+            rows_skipped_by_early_exit: 40,
             datasets: vec![DatasetSnapshot {
                 raw: RawDataset {
                     dataset: DatasetId(0),

@@ -4,7 +4,7 @@
 //! [`Query`] kinds — range, point, k-nearest-neighbour and count — and
 //! orchestrates each one end to end:
 //!
-//! 0. the cost-based [`Planner`] picks an access path per queried dataset
+//! 0. the cost-based [`crate::Planner`] picks an access path per queried dataset
 //!    (sequential scan of the raw file, the adaptive partitioned path, or
 //!    the merge-file path), recording each decision in the outcome,
 //! 1. each dataset on the partitioned path is prepared by its Adaptor
@@ -23,6 +23,16 @@
 //! Every path returns brute-force-identical answers; the planner only moves
 //! work between layouts. [`SpaceOdyssey::execute`] remains as the
 //! range-query entry point the paper's experiments drive.
+//!
+//! Since the streaming rework, the phases live in
+//! [`crate::cursor::QueryCursor`]: `execute_query` opens a cursor and drains
+//! it batch by batch, so the materialized API is a thin wrapper over the
+//! streaming read path ([`SpaceOdyssey::open_cursor`] exposes it directly).
+//! With [`OdysseyConfig::result_cache_enabled`] set, materialized answers
+//! are kept in an ingest-sequence-invalidated [`ResultCache`] and reused —
+//! wholly or per dataset — while their datasets have not ingested since the
+//! answer was computed. Streaming cursors bypass the cache (their point is
+//! not to materialize).
 //!
 //! # Concurrency model
 //!
@@ -55,17 +65,19 @@
 
 use crate::compactor::Compactor;
 use crate::config::OdysseyConfig;
+use crate::cursor::QueryCursor;
 use crate::durability::{
     self, ComboSnapshot, EngineSnapshot, MergeFileSnapshot, MergerSnapshot, MetaRecord,
 };
 use crate::merge_file::{MergeEntry, MergeFile};
 use crate::merger::{MergeDirectory, Merger, RouteKind};
 use crate::octree::{DatasetIndex, IngestStats};
-use crate::partition::PartitionKey;
-use crate::planner::{AccessPath, PlanChoice, Planner};
+use crate::planner::{AccessPath, PlanChoice};
+use crate::result_cache::{CacheLookup, CachedComponent, ResultCache};
 use crate::stats::StatsCollector;
 use odyssey_geom::{
-    knn_key_cmp, DatasetId, DatasetSet, KnnQuery, Query, RangeQuery, SpatialObject,
+    knn_key_cmp, CountQuery, DatasetId, DatasetSet, KnnQuery, PointQuery, Query, QuerySignature,
+    RangeQuery, SpatialObject,
 };
 use odyssey_storage::{
     FileId, RawDataset, RecoveredState, StorageError, StorageManager, StorageResult,
@@ -112,6 +124,19 @@ pub struct QueryOutcome {
     /// crossed [`OdysseyConfig::compaction_dead_ratio`] on a queried
     /// dataset).
     pub compactions_performed: usize,
+    /// 1 if this query was answered entirely from the result cache (no
+    /// storage read at all), 0 otherwise.
+    pub cache_hits: u64,
+    /// 1 if the result cache was consulted and had no reusable answer,
+    /// 0 otherwise (always 0 with the cache disabled).
+    pub cache_misses: u64,
+    /// 1 if part of the answer was reused from the result cache and only the
+    /// datasets invalidated by ingests were re-executed, 0 otherwise.
+    pub cache_partial_reuses: u64,
+    /// Rows (objects) provably skipped by an early exit: partitions and
+    /// merge entries a count query took from metadata without reading them,
+    /// plus partitions a kNN traversal pruned with its mindist bound.
+    pub rows_skipped_by_early_exit: u64,
 }
 
 impl QueryOutcome {
@@ -196,14 +221,19 @@ impl OpOutcome {
 /// internally.
 #[derive(Debug)]
 pub struct SpaceOdyssey {
-    config: OdysseyConfig,
-    datasets: Vec<DatasetIndex>,
-    stats: RwLock<StatsCollector>,
-    merger: RwLock<Merger>,
-    compactor: Compactor,
+    pub(crate) config: OdysseyConfig,
+    pub(crate) datasets: Vec<DatasetIndex>,
+    pub(crate) stats: RwLock<StatsCollector>,
+    pub(crate) merger: RwLock<Merger>,
+    pub(crate) compactor: Compactor,
     queries_executed: AtomicU64,
     ingests_performed: AtomicU64,
-    stale_bypasses: AtomicU64,
+    pub(crate) stale_bypasses: AtomicU64,
+    result_cache: ResultCache,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_partial_reuses: AtomicU64,
+    pub(crate) rows_skipped_by_early_exit: AtomicU64,
 }
 
 impl SpaceOdyssey {
@@ -216,6 +246,7 @@ impl SpaceOdyssey {
         config.validate()?;
         let datasets = raws.into_iter().map(DatasetIndex::new).collect();
         Ok(SpaceOdyssey {
+            result_cache: ResultCache::new(config.result_cache_budget_bytes),
             config,
             datasets,
             stats: RwLock::new(StatsCollector::new()),
@@ -224,6 +255,10 @@ impl SpaceOdyssey {
             queries_executed: AtomicU64::new(0),
             ingests_performed: AtomicU64::new(0),
             stale_bypasses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_partial_reuses: AtomicU64::new(0),
+            rows_skipped_by_early_exit: AtomicU64::new(0),
         })
     }
 
@@ -380,6 +415,13 @@ impl SpaceOdyssey {
             queries_executed: AtomicU64::new(snap.queries_executed),
             ingests_performed: AtomicU64::new(snap.ingests_performed),
             stale_bypasses: AtomicU64::new(snap.stale_bypasses),
+            // The cache itself is not persisted (it is an in-memory
+            // acceleration structure); a reopened engine starts cold.
+            result_cache: ResultCache::new(snap.config.result_cache_budget_bytes),
+            cache_hits: AtomicU64::new(snap.cache_hits),
+            cache_misses: AtomicU64::new(snap.cache_misses),
+            cache_partial_reuses: AtomicU64::new(snap.cache_partial_reuses),
+            rows_skipped_by_early_exit: AtomicU64::new(snap.rows_skipped_by_early_exit),
         };
         // Collapse the replayed records into a fresh checkpoint so the WAL
         // stays bounded across repeated crash/reopen cycles.
@@ -433,6 +475,10 @@ impl SpaceOdyssey {
             ingests_performed: self.ingests_performed.load(Ordering::Relaxed),
             stale_bypasses: self.stale_bypasses.load(Ordering::Relaxed),
             compactions_performed: self.compactor.compactions_performed(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_partial_reuses: self.cache_partial_reuses.load(Ordering::Relaxed),
+            rows_skipped_by_early_exit: self.rows_skipped_by_early_exit.load(Ordering::Relaxed),
             datasets,
             merger: merger_snapshot,
             stats,
@@ -505,6 +551,40 @@ impl SpaceOdyssey {
         self.stale_bypasses.load(Ordering::Relaxed)
     }
 
+    /// Queries answered entirely from the result cache. Persisted as of the
+    /// last checkpoint (like the other engine counters, but without replay:
+    /// cache events produce no WAL records, so a crash loses the events
+    /// since the last checkpoint — they are observability, not state).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that consulted the result cache and found nothing reusable.
+    /// Same crash semantics as [`SpaceOdyssey::cache_hits`].
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Queries that reused part of a cached answer and re-executed only the
+    /// ingest-invalidated datasets. Same crash semantics as
+    /// [`SpaceOdyssey::cache_hits`].
+    pub fn cache_partial_reuses(&self) -> u64 {
+        self.cache_partial_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Total rows provably skipped by early exits (count metadata
+    /// short-circuits, kNN mindist pruning) across all queries. Same crash
+    /// semantics as [`SpaceOdyssey::cache_hits`].
+    pub fn rows_skipped_by_early_exit(&self) -> u64 {
+        self.rows_skipped_by_early_exit.load(Ordering::Relaxed)
+    }
+
+    /// The materialized-result cache (empty and inert unless
+    /// [`OdysseyConfig::result_cache_enabled`] is set).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.result_cache
+    }
+
     /// The online compactor (inline dataset-file copy-forward rewrites).
     pub fn compactor(&self) -> &Compactor {
         &self.compactor
@@ -538,395 +618,238 @@ impl SpaceOdyssey {
 
     /// Executes one typed query — range, point, k-nearest-neighbour or count
     /// — over its combination of datasets, through the cost-based planner.
+    ///
+    /// Internally this opens a streaming [`QueryCursor`] and drains it, so
+    /// the materialized answer is exactly the concatenation of the cursor's
+    /// batches. With [`OdysseyConfig::result_cache_enabled`] set, the result
+    /// cache is consulted first and filled from the drained answer.
     pub fn execute_query(
         &self,
         storage: &StorageManager,
         query: &Query,
     ) -> StorageResult<QueryOutcome> {
         self.queries_executed.fetch_add(1, Ordering::Relaxed);
-        match query {
-            Query::Range(q) => self.execute_rangelike(storage, q, false),
-            Query::Point(q) => self.execute_rangelike(storage, &q.as_range(), false),
-            Query::Count(q) => self.execute_rangelike(storage, &q.as_range(), true),
-            Query::KNearestNeighbors(q) => self.execute_knn(storage, q),
+        if self.config.result_cache_enabled {
+            self.execute_query_cached(storage, query)
+        } else {
+            Self::drain_cursor(QueryCursor::open(self, storage, query)?)
         }
     }
 
-    /// The shared execution path of range, point and count queries (point
-    /// queries arrive as degenerate ranges; `counting` selects the
-    /// non-materializing count mode).
-    fn execute_rangelike(
+    /// Opens a streaming cursor over `query`: the caller pulls batches with
+    /// [`QueryCursor::next_batch`] (bounded by
+    /// [`OdysseyConfig::stream_batch_objects`]) instead of materializing the
+    /// whole answer. Counts as one executed query; statistics and adaptation
+    /// triggers fire when the cursor is drained. Streaming cursors bypass
+    /// the result cache.
+    pub fn open_cursor<'a>(
+        &'a self,
+        storage: &'a StorageManager,
+        query: &Query,
+    ) -> StorageResult<QueryCursor<'a>> {
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        QueryCursor::open(self, storage, query)
+    }
+
+    /// Drains a cursor to completion and materializes its outcome.
+    fn drain_cursor(mut cursor: QueryCursor<'_>) -> StorageResult<QueryOutcome> {
+        let mut objects: Vec<SpatialObject> = Vec::new();
+        while let Some(batch) = cursor.next_batch()? {
+            objects.extend(batch);
+        }
+        let mut outcome = cursor.finish();
+        outcome.objects = objects;
+        Ok(outcome)
+    }
+
+    /// The cache-enabled execution path: serve from the result cache when
+    /// every queried dataset's ingest sequence still matches the cached
+    /// answer's, re-execute only the invalidated datasets on a partial
+    /// match, and fill the cache on a miss.
+    fn execute_query_cached(
         &self,
         storage: &StorageManager,
-        query: &RangeQuery,
-        counting: bool,
+        query: &Query,
     ) -> StorageResult<QueryOutcome> {
-        let combination = query.datasets;
-        let planner = Planner::new(&self.config);
-
-        // Phase 0: choose an access path per queried dataset. The probe peeks
-        // at the merge directory without bumping its LRU clock; the real
-        // routing decision in phase 2 records recency as before. With the
-        // planner disabled (the paper's behaviour) no probe runs and no plans
-        // are recorded: every dataset takes the adaptive path and stays
-        // eligible for per-key merge routing, exactly as before the planner
-        // existed.
-        let mut plans: Vec<PlanChoice> = Vec::new();
-        let merge_eligible = if self.config.planner_enabled {
-            let merger = self.merger.read().unwrap();
-            let (file, _) = merger.directory().peek(combination);
-            for dataset_id in combination.iter() {
-                if let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) {
-                    plans.push(planner.plan_rangelike(storage, index, query, counting, file));
-                }
-            }
-            DatasetSet::from_ids(
-                plans
+        let sig = QuerySignature::of(query);
+        let live: Vec<(DatasetId, u64)> = query
+            .datasets()
+            .iter()
+            .filter_map(|id| {
+                self.datasets
                     .iter()
-                    .filter(|p| p.path == AccessPath::MergeFile)
-                    .map(|p| p.dataset),
-            )
-        } else {
-            combination
-        };
-
-        // Phase 0.5: staleness resolution. If the routed merge file is stale
-        // for queried datasets (objects were ingested since its entries were
-        // written), repair it — append the missing tails through the
-        // append-only merge path — for every stale dataset the planner still
-        // routed to the file (with the planner disabled: for every stale
-        // queried dataset, preserving the legacy always-use-the-merge-file
-        // behaviour). Stale datasets the planner routed away are *bypassed*:
-        // phase 2 reads them from the octree path until some query deems the
-        // repair worth paying. The repair takes the merger write lock and is
-        // idempotent, so concurrent queries repair exactly once.
-        let mut stale_repairs = 0usize;
-        let mut stale_bypassed = false;
-        {
-            let (target, to_repair, to_bypass) = {
-                let merger = self.merger.read().unwrap();
-                match merger.directory().peek(combination).0 {
-                    Some(file) => {
-                        let stale = self.stale_subset(file, combination);
-                        (
-                            file.combination,
-                            stale.intersection(merge_eligible),
-                            stale.difference(merge_eligible),
-                        )
-                    }
-                    None => (DatasetSet::EMPTY, DatasetSet::EMPTY, DatasetSet::EMPTY),
-                }
-            };
-            if !to_repair.is_empty() {
-                stale_repairs = self.merger.write().unwrap().repair_combination(
-                    storage,
-                    &self.config,
-                    target,
-                    to_repair,
-                    &self.datasets,
-                )?;
-            }
-            if !to_bypass.is_empty() {
-                stale_bypassed = true;
-                self.stale_bypasses.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-
-        // Phase 1: per dataset, either sweep the raw file (sequential-scan
-        // path) or adapt and plan the partition reads (partitioned path).
-        // Each dataset synchronizes internally; no engine lock is held here.
-        let mut objects: Vec<SpatialObject> = Vec::new();
-        let mut count = 0u64;
-        let mut refined = 0usize;
-        let mut from_datasets = 0usize;
-        let mut metadata_counted = 0usize;
-        let mut retrieved_union: Vec<PartitionKey> = Vec::new();
-        // (dataset, key) pairs that still need their data read.
-        let mut pending: Vec<(DatasetId, PartitionKey)> = Vec::new();
-        for dataset_id in combination.iter() {
-            let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) else {
-                continue; // unknown dataset: nothing to answer
-            };
-            let path = plans
-                .iter()
-                .find(|p| p.dataset == dataset_id)
-                .map(|p| p.path)
-                .unwrap_or(AccessPath::Octree);
-            if path == AccessPath::SeqScan {
-                // One sequential sweep, filtered (or counted) on the fly; the
-                // adaptive state is deliberately left untouched.
-                let objs = index.scan_raw(storage)?;
-                if counting {
-                    count += objs.iter().filter(|o| query.matches(o)).count() as u64;
-                } else {
-                    objects.extend(objs.into_iter().filter(|o| query.matches(o)));
-                }
-                continue;
-            }
-            let prep = index.prepare_query(storage, &self.config, query)?;
-            refined += prep.refined;
-            // Partitions answered during refinement / first touch count as
-            // individual-dataset reads.
-            from_datasets += prep.retrieved_keys.len() - prep.pending_keys.len();
-            if counting {
-                count += prep.collected.len() as u64;
-            } else {
-                objects.extend(prep.collected);
-            }
-            retrieved_union.extend(prep.retrieved_keys.iter().copied());
-            pending.extend(prep.pending_keys.iter().map(|k| (dataset_id, *k)));
-        }
-        retrieved_union.sort_unstable();
-        retrieved_union.dedup();
-
-        // Count short-circuit: a pending partition whose bounds lie fully
-        // inside the counted range contributes its object count from the
-        // partition table alone — objects are assigned by center, so every
-        // object of such a partition has its center (hence its MBR) in the
-        // range. No page is read.
-        if counting {
-            pending.retain(|(dataset_id, key)| {
-                let index = self
-                    .datasets
-                    .iter()
-                    .find(|d| d.dataset() == *dataset_id)
-                    .expect("pending keys only come from known datasets");
-                if let Some(partition) = index.partition(key) {
-                    if query.range.contains(&partition.bounds) {
-                        count += partition.object_count;
-                        metadata_counted += 1;
-                        return false;
-                    }
-                }
-                true
-            });
-        }
-
-        // Phase 2: route the pending reads of merge-planned datasets through
-        // the merge directory. The merger read lock is held across the
-        // merge-file reads so eviction (a write operation) can never rewrite
-        // the directory mid-read; routing itself only touches atomics, so
-        // readers share the lock.
-        let mut from_merge = 0usize;
-        let route = {
-            let merger = self.merger.read().unwrap();
-            let (file, route) = merger.directory().route(combination);
-            if let Some(file) = file {
-                let merged_combo = file.combination;
-                // Datasets the file may serve: merge-planned AND fresh. The
-                // freshness re-check (after the phase-0.5 repair) is the
-                // correctness net — a file that is still stale for a dataset
-                // must never serve it, because its entries would silently
-                // drop the objects ingested since; those reads fall through
-                // to the per-dataset octree path below.
-                let fresh = combination
-                    .intersection(merged_combo)
-                    .difference(self.stale_subset(file, combination));
-                // Group the pending keys served by the merge file so each key
-                // is read once for all its wanted datasets.
-                let mut served: Vec<(PartitionKey, DatasetSet)> = Vec::new();
-                pending.retain(|(dataset, key)| {
-                    let in_file = merge_eligible.contains(*dataset)
-                        && fresh.contains(*dataset)
-                        && file.contains(key);
-                    if in_file {
-                        match served.iter_mut().find(|(k, _)| k == key) {
-                            Some((_, set)) => set.insert(*dataset),
-                            None => served.push((*key, DatasetSet::single(*dataset))),
-                        }
-                        from_merge += 1;
-                        false
-                    } else {
-                        true
-                    }
-                });
-                if !served.is_empty() {
-                    // Read the merged entries in file order: entries appended
-                    // by the same merge operation sit next to each other, so
-                    // the whole hot area comes back in long sequential runs —
-                    // the point of the merged layout.
-                    served.sort_by_key(|(key, _)| {
-                        file.entry(key)
-                            .and_then(|e| e.runs.first().map(|r| r.page_start))
-                            .unwrap_or(u64::MAX)
-                    });
-                    for (key, wanted) in served {
-                        let objs = file.read(storage, &key, wanted)?;
-                        storage.note_objects_scanned(objs.len() as u64);
-                        if counting {
-                            count += objs.iter().filter(|o| query.matches(o)).count() as u64;
-                        } else {
-                            objects.extend(objs.into_iter().filter(|o| query.matches(o)));
-                        }
-                    }
-                }
-            }
-            route
-        };
-
-        // Phase 3: read whatever is left from the individual dataset files.
-        // `read_region` (rather than a plain key lookup) closes the race
-        // where another thread refines a pending partition away between our
-        // planning phase and this read: the region's objects then come from
-        // its descendant leaves instead of silently vanishing.
-        for (dataset_id, key) in &pending {
-            let index = self
-                .datasets
-                .iter()
-                .find(|d| d.dataset() == *dataset_id)
-                .expect("pending keys only come from known datasets");
-            let objs = index
-                .read_region(storage, &self.config, key)?
-                .unwrap_or_default();
-            storage.note_objects_scanned(objs.len() as u64);
-            if counting {
-                count += objs.iter().filter(|o| query.matches(o)).count() as u64;
-            } else {
-                objects.extend(objs.into_iter().filter(|o| query.matches(o)));
-            }
-            from_datasets += 1;
-        }
-
-        // Phase 4: statistics and merging. Scan-answered datasets contribute
-        // no partition keys, so a combination only ever answered by scans
-        // accumulates counts but never candidates — the empty-candidate guard
-        // below keeps it from creating empty merge files. The WAL record is
-        // appended under the stats lock, so recovered statistics count
-        // exactly the queries a never-crashed engine would have counted.
-        {
-            let mut stats = self.stats.write().unwrap();
-            stats.record(combination, &retrieved_union);
-            durability::log(
-                storage,
-                MetaRecord::QueryStats {
-                    combination,
-                    retrieved: retrieved_union,
-                    stale_bypassed,
-                },
-            )?;
-        }
-        let mut merge_performed = false;
-        let should_merge = {
-            let merger = self.merger.read().unwrap();
-            let stats = self.stats.read().unwrap();
-            merger.should_merge(&self.config, &stats, combination)
-        };
-        if should_merge {
-            let candidates: Vec<PartitionKey> = self
-                .stats
-                .read()
-                .unwrap()
-                .retrieved(combination)
-                .map(|set| set.iter().copied().collect())
-                .unwrap_or_default();
-            if !candidates.is_empty() {
-                // The merger write lock serializes merge work; a thread that
-                // arrives after another already merged these candidates
-                // appends nothing (the merge file is append-only and checked
-                // per key).
-                let summary = self.merger.write().unwrap().merge_combination(
-                    storage,
-                    &self.config,
-                    combination,
-                    &candidates,
-                    &self.datasets,
-                )?;
-                merge_performed = summary.entries_appended > 0;
-            }
-        }
-
-        // Phase 5: space reclamation. Refinements (this query's included)
-        // orphan pages append-only on durable managers; once a queried
-        // dataset's file crosses the dead-page ratio, compact it inline —
-        // queries are the only trigger point read-mostly workloads ever hit.
-        let mut compactions = 0usize;
-        for dataset_id in combination.iter() {
-            if let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) {
-                if self
-                    .compactor
-                    .maybe_compact(storage, &self.config, index)?
-                    .is_some()
+                    .find(|d| d.dataset() == id)
+                    .map(|d| (id, d.ingest_seq()))
+            })
+            .collect();
+        match self.result_cache.lookup(&sig, &live) {
+            CacheLookup::Hit(components) => {
+                storage.note_cache_hit();
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                // A hit is still an executed query: record the combination
+                // (with no partition keys — nothing was read) and its WAL
+                // record, so recovered statistics and the merge trigger
+                // match a cache-less engine's query counts.
                 {
-                    compactions += 1;
+                    let mut stats = self.stats.write().unwrap();
+                    stats.record(query.datasets(), &[]);
+                    durability::log(
+                        storage,
+                        MetaRecord::QueryStats {
+                            combination: query.datasets(),
+                            retrieved: Vec::new(),
+                            stale_bypassed: false,
+                        },
+                    )?;
+                }
+                let mut outcome = Self::assemble_cached(query, &components);
+                outcome.cache_hits = 1;
+                Ok(outcome)
+            }
+            CacheLookup::Partial { fresh, stale } => {
+                storage.note_cache_partial_reuse();
+                self.cache_partial_reuses.fetch_add(1, Ordering::Relaxed);
+                // Re-execute only the invalidated datasets, but record
+                // statistics against the full combination — the cache must
+                // not starve the merge trigger of the combination's heat.
+                let restricted = Self::restrict_query(query, stale);
+                let cursor =
+                    QueryCursor::open_with_stats(self, storage, &restricted, query.datasets())?;
+                let (partial, new_components) = Self::drain_collecting(cursor, &restricted)?;
+                let mut components = fresh;
+                components.extend(new_components);
+                components.sort_by_key(|c| c.dataset.0);
+                let mut outcome = Self::assemble_cached(query, &components);
+                self.result_cache.insert(sig, components);
+                // The assembled answer, with the re-execution's counters.
+                outcome.plans = partial.plans;
+                outcome.route = partial.route;
+                outcome.partitions_refined = partial.partitions_refined;
+                outcome.partitions_from_merge_file = partial.partitions_from_merge_file;
+                outcome.partitions_from_datasets = partial.partitions_from_datasets;
+                outcome.partitions_counted_from_metadata = partial.partitions_counted_from_metadata;
+                outcome.merge_performed = partial.merge_performed;
+                outcome.stale_merge_repairs = partial.stale_merge_repairs;
+                outcome.stale_merge_bypassed = partial.stale_merge_bypassed;
+                outcome.compactions_performed = partial.compactions_performed;
+                outcome.rows_skipped_by_early_exit = partial.rows_skipped_by_early_exit;
+                outcome.cache_partial_reuses = 1;
+                Ok(outcome)
+            }
+            CacheLookup::Miss => {
+                storage.note_cache_miss();
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let cursor = QueryCursor::open(self, storage, query)?;
+                let (mut outcome, components) = Self::drain_collecting(cursor, query)?;
+                self.result_cache.insert(sig, components);
+                outcome.cache_misses = 1;
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Drains a cursor while splitting the answer into the per-dataset
+    /// [`CachedComponent`]s a cache fill needs, each stamped with the ingest
+    /// sequence the cursor captured before its first read.
+    fn drain_collecting(
+        mut cursor: QueryCursor<'_>,
+        executed: &Query,
+    ) -> StorageResult<(QueryOutcome, Vec<CachedComponent>)> {
+        let mut objects: Vec<SpatialObject> = Vec::new();
+        while let Some(batch) = cursor.next_batch()? {
+            objects.extend(batch);
+        }
+        let seqs: Vec<(DatasetId, u64)> = cursor.captured_seqs().to_vec();
+        let mut components: Vec<CachedComponent> = Vec::with_capacity(seqs.len());
+        match executed {
+            Query::Count(_) => {
+                let counts = cursor.per_dataset_counts();
+                for (dataset, seq) in seqs {
+                    let count = counts
+                        .iter()
+                        .find(|(d, _)| *d == dataset)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0);
+                    components.push(CachedComponent {
+                        dataset,
+                        seq,
+                        objects: Vec::new(),
+                        count,
+                    });
+                }
+            }
+            Query::KNearestNeighbors(_) => {
+                // Cache each dataset's full top-k list, not the merged
+                // answer: the per-dataset lists stay valid when *other*
+                // datasets ingest, which is what makes partial reuse of a
+                // multi-dataset kNN sound.
+                for (dataset, seq) in seqs {
+                    let objs = cursor
+                        .knn_components()
+                        .iter()
+                        .find(|(d, _)| *d == dataset)
+                        .map(|(_, o)| o.clone())
+                        .unwrap_or_default();
+                    components.push(CachedComponent {
+                        dataset,
+                        seq,
+                        count: objs.len() as u64,
+                        objects: objs,
+                    });
+                }
+            }
+            _ => {
+                for (dataset, seq) in seqs {
+                    let objs: Vec<SpatialObject> = objects
+                        .iter()
+                        .filter(|o| o.dataset == dataset)
+                        .copied()
+                        .collect();
+                    components.push(CachedComponent {
+                        dataset,
+                        seq,
+                        count: objs.len() as u64,
+                        objects: objs,
+                    });
                 }
             }
         }
+        let mut outcome = cursor.finish();
+        outcome.objects = objects;
+        Ok((outcome, components))
+    }
 
-        if !counting {
-            count = objects.len() as u64;
-        }
-        Ok(QueryOutcome {
+    /// Rebuilds a full answer from per-dataset cached components: counts
+    /// add up, kNN lists rank-merge to the global top-k, range and point
+    /// answers concatenate. Plans and read counters are zero — nothing was
+    /// planned or read.
+    fn assemble_cached(query: &Query, components: &[CachedComponent]) -> QueryOutcome {
+        let (objects, count) = match query {
+            Query::Count(_) => (Vec::new(), components.iter().map(|c| c.count).sum()),
+            Query::KNearestNeighbors(q) => {
+                let mut best: Vec<((f64, u16, u64), SpatialObject)> = components
+                    .iter()
+                    .flat_map(|c| c.objects.iter().map(|o| (q.rank_key(o), *o)))
+                    .collect();
+                best.sort_by(|a, b| knn_key_cmp(&a.0, &b.0));
+                best.truncate(q.k);
+                let objects: Vec<SpatialObject> = best.into_iter().map(|(_, o)| o).collect();
+                let count = objects.len() as u64;
+                (objects, count)
+            }
+            _ => {
+                let objects: Vec<SpatialObject> = components
+                    .iter()
+                    .flat_map(|c| c.objects.iter().copied())
+                    .collect();
+                let count = objects.len() as u64;
+                (objects, count)
+            }
+        };
+        QueryOutcome {
             objects,
             count,
-            plans,
-            route,
-            partitions_refined: refined,
-            partitions_from_merge_file: from_merge,
-            partitions_from_datasets: from_datasets,
-            partitions_counted_from_metadata: metadata_counted,
-            merge_performed,
-            stale_merge_repairs: stale_repairs,
-            stale_merge_bypassed: stale_bypassed,
-            compactions_performed: compactions,
-        })
-    }
-
-    /// Executes one k-nearest-neighbour query: per dataset either a
-    /// best-first traversal of its partitions or (when the planner finds it
-    /// cheaper, e.g. for `k` close to the dataset size) a full scan, then a
-    /// deterministic `(distance, dataset, id)` merge across datasets.
-    fn execute_knn(
-        &self,
-        storage: &StorageManager,
-        query: &KnnQuery,
-    ) -> StorageResult<QueryOutcome> {
-        let combination = query.datasets;
-        let planner = Planner::new(&self.config);
-        let mut plans: Vec<PlanChoice> = Vec::new();
-        let mut best: Vec<((f64, u16, u64), SpatialObject)> = Vec::new();
-        for dataset_id in combination.iter() {
-            let Some(index) = self.datasets.iter().find(|d| d.dataset() == dataset_id) else {
-                continue; // unknown dataset: nothing to answer
-            };
-            let path = if self.config.planner_enabled {
-                let plan = planner.plan_knn(storage, index, query);
-                let path = plan.path;
-                plans.push(plan);
-                path
-            } else {
-                AccessPath::Octree
-            };
-            let candidates = if path == AccessPath::SeqScan {
-                index.scan_raw(storage)?
-            } else {
-                index
-                    .knn(storage, &self.config, query.point, query.k)?
-                    .results
-            };
-            best.extend(candidates.into_iter().map(|o| (query.rank_key(&o), o)));
-            best.sort_by(|a, b| knn_key_cmp(&a.0, &b.0));
-            best.truncate(query.k);
-        }
-        // Count the combination for the statistics; no partition keys are
-        // recorded — the kNN path reads partitions directly and never
-        // benefits from merge files.
-        {
-            let mut stats = self.stats.write().unwrap();
-            stats.record(combination, &[]);
-            durability::log(
-                storage,
-                MetaRecord::QueryStats {
-                    combination,
-                    retrieved: Vec::new(),
-                    stale_bypassed: false,
-                },
-            )?;
-        }
-        let objects: Vec<SpatialObject> = best.into_iter().map(|(_, o)| o).collect();
-        Ok(QueryOutcome {
-            count: objects.len() as u64,
-            objects,
-            plans,
+            plans: Vec::new(),
             route: RouteKind::None,
             partitions_refined: 0,
             partitions_from_merge_file: 0,
@@ -936,7 +859,22 @@ impl SpaceOdyssey {
             stale_merge_repairs: 0,
             stale_merge_bypassed: false,
             compactions_performed: 0,
-        })
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_partial_reuses: 0,
+            rows_skipped_by_early_exit: 0,
+        }
+    }
+
+    /// The same query restricted to `datasets` — what a partial cache reuse
+    /// re-executes.
+    fn restrict_query(query: &Query, datasets: DatasetSet) -> Query {
+        match query {
+            Query::Range(q) => Query::Range(RangeQuery { datasets, ..*q }),
+            Query::Point(q) => Query::Point(PointQuery { datasets, ..*q }),
+            Query::Count(q) => Query::Count(CountQuery { datasets, ..*q }),
+            Query::KNearestNeighbors(q) => Query::KNearestNeighbors(KnnQuery { datasets, ..*q }),
+        }
     }
 
     /// Ingests a batch of newly arrived objects into `dataset`, online: the
@@ -1009,7 +947,11 @@ impl SpaceOdyssey {
     /// never reported stale (the file cannot serve them anyway). The single
     /// source of truth for the phase-0.5 repair/bypass decision, the phase-2
     /// freshness net, and the post-ingest staleness count.
-    fn stale_subset(&self, file: &crate::merge_file::MergeFile, wanted: DatasetSet) -> DatasetSet {
+    pub(crate) fn stale_subset(
+        &self,
+        file: &crate::merge_file::MergeFile,
+        wanted: DatasetSet,
+    ) -> DatasetSet {
         DatasetSet::from_ids(wanted.intersection(file.combination).iter().filter(|id| {
             self.datasets
                 .iter()

@@ -31,7 +31,14 @@
 //!   append-only durable layout leaves behind: evicted merge files release
 //!   their backing file immediately, and a dataset file whose dead-page
 //!   ratio crosses the configured threshold is copy-forwarded into a fresh
-//!   contiguous layout under a single `CompactionCommit` WAL record.
+//!   contiguous layout under a single `CompactionCommit` WAL record;
+//! * the **streaming read path** ([`cursor`]) exposes every access path as
+//!   a seeking [`QueryCursor`] that lazily drains the answer in bounded
+//!   batches ([`SpaceOdyssey::open_cursor`]); the materialized API drains a
+//!   cursor internally;
+//! * the **result cache** ([`result_cache`]) keeps materialized answers
+//!   keyed by canonical query signature and invalidated per dataset by
+//!   ingest sequence numbers, under an LRU byte budget.
 //!
 //! The public entry point is [`SpaceOdyssey`].
 
@@ -42,6 +49,7 @@ pub use odyssey_storage::codec;
 
 pub mod compactor;
 pub mod config;
+pub mod cursor;
 pub mod durability;
 pub mod engine;
 pub mod merge_file;
@@ -49,10 +57,12 @@ pub mod merger;
 pub mod octree;
 pub mod partition;
 pub mod planner;
+pub mod result_cache;
 pub mod stats;
 
 pub use compactor::Compactor;
 pub use config::{MergeLevelPolicy, OdysseyConfig};
+pub use cursor::QueryCursor;
 pub use durability::{EngineSnapshot, MetaRecord, PartitionMeta};
 pub use engine::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, SpaceOdyssey};
 pub use merge_file::{MergeEntry, MergeFile, MergeRun, MergeSource};
@@ -62,4 +72,5 @@ pub use octree::{
 };
 pub use partition::{Partition, PartitionKey};
 pub use planner::{AccessPath, PlanChoice, Planner};
+pub use result_cache::{CacheLookup, CachedComponent, ResultCache};
 pub use stats::{ComboStats, StatsCollector};

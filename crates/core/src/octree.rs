@@ -34,6 +34,7 @@ use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3
 use odyssey_storage::{
     append_to_raw_dataset, pages_needed, FileId, RawDataset, StorageManager, StorageResult,
 };
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -63,6 +64,73 @@ pub struct PreparedKnn {
     pub results: Vec<SpatialObject>,
     /// Keys of the partitions the traversal had to visit.
     pub retrieved_keys: Vec<PartitionKey>,
+    /// Objects in partitions the mindist bound pruned — rows the traversal
+    /// provably never had to examine.
+    pub rows_skipped: u64,
+}
+
+/// Pages per chunk when streaming a partition's runs into the kNN heap.
+/// Small enough that a visited partition's candidate pages are folded into
+/// the `O(k)` heap and released almost immediately (instead of staying
+/// pinned as a whole-partition object vector until the query finishes),
+/// large enough that the chunked reads stay sequential sweeps.
+const KNN_READ_CHUNK_PAGES: u64 = 8;
+
+/// A kNN candidate ordered by the deterministic `(distance², dataset, id)`
+/// rank, so a [`BinaryHeap`] (a max-heap) keeps the *worst* retained
+/// candidate on top — one `peek` away from the pruning bound.
+#[derive(Debug, Clone)]
+pub(crate) struct RankedCandidate {
+    pub(crate) key: (f64, u16, u64),
+    pub(crate) object: SpatialObject,
+}
+
+impl PartialEq for RankedCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        knn_key_cmp(&self.key, &other.key) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for RankedCandidate {}
+
+impl PartialOrd for RankedCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        knn_key_cmp(&self.key, &other.key)
+    }
+}
+
+/// Selects the `k` best candidates around `point` in one pass with `O(k)`
+/// memory — the heap selection shared by the octree traversal and the
+/// engine's sequential-scan kNN path. Results come back sorted by
+/// `(distance², dataset, id)`.
+pub(crate) fn top_k_candidates(
+    objects: impl IntoIterator<Item = SpatialObject>,
+    point: Vec3,
+    k: usize,
+) -> Vec<SpatialObject> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut best: BinaryHeap<RankedCandidate> = BinaryHeap::with_capacity(k + 1);
+    for o in objects {
+        best.push(RankedCandidate {
+            key: (o.mbr.min_distance_squared_to(point), o.dataset.0, o.id.0),
+            object: o,
+        });
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    best.into_sorted_vec()
+        .into_iter()
+        .map(|c| c.object)
+        .collect()
 }
 
 /// How a dataset's current leaves cover a region key — the vocabulary of the
@@ -1136,30 +1204,58 @@ impl DatasetIndex {
                 .then(a.1.key.cmp(&b.1.key))
         });
 
-        let mut best: Vec<((f64, u16, u64), SpatialObject)> = Vec::new();
+        // A bounded max-heap of the k best candidates: the worst retained
+        // candidate sits on top, so the pruning bound is one peek and memory
+        // stays O(k) no matter how many objects the visited partitions hold.
+        let mut best: BinaryHeap<RankedCandidate> = BinaryHeap::with_capacity(k + 1);
         let mut kth = f64::INFINITY;
-        for (mindist, partition) in order {
-            if best.len() >= k && mindist > kth {
+        let mut visited = 0usize;
+        let mut chunk: Vec<SpatialObject> = Vec::new();
+        for (mindist, partition) in order.iter() {
+            if best.len() >= k && *mindist > kth {
                 break;
             }
+            visited += 1;
             out.retrieved_keys.push(partition.key);
             if partition.object_count == 0 {
                 continue;
             }
-            let objects = Self::read_runs(storage, file, partition)?;
-            best.extend(objects.into_iter().map(|o| {
-                (
-                    (o.mbr.min_distance_squared_to(point), o.dataset.0, o.id.0),
-                    o,
-                )
-            }));
-            best.sort_by(|a, b| knn_key_cmp(&a.0, &b.0));
-            best.truncate(k);
+            // Stream each run in bounded page chunks and fold every chunk
+            // into the heap immediately: a partition's candidates are
+            // released as soon as its contribution is finalized, instead of
+            // staying pinned as whole-partition vectors until the query
+            // completes — what keeps large-k queries from starving a small
+            // buffer pool under concurrent batches.
+            for run in partition.runs() {
+                let mut next = run.start;
+                while next < run.end {
+                    let end = (next + KNN_READ_CHUNK_PAGES).min(run.end);
+                    chunk.clear();
+                    storage.read_objects_into(file, next..end, &mut chunk)?;
+                    next = end;
+                    for o in chunk.drain(..) {
+                        best.push(RankedCandidate {
+                            key: (o.mbr.min_distance_squared_to(point), o.dataset.0, o.id.0),
+                            object: o,
+                        });
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            }
             if best.len() == k {
-                kth = best[k - 1].0 .0;
+                kth = best.peek().expect("heap holds k candidates").key.0;
             }
         }
-        out.results = best.into_iter().map(|(_, o)| o).collect();
+        // Everything after the early exit is provably outside the k-th
+        // distance bound: count the objects the traversal never examined.
+        out.rows_skipped = order[visited..].iter().map(|(_, p)| p.object_count).sum();
+        out.results = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| c.object)
+            .collect();
         Ok(out)
     }
 }

@@ -1,0 +1,361 @@
+//! Ingest-sequence-invalidated result cache.
+//!
+//! Scientific exploration workloads revisit the same regions: a scientist
+//! zooms around a neuron cluster and re-issues near-identical queries while
+//! the instrument keeps appending new observations in the background. The
+//! [`ResultCache`] keeps **materialized answers** keyed by the canonical
+//! [`QuerySignature`] (geometry + kind + combination, independent of workload
+//! position), stored as one [`CachedComponent`] per queried dataset so a
+//! partially stale entry can still contribute its fresh parts.
+//!
+//! # Invalidation rule
+//!
+//! Every component records the dataset's **ingest sequence number** captured
+//! when the answer was computed. A lookup compares the recorded sequence
+//! against the live one:
+//!
+//! * every component fresh → [`CacheLookup::Hit`] — the answer is served
+//!   without touching a single data page;
+//! * some components stale → [`CacheLookup::Partial`] — the engine re-executes
+//!   only the stale datasets and merges with the fresh components (range-like
+//!   answers and counts decompose per dataset; kNN components keep each
+//!   dataset's full top-`k` list, so a re-merge is exact);
+//! * everything stale, or no entry → [`CacheLookup::Miss`].
+//!
+//! Sequences are captured *before* the filling execution's first read, so an
+//! ingest racing the fill can only make the entry look older than the data it
+//! holds — a wasted re-execution later, never a stale answer served.
+//!
+//! # Space budget
+//!
+//! Entries are byte-accounted and evicted least-recently-used once the
+//! configured budget ([`crate::OdysseyConfig::result_cache_budget_bytes`]) is
+//! exceeded — the same policy the merge directory applies to its page budget.
+//! A single answer larger than the whole budget is not stored at all.
+
+use odyssey_geom::{DatasetId, DatasetSet, QuerySignature, SpatialObject};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One dataset's share of a cached answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedComponent {
+    /// The dataset this component answers for.
+    pub dataset: DatasetId,
+    /// The dataset's ingest sequence captured before the filling execution
+    /// read any data; the entry is stale for the dataset once its live
+    /// sequence moves past this.
+    pub seq: u64,
+    /// The dataset's matching objects (range/point: the filtered result;
+    /// kNN: the dataset's full top-`k` list; count: empty).
+    pub objects: Vec<SpatialObject>,
+    /// The dataset's matching-object count (counts are cached without
+    /// materializing objects).
+    pub count: u64,
+}
+
+/// Outcome of probing the cache for a query signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// Every component is fresh: the cached components assemble the full
+    /// answer with zero data-page reads.
+    Hit(Vec<CachedComponent>),
+    /// Some datasets went stale; the fresh components are returned for reuse
+    /// and `stale` names the datasets that must be re-executed.
+    Partial {
+        /// Components whose recorded sequence still matches the live one.
+        fresh: Vec<CachedComponent>,
+        /// Datasets whose components were invalidated by ingestion.
+        stale: DatasetSet,
+    },
+    /// No entry, or nothing reusable.
+    Miss,
+}
+
+#[derive(Debug)]
+struct Entry {
+    components: Vec<CachedComponent>,
+    last_used: u64,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<QuerySignature, Entry>,
+    clock: u64,
+    total_bytes: u64,
+    evictions: u64,
+}
+
+/// The engine-wide result cache. Interior-mutable behind one mutex: every
+/// operation is a short in-memory critical section (no I/O ever happens under
+/// the lock).
+#[derive(Debug)]
+pub struct ResultCache {
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+/// Fixed per-entry overhead charged on top of the object payload.
+const ENTRY_OVERHEAD_BYTES: u64 = 64;
+/// Fixed per-component overhead.
+const COMPONENT_OVERHEAD_BYTES: u64 = 48;
+
+fn component_bytes(c: &CachedComponent) -> u64 {
+    COMPONENT_OVERHEAD_BYTES + c.objects.len() as u64 * std::mem::size_of::<SpatialObject>() as u64
+}
+
+fn entry_bytes(components: &[CachedComponent]) -> u64 {
+    ENTRY_OVERHEAD_BYTES + components.iter().map(component_bytes).sum::<u64>()
+}
+
+impl ResultCache {
+    /// Creates an empty cache with the given byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            budget_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated bytes currently held.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().total_bytes
+    }
+
+    /// Entries evicted by the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+
+    /// Probes the cache. `live` carries the current ingest sequence of every
+    /// known queried dataset; freshness is decided component by component. A
+    /// fully stale entry is dropped on the spot (its bytes are better spent
+    /// on answers that can still be reused).
+    pub fn lookup(&self, sig: &QuerySignature, live: &[(DatasetId, u64)]) -> CacheLookup {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let (covered, stale) = {
+            let Some(entry) = inner.entries.get(sig) else {
+                return CacheLookup::Miss;
+            };
+            // A component set that does not cover the live datasets (or vice
+            // versa) cannot be trusted — treat as a plain miss and drop it.
+            let covered = live.len() == entry.components.len()
+                && live
+                    .iter()
+                    .all(|(id, _)| entry.components.iter().any(|c| c.dataset == *id));
+            let stale = DatasetSet::from_ids(live.iter().filter_map(|(id, seq)| {
+                entry
+                    .components
+                    .iter()
+                    .find(|c| c.dataset == *id)
+                    .filter(|c| c.seq != *seq)
+                    .map(|_| *id)
+            }));
+            (covered, stale)
+        };
+        if !covered || stale.len() == live.len() {
+            let removed = inner.entries.remove(sig).expect("entry was just found");
+            inner.total_bytes -= removed.bytes;
+            return CacheLookup::Miss;
+        }
+        let entry = inner
+            .entries
+            .get_mut(sig)
+            .expect("entry presence was just checked");
+        entry.last_used = clock;
+        if stale.is_empty() {
+            return CacheLookup::Hit(entry.components.clone());
+        }
+        let fresh = entry
+            .components
+            .iter()
+            .filter(|c| !stale.contains(c.dataset))
+            .cloned()
+            .collect();
+        CacheLookup::Partial { fresh, stale }
+    }
+
+    /// Inserts (or replaces) the entry for `sig`, then evicts
+    /// least-recently-used entries until the byte budget holds again. An
+    /// answer larger than the entire budget is not stored.
+    pub fn insert(&self, sig: QuerySignature, components: Vec<CachedComponent>) {
+        let bytes = entry_bytes(&components);
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&sig) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        inner.entries.insert(
+            sig,
+            Entry {
+                components,
+                last_used: clock,
+                bytes,
+            },
+        );
+        while inner.total_bytes > self.budget_bytes {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(sig, _)| *sig)
+            else {
+                break;
+            };
+            let evicted = inner.entries.remove(&victim).expect("victim exists");
+            inner.total_bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odyssey_geom::{Aabb, ObjectId, Query, QueryId, RangeQuery, Vec3};
+
+    fn sig(side: f64) -> QuerySignature {
+        QuerySignature::of(&Query::Range(RangeQuery::new(
+            QueryId(0),
+            Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(side)),
+            DatasetSet::from_ids([DatasetId(0), DatasetId(1)]),
+        )))
+    }
+
+    fn objs(ds: u16, n: u64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(0.3)),
+                )
+            })
+            .collect()
+    }
+
+    fn component(ds: u16, seq: u64, n: u64) -> CachedComponent {
+        CachedComponent {
+            dataset: DatasetId(ds),
+            seq,
+            objects: objs(ds, n),
+            count: n,
+        }
+    }
+
+    #[test]
+    fn hit_partial_and_miss_follow_the_ingest_sequences() {
+        let cache = ResultCache::new(1 << 20);
+        assert_eq!(
+            cache.lookup(&sig(4.0), &[(DatasetId(0), 0), (DatasetId(1), 0)]),
+            CacheLookup::Miss
+        );
+        cache.insert(sig(4.0), vec![component(0, 0, 5), component(1, 3, 2)]);
+        // All sequences match: hit.
+        match cache.lookup(&sig(4.0), &[(DatasetId(0), 0), (DatasetId(1), 3)]) {
+            CacheLookup::Hit(components) => {
+                assert_eq!(components.len(), 2);
+                assert_eq!(components[0].objects.len(), 5);
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        // Dataset 1 moved: partial reuse of dataset 0.
+        match cache.lookup(&sig(4.0), &[(DatasetId(0), 0), (DatasetId(1), 9)]) {
+            CacheLookup::Partial { fresh, stale } => {
+                assert_eq!(fresh.len(), 1);
+                assert_eq!(fresh[0].dataset, DatasetId(0));
+                assert_eq!(stale, DatasetSet::single(DatasetId(1)));
+            }
+            other => panic!("expected partial reuse, got {other:?}"),
+        }
+        // Both moved: miss, and the dead entry is dropped.
+        assert_eq!(
+            cache.lookup(&sig(4.0), &[(DatasetId(0), 7), (DatasetId(1), 9)]),
+            CacheLookup::Miss
+        );
+        assert!(cache.is_empty(), "a fully stale entry must be dropped");
+        assert_eq!(cache.total_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_enforces_the_byte_budget() {
+        // Each entry: 64 + 48 + 10 objects * size_of(SpatialObject).
+        let per_entry = entry_bytes(&[component(0, 0, 10)]);
+        let cache = ResultCache::new(per_entry * 2);
+        cache.insert(sig(1.0), vec![component(0, 0, 10)]);
+        cache.insert(sig(2.0), vec![component(0, 0, 10)]);
+        assert_eq!(cache.len(), 2);
+        // Touch the older entry so the newer one becomes the LRU victim.
+        assert!(matches!(
+            cache.lookup(&sig(1.0), &[(DatasetId(0), 0)]),
+            CacheLookup::Hit(_)
+        ));
+        cache.insert(sig(3.0), vec![component(0, 0, 10)]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(matches!(
+            cache.lookup(&sig(1.0), &[(DatasetId(0), 0)]),
+            CacheLookup::Hit(_)
+        ));
+        assert_eq!(
+            cache.lookup(&sig(2.0), &[(DatasetId(0), 0)]),
+            CacheLookup::Miss,
+            "the untouched entry is the LRU victim"
+        );
+        assert!(cache.total_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_answers_are_not_stored_and_replacement_reaccounts() {
+        let small = entry_bytes(&[component(0, 0, 2)]);
+        let cache = ResultCache::new(small);
+        cache.insert(sig(1.0), vec![component(0, 0, 1_000)]);
+        assert!(
+            cache.is_empty(),
+            "answers larger than the budget are skipped"
+        );
+        cache.insert(sig(1.0), vec![component(0, 0, 2)]);
+        let bytes = cache.total_bytes();
+        assert!(bytes > 0);
+        // Replacing the same signature must not double-count.
+        cache.insert(sig(1.0), vec![component(0, 5, 2)]);
+        assert_eq!(cache.total_bytes(), bytes);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_component_coverage_is_a_miss() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(sig(4.0), vec![component(0, 0, 3)]);
+        // The live combination expects two datasets; one component cannot
+        // assemble the answer.
+        assert_eq!(
+            cache.lookup(&sig(4.0), &[(DatasetId(0), 0), (DatasetId(1), 0)]),
+            CacheLookup::Miss
+        );
+        assert!(cache.is_empty());
+    }
+}

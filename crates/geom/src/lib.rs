@@ -42,7 +42,8 @@ pub use object::{
 };
 pub use query::{
     knn_key_cmp, scan_any_query, scan_count_query, scan_knn_query, scan_point_query, scan_query,
-    CountQuery, KnnQuery, PointQuery, Query, QueryAnswer, QueryId, QueryKind, RangeQuery,
+    CountQuery, KnnQuery, PointQuery, Query, QueryAnswer, QueryId, QueryKind, QuerySignature,
+    RangeQuery,
 };
 pub use vec3::Vec3;
 

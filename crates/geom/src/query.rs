@@ -400,6 +400,63 @@ where
     objects.into_iter().filter(|o| query.matches(o)).count() as u64
 }
 
+/// Canonical, hashable identity of a query's *semantics*.
+///
+/// Two queries that must return the same answer over the same data map to the
+/// same signature: the kind, the geometry (as exact `f64` bit patterns — no
+/// epsilon games), `k` for kNN, and the dataset combination. The workload
+/// position ([`QueryId`]) is deliberately excluded — re-asking the same
+/// question later is the whole point of a result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuerySignature {
+    /// Kind discriminant (0 = range, 1 = point, 2 = knn, 3 = count).
+    kind: u8,
+    /// Geometry as raw `f64` bit patterns: `[min.x, min.y, min.z, max.x,
+    /// max.y, max.z]` for ranges/counts, the point duplicated for
+    /// point/kNN probes.
+    geometry: [u64; 6],
+    /// `k` for kNN queries, 0 otherwise.
+    k: u64,
+    /// Raw bits of the queried dataset combination.
+    datasets: u64,
+}
+
+impl QuerySignature {
+    fn from_parts(kind: u8, min: Vec3, max: Vec3, k: u64, datasets: DatasetSet) -> Self {
+        QuerySignature {
+            kind,
+            geometry: [
+                min.x.to_bits(),
+                min.y.to_bits(),
+                min.z.to_bits(),
+                max.x.to_bits(),
+                max.y.to_bits(),
+                max.z.to_bits(),
+            ],
+            k,
+            datasets: datasets.0,
+        }
+    }
+
+    /// The signature of `query`.
+    pub fn of(query: &Query) -> Self {
+        match query {
+            Query::Range(q) => Self::from_parts(0, q.range.min, q.range.max, 0, q.datasets),
+            Query::Point(q) => Self::from_parts(1, q.point, q.point, 0, q.datasets),
+            Query::KNearestNeighbors(q) => {
+                Self::from_parts(2, q.point, q.point, q.k as u64, q.datasets)
+            }
+            Query::Count(q) => Self::from_parts(3, q.range.min, q.range.max, 0, q.datasets),
+        }
+    }
+
+    /// The dataset combination the signed query addresses.
+    #[inline]
+    pub fn datasets(&self) -> DatasetSet {
+        DatasetSet(self.datasets)
+    }
+}
+
 /// Brute-force oracle over any query kind.
 pub fn scan_any_query<'a, I>(query: &Query, objects: I) -> QueryAnswer
 where
@@ -555,6 +612,42 @@ mod tests {
         assert_eq!(knn.datasets(), ds);
         assert_eq!(QueryKind::ALL.len(), 4);
         assert_eq!(QueryKind::KNearestNeighbors.name(), "knn");
+    }
+
+    #[test]
+    fn query_signatures_identify_semantics_not_workload_position() {
+        let ds = DatasetSet::from_ids([DatasetId(0), DatasetId(3)]);
+        let a: Query = RangeQuery::new(QueryId(0), Aabb::unit(), ds).into();
+        let b: Query = RangeQuery::new(QueryId(99), Aabb::unit(), ds).into();
+        assert_eq!(QuerySignature::of(&a), QuerySignature::of(&b));
+        assert_eq!(QuerySignature::of(&a).datasets(), ds);
+        // A different range, a different combination, or a different kind all
+        // change the signature.
+        let shifted: Query = RangeQuery::new(
+            QueryId(0),
+            Aabb::from_min_max(Vec3::ZERO, Vec3::splat(2.0)),
+            ds,
+        )
+        .into();
+        assert_ne!(QuerySignature::of(&a), QuerySignature::of(&shifted));
+        let other_ds: Query =
+            RangeQuery::new(QueryId(0), Aabb::unit(), DatasetSet::single(DatasetId(0))).into();
+        assert_ne!(QuerySignature::of(&a), QuerySignature::of(&other_ds));
+        let count: Query = CountQuery::new(QueryId(0), Aabb::unit(), ds).into();
+        assert_ne!(QuerySignature::of(&a), QuerySignature::of(&count));
+        // kNN signatures include k.
+        let k3: Query = KnnQuery::new(QueryId(0), Vec3::ZERO, 3, ds).into();
+        let k4: Query = KnnQuery::new(QueryId(1), Vec3::ZERO, 4, ds).into();
+        assert_ne!(QuerySignature::of(&k3), QuerySignature::of(&k4));
+        assert_eq!(
+            QuerySignature::of(&k3),
+            QuerySignature::of(&KnnQuery::new(QueryId(7), Vec3::ZERO, 3, ds).into())
+        );
+        // Point and range signatures never collide even for a degenerate box.
+        let p: Query = PointQuery::new(QueryId(0), Vec3::splat(0.5), ds).into();
+        let degenerate: Query =
+            RangeQuery::new(QueryId(0), Aabb::from_point(Vec3::splat(0.5)), ds).into();
+        assert_ne!(QuerySignature::of(&p), QuerySignature::of(&degenerate));
     }
 
     #[test]

@@ -593,6 +593,28 @@ impl StorageManager {
         AtomicIoStats::add(&self.stats.objects_ingested, n);
     }
 
+    /// Records a query answered entirely from the engine's result cache.
+    pub fn note_cache_hit(&self) {
+        AtomicIoStats::add(&self.stats.cache_hits, 1);
+    }
+
+    /// Records a query that found no usable result-cache entry.
+    pub fn note_cache_miss(&self) {
+        AtomicIoStats::add(&self.stats.cache_misses, 1);
+    }
+
+    /// Records a query that reused the fresh components of a cache entry and
+    /// re-executed only the stale remainder.
+    pub fn note_cache_partial_reuse(&self) {
+        AtomicIoStats::add(&self.stats.cache_partial_reuses, 1);
+    }
+
+    /// Records `n` object records an early-exiting execution provably skipped
+    /// (kNN mindist pruning, Count metadata short-circuits).
+    pub fn note_rows_skipped(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.rows_skipped_by_early_exit, n);
+    }
+
     /// Drops all cached pages, mirroring the paper's "OS caches and disk
     /// buffers are cleared before each query" methodology when desired.
     pub fn clear_cache(&self) {

@@ -38,6 +38,18 @@ pub struct IoStats {
     /// Number of files deleted (merge-file eviction, compaction's
     /// copy-forward swap).
     pub files_deleted: u64,
+    /// Queries answered entirely from the engine's result cache (no data
+    /// pages touched).
+    pub cache_hits: u64,
+    /// Queries that consulted the result cache and found no usable entry.
+    pub cache_misses: u64,
+    /// Queries that reused the fresh per-dataset components of a cache entry
+    /// and re-executed only the stale remainder.
+    pub cache_partial_reuses: u64,
+    /// Object records an early-exiting execution provably did *not* have to
+    /// examine: partitions pruned by kNN mindist bounds or counted from
+    /// metadata without reading their pages.
+    pub rows_skipped_by_early_exit: u64,
 }
 
 impl IoStats {
@@ -83,6 +95,10 @@ impl IoStats {
         self.objects_ingested += other.objects_ingested;
         self.files_created += other.files_created;
         self.files_deleted += other.files_deleted;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_partial_reuses += other.cache_partial_reuses;
+        self.rows_skipped_by_early_exit += other.rows_skipped_by_early_exit;
     }
 }
 
@@ -101,6 +117,11 @@ impl Sub for IoStats {
             objects_ingested: self.objects_ingested - rhs.objects_ingested,
             files_created: self.files_created - rhs.files_created,
             files_deleted: self.files_deleted - rhs.files_deleted,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            cache_partial_reuses: self.cache_partial_reuses - rhs.cache_partial_reuses,
+            rows_skipped_by_early_exit: self.rows_skipped_by_early_exit
+                - rhs.rows_skipped_by_early_exit,
         }
     }
 }
@@ -134,6 +155,14 @@ pub struct AtomicIoStats {
     pub files_created: AtomicU64,
     /// See [`IoStats::files_deleted`].
     pub files_deleted: AtomicU64,
+    /// See [`IoStats::cache_hits`].
+    pub cache_hits: AtomicU64,
+    /// See [`IoStats::cache_misses`].
+    pub cache_misses: AtomicU64,
+    /// See [`IoStats::cache_partial_reuses`].
+    pub cache_partial_reuses: AtomicU64,
+    /// See [`IoStats::rows_skipped_by_early_exit`].
+    pub rows_skipped_by_early_exit: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -156,6 +185,10 @@ impl AtomicIoStats {
             objects_ingested: self.objects_ingested.load(Ordering::Relaxed),
             files_created: self.files_created.load(Ordering::Relaxed),
             files_deleted: self.files_deleted.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_partial_reuses: self.cache_partial_reuses.load(Ordering::Relaxed),
+            rows_skipped_by_early_exit: self.rows_skipped_by_early_exit.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,6 +221,10 @@ mod tests {
             objects_ingested: 20,
             files_created: 1,
             files_deleted: 0,
+            cache_hits: 4,
+            cache_misses: 6,
+            cache_partial_reuses: 2,
+            rows_skipped_by_early_exit: 30,
         }
     }
 
@@ -220,6 +257,10 @@ mod tests {
         assert_eq!(a.objects_scanned, 200);
         assert_eq!(a.objects_ingested, 40);
         assert_eq!(a.files_created, 2);
+        assert_eq!(a.cache_hits, 8);
+        assert_eq!(a.cache_misses, 12);
+        assert_eq!(a.cache_partial_reuses, 4);
+        assert_eq!(a.rows_skipped_by_early_exit, 60);
     }
 
     #[test]

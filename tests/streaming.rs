@@ -1,0 +1,471 @@
+//! Property tests for the streaming read path and the result cache.
+//!
+//! * **Streamed == materialized == oracle** — draining a [`QueryCursor`] in
+//!   batches (including batch size 1) yields exactly the objects the
+//!   materialized `execute_query` returns, which in turn match a full-scan
+//!   oracle, for all four query kinds, planner on and off.
+//! * **Cache lifecycle** — with the result cache on, a repeated query is a
+//!   hit with the identical answer; an ingest invalidates exactly the
+//!   affected datasets (partial reuse re-executes only those); a stale
+//!   answer is never served (every cached answer equals the live oracle).
+//! * **Count path-independence** — a count query costs the same metadata
+//!   short-circuits whether its partitions sit in the octree or a merge
+//!   file (satellite of the streaming PR: the merge path must not turn
+//!   metadata counts back into page reads).
+//! * **kNN under a tiny buffer pool** — large-k kNN queries release their
+//!   candidate pages as they go, so they make progress (and stay exact)
+//!   alongside concurrent range queries even when the pool is minimal.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::geom::{
+    scan_knn_query, scan_query, Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId,
+    PointQuery, Query, QueryId, RangeQuery, SpatialObject, Vec3,
+};
+use space_odyssey::storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+fn bounds() -> Aabb {
+    Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+}
+
+fn base_config() -> OdysseyConfig {
+    let mut c = OdysseyConfig::paper(bounds());
+    c.partitions_per_level = 8;
+    c
+}
+
+fn clustered_objects(n: u64, ds: u16, seed: u64) -> Vec<SpatialObject> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed * 977 + 13);
+    let centers: Vec<Vec3> = (0..6)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(15.0..85.0),
+                rng.gen_range(15.0..85.0),
+                rng.gen_range(15.0..85.0),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let jitter = Vec3::new(
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            );
+            SpatialObject::new(
+                ObjectId(i),
+                DatasetId(ds),
+                Aabb::from_center_extent(c + jitter, Vec3::splat(rng.gen_range(0.1..0.5))),
+            )
+        })
+        .collect()
+}
+
+struct Fixture {
+    storage: StorageManager,
+    engine: SpaceOdyssey,
+    all_objects: Vec<SpatialObject>,
+}
+
+fn fixture_with(num_datasets: u16, per_dataset: u64, cfg: OdysseyConfig, pool: usize) -> Fixture {
+    let storage = StorageManager::new(StorageOptions::in_memory(pool));
+    let mut raws = Vec::new();
+    let mut all_objects = Vec::new();
+    for ds in 0..num_datasets {
+        let objs = clustered_objects(per_dataset, ds, ds as u64 + 1);
+        raws.push(write_raw_dataset(&storage, DatasetId(ds), &objs).unwrap());
+        all_objects.extend(objs);
+    }
+    let engine = SpaceOdyssey::new(cfg, raws).unwrap();
+    Fixture {
+        storage,
+        engine,
+        all_objects,
+    }
+}
+
+fn fixture(num_datasets: u16, per_dataset: u64, cfg: OdysseyConfig) -> Fixture {
+    fixture_with(num_datasets, per_dataset, cfg, 256)
+}
+
+fn set(datasets: &[u16]) -> DatasetSet {
+    DatasetSet::from_ids(datasets.iter().map(|&d| DatasetId(d)))
+}
+
+fn keys(objects: &[SpatialObject]) -> Vec<(DatasetId, ObjectId)> {
+    let mut v: Vec<_> = objects.iter().map(|o| (o.dataset, o.id)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// The full-scan oracle for any query kind: (sorted object keys, count).
+fn oracle(query: &Query, all: &[SpatialObject]) -> (Vec<(DatasetId, ObjectId)>, u64) {
+    match query {
+        Query::Range(q) => {
+            let objs = scan_query(q, all.iter());
+            let k = keys(&objs);
+            let n = k.len() as u64;
+            (k, n)
+        }
+        Query::Point(q) => {
+            let objs = scan_query(&q.as_range(), all.iter());
+            let k = keys(&objs);
+            let n = k.len() as u64;
+            (k, n)
+        }
+        Query::Count(q) => {
+            let objs = scan_query(&q.as_range(), all.iter());
+            let k = keys(&objs);
+            let n = k.len() as u64;
+            (Vec::new(), n)
+        }
+        Query::KNearestNeighbors(q) => {
+            let objs = scan_knn_query(q, all.iter());
+            let k = keys(&objs);
+            let n = k.len() as u64;
+            (k, n)
+        }
+    }
+}
+
+/// A deterministic workload mixing all four query kinds over random
+/// combinations.
+fn workload(n: u32, num_datasets: u16, seed: u64) -> Vec<Query> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = Vec3::new(
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+                rng.gen_range(10.0..90.0),
+            );
+            let m = rng.gen_range(1..=num_datasets as usize);
+            let mut ids: Vec<u16> = (0..num_datasets).collect();
+            for j in (1..ids.len()).rev() {
+                ids.swap(j, rng.gen_range(0..=j));
+            }
+            ids.truncate(m);
+            let datasets = set(&ids);
+            match i % 4 {
+                0 => Query::Range(RangeQuery::new(
+                    QueryId(i),
+                    Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(2.0..12.0))),
+                    datasets,
+                )),
+                1 => Query::Point(PointQuery::new(QueryId(i), c, datasets)),
+                2 => Query::Count(CountQuery::new(
+                    QueryId(i),
+                    Aabb::from_center_extent(c, Vec3::splat(rng.gen_range(2.0..20.0))),
+                    datasets,
+                )),
+                _ => Query::KNearestNeighbors(KnnQuery::new(
+                    QueryId(i),
+                    c,
+                    rng.gen_range(1..=64usize),
+                    datasets,
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Drains a cursor with the engine-configured batch size, returning the
+/// concatenated objects and the finished outcome's count.
+fn stream(engine: &SpaceOdyssey, storage: &StorageManager, q: &Query) -> (Vec<SpatialObject>, u64) {
+    let mut cursor = engine.open_cursor(storage, q).unwrap();
+    let mut objects = Vec::new();
+    while let Some(batch) = cursor.next_batch().unwrap() {
+        objects.extend(batch);
+    }
+    assert!(cursor.is_exhausted());
+    let outcome = cursor.finish();
+    (objects, outcome.count)
+}
+
+#[test]
+fn streamed_batches_equal_materialized_and_oracle_for_all_kinds() {
+    for planner_on in [true, false] {
+        for batch in [1usize, 7, 64, 4096] {
+            let mut cfg = base_config();
+            cfg.planner_enabled = planner_on;
+            cfg = cfg.with_stream_batch_objects(batch);
+            let Fixture {
+                storage,
+                engine,
+                all_objects,
+            } = fixture(3, 1200, cfg);
+            for q in workload(32, 3, 7 + batch as u64) {
+                let (expected_keys, expected_count) = oracle(&q, &all_objects);
+                let materialized = engine.execute_query(&storage, &q).unwrap();
+                let (streamed, streamed_count) = stream(&engine, &storage, &q);
+                match q {
+                    Query::Count(_) => {
+                        assert!(streamed.is_empty(), "count queries stream no objects");
+                        assert_eq!(materialized.count, expected_count, "{q:?}");
+                        assert_eq!(streamed_count, expected_count, "{q:?}");
+                    }
+                    Query::KNearestNeighbors(_) => {
+                        // kNN answers are already deterministic ordered lists.
+                        assert_eq!(keys(&materialized.objects), expected_keys, "{q:?}");
+                        assert_eq!(keys(&streamed), expected_keys, "{q:?}");
+                    }
+                    _ => {
+                        assert_eq!(keys(&materialized.objects), expected_keys, "{q:?}");
+                        assert_eq!(keys(&streamed), expected_keys, "{q:?}");
+                        assert_eq!(streamed_count, expected_count, "{q:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seek_skips_exactly_and_resumes_where_it_left() {
+    let Fixture {
+        storage,
+        engine,
+        all_objects,
+    } = fixture(2, 1500, base_config().with_stream_batch_objects(16));
+    let q = Query::Range(RangeQuery::new(
+        QueryId(1),
+        Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(30.0)),
+        set(&[0, 1]),
+    ));
+    let (expected_keys, _) = oracle(&q, &all_objects);
+    assert!(expected_keys.len() > 40, "need a non-trivial answer");
+    let mut cursor = engine.open_cursor(&storage, &q).unwrap();
+    let skipped = cursor.seek(25).unwrap();
+    assert_eq!(skipped, 25);
+    let mut rest = Vec::new();
+    while let Some(batch) = cursor.next_batch().unwrap() {
+        rest.extend(batch);
+    }
+    // The resumed tail holds exactly the remaining distinct objects.
+    assert_eq!(rest.len() as u64, expected_keys.len() as u64 - 25);
+    // Seeking past the end reports the true number skipped.
+    let mut c2 = engine.open_cursor(&storage, &q).unwrap();
+    let n = c2.seek(1_000_000).unwrap();
+    assert_eq!(n, expected_keys.len() as u64);
+    assert!(c2.next_batch().unwrap().is_none());
+}
+
+#[test]
+fn cache_hits_return_identical_answers_and_ingests_invalidate_exactly() {
+    let mut cfg = base_config().with_result_cache(4 << 20);
+    cfg.merge_threshold = 3;
+    let Fixture {
+        storage,
+        engine,
+        mut all_objects,
+    } = fixture(3, 1000, cfg);
+    let q_ab = Query::Range(RangeQuery::new(
+        QueryId(1),
+        Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(20.0)),
+        set(&[0, 1]),
+    ));
+    let q_b = Query::Count(CountQuery::new(
+        QueryId(2),
+        Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(20.0)),
+        set(&[1]),
+    ));
+    // First execution fills the cache.
+    let first = engine.execute_query(&storage, &q_ab).unwrap();
+    assert_eq!(first.cache_misses, 1);
+    let first_b = engine.execute_query(&storage, &q_b).unwrap();
+    assert_eq!(first_b.cache_misses, 1);
+    // Identical re-execution is a pure hit with the identical answer.
+    let hit = engine.execute_query(&storage, &q_ab).unwrap();
+    assert_eq!(hit.cache_hits, 1);
+    assert_eq!(keys(&hit.objects), keys(&first.objects));
+    assert_eq!(
+        hit.partitions_from_datasets + hit.partitions_from_merge_file,
+        0,
+        "a hit reads nothing"
+    );
+    assert_eq!(engine.cache_hits(), 1);
+    // Ingest into dataset 0, inside the cached region: the {0,1} entry is
+    // now stale for dataset 0 only, the {1} entry not at all.
+    let arrivals: Vec<SpatialObject> = (0..80u64)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(700_000 + i),
+                DatasetId(0),
+                Aabb::from_center_extent(Vec3::splat(45.0 + (i % 10) as f64), Vec3::splat(0.4)),
+            )
+        })
+        .collect();
+    engine.ingest(&storage, DatasetId(0), &arrivals).unwrap();
+    all_objects.extend(arrivals.iter().copied());
+    // {0,1}: partial reuse — dataset 1 from the cache, dataset 0 re-read —
+    // and the answer includes the arrivals (never the stale answer).
+    let partial = engine.execute_query(&storage, &q_ab).unwrap();
+    assert_eq!(partial.cache_partial_reuses, 1);
+    let (expected_keys, _) = oracle(&q_ab, &all_objects);
+    assert_eq!(keys(&partial.objects), expected_keys, "stale answer served");
+    assert_eq!(engine.cache_partial_reuses(), 1);
+    // {1} only: still a pure hit — the ingest into 0 must not invalidate it.
+    let hit_b = engine.execute_query(&storage, &q_b).unwrap();
+    assert_eq!(hit_b.cache_hits, 1);
+    assert_eq!(hit_b.count, first_b.count);
+    // The refilled {0,1} entry is a hit again and stays oracle-exact.
+    let rehit = engine.execute_query(&storage, &q_ab).unwrap();
+    assert_eq!(rehit.cache_hits, 1);
+    assert_eq!(keys(&rehit.objects), expected_keys);
+    assert_eq!(storage.stats().cache_hits, engine.cache_hits());
+}
+
+#[test]
+fn cached_answers_always_match_the_live_oracle_under_interleaved_ingests() {
+    let cfg = base_config().with_result_cache(8 << 20);
+    let Fixture {
+        storage,
+        engine,
+        mut all_objects,
+    } = fixture(3, 800, cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let queries = workload(20, 3, 17);
+    let mut next_id = 900_000u64;
+    for round in 0..6 {
+        // Re-run the whole workload: later rounds mix hits, partial reuses
+        // and misses depending on which datasets the ingests touched.
+        for q in &queries {
+            let outcome = engine.execute_query(&storage, q).unwrap();
+            let (expected_keys, expected_count) = oracle(q, &all_objects);
+            match q {
+                Query::Count(_) => assert_eq!(outcome.count, expected_count, "round {round}"),
+                _ => assert_eq!(keys(&outcome.objects), expected_keys, "round {round}"),
+            }
+        }
+        // Ingest into one dataset between rounds.
+        let ds = (round % 3) as u16;
+        let arrivals: Vec<SpatialObject> = (0..60u64)
+            .map(|_| {
+                next_id += 1;
+                SpatialObject::new(
+                    ObjectId(next_id),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(
+                        Vec3::new(
+                            rng.gen_range(20.0..80.0),
+                            rng.gen_range(20.0..80.0),
+                            rng.gen_range(20.0..80.0),
+                        ),
+                        Vec3::splat(0.3),
+                    ),
+                )
+            })
+            .collect();
+        engine.ingest(&storage, DatasetId(ds), &arrivals).unwrap();
+        all_objects.extend(arrivals.iter().copied());
+    }
+    assert!(engine.cache_hits() > 0, "repeats should hit");
+    assert!(
+        engine.cache_partial_reuses() > 0,
+        "single-dataset ingests should leave the other datasets reusable"
+    );
+}
+
+#[test]
+fn count_metadata_short_circuit_survives_the_merge_path() {
+    // Drive the same hot count workload on two engines — one that merges the
+    // hot combination and one that never merges. The merged engine must not
+    // pay page reads for provably contained regions the unmerged engine
+    // counts from metadata: the planner's (or merger's) layout choice never
+    // changes a count's I/O.
+    let run = |merging: bool| {
+        let mut cfg = base_config();
+        if !merging {
+            cfg = cfg.without_merging();
+        }
+        let Fixture {
+            storage,
+            engine,
+            all_objects,
+        } = fixture(3, 2000, cfg);
+        let hot = set(&[0, 1, 2]);
+        // Warm up with ranges so refinement converges and (on the merging
+        // engine) the combination gets merged.
+        for i in 0..10u32 {
+            let q = RangeQuery::new(
+                QueryId(i),
+                Aabb::from_center_extent(Vec3::splat(48.0 + (i % 3) as f64), Vec3::splat(4.0)),
+                hot,
+            );
+            engine.execute(&storage, &q).unwrap();
+        }
+        let merged = engine.merger().directory().len();
+        // A big count over the hot region: most partitions are contained.
+        let count_q = Query::Count(CountQuery::new(
+            QueryId(100),
+            Aabb::from_center_extent(Vec3::splat(50.0), Vec3::splat(35.0)),
+            hot,
+        ));
+        // First execution lets adaptation settle (on the merging engine the
+        // count's newly retrieved partitions extend the merge file — that is
+        // adaptation I/O, not count I/O); the measured run is steady-state.
+        engine.execute_query(&storage, &count_q).unwrap();
+        storage.clear_cache();
+        let before = storage.stats();
+        let outcome = engine.execute_query(&storage, &count_q).unwrap();
+        let after = storage.stats();
+        let pages = (after.sequential_reads + after.random_reads)
+            - (before.sequential_reads + before.random_reads);
+        let expected = oracle(&count_q, &all_objects).1;
+        assert_eq!(outcome.count, expected);
+        (
+            merged,
+            pages,
+            outcome.partitions_counted_from_metadata,
+            outcome.rows_skipped_by_early_exit,
+        )
+    };
+    let (merged_files, merged_pages, merged_meta, merged_skipped) = run(true);
+    let (unmerged_files, unmerged_pages, unmerged_meta, unmerged_skipped) = run(false);
+    assert!(merged_files > 0 && unmerged_files == 0, "setup failed");
+    assert!(merged_meta > 0, "merge path must keep metadata counting");
+    assert!(unmerged_meta > 0);
+    assert!(merged_skipped > 0 && unmerged_skipped > 0);
+    assert!(
+        merged_pages <= unmerged_pages,
+        "the merged layout must not re-read pages a metadata count avoids \
+         (merged {merged_pages} > unmerged {unmerged_pages})"
+    );
+}
+
+#[test]
+fn large_k_knn_stays_exact_on_a_tiny_buffer_pool_under_concurrency() {
+    // A buffer pool of 24 pages across 16 shards: a kNN query that pinned
+    // every candidate page for the whole query would starve itself (and its
+    // neighbours) immediately. The chunked traversal only ever holds one
+    // small chunk, so large-k queries stay exact even racing range queries.
+    let Fixture {
+        storage,
+        engine,
+        all_objects,
+    } = fixture_with(2, 3000, base_config(), 24);
+    let mut queries: Vec<Query> = Vec::new();
+    for i in 0..8u32 {
+        queries.push(Query::KNearestNeighbors(KnnQuery::new(
+            QueryId(i),
+            Vec3::splat(30.0 + (i as f64) * 5.0),
+            1500,
+            set(&[0, 1]),
+        )));
+        queries.push(Query::Range(RangeQuery::new(
+            QueryId(100 + i),
+            Aabb::from_center_extent(Vec3::splat(40.0 + (i as f64) * 3.0), Vec3::splat(8.0)),
+            set(&[i as u16 % 2]),
+        )));
+    }
+    let outcomes = engine
+        .execute_query_batch_with_threads(&storage, &queries, 8)
+        .unwrap();
+    for (q, outcome) in queries.iter().zip(&outcomes) {
+        let (expected_keys, _) = oracle(q, &all_objects);
+        assert_eq!(keys(&outcome.objects), expected_keys, "{:?}", q.id());
+    }
+}
