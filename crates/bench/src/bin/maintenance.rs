@@ -1,0 +1,179 @@
+//! Maintenance-scheduler smoke + benchmark: run the same churn loop (hot
+//! ingest batches that stale merge files and orphan pages + an adaptive
+//! query mix) on two durable stores — background maintenance scheduler on
+//! versus inline drains — and emit the per-op p50/p99 simulated cost and
+//! write amplification of each as `BENCH_maintenance.json`.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin maintenance -- \
+//!     --datasets 4 --objects 2500 --rounds 30 --out BENCH_maintenance.json
+//! ```
+//!
+//! Exits non-zero if the two stores' verification checksums disagree
+//! (deferred maintenance changed an answer), if the scheduler-on
+//! foreground-op p99 (queries + ingest batches pooled — maintenance
+//! triggers sit on both paths) exceeds the inline op p99, or if the
+//! scheduler inflates write
+//! amplification by more than 1.5x. Costs are simulated seconds from the
+//! device cost model, so the tail-latency comparison holds even on a
+//! single-core runner; wall-clock gains additionally need the pump on a
+//! spare core (see the README's scheduler section).
+
+use odyssey_bench::cli::Args;
+use odyssey_bench::maintenance::{run_maintenance_bench, MaintenanceConfig, MaintenanceRun};
+use odyssey_datagen::{DatasetSpec, JsonValue};
+
+fn run_json(run: &MaintenanceRun) -> JsonValue {
+    JsonValue::Object(vec![
+        ("background".into(), JsonValue::Bool(run.background)),
+        ("query_p50_s".into(), JsonValue::Number(run.query_p50_s)),
+        ("query_p99_s".into(), JsonValue::Number(run.query_p99_s)),
+        ("ingest_p50_s".into(), JsonValue::Number(run.ingest_p50_s)),
+        ("ingest_p99_s".into(), JsonValue::Number(run.ingest_p99_s)),
+        ("op_p50_s".into(), JsonValue::Number(run.op_p50_s)),
+        ("op_p99_s".into(), JsonValue::Number(run.op_p99_s)),
+        ("pump_seconds".into(), JsonValue::Number(run.pump_seconds)),
+        ("total_seconds".into(), JsonValue::Number(run.total_seconds)),
+        (
+            "pages_written".into(),
+            JsonValue::Number(run.pages_written as f64),
+        ),
+        (
+            "write_amplification".into(),
+            JsonValue::Number(run.write_amplification),
+        ),
+        (
+            "maintenance_pages".into(),
+            JsonValue::Number(run.maintenance_pages as f64),
+        ),
+        (
+            "jobs_enqueued".into(),
+            JsonValue::Number(run.jobs_enqueued as f64),
+        ),
+        (
+            "jobs_completed".into(),
+            JsonValue::Number(run.jobs_completed as f64),
+        ),
+        (
+            "stale_bypasses".into(),
+            JsonValue::Number(run.stale_bypasses as f64),
+        ),
+        (
+            "compactions".into(),
+            JsonValue::Number(run.compactions as f64),
+        ),
+        (
+            "checksum".into(),
+            JsonValue::String(format!("{:016x}", run.checksum)),
+        ),
+    ])
+}
+
+fn print_run(run: &MaintenanceRun) {
+    println!(
+        "scheduler={:<5} op p50={:>9.6}s p99={:>9.6}s  (query p99={:>9.6}s ingest p99={:>9.6}s)  \
+         pump={:>8.4}s  WA={:>5.2}x  jobs={}/{}  bypasses={}  compactions={}",
+        run.background,
+        run.op_p50_s,
+        run.op_p99_s,
+        run.query_p99_s,
+        run.ingest_p99_s,
+        run.pump_seconds,
+        run.write_amplification,
+        run.jobs_completed,
+        run.jobs_enqueued,
+        run.stale_bypasses,
+        run.compactions,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        println!(
+            "maintenance — scheduler experiment (background vs inline drains)\n\
+             \n\
+             options:\n\
+             --datasets N    number of datasets (default 4)\n\
+             --objects N     seed objects per dataset (default 2500)\n\
+             --rounds N      churn rounds (default 30)\n\
+             --batch N       objects per ingest batch (default 96)\n\
+             --queries N     adaptive queries per round (default 4)\n\
+             --budget N      merge space budget in pages (default 64)\n\
+             --step N        compaction pages per step (default 64)\n\
+             --verify N      verification queries (default 32)\n\
+             --out PATH      write results JSON (default BENCH_maintenance.json)"
+        );
+        return;
+    }
+    let cfg = MaintenanceConfig {
+        dataset_spec: DatasetSpec {
+            num_datasets: args.get_usize("datasets", 4),
+            objects_per_dataset: args.get_usize("objects", 2_500),
+            soma_clusters: 5,
+            segments_per_neuron: 40,
+            seed: 777,
+            ..Default::default()
+        },
+        rounds: args.get_usize("rounds", 30),
+        ingest_batch: args.get_usize("batch", 96),
+        queries_per_round: args.get_usize("queries", 4),
+        merge_budget_pages: Some(args.get_usize("budget", 64) as u64),
+        pages_per_step: args.get_usize("step", 64) as u64,
+        verify_queries: args.get_usize("verify", 32),
+        buffer_pages: 2048,
+    };
+
+    let cmp = run_maintenance_bench(&cfg);
+    println!(
+        "maintenance experiment: {} datasets x {} objects, {} rounds x {} arrivals\n",
+        cfg.dataset_spec.num_datasets,
+        cfg.dataset_spec.objects_per_dataset,
+        cfg.rounds,
+        cfg.ingest_batch
+    );
+    print_run(&cmp.scheduler);
+    print_run(&cmp.inline);
+    println!(
+        "\nforeground-op p99 reduced {:.2}x by the scheduler  answers_match={}",
+        cmp.p99_speedup(),
+        cmp.answers_match()
+    );
+
+    let out = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_maintenance.json".to_string());
+    let doc = JsonValue::Object(vec![
+        ("experiment".into(), JsonValue::String("maintenance".into())),
+        (
+            "datasets".into(),
+            JsonValue::Number(cfg.dataset_spec.num_datasets as f64),
+        ),
+        (
+            "objects_per_dataset".into(),
+            JsonValue::Number(cfg.dataset_spec.objects_per_dataset as f64),
+        ),
+        ("rounds".into(), JsonValue::Number(cfg.rounds as f64)),
+        ("p99_speedup".into(), JsonValue::Number(cmp.p99_speedup())),
+        ("answers_match".into(), JsonValue::Bool(cmp.answers_match())),
+        (
+            "runs".into(),
+            JsonValue::Array(vec![run_json(&cmp.scheduler), run_json(&cmp.inline)]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_json()).expect("write results JSON");
+    println!("wrote {out}");
+
+    if !cmp.answers_match() {
+        eprintln!("FAIL: deferred maintenance changed verification answers");
+        std::process::exit(1);
+    }
+    if cmp.scheduler.op_p99_s > cmp.inline.op_p99_s {
+        eprintln!("FAIL: scheduler-on foreground-op p99 regressed past inline p99");
+        std::process::exit(1);
+    }
+    if cmp.scheduler.write_amplification > cmp.inline.write_amplification * 1.5 {
+        eprintln!("FAIL: scheduler inflated write amplification");
+        std::process::exit(1);
+    }
+}

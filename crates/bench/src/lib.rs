@@ -29,10 +29,15 @@
 //!   space amplification with checksum-verified answer equality,
 //! * [`latency`] — the streaming/caching experiment: time-to-first-batch
 //!   vs time-to-full-result through the seeking cursors, and cold-vs-warm
-//!   query cost through the result cache, with cross-checked checksums.
+//!   query cost through the result cache, with cross-checked checksums,
+//! * [`maintenance`] — the maintenance-scheduler experiment: the same churn
+//!   loop with background maintenance on vs inline drains, reporting the
+//!   per-op p50/p99 simulated cost, write amplification and job counters
+//!   with checksum-verified answer equality.
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
-//! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`, `latency`
+//! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`, `latency`,
+//! `maintenance`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -43,6 +48,7 @@ pub mod experiment;
 pub mod figures;
 pub mod ingest;
 pub mod latency;
+pub mod maintenance;
 pub mod query_kinds;
 pub mod recovery;
 pub mod report;
@@ -54,6 +60,9 @@ pub use experiment::{
 };
 pub use ingest::IngestRun;
 pub use latency::{run_latency, LatencyConfig, LatencyReport};
+pub use maintenance::{
+    run_maintenance_bench, MaintenanceComparison, MaintenanceConfig, MaintenanceRun,
+};
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use report::{format_table, write_csv, Table};

@@ -1,0 +1,367 @@
+//! The maintenance-scheduler experiment: tail latency under churn with
+//! background maintenance versus inline (foreground) maintenance.
+//!
+//! The same churn loop — hot-region ingest batches that stale merge files
+//! and orphan pages, interleaved with an adaptive query mix — runs on two
+//! durable stores that differ only in
+//! [`OdysseyConfig::maintenance_background`]:
+//!
+//! * **inline** — every trigger site drains the maintenance queue on the
+//!   spot: a query observing a stale merge file pays the repair before it
+//!   answers, an ingest batch that trips the dead-page trigger pays the
+//!   whole phased compaction;
+//! * **scheduler-on** — trigger sites only enqueue; queries bypass stale
+//!   merge entries (or wait on a repair already in flight) and the queue is
+//!   drained by an explicit [`SpaceOdyssey::run_maintenance`] pump between
+//!   rounds, the way a deployment would run it on a spare core.
+//!
+//! Per-operation cost is measured in **simulated seconds** (the configured
+//! device cost model over the exact page reads/writes/seeks each operation
+//! performed), so results are deterministic and machine-independent. On a
+//! single core the scheduler does not reduce *total* work — the pump still
+//! pays for every repair and compaction — it moves that work off the
+//! foreground path, which is exactly what the p50/p99 split shows; see the
+//! README's scheduler section for the wall-clock caveat.
+//!
+//! Both stores answer an identical verification workload afterwards and the
+//! answers are reduced to a checksum that must match: deferring maintenance
+//! must never change an answer.
+
+use odyssey_core::{OdysseyConfig, SpaceOdyssey};
+use odyssey_datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, Workload,
+    WorkloadSpec,
+};
+use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+use odyssey_storage::{crc32, write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+
+/// Configuration of one maintenance-scheduler experiment.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    /// Synthetic datasets seeding both stores.
+    pub dataset_spec: DatasetSpec,
+    /// Churn rounds (each: one ingest batch per dataset, a query slice,
+    /// and — scheduler-on only — one maintenance pump).
+    pub rounds: usize,
+    /// Objects per ingest batch.
+    pub ingest_batch: usize,
+    /// Adaptive queries interleaved per round.
+    pub queries_per_round: usize,
+    /// Merge-file space budget (small values force evictions and keep the
+    /// staleness-repair path hot).
+    pub merge_budget_pages: Option<u64>,
+    /// Copy budget per compaction step, in pages (small values make the
+    /// phased path visible in the step counters).
+    pub pages_per_step: u64,
+    /// Verification queries answered by both stores at the end.
+    pub verify_queries: usize,
+    /// Buffer-pool pages for every storage manager involved.
+    pub buffer_pages: usize,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 4,
+                objects_per_dataset: 2_500,
+                soma_clusters: 5,
+                segments_per_neuron: 40,
+                seed: 777,
+                ..Default::default()
+            },
+            rounds: 30,
+            ingest_batch: 96,
+            queries_per_round: 4,
+            merge_budget_pages: Some(64),
+            pages_per_step: 64,
+            verify_queries: 32,
+            buffer_pages: 2048,
+        }
+    }
+}
+
+/// Result of one store's churn run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceRun {
+    /// Whether the background scheduler was on (`false` = inline drains).
+    pub background: bool,
+    /// Median per-query simulated cost during the churn, in seconds.
+    pub query_p50_s: f64,
+    /// 99th-percentile per-query simulated cost, in seconds.
+    pub query_p99_s: f64,
+    /// Median per-ingest-batch simulated cost, in seconds.
+    pub ingest_p50_s: f64,
+    /// 99th-percentile per-ingest-batch simulated cost, in seconds.
+    pub ingest_p99_s: f64,
+    /// Median over all foreground operations (queries + ingest batches).
+    pub op_p50_s: f64,
+    /// 99th percentile over all foreground operations — the headline tail:
+    /// maintenance triggers sit on both the query path (staleness repair)
+    /// and the ingest path (compaction), so the scheduler's effect is the
+    /// drop in this combined tail.
+    pub op_p99_s: f64,
+    /// Simulated seconds spent in the explicit maintenance pumps (0 for the
+    /// inline run, whose maintenance is inside the op costs above).
+    pub pump_seconds: f64,
+    /// Total simulated seconds of the whole churn (ops + pumps).
+    pub total_seconds: f64,
+    /// Gross pages written during the churn.
+    pub pages_written: u64,
+    /// Net live-page growth over the churn.
+    pub live_delta_pages: u64,
+    /// `pages_written / live_delta_pages` — how many physical page writes
+    /// each page of net new live data cost.
+    pub write_amplification: f64,
+    /// Pages written by maintenance job steps (copy-forward + repairs).
+    pub maintenance_pages: u64,
+    /// Maintenance jobs enqueued / completed over the run.
+    pub jobs_enqueued: u64,
+    /// See [`MaintenanceRun::jobs_enqueued`].
+    pub jobs_completed: u64,
+    /// Queries that bypassed a stale merge entry instead of repairing it.
+    pub stale_bypasses: u64,
+    /// Dataset-file compactions committed.
+    pub compactions: u64,
+    /// Verification answer checksum (object identities).
+    pub checksum: u64,
+}
+
+/// Result of the paired experiment.
+#[derive(Debug, Clone)]
+pub struct MaintenanceComparison {
+    /// The background-scheduler run.
+    pub scheduler: MaintenanceRun,
+    /// The inline (foreground-drain) run.
+    pub inline: MaintenanceRun,
+}
+
+impl MaintenanceComparison {
+    /// Whether both stores answered the verification workload identically.
+    pub fn answers_match(&self) -> bool {
+        self.scheduler.checksum == self.inline.checksum
+    }
+
+    /// Foreground tail-latency reduction: inline op p99 over scheduler-on
+    /// op p99.
+    pub fn p99_speedup(&self) -> f64 {
+        if self.scheduler.op_p99_s > 0.0 {
+            self.inline.op_p99_s / self.scheduler.op_p99_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn churn_workload(spec: &DatasetSpec, queries: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3.min(spec.num_datasets),
+        num_queries: queries,
+        query_volume_fraction: 1e-4,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 4 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed,
+    }
+}
+
+/// Arrivals aimed at a narrow hot band: the same partitions' overflow runs
+/// are rewritten round after round, staling merge files and feeding the
+/// dead-page trigger.
+fn arrivals(bounds: &Aabb, dataset: DatasetId, batch: usize, round: u64) -> Vec<SpatialObject> {
+    let e = bounds.extent();
+    (0..batch as u64)
+        .map(|i| {
+            let t = ((round * 13 + i) % 89) as f64 / 89.0;
+            let c = Vec3::new(
+                bounds.min.x + e.x * (0.40 + 0.12 * t),
+                bounds.min.y + e.y * (0.40 + 0.12 * ((t * 3.0) % 1.0)),
+                bounds.min.z + e.z * (0.40 + 0.12 * ((t * 7.0) % 1.0)),
+            );
+            SpatialObject::new(
+                ObjectId(700_000 + round * 100_000 + i),
+                dataset,
+                Aabb::from_center_extent(c, Vec3::splat(e.x * 0.002)),
+            )
+        })
+        .collect()
+}
+
+fn verify_checksum(engine: &SpaceOdyssey, storage: &StorageManager, workload: &Workload) -> u64 {
+    let mut acc = 0u64;
+    for q in &workload.queries {
+        let outcome = engine.execute(storage, q).expect("verification query");
+        let mut ids: Vec<(u16, u64)> = outcome
+            .objects
+            .iter()
+            .map(|o| (o.dataset.0, o.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut bytes = Vec::with_capacity(ids.len() * 10);
+        for (ds, id) in &ids {
+            bytes.extend_from_slice(&ds.to_le_bytes());
+            bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        acc = acc
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(crc32(&bytes) as u64)
+            .wrapping_add(ids.len() as u64);
+    }
+    acc
+}
+
+/// Percentile over raw samples (nearest-rank; `p` in 0..=100).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn run_one(cfg: &MaintenanceConfig, background: bool) -> MaintenanceRun {
+    let model = BrainModel::new(cfg.dataset_spec.clone());
+    let datasets = model.generate_all();
+    let total_queries = cfg.rounds * cfg.queries_per_round;
+    let churn_wl = churn_workload(&cfg.dataset_spec, total_queries, 31).generate(&model.bounds());
+    let verify_wl =
+        churn_workload(&cfg.dataset_spec, cfg.verify_queries, 67).generate(&model.bounds());
+
+    let dir = tempfile::tempdir().expect("tempdir");
+    let storage = StorageManager::create(StorageOptions::durable(dir.path(), cfg.buffer_pages))
+        .expect("create durable store");
+    let raws: Vec<RawDataset> = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    let mut odyssey_cfg =
+        OdysseyConfig::paper(model.bounds()).with_maintenance_pages_per_step(cfg.pages_per_step);
+    odyssey_cfg.merge_space_budget_pages = cfg.merge_budget_pages;
+    if background {
+        odyssey_cfg = odyssey_cfg.with_background_maintenance();
+    }
+    let engine = SpaceOdyssey::create(odyssey_cfg, raws, &storage).expect("create engine");
+
+    let churn_start = storage.stats();
+    let live_before = engine.live_pages();
+    let mut query_costs = Vec::with_capacity(total_queries);
+    let mut ingest_costs = Vec::with_capacity(cfg.rounds * cfg.dataset_spec.num_datasets);
+    let mut pump_seconds = 0.0;
+    for round in 0..cfg.rounds {
+        for ds in 0..cfg.dataset_spec.num_datasets {
+            let objs = arrivals(
+                &model.bounds(),
+                DatasetId(ds as u16),
+                cfg.ingest_batch,
+                (round * cfg.dataset_spec.num_datasets + ds) as u64,
+            );
+            let before = storage.stats();
+            engine
+                .ingest(&storage, DatasetId(ds as u16), &objs)
+                .expect("churn ingest");
+            ingest_costs.push(storage.seconds_since(&before));
+        }
+        let from = round * cfg.queries_per_round;
+        for q in &churn_wl.queries[from..from + cfg.queries_per_round] {
+            let before = storage.stats();
+            engine.execute(&storage, q).expect("churn query");
+            query_costs.push(storage.seconds_since(&before));
+        }
+        if background {
+            let before = storage.stats();
+            engine.run_maintenance(&storage).expect("maintenance pump");
+            pump_seconds += storage.seconds_since(&before);
+        }
+    }
+    let total_seconds = storage.seconds_since(&churn_start);
+    let churn_stats = storage.stats() - churn_start;
+    let checksum = verify_checksum(&engine, &storage, &verify_wl);
+
+    let live_delta = engine.live_pages().saturating_sub(live_before).max(1);
+    let mut op_costs: Vec<f64> = query_costs.iter().chain(&ingest_costs).copied().collect();
+    MaintenanceRun {
+        background,
+        query_p50_s: percentile(&mut query_costs, 50.0),
+        query_p99_s: percentile(&mut query_costs, 99.0),
+        ingest_p50_s: percentile(&mut ingest_costs, 50.0),
+        ingest_p99_s: percentile(&mut ingest_costs, 99.0),
+        op_p50_s: percentile(&mut op_costs, 50.0),
+        op_p99_s: percentile(&mut op_costs, 99.0),
+        pump_seconds,
+        total_seconds,
+        pages_written: churn_stats.pages_written(),
+        live_delta_pages: live_delta,
+        write_amplification: churn_stats.pages_written() as f64 / live_delta as f64,
+        maintenance_pages: churn_stats.maintenance_pages_written,
+        jobs_enqueued: engine.maintenance().jobs_enqueued(),
+        jobs_completed: engine.maintenance().jobs_completed(),
+        stale_bypasses: engine.stale_bypasses(),
+        compactions: engine.compactions_performed(),
+        checksum,
+    }
+}
+
+/// Runs the paired experiment: the same churn on two stores, background
+/// scheduler versus inline drains.
+pub fn run_maintenance_bench(cfg: &MaintenanceConfig) -> MaintenanceComparison {
+    MaintenanceComparison {
+        scheduler: run_one(cfg, true),
+        inline: run_one(cfg, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_moves_maintenance_off_the_query_tail() {
+        let cfg = MaintenanceConfig {
+            dataset_spec: DatasetSpec {
+                num_datasets: 3,
+                objects_per_dataset: 900,
+                soma_clusters: 4,
+                segments_per_neuron: 30,
+                seed: 11,
+                ..Default::default()
+            },
+            rounds: 16,
+            ingest_batch: 64,
+            queries_per_round: 3,
+            merge_budget_pages: Some(48),
+            pages_per_step: 32,
+            verify_queries: 10,
+            buffer_pages: 512,
+        };
+        let cmp = run_maintenance_bench(&cfg);
+        assert!(cmp.answers_match(), "{cmp:?}");
+        assert!(
+            cmp.scheduler.op_p99_s <= cmp.inline.op_p99_s,
+            "scheduler-on foreground-op p99 must not exceed inline p99: {cmp:?}"
+        );
+        assert!(
+            cmp.scheduler.ingest_p99_s <= cmp.inline.ingest_p99_s,
+            "deferred compaction must cut the ingest tail: {cmp:?}"
+        );
+        assert!(
+            cmp.scheduler.stale_bypasses > 0,
+            "background queries must bypass stale entries: {cmp:?}"
+        );
+        assert!(
+            cmp.scheduler.jobs_completed > 0 && cmp.inline.jobs_completed > 0,
+            "both modes must run maintenance jobs: {cmp:?}"
+        );
+        assert!(
+            cmp.scheduler.pump_seconds > 0.0,
+            "the pump must have done real work: {cmp:?}"
+        );
+        // Deferring maintenance must not meaningfully change total work.
+        assert!(
+            cmp.scheduler.write_amplification <= cmp.inline.write_amplification * 1.5,
+            "scheduler must not inflate write amplification: {cmp:?}"
+        );
+    }
+}

@@ -23,23 +23,27 @@
 //!   main + overflow runs coalesced into one contiguous run, and the swap
 //!   commits through a single `CompactionCommit` WAL record.
 //!
-//! Compaction runs *inline* from the engine's ingest and query trigger
-//! points — no background thread, so single-core CI and the deterministic
-//! cost model stay exact — and is a no-op on non-durable managers, which
-//! rewrite in place and hence shed most dead space on their own. Beyond
-//! bounding disk use, the rewrite restores sequential layout: a compacted
-//! partition is one contiguous run, so the planner's run-coalescing cost
-//! estimates (and real scans) see fewer seeks.
+//! The engine's ingest and query trigger points no longer rewrite inline:
+//! they check `Compactor::should_compact` and enqueue a `Compaction` job
+//! on the [`crate::scheduler::MaintenanceScheduler`], which runs the
+//! copy-forward in bounded, checkpointed steps
+//! ([`DatasetIndex::compact_step`]) — synchronously at the trigger site in
+//! foreground mode, from a [`crate::SpaceOdyssey::run_maintenance`] drain
+//! in background mode. Compaction is a no-op on non-durable managers,
+//! which rewrite in place and hence shed most dead space on their own.
+//! Beyond bounding disk use, the rewrite restores sequential layout: a
+//! compacted partition is one contiguous run, so the planner's
+//! run-coalescing cost estimates (and real scans) see fewer seeks.
 
 use crate::config::OdysseyConfig;
 use crate::octree::{CompactionStats, DatasetIndex};
 use odyssey_storage::{StorageManager, StorageResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Drives per-dataset copy-forward compaction from the engine's inline
-/// trigger points. Shared by reference across query threads; the per-dataset
-/// write lock inside [`DatasetIndex::compact`] makes each rewrite
-/// exactly-once under contention.
+/// The compaction trigger check plus the committed-rewrite counters.
+/// Shared by reference across query threads; the per-dataset write lock
+/// inside [`DatasetIndex::compact`] / [`DatasetIndex::compact_step`] makes
+/// each rewrite exactly-once under contention.
 #[derive(Debug, Default)]
 pub struct Compactor {
     compactions_performed: AtomicU64,
@@ -74,8 +78,10 @@ impl Compactor {
 
     /// Cheap, lock-free-ish trigger check: compaction is enabled, the
     /// manager is durable (non-durable managers rewrite in place), and the
-    /// dataset's partition file has crossed the dead-page ratio.
-    fn should_compact(
+    /// dataset's partition file has crossed the dead-page ratio. The
+    /// engine's trigger sites call this before enqueueing a `Compaction`
+    /// job, so a cold dataset never reaches the queue.
+    pub(crate) fn should_compact(
         &self,
         storage: &StorageManager,
         config: &OdysseyConfig,
@@ -93,10 +99,20 @@ impl Compactor {
         }
     }
 
+    /// Books one committed rewrite into the counters — the scheduler's
+    /// `Compaction` job calls this when its final step commits.
+    pub(crate) fn record(&self, stats: &CompactionStats) {
+        self.compactions_performed.fetch_add(1, Ordering::Relaxed);
+        self.pages_reclaimed
+            .fetch_add(stats.pages_reclaimed, Ordering::Relaxed);
+    }
+
     /// Compacts the dataset if its trigger holds, updating the counters.
     /// Returns the committed rewrite's stats, or `None` when nothing was
     /// done (trigger not met, or another thread compacted first — the
-    /// re-check inside [`DatasetIndex::compact`] settles races).
+    /// re-check inside [`DatasetIndex::compact`] settles races). The
+    /// unphased, single-call form; the engine itself schedules jobs
+    /// instead.
     pub fn maybe_compact(
         &self,
         storage: &StorageManager,

@@ -108,6 +108,37 @@ pub struct OdysseyConfig {
     /// evicted when the budget is exceeded, mirroring the merge directory's
     /// space-budget enforcement. Must be positive when the cache is enabled.
     pub result_cache_budget_bytes: u64,
+    /// When `false` (the default), maintenance jobs enqueued by the trigger
+    /// sites — compaction, merge-staleness repair, ingest-split refinement —
+    /// are drained synchronously on the triggering thread, preserving the
+    /// fully deterministic single-core behaviour CI depends on. When `true`,
+    /// triggers only enqueue; a caller-owned thread drains the queue via
+    /// [`crate::SpaceOdyssey::run_maintenance`], keeping maintenance I/O off
+    /// the query/ingest path.
+    pub maintenance_background: bool,
+    /// Maximum number of worker threads a single
+    /// [`crate::SpaceOdyssey::run_maintenance`] call may use to drain the
+    /// queue, and the size of the shared pool intra-query parallelism borrows
+    /// idle slots from. Must be at least 1.
+    pub maintenance_max_jobs: usize,
+    /// Page budget per compaction job step: a background compaction
+    /// copy-forwards at most this many pages, logs a resumable
+    /// `CompactionProgress` checkpoint, and yields the dataset lock before
+    /// the next step. Must be at least 1.
+    pub maintenance_pages_per_step: u64,
+    /// Optional rate limit on background maintenance, in pages per second;
+    /// after each job step the worker sleeps long enough to amortize the
+    /// pages it just wrote down to this rate. `None` (the default) runs
+    /// unthrottled; `Some(0)` is invalid. Only applies to
+    /// [`crate::SpaceOdyssey::run_maintenance`] — synchronous inline drains
+    /// never sleep.
+    pub maintenance_rate_pages_per_sec: Option<u64>,
+    /// Maximum threads a single query may use for its per-dataset
+    /// prepare/probe phases. `1` (the default) keeps queries single-threaded;
+    /// larger values let a multi-dataset query borrow idle slots from the
+    /// maintenance pool and fan its datasets across them, merging results
+    /// deterministically. Must be at least 1.
+    pub intra_query_parallelism: usize,
 }
 
 impl OdysseyConfig {
@@ -145,6 +176,14 @@ impl OdysseyConfig {
             stream_batch_objects: 1024,
             result_cache_enabled: false,
             result_cache_budget_bytes: 8 * 1024 * 1024,
+            maintenance_background: false,
+            maintenance_max_jobs: 2,
+            // 512 pages (~2 MiB) per step: long enough to amortize the
+            // progress record, short enough that a foreground query waits at
+            // most one step for the dataset lock.
+            maintenance_pages_per_step: 512,
+            maintenance_rate_pages_per_sec: None,
+            intra_query_parallelism: 1,
         }
     }
 
@@ -240,6 +279,41 @@ impl OdysseyConfig {
         self
     }
 
+    /// Returns a copy with background maintenance enabled: trigger sites
+    /// enqueue jobs instead of draining them inline, and the caller is
+    /// responsible for draining via
+    /// [`crate::SpaceOdyssey::run_maintenance`].
+    pub fn with_background_maintenance(mut self) -> Self {
+        self.maintenance_background = true;
+        self
+    }
+
+    /// Returns a copy with the given maintenance worker-pool size.
+    pub fn with_maintenance_max_jobs(mut self, jobs: usize) -> Self {
+        self.maintenance_max_jobs = jobs;
+        self
+    }
+
+    /// Returns a copy with the given compaction-step page budget.
+    pub fn with_maintenance_pages_per_step(mut self, pages: u64) -> Self {
+        self.maintenance_pages_per_step = pages;
+        self
+    }
+
+    /// Returns a copy rate-limiting background maintenance to the given
+    /// pages per second.
+    pub fn with_maintenance_rate(mut self, pages_per_sec: u64) -> Self {
+        self.maintenance_rate_pages_per_sec = Some(pages_per_sec);
+        self
+    }
+
+    /// Returns a copy allowing each query to fan its per-dataset phases
+    /// across up to `threads` workers.
+    pub fn with_intra_query_parallelism(mut self, threads: usize) -> Self {
+        self.intra_query_parallelism = threads;
+        self
+    }
+
     /// Basic sanity checks; call once before constructing the engine.
     pub fn validate(&self) -> Result<(), String> {
         if self.refinement_threshold <= 0.0 || self.refinement_threshold.is_nan() {
@@ -272,6 +346,18 @@ impl OdysseyConfig {
         }
         if self.result_cache_enabled && self.result_cache_budget_bytes == 0 {
             return Err("result_cache_budget_bytes must be positive when the cache is on".into());
+        }
+        if self.maintenance_max_jobs == 0 {
+            return Err("maintenance_max_jobs must be at least 1".into());
+        }
+        if self.maintenance_pages_per_step == 0 {
+            return Err("maintenance_pages_per_step must be at least 1".into());
+        }
+        if self.maintenance_rate_pages_per_sec == Some(0) {
+            return Err("maintenance_rate_pages_per_sec must be positive when set".into());
+        }
+        if self.intra_query_parallelism == 0 {
+            return Err("intra_query_parallelism must be at least 1".into());
         }
         let model = self.device_profile.cost_model();
         let seek_invalid = model.seek_seconds.is_nan() || model.seek_seconds < 0.0;
@@ -369,6 +455,32 @@ mod tests {
         assert!(c.validate().is_err());
         let c = good.with_result_cache(0);
         assert!(c.validate().is_err());
+        assert!(good.with_maintenance_max_jobs(0).validate().is_err());
+        assert!(good.with_maintenance_pages_per_step(0).validate().is_err());
+        assert!(good.with_maintenance_rate(0).validate().is_err());
+        assert!(good.with_intra_query_parallelism(0).validate().is_err());
+    }
+
+    #[test]
+    fn maintenance_knobs() {
+        let c = OdysseyConfig::paper(bounds());
+        assert!(!c.maintenance_background);
+        assert_eq!(c.maintenance_max_jobs, 2);
+        assert_eq!(c.maintenance_pages_per_step, 512);
+        assert_eq!(c.maintenance_rate_pages_per_sec, None);
+        assert_eq!(c.intra_query_parallelism, 1);
+        let bg = c
+            .with_background_maintenance()
+            .with_maintenance_max_jobs(4)
+            .with_maintenance_pages_per_step(64)
+            .with_maintenance_rate(10_000)
+            .with_intra_query_parallelism(4);
+        assert!(bg.maintenance_background);
+        assert_eq!(bg.maintenance_max_jobs, 4);
+        assert_eq!(bg.maintenance_pages_per_step, 64);
+        assert_eq!(bg.maintenance_rate_pages_per_sec, Some(10_000));
+        assert_eq!(bg.intra_query_parallelism, 4);
+        assert!(bg.validate().is_ok());
     }
 
     #[test]

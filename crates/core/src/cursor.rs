@@ -40,16 +40,21 @@
 //! a stale merge entry is never served.
 //!
 //! The Statistics Collector, the WAL query record, the merge trigger and
-//! inline compaction all run when the cursor is *exhausted* — an abandoned
-//! (dropped, partially drained) cursor contributes no statistics and
-//! triggers no adaptation, mirroring a query that never ran to completion.
+//! the maintenance-job triggers all run when the cursor is *exhausted* —
+//! an abandoned (dropped, partially drained) cursor contributes no
+//! statistics and triggers no adaptation, mirroring a query that never ran
+//! to completion. The one exception is maintenance: dropping an
+//! unexhausted cursor still *enqueues* (never runs) the compaction
+//! triggers it observed, so abandoning a query cannot silently swallow a
+//! dataset's dead-page debt.
 
 use crate::durability::{self, MetaRecord};
 use crate::engine::{QueryOutcome, SpaceOdyssey};
 use crate::merger::RouteKind;
-use crate::octree::top_k_candidates;
+use crate::octree::{top_k_candidates, DatasetIndex};
 use crate::partition::PartitionKey;
 use crate::planner::{AccessPath, PlanChoice, Planner};
+use crate::scheduler::{JobKey, JobSpec};
 use odyssey_geom::{
     knn_key_cmp, DatasetId, DatasetSet, KnnQuery, Query, RangeQuery, SpatialObject,
 };
@@ -120,6 +125,7 @@ pub struct QueryCursor<'a> {
     rows_skipped: u64,
     merge_performed: bool,
     compactions: usize,
+    jobs_waited: u64,
     exhausted: bool,
 }
 
@@ -197,6 +203,7 @@ impl<'a> QueryCursor<'a> {
             rows_skipped: 0,
             merge_performed: false,
             compactions: 0,
+            jobs_waited: 0,
             exhausted: false,
         }
     }
@@ -280,11 +287,17 @@ impl<'a> QueryCursor<'a> {
             combination
         };
 
-        // Phase 0.5: staleness resolution — repair the routed merge file for
-        // every stale dataset the planner still routed to it, bypass the
-        // rest. Identical to the materialized path; see the engine docs.
+        // Phase 0.5: staleness resolution, through the maintenance
+        // scheduler. If a repair job for the routed file is already in
+        // flight, wait for it and re-probe — a query never repairs
+        // alongside an in-flight repair. What remains stale becomes a
+        // `StalenessRepair` job: foreground mode drains it before reading
+        // (observably identical to the old inline repair), background mode
+        // leaves it queued for the next `run_maintenance` pump and takes
+        // the bypass path (phase 2's freshness check routes the stale
+        // datasets to the octree) for this query.
         {
-            let (target, to_repair, to_bypass) = {
+            let probe = || {
                 let merger = engine.merger.read().unwrap();
                 match merger.directory().peek(combination).0 {
                     Some(file) => {
@@ -298,16 +311,32 @@ impl<'a> QueryCursor<'a> {
                     None => (DatasetSet::EMPTY, DatasetSet::EMPTY, DatasetSet::EMPTY),
                 }
             };
-            if !to_repair.is_empty() {
-                cursor.stale_repairs = engine.merger.write().unwrap().repair_combination(
-                    storage,
-                    &engine.config,
-                    target,
-                    to_repair,
-                    &engine.datasets,
-                )?;
+            let (mut target, mut to_repair, mut to_bypass) = probe();
+            if !to_repair.is_empty()
+                && engine
+                    .maintenance
+                    .wait_if_running(JobKey::StalenessRepair(target))
+            {
+                cursor.jobs_waited += 1;
+                (target, to_repair, to_bypass) = probe();
             }
-            if !to_bypass.is_empty() {
+            let mut bypassed = !to_bypass.is_empty();
+            if !to_repair.is_empty() {
+                engine.submit_job(
+                    storage,
+                    JobSpec::StalenessRepair {
+                        combination: target,
+                        wanted: to_repair,
+                    },
+                );
+                if engine.config.maintenance_background {
+                    bypassed = true;
+                } else {
+                    let report = engine.run_maintenance(storage)?;
+                    cursor.stale_repairs = report.repair_runs_appended as usize;
+                }
+            }
+            if bypassed {
                 cursor.stale_bypassed = true;
                 engine
                     .stale_bypasses
@@ -317,7 +346,13 @@ impl<'a> QueryCursor<'a> {
 
         // Phase 1: per dataset, either set up the chunked raw-file sweep
         // (sequential-scan path, adaptive state deliberately untouched) or
-        // adapt now and queue the partition reads.
+        // adapt now and queue the partition reads. The per-dataset prepare
+        // calls fan out over borrowed maintenance helper slots when
+        // [`crate::OdysseyConfig::intra_query_parallelism`] allows — each
+        // dataset's adaptation stays exactly-once under its own lock, and
+        // the fold below runs in dataset order, so the cursor's state is
+        // identical to the sequential build.
+        let mut prep_targets: Vec<(DatasetId, &DatasetIndex)> = Vec::new();
         for dataset_id in combination.iter() {
             let Some(index) = engine.datasets.iter().find(|d| d.dataset() == dataset_id) else {
                 continue; // unknown dataset: nothing to answer
@@ -339,7 +374,13 @@ impl<'a> QueryCursor<'a> {
                 });
                 continue;
             }
-            let prep = index.prepare_query(storage, &engine.config, &query)?;
+            prep_targets.push((dataset_id, index));
+        }
+        let preps = engine.fan_datasets(&prep_targets, |(_, index)| {
+            index.prepare_query(storage, &engine.config, &query)
+        })?;
+        for ((dataset_id, _), prep) in prep_targets.iter().zip(preps) {
+            let dataset_id = *dataset_id;
             cursor.refined += prep.refined;
             // Partitions answered during refinement / first touch count as
             // individual-dataset reads.
@@ -457,26 +498,39 @@ impl<'a> QueryCursor<'a> {
         );
         cursor.capture_seqs();
         let planner = Planner::new(&engine.config);
-        for dataset_id in combination.iter() {
-            let Some(index) = engine.datasets.iter().find(|d| d.dataset() == dataset_id) else {
-                continue; // unknown dataset: nothing to answer
-            };
-            let path = if engine.config.planner_enabled {
-                let plan = planner.plan_knn(storage, index, query);
-                let path = plan.path;
-                cursor.plans.push(plan);
-                path
-            } else {
-                AccessPath::Octree
-            };
-            let candidates = if path == AccessPath::SeqScan {
-                top_k_candidates(index.scan_raw(storage)?, query.point, query.k)
+        let targets: Vec<(DatasetId, &DatasetIndex)> = combination
+            .iter()
+            .filter_map(|dataset_id| {
+                engine
+                    .datasets
+                    .iter()
+                    .find(|d| d.dataset() == dataset_id)
+                    .map(|index| (dataset_id, index))
+                // unknown datasets: nothing to answer
+            })
+            .collect();
+        // Per-dataset planning + top-k gathering, fanned over borrowed
+        // helper slots when intra-query parallelism allows; the fold below
+        // runs in dataset order, keeping plans and components (and hence
+        // the merged answer) deterministic.
+        let gathered = engine.fan_datasets(&targets, |(_, index)| {
+            let plan = engine
+                .config
+                .planner_enabled
+                .then(|| planner.plan_knn(storage, index, query));
+            let path = plan.as_ref().map(|p| p.path).unwrap_or(AccessPath::Octree);
+            if path == AccessPath::SeqScan {
+                let candidates = top_k_candidates(index.scan_raw(storage)?, query.point, query.k);
+                Ok((plan, candidates, 0))
             } else {
                 let prep = index.knn(storage, &engine.config, query.point, query.k)?;
-                cursor.rows_skipped += prep.rows_skipped;
-                prep.results
-            };
-            cursor.knn_components.push((dataset_id, candidates));
+                Ok((plan, prep.results, prep.rows_skipped))
+            }
+        })?;
+        for ((dataset_id, _), (plan, candidates, rows_skipped)) in targets.iter().zip(gathered) {
+            cursor.plans.extend(plan);
+            cursor.rows_skipped += rows_skipped;
+            cursor.knn_components.push((*dataset_id, candidates));
         }
         // Deterministic (distance, dataset, id) merge across the per-dataset
         // top-k lists; each list is already sorted and at most k long.
@@ -744,12 +798,12 @@ impl<'a> QueryCursor<'a> {
     /// carries the counters (and, for count queries, the count). Calling
     /// this before the cursor is exhausted reports the counters so far —
     /// statistics are only recorded at exhaustion.
-    pub fn finish(self) -> QueryOutcome {
+    pub fn finish(mut self) -> QueryOutcome {
         let counting = matches!(self.mode, CursorMode::Rangelike { counting: true, .. });
         QueryOutcome {
             objects: Vec::new(),
             count: if counting { self.count } else { self.emitted },
-            plans: self.plans,
+            plans: std::mem::take(&mut self.plans),
             route: self.route,
             partitions_refined: self.refined,
             partitions_from_merge_file: self.from_merge,
@@ -763,6 +817,7 @@ impl<'a> QueryCursor<'a> {
             cache_misses: 0,
             cache_partial_reuses: 0,
             rows_skipped_by_early_exit: self.rows_skipped,
+            maintenance_jobs_waited: self.jobs_waited,
         }
     }
 
@@ -818,17 +873,62 @@ impl<'a> QueryCursor<'a> {
                 self.merge_performed = summary.entries_appended > 0;
             }
         }
+        // Query-side maintenance triggers: each executed dataset whose
+        // partition file crossed the dead-page ratio gets a `Compaction`
+        // job. Foreground mode drains the queue before the query returns
+        // (picking up jobs parked by abandoned cursors too); background
+        // mode leaves it for the next `run_maintenance` pump.
         for dataset_id in self.exec_combination.iter() {
             if let Some(index) = engine.datasets.iter().find(|d| d.dataset() == dataset_id) {
                 if engine
                     .compactor
-                    .maybe_compact(self.storage, &engine.config, index)?
-                    .is_some()
+                    .should_compact(self.storage, &engine.config, index)
                 {
-                    self.compactions += 1;
+                    engine.submit_job(
+                        self.storage,
+                        JobSpec::Compaction {
+                            dataset: dataset_id,
+                            pending: None,
+                        },
+                    );
                 }
             }
         }
+        if !engine.config.maintenance_background && engine.maintenance.queue_depth() > 0 {
+            let report = engine.run_maintenance(self.storage)?;
+            self.compactions += report.compactions_committed as usize;
+        }
         Ok(())
+    }
+}
+
+impl Drop for QueryCursor<'_> {
+    /// An abandoned (partially drained) cursor still surfaces the
+    /// maintenance triggers it observed: compaction-worthy executed
+    /// datasets are *enqueued* — never run, drops must stay cheap and
+    /// infallible — so the next trigger-site drain or
+    /// [`SpaceOdyssey::run_maintenance`] pump picks them up. An exhausted
+    /// cursor already ran its finalize phase and enqueues nothing here.
+    fn drop(&mut self) {
+        if self.exhausted {
+            return;
+        }
+        let engine = self.engine;
+        for dataset_id in self.exec_combination.iter() {
+            if let Some(index) = engine.datasets.iter().find(|d| d.dataset() == dataset_id) {
+                if engine
+                    .compactor
+                    .should_compact(self.storage, &engine.config, index)
+                {
+                    engine.submit_job(
+                        self.storage,
+                        JobSpec::Compaction {
+                            dataset: dataset_id,
+                            pending: None,
+                        },
+                    );
+                }
+            }
+        }
     }
 }

@@ -282,6 +282,26 @@ pub enum MetaRecord {
         /// Committed length of the new file.
         new_len: u64,
     },
+    /// A resumable checkpoint of a phased compaction: the partitions listed
+    /// in `copied` were copy-forwarded into `new_file` (new layout) by the
+    /// step that logged the record, but the dataset still reads from
+    /// `old_file` — only the eventual [`MetaRecord::CompactionCommit`] swaps.
+    /// Replay accumulates these into
+    /// [`MaintenanceSnapshot::pending_compactions`], so reopening after a
+    /// crash resumes the copy-forward from the last durable step instead of
+    /// redoing it.
+    CompactionProgress {
+        /// The dataset being compacted.
+        dataset: DatasetId,
+        /// The partition file still serving reads.
+        old_file: FileId,
+        /// The half-written replacement file.
+        new_file: FileId,
+        /// Partitions copied this step, with their new-file layout.
+        copied: Vec<PartitionMeta>,
+        /// Committed length of the new file after the step.
+        new_len: u64,
+    },
     /// One query's contribution to the statistics collector.
     QueryStats {
         /// The queried combination.
@@ -303,6 +323,7 @@ const TAG_MERGE_REPAIR: u8 = 6;
 const TAG_MERGE_EVICT: u8 = 7;
 const TAG_QUERY_STATS: u8 = 8;
 const TAG_COMPACTION_COMMIT: u8 = 9;
+const TAG_COMPACTION_PROGRESS: u8 = 10;
 
 impl MetaRecord {
     /// Serializes the record for the WAL.
@@ -413,6 +434,20 @@ impl MetaRecord {
                 enc_metas(&mut e, partitions);
                 e.u64(*new_len);
             }
+            MetaRecord::CompactionProgress {
+                dataset,
+                old_file,
+                new_file,
+                copied,
+                new_len,
+            } => {
+                e.u8(TAG_COMPACTION_PROGRESS);
+                e.u16(dataset.0);
+                e.u32(old_file.0);
+                e.u32(new_file.0);
+                enc_metas(&mut e, copied);
+                e.u64(*new_len);
+            }
             MetaRecord::QueryStats {
                 combination,
                 retrieved,
@@ -495,6 +530,13 @@ impl MetaRecord {
                 old_file: FileId(d.u32()?),
                 new_file: FileId(d.u32()?),
                 partitions: dec_metas(&mut d)?,
+                new_len: d.u64()?,
+            },
+            TAG_COMPACTION_PROGRESS => MetaRecord::CompactionProgress {
+                dataset: DatasetId(d.u16()?),
+                old_file: FileId(d.u32()?),
+                new_file: FileId(d.u32()?),
+                copied: dec_metas(&mut d)?,
                 new_len: d.u64()?,
             },
             TAG_QUERY_STATS => {
@@ -591,6 +633,49 @@ pub struct ComboSnapshot {
     pub retrieved: Vec<PartitionKey>,
 }
 
+/// In-flight state of a phased dataset-file compaction: which live
+/// partitions have already been copy-forwarded into the replacement file,
+/// and where they landed. Carried by a queued `Compaction` job between
+/// steps, checkpointed in the [`MaintenanceSnapshot`], and rebuilt on
+/// recovery from replayed [`MetaRecord::CompactionProgress`] records so a
+/// reopened engine resumes instead of redoing the copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingCompaction {
+    /// The dataset being compacted.
+    pub dataset: DatasetId,
+    /// The partition file still serving reads.
+    pub old_file: FileId,
+    /// The half-written replacement file.
+    pub new_file: FileId,
+    /// Copied partitions: the new-file layout paired with a fingerprint of
+    /// the source partition at copy time. Resume drops any entry whose live
+    /// source no longer matches the fingerprint (the partition was rewritten
+    /// since) and re-copies it, so resumed compactions never serve stale
+    /// pages.
+    pub copied: Vec<(PartitionMeta, PartitionMeta)>,
+    /// Committed length of the replacement file.
+    pub new_len: u64,
+}
+
+/// Checkpointed state of the maintenance scheduler: lifetime job counters
+/// plus every compaction parked mid-copy. Repair and refine jobs are *not*
+/// persisted — their triggers are re-derived from the state that caused
+/// them (staleness re-detected by the next query, oversized partitions by
+/// the next ingest), so losing the queue loses no work, only schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MaintenanceSnapshot {
+    /// Maintenance jobs enqueued so far.
+    pub jobs_enqueued: u64,
+    /// Maintenance jobs run to completion so far.
+    pub jobs_completed: u64,
+    /// Jobs re-enqueued by recovery from checkpointed progress.
+    pub jobs_resumed: u64,
+    /// Pages written by maintenance jobs so far.
+    pub pages_written: u64,
+    /// Compactions parked between steps, at most one per dataset.
+    pub pending_compactions: Vec<PendingCompaction>,
+}
+
 /// The complete durable image of an engine: the manifest payload written at
 /// every checkpoint, and the in-memory state WAL replay reconstructs.
 #[derive(Debug, Clone, PartialEq)]
@@ -627,10 +712,12 @@ pub struct EngineSnapshot {
     pub merger: MergerSnapshot,
     /// Statistics collector state, sorted by combination.
     pub stats: Vec<ComboSnapshot>,
+    /// Maintenance-scheduler counters and parked compactions.
+    pub maintenance: MaintenanceSnapshot,
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x534F_534E; // "SOSN"
-const SNAPSHOT_VERSION: u32 = 3; // 3: streaming/cache config + counters
+const SNAPSHOT_VERSION: u32 = 4; // 4: maintenance scheduler state
 
 fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     enc_vec3(e, c.bounds.min);
@@ -666,6 +753,11 @@ fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     e.u64(c.stream_batch_objects as u64);
     e.bool(c.result_cache_enabled);
     e.u64(c.result_cache_budget_bytes);
+    e.bool(c.maintenance_background);
+    e.u64(c.maintenance_max_jobs as u64);
+    e.u64(c.maintenance_pages_per_step);
+    e.opt_u64(c.maintenance_rate_pages_per_sec);
+    e.u64(c.intra_query_parallelism as u64);
 }
 
 fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
@@ -705,6 +797,11 @@ fn dec_config(d: &mut Dec<'_>) -> StorageResult<OdysseyConfig> {
         stream_batch_objects: d.u64()? as usize,
         result_cache_enabled: d.bool()?,
         result_cache_budget_bytes: d.u64()?,
+        maintenance_background: d.bool()?,
+        maintenance_max_jobs: d.u64()? as usize,
+        maintenance_pages_per_step: d.u64()?,
+        maintenance_rate_pages_per_sec: d.opt_u64()?,
+        intra_query_parallelism: d.u64()? as usize,
     })
 }
 
@@ -769,6 +866,22 @@ impl EngineSnapshot {
             e.len(c.retrieved.len());
             for k in &c.retrieved {
                 enc_key(&mut e, k);
+            }
+        }
+        e.u64(self.maintenance.jobs_enqueued);
+        e.u64(self.maintenance.jobs_completed);
+        e.u64(self.maintenance.jobs_resumed);
+        e.u64(self.maintenance.pages_written);
+        e.len(self.maintenance.pending_compactions.len());
+        for p in &self.maintenance.pending_compactions {
+            e.u16(p.dataset.0);
+            e.u32(p.old_file.0);
+            e.u32(p.new_file.0);
+            e.u64(p.new_len);
+            e.len(p.copied.len());
+            for (meta, source) in &p.copied {
+                enc_partition_meta(&mut e, meta);
+                enc_partition_meta(&mut e, source);
             }
         }
         e.into_bytes()
@@ -866,6 +979,34 @@ impl EngineSnapshot {
                 retrieved,
             });
         }
+        let mut maintenance = MaintenanceSnapshot {
+            jobs_enqueued: d.u64()?,
+            jobs_completed: d.u64()?,
+            jobs_resumed: d.u64()?,
+            pages_written: d.u64()?,
+            pending_compactions: Vec::new(),
+        };
+        let n = d.len()?;
+        for _ in 0..n {
+            let dataset = DatasetId(d.u16()?);
+            let old_file = FileId(d.u32()?);
+            let new_file = FileId(d.u32()?);
+            let new_len = d.u64()?;
+            let pair_count = d.len()?;
+            let mut copied = Vec::with_capacity(pair_count);
+            for _ in 0..pair_count {
+                let meta = dec_partition_meta(&mut d)?;
+                let source = dec_partition_meta(&mut d)?;
+                copied.push((meta, source));
+            }
+            maintenance.pending_compactions.push(PendingCompaction {
+                dataset,
+                old_file,
+                new_file,
+                copied,
+                new_len,
+            });
+        }
         d.finish()?;
         Ok(EngineSnapshot {
             config,
@@ -880,6 +1021,7 @@ impl EngineSnapshot {
             datasets,
             merger,
             stats,
+            maintenance,
         })
     }
 
@@ -1073,6 +1215,73 @@ impl EngineSnapshot {
                 set_len(file_lens, *old_file, 0);
                 deleted.push(*old_file);
                 self.compactions_performed += 1;
+                // The commit retires any parked progress for this dataset.
+                self.maintenance
+                    .pending_compactions
+                    .retain(|p| p.dataset != *dataset);
+            }
+            MetaRecord::CompactionProgress {
+                dataset,
+                old_file,
+                new_file,
+                copied,
+                new_len,
+            } => {
+                let ds = self.dataset_mut(*dataset)?;
+                if ds.file != Some(*old_file) {
+                    return Err(corrupt(format!(
+                        "compaction progress on dataset {dataset} expected file {} to be live",
+                        old_file.0
+                    )));
+                }
+                // Source fingerprints are taken from the table as of this
+                // record: the step logged under the dataset's write lock, so
+                // replay order reproduces the exact table the copy saw.
+                let mut pairs = Vec::with_capacity(copied.len());
+                for meta in copied {
+                    let source = ds
+                        .partitions
+                        .iter()
+                        .find(|p| p.key == meta.key)
+                        .ok_or_else(|| {
+                            corrupt(format!(
+                                "compaction progress copied unknown partition {:?}",
+                                meta.key
+                            ))
+                        })?;
+                    pairs.push((*meta, *source));
+                }
+                let pending = &mut self.maintenance.pending_compactions;
+                let entry = match pending.iter_mut().find(|p| p.dataset == *dataset) {
+                    Some(entry) if entry.new_file == *new_file => entry,
+                    Some(entry) => {
+                        // A fresh attempt supersedes an abandoned one.
+                        *entry = PendingCompaction {
+                            dataset: *dataset,
+                            old_file: *old_file,
+                            new_file: *new_file,
+                            copied: Vec::new(),
+                            new_len: 0,
+                        };
+                        entry
+                    }
+                    None => {
+                        pending.push(PendingCompaction {
+                            dataset: *dataset,
+                            old_file: *old_file,
+                            new_file: *new_file,
+                            copied: Vec::new(),
+                            new_len: 0,
+                        });
+                        pending.last_mut().expect("just pushed")
+                    }
+                };
+                for pair in pairs {
+                    entry.copied.retain(|(m, _)| m.key != pair.0.key);
+                    entry.copied.push(pair);
+                }
+                entry.new_len = *new_len;
+                set_len(file_lens, *new_file, *new_len);
             }
             MetaRecord::QueryStats {
                 combination,
@@ -1222,6 +1431,13 @@ mod tests {
                 partitions: vec![meta(2, 4, 0), meta(2, 5, 3)],
                 new_len: 6,
             },
+            MetaRecord::CompactionProgress {
+                dataset: DatasetId(0),
+                old_file: FileId(1),
+                new_file: FileId(6),
+                copied: vec![meta(2, 4, 0)],
+                new_len: 3,
+            },
             MetaRecord::QueryStats {
                 combination: combo(&[1, 2]),
                 retrieved: vec![key(2, 4), key(2, 5)],
@@ -1282,6 +1498,19 @@ mod tests {
                 count: 5,
                 retrieved: vec![key(2, 5)],
             }],
+            maintenance: MaintenanceSnapshot {
+                jobs_enqueued: 7,
+                jobs_completed: 6,
+                jobs_resumed: 1,
+                pages_written: 12,
+                pending_compactions: vec![PendingCompaction {
+                    dataset: DatasetId(0),
+                    old_file: FileId(1),
+                    new_file: FileId(4),
+                    copied: vec![(meta(1, 0, 0), meta(1, 0, 0))],
+                    new_len: 3,
+                }],
+            },
         }
     }
 
@@ -1427,5 +1656,82 @@ mod tests {
         )
         .unwrap();
         assert_eq!(lens, vec![5, 16, 0, 0, 0, 2], "evicted file len drops to 0");
+    }
+
+    #[test]
+    fn apply_accumulates_compaction_progress_and_commit_retires_it() {
+        let mut snap = sample_snapshot();
+        snap.maintenance.pending_compactions.clear();
+        let mut lens = vec![4u64, 10, 4];
+        let mut deleted: Vec<FileId> = Vec::new();
+        // First step copies one partition; fingerprint comes from the table.
+        snap.apply(
+            &MetaRecord::CompactionProgress {
+                dataset: DatasetId(0),
+                old_file: FileId(1),
+                new_file: FileId(6),
+                copied: vec![meta(1, 0, 0)],
+                new_len: 3,
+            },
+            &mut lens,
+            &mut deleted,
+        )
+        .unwrap();
+        let pending = &snap.maintenance.pending_compactions;
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].new_file, FileId(6));
+        assert_eq!(pending[0].copied.len(), 1);
+        assert_eq!(pending[0].copied[0].1, snap.datasets[0].partitions[0]);
+        assert_eq!(lens[6], 3);
+        // Second step extends the same attempt.
+        snap.apply(
+            &MetaRecord::CompactionProgress {
+                dataset: DatasetId(0),
+                old_file: FileId(1),
+                new_file: FileId(6),
+                copied: vec![PartitionMeta {
+                    page_start: 3,
+                    ..meta(2, 5, 3)
+                }],
+                new_len: 6,
+            },
+            &mut lens,
+            &mut deleted,
+        )
+        .unwrap();
+        let pending = &snap.maintenance.pending_compactions;
+        assert_eq!(pending[0].copied.len(), 2);
+        assert_eq!(pending[0].new_len, 6);
+        // The commit swaps the dataset and retires the parked progress.
+        snap.apply(
+            &MetaRecord::CompactionCommit {
+                dataset: DatasetId(0),
+                old_file: FileId(1),
+                new_file: FileId(6),
+                partitions: vec![meta(1, 0, 0), meta(2, 5, 3)],
+                new_len: 6,
+            },
+            &mut lens,
+            &mut deleted,
+        )
+        .unwrap();
+        assert!(snap.maintenance.pending_compactions.is_empty());
+        assert_eq!(snap.datasets[0].file, Some(FileId(6)));
+        assert_eq!(deleted, vec![FileId(1)]);
+        // Progress for a partition the table does not hold is corruption.
+        let mut snap = sample_snapshot();
+        assert!(snap
+            .apply(
+                &MetaRecord::CompactionProgress {
+                    dataset: DatasetId(0),
+                    old_file: FileId(1),
+                    new_file: FileId(6),
+                    copied: vec![meta(3, 9, 0)],
+                    new_len: 1,
+                },
+                &mut lens,
+                &mut deleted,
+            )
+            .is_err());
     }
 }

@@ -74,6 +74,7 @@ use crate::merger::{MergeDirectory, Merger, RouteKind};
 use crate::octree::{DatasetIndex, IngestStats};
 use crate::planner::{AccessPath, PlanChoice};
 use crate::result_cache::{CacheLookup, CachedComponent, ResultCache};
+use crate::scheduler::{JobSpec, MaintenanceScheduler};
 use crate::stats::StatsCollector;
 use odyssey_geom::{
     knn_key_cmp, CountQuery, DatasetId, DatasetSet, KnnQuery, PointQuery, Query, QuerySignature,
@@ -137,6 +138,10 @@ pub struct QueryOutcome {
     /// merge entries a count query took from metadata without reading them,
     /// plus partitions a kNN traversal pruned with its mindist bound.
     pub rows_skipped_by_early_exit: u64,
+    /// Number of in-flight maintenance jobs this query blocked on (a stale
+    /// merge file whose repair was already running in a background drain:
+    /// the query waits for that job instead of repairing alongside it).
+    pub maintenance_jobs_waited: u64,
 }
 
 impl QueryOutcome {
@@ -226,6 +231,7 @@ pub struct SpaceOdyssey {
     pub(crate) stats: RwLock<StatsCollector>,
     pub(crate) merger: RwLock<Merger>,
     pub(crate) compactor: Compactor,
+    pub(crate) maintenance: MaintenanceScheduler,
     queries_executed: AtomicU64,
     ingests_performed: AtomicU64,
     pub(crate) stale_bypasses: AtomicU64,
@@ -247,6 +253,7 @@ impl SpaceOdyssey {
         let datasets = raws.into_iter().map(DatasetIndex::new).collect();
         Ok(SpaceOdyssey {
             result_cache: ResultCache::new(config.result_cache_budget_bytes),
+            maintenance: MaintenanceScheduler::new(config.maintenance_max_jobs),
             config,
             datasets,
             stats: RwLock::new(StatsCollector::new()),
@@ -412,6 +419,10 @@ impl SpaceOdyssey {
             stats: RwLock::new(stats),
             merger: RwLock::new(merger),
             compactor: Compactor::restore(snap.compactions_performed),
+            maintenance: MaintenanceScheduler::restore(
+                snap.config.maintenance_max_jobs,
+                &snap.maintenance,
+            ),
             queries_executed: AtomicU64::new(snap.queries_executed),
             ingests_performed: AtomicU64::new(snap.ingests_performed),
             stale_bypasses: AtomicU64::new(snap.stale_bypasses),
@@ -423,6 +434,25 @@ impl SpaceOdyssey {
             cache_partial_reuses: AtomicU64::new(snap.cache_partial_reuses),
             rows_skipped_by_early_exit: AtomicU64::new(snap.rows_skipped_by_early_exit),
         };
+        // Resume compactions parked mid-copy at the crash: re-enqueue each
+        // with its checkpointed progress, so the copy continues after the
+        // last committed phase instead of starting over. In foreground mode
+        // the queue is drained right here (an opened engine owes no deferred
+        // work); in background mode the jobs wait for the next
+        // [`SpaceOdyssey::run_maintenance`] pump and the checkpoint below
+        // re-persists them as still pending.
+        for pending in snap.maintenance.pending_compactions {
+            let dataset = pending.dataset;
+            let (new, depth) = engine.maintenance.enqueue_resumed(JobSpec::Compaction {
+                dataset,
+                pending: Some(pending),
+            });
+            storage.note_maintenance_enqueued(u64::from(new), depth as u64);
+            storage.note_maintenance_resumed(u64::from(new));
+        }
+        if !engine.config.maintenance_background {
+            engine.run_maintenance(storage)?;
+        }
         // Collapse the replayed records into a fresh checkpoint so the WAL
         // stays bounded across repeated crash/reopen cycles.
         engine.checkpoint(storage)?;
@@ -482,6 +512,7 @@ impl SpaceOdyssey {
             datasets,
             merger: merger_snapshot,
             stats,
+            maintenance: self.maintenance.snapshot(),
         }
     }
 
@@ -594,6 +625,18 @@ impl SpaceOdyssey {
     /// `CompactionCommit` records).
     pub fn compactions_performed(&self) -> u64 {
         self.compactor.compactions_performed()
+    }
+
+    /// The maintenance scheduler: its lifetime job counters
+    /// (enqueued / completed / resumed, pages written) are persisted at
+    /// every checkpoint, like the cache counters.
+    pub fn maintenance(&self) -> &MaintenanceScheduler {
+        &self.maintenance
+    }
+
+    /// Maintenance jobs currently queued and not yet picked up by a drain.
+    pub fn maintenance_queue_depth(&self) -> usize {
+        self.maintenance.queue_depth()
     }
 
     /// Pages currently referenced by live metadata across the whole engine:
@@ -733,6 +776,7 @@ impl SpaceOdyssey {
                 outcome.stale_merge_bypassed = partial.stale_merge_bypassed;
                 outcome.compactions_performed = partial.compactions_performed;
                 outcome.rows_skipped_by_early_exit = partial.rows_skipped_by_early_exit;
+                outcome.maintenance_jobs_waited = partial.maintenance_jobs_waited;
                 outcome.cache_partial_reuses = 1;
                 Ok(outcome)
             }
@@ -863,6 +907,7 @@ impl SpaceOdyssey {
             cache_misses: 0,
             cache_partial_reuses: 0,
             rows_skipped_by_early_exit: 0,
+            maintenance_jobs_waited: 0,
         }
     }
 
@@ -914,7 +959,15 @@ impl SpaceOdyssey {
                 wrong.id, wrong.dataset, dataset
             )));
         }
-        let stats: IngestStats = index.ingest(storage, &self.config, objects)?;
+        // With background maintenance on, splits are deferred out of the
+        // batch's write-lock hold and picked up by an `IngestSplitRefine`
+        // job; foreground mode keeps them inside the batch, as always.
+        let stats: IngestStats = index.ingest_with(
+            storage,
+            &self.config,
+            objects,
+            self.config.maintenance_background,
+        )?;
         outcome.objects_ingested = stats.objects_ingested;
         outcome.partitions_split = stats.partitions_split;
         outcome.partitions_created = stats.partitions_created;
@@ -930,12 +983,26 @@ impl SpaceOdyssey {
                 .filter(|f| !self.stale_subset(f, DatasetSet::single(dataset)).is_empty())
                 .count();
             drop(merger);
+            if stats.partitions_pending_split > 0 {
+                self.submit_job(storage, JobSpec::IngestSplitRefine { dataset });
+            }
             // Ingest is the heaviest dead-page producer (every batch's
             // overflow rewrite orphans the previous run on durable
-            // managers), so it is also a compaction trigger point.
-            if let Some(c) = self.compactor.maybe_compact(storage, &self.config, index)? {
-                outcome.compaction_performed = true;
-                outcome.pages_reclaimed = c.pages_reclaimed;
+            // managers), so it is also a compaction trigger point — now a
+            // scheduled job rather than an inline rewrite.
+            if self.compactor.should_compact(storage, &self.config, index) {
+                self.submit_job(
+                    storage,
+                    JobSpec::Compaction {
+                        dataset,
+                        pending: None,
+                    },
+                );
+            }
+            if !self.config.maintenance_background {
+                let report = self.run_maintenance(storage)?;
+                outcome.compaction_performed = report.compactions_committed > 0;
+                outcome.pages_reclaimed = report.pages_reclaimed;
             }
         }
         Ok(outcome)

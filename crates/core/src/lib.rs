@@ -38,7 +38,15 @@
 //!   cursor internally;
 //! * the **result cache** ([`result_cache`]) keeps materialized answers
 //!   keyed by canonical query signature and invalidated per dataset by
-//!   ingest sequence numbers, under an LRU byte budget.
+//!   ingest sequence numbers, under an LRU byte budget;
+//! * the **maintenance scheduler** ([`scheduler`]) decouples maintenance
+//!   from its triggers: staleness repairs, deferred ingest-split
+//!   refinements and phased, crash-resumable compactions are typed jobs on
+//!   a deduplicating priority queue — drained inline at the trigger sites
+//!   by default, or in rate-limited background batches
+//!   ([`SpaceOdyssey::run_maintenance`]); its helper-slot pool also backs
+//!   intra-query parallelism (per-dataset prepare phases fanned out with a
+//!   deterministic merge).
 //!
 //! The public entry point is [`SpaceOdyssey`].
 
@@ -58,19 +66,24 @@ pub mod octree;
 pub mod partition;
 pub mod planner;
 pub mod result_cache;
+pub mod scheduler;
 pub mod stats;
 
 pub use compactor::Compactor;
 pub use config::{MergeLevelPolicy, OdysseyConfig};
 pub use cursor::QueryCursor;
-pub use durability::{EngineSnapshot, MetaRecord, PartitionMeta};
+pub use durability::{
+    EngineSnapshot, MaintenanceSnapshot, MetaRecord, PartitionMeta, PendingCompaction,
+};
 pub use engine::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, SpaceOdyssey};
 pub use merge_file::{MergeEntry, MergeFile, MergeRun, MergeSource};
 pub use merger::{MergeDirectory, MergeSummary, Merger, RouteKind};
 pub use octree::{
-    CompactionStats, DatasetIndex, IngestStats, PreparedKnn, PreparedQuery, RegionCoverage,
+    CompactStep, CompactionStats, DatasetIndex, IngestStats, PreparedKnn, PreparedQuery,
+    RegionCoverage,
 };
 pub use partition::{Partition, PartitionKey};
 pub use planner::{AccessPath, PlanChoice, Planner};
 pub use result_cache::{CacheLookup, CachedComponent, ResultCache};
+pub use scheduler::{JobKey, MaintenanceReport, MaintenanceScheduler};
 pub use stats::{ComboStats, StatsCollector};

@@ -28,7 +28,7 @@
 //!   simply reads the finer partitions.
 
 use crate::config::OdysseyConfig;
-use crate::durability::{self, DatasetSnapshot, MetaRecord, PartitionMeta};
+use crate::durability::{self, DatasetSnapshot, MetaRecord, PartitionMeta, PendingCompaction};
 use crate::partition::{Partition, PartitionKey};
 use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
 use odyssey_storage::{
@@ -171,6 +171,29 @@ pub struct CompactionStats {
     pub pages_reclaimed: u64,
 }
 
+/// Outcome of one bounded step of a phased compaction
+/// ([`DatasetIndex::compact_step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactStep {
+    /// The dataset is uninitialized or the dead-page trigger no longer holds
+    /// (nothing was started).
+    NotNeeded,
+    /// The page budget ran out mid-copy. Progress is durable (a
+    /// [`MetaRecord::CompactionProgress`] record) and carried in the caller's
+    /// [`PendingCompaction`]; call again to continue.
+    Yielded {
+        /// Pages copied into the replacement file this step.
+        pages_written: u64,
+    },
+    /// The copy completed and the swap committed.
+    Committed {
+        /// The committed rewrite's stats.
+        stats: CompactionStats,
+        /// Pages copied into the replacement file this step.
+        pages_written: u64,
+    },
+}
+
 /// Result of one ingest call on a dataset.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IngestStats {
@@ -181,6 +204,10 @@ pub struct IngestStats {
     /// Partitions created for regions that previously had no leaf (holes left
     /// by empty-child-skipping refinement).
     pub partitions_created: usize,
+    /// Partitions that crossed the split threshold but whose refinement was
+    /// deferred to a scheduled `IngestSplitRefine` job (always 0 unless the
+    /// batch was ingested with splits deferred).
+    pub partitions_pending_split: usize,
 }
 
 /// The mutable state of one dataset's index, guarded by the per-dataset lock.
@@ -353,61 +380,190 @@ impl DatasetIndex {
     /// Runs under the dataset's write lock and re-checks the dead-page
     /// trigger there, so concurrent trigger points compact exactly once.
     /// Returns `Ok(None)` when the dataset is uninitialized or the trigger
-    /// no longer holds.
+    /// no longer holds. Implemented as an unbounded
+    /// [`DatasetIndex::compact_step`], so the whole copy happens in one step
+    /// and no progress records are logged.
     pub fn compact(
         &self,
         storage: &StorageManager,
         config: &OdysseyConfig,
     ) -> StorageResult<Option<CompactionStats>> {
+        let mut pending = None;
+        loop {
+            match self.compact_step(storage, config, &mut pending, u64::MAX)? {
+                CompactStep::NotNeeded => return Ok(None),
+                CompactStep::Yielded { .. } => continue,
+                CompactStep::Committed { stats, .. } => return Ok(Some(stats)),
+            }
+        }
+    }
+
+    /// One bounded step of a phased compaction: copy-forwards up to
+    /// `max_pages` pages of live partition runs (in key order, each
+    /// partition's main + overflow runs coalesced into one contiguous run)
+    /// into the replacement file, then either commits the swap (everything
+    /// copied) or logs a [`MetaRecord::CompactionProgress`] checkpoint and
+    /// yields, releasing the dataset's write lock between steps so
+    /// foreground queries never wait for more than one step.
+    ///
+    /// `pending` carries the copy state across steps. Pass `None` to start a
+    /// new compaction (the dead-page trigger is re-checked under the lock;
+    /// `NotNeeded` is returned when it no longer holds); pass the state a
+    /// previous step — or crash recovery — left behind to resume. Resume
+    /// re-validates every copied partition against the live table and
+    /// re-copies any whose source changed in the meantime (the orphaned new-
+    /// file pages are counted dead), so a resumed compaction never serves
+    /// stale data. Commit is exact: a crash at any WAL prefix recovers the
+    /// old layout plus checkpointed progress, or the new layout — never a
+    /// mix.
+    pub fn compact_step(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        pending: &mut Option<PendingCompaction>,
+        max_pages: u64,
+    ) -> StorageResult<CompactStep> {
         let mut state = self.state.write().unwrap();
         let state = &mut *state;
-        let Some(old_file) = state.file else {
-            return Ok(None);
+        let job = match pending.take() {
+            Some(job) => {
+                // Resuming. The dataset must still read from the file the
+                // copy started on; a mismatch means another path already
+                // swapped it (the queue dedupes per dataset, so this only
+                // guards against misuse) — abandon the stale attempt.
+                if state.file != Some(job.old_file) || !storage.file_exists(job.new_file) {
+                    storage.delete_file(job.new_file).ok();
+                    return Ok(CompactStep::NotNeeded);
+                }
+                job
+            }
+            None => {
+                let Some(old_file) = state.file else {
+                    return Ok(CompactStep::NotNeeded);
+                };
+                // Re-check under the lock (double-checked trigger): a thread
+                // that lost the race finds a fresh file with zero dead pages.
+                let space = storage.space_stats(old_file)?;
+                if space.dead_pages == 0 || space.dead_ratio() < config.compaction_dead_ratio {
+                    return Ok(CompactStep::NotNeeded);
+                }
+                let new_file =
+                    storage.create_file(&format!("odyssey_partitions_ds{}", self.dataset.0))?;
+                PendingCompaction {
+                    dataset: self.dataset,
+                    old_file,
+                    new_file,
+                    copied: Vec::new(),
+                    new_len: 0,
+                }
+            }
         };
-        // Re-check under the lock (double-checked trigger): a thread that
-        // lost the race finds a fresh file with zero dead pages.
-        let space = storage.space_stats(old_file)?;
-        if space.dead_pages == 0 || space.dead_ratio() < config.compaction_dead_ratio {
-            return Ok(None);
-        }
-        let new_file = storage.create_file(&format!("odyssey_partitions_ds{}", self.dataset.0))?;
-        // Stage the rewritten layout in a copy of the table: the shared state
-        // must not change until the commit record is durable, or an error
-        // between the first copied partition and the WAL append would leave
-        // the live table pointing at new-file offsets while `state.file`
-        // still names the old file — silently wrong reads from then on.
-        let mut staged = state.partitions.clone();
-        let mut order: Vec<usize> = (0..staged.len()).collect();
-        order.sort_by_key(|&i| staged[i].key);
-        for idx in order {
-            let partition = staged[idx];
-            let objects = Self::read_runs(storage, old_file, &partition)?;
+        let mut job = job;
+        // Drop copied entries whose source partition was rewritten since the
+        // copy (ingest overflow rewrite, refinement): their new-file pages
+        // are orphans, and the partition is re-copied below.
+        job.copied.retain(|(meta, source)| {
+            let live = state
+                .partitions
+                .iter()
+                .find(|p| p.key == source.key)
+                .map(PartitionMeta::of);
+            if live == Some(*source) {
+                true
+            } else {
+                storage.note_dead_pages(job.new_file, meta.page_count);
+                false
+            }
+        });
+        // Copy uncopied live partitions in key order until the budget runs
+        // out (always at least one partition per step, so steps make
+        // progress under any budget).
+        let mut order: Vec<usize> = (0..state.partitions.len())
+            .filter(|&i| {
+                let key = state.partitions[i].key;
+                !job.copied.iter().any(|(m, _)| m.key == key)
+            })
+            .collect();
+        order.sort_by_key(|&i| state.partitions[i].key);
+        let mut pages_written = 0u64;
+        let mut step_copied: Vec<PartitionMeta> = Vec::new();
+        let mut remaining = order.into_iter();
+        for idx in remaining.by_ref() {
+            let partition = state.partitions[idx];
+            let objects = Self::read_runs(storage, job.old_file, &partition)?;
             debug_assert_eq!(objects.len() as u64, partition.object_count);
-            let range = storage.append_objects(new_file, &objects)?;
-            let slot = &mut staged[idx];
-            slot.page_start = range.start;
-            slot.page_count = range.end - range.start;
+            let range = storage.append_objects(job.new_file, &objects)?;
+            let mut meta = PartitionMeta::of(&partition);
+            meta.page_start = range.start;
+            meta.page_count = range.end - range.start;
+            meta.overflow_page_start = 0;
+            meta.overflow_page_count = 0;
+            pages_written += meta.page_count;
+            step_copied.push(meta);
+            job.copied.push((meta, PartitionMeta::of(&partition)));
+            if pages_written >= max_pages {
+                break;
+            }
+        }
+        if remaining.next().is_some() {
+            // Budget exhausted mid-copy: checkpoint the step and yield.
+            job.new_len = storage.num_pages(job.new_file)?;
+            let record = MetaRecord::CompactionProgress {
+                dataset: self.dataset,
+                old_file: job.old_file,
+                new_file: job.new_file,
+                copied: step_copied,
+                new_len: job.new_len,
+            };
+            storage.sync_file(job.new_file)?; // data before its record, durably
+            durability::log(storage, record)?;
+            *pending = Some(job);
+            return Ok(CompactStep::Yielded { pages_written });
+        }
+        // Everything copied: stage the rewritten table in live order and
+        // commit. The shared state must not change until the commit record
+        // is durable, or an error between the copies and the WAL append
+        // would leave the live table pointing at new-file offsets while
+        // `state.file` still names the old file — silently wrong reads from
+        // then on.
+        let mut staged = state.partitions.clone();
+        for slot in staged.iter_mut() {
+            let (meta, _) = job
+                .copied
+                .iter()
+                .find(|(m, _)| m.key == slot.key)
+                .expect("every live partition was copied");
+            slot.page_start = meta.page_start;
+            slot.page_count = meta.page_count;
             slot.overflow_page_start = 0;
             slot.overflow_page_count = 0;
         }
-        let new_len = storage.num_pages(new_file)?;
+        let space = storage.space_stats(job.old_file)?;
+        let new_len = storage.num_pages(job.new_file)?;
         let record = MetaRecord::CompactionCommit {
             dataset: self.dataset,
-            old_file,
-            new_file,
+            old_file: job.old_file,
+            new_file: job.new_file,
             partitions: staged.iter().map(PartitionMeta::of).collect(),
             new_len,
         };
-        storage.sync_file(new_file)?; // data before its record, durably
+        storage.sync_file(job.new_file)?; // data before its record, durably
         durability::log(storage, record)?;
         state.partitions = staged;
-        state.file = Some(new_file);
-        let pages_reclaimed = storage.delete_file(old_file)?;
-        Ok(Some(CompactionStats {
-            pages_before: space.pages,
-            pages_after: new_len,
-            pages_reclaimed,
-        }))
+        state.file = Some(job.new_file);
+        let pages_reclaimed = storage.delete_file(job.old_file)?;
+        // Re-copied partitions orphaned their first copy inside the new
+        // file; the dead counter becomes exact at the commit.
+        let live: u64 = state.partitions.iter().map(|p| p.total_page_count()).sum();
+        storage.set_dead_pages(job.new_file, new_len.saturating_sub(live));
+        Ok(CompactStep::Committed {
+            stats: CompactionStats {
+                pages_before: space.pages,
+                pages_after: new_len,
+                pages_reclaimed,
+            },
+            pages_written,
+        })
     }
 
     /// The ingested objects with log positions in `[from, len)`, plus the
@@ -693,6 +849,22 @@ impl DatasetIndex {
         config: &OdysseyConfig,
         objects: &[SpatialObject],
     ) -> StorageResult<IngestStats> {
+        self.ingest_with(storage, config, objects, false)
+    }
+
+    /// Like [`DatasetIndex::ingest`], but with `defer_splits` the partitions
+    /// that cross the split threshold are *not* refined inside the batch's
+    /// write-lock hold; they are only counted
+    /// ([`IngestStats::partitions_pending_split`]) so the caller can schedule
+    /// an `IngestSplitRefine` job ([`DatasetIndex::refine_oversized`])
+    /// instead. The engine defers exactly when background maintenance is on.
+    pub fn ingest_with(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+        objects: &[SpatialObject],
+        defer_splits: bool,
+    ) -> StorageResult<IngestStats> {
         let mut stats = IngestStats::default();
         if objects.is_empty() {
             return Ok(stats);
@@ -827,11 +999,15 @@ impl DatasetIndex {
             storage.sync_file(self.raw.read().unwrap().file)?;
             storage.sync_file(file)?;
             durability::log(storage, record)?;
-            for key in split_candidates {
-                if let Some(idx) = state.partitions.iter().position(|p| p.key == key) {
-                    Self::refine(state, storage, config, idx, self.dataset)?;
-                    self.total_refinements.fetch_add(1, Ordering::Relaxed);
-                    stats.partitions_split += 1;
+            if defer_splits {
+                stats.partitions_pending_split = split_candidates.len();
+            } else {
+                for key in split_candidates {
+                    if let Some(idx) = state.partitions.iter().position(|p| p.key == key) {
+                        Self::refine(state, storage, config, idx, self.dataset)?;
+                        self.total_refinements.fetch_add(1, Ordering::Relaxed);
+                        stats.partitions_split += 1;
+                    }
                 }
             }
         } else {
@@ -857,6 +1033,38 @@ impl DatasetIndex {
         self.ingested
             .store(state.ingest_log.len() as u64, Ordering::Release);
         Ok(stats)
+    }
+
+    /// Refines every partition whose object count crossed the ingest-split
+    /// threshold — the body of a scheduled `IngestSplitRefine` job, picking
+    /// up the splits a deferred ingest
+    /// ([`DatasetIndex::ingest_with`]) left behind. Splits cascade until no
+    /// partition exceeds the threshold (or hits the level cap), so a job
+    /// catches up even when several deferred batches piled onto one region.
+    /// Returns the number of refinements performed.
+    pub fn refine_oversized(
+        &self,
+        storage: &StorageManager,
+        config: &OdysseyConfig,
+    ) -> StorageResult<usize> {
+        if config.ingest_split_objects == 0 {
+            return Ok(0);
+        }
+        let mut state = self.state.write().unwrap();
+        let state = &mut *state;
+        if state.file.is_none() {
+            return Ok(0);
+        }
+        let mut splits = 0;
+        while let Some(idx) = state.partitions.iter().position(|p| {
+            p.object_count >= config.ingest_split_objects
+                && p.key.level < config.max_refinement_level
+        }) {
+            Self::refine(state, storage, config, idx, self.dataset)?;
+            self.total_refinements.fetch_add(1, Ordering::Relaxed);
+            splits += 1;
+        }
+        Ok(splits)
     }
 
     /// The key at which a missing leaf for `c` should be created: one level

@@ -1,0 +1,795 @@
+//! The background maintenance scheduler: resumable jobs + helper slots.
+//!
+//! Earlier PRs ran every piece of maintenance *inline* at its trigger site:
+//! a query observing a stale merge file repaired it before reading, an
+//! ingest that crossed the dead-page ratio compacted the dataset file
+//! before returning, and ingest-split refinement happened inside the
+//! batch's write-lock hold. Correct, but the foreground operation pays for
+//! work that benefits every later operation.
+//!
+//! This module decouples trigger from execution. Trigger sites now
+//! *enqueue* typed jobs on the [`MaintenanceScheduler`] — a deduplicating
+//! priority queue — and a drain runs them:
+//!
+//! * [`JobKey::StalenessRepair`] — bring one merge file up to date for its
+//!   stale datasets (highest priority: a queued repair blocks queries from
+//!   using the file);
+//! * [`JobKey::IngestSplitRefine`] — refine the partitions a deferred
+//!   ingest left over the split threshold;
+//! * [`JobKey::Compaction`] — copy-forward one dataset's partition file,
+//!   *phased*: each execution runs one bounded
+//!   [`DatasetIndex::compact_step`] of at most
+//!   [`crate::OdysseyConfig::maintenance_pages_per_step`] pages, checkpoints a
+//!   `CompactionProgress` WAL record and requeues itself until the swap
+//!   commits. A crash between steps loses nothing:
+//!   [`crate::SpaceOdyssey::open`] rebuilds the parked
+//!   [`PendingCompaction`] from the replayed records and re-enqueues the
+//!   job ([`MaintenanceSnapshot::jobs_resumed`] counts these), so the
+//!   copy resumes after the last committed phase instead of starting over.
+//!
+//! The queue dedupes by job identity ([`JobKey`]): a redundant trigger
+//! coalesces into the queued job (repairs union their wanted datasets)
+//! instead of piling up. A key can additionally be *running* in one drain;
+//! the queue never hands the same key to two workers, which is what makes
+//! every job effectively exactly-once per trigger generation.
+//!
+//! # Foreground / background modes
+//!
+//! With [`crate::OdysseyConfig::maintenance_background`] **off** (the default),
+//! trigger sites enqueue and immediately drain on the calling thread —
+//! the single code path replaces the old inline calls while preserving
+//! their semantics exactly (same records, same counters, single-core CI
+//! stays deterministic). With it **on**, trigger sites only enqueue;
+//! [`crate::SpaceOdyssey::run_maintenance`] is the pump that drains the
+//! queue, fanning out over up to [`crate::OdysseyConfig::maintenance_max_jobs`]
+//! threads and honoring the [`crate::OdysseyConfig::maintenance_rate_pages_per_sec`]
+//! rate limit between steps. Queries that meet a stale merge file while a
+//! repair for it is in flight *wait* for that job
+//! (`MaintenanceScheduler::wait_if_running`) or take the bypass path —
+//! never a second concurrent repair.
+//!
+//! # Intra-query parallelism
+//!
+//! The scheduler also owns the engine's pool of *helper slots*
+//! (`maintenance_max_jobs - 1` of them): background drains borrow them for
+//! extra workers, and — with [`crate::OdysseyConfig::intra_query_parallelism`]
+//! `> 1` — a multi-dataset query borrows idle ones to fan its per-dataset
+//! prepare/probe phases out (`SpaceOdyssey::fan_datasets`).
+//! Results are folded in dataset order, so answers are bit-identical to
+//! the sequential fold, and the per-dataset locks keep the adaptive
+//! semantics exactly-once exactly as concurrent queries always have.
+
+use crate::durability::{MaintenanceSnapshot, PendingCompaction};
+use crate::engine::SpaceOdyssey;
+use crate::octree::{CompactStep, DatasetIndex};
+use odyssey_geom::{DatasetId, DatasetSet};
+use odyssey_storage::{StorageError, StorageManager, StorageResult};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Identity of a maintenance job — the unit of queue deduplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKey {
+    /// Repair the merge file of exactly this combination.
+    StalenessRepair(DatasetSet),
+    /// Refine this dataset's partitions left over the split threshold by a
+    /// deferred ingest.
+    IngestSplitRefine(DatasetId),
+    /// Copy-forward this dataset's partition file.
+    Compaction(DatasetId),
+}
+
+impl JobKey {
+    /// Drain order: repairs first (queries wait on them), refines next
+    /// (they bound partition sizes), compactions last (pure space work).
+    fn priority(self) -> u8 {
+        match self {
+            JobKey::StalenessRepair(_) => 0,
+            JobKey::IngestSplitRefine(_) => 1,
+            JobKey::Compaction(_) => 2,
+        }
+    }
+}
+
+/// A queued job: its identity plus the state one execution hands the next.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JobSpec {
+    /// Repair `combination`'s merge file for the `wanted` stale datasets.
+    StalenessRepair {
+        /// The merge file's exact combination.
+        combination: DatasetSet,
+        /// The datasets to bring up to date (coalescing triggers unions).
+        wanted: DatasetSet,
+    },
+    /// Run [`DatasetIndex::refine_oversized`] on the dataset.
+    IngestSplitRefine {
+        /// The dataset with deferred splits.
+        dataset: DatasetId,
+    },
+    /// Run one bounded [`DatasetIndex::compact_step`] on the dataset.
+    Compaction {
+        /// The dataset whose partition file crossed the dead-page ratio.
+        dataset: DatasetId,
+        /// Progress a previous step (or crash recovery) checkpointed;
+        /// `None` starts a fresh copy.
+        pending: Option<PendingCompaction>,
+    },
+}
+
+impl JobSpec {
+    pub(crate) fn key(&self) -> JobKey {
+        match self {
+            JobSpec::StalenessRepair { combination, .. } => JobKey::StalenessRepair(*combination),
+            JobSpec::IngestSplitRefine { dataset } => JobKey::IngestSplitRefine(*dataset),
+            JobSpec::Compaction { dataset, .. } => JobKey::Compaction(*dataset),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueuedJob {
+    /// FIFO tiebreaker within a priority class.
+    seq: u64,
+    spec: JobSpec,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    queue: Vec<QueuedJob>,
+    /// Keys currently executing in some drain. The queue never hands a key
+    /// out twice, so at most one worker touches a given dataset/file.
+    running: Vec<JobKey>,
+    next_seq: u64,
+}
+
+/// What was done by one [`crate::SpaceOdyssey::run_maintenance`] drain (or
+/// one inline trigger-site drain).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Jobs run to completion (a phased compaction counts once, at commit).
+    pub jobs_run: u64,
+    /// Compaction steps that yielded on their page budget and requeued.
+    pub steps_yielded: u64,
+    /// Staleness-repair runs appended across repair jobs.
+    pub repair_runs_appended: u64,
+    /// Partition refinements performed across refine jobs.
+    pub refinements: u64,
+    /// Dataset-file compactions committed.
+    pub compactions_committed: u64,
+    /// Pages reclaimed by those compactions.
+    pub pages_reclaimed: u64,
+    /// Pages copy-forwarded into replacement files (all steps).
+    pub pages_written: u64,
+}
+
+impl MaintenanceReport {
+    fn absorb(&mut self, other: &MaintenanceReport) {
+        self.jobs_run += other.jobs_run;
+        self.steps_yielded += other.steps_yielded;
+        self.repair_runs_appended += other.repair_runs_appended;
+        self.refinements += other.refinements;
+        self.compactions_committed += other.compactions_committed;
+        self.pages_reclaimed += other.pages_reclaimed;
+        self.pages_written += other.pages_written;
+    }
+}
+
+/// One job execution's effect on the drain.
+enum JobStep {
+    /// The job completed; fold its report into the drain's.
+    Done(MaintenanceReport),
+    /// A compaction step yielded on its budget: requeue with the carried
+    /// progress.
+    Requeue { spec: JobSpec, pages_written: u64 },
+}
+
+/// The deduplicating priority queue of maintenance jobs plus the engine's
+/// helper-slot pool. One per engine; shared by reference across threads.
+#[derive(Debug)]
+pub struct MaintenanceScheduler {
+    state: Mutex<SchedState>,
+    /// Signalled whenever a job finishes or the queue changes — what
+    /// `MaintenanceScheduler::wait_if_running` and blocked drain workers
+    /// sleep on.
+    changed: Condvar,
+    /// Helper threads available to drains and query fan-outs
+    /// (`maintenance_max_jobs - 1`; the driving thread is always free).
+    helper_slots: AtomicUsize,
+    jobs_enqueued: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_resumed: AtomicU64,
+    pages_written: AtomicU64,
+}
+
+impl MaintenanceScheduler {
+    /// An empty scheduler with `max_jobs - 1` helper slots.
+    pub(crate) fn new(max_jobs: usize) -> Self {
+        MaintenanceScheduler {
+            state: Mutex::new(SchedState::default()),
+            changed: Condvar::new(),
+            helper_slots: AtomicUsize::new(max_jobs.saturating_sub(1)),
+            jobs_enqueued: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_resumed: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Reinstates the checkpoint-replayed lifetime counters (the queue
+    /// itself is rebuilt by the open path, not restored).
+    pub(crate) fn restore(max_jobs: usize, snap: &MaintenanceSnapshot) -> Self {
+        let s = Self::new(max_jobs);
+        s.jobs_enqueued.store(snap.jobs_enqueued, Ordering::Relaxed);
+        s.jobs_completed
+            .store(snap.jobs_completed, Ordering::Relaxed);
+        s.jobs_resumed.store(snap.jobs_resumed, Ordering::Relaxed);
+        s.pages_written.store(snap.pages_written, Ordering::Relaxed);
+        s
+    }
+
+    /// Enqueues `spec`, coalescing with an already-queued job of the same
+    /// key (repairs union their wanted sets; a compaction trigger folds
+    /// into a parked phased copy without disturbing its progress). Returns
+    /// `(newly_enqueued, queue_depth)`.
+    pub(crate) fn enqueue(&self, spec: JobSpec) -> (bool, usize) {
+        let mut st = self.state.lock().unwrap();
+        let key = spec.key();
+        let depth_after = |st: &SchedState| st.queue.len();
+        if let Some(existing) = st.queue.iter_mut().find(|j| j.spec.key() == key) {
+            if let (
+                JobSpec::StalenessRepair { wanted, .. },
+                JobSpec::StalenessRepair {
+                    wanted: new_wanted, ..
+                },
+            ) = (&mut existing.spec, &spec)
+            {
+                for id in new_wanted.iter() {
+                    wanted.insert(id);
+                }
+            }
+            // A fresh compaction trigger carries no progress; the queued
+            // job's checkpointed `pending` (if any) wins.
+            let depth = depth_after(&st);
+            drop(st);
+            return (false, depth);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(QueuedJob { seq, spec });
+        self.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+        let depth = depth_after(&st);
+        drop(st);
+        self.changed.notify_all();
+        (true, depth)
+    }
+
+    /// Re-enqueues a job the open path resumed from checkpointed progress.
+    pub(crate) fn enqueue_resumed(&self, spec: JobSpec) -> (bool, usize) {
+        let r = self.enqueue(spec);
+        if r.0 {
+            self.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Pops the best runnable job — lowest `(priority, seq)` among queued
+    /// jobs whose key is not running — marking its key running. Blocks
+    /// while the queue holds only running-keyed jobs; returns `None` once
+    /// the queue is empty.
+    fn next_job(&self) -> Option<QueuedJob> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.queue.is_empty() {
+                return None;
+            }
+            let best = st
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| !st.running.contains(&j.spec.key()))
+                .min_by_key(|(_, j)| (j.spec.key().priority(), j.seq))
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => {
+                    let job = st.queue.remove(i);
+                    st.running.push(job.spec.key());
+                    return Some(job);
+                }
+                // Every queued key is in flight elsewhere: wait for one to
+                // finish rather than running the same key twice.
+                None => st = self.changed.wait(st).unwrap(),
+            }
+        }
+    }
+
+    /// Marks `key` finished; a yielded compaction passes its continuation
+    /// back as `requeue` (keeping the original seq so it keeps its place).
+    fn finish_job(&self, key: JobKey, seq: u64, requeue: Option<JobSpec>) {
+        let mut st = self.state.lock().unwrap();
+        st.running.retain(|k| *k != key);
+        if let Some(spec) = requeue {
+            // A trigger may have re-enqueued the key while the step ran;
+            // the continuation (with its progress) supersedes it.
+            st.queue.retain(|j| j.spec.key() != key);
+            st.queue.push(QueuedJob { seq, spec });
+        }
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// If a job with `key` is currently executing, blocks until it
+    /// finishes and returns `true`. A job that is merely *queued* (no
+    /// drain is running it) does not block — the caller should bypass
+    /// instead of waiting on work nobody is doing.
+    pub(crate) fn wait_if_running(&self, key: JobKey) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let mut waited = false;
+        while st.running.contains(&key) {
+            waited = true;
+            st = self.changed.wait(st).unwrap();
+        }
+        waited
+    }
+
+    /// Jobs currently queued (not counting one running in a drain).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// The compactions parked mid-copy in the queue — what a checkpoint
+    /// persists. Call from a quiescent point (like the checkpoint itself):
+    /// a running drain could hold progress not yet requeued.
+    pub(crate) fn pending_compactions(&self) -> Vec<PendingCompaction> {
+        let st = self.state.lock().unwrap();
+        let mut pending: Vec<PendingCompaction> = st
+            .queue
+            .iter()
+            .filter_map(|j| match &j.spec {
+                JobSpec::Compaction {
+                    pending: Some(p), ..
+                } => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        pending.sort_by_key(|p| p.dataset.0);
+        pending
+    }
+
+    /// Borrows up to `want` helper slots; returns how many were acquired.
+    pub(crate) fn acquire_helpers(&self, want: usize) -> usize {
+        let mut got = 0;
+        while got < want {
+            let cur = self.helper_slots.load(Ordering::Relaxed);
+            if cur == 0 {
+                break;
+            }
+            if self
+                .helper_slots
+                .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                got += 1;
+            }
+        }
+        got
+    }
+
+    /// Returns `n` previously acquired helper slots.
+    pub(crate) fn release_helpers(&self, n: usize) {
+        self.helper_slots.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lifetime jobs enqueued (coalesced triggers not counted).
+    pub fn jobs_enqueued(&self) -> u64 {
+        self.jobs_enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime jobs run to completion.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs re-enqueued by crash recovery from checkpointed progress.
+    pub fn jobs_resumed(&self) -> u64 {
+        self.jobs_resumed.load(Ordering::Relaxed)
+    }
+
+    /// Pages copy-forwarded by maintenance jobs.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    /// The checkpointed form: lifetime counters + parked compactions.
+    pub(crate) fn snapshot(&self) -> MaintenanceSnapshot {
+        MaintenanceSnapshot {
+            jobs_enqueued: self.jobs_enqueued(),
+            jobs_completed: self.jobs_completed(),
+            jobs_resumed: self.jobs_resumed(),
+            pages_written: self.pages_written(),
+            pending_compactions: self.pending_compactions(),
+        }
+    }
+}
+
+impl SpaceOdyssey {
+    /// Enqueues one maintenance job, feeding the observability counters.
+    /// Enqueue-only — pure in-memory, infallible; a foreground (inline)
+    /// trigger site follows up with [`SpaceOdyssey::run_maintenance`].
+    pub(crate) fn submit_job(&self, storage: &StorageManager, spec: JobSpec) {
+        let (new, depth) = self.maintenance.enqueue(spec);
+        storage.note_maintenance_enqueued(u64::from(new), depth as u64);
+    }
+
+    /// Drains the maintenance queue to completion and reports what was
+    /// done. In foreground mode this is called automatically at every
+    /// trigger site; in background mode
+    /// ([`crate::OdysseyConfig::maintenance_background`]) it is the pump —
+    /// call it from a maintenance thread or between workload phases. The
+    /// drain runs on the calling thread plus up to
+    /// `maintenance_max_jobs - 1` borrowed helpers, each job's key handed
+    /// to exactly one worker, and (background mode only) sleeps between
+    /// steps to honor
+    /// [`crate::OdysseyConfig::maintenance_rate_pages_per_sec`].
+    ///
+    /// A job that fails stays finished (its error propagates; the
+    /// trigger that caused it will re-derive it if still warranted).
+    pub fn run_maintenance(&self, storage: &StorageManager) -> StorageResult<MaintenanceReport> {
+        let depth = self.maintenance.queue_depth();
+        if depth == 0 {
+            return Ok(MaintenanceReport::default());
+        }
+        let report: Mutex<MaintenanceReport> = Mutex::new(MaintenanceReport::default());
+        let error: Mutex<Option<StorageError>> = Mutex::new(None);
+        let worker = || loop {
+            if error.lock().unwrap().is_some() {
+                break;
+            }
+            let Some(job) = self.maintenance.next_job() else {
+                break;
+            };
+            let key = job.spec.key();
+            match self.run_maintenance_job(storage, job.spec) {
+                Ok(JobStep::Done(delta)) => {
+                    self.maintenance.finish_job(key, job.seq, None);
+                    self.maintenance
+                        .jobs_completed
+                        .fetch_add(delta.jobs_run, Ordering::Relaxed);
+                    storage.note_maintenance_completed(delta.jobs_run);
+                    self.note_pages_written(storage, delta.pages_written);
+                    report.lock().unwrap().absorb(&delta);
+                    self.rate_limit(delta.pages_written);
+                }
+                Ok(JobStep::Requeue {
+                    spec,
+                    pages_written,
+                }) => {
+                    self.maintenance.finish_job(key, job.seq, Some(spec));
+                    self.note_pages_written(storage, pages_written);
+                    let mut r = report.lock().unwrap();
+                    r.steps_yielded += 1;
+                    r.pages_written += pages_written;
+                    drop(r);
+                    self.rate_limit(pages_written);
+                }
+                Err(e) => {
+                    self.maintenance.finish_job(key, job.seq, None);
+                    *error.lock().unwrap() = Some(e);
+                    break;
+                }
+            }
+        };
+        let helpers = self.maintenance.acquire_helpers(depth.saturating_sub(1));
+        if helpers == 0 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..helpers {
+                    scope.spawn(worker);
+                }
+                worker();
+            });
+            self.maintenance.release_helpers(helpers);
+        }
+        if let Some(e) = error.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok(report.into_inner().unwrap())
+    }
+
+    fn note_pages_written(&self, storage: &StorageManager, pages: u64) {
+        if pages > 0 {
+            self.maintenance
+                .pages_written
+                .fetch_add(pages, Ordering::Relaxed);
+            storage.note_maintenance_pages(pages);
+        }
+    }
+
+    /// Background-mode pacing: after writing `pages`, sleep long enough to
+    /// keep the drain under the configured pages/sec. Foreground drains
+    /// never sleep — they run at a trigger site, on a thread a caller is
+    /// waiting on.
+    fn rate_limit(&self, pages: u64) {
+        if !self.config.maintenance_background || pages == 0 {
+            return;
+        }
+        if let Some(rate) = self.config.maintenance_rate_pages_per_sec {
+            std::thread::sleep(Duration::from_secs_f64(pages as f64 / rate as f64));
+        }
+    }
+
+    /// Executes one job (one *step* for phased compactions).
+    fn run_maintenance_job(
+        &self,
+        storage: &StorageManager,
+        spec: JobSpec,
+    ) -> StorageResult<JobStep> {
+        let done = |report: MaintenanceReport| Ok(JobStep::Done(report));
+        match spec {
+            JobSpec::StalenessRepair {
+                combination,
+                wanted,
+            } => {
+                let runs = self.merger.write().unwrap().repair_combination(
+                    storage,
+                    &self.config,
+                    combination,
+                    wanted,
+                    &self.datasets,
+                )?;
+                done(MaintenanceReport {
+                    jobs_run: 1,
+                    repair_runs_appended: runs as u64,
+                    ..Default::default()
+                })
+            }
+            JobSpec::IngestSplitRefine { dataset } => {
+                let refinements = match self.index_of(dataset) {
+                    Some(index) => index.refine_oversized(storage, &self.config)? as u64,
+                    None => 0,
+                };
+                done(MaintenanceReport {
+                    jobs_run: 1,
+                    refinements,
+                    ..Default::default()
+                })
+            }
+            JobSpec::Compaction { dataset, pending } => {
+                let Some(index) = self.index_of(dataset) else {
+                    return done(MaintenanceReport {
+                        jobs_run: 1,
+                        ..Default::default()
+                    });
+                };
+                let mut pending = pending;
+                match index.compact_step(
+                    storage,
+                    &self.config,
+                    &mut pending,
+                    self.config.maintenance_pages_per_step,
+                )? {
+                    CompactStep::NotNeeded => done(MaintenanceReport {
+                        jobs_run: 1,
+                        ..Default::default()
+                    }),
+                    CompactStep::Yielded { pages_written } => Ok(JobStep::Requeue {
+                        spec: JobSpec::Compaction { dataset, pending },
+                        pages_written,
+                    }),
+                    CompactStep::Committed {
+                        stats,
+                        pages_written,
+                    } => {
+                        self.compactor.record(&stats);
+                        done(MaintenanceReport {
+                            jobs_run: 1,
+                            compactions_committed: 1,
+                            pages_reclaimed: stats.pages_reclaimed,
+                            pages_written,
+                            ..Default::default()
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn index_of(&self, dataset: DatasetId) -> Option<&DatasetIndex> {
+        self.datasets.iter().find(|d| d.dataset() == dataset)
+    }
+
+    /// Runs `f` over each target, fanning out over borrowed helper slots
+    /// when [`crate::OdysseyConfig::intra_query_parallelism`] allows.
+    /// Results return in input order and the first error (in input order)
+    /// wins, so callers fold deterministically regardless of thread
+    /// interleaving; with one target, one configured thread or no idle
+    /// helper, this is a plain sequential map.
+    pub(crate) fn fan_datasets<T: Sync, R: Send>(
+        &self,
+        targets: &[T],
+        f: impl Fn(&T) -> StorageResult<R> + Sync,
+    ) -> StorageResult<Vec<R>> {
+        let want = self.config.intra_query_parallelism.min(targets.len());
+        if want <= 1 {
+            return targets.iter().map(&f).collect();
+        }
+        let helpers = self.maintenance.acquire_helpers(want - 1);
+        if helpers == 0 {
+            return targets.iter().map(&f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<StorageResult<R>>>> =
+            targets.iter().map(|_| Mutex::new(None)).collect();
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(target) = targets.get(i) else { break };
+            *slots[i].lock().unwrap() = Some(f(target));
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..helpers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        self.maintenance.release_helpers(helpers);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every fan slot is filled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(id: u16) -> DatasetId {
+        DatasetId(id)
+    }
+
+    #[test]
+    fn queue_dedupes_by_key_and_coalesces_repairs() {
+        let s = MaintenanceScheduler::new(2);
+        let (new, depth) = s.enqueue(JobSpec::Compaction {
+            dataset: ds(1),
+            pending: None,
+        });
+        assert!(new);
+        assert_eq!(depth, 1);
+        let (new, depth) = s.enqueue(JobSpec::Compaction {
+            dataset: ds(1),
+            pending: None,
+        });
+        assert!(!new, "same-key trigger must coalesce");
+        assert_eq!(depth, 1);
+        // Repairs of the same file union their wanted sets.
+        let combo = DatasetSet::from_ids([ds(0), ds(1), ds(2)]);
+        s.enqueue(JobSpec::StalenessRepair {
+            combination: combo,
+            wanted: DatasetSet::single(ds(0)),
+        });
+        let (new, depth) = s.enqueue(JobSpec::StalenessRepair {
+            combination: combo,
+            wanted: DatasetSet::single(ds(2)),
+        });
+        assert!(!new);
+        assert_eq!(depth, 2);
+        let st = s.state.lock().unwrap();
+        let wanted = st
+            .queue
+            .iter()
+            .find_map(|j| match &j.spec {
+                JobSpec::StalenessRepair { wanted, .. } => Some(*wanted),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(wanted, DatasetSet::from_ids([ds(0), ds(2)]));
+        assert_eq!(s.jobs_enqueued(), 2, "coalesced triggers are not counted");
+    }
+
+    #[test]
+    fn drain_order_is_priority_then_fifo() {
+        let s = MaintenanceScheduler::new(1);
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(0),
+            pending: None,
+        });
+        s.enqueue(JobSpec::IngestSplitRefine { dataset: ds(1) });
+        s.enqueue(JobSpec::StalenessRepair {
+            combination: DatasetSet::single(ds(2)),
+            wanted: DatasetSet::single(ds(2)),
+        });
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(3),
+            pending: None,
+        });
+        let mut keys = Vec::new();
+        while let Some(job) = s.next_job() {
+            let key = job.spec.key();
+            keys.push(key);
+            s.finish_job(key, job.seq, None);
+        }
+        assert_eq!(
+            keys,
+            vec![
+                JobKey::StalenessRepair(DatasetSet::single(ds(2))),
+                JobKey::IngestSplitRefine(ds(1)),
+                JobKey::Compaction(ds(0)),
+                JobKey::Compaction(ds(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn running_keys_are_never_handed_out_twice() {
+        let s = MaintenanceScheduler::new(2);
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(0),
+            pending: None,
+        });
+        let job = s.next_job().unwrap();
+        // Re-trigger while running: enqueues (the running job might miss
+        // fresh garbage), but a second worker must not pick it up.
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(0),
+            pending: None,
+        });
+        {
+            let st = s.state.lock().unwrap();
+            assert!(st.running.contains(&JobKey::Compaction(ds(0))));
+            assert_eq!(st.queue.len(), 1);
+        }
+        s.finish_job(job.spec.key(), job.seq, None);
+        assert!(!s.wait_if_running(JobKey::Compaction(ds(0))));
+        let job2 = s.next_job().unwrap();
+        assert_eq!(job2.spec.key(), JobKey::Compaction(ds(0)));
+        s.finish_job(job2.spec.key(), job2.seq, None);
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn requeued_continuation_supersedes_a_fresh_trigger() {
+        let s = MaintenanceScheduler::new(1);
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(0),
+            pending: None,
+        });
+        let job = s.next_job().unwrap();
+        s.enqueue(JobSpec::Compaction {
+            dataset: ds(0),
+            pending: None,
+        });
+        let progress = PendingCompaction {
+            dataset: ds(0),
+            old_file: odyssey_storage::FileId(1),
+            new_file: odyssey_storage::FileId(2),
+            copied: Vec::new(),
+            new_len: 0,
+        };
+        s.finish_job(
+            job.spec.key(),
+            job.seq,
+            Some(JobSpec::Compaction {
+                dataset: ds(0),
+                pending: Some(progress.clone()),
+            }),
+        );
+        assert_eq!(s.queue_depth(), 1, "continuation replaced the trigger");
+        assert_eq!(s.pending_compactions(), vec![progress]);
+    }
+
+    #[test]
+    fn helper_slots_are_bounded_and_returned() {
+        let s = MaintenanceScheduler::new(3);
+        assert_eq!(s.acquire_helpers(5), 2);
+        assert_eq!(s.acquire_helpers(1), 0);
+        s.release_helpers(2);
+        assert_eq!(s.acquire_helpers(1), 1);
+        s.release_helpers(1);
+    }
+}

@@ -615,6 +615,29 @@ impl StorageManager {
         AtomicIoStats::add(&self.stats.rows_skipped_by_early_exit, n);
     }
 
+    /// Records maintenance jobs accepted into the scheduler queue and raises
+    /// the queue-depth high-water mark to the depth after the enqueue.
+    pub fn note_maintenance_enqueued(&self, n: u64, queue_depth: u64) {
+        AtomicIoStats::add(&self.stats.maintenance_jobs_enqueued, n);
+        AtomicIoStats::raise(&self.stats.maintenance_queue_peak, queue_depth);
+    }
+
+    /// Records maintenance jobs run to completion.
+    pub fn note_maintenance_completed(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.maintenance_jobs_completed, n);
+    }
+
+    /// Records maintenance jobs re-enqueued by recovery from checkpointed
+    /// progress.
+    pub fn note_maintenance_resumed(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.maintenance_jobs_resumed, n);
+    }
+
+    /// Records pages written by maintenance job steps.
+    pub fn note_maintenance_pages(&self, n: u64) {
+        AtomicIoStats::add(&self.stats.maintenance_pages_written, n);
+    }
+
     /// Drops all cached pages, mirroring the paper's "OS caches and disk
     /// buffers are cleared before each query" methodology when desired.
     pub fn clear_cache(&self) {

@@ -50,6 +50,20 @@ pub struct IoStats {
     /// examine: partitions pruned by kNN mindist bounds or counted from
     /// metadata without reading their pages.
     pub rows_skipped_by_early_exit: u64,
+    /// Maintenance jobs enqueued by the engine's trigger sites (deduplicated
+    /// enqueues; a coalesced trigger does not count again).
+    pub maintenance_jobs_enqueued: u64,
+    /// Maintenance jobs run to completion (a multi-step compaction counts
+    /// once, at its commit).
+    pub maintenance_jobs_completed: u64,
+    /// Maintenance jobs re-enqueued by recovery from checkpointed progress.
+    pub maintenance_jobs_resumed: u64,
+    /// High-water mark of the maintenance queue depth (monotonic, so the
+    /// counter stays subtractable like the others).
+    pub maintenance_queue_peak: u64,
+    /// Pages written by maintenance job steps (compaction copy-forward,
+    /// repair appends, split rewrites).
+    pub maintenance_pages_written: u64,
 }
 
 impl IoStats {
@@ -99,6 +113,13 @@ impl IoStats {
         self.cache_misses += other.cache_misses;
         self.cache_partial_reuses += other.cache_partial_reuses;
         self.rows_skipped_by_early_exit += other.rows_skipped_by_early_exit;
+        self.maintenance_jobs_enqueued += other.maintenance_jobs_enqueued;
+        self.maintenance_jobs_completed += other.maintenance_jobs_completed;
+        self.maintenance_jobs_resumed += other.maintenance_jobs_resumed;
+        self.maintenance_queue_peak = self
+            .maintenance_queue_peak
+            .max(other.maintenance_queue_peak);
+        self.maintenance_pages_written += other.maintenance_pages_written;
     }
 }
 
@@ -122,6 +143,16 @@ impl Sub for IoStats {
             cache_partial_reuses: self.cache_partial_reuses - rhs.cache_partial_reuses,
             rows_skipped_by_early_exit: self.rows_skipped_by_early_exit
                 - rhs.rows_skipped_by_early_exit,
+            maintenance_jobs_enqueued: self.maintenance_jobs_enqueued
+                - rhs.maintenance_jobs_enqueued,
+            maintenance_jobs_completed: self.maintenance_jobs_completed
+                - rhs.maintenance_jobs_completed,
+            maintenance_jobs_resumed: self.maintenance_jobs_resumed - rhs.maintenance_jobs_resumed,
+            // The peak is a high-water mark, not a sum; an interval's "peak"
+            // is the later absolute peak.
+            maintenance_queue_peak: self.maintenance_queue_peak,
+            maintenance_pages_written: self.maintenance_pages_written
+                - rhs.maintenance_pages_written,
         }
     }
 }
@@ -163,6 +194,16 @@ pub struct AtomicIoStats {
     pub cache_partial_reuses: AtomicU64,
     /// See [`IoStats::rows_skipped_by_early_exit`].
     pub rows_skipped_by_early_exit: AtomicU64,
+    /// See [`IoStats::maintenance_jobs_enqueued`].
+    pub maintenance_jobs_enqueued: AtomicU64,
+    /// See [`IoStats::maintenance_jobs_completed`].
+    pub maintenance_jobs_completed: AtomicU64,
+    /// See [`IoStats::maintenance_jobs_resumed`].
+    pub maintenance_jobs_resumed: AtomicU64,
+    /// See [`IoStats::maintenance_queue_peak`].
+    pub maintenance_queue_peak: AtomicU64,
+    /// See [`IoStats::maintenance_pages_written`].
+    pub maintenance_pages_written: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -170,6 +211,12 @@ impl AtomicIoStats {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to at least `n`.
+    #[inline]
+    pub fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters.
@@ -189,6 +236,11 @@ impl AtomicIoStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_partial_reuses: self.cache_partial_reuses.load(Ordering::Relaxed),
             rows_skipped_by_early_exit: self.rows_skipped_by_early_exit.load(Ordering::Relaxed),
+            maintenance_jobs_enqueued: self.maintenance_jobs_enqueued.load(Ordering::Relaxed),
+            maintenance_jobs_completed: self.maintenance_jobs_completed.load(Ordering::Relaxed),
+            maintenance_jobs_resumed: self.maintenance_jobs_resumed.load(Ordering::Relaxed),
+            maintenance_queue_peak: self.maintenance_queue_peak.load(Ordering::Relaxed),
+            maintenance_pages_written: self.maintenance_pages_written.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +277,11 @@ mod tests {
             cache_misses: 6,
             cache_partial_reuses: 2,
             rows_skipped_by_early_exit: 30,
+            maintenance_jobs_enqueued: 5,
+            maintenance_jobs_completed: 4,
+            maintenance_jobs_resumed: 1,
+            maintenance_queue_peak: 3,
+            maintenance_pages_written: 8,
         }
     }
 
@@ -261,6 +318,11 @@ mod tests {
         assert_eq!(a.cache_misses, 12);
         assert_eq!(a.cache_partial_reuses, 4);
         assert_eq!(a.rows_skipped_by_early_exit, 60);
+        assert_eq!(a.maintenance_jobs_enqueued, 10);
+        assert_eq!(a.maintenance_jobs_completed, 8);
+        assert_eq!(a.maintenance_jobs_resumed, 2);
+        assert_eq!(a.maintenance_queue_peak, 3, "peak merges as max, not sum");
+        assert_eq!(a.maintenance_pages_written, 16);
     }
 
     #[test]

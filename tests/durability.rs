@@ -264,6 +264,13 @@ fn normalized(mut s: EngineSnapshot) -> EngineSnapshot {
     for f in &mut s.merger.files {
         f.last_used = 0;
     }
+    // Scheduler job counters are the same kind of checkpoint-only
+    // observability; pending compactions are deliberately NOT normalized —
+    // replay must reconstruct parked copy progress exactly.
+    s.maintenance.jobs_enqueued = 0;
+    s.maintenance.jobs_completed = 0;
+    s.maintenance.jobs_resumed = 0;
+    s.maintenance.pages_written = 0;
     s
 }
 
