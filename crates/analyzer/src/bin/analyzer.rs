@@ -1,0 +1,103 @@
+//! CLI driver for the workspace invariant checker.
+//!
+//! ```text
+//! analyzer [--root PATH] [--deny-findings] [--json PATH] [--quiet]
+//! ```
+//!
+//! * `--root PATH` — repository checkout to analyze (default: the current
+//!   directory, walking up until a `Cargo.toml` with `crates/core` is found).
+//! * `--deny-findings` — exit with status 1 if any finding survives
+//!   (CI mode).
+//! * `--json PATH` — also write the machine-readable report to `PATH`.
+//! * `--quiet` — suppress the edge list, print findings only.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates/core/src").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--deny-findings" => deny = true,
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: analyzer [--root PATH] [--deny-findings] [--json PATH] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "analyzer: could not locate the workspace root (looked for \
+                         Cargo.toml + crates/core/src upward from the current directory); \
+                         pass --root"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match odyssey_analyzer::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "analyzer: failed to read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("analyzer: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if quiet {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        }
+        println!(
+            "{} finding(s), {} edges, {} functions",
+            report.findings.len(),
+            report.edges.len(),
+            report.functions
+        );
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

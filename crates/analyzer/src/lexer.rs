@@ -1,0 +1,387 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace's own source.
+//!
+//! Comments, strings (plain, raw, byte), char literals and lifetimes are
+//! recognized and stripped; what remains is a flat stream of identifier,
+//! literal and punctuation tokens with line numbers. `::`, `..`, `..=` and
+//! `=>` are lexed as single tokens so downstream scans can tell a path
+//! separator from a type ascription and a range from a method dot.
+//!
+//! `// analyzer: ...` comments are captured as [`Directive`]s instead of
+//! being discarded — they are the annotation surface of the lints.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric, string, char or byte literal (contents dropped for strings).
+    Literal,
+    /// Punctuation (single char, or one of the fused `::` `..` `..=` `=>`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Source text (empty for string literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// An `// analyzer: ...` annotation captured during lexing.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// `// analyzer: allow(reason)` — suppresses panic-surface and
+    /// lock-order findings on this line and the next.
+    Allow {
+        /// 1-based line the directive appears on.
+        line: u32,
+        /// The reason text inside the parentheses.
+        reason: String,
+    },
+    /// `// analyzer: lock(name = Class)` — declares that acquisitions whose
+    /// receiver is `name` (a field, binding or accessor method) take a lock
+    /// of the given class. Used where the class is not inferrable from a
+    /// `Shared::new`/`Exclusive::new` construction site.
+    LockName {
+        /// 1-based line the directive appears on.
+        line: u32,
+        /// Receiver name being classified.
+        name: String,
+        /// Lock-class name it maps to.
+        class: String,
+    },
+}
+
+/// Output of [`lex`]: the token stream plus any analyzer directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and string contents stripped.
+    pub tokens: Vec<Token>,
+    /// All `// analyzer:` directives, in source order.
+    pub directives: Vec<Directive>,
+    /// Every comment line's text (leading `/`s and `!` stripped), with its
+    /// line number — the canonical-order declaration is parsed from these.
+    pub comment_lines: Vec<(u32, String)>,
+}
+
+fn parse_directive(body: &str, line: u32) -> Option<Directive> {
+    let rest = body.trim().strip_prefix("analyzer:")?.trim();
+    if let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        return Some(Directive::Allow {
+            line,
+            reason: inner.to_string(),
+        });
+    }
+    if let Some(inner) = rest.strip_prefix("lock(").and_then(|r| r.strip_suffix(')')) {
+        let (name, class) = inner.split_once('=')?;
+        return Some(Directive::LockName {
+            line,
+            name: name.trim().to_string(),
+            class: class.trim().to_string(),
+        });
+    }
+    None
+}
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become punctuation.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push = |out: &mut Lexed, kind: TokKind, text: &str, line: u32| {
+        out.tokens.push(Token {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: strip leading slashes and `!`, keep the text.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let body = text.trim_start_matches('/').trim_start_matches('!');
+                out.comment_lines.push((line, body.trim().to_string()));
+                if let Some(d) = parse_directive(body, line) {
+                    out.directives.push(d);
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i + 1, &mut line);
+                push(&mut out, TokKind::Literal, "", line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                push(&mut out, TokKind::Literal, "", line);
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    push(&mut out, TokKind::Literal, "", line);
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    // Plain char literal 'x'.
+                    i += 3;
+                    push(&mut out, TokKind::Literal, "", line);
+                } else {
+                    // Lifetime: consume the tick and the identifier, drop it.
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push(&mut out, TokKind::Ident, &source[start..i], line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (is_ident_char(bytes[i])
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && bytes[i + 1].is_ascii_digit()
+                            && !source[start..i].contains('.')))
+                {
+                    i += 1;
+                }
+                push(&mut out, TokKind::Literal, &source[start..i], line);
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b':' => {
+                push(&mut out, TokKind::Punct, "::", line);
+                i += 2;
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
+                let text = if i + 2 < bytes.len() && bytes[i + 2] == b'=' {
+                    i += 3;
+                    "..="
+                } else {
+                    i += 2;
+                    ".."
+                };
+                push(&mut out, TokKind::Punct, text, line);
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                push(&mut out, TokKind::Punct, "=>", line);
+                i += 2;
+            }
+            c => {
+                push(&mut out, TokKind::Punct, &c.to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  b"..."  br"..."  br#"..."#  (but not r#ident).
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j >= bytes.len() {
+            return false;
+        }
+        if bytes[j] == b'"' {
+            return true;
+        }
+        if bytes[j] != b'r' {
+            return false;
+        }
+    }
+    // bytes[j] == b'r'
+    j += 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j < bytes.len()
+        && bytes[j] == b'"'
+        && (hashes > 0 || bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"br\""))
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                // A line-continuation escape (`\` before a newline) still
+                // advances the line counter.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes[i] == b'"' {
+        // Plain byte string.
+        return skip_string(bytes, i + 1, line);
+    }
+    // Raw string: r with n hashes.
+    i += 1; // skip 'r'
+    let mut hashes = 0;
+    while bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_continuation_in_string_counts_the_newline() {
+        let l = lex("let a = \"x \\\n y\";\nfn after() {}");
+        let after = l.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn idents_puncts_and_fused_tokens() {
+        let l = lex("let a = b.c()?; x::y(0..3, 1..=2) => z");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&".."));
+        assert!(texts.contains(&"..="));
+        assert!(texts.contains(&"=>"));
+        assert!(texts.contains(&"a"));
+    }
+
+    #[test]
+    fn strings_comments_lifetimes_are_stripped() {
+        let l = lex("fn f<'a>(x: &'a str) { let s = \"no // here\"; /* b {{{ */ g('{'); }");
+        assert!(!l.tokens.iter().any(|t| t.text == "here"));
+        // Brace balance must survive the char literal and the comment.
+        let open = l.tokens.iter().filter(|t| t.is_punct("{")).count();
+        let close = l.tokens.iter().filter(|t| t.is_punct("}")).count();
+        assert_eq!(open, close);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("a"))); // lifetime dropped
+    }
+
+    #[test]
+    fn raw_strings() {
+        let l = lex(r###"let x = r#"a " b"#; let y = 1;"###);
+        assert!(l.tokens.iter().any(|t| t.is_ident("y")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn directives_are_captured() {
+        let l = lex("x(); // analyzer: allow(slice length is fixed)\n// analyzer: lock(shard = BufferShard)\n");
+        assert_eq!(l.directives.len(), 2);
+        match &l.directives[0] {
+            Directive::Allow { line, reason } => {
+                assert_eq!(*line, 1);
+                assert_eq!(reason, "slice length is fixed");
+            }
+            d => panic!("unexpected {d:?}"),
+        }
+        match &l.directives[1] {
+            Directive::LockName { name, class, .. } => {
+                assert_eq!(name, "shard");
+                assert_eq!(class, "BufferShard");
+            }
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! # odyssey-analyzer
+//!
+//! Workspace-local static analysis for the Space Odyssey engine: lock-order
+//! and WAL-protocol lints plus a panic-surface audit, over a hand-rolled
+//! lexer and AST-lite model (deliberately dependency-free — no `syn`).
+//!
+//! The analyzer extracts every lock acquisition from `crates/core` and
+//! `crates/storage`, resolves calls interprocedurally, and checks the
+//! resulting held→acquired edge graph against the canonical order declared
+//! in `crates/core/src/lib.rs` (cross-validated against `LockClass::ALL` in
+//! `crates/storage/src/sync.rs`). See the README's *Invariants & static
+//! analysis* section for the lint catalogue and annotation syntax.
+//!
+//! The runtime complement is the `lock-order-check` cargo feature in
+//! `odyssey-storage`, which records actually observed acquisition edges;
+//! `tests/lock_order.rs` asserts they are a subset of the static graph.
+
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod report;
+
+pub use lints::Declared;
+pub use model::{Edge, Finding, Model};
+pub use report::Report;
+
+use std::path::Path;
+
+/// Analyzes a set of `(path, source)` pairs and returns the full report.
+///
+/// The canonical order is parsed from the sources' comment lines
+/// (`lock-order:` / `self-nesting:`); if absent, a `missing-order-declaration`
+/// finding is emitted and the built-in order is used so the remaining lints
+/// still run.
+pub fn analyze_sources(inputs: &[(String, String)]) -> Report {
+    let model = Model::build(inputs);
+    let (declared, mut findings) = match lints::parse_declared(&model) {
+        Some(d) => (d, Vec::new()),
+        None => (
+            Declared::builtin(),
+            vec![Finding {
+                lint: "missing-order-declaration".into(),
+                file: inputs.first().map(|(p, _)| p.clone()).unwrap_or_default(),
+                line: 1,
+                message: "no `lock-order:` declaration found in any analyzed comment; \
+                          falling back to the analyzer's built-in order"
+                    .into(),
+            }],
+        ),
+    };
+    findings.extend(lints::run(&model, &declared));
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Report {
+        order: declared.order.clone(),
+        self_nesting: declared.self_nesting.iter().cloned().collect(),
+        order_source: declared.source,
+        edges: model.edges.clone(),
+        findings,
+        files_analyzed: model.files.len(),
+        functions: model.functions.len(),
+    }
+}
+
+/// Analyzes the workspace rooted at `root` (the repository checkout):
+/// every `.rs` file under `crates/core/src` and `crates/storage/src`, except
+/// `sync.rs` itself (the lock-wrapper implementation, which is read
+/// separately to cross-check `LockClass::ALL` against the declared order).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    let mut sync_source: Option<String> = None;
+    for dir in ["crates/core/src", "crates/storage/src"] {
+        let mut paths: Vec<_> = std::fs::read_dir(root.join(dir))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let rel = format!(
+                "{dir}/{}",
+                p.file_name().and_then(|n| n.to_str()).unwrap_or_default()
+            );
+            let src = std::fs::read_to_string(&p)?;
+            if rel.ends_with("storage/src/sync.rs") {
+                sync_source = Some(src);
+            } else {
+                inputs.push((rel, src));
+            }
+        }
+    }
+    let mut report = analyze_sources(&inputs);
+    if let Some(sync_src) = sync_source {
+        cross_check_sync(&sync_src, &mut report);
+    } else {
+        report.findings.push(Finding {
+            lint: "order-mismatch".into(),
+            file: "crates/storage/src/sync.rs".into(),
+            line: 1,
+            message: "crates/storage/src/sync.rs not found; cannot cross-check \
+                      LockClass::ALL against the declared order"
+                .into(),
+        });
+    }
+    Ok(report)
+}
+
+/// Cross-checks the declared canonical order against `LockClass::ALL` and
+/// `allows_self_nesting` in the lock-wrapper source.
+fn cross_check_sync(sync_src: &str, report: &mut Report) {
+    let lexed = lexer::lex(sync_src);
+    let toks = &lexed.tokens;
+    // `const ALL: [LockClass; N] = [LockClass::A, ...]` — skip to the `=`
+    // after the `const ALL` tokens, then collect variant names until `]`.
+    let mut impl_order: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("const") && matches!(toks.get(i + 1), Some(t) if t.is_ident("ALL")) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("=") {
+                j += 1;
+            }
+            while j < toks.len() && !toks[j].is_punct("]") {
+                if toks[j].is_ident("LockClass")
+                    && matches!(toks.get(j + 1), Some(t) if t.is_punct("::"))
+                {
+                    if let Some(v) = toks.get(j + 2) {
+                        impl_order.push(v.text.clone());
+                    }
+                    j += 3;
+                } else {
+                    j += 1;
+                }
+            }
+            break;
+        }
+    }
+    if impl_order.is_empty() {
+        report.findings.push(Finding {
+            lint: "order-mismatch".into(),
+            file: "crates/storage/src/sync.rs".into(),
+            line: 1,
+            message: "could not parse LockClass::ALL from sync.rs".into(),
+        });
+        return;
+    }
+    if impl_order != report.order {
+        report.findings.push(Finding {
+            lint: "order-mismatch".into(),
+            file: "crates/storage/src/sync.rs".into(),
+            line: 1,
+            message: format!(
+                "LockClass::ALL ({}) disagrees with the declared canonical order ({})",
+                impl_order.join(" < "),
+                report.order.join(" < ")
+            ),
+        });
+    }
+    // `allows_self_nesting` body: the variants matched there must equal the
+    // declared self-nesting set.
+    let mut impl_nesting: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("allows_self_nesting") {
+            continue;
+        }
+        let mut j = i;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct("{") {
+                depth += 1;
+            } else if toks[j].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("LockClass")
+                && matches!(toks.get(j + 1), Some(t) if t.is_punct("::"))
+            {
+                if let Some(v) = toks.get(j + 2) {
+                    impl_nesting.push(v.text.clone());
+                }
+            }
+            j += 1;
+        }
+        break;
+    }
+    impl_nesting.sort();
+    let mut declared_nesting = report.self_nesting.clone();
+    declared_nesting.sort();
+    if impl_nesting != declared_nesting {
+        report.findings.push(Finding {
+            lint: "order-mismatch".into(),
+            file: "crates/storage/src/sync.rs".into(),
+            line: 1,
+            message: format!(
+                "allows_self_nesting ({}) disagrees with the declared self-nesting set ({})",
+                impl_nesting.join(", "),
+                declared_nesting.join(", ")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(named: &[(&str, &str)]) -> Report {
+        let inputs: Vec<(String, String)> = named
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        analyze_sources(&inputs)
+    }
+
+    fn lints_of(report: &Report) -> Vec<&str> {
+        report.findings.iter().map(|f| f.lint.as_str()).collect()
+    }
+
+    const DECL: &str = "//! lock-order: Alpha < Beta < Gamma\n//! self-nesting: Gamma\n";
+
+    #[test]
+    fn clean_ordered_acquisition_has_no_findings() {
+        let src = format!(
+            "{DECL}
+            struct S {{ a: Shared<Foo>, b: Exclusive<Bar> }}
+            impl S {{
+                fn new() -> S {{
+                    S {{
+                        a: Shared::new(LockClass::Alpha, Foo),
+                        b: Exclusive::new(LockClass::Beta, Bar),
+                    }}
+                }}
+                fn nested(&self) -> u32 {{
+                    let a = self.a.read();
+                    let b = self.b.lock();
+                    a.x + b.y
+                }}
+            }}"
+        );
+        let r = analyze(&[("fixture.rs", &src)]);
+        assert_eq!(r.findings, vec![], "unexpected findings: {:?}", r.findings);
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| e.from == "Alpha" && e.to == "Beta" && !e.via_call));
+    }
+
+    #[test]
+    fn seeded_cycle_is_detected() {
+        let src = format!(
+            "{DECL}
+            struct S {{ a: Shared<Foo>, b: Shared<Bar> }}
+            impl S {{
+                fn forward(&self) {{
+                    let a = self.a.read();
+                    let _b = self.b.read();
+                }}
+                fn backward(&self) {{
+                    let b = self.b.read();
+                    let _a = self.a.read();
+                }}
+                fn mk() -> S {{
+                    S {{
+                        a: Shared::new(LockClass::Alpha, Foo),
+                        b: Shared::new(LockClass::Beta, Bar),
+                    }}
+                }}
+            }}"
+        );
+        let r = analyze(&[("fixture.rs", &src)]);
+        let lints = lints_of(&r);
+        assert!(
+            lints.contains(&"lock-order-violation"),
+            "missing order violation: {:?}",
+            r.findings
+        );
+        assert!(
+            lints.contains(&"lock-order-cycle"),
+            "missing cycle: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn constructor_tuple_without_binding_is_flagged_but_field_names_classify() {
+        // `mk()` in the cycle fixture constructs into a tuple — covered by
+        // the struct-field classifications, but a source where the ONLY
+        // construction is unnamed must be flagged.
+        let src = format!(
+            "{DECL}
+            fn orphan() {{
+                consume(Shared::new(LockClass::Alpha, Foo));
+            }}"
+        );
+        let r = analyze(&[("fixture.rs", &src)]);
+        assert!(lints_of(&r).contains(&"unnamed-lock-constructor"));
+    }
+
+    #[test]
+    fn self_nesting_is_allowed_only_where_declared() {
+        let src = format!(
+            "{DECL}
+            struct S {{ g: Shared<Foo>, b: Shared<Bar> }}
+            impl S {{
+                fn new() -> S {{
+                    S {{
+                        g: Shared::new(LockClass::Gamma, Foo),
+                        b: Shared::new(LockClass::Beta, Bar),
+                    }}
+                }}
+                fn nest_gamma(&self, other: &S) {{
+                    let g = self.g.read();
+                    let _g2 = other.g.read();
+                }}
+                fn nest_beta(&self, other: &S) {{
+                    let b = self.b.read();
+                    let _b2 = other.b.read();
+                }}
+            }}"
+        );
+        let r = analyze(&[("fixture.rs", &src)]);
+        let violations: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "lock-order-violation")
+            .collect();
+        assert_eq!(violations.len(), 1, "{:?}", r.findings);
+        assert!(violations[0].message.contains("Beta"));
+    }
+
+    #[test]
+    fn wal_outside_lock_is_flagged_and_guarded_sites_pass() {
+        let src = "//! lock-order: Stats
+            struct E { stats: Shared<St> }
+            impl E {
+                fn new() -> E {
+                    E { stats: Shared::new(LockClass::Stats, St) }
+                }
+                fn protected(&self, storage: &StorageManager) {
+                    let s = self.stats.write();
+                    durability::log(storage, MetaRecord::QueryStats { n: s.n });
+                }
+                fn unprotected(storage: &StorageManager) {
+                    durability::log(storage, MetaRecord::QueryStats { n: 0 });
+                }
+            }";
+        let unprotected_line = src
+            .lines()
+            .position(|l| l.contains("MetaRecord::QueryStats { n: 0 }"))
+            .expect("fixture contains the unprotected site") as u32
+            + 1;
+        let r = analyze(&[("fixture.rs", src)]);
+        let wal: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "wal-outside-lock")
+            .collect();
+        assert_eq!(wal.len(), 1, "{:?}", r.findings);
+        assert_eq!(wal[0].line, unprotected_line, "{:?}", wal);
+    }
+
+    #[test]
+    fn wal_protection_through_caller_path_passes() {
+        let src = "//! lock-order: Stats
+            struct E { stats: Shared<St> }
+            impl E {
+                fn new() -> E {
+                    E { stats: Shared::new(LockClass::Stats, St) }
+                }
+                fn outer(&self, storage: &StorageManager) {
+                    let s = self.stats.write();
+                    helper(storage, s.n);
+                }
+            }
+            fn helper(storage: &StorageManager, n: u64) {
+                durability::log(storage, MetaRecord::QueryStats { n });
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        assert!(
+            !lints_of(&r).contains(&"wal-outside-lock"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn log_before_sync_requires_data_sync_dominance() {
+        let src = "//! lock-order: Stats
+            struct E { stats: Shared<St> }
+            impl E {
+                fn new() -> E {
+                    E { stats: Shared::new(LockClass::Stats, St) }
+                }
+                fn missing_sync(&self, storage: &StorageManager) {
+                    let s = self.stats.write();
+                    durability::log(storage, MetaRecord::Ingest { n: s.n });
+                }
+                fn synced(&self, storage: &StorageManager, f: FileId) {
+                    let s = self.stats.write();
+                    storage.sync_file(f);
+                    durability::log(storage, MetaRecord::Ingest { n: s.n });
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let sync: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "log-before-sync")
+            .collect();
+        assert_eq!(sync.len(), 1, "{:?}", r.findings);
+        assert_eq!(sync[0].line, 9);
+    }
+
+    #[test]
+    fn panic_surface_flagged_unless_allowed() {
+        let src = "//! lock-order: Alpha
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+            fn g(x: Option<u32>) -> u32 {
+                x.unwrap() // analyzer: allow(caller checked is_some)
+            }
+            #[cfg(test)]
+            mod tests {
+                fn h(x: Option<u32>) -> u32 {
+                    x.unwrap()
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let panics: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "panic-surface")
+            .collect();
+        assert_eq!(panics.len(), 1, "{:?}", r.findings);
+        assert_eq!(panics[0].line, 3);
+    }
+
+    #[test]
+    fn raw_lock_construction_is_flagged() {
+        let src = "//! lock-order: Alpha
+            fn f() {
+                let m = Mutex::new(0u32);
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        assert!(lints_of(&r).contains(&"raw-lock-construction"));
+    }
+
+    #[test]
+    fn missing_declaration_is_a_finding() {
+        let r = analyze(&[("fixture.rs", "fn f() {}")]);
+        assert!(lints_of(&r).contains(&"missing-order-declaration"));
+    }
+
+    #[test]
+    fn lock_directive_classifies_accessor_receivers() {
+        let src = "//! lock-order: Alpha < Beta
+            struct P { cells: Vec<Exclusive<u64>> }
+            impl P {
+                fn cell(&self, i: usize) -> &Exclusive<u64> {
+                    // analyzer: lock(cell = Beta)
+                    &self.cells[i]
+                }
+                fn bump(&self, i: usize) {
+                    *self.cell(i).lock() += 1;
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        assert!(
+            !lints_of(&r).contains(&"unclassified-acquisition"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn interprocedural_edge_through_call() {
+        let src = "//! lock-order: Alpha < Beta
+            struct S { a: Shared<Foo>, b: Shared<Bar> }
+            impl S {
+                fn new() -> S {
+                    S {
+                        a: Shared::new(LockClass::Alpha, Foo),
+                        b: Shared::new(LockClass::Beta, Bar),
+                    }
+                }
+                fn inner(&self) -> u64 {
+                    self.b.read().v
+                }
+                fn outer(&self) -> u64 {
+                    let a = self.a.read();
+                    self.inner() + a.v
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        assert!(
+            r.edges
+                .iter()
+                .any(|e| e.from == "Alpha" && e.to == "Beta" && e.via_call),
+            "{:?}",
+            r.edges
+        );
+        assert_eq!(r.findings, vec![]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The lint passes over a built [`Model`]: lock-order conformance, cycle
+//! detection, WAL-protocol discipline and panic-surface audit.
+
+use crate::model::{Finding, Model};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classes whose guard scope counts as "protecting the mutation" for the
+/// WAL lint: every durable-state mutation in the engine is guarded by one
+/// of these.
+pub const MUTATING_CLASSES: [&str; 4] = ["Merger", "Stats", "DatasetState", "DatasetRaw"];
+
+/// Record variants that reference no freshly written data pages, so the
+/// data-sync-before-log dominance requirement does not apply:
+///
+/// * `InitDataset` / `MergeCreate` — register a file before any page is
+///   written into it;
+/// * `MergeEvict` — removes an entry, writes nothing;
+/// * `CompactionProgress` — a resume cursor, references already-synced pages;
+/// * `QueryStats` — planner statistics, no pages at all.
+pub const SYNC_EXEMPT_RECORDS: [&str; 5] = [
+    "InitDataset",
+    "MergeCreate",
+    "MergeEvict",
+    "CompactionProgress",
+    "QueryStats",
+];
+
+/// The canonical lock order the workspace declares (parsed from source, or
+/// [`Declared::builtin`] as a fallback so the other lints still run).
+#[derive(Debug, Clone)]
+pub struct Declared {
+    /// Class names, outermost first. Rank = index.
+    pub order: Vec<String>,
+    /// Classes allowed to nest within themselves (disjoint instances taken
+    /// in a deterministic order).
+    pub self_nesting: BTreeSet<String>,
+    /// Where the declaration was parsed from, if it was.
+    pub source: Option<(String, u32)>,
+}
+
+impl Declared {
+    /// The built-in fallback order (mirrors `LockClass::ALL` in
+    /// `crates/storage/src/sync.rs`).
+    pub fn builtin() -> Declared {
+        Declared {
+            order: [
+                "Merger",
+                "Stats",
+                "SchedulerQueue",
+                "DatasetState",
+                "DatasetRaw",
+                "ResultCache",
+                "Wal",
+                "StorageFiles",
+                "WalState",
+                "BufferShard",
+                "FilePages",
+                "WorkCell",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            self_nesting: ["DatasetState", "DatasetRaw", "WorkCell"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            source: None,
+        }
+    }
+
+    fn rank(&self, class: &str) -> Option<usize> {
+        self.order.iter().position(|c| c == class)
+    }
+}
+
+/// Parses the canonical-order declaration out of the model's comment lines:
+///
+/// ```text
+/// lock-order: Merger < Stats < ... < WorkCell
+/// self-nesting: DatasetState, DatasetRaw, WorkCell
+/// ```
+///
+/// A `lock-order:` line may be continued by following comment lines that
+/// start with `<`.
+pub fn parse_declared(model: &Model) -> Option<Declared> {
+    let mut order: Vec<String> = Vec::new();
+    let mut self_nesting: BTreeSet<String> = BTreeSet::new();
+    let mut source = None;
+    let mut i = 0;
+    while i < model.comment_lines.len() {
+        let (fi, line, text) = &model.comment_lines[i];
+        if let Some(rest) = text.strip_prefix("lock-order:") {
+            if order.is_empty() {
+                source = Some((model.files[*fi].clone(), *line));
+                let mut decl = rest.trim().to_string();
+                // Continuation lines start with `<`.
+                while let Some((nfi, _, next)) = model.comment_lines.get(i + 1) {
+                    if *nfi == *fi && next.starts_with('<') {
+                        decl.push(' ');
+                        decl.push_str(next);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                order = decl
+                    .split('<')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+        } else if let Some(rest) = text.strip_prefix("self-nesting:") {
+            self_nesting = rest
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+        }
+        i += 1;
+    }
+    if order.is_empty() {
+        return None;
+    }
+    Some(Declared {
+        order,
+        self_nesting,
+        source,
+    })
+}
+
+fn allowed(model: &Model, file: &str, line: u32) -> bool {
+    model
+        .files
+        .iter()
+        .position(|f| f == file)
+        .is_some_and(|fi| model.is_allowed(fi, line))
+}
+
+/// Runs every lint; returns findings (model-level findings included).
+pub fn run(model: &Model, declared: &Declared) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = model.findings.clone();
+    order_lint(model, declared, &mut findings);
+    cycle_lint(model, &mut findings);
+    wal_lint(model, &mut findings);
+    panic_lint(model, &mut findings);
+    findings.retain(|f| !allowed(model, &f.file, f.line));
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    findings
+}
+
+/// Every acquisition edge must go strictly down the declared order (equal
+/// ranks only for self-nesting classes).
+fn order_lint(model: &Model, declared: &Declared, findings: &mut Vec<Finding>) {
+    for e in &model.edges {
+        let (Some(rf), Some(rt)) = (declared.rank(&e.from), declared.rank(&e.to)) else {
+            for c in [&e.from, &e.to] {
+                if declared.rank(c).is_none() {
+                    findings.push(Finding {
+                        lint: "unknown-lock-class".into(),
+                        file: e.file.clone(),
+                        line: e.line,
+                        message: format!("lock class {c} is not in the declared canonical order"),
+                    });
+                }
+            }
+            continue;
+        };
+        if rf > rt {
+            findings.push(Finding {
+                lint: "lock-order-violation".into(),
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "{} (rank {rt}) acquired while holding {} (rank {rf}); the canonical \
+                     order requires {} before {}{}",
+                    e.to,
+                    e.from,
+                    e.to,
+                    e.from,
+                    if e.via_call {
+                        " (edge reached through a call)"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        } else if rf == rt && !declared.self_nesting.contains(&e.from) {
+            findings.push(Finding {
+                lint: "lock-order-violation".into(),
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "{} acquired while already held and not declared self-nesting",
+                    e.from
+                ),
+            });
+        }
+    }
+}
+
+/// The acquisition graph must be acyclic regardless of ranks (catches a
+/// mis-declared order that happens to admit a cycle).
+fn cycle_lint(model: &Model, findings: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in &model.edges {
+        adj.entry(e.from.as_str()).or_default().push(e.to.as_str());
+    }
+    // Iterative DFS with colors; report the first cycle found.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        if color.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        color.insert(start, 1);
+        while let Some((node, idx)) = stack.last().copied() {
+            let next = adj.get(node).and_then(|v| v.get(idx)).copied();
+            match next {
+                Some(succ) => {
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    match color.get(succ).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(succ, 1);
+                            stack.push((succ, 0));
+                            path.push(succ);
+                        }
+                        1 => {
+                            let pos = path.iter().position(|n| *n == succ).unwrap_or(0);
+                            let cycle: Vec<&str> = path[pos..].to_vec();
+                            let site = model
+                                .edges
+                                .iter()
+                                .find(|e| e.from == node && e.to == succ)
+                                .map(|e| (e.file.clone(), e.line))
+                                .unwrap_or_default();
+                            findings.push(Finding {
+                                lint: "lock-order-cycle".into(),
+                                file: site.0,
+                                line: site.1,
+                                message: format!(
+                                    "lock acquisition cycle: {} -> {}",
+                                    cycle.join(" -> "),
+                                    succ
+                                ),
+                            });
+                            return; // one cycle report is enough
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    color.insert(node, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// WAL-protocol lints:
+///
+/// * `raw-log-meta` — `.log_meta(` anywhere but the `durability::log`
+///   wrapper bypasses record encoding;
+/// * `wal-outside-lock` — every `durability::log` must run inside the guard
+///   scope of a mutating-state lock, either directly or on every caller
+///   path;
+/// * `log-before-sync` — records that reference freshly written data pages
+///   must be dominated by a `sync_file` of those pages.
+fn wal_lint(model: &Model, findings: &mut Vec<Finding>) {
+    // Memoized "every caller path holds a mutating lock" check.
+    fn callers_ok(model: &Model, func: usize, memo: &mut BTreeMap<usize, Option<bool>>) -> bool {
+        match memo.get(&func) {
+            Some(Some(v)) => return *v,
+            Some(None) => return false, // cycle: be conservative
+            None => {}
+        }
+        memo.insert(func, None);
+        let callers = model.callers_of(func);
+        let ok = !callers.is_empty()
+            && callers.iter().all(|(caller, held, _)| {
+                held.iter().any(|h| MUTATING_CLASSES.contains(&h.as_str()))
+                    || callers_ok(model, *caller, memo)
+            });
+        memo.insert(func, Some(ok));
+        ok
+    }
+
+    let mut memo: BTreeMap<usize, Option<bool>> = BTreeMap::new();
+    for site in &model.log_sites {
+        let file = model.files[site.file].clone();
+        if site.raw_log_meta {
+            if !file.ends_with("durability.rs") && !file.contains("storage") {
+                findings.push(Finding {
+                    lint: "raw-log-meta".into(),
+                    file,
+                    line: site.line,
+                    message: "direct .log_meta() call bypasses durability::log; use the \
+                              wrapper so records are encoded and gated on wal_enabled"
+                        .into(),
+                });
+            }
+            // The wrapper's own append inherits its callers' guard scopes,
+            // which are exactly the non-raw sites checked below.
+            continue;
+        }
+        let direct = site
+            .held
+            .iter()
+            .any(|h| MUTATING_CLASSES.contains(&h.as_str()));
+        if !direct && !callers_ok(model, site.func, &mut memo) {
+            findings.push(Finding {
+                lint: "wal-outside-lock".into(),
+                file: file.clone(),
+                line: site.line,
+                message: format!(
+                    "durability::log outside the guard scope of any mutating-state lock \
+                     ({}): WAL order would not equal visibility order",
+                    MUTATING_CLASSES.join("/")
+                ),
+            });
+        }
+        if let Some(record) = &site.record {
+            if !SYNC_EXEMPT_RECORDS.contains(&record.as_str()) && !site.prior_sync {
+                findings.push(Finding {
+                    lint: "log-before-sync".into(),
+                    file,
+                    line: site.line,
+                    message: format!(
+                        "MetaRecord::{record} references data pages but no sync_file call \
+                         dominates the append in this function; a crash could recover a \
+                         record whose pages were never written"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` / `panic!`-family in non-test code must carry an
+/// `// analyzer: allow(reason)` annotation.
+fn panic_lint(model: &Model, findings: &mut Vec<Finding>) {
+    for site in &model.panic_sites {
+        findings.push(Finding {
+            lint: "panic-surface".into(),
+            file: model.files[site.file].clone(),
+            line: site.line,
+            message: format!(
+                "`{}` in non-test code: return an error or annotate with \
+                 `// analyzer: allow(reason)` if the invariant is locally provable",
+                site.what
+            ),
+        });
+    }
+}

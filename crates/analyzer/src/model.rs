@@ -1,0 +1,1412 @@
+//! AST-lite model of the workspace: functions, lock classifications, guard
+//! scopes, acquisition edges, call sites, WAL-append sites, panic sites.
+//!
+//! The model is built from the token stream alone (no type information).
+//! The workspace meets it halfway: every lock is constructed through
+//! `Shared::new(LockClass::X, ...)` / `Exclusive::new(LockClass::X, ...)`
+//! with a globally unique field/binding name per class, which makes
+//! name-based classification exact. Where a receiver's class is not
+//! inferrable from a construction site (e.g. an accessor method returning
+//! `&Exclusive<_>`), a `// analyzer: lock(name = Class)` directive supplies
+//! it.
+//!
+//! # Guard-scope model
+//!
+//! * `let g = x.read();` — the guard lives until the end of the enclosing
+//!   block or an explicit `drop(g)`.
+//! * `x.lock().f(...)` (not bound by a plain `let`) — a *temporary* guard,
+//!   held for the remainder of the statement (matching Rust's
+//!   end-of-full-statement temporary lifetime).
+//!
+//! Every acquisition and every call records the set of classes held at that
+//! point; interprocedural closure (`Model::finish`) then turns calls
+//! into edges via each callee's transitively acquired classes.
+
+use crate::lexer::{lex, Directive, Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Method names whose argless invocation is a lock acquisition.
+const ACQUIRE_METHODS: [&str; 3] = ["read", "write", "lock"];
+
+/// Keywords that can precede `(` without being calls.
+const KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "loop", "return", "in", "move", "let", "else", "as", "where",
+    "break", "continue",
+];
+
+/// Generic wrapper type names skipped when extracting the "interesting" type
+/// idents from a field declaration (`wal: Option<Exclusive<MetaWal>>` →
+/// `MetaWal`).
+const WRAPPER_TYPES: [&str; 12] = [
+    "Shared",
+    "Exclusive",
+    "Option",
+    "Arc",
+    "Box",
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "BTreeMap",
+    "RwLock",
+    "Mutex",
+    "Result",
+];
+
+/// Standard-library method names that must NOT resolve through the untyped
+/// by-name fallback: local functions that happen to share these names
+/// (`ResultCache::len`, `BufferPool::get`, a cursor's `Iterator::next`, ...)
+/// would otherwise be attributed to every `Vec::len`/`HashMap::get` call in
+/// the workspace. Calls to the real local functions still resolve through
+/// the typed paths (guard receiver, `self.method`, `self.field.method`,
+/// `Type::method`).
+const STD_METHOD_NAMES: [&str; 30] = [
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "clear",
+    "contains",
+    "contains_key",
+    "append",
+    "extend",
+    "retain",
+    "iter",
+    "iter_mut",
+    "next",
+    "peek",
+    "find",
+    "map",
+    "filter",
+    "collect",
+    "clone",
+    "take",
+    "replace",
+    "last",
+    "first",
+    "entry",
+    "drain",
+    "split_off",
+];
+
+/// A lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint identifier (kebab-case).
+    pub lint: String,
+    /// File the finding is anchored in.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One deduplicated lock-acquisition edge (held → acquired), with an
+/// exemplar site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Class held when the acquisition happened.
+    pub from: String,
+    /// Class acquired.
+    pub to: String,
+    /// Exemplar file.
+    pub file: String,
+    /// Exemplar line.
+    pub line: u32,
+    /// `true` when the edge came through a call (the acquisition happens
+    /// inside a callee) rather than a direct acquisition.
+    pub via_call: bool,
+}
+
+/// How a call's receiver chain is rooted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Receiver {
+    /// `guard.method(...)` or `x.lock().method(...)` — the receiver is (or
+    /// derives from) a guard of this class; candidates are restricted to
+    /// impls of the class's protected data type(s).
+    Guard(String),
+    /// `self.method(...)` / `self.field.method(...)` / `Type::func(...)` —
+    /// candidates are restricted to impls of these types (expanded through
+    /// trait impls), with no by-name fallback.
+    Typed(BTreeSet<String>),
+    /// `module::func(...)` — a module-qualified free call, resolved by name.
+    Module,
+    /// Anything else: resolved by name (method calls additionally skip
+    /// [`STD_METHOD_NAMES`]).
+    Plain,
+}
+
+/// A recorded call site.
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    receiver: Receiver,
+    is_method: bool,
+    held: Vec<String>,
+    file: usize,
+    line: u32,
+}
+
+/// A recorded `durability::log` / `.log_meta(` site.
+#[derive(Debug, Clone)]
+pub struct LogSite {
+    /// Function (index into [`Model::functions`]) containing the call.
+    pub func: usize,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// `MetaRecord::X` variant named in the call arguments, if syntactically
+    /// visible.
+    pub record: Option<String>,
+    /// Lock classes held at the call.
+    pub held: Vec<String>,
+    /// Whether a `sync_file` call appears earlier in the same function.
+    pub prior_sync: bool,
+    /// `true` for a raw `.log_meta(` call (bypassing `durability::log`).
+    pub raw_log_meta: bool,
+}
+
+/// A panic-surface site (`.unwrap()`, `.expect(`, `panic!`, ...).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Which construct (`unwrap`, `expect`, `panic`, ...).
+    pub what: String,
+}
+
+/// One analyzed function.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Impl/trait type the function is defined on, if any.
+    pub impl_type: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// File index.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Classes acquired directly in the body.
+    pub direct_acq: BTreeSet<String>,
+    /// Classes acquired transitively (filled by `Model::finish`).
+    pub trans_acq: BTreeSet<String>,
+    calls: Vec<CallSite>,
+}
+
+/// The assembled workspace model.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// File paths, indexed by the `file` fields elsewhere.
+    pub files: Vec<String>,
+    /// All analyzed (non-test) functions.
+    pub functions: Vec<FnInfo>,
+    /// Receiver name → lock class (from construction sites + directives).
+    pub classes: BTreeMap<String, String>,
+    /// Lock class → protected data type names seen at construction or in
+    /// lock-field declarations.
+    pub data_types: BTreeMap<String, BTreeSet<String>>,
+    /// Struct field name → candidate type idents (wrappers stripped).
+    pub field_types: BTreeMap<String, BTreeSet<String>>,
+    /// Trait name → implementing type names.
+    pub trait_impls: BTreeMap<String, BTreeSet<String>>,
+    /// Deduplicated acquisition edges.
+    pub edges: Vec<Edge>,
+    /// All WAL-append sites.
+    pub log_sites: Vec<LogSite>,
+    /// All panic-surface sites.
+    pub panic_sites: Vec<PanicSite>,
+    /// Lines carrying an `allow` directive, per file index.
+    pub allow_lines: BTreeMap<usize, BTreeSet<u32>>,
+    /// Model-level findings (unclassified acquisitions, name conflicts,
+    /// raw `Mutex::new`/`RwLock::new` in analyzed code).
+    pub findings: Vec<Finding>,
+    /// Comment lines of every file (for the canonical-order declaration).
+    pub comment_lines: Vec<(usize, u32, String)>,
+    lexed: Vec<Lexed>,
+}
+
+impl Model {
+    /// Lexes and models the given `(path, source)` pairs.
+    pub fn build(inputs: &[(String, String)]) -> Model {
+        let mut m = Model::default();
+        for (path, source) in inputs {
+            let lexed = lex(source);
+            let fi = m.files.len();
+            m.files.push(path.clone());
+            for (line, text) in &lexed.comment_lines {
+                m.comment_lines.push((fi, *line, text.clone()));
+            }
+            for d in &lexed.directives {
+                match d {
+                    Directive::Allow { line, .. } => {
+                        m.allow_lines.entry(fi).or_default().insert(*line);
+                    }
+                    Directive::LockName { line, name, class } => {
+                        m.record_class(fi, *line, name, class);
+                    }
+                }
+            }
+            m.lexed.push(lexed);
+        }
+        for fi in 0..m.files.len() {
+            m.scan_constructors(fi);
+        }
+        for fi in 0..m.files.len() {
+            m.scan_structs(fi);
+        }
+        for fi in 0..m.files.len() {
+            m.scan_items(fi);
+        }
+        m.finish();
+        m
+    }
+
+    /// Whether `line` (or the line above it) in `file` carries an `allow`.
+    pub fn is_allowed(&self, file: usize, line: u32) -> bool {
+        self.allow_lines
+            .get(&file)
+            .is_some_and(|s| s.contains(&line) || (line > 0 && s.contains(&(line - 1))))
+    }
+
+    fn record_class(&mut self, fi: usize, line: u32, name: &str, class: &str) {
+        if let Some(prev) = self.classes.get(name) {
+            if prev != class {
+                self.findings.push(Finding {
+                    lint: "lock-name-conflict".into(),
+                    file: self.files[fi].clone(),
+                    line,
+                    message: format!(
+                        "receiver name `{name}` is classified as both {prev} and {class}; \
+                         lock names must map to exactly one class workspace-wide"
+                    ),
+                });
+            }
+            return;
+        }
+        self.classes.insert(name.to_string(), class.to_string());
+    }
+
+    /// Finds `Shared::new(LockClass::X, ...)` / `Exclusive::new(...)` sites:
+    /// classifies the binding/field name and records the protected data type.
+    fn scan_constructors(&mut self, fi: usize) {
+        let toks = std::mem::take(&mut self.lexed[fi].tokens);
+        for i in 0..toks.len() {
+            if !(toks[i].is_ident("Shared") || toks[i].is_ident("Exclusive")) {
+                continue;
+            }
+            if !(matches!(toks.get(i + 1), Some(t) if t.is_punct("::"))
+                && matches!(toks.get(i + 2), Some(t) if t.is_ident("new"))
+                && matches!(toks.get(i + 3), Some(t) if t.is_punct("("))
+                && matches!(toks.get(i + 4), Some(t) if t.is_ident("LockClass"))
+                && matches!(toks.get(i + 5), Some(t) if t.is_punct("::")))
+            {
+                continue;
+            }
+            let Some(class_tok) = toks.get(i + 6) else {
+                continue;
+            };
+            let class = class_tok.text.clone();
+            let line = toks[i].line;
+            // Protected data type: first token after the `,`, if it looks
+            // like a type name.
+            if let Some(t) = toks.get(i + 8) {
+                if matches!(toks.get(i + 7), Some(c) if c.is_punct(","))
+                    && t.kind == TokKind::Ident
+                    && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+                {
+                    self.data_types
+                        .entry(class.clone())
+                        .or_default()
+                        .insert(t.text.clone());
+                }
+            }
+            // Binding name: scan backward for `let [mut] NAME` or `NAME :`.
+            let mut name: Option<String> = None;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_ident("fn") {
+                    break;
+                }
+                if t.is_ident("let") {
+                    let mut k = j + 1;
+                    if matches!(toks.get(k), Some(t) if t.is_ident("mut")) {
+                        k += 1;
+                    }
+                    if let Some(n) = toks.get(k) {
+                        if n.kind == TokKind::Ident {
+                            name = Some(n.text.clone());
+                        }
+                    }
+                    break;
+                }
+                if t.is_punct(":") && j > 0 && toks[j - 1].kind == TokKind::Ident {
+                    name = Some(toks[j - 1].text.clone());
+                    break;
+                }
+            }
+            match name {
+                Some(n) => self.record_class(fi, line, &n, &class),
+                None => self.findings.push(Finding {
+                    lint: "unnamed-lock-constructor".into(),
+                    file: self.files[fi].clone(),
+                    line,
+                    message: format!(
+                        "LockClass::{class} constructor is not bound to a field or `let` name; \
+                         the analyzer cannot classify its acquisitions"
+                    ),
+                }),
+            }
+        }
+        self.lexed[fi].tokens = toks;
+    }
+
+    /// Records struct (and struct-variant) field types: `wal:
+    /// Option<Exclusive<MetaWal>>` maps field `wal` to type `MetaWal`.
+    /// Used to resolve `self.field.method(...)` calls, and to enrich a lock
+    /// class's protected-type set when the field is a classified lock.
+    fn scan_structs(&mut self, fi: usize) {
+        let toks = std::mem::take(&mut self.lexed[fi].tokens);
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            // Skip test modules entirely.
+            if t.is_ident("mod")
+                && matches!(toks.get(i + 1), Some(n) if n.is_ident("tests"))
+                && matches!(toks.get(i + 2), Some(b) if b.is_punct("{"))
+            {
+                i = match_balanced(&toks, i + 2, "{", "}") + 1;
+                continue;
+            }
+            if !(t.is_ident("struct") || t.is_ident("enum")) {
+                i += 1;
+                continue;
+            }
+            // Find the body `{` (tuple structs / unit structs have none
+            // before the `;`).
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is_punct(";") {
+                i = j + 1;
+                continue;
+            }
+            let end = match_balanced(&toks, j, "{", "}");
+            let mut k = j + 1;
+            while k < end {
+                // Field pattern: IDENT `:` TYPE... up to the `,` (or `}`) at
+                // this nesting level.
+                if toks[k].kind == TokKind::Ident
+                    && matches!(toks.get(k + 1), Some(c) if c.is_punct(":"))
+                {
+                    let field = toks[k].text.clone();
+                    let mut types: BTreeSet<String> = BTreeSet::new();
+                    let mut depth = 0i32;
+                    let mut m = k + 2;
+                    while m < end {
+                        let tm = &toks[m];
+                        if tm.is_punct("<") || tm.is_punct("(") || tm.is_punct("[") {
+                            depth += 1;
+                        } else if tm.is_punct(">") || tm.is_punct(")") || tm.is_punct("]") {
+                            depth -= 1;
+                        } else if (tm.is_punct(",") && depth <= 0) || tm.is_punct("{") {
+                            break;
+                        } else if tm.kind == TokKind::Ident
+                            && tm.text.chars().next().is_some_and(|c| c.is_uppercase())
+                            && !WRAPPER_TYPES.contains(&tm.text.as_str())
+                        {
+                            types.insert(tm.text.clone());
+                        }
+                        m += 1;
+                    }
+                    if !types.is_empty() {
+                        self.field_types
+                            .entry(field.clone())
+                            .or_default()
+                            .extend(types.iter().cloned());
+                        if let Some(class) = self.classes.get(&field) {
+                            self.data_types
+                                .entry(class.clone())
+                                .or_default()
+                                .extend(types.iter().cloned());
+                        }
+                    }
+                    k = m;
+                }
+                k += 1;
+            }
+            i = end + 1;
+        }
+        self.lexed[fi].tokens = toks;
+    }
+
+    /// Walks a file's items: tracks impl/trait context, skips test code,
+    /// analyzes each function body.
+    fn scan_items(&mut self, fi: usize) {
+        let toks = std::mem::take(&mut self.lexed[fi].tokens);
+        let mut depth: i32 = 0;
+        let mut impl_stack: Vec<(String, i32)> = Vec::new();
+        let mut pending_test = false;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_punct("#") && matches!(toks.get(i + 1), Some(b) if b.is_punct("[")) {
+                let end = match_balanced(&toks, i + 1, "[", "]");
+                if attr_is_test(&toks[i + 1..=end]) {
+                    pending_test = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            if t.is_punct("{") {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|(_, d)| *d >= depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_ident("mod") {
+                let is_tests = matches!(toks.get(i + 1), Some(n) if n.is_ident("tests"));
+                if (is_tests || pending_test)
+                    && matches!(toks.get(i + 2), Some(b) if b.is_punct("{"))
+                {
+                    i = match_balanced(&toks, i + 2, "{", "}") + 1;
+                    pending_test = false;
+                    continue;
+                }
+                pending_test = false;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("impl") || t.is_ident("trait") {
+                pending_test = false;
+                // Collect tokens up to the opening brace; the impl type is
+                // the path after `for` (trait impls) or after the generics.
+                let mut j = i + 1;
+                let mut after_for: Option<usize> = None;
+                while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                    if toks[j].is_ident("for") {
+                        after_for = Some(j + 1);
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct("{") {
+                    let mut first = i + 1;
+                    if toks[first].is_punct("<") {
+                        first = skip_angles(&toks, first);
+                    }
+                    let start = after_for.unwrap_or(first);
+                    if let Some(ty) = path_last_ident(&toks[start..j]) {
+                        // `impl Trait for Type` also records the trait→type
+                        // relation, so trait-typed receivers (e.g.
+                        // `Box<dyn PagedFile>` fields) resolve to the
+                        // implementing types.
+                        if let Some(af) = after_for {
+                            if let Some(tr) = path_last_ident(&toks[first..af - 1]) {
+                                self.trait_impls.entry(tr).or_default().insert(ty.clone());
+                            }
+                        }
+                        impl_stack.push((ty, depth));
+                    }
+                    depth += 1;
+                    i = j + 1;
+                    continue;
+                }
+                i = j + 1;
+                continue;
+            }
+            if t.is_ident("fn") {
+                let name = match toks.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let line = t.line;
+                // Find the body `{` (or `;` for a bodyless declaration).
+                let mut j = i + 2;
+                let mut paren: i32 = 0;
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    if tj.is_punct("(") || tj.is_punct("[") {
+                        paren += 1;
+                    } else if tj.is_punct(")") || tj.is_punct("]") {
+                        paren -= 1;
+                    } else if paren == 0 && (tj.is_punct("{") || tj.is_punct(";")) {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j >= toks.len() || toks[j].is_punct(";") {
+                    pending_test = false;
+                    i = j + 1;
+                    continue;
+                }
+                let body_end = match_balanced(&toks, j, "{", "}");
+                if !pending_test {
+                    let impl_type = impl_stack.last().map(|(t, _)| t.clone());
+                    let params = param_types(&toks, i + 2, j);
+                    self.scan_body(fi, &toks, j, body_end, impl_type, &name, line, &params);
+                }
+                pending_test = false;
+                i = body_end + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                pending_test = false;
+            }
+            i += 1;
+        }
+        self.lexed[fi].tokens = toks;
+    }
+
+    /// Analyzes one function body: guard scopes, acquisitions, calls, WAL
+    /// appends, panic sites.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_body(
+        &mut self,
+        fi: usize,
+        toks: &[Token],
+        body_start: usize,
+        body_end: usize,
+        impl_type: Option<String>,
+        name: &str,
+        fn_line: u32,
+        params: &HashMap<String, BTreeSet<String>>,
+    ) {
+        struct Guard {
+            name: Option<String>,
+            class: String,
+            depth: i32,
+            temp: bool,
+            cond: bool,
+        }
+        let func_idx = self.functions.len();
+        let mut info = FnInfo {
+            impl_type,
+            name: name.to_string(),
+            file: fi,
+            line: fn_line,
+            direct_acq: BTreeSet::new(),
+            trans_acq: BTreeSet::new(),
+            calls: Vec::new(),
+        };
+        let mut guards: Vec<Guard> = Vec::new();
+        // Local `let` bindings whose type is evident from an annotation or a
+        // `Type::new()`-style initializer.
+        let mut locals: HashMap<String, BTreeSet<String>> = HashMap::new();
+        let mut depth: i32 = 0;
+        let mut pending_let: Option<String> = None;
+        let mut let_consumed = false;
+        let mut seen_sync = false;
+        // Inside an `if`/`while` condition (not `if let`/`while let`):
+        // condition temporaries drop at the opening `{` of the block, unlike
+        // statement temporaries.
+        let mut cond_mode = false;
+        let held = |guards: &Vec<Guard>| -> Vec<String> {
+            let mut h: Vec<String> = guards.iter().map(|g| g.class.clone()).collect();
+            h.dedup();
+            h
+        };
+
+        let mut i = body_start;
+        while i <= body_end {
+            let t = &toks[i];
+            if t.is_punct("{") {
+                if cond_mode {
+                    guards.retain(|g| !g.cond);
+                    cond_mode = false;
+                }
+                // A `let` initializer that opens a block (or closure body)
+                // cannot bind a guard acquired inside it.
+                pending_let = None;
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if (t.is_ident("if") || t.is_ident("while"))
+                && !matches!(toks.get(i + 1), Some(n) if n.is_ident("let"))
+            {
+                cond_mode = true;
+                i += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                guards.retain(|g| g.depth < depth);
+                depth -= 1;
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            if t.is_punct(";") {
+                // Temporaries die at the end of the full statement; a `;`
+                // deeper than the temp's depth (inside a loop body whose
+                // header holds the guard) does not end it.
+                guards.retain(|g| !(g.temp && g.depth == depth));
+                pending_let = None;
+                let_consumed = false;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("let") {
+                let mut k = i + 1;
+                if matches!(toks.get(k), Some(x) if x.is_ident("mut")) {
+                    k += 1;
+                }
+                pending_let = match (toks.get(k), toks.get(k + 1)) {
+                    (Some(n), Some(nx))
+                        if n.kind == TokKind::Ident && (nx.is_punct(":") || nx.is_punct("=")) =>
+                    {
+                        Some(n.text.clone())
+                    }
+                    _ => None,
+                };
+                // Record the binding's type when it is evident, so later
+                // `var.method(..)` calls resolve within that type:
+                // `let e: Enc = ..` (annotation) or `let e = Enc::new()`
+                // (constructor call).
+                if let Some(name) = &pending_let {
+                    let mut types: BTreeSet<String> = BTreeSet::new();
+                    if toks[k + 1].is_punct(":") {
+                        let mut m = k + 2;
+                        let mut tdepth = 0i32;
+                        while m <= body_end {
+                            let tm = &toks[m];
+                            if tm.is_punct("<") || tm.is_punct("(") || tm.is_punct("[") {
+                                tdepth += 1;
+                            } else if tm.is_punct(">") || tm.is_punct(")") || tm.is_punct("]") {
+                                tdepth -= 1;
+                            } else if (tm.is_punct("=") || tm.is_punct(";")) && tdepth <= 0 {
+                                break;
+                            } else if tm.kind == TokKind::Ident
+                                && tm.text.len() > 1
+                                && tm.text.chars().next().is_some_and(|c| c.is_uppercase())
+                                && !WRAPPER_TYPES.contains(&tm.text.as_str())
+                            {
+                                types.insert(tm.text.clone());
+                            }
+                            m += 1;
+                        }
+                    } else if matches!(
+                        (toks.get(k + 2), toks.get(k + 3), toks.get(k + 4)),
+                        (Some(ty), Some(sep), Some(ctor))
+                            if ty.kind == TokKind::Ident
+                                && ty.text.chars().next().is_some_and(|c| c.is_uppercase())
+                                && !WRAPPER_TYPES.contains(&ty.text.as_str())
+                                && sep.is_punct("::")
+                                && (ctor.is_ident("new") || ctor.is_ident("default"))
+                    ) {
+                        types.insert(toks[k + 2].text.clone());
+                    }
+                    if !types.is_empty() {
+                        locals.insert(name.clone(), types);
+                    }
+                }
+                let_consumed = false;
+                i = k;
+                continue;
+            }
+            // drop(name): ends a named guard.
+            if t.is_ident("drop")
+                && matches!(toks.get(i + 1), Some(x) if x.is_punct("("))
+                && matches!(toks.get(i + 3), Some(x) if x.is_punct(")"))
+            {
+                if let Some(n) = toks.get(i + 2) {
+                    if let Some(pos) = guards
+                        .iter()
+                        .rposition(|g| g.name.as_deref() == Some(n.text.as_str()))
+                    {
+                        guards.remove(pos);
+                    }
+                }
+                i += 4;
+                continue;
+            }
+            // Panic-surface sites.
+            if t.kind == TokKind::Ident {
+                let is_macro_panic = matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && matches!(toks.get(i + 1), Some(x) if x.is_punct("!"));
+                let is_method_panic = matches!(t.text.as_str(), "unwrap" | "expect")
+                    && i > body_start
+                    && toks[i - 1].is_punct(".")
+                    && matches!(toks.get(i + 1), Some(x) if x.is_punct("("));
+                if is_macro_panic || is_method_panic {
+                    self.panic_sites.push(PanicSite {
+                        file: fi,
+                        line: t.line,
+                        what: t.text.clone(),
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+            // Raw lock constructors in analyzed code.
+            if (t.is_ident("RwLock") || t.is_ident("Mutex"))
+                && matches!(toks.get(i + 1), Some(x) if x.is_punct("::"))
+                && matches!(toks.get(i + 2), Some(x) if x.is_ident("new"))
+            {
+                self.findings.push(Finding {
+                    lint: "raw-lock-construction".into(),
+                    file: self.files[fi].clone(),
+                    line: t.line,
+                    message: format!(
+                        "raw {}::new in analyzed code; use Shared/Exclusive with a LockClass \
+                         so the acquisition order is checkable",
+                        t.text
+                    ),
+                });
+                i += 3;
+                continue;
+            }
+            // Acquisition: `.read()` / `.write()` / `.lock()`.
+            if t.kind == TokKind::Ident
+                && ACQUIRE_METHODS.contains(&t.text.as_str())
+                && i > body_start
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(x) if x.is_punct("("))
+                && matches!(toks.get(i + 2), Some(x) if x.is_punct(")"))
+            {
+                let recv = receiver_name(toks, i - 1);
+                match recv.and_then(|n| self.classes.get(&n).cloned()) {
+                    Some(class) => {
+                        for h in held(&guards) {
+                            self.add_edge(&h, &class, fi, t.line, false);
+                        }
+                        info.direct_acq.insert(class.clone());
+                        // The acquisition binds the `let` only when it IS the
+                        // whole initializer: `let g = <chain>.read();`. A
+                        // continuing chain (`.retrieved(..)`), a deref copy
+                        // (`*self.raw.read()`) or any surrounding expression
+                        // leaves a statement temporary instead.
+                        let ends_stmt = matches!(toks.get(i + 3), Some(x) if x.is_punct(";"));
+                        let direct_init = {
+                            let cs = chain_start(toks, i - 1);
+                            cs > 0 && toks[cs - 1].is_punct("=")
+                        };
+                        let bound =
+                            pending_let.is_some() && !let_consumed && ends_stmt && direct_init;
+                        guards.push(Guard {
+                            name: if bound { pending_let.clone() } else { None },
+                            class,
+                            depth,
+                            temp: !bound,
+                            cond: !bound && cond_mode,
+                        });
+                        if bound {
+                            let_consumed = true;
+                        }
+                    }
+                    None => {
+                        if !self.is_allowed(fi, t.line) {
+                            self.findings.push(Finding {
+                                lint: "unclassified-acquisition".into(),
+                                file: self.files[fi].clone(),
+                                line: t.line,
+                                message: format!(
+                                    ".{}() on a receiver with no known LockClass; construct the \
+                                     lock via Shared::new/Exclusive::new or add \
+                                     `// analyzer: lock(name = Class)`",
+                                    t.text
+                                ),
+                            });
+                        }
+                    }
+                }
+                i += 3;
+                continue;
+            }
+            // Call site: IDENT followed by `(` (method, qualified or free).
+            if t.kind == TokKind::Ident
+                && matches!(toks.get(i + 1), Some(x) if x.is_punct("("))
+                && !KEYWORDS.contains(&t.text.as_str())
+            {
+                let is_method = i > body_start && toks[i - 1].is_punct(".");
+                let qual = if !is_method
+                    && i >= 2
+                    && toks[i - 1].is_punct("::")
+                    && toks[i - 2].kind == TokKind::Ident
+                {
+                    Some(toks[i - 2].text.clone())
+                } else {
+                    None
+                };
+                let typed_self = || -> Receiver {
+                    match &info.impl_type {
+                        Some(t) => Receiver::Typed([t.clone()].into_iter().collect()),
+                        None => Receiver::Plain,
+                    }
+                };
+                let receiver = if is_method {
+                    if let Some(class) =
+                        chain_guard_class(toks, i - 1, &self.classes, &guards_view(&guards))
+                    {
+                        Receiver::Guard(class)
+                    } else if i >= 2 && toks[i - 2].is_ident("self") {
+                        // `self.method(...)`: an inherent (or trait) method
+                        // on the enclosing impl type.
+                        typed_self()
+                    } else if i >= 3
+                        && toks[i - 2].kind == TokKind::Ident
+                        && toks[i - 3].is_punct(".")
+                    {
+                        // `<chain>.field.method(...)`: typed via the field
+                        // declaration when known (`self.maintenance.pop()`,
+                        // `entry.file.sync()`).
+                        match self.field_types.get(&toks[i - 2].text) {
+                            Some(types) => Receiver::Typed(types.clone()),
+                            None => Receiver::Plain,
+                        }
+                    } else if i >= 2
+                        && toks[i - 2].kind == TokKind::Ident
+                        && (i < 3 || !(toks[i - 3].is_punct(".") || toks[i - 3].is_punct("::")))
+                    {
+                        // `var.method(...)`: typed via the enclosing fn's
+                        // parameter list or an evidently-typed local binding
+                        // (`storage.create_file(..)` inside
+                        // `fn f(storage: &StorageManager, ..)`;
+                        // `let mut e = Enc::new(); .. e.u64(..)`).
+                        match params
+                            .get(&toks[i - 2].text)
+                            .or_else(|| locals.get(&toks[i - 2].text))
+                        {
+                            Some(types) => Receiver::Typed(types.clone()),
+                            None => Receiver::Plain,
+                        }
+                    } else {
+                        // A longer chain: type it by its root when the root
+                        // is a `Type::` path — `OpenOptions::new().create(..)
+                        // .open(..)` stays on `OpenOptions` and must not
+                        // resolve by name to every local `open`.
+                        let cs = chain_start(toks, i - 1);
+                        if toks[cs].kind == TokKind::Ident
+                            && toks[cs]
+                                .text
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_uppercase())
+                            && matches!(toks.get(cs + 1), Some(x) if x.is_punct("::"))
+                        {
+                            Receiver::Typed([toks[cs].text.clone()].into_iter().collect())
+                        } else {
+                            Receiver::Plain
+                        }
+                    }
+                } else if let Some(q) = qual.clone() {
+                    if q == "Self" {
+                        typed_self()
+                    } else if q.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        // `Type::func(...)`: restricted to that type's impls
+                        // (no by-name fallback — `Box::new` must not resolve
+                        // to every local `new`).
+                        Receiver::Typed([q].into_iter().collect())
+                    } else {
+                        Receiver::Module
+                    }
+                } else {
+                    Receiver::Plain
+                };
+                if t.is_ident("sync_file") {
+                    seen_sync = true;
+                }
+                let is_log = (t.is_ident("log") && qual.as_deref() == Some("durability"))
+                    || t.is_ident("log_meta");
+                if is_log {
+                    let close = match_balanced(toks, i + 1, "(", ")");
+                    self.log_sites.push(LogSite {
+                        func: func_idx,
+                        file: fi,
+                        line: t.line,
+                        record: find_record_variant(&toks[i + 1..=close]),
+                        held: held(&guards),
+                        prior_sync: seen_sync,
+                        raw_log_meta: t.is_ident("log_meta"),
+                    });
+                }
+                info.calls.push(CallSite {
+                    name: t.text.clone(),
+                    receiver,
+                    is_method,
+                    held: held(&guards),
+                    file: fi,
+                    line: t.line,
+                });
+                i += 1;
+                continue;
+            }
+            i += 1;
+        }
+        self.functions.push(info);
+
+        fn guards_view(guards: &[Guard]) -> Vec<(Option<&str>, &str)> {
+            guards
+                .iter()
+                .map(|g| (g.name.as_deref(), g.class.as_str()))
+                .collect()
+        }
+    }
+
+    fn add_edge(&mut self, from: &str, to: &str, fi: usize, line: u32, via_call: bool) {
+        if self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.via_call <= via_call)
+        {
+            return;
+        }
+        self.edges.retain(|e| !(e.from == from && e.to == to));
+        self.edges.push(Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: self.files[fi].clone(),
+            line,
+            via_call,
+        });
+    }
+
+    /// Resolves a call site to candidate function indices.
+    fn resolve(&self, call: &CallSite) -> Vec<usize> {
+        let by_name = |name: &str| -> Vec<usize> {
+            self.functions
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name == name)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        // Close candidate type sets under trait impls: a call on a
+        // `Box<dyn Trait>` receiver typed `Trait` reaches every impl.
+        let expand = |types: &BTreeSet<String>| -> BTreeSet<String> {
+            let mut out = types.clone();
+            for t in types {
+                if let Some(impls) = self.trait_impls.get(t) {
+                    out.extend(impls.iter().cloned());
+                }
+            }
+            out
+        };
+        let by_impl_types = |types: &BTreeSet<String>| -> Vec<usize> {
+            self.functions
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.name == call.name && f.impl_type.as_ref().is_some_and(|t| types.contains(t))
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        match &call.receiver {
+            // A known receiver type restricts resolution with NO by-name
+            // fallback: `Box::new(...)` must not resolve to every local
+            // `fn new`.
+            Receiver::Typed(types) => by_impl_types(&expand(types)),
+            Receiver::Guard(class) => match self.data_types.get(class) {
+                Some(types) if !types.is_empty() => by_impl_types(&expand(types)),
+                _ => by_name(&call.name),
+            },
+            Receiver::Module => by_name(&call.name),
+            Receiver::Plain => {
+                // Untyped method calls named like std collection methods
+                // (`.len()`, `.insert(..)`, ...) overwhelmingly hit std
+                // types, not the identically named local methods — resolving
+                // them by name fabricates edges into every lock-taking
+                // `len`/`insert` in the workspace.
+                if call.is_method && STD_METHOD_NAMES.contains(&call.name.as_str()) {
+                    Vec::new()
+                } else {
+                    by_name(&call.name)
+                }
+            }
+        }
+    }
+
+    /// Fixpoint of transitive acquisitions, then call-derived edges.
+    fn finish(&mut self) {
+        if let Some(name) = std::env::var_os("ANALYZER_DEBUG_FN") {
+            for fi in 0..self.functions.len() {
+                if self.functions[fi].name == name.to_string_lossy() {
+                    for c in self.functions[fi].calls.clone() {
+                        eprintln!(
+                            "debug-fn: {} line {} call {} ({:?}) -> {:?}",
+                            self.functions[fi].name,
+                            c.line,
+                            c.name,
+                            c.receiver,
+                            self.resolve(&c)
+                                .iter()
+                                .map(|g| format!(
+                                    "{:?}::{}",
+                                    self.functions[*g].impl_type, self.functions[*g].name
+                                ))
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+        }
+        for f in &mut self.functions {
+            f.trans_acq = f.direct_acq.clone();
+        }
+        loop {
+            let mut changed = false;
+            for fi in 0..self.functions.len() {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for c in &self.functions[fi].calls {
+                    for g in self.resolve(c) {
+                        for class in &self.functions[g].trans_acq {
+                            if !self.functions[fi].trans_acq.contains(class) {
+                                add.insert(class.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    self.functions[fi].trans_acq.extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Call-derived edges: held classes at the call × callee's acquired
+        // classes.
+        let mut derived: Vec<(String, String, usize, u32)> = Vec::new();
+        for f in &self.functions {
+            for c in &f.calls {
+                if c.held.is_empty() {
+                    continue;
+                }
+                for g in self.resolve(c) {
+                    if std::env::var_os("ANALYZER_DEBUG_EDGES").is_some()
+                        && !self.functions[g].trans_acq.is_empty()
+                    {
+                        eprintln!(
+                            "debug: {}:{} call {} ({:?}) -> {:?}::{} acq {:?}",
+                            self.files[c.file],
+                            c.line,
+                            c.name,
+                            c.receiver,
+                            self.functions[g].impl_type,
+                            self.functions[g].name,
+                            self.functions[g].trans_acq
+                        );
+                    }
+                    for to in &self.functions[g].trans_acq {
+                        for from in &c.held {
+                            derived.push((from.clone(), to.clone(), c.file, c.line));
+                        }
+                    }
+                }
+            }
+        }
+        for (from, to, fi, line) in derived {
+            self.add_edge(&from, &to, fi, line, true);
+        }
+    }
+
+    /// Callers of function `target`, with the classes held at each call site.
+    pub fn callers_of(&self, target: usize) -> Vec<(usize, Vec<String>, u32)> {
+        let mut out = Vec::new();
+        for (ci, f) in self.functions.iter().enumerate() {
+            for c in &f.calls {
+                if self.resolve(c).contains(&target) {
+                    out.push((ci, c.held.clone(), c.line));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `#[...]` attribute → is this item test-only? Handles `#[test]`,
+/// `#[cfg(test)]` and composites, but not `cfg(not(test))`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    for (i, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            // `not(test)` marks the item as NOT test-only.
+            let negated = i >= 2 && attr[i - 1].is_punct("(") && attr[i - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Index of the token matching the opener at `open` (`toks[open]` must be
+/// the opener). Returns the last index if unbalanced.
+fn match_balanced(toks: &[Token], open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(op) {
+            depth += 1;
+        } else if t.is_punct(cl) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len() - 1
+}
+
+/// Skips a `<...>` generics group starting at `open` (pointing at `<`).
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("<") {
+            depth += 1;
+        } else if toks[i].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct("{") || toks[i].is_punct(";") {
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Last identifier of a leading path in `toks` (e.g. `crate::foo::Bar<T>`
+/// → `Bar`).
+fn path_last_ident(toks: &[Token]) -> Option<String> {
+    let mut last = None;
+    for t in toks {
+        if t.kind == TokKind::Ident {
+            if t.text == "dyn" || t.text == "mut" {
+                continue;
+            }
+            last = Some(t.text.clone());
+        } else if !t.is_punct("::") && !t.is_punct("&") {
+            break;
+        }
+    }
+    last
+}
+
+/// Receiver name of a method call / acquisition whose `.` is at `dot`:
+/// skips one balanced `(...)`/`[...]` group, then takes the identifier.
+/// `self.stats.read()` → `stats`; `slots[i].lock()` → `slots`;
+/// `self.shard(&key).lock()` → `shard`.
+fn receiver_name(toks: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot;
+    if j == 0 {
+        return None;
+    }
+    j -= 1;
+    if toks[j].is_punct(")") || toks[j].is_punct("]") {
+        let (op, cl) = if toks[j].is_punct(")") {
+            ("(", ")")
+        } else {
+            ("[", "]")
+        };
+        let mut depth = 0i32;
+        loop {
+            if toks[j].is_punct(cl) {
+                depth += 1;
+            } else if toks[j].is_punct(op) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    (toks[j].kind == TokKind::Ident).then(|| toks[j].text.clone())
+}
+
+/// Parameter name → candidate type idents for a `fn` header starting after
+/// the function name: `storage: &StorageManager` types `storage` as
+/// `StorageManager`. Wrapper/container types and single-letter generics are
+/// skipped, like struct fields in `scan_structs`.
+fn param_types(
+    toks: &[Token],
+    after_name: usize,
+    body: usize,
+) -> HashMap<String, BTreeSet<String>> {
+    let mut out = HashMap::new();
+    let mut i = after_name;
+    if i < body && toks[i].is_punct("<") {
+        i = skip_angles(toks, i);
+    }
+    if i >= body || !toks[i].is_punct("(") {
+        return out;
+    }
+    let close = match_balanced(toks, i, "(", ")");
+    let mut k = i + 1;
+    let mut depth = 0i32;
+    while k < close {
+        let t = &toks[k];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0
+            && t.kind == TokKind::Ident
+            && matches!(toks.get(k + 1), Some(c) if c.is_punct(":"))
+        {
+            let name = t.text.clone();
+            let mut types: BTreeSet<String> = BTreeSet::new();
+            let mut tdepth = 0i32;
+            let mut m = k + 2;
+            while m < close {
+                let tm = &toks[m];
+                if tm.is_punct("<") || tm.is_punct("(") || tm.is_punct("[") {
+                    tdepth += 1;
+                } else if tm.is_punct(">") || tm.is_punct(")") || tm.is_punct("]") {
+                    tdepth -= 1;
+                } else if tm.is_punct(",") && tdepth <= 0 {
+                    break;
+                } else if tm.kind == TokKind::Ident
+                    && tm.text.len() > 1
+                    && tm.text.chars().next().is_some_and(|c| c.is_uppercase())
+                    && !WRAPPER_TYPES.contains(&tm.text.as_str())
+                {
+                    types.insert(tm.text.clone());
+                }
+                m += 1;
+            }
+            if !types.is_empty() {
+                out.insert(name, types);
+            }
+            k = m;
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Index of the first token of the receiver chain whose trailing `.` is at
+/// `dot`: walks back over identifiers, `.`/`::` separators and balanced
+/// `(...)`/`[...]` groups. `let g = self.shard(&k).lock()` with `dot` on the
+/// `.` before `lock` returns the index of `self`.
+fn chain_start(toks: &[Token], dot: usize) -> usize {
+    let mut j = dot;
+    while j > 0 {
+        let p = &toks[j - 1];
+        if p.kind == TokKind::Ident || p.is_punct(".") || p.is_punct("::") {
+            j -= 1;
+        } else if p.is_punct(")") || p.is_punct("]") {
+            let (op, cl) = if p.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(cl) {
+                    depth += 1;
+                } else if toks[k].is_punct(op) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return 0;
+                }
+                k -= 1;
+            }
+            j = k;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+/// For a method call whose `.` is at `dot`: if the receiver is (or derives
+/// from) a lock guard, return the guard's class.
+///
+/// * `x.lock().f()` / `self.stats.read().f()` — chained directly on an
+///   acquisition: class of that acquisition.
+/// * `guard.f()` / `guard.field.f()` — rooted at a live guard binding:
+///   that binding's class.
+fn chain_guard_class(
+    toks: &[Token],
+    dot: usize,
+    classes: &BTreeMap<String, String>,
+    guards: &[(Option<&str>, &str)],
+) -> Option<String> {
+    // Chained-on-acquisition: `... .read() .f(` — token before the dot is
+    // `)`, preceded by `(`, preceded by read/write/lock.
+    if dot >= 4
+        && toks[dot - 1].is_punct(")")
+        && toks[dot - 2].is_punct("(")
+        && toks[dot - 3].kind == TokKind::Ident
+        && ACQUIRE_METHODS.contains(&toks[dot - 3].text.as_str())
+        && toks[dot - 4].is_punct(".")
+    {
+        let name = receiver_name(toks, dot - 4)?;
+        return classes.get(&name).cloned();
+    }
+    // Rooted at a guard binding: walk the dotted chain back to its root.
+    let mut j = dot;
+    let mut root: Option<String> = None;
+    loop {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        if toks[j].is_punct(")") || toks[j].is_punct("]") {
+            // A call or index in the chain: its result type is unknown.
+            return None;
+        }
+        if toks[j].kind != TokKind::Ident {
+            break;
+        }
+        root = Some(toks[j].text.clone());
+        if j == 0 || !toks[j - 1].is_punct(".") {
+            break;
+        }
+        j -= 1;
+    }
+    let root = root?;
+    guards
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == Some(root.as_str()))
+        .map(|(_, c)| c.to_string())
+}
+
+/// Finds `MetaRecord::Variant` inside a call's argument tokens.
+fn find_record_variant(args: &[Token]) -> Option<String> {
+    for i in 0..args.len() {
+        if args[i].is_ident("MetaRecord") && matches!(args.get(i + 1), Some(t) if t.is_punct("::"))
+        {
+            return args.get(i + 2).map(|t| t.text.clone());
+        }
+    }
+    None
+}

@@ -1,0 +1,136 @@
+//! Machine-readable report: hand-rolled JSON emission (the analyzer is
+//! dependency-free).
+
+use crate::model::{Edge, Finding};
+
+/// The analyzer's full output for one run.
+#[derive(Debug)]
+pub struct Report {
+    /// Canonical order the run checked against, outermost first.
+    pub order: Vec<String>,
+    /// Self-nesting classes.
+    pub self_nesting: Vec<String>,
+    /// Where the order was declared (`file:line`), if parsed from source.
+    pub order_source: Option<(String, u32)>,
+    /// Deduplicated acquisition edges.
+    pub edges: Vec<Edge>,
+    /// All findings, sorted by file/line.
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_analyzed: usize,
+    /// Number of non-test functions modeled.
+    pub functions: usize,
+}
+
+impl Report {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"files_analyzed\": {},\n  \"functions\": {},\n",
+            self.files_analyzed, self.functions
+        ));
+        s.push_str("  \"order\": [");
+        push_str_list(&mut s, &self.order);
+        s.push_str("],\n  \"self_nesting\": [");
+        push_str_list(&mut s, &self.self_nesting);
+        s.push_str("],\n");
+        match &self.order_source {
+            Some((f, l)) => s.push_str(&format!(
+                "  \"order_source\": {},\n",
+                json_str(&format!("{f}:{l}"))
+            )),
+            None => s.push_str("  \"order_source\": null,\n"),
+        }
+        s.push_str("  \"edges\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"from\": {}, \"to\": {}, \"via_call\": {}, \"site\": {}}}{}\n",
+                json_str(&e.from),
+                json_str(&e.to),
+                e.via_call,
+                json_str(&format!("{}:{}", e.file, e.line)),
+                if i + 1 < self.edges.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(&f.lint),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable summary (one line per finding).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "analyzed {} files, {} functions; {} acquisition edges; canonical order from {}\n",
+            self.files_analyzed,
+            self.functions,
+            self.edges.len(),
+            match &self.order_source {
+                Some((f, l)) => format!("{f}:{l}"),
+                None => "builtin fallback".into(),
+            }
+        ));
+        for e in &self.edges {
+            s.push_str(&format!(
+                "  edge {} -> {}{} ({}:{})\n",
+                e.from,
+                e.to,
+                if e.via_call { " [via call]" } else { "" },
+                e.file,
+                e.line
+            ));
+        }
+        if self.findings.is_empty() {
+            s.push_str("no findings\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    f.file, f.line, f.lint, f.message
+                ));
+            }
+            s.push_str(&format!("{} finding(s)\n", self.findings.len()));
+        }
+        s
+    }
+}
+
+fn push_str_list(s: &mut String, items: &[String]) {
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(it));
+    }
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

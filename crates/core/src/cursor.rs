@@ -267,7 +267,7 @@ impl<'a> QueryCursor<'a> {
         // recorded: every dataset takes the adaptive path and stays eligible
         // for per-key merge routing.
         let merge_eligible = if engine.config.planner_enabled {
-            let merger = engine.merger.read().unwrap();
+            let merger = engine.merger.read();
             let (file, _) = merger.directory().peek(combination);
             for dataset_id in combination.iter() {
                 if let Some(index) = engine.datasets.iter().find(|d| d.dataset() == dataset_id) {
@@ -298,7 +298,7 @@ impl<'a> QueryCursor<'a> {
         // datasets to the octree) for this query.
         {
             let probe = || {
-                let merger = engine.merger.read().unwrap();
+                let merger = engine.merger.read();
                 match merger.directory().peek(combination).0 {
                     Some(file) => {
                         let stale = engine.stale_subset(file, combination);
@@ -416,7 +416,7 @@ impl<'a> QueryCursor<'a> {
                     .datasets
                     .iter()
                     .find(|d| d.dataset() == *dataset_id)
-                    .expect("pending keys only come from known datasets");
+                    .expect("pending keys only come from known datasets"); // analyzer: allow(staged keys reference datasets resolved at plan time)
                 if let Some(partition) = index.partition(key) {
                     if query.range.contains(&partition.bounds) {
                         count += partition.object_count;
@@ -444,7 +444,7 @@ impl<'a> QueryCursor<'a> {
         // eviction or new staleness between batches falls back to the
         // octree path instead of serving dropped objects.
         {
-            let merger = engine.merger.read().unwrap();
+            let merger = engine.merger.read();
             let (file, route) = merger.directory().route(combination);
             cursor.route = route;
             if let Some(file) = file {
@@ -593,10 +593,11 @@ impl<'a> QueryCursor<'a> {
         let (key, wanted) = self.served[self.served_pos];
         self.served_pos += 1;
         let CursorMode::Rangelike { query, counting } = self.mode else {
+            // analyzer: allow(merge entries are staged only in Rangelike mode)
             unreachable!("merge entries are only staged for range-like queries");
         };
         let engine = self.engine;
-        let merger = engine.merger.read().unwrap();
+        let merger = engine.merger.read();
         let file = merger
             .directory()
             .iter()
@@ -667,6 +668,7 @@ impl<'a> QueryCursor<'a> {
         let (dataset_id, key) = self.pending[self.pending_pos];
         self.pending_pos += 1;
         let CursorMode::Rangelike { query, counting } = self.mode else {
+            // analyzer: allow(regions are staged only in Rangelike mode)
             unreachable!("pending regions are only staged for range-like queries");
         };
         let index = self
@@ -674,7 +676,7 @@ impl<'a> QueryCursor<'a> {
             .datasets
             .iter()
             .find(|d| d.dataset() == dataset_id)
-            .expect("pending keys only come from known datasets");
+            .expect("pending keys only come from known datasets"); // analyzer: allow(staged keys reference datasets resolved at plan time)
         let objs = index
             .read_region(self.storage, &self.engine.config, &key)?
             .unwrap_or_default();
@@ -698,7 +700,7 @@ impl<'a> QueryCursor<'a> {
     fn pull_scan_chunk(&mut self, i: usize, out: &mut Vec<SpatialObject>) -> StorageResult<()> {
         let scan = self.scans[i];
         let CursorMode::Rangelike { query, counting } = self.mode else {
-            unreachable!("scans are only staged for range-like queries");
+            unreachable!("scans are only staged for range-like queries"); // analyzer: allow(scans are staged only in Rangelike mode)
         };
         let end = (scan.next_page + self.scan_chunk_pages).min(scan.end_page);
         let objs = self.storage.read_objects(scan.file, scan.next_page..end)?;
@@ -833,7 +835,7 @@ impl<'a> QueryCursor<'a> {
                 .fetch_add(self.rows_skipped, std::sync::atomic::Ordering::Relaxed);
         }
         {
-            let mut stats = engine.stats.write().unwrap();
+            let mut stats = engine.stats.write();
             stats.record(self.stats_combination, &self.retrieved_union);
             durability::log(
                 self.storage,
@@ -850,20 +852,19 @@ impl<'a> QueryCursor<'a> {
             return Ok(());
         }
         let should_merge = {
-            let merger = engine.merger.read().unwrap();
-            let stats = engine.stats.read().unwrap();
+            let merger = engine.merger.read();
+            let stats = engine.stats.read();
             merger.should_merge(&engine.config, &stats, self.stats_combination)
         };
         if should_merge {
             let candidates: Vec<PartitionKey> = engine
                 .stats
                 .read()
-                .unwrap()
                 .retrieved(self.stats_combination)
                 .map(|set| set.iter().copied().collect())
                 .unwrap_or_default();
             if !candidates.is_empty() {
-                let summary = engine.merger.write().unwrap().merge_combination(
+                let summary = engine.merger.write().merge_combination(
                     self.storage,
                     &engine.config,
                     self.stats_combination,

@@ -1273,7 +1273,7 @@ impl EngineSnapshot {
                             copied: Vec::new(),
                             new_len: 0,
                         });
-                        pending.last_mut().expect("just pushed")
+                        pending.last_mut().expect("just pushed") // analyzer: allow(pushed on the previous line)
                     }
                 };
                 for pair in pairs {

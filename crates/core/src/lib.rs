@@ -49,6 +49,27 @@
 //!   deterministic merge).
 //!
 //! The public entry point is [`SpaceOdyssey`].
+//!
+//! # Canonical lock order
+//!
+//! Every lock in the engine and the storage layer is a
+//! [`odyssey_storage::sync::Shared`] or [`odyssey_storage::sync::Exclusive`]
+//! carrying a [`odyssey_storage::sync::LockClass`]. Nested acquisitions must
+//! go strictly left-to-right through the declaration below; classes on the
+//! `self-nesting` line may additionally nest within themselves (disjoint
+//! instances, taken in a deterministic order — per-dataset locks by dataset
+//! id, work cells never twice).
+//!
+//! This comment is the machine-read source of truth: `odyssey-analyzer`
+//! parses the two lines below, checks every statically extracted
+//! acquisition edge against them, and cross-validates them against
+//! `LockClass::ALL` in `crates/storage/src/sync.rs`. Reorder locks here
+//! first; the analyzer will fail until the implementation agrees.
+//!
+//! ```text
+//! lock-order: Merger < Stats < SchedulerQueue < DatasetState < DatasetRaw < ResultCache < Wal < StorageFiles < WalState < BufferShard < FilePages < WorkCell
+//! self-nesting: DatasetState, DatasetRaw, WorkCell
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -31,12 +31,12 @@ use crate::config::OdysseyConfig;
 use crate::durability::{self, DatasetSnapshot, MetaRecord, PartitionMeta, PendingCompaction};
 use crate::partition::{Partition, PartitionKey};
 use odyssey_geom::{knn_key_cmp, Aabb, DatasetId, RangeQuery, SpatialObject, Vec3};
+use odyssey_storage::sync::{LockClass, Shared};
 use odyssey_storage::{
     append_to_raw_dataset, pages_needed, FileId, RawDataset, StorageManager, StorageResult,
 };
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 
 /// Result of preparing one dataset for a query: which partitions intersect,
 /// which still have to be read, and what was already collected as a side
@@ -232,8 +232,8 @@ pub struct DatasetIndex {
     dataset: DatasetId,
     /// Raw-file metadata, mutable because online ingestion appends to the raw
     /// file. Lock order: `state` before `raw` (never the other way around).
-    raw: RwLock<RawDataset>,
-    state: RwLock<IndexState>,
+    raw: Shared<RawDataset>,
+    state: Shared<IndexState>,
     total_refinements: AtomicU64,
     /// Mirror of `ingest_log.len()`, readable without the state lock (used by
     /// the planner's staleness estimates; exact values are read under the
@@ -254,13 +254,16 @@ impl DatasetIndex {
             dataset: raw.dataset,
             seed_objects: raw.num_objects,
             seed_pages: raw.page_range.1,
-            raw: RwLock::new(raw),
-            state: RwLock::new(IndexState {
-                file: None,
-                partitions: Vec::new(),
-                max_extent: Vec3::ZERO,
-                ingest_log: Vec::new(),
-            }),
+            raw: Shared::new(LockClass::DatasetRaw, raw),
+            state: Shared::new(
+                LockClass::DatasetState,
+                IndexState {
+                    file: None,
+                    partitions: Vec::new(),
+                    max_extent: Vec3::ZERO,
+                    ingest_log: Vec::new(),
+                },
+            ),
             total_refinements: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
         }
@@ -280,18 +283,21 @@ impl DatasetIndex {
             dataset: snapshot.raw.dataset,
             seed_objects: snapshot.seed_objects,
             seed_pages: snapshot.seed_pages,
-            raw: RwLock::new(snapshot.raw),
+            raw: Shared::new(LockClass::DatasetRaw, snapshot.raw),
             ingested: AtomicU64::new(ingest_log.len() as u64),
-            state: RwLock::new(IndexState {
-                file: snapshot.file,
-                partitions: snapshot
-                    .partitions
-                    .iter()
-                    .map(|m| m.restore(config))
-                    .collect(),
-                max_extent: snapshot.max_extent,
-                ingest_log,
-            }),
+            state: Shared::new(
+                LockClass::DatasetState,
+                IndexState {
+                    file: snapshot.file,
+                    partitions: snapshot
+                        .partitions
+                        .iter()
+                        .map(|m| m.restore(config))
+                        .collect(),
+                    max_extent: snapshot.max_extent,
+                    ingest_log,
+                },
+            ),
             total_refinements: AtomicU64::new(snapshot.total_refinements),
         }
     }
@@ -299,8 +305,8 @@ impl DatasetIndex {
     /// Captures the index's durable state under one consistent lock
     /// acquisition (the checkpoint building block).
     pub fn snapshot(&self) -> DatasetSnapshot {
-        let state = self.state.read().unwrap();
-        let raw = *self.raw.read().unwrap();
+        let state = self.state.read();
+        let raw = *self.raw.read();
         DatasetSnapshot {
             raw,
             seed_objects: self.seed_objects,
@@ -322,7 +328,7 @@ impl DatasetIndex {
     /// cost the sequential-scan access path, and by the scan path itself).
     /// A copy, not a reference: ingestion grows the raw file over time.
     pub fn raw(&self) -> RawDataset {
-        *self.raw.read().unwrap()
+        *self.raw.read()
     }
 
     /// Reads every object of the dataset straight from its raw file — the
@@ -336,7 +342,7 @@ impl DatasetIndex {
     /// Size snapshot for the planner: `(partition count, data pages, stored
     /// objects)`, or `None` while the dataset is uninitialized.
     pub fn summary(&self) -> Option<(usize, u64, u64)> {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         state.file?;
         let pages = state.partitions.iter().map(|p| p.total_page_count()).sum();
         let objects = state.partitions.iter().map(|p| p.object_count).sum();
@@ -354,16 +360,16 @@ impl DatasetIndex {
     /// it. The compactor polls this file's space stats for the dead-page
     /// trigger.
     pub fn partition_file(&self) -> Option<FileId> {
-        self.state.read().unwrap().file
+        self.state.read().file
     }
 
     /// Pages currently referenced by live metadata: the raw file plus every
     /// partition's main and overflow runs. The denominator of the
     /// space-amplification metric (total physical pages / live pages).
     pub fn live_pages(&self) -> u64 {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         let partitions: u64 = state.partitions.iter().map(|p| p.total_page_count()).sum();
-        self.raw.read().unwrap().num_pages() + partitions
+        self.raw.read().num_pages() + partitions
     }
 
     /// Copy-forwards the dataset's live partition runs into a fresh partition
@@ -423,7 +429,7 @@ impl DatasetIndex {
         pending: &mut Option<PendingCompaction>,
         max_pages: u64,
     ) -> StorageResult<CompactStep> {
-        let mut state = self.state.write().unwrap();
+        let mut state = self.state.write();
         let state = &mut *state;
         let job = match pending.take() {
             Some(job) => {
@@ -532,7 +538,7 @@ impl DatasetIndex {
                 .copied
                 .iter()
                 .find(|(m, _)| m.key == slot.key)
-                .expect("every live partition was copied");
+                .expect("every live partition was copied"); // analyzer: allow(compaction copies every live partition)
             slot.page_start = meta.page_start;
             slot.page_count = meta.page_count;
             slot.overflow_page_start = 0;
@@ -570,7 +576,7 @@ impl DatasetIndex {
     /// current sequence number, read under one state-lock acquisition (so the
     /// tail and the sequence are mutually consistent).
     pub fn ingest_tail(&self, from: u64) -> (Vec<SpatialObject>, u64) {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         let len = state.ingest_log.len() as u64;
         let from = from.min(len);
         (state.ingest_log[from as usize..].to_vec(), len)
@@ -586,7 +592,7 @@ impl DatasetIndex {
         query: &RangeQuery,
         mut visit: F,
     ) -> Option<usize> {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         state.file?;
         let extended = query.extended_range(state.max_extent);
         for p in state.partitions.iter() {
@@ -599,18 +605,18 @@ impl DatasetIndex {
 
     /// Whether the first-touch partitioning has happened.
     pub fn is_initialized(&self) -> bool {
-        self.state.read().unwrap().file.is_some()
+        self.state.read().file.is_some()
     }
 
     /// Maximum object extent seen during the initial scan (zero before
     /// initialization). Queries are extended by half of this per dimension.
     pub fn max_extent(&self) -> Vec3 {
-        self.state.read().unwrap().max_extent
+        self.state.read().max_extent
     }
 
     /// A snapshot of the current leaf partitions (unordered).
     pub fn partitions(&self) -> Vec<Partition> {
-        self.state.read().unwrap().partitions.clone()
+        self.state.read().partitions.clone()
     }
 
     /// Total number of refinement operations performed so far.
@@ -622,7 +628,6 @@ impl DatasetIndex {
     pub fn partition(&self, key: &PartitionKey) -> Option<Partition> {
         self.state
             .read()
-            .unwrap()
             .partitions
             .iter()
             .find(|p| p.key == *key)
@@ -642,15 +647,15 @@ impl DatasetIndex {
         storage: &StorageManager,
         config: &OdysseyConfig,
     ) -> StorageResult<()> {
-        if self.state.read().unwrap().file.is_some() {
+        if self.state.read().file.is_some() {
             return Ok(());
         }
-        let mut state = self.state.write().unwrap();
+        let mut state = self.state.write();
         if state.file.is_some() {
             return Ok(()); // another thread won the race
         }
         let k = config.splits_per_dimension();
-        let raw = *self.raw.read().unwrap();
+        let raw = *self.raw.read();
         let objects = storage.read_objects(raw.file, raw.pages())?;
         let mut max_extent = Vec3::ZERO;
         let mut groups: Vec<Vec<SpatialObject>> = vec![Vec::new(); k * k * k];
@@ -712,7 +717,7 @@ impl DatasetIndex {
         // partition still needs refinement. If not (the steady state), the
         // prepared answer is assembled without ever writing.
         if !first_touch {
-            let state = self.state.read().unwrap();
+            let state = self.state.read();
             let extended = query.extended_range(state.max_extent);
             storage.note_objects_scanned(state.partitions.len() as u64);
             let hits: Vec<&Partition> = state
@@ -738,7 +743,7 @@ impl DatasetIndex {
         // re-validated against the current partition table, so a refinement
         // another thread performed in the meantime is simply observed, never
         // repeated.
-        let mut state = self.state.write().unwrap();
+        let mut state = self.state.write();
         let state = &mut *state;
         let extended = query.extended_range(state.max_extent);
         let mut out = PreparedQuery::default();
@@ -786,7 +791,7 @@ impl DatasetIndex {
         // The very first query on a dataset already scanned the whole raw
         // file; answer it from that scan rather than re-reading partitions.
         if first_touch {
-            let file = state.file.expect("initialized");
+            let file = state.file.expect("initialized"); // analyzer: allow(first_touch initialized the file above)
             let mut collected_from_pending = Vec::new();
             for key in &out.pending_keys {
                 if let Some(p) = state.partitions.iter().find(|p| p.key == *key) {
@@ -869,9 +874,9 @@ impl DatasetIndex {
         if objects.is_empty() {
             return Ok(stats);
         }
-        let mut state = self.state.write().unwrap();
+        let mut state = self.state.write();
         let state = &mut *state;
-        append_to_raw_dataset(storage, &mut self.raw.write().unwrap(), objects)?;
+        append_to_raw_dataset(storage, &mut self.raw.write(), objects)?;
         stats.objects_ingested = objects.len();
 
         if let Some(file) = state.file {
@@ -985,18 +990,18 @@ impl DatasetIndex {
                     .iter()
                     .find(|p| p.key == *key)
                     .map(PartitionMeta::of)
-                    .expect("logged partitions exist")
+                    .expect("logged partitions exist") // analyzer: allow(replayed keys come from this dataset's log)
             };
             let record = MetaRecord::Ingest {
                 dataset: self.dataset,
                 count: objects.len() as u64,
-                raw_len: self.raw.read().unwrap().page_range.1,
+                raw_len: self.raw.read().page_range.1,
                 updated: updated_keys.iter().map(meta_of).collect(),
                 created: created_keys.iter().map(meta_of).collect(),
                 max_extent: state.max_extent,
                 part_file_len: Some(storage.num_pages(file)?),
             };
-            storage.sync_file(self.raw.read().unwrap().file)?;
+            storage.sync_file(self.raw.read().file)?;
             storage.sync_file(file)?;
             durability::log(storage, record)?;
             if defer_splits {
@@ -1016,13 +1021,13 @@ impl DatasetIndex {
             let record = MetaRecord::Ingest {
                 dataset: self.dataset,
                 count: objects.len() as u64,
-                raw_len: self.raw.read().unwrap().page_range.1,
+                raw_len: self.raw.read().page_range.1,
                 updated: Vec::new(),
                 created: Vec::new(),
                 max_extent: state.max_extent,
                 part_file_len: None,
             };
-            storage.sync_file(self.raw.read().unwrap().file)?;
+            storage.sync_file(self.raw.read().file)?;
             durability::log(storage, record)?;
         }
 
@@ -1050,7 +1055,7 @@ impl DatasetIndex {
         if config.ingest_split_objects == 0 {
             return Ok(0);
         }
-        let mut state = self.state.write().unwrap();
+        let mut state = self.state.write();
         let state = &mut *state;
         if state.file.is_none() {
             return Ok(0);
@@ -1125,7 +1130,7 @@ impl DatasetIndex {
         idx: usize,
         dataset: DatasetId,
     ) -> StorageResult<Vec<SpatialObject>> {
-        let file = state.file.expect("refine requires an initialized dataset");
+        let file = state.file.expect("refine requires an initialized dataset"); // analyzer: allow(refine runs only on initialized datasets)
         let parent = state.partitions[idx];
         let k = config.splits_per_dimension();
         let objects = Self::read_runs(storage, file, &parent)?;
@@ -1227,7 +1232,7 @@ impl DatasetIndex {
         storage: &StorageManager,
         key: &PartitionKey,
     ) -> StorageResult<Vec<SpatialObject>> {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         let Some(partition) = state.partitions.iter().find(|p| p.key == *key) else {
             return Ok(Vec::new());
         };
@@ -1236,7 +1241,7 @@ impl DatasetIndex {
         }
         let file = state
             .file
-            .expect("read_partition requires an initialized dataset");
+            .expect("read_partition requires an initialized dataset"); // analyzer: allow(read_partition runs only on initialized datasets)
         Self::read_runs(storage, file, partition)
     }
 
@@ -1279,7 +1284,7 @@ impl DatasetIndex {
         config: &OdysseyConfig,
         key: &PartitionKey,
     ) -> StorageResult<Option<(Vec<SpatialObject>, u64)>> {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         let seq = state.ingest_log.len() as u64;
         let Some(file) = state.file else {
             return Ok(None);
@@ -1343,7 +1348,7 @@ impl DatasetIndex {
     /// Classifies how the dataset's current leaves cover the region `key`
     /// (see [`RegionCoverage`]). One read-lock acquisition, no I/O.
     pub fn region_coverage(&self, config: &OdysseyConfig, key: &PartitionKey) -> RegionCoverage {
-        let state = self.state.read().unwrap();
+        let state = self.state.read();
         if state.file.is_none() {
             return RegionCoverage::Uninitialized;
         }
@@ -1394,8 +1399,8 @@ impl DatasetIndex {
         if k == 0 {
             return Ok(out);
         }
-        let state = self.state.read().unwrap();
-        let file = state.file.expect("knn requires an initialized dataset");
+        let state = self.state.read();
+        let file = state.file.expect("knn requires an initialized dataset"); // analyzer: allow(knn runs only on initialized datasets)
         let margin = state.max_extent * 0.5;
 
         // Rank partitions by the extended-bounds mindist. The scan over the
@@ -1408,7 +1413,7 @@ impl DatasetIndex {
             .collect();
         order.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
-                .expect("partition distances are finite")
+                .expect("partition distances are finite") // analyzer: allow(distances are squared norms, never NaN)
                 .then(a.1.key.cmp(&b.1.key))
         });
 
@@ -1453,7 +1458,7 @@ impl DatasetIndex {
                 }
             }
             if best.len() == k {
-                kth = best.peek().expect("heap holds k candidates").key.0;
+                kth = best.peek().expect("heap holds k candidates").key.0; // analyzer: allow(heap size just compared equal to k)
             }
         }
         // Everything after the early exit is provably outside the k-th

@@ -215,7 +215,7 @@ impl<'a> Planner<'a> {
                     let served = eff.seek
                         + served_pages as f64 * eff.page
                         + served_objects as f64 * eff.cpu_object;
-                    let repair = self.repair_cost(eff, index, merge_file.expect("served"));
+                    let repair = self.repair_cost(eff, index, merge_file.expect("served")); // analyzer: allow(merge path implies a merge file)
                     table_cpu + unserved + served + repair
                 });
                 IndexedEstimate { octree, merge }

@@ -63,9 +63,10 @@ use crate::durability::{MaintenanceSnapshot, PendingCompaction};
 use crate::engine::SpaceOdyssey;
 use crate::octree::{CompactStep, DatasetIndex};
 use odyssey_geom::{DatasetId, DatasetSet};
+use odyssey_storage::sync::{Exclusive, LockClass};
 use odyssey_storage::{StorageError, StorageManager, StorageResult};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::Duration;
 
 /// Identity of a maintenance job — the unit of queue deduplication.
@@ -188,7 +189,7 @@ enum JobStep {
 /// helper-slot pool. One per engine; shared by reference across threads.
 #[derive(Debug)]
 pub struct MaintenanceScheduler {
-    state: Mutex<SchedState>,
+    sched: Exclusive<SchedState>,
     /// Signalled whenever a job finishes or the queue changes — what
     /// `MaintenanceScheduler::wait_if_running` and blocked drain workers
     /// sleep on.
@@ -206,7 +207,7 @@ impl MaintenanceScheduler {
     /// An empty scheduler with `max_jobs - 1` helper slots.
     pub(crate) fn new(max_jobs: usize) -> Self {
         MaintenanceScheduler {
-            state: Mutex::new(SchedState::default()),
+            sched: Exclusive::new(LockClass::SchedulerQueue, SchedState::default()),
             changed: Condvar::new(),
             helper_slots: AtomicUsize::new(max_jobs.saturating_sub(1)),
             jobs_enqueued: AtomicU64::new(0),
@@ -233,7 +234,7 @@ impl MaintenanceScheduler {
     /// into a parked phased copy without disturbing its progress). Returns
     /// `(newly_enqueued, queue_depth)`.
     pub(crate) fn enqueue(&self, spec: JobSpec) -> (bool, usize) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.sched.lock();
         let key = spec.key();
         let depth_after = |st: &SchedState| st.queue.len();
         if let Some(existing) = st.queue.iter_mut().find(|j| j.spec.key() == key) {
@@ -278,7 +279,7 @@ impl MaintenanceScheduler {
     /// while the queue holds only running-keyed jobs; returns `None` once
     /// the queue is empty.
     fn next_job(&self) -> Option<QueuedJob> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.sched.lock();
         loop {
             if st.queue.is_empty() {
                 return None;
@@ -298,7 +299,7 @@ impl MaintenanceScheduler {
                 }
                 // Every queued key is in flight elsewhere: wait for one to
                 // finish rather than running the same key twice.
-                None => st = self.changed.wait(st).unwrap(),
+                None => st = self.sched.wait(st, &self.changed),
             }
         }
     }
@@ -306,7 +307,7 @@ impl MaintenanceScheduler {
     /// Marks `key` finished; a yielded compaction passes its continuation
     /// back as `requeue` (keeping the original seq so it keeps its place).
     fn finish_job(&self, key: JobKey, seq: u64, requeue: Option<JobSpec>) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.sched.lock();
         st.running.retain(|k| *k != key);
         if let Some(spec) = requeue {
             // A trigger may have re-enqueued the key while the step ran;
@@ -323,25 +324,25 @@ impl MaintenanceScheduler {
     /// drain is running it) does not block — the caller should bypass
     /// instead of waiting on work nobody is doing.
     pub(crate) fn wait_if_running(&self, key: JobKey) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.sched.lock();
         let mut waited = false;
         while st.running.contains(&key) {
             waited = true;
-            st = self.changed.wait(st).unwrap();
+            st = self.sched.wait(st, &self.changed);
         }
         waited
     }
 
     /// Jobs currently queued (not counting one running in a drain).
     pub(crate) fn queue_depth(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        self.sched.lock().queue.len()
     }
 
     /// The compactions parked mid-copy in the queue — what a checkpoint
     /// persists. Call from a quiescent point (like the checkpoint itself):
     /// a running drain could hold progress not yet requeued.
     pub(crate) fn pending_compactions(&self) -> Vec<PendingCompaction> {
-        let st = self.state.lock().unwrap();
+        let st = self.sched.lock();
         let mut pending: Vec<PendingCompaction> = st
             .queue
             .iter()
@@ -439,10 +440,11 @@ impl SpaceOdyssey {
         if depth == 0 {
             return Ok(MaintenanceReport::default());
         }
-        let report: Mutex<MaintenanceReport> = Mutex::new(MaintenanceReport::default());
-        let error: Mutex<Option<StorageError>> = Mutex::new(None);
+        let report: Exclusive<MaintenanceReport> =
+            Exclusive::new(LockClass::WorkCell, MaintenanceReport::default());
+        let error: Exclusive<Option<StorageError>> = Exclusive::new(LockClass::WorkCell, None);
         let worker = || loop {
-            if error.lock().unwrap().is_some() {
+            if error.lock().is_some() {
                 break;
             }
             let Some(job) = self.maintenance.next_job() else {
@@ -457,7 +459,7 @@ impl SpaceOdyssey {
                         .fetch_add(delta.jobs_run, Ordering::Relaxed);
                     storage.note_maintenance_completed(delta.jobs_run);
                     self.note_pages_written(storage, delta.pages_written);
-                    report.lock().unwrap().absorb(&delta);
+                    report.lock().absorb(&delta);
                     self.rate_limit(delta.pages_written);
                 }
                 Ok(JobStep::Requeue {
@@ -466,7 +468,7 @@ impl SpaceOdyssey {
                 }) => {
                     self.maintenance.finish_job(key, job.seq, Some(spec));
                     self.note_pages_written(storage, pages_written);
-                    let mut r = report.lock().unwrap();
+                    let mut r = report.lock();
                     r.steps_yielded += 1;
                     r.pages_written += pages_written;
                     drop(r);
@@ -474,7 +476,7 @@ impl SpaceOdyssey {
                 }
                 Err(e) => {
                     self.maintenance.finish_job(key, job.seq, None);
-                    *error.lock().unwrap() = Some(e);
+                    *error.lock() = Some(e);
                     break;
                 }
             }
@@ -491,10 +493,10 @@ impl SpaceOdyssey {
             });
             self.maintenance.release_helpers(helpers);
         }
-        if let Some(e) = error.into_inner().unwrap() {
+        if let Some(e) = error.into_inner() {
             return Err(e);
         }
-        Ok(report.into_inner().unwrap())
+        Ok(report.into_inner())
     }
 
     fn note_pages_written(&self, storage: &StorageManager, pages: u64) {
@@ -531,7 +533,7 @@ impl SpaceOdyssey {
                 combination,
                 wanted,
             } => {
-                let runs = self.merger.write().unwrap().repair_combination(
+                let runs = self.merger.write().repair_combination(
                     storage,
                     &self.config,
                     combination,
@@ -619,12 +621,19 @@ impl SpaceOdyssey {
             return targets.iter().map(&f).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<StorageResult<R>>>> =
-            targets.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Exclusive<Option<StorageResult<R>>>> = targets
+            .iter()
+            .map(|_| Exclusive::new(LockClass::WorkCell, None))
+            .collect();
         let work = || loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(target) = targets.get(i) else { break };
-            *slots[i].lock().unwrap() = Some(f(target));
+            // Run the work BEFORE taking the cell lock: `*slot.lock() = f()`
+            // would hold the WorkCell guard (ranked innermost) across every
+            // lock `f` acquires, inverting the canonical order. The engine's
+            // `run_batch` already stores this way; keep the two in lockstep.
+            let result = f(target);
+            *slots[i].lock() = Some(result);
         };
         std::thread::scope(|scope| {
             for _ in 0..helpers {
@@ -636,9 +645,7 @@ impl SpaceOdyssey {
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every fan slot is filled")
+                slot.into_inner().expect("every fan slot is filled") // analyzer: allow(each scoped worker fills its slot before the scope joins)
             })
             .collect()
     }
@@ -679,7 +686,7 @@ mod tests {
         });
         assert!(!new);
         assert_eq!(depth, 2);
-        let st = s.state.lock().unwrap();
+        let st = s.sched.lock();
         let wanted = st
             .queue
             .iter()
@@ -740,7 +747,7 @@ mod tests {
             pending: None,
         });
         {
-            let st = s.state.lock().unwrap();
+            let st = s.sched.lock();
             assert!(st.running.contains(&JobKey::Compaction(ds(0))));
             assert_eq!(st.queue.len(), 1);
         }

@@ -17,9 +17,9 @@
 
 use crate::file::FileId;
 use crate::page::{Page, PageId};
+use crate::sync::{Exclusive, LockClass};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Key of a cached page.
 pub type FramePageKey = (FileId, PageId);
@@ -89,7 +89,7 @@ impl Shard {
 pub struct BufferPool {
     capacity: usize,
     capacity_per_shard: usize,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Exclusive<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -121,7 +121,7 @@ impl BufferPool {
             capacity,
             capacity_per_shard: capacity.div_ceil(shard_count),
             shards: (0..shard_count)
-                .map(|_| Mutex::new(Shard::default()))
+                .map(|_| Exclusive::new(LockClass::BufferShard, Shard::default()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -145,7 +145,7 @@ impl BufferPool {
     pub fn resident(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().frames.len())
+            .map(|shard| shard.lock().frames.len())
             .sum()
     }
 
@@ -167,7 +167,8 @@ impl BufferPool {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    fn shard(&self, key: &FramePageKey) -> &Mutex<Shard> {
+    // analyzer: lock(shard = BufferShard)
+    fn shard(&self, key: &FramePageKey) -> &Exclusive<Shard> {
         // FileId in the high bits, page in the low bits; a multiplicative
         // hash spreads consecutive pages across shards.
         let mixed = ((key.0 .0 as u64) << 40 ^ key.1 .0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -176,7 +177,7 @@ impl BufferPool {
 
     /// Looks up a page, refreshing its recency on a hit.
     pub fn get(&self, key: FramePageKey) -> Option<Page> {
-        let result = self.shard(&key).lock().unwrap().get(key);
+        let result = self.shard(&key).lock().get(key);
         match &result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -194,7 +195,6 @@ impl BufferPool {
         let evicted = self
             .shard(&key)
             .lock()
-            .unwrap()
             .insert(key, page, self.capacity_per_shard);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -204,7 +204,7 @@ impl BufferPool {
     /// Updates a page if (and only if) it is resident; used by write-through
     /// so cached copies never go stale.
     pub fn update_if_resident(&self, key: FramePageKey, page: &Page) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = self.shard(&key).lock();
         if let Some((slot, _)) = shard.frames.get_mut(&key) {
             *slot = page.clone();
         }
@@ -212,13 +212,13 @@ impl BufferPool {
 
     /// Removes a cached page (e.g. when its file is dropped).
     pub fn invalidate(&self, key: FramePageKey) {
-        self.shard(&key).lock().unwrap().invalidate(key);
+        self.shard(&key).lock().invalidate(key);
     }
 
     /// Removes every cached page of the given file.
     pub fn invalidate_file(&self, file: FileId) {
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = shard.lock();
             let keys: Vec<FramePageKey> = shard
                 .frames
                 .keys()
@@ -234,7 +234,7 @@ impl BufferPool {
     /// Drops every cached page (the paper clears caches between phases).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = shard.lock();
             shard.frames.clear();
             shard.lru.clear();
         }

@@ -135,21 +135,21 @@ impl<'a> Dec<'a> {
     /// Reads a `u16`.
     pub fn u16(&mut self) -> StorageResult<u16> {
         Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
+            self.take(2)?.try_into().expect("2 bytes"), // analyzer: allow(take(2) yields exactly 2 bytes)
         ))
     }
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> StorageResult<u32> {
         Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
+            self.take(4)?.try_into().expect("4 bytes"), // analyzer: allow(take(4) yields exactly 4 bytes)
         ))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> StorageResult<u64> {
         Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
+            self.take(8)?.try_into().expect("8 bytes"), // analyzer: allow(take(8) yields exactly 8 bytes)
         ))
     }
 

@@ -17,11 +17,11 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::sync::{Exclusive, LockClass, Shared};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, RwLock};
 
 /// Identifier of a file managed by the [`crate::StorageManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -83,14 +83,14 @@ const GROW_CHUNK_PAGES: u64 = 256;
 /// In-memory paged file.
 #[derive(Default)]
 pub struct MemFile {
-    pages: RwLock<Vec<Page>>,
+    pages: Shared<Vec<Page>>,
 }
 
 impl MemFile {
     /// Creates an empty in-memory file.
     pub fn new() -> Self {
         MemFile {
-            pages: RwLock::new(Vec::new()),
+            pages: Shared::new(LockClass::FilePages, Vec::new()),
         }
     }
 }
@@ -105,11 +105,11 @@ fn out_of_range(page: PageId, len: u64) -> StorageError {
 
 impl PagedFile for MemFile {
     fn num_pages(&self) -> u64 {
-        self.pages.read().unwrap().len() as u64
+        self.pages.read().len() as u64
     }
 
     fn read_page(&self, page: PageId) -> StorageResult<Page> {
-        let pages = self.pages.read().unwrap();
+        let pages = self.pages.read();
         pages
             .get(page.0 as usize)
             .cloned()
@@ -117,7 +117,7 @@ impl PagedFile for MemFile {
     }
 
     fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
-        let mut pages = self.pages.write().unwrap();
+        let mut pages = self.pages.write();
         let len = pages.len() as u64;
         let slot = pages
             .get_mut(page.0 as usize)
@@ -127,13 +127,13 @@ impl PagedFile for MemFile {
     }
 
     fn append_page(&self, data: &Page) -> StorageResult<PageId> {
-        let mut pages = self.pages.write().unwrap();
+        let mut pages = self.pages.write();
         pages.push(data.clone());
         Ok(PageId(pages.len() as u64 - 1))
     }
 
     fn grow_to(&self, target: u64) -> StorageResult<()> {
-        let mut pages = self.pages.write().unwrap();
+        let mut pages = self.pages.write();
         if (pages.len() as u64) < target {
             pages.resize(target as usize, Page::empty());
         }
@@ -141,7 +141,7 @@ impl PagedFile for MemFile {
     }
 
     fn truncate(&self, target: u64) -> StorageResult<()> {
-        let mut pages = self.pages.write().unwrap();
+        let mut pages = self.pages.write();
         if (pages.len() as u64) > target {
             pages.truncate(target as usize);
         }
@@ -157,7 +157,7 @@ impl PagedFile for MemFile {
 pub struct DiskFile {
     file: File,
     path: PathBuf,
-    num_pages: Mutex<u64>,
+    num_pages: Exclusive<u64>,
 }
 
 impl DiskFile {
@@ -173,7 +173,7 @@ impl DiskFile {
         Ok(DiskFile {
             file,
             path,
-            num_pages: Mutex::new(0),
+            num_pages: Exclusive::new(LockClass::FilePages, 0),
         })
     }
 
@@ -191,7 +191,7 @@ impl DiskFile {
         Ok(DiskFile {
             file,
             path,
-            num_pages: Mutex::new(len / PAGE_SIZE as u64),
+            num_pages: Exclusive::new(LockClass::FilePages, len / PAGE_SIZE as u64),
         })
     }
 
@@ -203,11 +203,11 @@ impl DiskFile {
 
 impl PagedFile for DiskFile {
     fn num_pages(&self) -> u64 {
-        *self.num_pages.lock().unwrap()
+        *self.num_pages.lock()
     }
 
     fn read_page(&self, page: PageId) -> StorageResult<Page> {
-        let len = *self.num_pages.lock().unwrap();
+        let len = *self.num_pages.lock();
         if page.0 >= len {
             return Err(out_of_range(page, len));
         }
@@ -218,7 +218,7 @@ impl PagedFile for DiskFile {
     }
 
     fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
-        let len = *self.num_pages.lock().unwrap();
+        let len = *self.num_pages.lock();
         if page.0 >= len {
             return Err(out_of_range(page, len));
         }
@@ -228,7 +228,7 @@ impl PagedFile for DiskFile {
     }
 
     fn append_page(&self, data: &Page) -> StorageResult<PageId> {
-        let mut len = self.num_pages.lock().unwrap();
+        let mut len = self.num_pages.lock();
         self.file
             .write_all_at(data.as_bytes(), *len * PAGE_SIZE as u64)?;
         let id = PageId(*len);
@@ -241,7 +241,7 @@ impl PagedFile for DiskFile {
     /// a single positioned write each — one large sequential transfer rather
     /// than thousands of tiny ones.
     fn grow_to(&self, target: u64) -> StorageResult<()> {
-        let mut len = self.num_pages.lock().unwrap();
+        let mut len = self.num_pages.lock();
         if *len >= target {
             return Ok(());
         }
@@ -263,7 +263,7 @@ impl PagedFile for DiskFile {
     }
 
     fn truncate(&self, target: u64) -> StorageResult<()> {
-        let mut len = self.num_pages.lock().unwrap();
+        let mut len = self.num_pages.lock();
         if *len > target {
             self.file.set_len(target * PAGE_SIZE as u64)?;
             *len = target;
@@ -290,7 +290,7 @@ impl PagedFile for DiskFile {
 /// after.
 pub struct FaultInjectingFile {
     inner: Box<dyn PagedFile>,
-    writes_left: Mutex<u64>,
+    writes_left: Exclusive<u64>,
 }
 
 impl FaultInjectingFile {
@@ -298,17 +298,17 @@ impl FaultInjectingFile {
     pub fn new(inner: Box<dyn PagedFile>, write_budget: u64) -> Self {
         FaultInjectingFile {
             inner,
-            writes_left: Mutex::new(write_budget),
+            writes_left: Exclusive::new(LockClass::FilePages, write_budget),
         }
     }
 
     /// Page writes remaining before the injected fault.
     pub fn writes_remaining(&self) -> u64 {
-        *self.writes_left.lock().unwrap()
+        *self.writes_left.lock()
     }
 
     fn charge(&self, pages: u64) -> StorageResult<()> {
-        let mut left = self.writes_left.lock().unwrap();
+        let mut left = self.writes_left.lock();
         if *left < pages {
             *left = 0;
             return Err(StorageError::Io(std::io::Error::other(

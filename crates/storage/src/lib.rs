@@ -23,7 +23,11 @@
 //! * [`manifest`] — the atomically rewritten superblock + file table +
 //!   engine-payload root of a durable store,
 //! * [`wal`] — the page-granular, checksummed metadata write-ahead log whose
-//!   valid prefix recovery replays over the last manifest.
+//!   valid prefix recovery replays over the last manifest,
+//! * [`sync`] — lock-order-aware [`Shared`]/[`Exclusive`] wrappers carrying a
+//!   declared [`LockClass`]; every engine lock goes through them so the
+//!   canonical acquisition order is machine-checkable (statically by
+//!   `odyssey-analyzer`, at runtime under the `lock-order-check` feature).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +43,7 @@ pub mod manifest;
 pub mod page;
 pub mod raw;
 pub mod stats;
+pub mod sync;
 pub mod wal;
 
 pub use buffer::BufferPool;
@@ -54,4 +59,5 @@ pub use manifest::{Manifest, ManifestFileEntry, MANIFEST_FILE_NAME};
 pub use page::{pack_objects, pages_needed, Page, PageId, OBJECTS_PER_PAGE, PAGE_SIZE};
 pub use raw::{append_to_raw_dataset, scan_raw_dataset, write_raw_dataset, RawDataset};
 pub use stats::{IoStats, StatsDelta};
+pub use sync::{Exclusive, LockClass, Shared};
 pub use wal::{MetaWal, WalRecovery, WAL_FILE_NAME};

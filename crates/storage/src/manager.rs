@@ -34,12 +34,13 @@ use crate::file::{DiskFile, FaultInjectingFile, FileId, MemFile, PagedFile};
 use crate::manifest::{Manifest, ManifestFileEntry, MANIFEST_FILE_NAME};
 use crate::page::{pack_objects, Page, PageId};
 use crate::stats::{AtomicIoStats, IoStats};
+use crate::sync::{Exclusive, LockClass, Shared};
 use crate::wal::{MetaWal, WAL_FILE_NAME};
 use odyssey_geom::SpatialObject;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 /// Where pages physically live.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -233,14 +234,14 @@ pub struct StorageManager {
     /// File table indexed by [`FileId`]. A `None` slot is a tombstone left by
     /// [`StorageManager::delete_file`]: ids are **never reused**, so a stale
     /// cached frame or metadata handle can never alias a newer file.
-    files: RwLock<Vec<Option<Arc<FileEntry>>>>,
+    files: Shared<Vec<Option<Arc<FileEntry>>>>,
     buffer: BufferPool,
     stats: AtomicIoStats,
     last_read: AtomicU64,
     last_write: AtomicU64,
     /// Metadata WAL of a durable store (`None` for plain managers). The
     /// mutex serializes appends and checkpoint resets.
-    wal: Option<Mutex<MetaWal>>,
+    wal: Option<Exclusive<MetaWal>>,
 }
 
 impl std::fmt::Debug for StorageManager {
@@ -274,12 +275,12 @@ impl StorageManager {
         let buffer = BufferPool::new(options.buffer_pages);
         StorageManager {
             options,
-            files: RwLock::new(Vec::new()),
+            files: Shared::new(LockClass::StorageFiles, Vec::new()),
             buffer,
             stats: AtomicIoStats::default(),
             last_read: AtomicU64::new(0),
             last_write: AtomicU64::new(0),
-            wal: wal.map(Mutex::new),
+            wal: wal.map(|w| Exclusive::new(LockClass::Wal, w)),
         }
     }
 
@@ -446,7 +447,7 @@ impl StorageManager {
         }
 
         let manager = Self::with_wal(options, Some(wal));
-        *manager.files.write().unwrap() = entries;
+        *manager.files.write() = entries;
         Ok((
             manager,
             RecoveredState {
@@ -469,7 +470,7 @@ impl StorageManager {
     /// log unconditionally.
     pub fn log_meta(&self, payload: &[u8]) -> StorageResult<()> {
         match &self.wal {
-            Some(wal) => wal.lock().unwrap().append(payload),
+            Some(wal) => wal.lock().append(payload),
             None => Ok(()),
         }
     }
@@ -477,10 +478,7 @@ impl StorageManager {
     /// Number of pages the metadata WAL currently occupies (0 when not
     /// durable) — the quantity the checkpoint-interval bench sweeps.
     pub fn wal_pages(&self) -> u64 {
-        self.wal
-            .as_ref()
-            .map(|w| w.lock().unwrap().pages())
-            .unwrap_or(0)
+        self.wal.as_ref().map(|wal| wal.lock().pages()).unwrap_or(0)
     }
 
     /// Writes a checkpoint: the manifest (file table + the engine `payload`)
@@ -494,9 +492,9 @@ impl StorageManager {
             ));
         };
         let dir = Self::durable_dir(&self.options)?.to_path_buf();
-        let mut wal = wal.lock().unwrap();
+        let mut wal = wal.lock();
         let epoch = wal.epoch() + 1;
-        let files = self.files.read().unwrap();
+        let files = self.files.read();
         // Sync every data file before committing a manifest that references
         // its pages — this covers writes that never produce a WAL record
         // (seed raw files written before the first checkpoint, in
@@ -647,7 +645,7 @@ impl StorageManager {
     /// Creates a new, empty paged file and returns its id. `name` is used for
     /// the on-disk backend's file name and for debugging.
     pub fn create_file(&self, name: &str) -> StorageResult<FileId> {
-        let mut files = self.files.write().unwrap();
+        let mut files = self.files.write();
         let id = FileId(files.len() as u32);
         let file: Box<dyn PagedFile> = match &self.options.backend {
             StorageBackend::Memory => Box::new(MemFile::new()),
@@ -686,7 +684,7 @@ impl StorageManager {
     /// a corrupt store.
     pub fn delete_file(&self, file: FileId) -> StorageResult<u64> {
         let entry = {
-            let mut files = self.files.write().unwrap();
+            let mut files = self.files.write();
             let slot = files
                 .get_mut(file.index())
                 .ok_or(StorageError::UnknownFile(file.0))?;
@@ -721,7 +719,6 @@ impl StorageManager {
     pub fn file_exists(&self, file: FileId) -> bool {
         self.files
             .read()
-            .unwrap()
             .get(file.index())
             .is_some_and(Option::is_some)
     }
@@ -762,7 +759,6 @@ impl StorageManager {
     pub fn total_file_pages(&self) -> u64 {
         self.files
             .read()
-            .unwrap()
             .iter()
             .flatten()
             .map(|e| e.file.num_pages())
@@ -773,7 +769,6 @@ impl StorageManager {
     pub fn total_dead_pages(&self) -> u64 {
         self.files
             .read()
-            .unwrap()
             .iter()
             .flatten()
             .map(|e| e.dead_pages.load(Ordering::Relaxed))
@@ -783,7 +778,6 @@ impl StorageManager {
     fn entry(&self, file: FileId) -> StorageResult<Arc<FileEntry>> {
         self.files
             .read()
-            .unwrap()
             .get(file.index())
             .and_then(|slot| slot.clone())
             .ok_or(StorageError::UnknownFile(file.0))
@@ -798,7 +792,6 @@ impl StorageManager {
     pub fn file_names(&self) -> Vec<String> {
         self.files
             .read()
-            .unwrap()
             .iter()
             .flatten()
             .map(|e| e.name.clone())
@@ -809,7 +802,7 @@ impl StorageManager {
     /// slot as a tombstone, so this is "ids ever handed out", not the live
     /// count).
     pub fn file_count(&self) -> usize {
-        self.files.read().unwrap().len()
+        self.files.read().len()
     }
 
     /// Number of pages in a file.

@@ -182,7 +182,7 @@ impl Page {
         let stored = u32::from_le_bytes(
             self.bytes[PAGE_CHECKSUM_OFFSET..PAGE_CHECKSUM_OFFSET + 4]
                 .try_into()
-                .expect("checksum slot is 4 bytes"),
+                .expect("checksum slot is 4 bytes"), // analyzer: allow(fixed 4-byte checksum slot)
         );
         stored == self.content_checksum()
     }
@@ -230,11 +230,12 @@ fn encode_record(obj: &SpatialObject, buf: &mut [u8]) {
 
 fn decode_record(buf: &[u8]) -> StorageResult<SpatialObject> {
     debug_assert_eq!(buf.len(), RECORD_SIZE);
-    let id = u64::from_le_bytes(buf[0..8].try_into().expect("record id slice"));
-    let dataset = u16::from_le_bytes(buf[8..10].try_into().expect("record dataset slice"));
+    let id = u64::from_le_bytes(buf[0..8].try_into().expect("record id slice")); // analyzer: allow(fixed-width slice of a RECORD_SIZE buffer)
+    let dataset = u16::from_le_bytes(buf[8..10].try_into().expect("record dataset slice")); // analyzer: allow(fixed-width slice of a RECORD_SIZE buffer)
     let mut vals = [0f64; 6];
     for (i, v) in vals.iter_mut().enumerate() {
         let off = 16 + i * 8;
+        // analyzer: allow(fixed-width slice of a RECORD_SIZE buffer)
         *v = f64::from_le_bytes(buf[off..off + 8].try_into().expect("record float slice"));
     }
     let min = Vec3::new(vals[0], vals[1], vals[2]);
@@ -254,7 +255,7 @@ fn decode_record(buf: &[u8]) -> StorageResult<SpatialObject> {
 pub fn pack_objects(objects: &[SpatialObject]) -> Vec<Page> {
     objects
         .chunks(OBJECTS_PER_PAGE)
-        .map(|chunk| Page::from_objects(chunk).expect("chunk size bounded by OBJECTS_PER_PAGE"))
+        .map(|chunk| Page::from_objects(chunk).expect("chunk size bounded by OBJECTS_PER_PAGE")) // analyzer: allow(chunk len is bounded by OBJECTS_PER_PAGE)
         .collect()
 }
 

@@ -1,0 +1,536 @@
+//! Lock-order-aware synchronization primitives.
+//!
+//! Every shared-state lock in the engine belongs to a [`LockClass`], and the
+//! classes form a total order (see `odyssey-core`'s crate docs for the
+//! canonical table). [`Shared`] wraps an [`RwLock`], [`Exclusive`] wraps a
+//! [`Mutex`]; both take their class at construction time, so a lock's place
+//! in the order is declared exactly once, next to the data it protects.
+//!
+//! The wrappers buy three things over the raw primitives:
+//!
+//! * **No guard `.unwrap()`s.** Poisoning is handled in one place:
+//!   a poisoned lock means another thread panicked while holding it, the
+//!   protected state is suspect, and continuing would propagate corruption —
+//!   so the helper panics with a message naming the lock class. Call sites
+//!   get plain guards back and stay `unwrap`-free.
+//! * **A static-analysis anchor.** The `odyssey-analyzer` crate classifies
+//!   each lock by the `LockClass` named at its `Shared::new` /
+//!   `Exclusive::new` construction site and checks every acquisition edge
+//!   in the workspace against the canonical order.
+//! * **A runtime cross-check.** Under the `lock-order-check` feature each
+//!   acquisition pushes its class onto a thread-local stack and panics on a
+//!   rank inversion; the observed edge set is recorded globally so a test
+//!   can assert it is a subset of the statically extracted graph.
+//!
+//! Same-class nesting is permitted only for classes where the code nests
+//! distinct instances in a well-defined order (per-dataset locks are taken
+//! in dataset-id order, work cells are disjoint); [`LockClass::allows_self_nesting`]
+//! lists them.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Rank of every lock in the engine's canonical acquisition order.
+///
+/// A thread may acquire a lock only while holding locks of *strictly lower*
+/// rank (or equal rank where [`LockClass::allows_self_nesting`] permits).
+/// The numeric discriminants are the ranks; the canonical table lives in the
+/// `odyssey-core` crate docs and is the analyzer's source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum LockClass {
+    /// Engine-level merge directory (`SpaceOdyssey::merger`).
+    Merger = 0,
+    /// Engine-level statistics collector (`SpaceOdyssey::stats`).
+    Stats = 1,
+    /// Maintenance scheduler queue state (`MaintenanceScheduler::sched`).
+    SchedulerQueue = 2,
+    /// Per-dataset octree index state (`DatasetIndex::state`).
+    DatasetState = 3,
+    /// Per-dataset raw-file descriptor (`DatasetIndex::raw`).
+    DatasetRaw = 4,
+    /// Engine result cache (`ResultCache::inner`).
+    ResultCache = 5,
+    /// Storage manager's WAL handle slot (`StorageManager::wal`).
+    Wal = 6,
+    /// Storage manager's file table (`StorageManager::files`).
+    StorageFiles = 7,
+    /// A `MetaWal`'s internal append state (`MetaWal::wal_state`).
+    WalState = 8,
+    /// A buffer-pool LRU shard (`BufferPool::shards`).
+    BufferShard = 9,
+    /// A paged file's internal state (`MemFile::pages`,
+    /// `DiskFile::num_pages`, `FaultInjectingFile::writes_left`).
+    FilePages = 10,
+    /// A leaf work cell: single-writer result slots and report accumulators
+    /// used by scoped fan-out helpers. Always the innermost lock.
+    WorkCell = 11,
+}
+
+impl LockClass {
+    /// Numeric rank in the canonical order (lower acquires first).
+    #[inline]
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+
+    /// Short stable name used in panic messages and analyzer reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::Merger => "Merger",
+            LockClass::Stats => "Stats",
+            LockClass::SchedulerQueue => "SchedulerQueue",
+            LockClass::DatasetState => "DatasetState",
+            LockClass::DatasetRaw => "DatasetRaw",
+            LockClass::ResultCache => "ResultCache",
+            LockClass::Wal => "Wal",
+            LockClass::StorageFiles => "StorageFiles",
+            LockClass::WalState => "WalState",
+            LockClass::BufferShard => "BufferShard",
+            LockClass::FilePages => "FilePages",
+            LockClass::WorkCell => "WorkCell",
+        }
+    }
+
+    /// All classes, in rank order.
+    pub const ALL: [LockClass; 12] = [
+        LockClass::Merger,
+        LockClass::Stats,
+        LockClass::SchedulerQueue,
+        LockClass::DatasetState,
+        LockClass::DatasetRaw,
+        LockClass::ResultCache,
+        LockClass::Wal,
+        LockClass::StorageFiles,
+        LockClass::WalState,
+        LockClass::BufferShard,
+        LockClass::FilePages,
+        LockClass::WorkCell,
+    ];
+
+    /// Parses the stable [`LockClass::name`] back into the class.
+    pub fn parse(name: &str) -> Option<LockClass> {
+        LockClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Whether two *distinct instances* of this class may be held at once.
+    ///
+    /// * `DatasetState` / `DatasetRaw`: per-dataset locks are acquired in
+    ///   ascending dataset-id order by everything that takes more than one.
+    /// * `WorkCell`: each cell has exactly one writer; cells are disjoint.
+    pub fn allows_self_nesting(self) -> bool {
+        matches!(
+            self,
+            LockClass::DatasetState | LockClass::DatasetRaw | LockClass::WorkCell
+        )
+    }
+}
+
+/// Panic message for a poisoned lock: the thread that held it panicked, so
+/// the protected state is not trustworthy.
+fn poisoned(class: LockClass) -> ! {
+    panic!(
+        "lock {} is poisoned: a thread panicked while holding it, \
+         the protected state may be inconsistent",
+        class.name()
+    )
+}
+
+/// Multi-reader lock with a declared [`LockClass`] (wraps [`RwLock`]).
+#[derive(Debug, Default)]
+pub struct Shared<T> {
+    class_rank: u8,
+    inner: RwLock<T>,
+}
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a reader-writer lock of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        Shared {
+            class_rank: class.rank(),
+            inner: RwLock::new(value),
+        }
+    }
+
+    #[inline]
+    fn class(&self) -> LockClass {
+        LockClass::ALL[self.class_rank as usize]
+    }
+
+    /// Acquires shared read access, propagating poison as a panic.
+    #[inline]
+    pub fn read(&self) -> SharedReadGuard<'_, T> {
+        let _order = tracker::acquire(self.class());
+        match self.inner.read() {
+            Ok(guard) => SharedReadGuard { guard, _order },
+            Err(_) => poisoned(self.class()),
+        }
+    }
+
+    /// Acquires exclusive write access, propagating poison as a panic.
+    #[inline]
+    pub fn write(&self) -> SharedWriteGuard<'_, T> {
+        let _order = tracker::acquire(self.class());
+        match self.inner.write() {
+            Ok(guard) => SharedWriteGuard { guard, _order },
+            Err(_) => poisoned(self.class()),
+        }
+    }
+
+    /// Consumes the lock, returning the value (poison propagates as a panic).
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(_) => poisoned(LockClass::ALL[self.class_rank as usize]),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(_) => poisoned(LockClass::ALL[self.class_rank as usize]),
+        }
+    }
+}
+
+/// Read guard returned by [`Shared::read`].
+#[derive(Debug)]
+pub struct SharedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _order: tracker::Held,
+}
+
+impl<T> std::ops::Deref for SharedReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Write guard returned by [`Shared::write`].
+#[derive(Debug)]
+pub struct SharedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _order: tracker::Held,
+}
+
+impl<T> std::ops::Deref for SharedWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for SharedWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Mutual-exclusion lock with a declared [`LockClass`] (wraps [`Mutex`]).
+#[derive(Debug, Default)]
+pub struct Exclusive<T> {
+    class_rank: u8,
+    inner: Mutex<T>,
+}
+
+impl<T> Exclusive<T> {
+    /// Wraps `value` in a mutex of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        Exclusive {
+            class_rank: class.rank(),
+            inner: Mutex::new(value),
+        }
+    }
+
+    #[inline]
+    fn class(&self) -> LockClass {
+        LockClass::ALL[self.class_rank as usize]
+    }
+
+    /// Acquires the lock, propagating poison as a panic.
+    #[inline]
+    pub fn lock(&self) -> ExclusiveGuard<'_, T> {
+        let _order = tracker::acquire(self.class());
+        match self.inner.lock() {
+            Ok(guard) => ExclusiveGuard { guard, _order },
+            Err(_) => poisoned(self.class()),
+        }
+    }
+
+    /// Consumes the lock, returning the value (poison propagates as a panic).
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(_) => poisoned(LockClass::ALL[self.class_rank as usize]),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(_) => poisoned(LockClass::ALL[self.class_rank as usize]),
+        }
+    }
+
+    /// Blocks on `cond` until it is signalled, releasing the lock while
+    /// waiting. The guard's order slot is released for the duration of the
+    /// wait — a blocked waiter holds the mutex's *slot* but not the mutex —
+    /// and re-registered on wakeup. As with [`Condvar::wait`], spurious
+    /// wakeups are possible; callers re-check their predicate.
+    pub fn wait<'a>(&self, guard: ExclusiveGuard<'a, T>, cond: &Condvar) -> ExclusiveGuard<'a, T> {
+        let ExclusiveGuard { guard: raw, _order } = guard;
+        drop(_order);
+        let raw = match cond.wait(raw) {
+            Ok(raw) => raw,
+            Err(_) => poisoned(self.class()),
+        };
+        ExclusiveGuard {
+            guard: raw,
+            _order: tracker::acquire(self.class()),
+        }
+    }
+
+    /// Blocks on `cond` until `pred` returns `false`, releasing the lock
+    /// while waiting (the [`Condvar`] analogue of a `while pred { wait }`
+    /// loop). The lock's order slot is released for the duration of each
+    /// wait — a blocked waiter holds the mutex's *slot* but not the mutex.
+    pub fn wait_while<'a, F>(
+        &self,
+        mut guard: ExclusiveGuard<'a, T>,
+        cond: &Condvar,
+        mut pred: F,
+    ) -> ExclusiveGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while pred(&mut guard.guard) {
+            let ExclusiveGuard { guard: raw, _order } = guard;
+            drop(_order);
+            let raw = match cond.wait(raw) {
+                Ok(raw) => raw,
+                Err(_) => poisoned(self.class()),
+            };
+            guard = ExclusiveGuard {
+                guard: raw,
+                _order: tracker::acquire(self.class()),
+            };
+        }
+        guard
+    }
+}
+
+/// Guard returned by [`Exclusive::lock`].
+#[derive(Debug)]
+pub struct ExclusiveGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _order: tracker::Held,
+}
+
+impl<T> std::ops::Deref for ExclusiveGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for ExclusiveGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "lock-order-check")]
+mod tracker {
+    //! Runtime acquisition tracking (the `lock-order-check` feature).
+    //!
+    //! Each thread keeps a stack of the [`LockClass`]es it currently holds.
+    //! Acquiring a class whose rank is *lower* than the innermost held class
+    //! (or equal, for classes that forbid self-nesting) panics immediately —
+    //! turning a latent deadlock into a deterministic test failure. Every
+    //! held→acquired pair is also recorded in a process-global edge set that
+    //! [`observed_edges`] exposes for cross-validation against the static
+    //! analyzer's graph.
+
+    use super::LockClass;
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    thread_local! {
+        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static EDGES: Mutex<BTreeSet<(u8, u8)>> = Mutex::new(BTreeSet::new());
+
+    /// Token proving an acquisition was registered; dropping it pops the
+    /// class from the thread's held stack.
+    #[derive(Debug)]
+    pub struct Held {
+        class: LockClass,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Guards can drop out of acquisition order (`drop(a)` before
+                // `drop(b)`): remove the innermost matching entry.
+                if let Some(pos) = held.iter().rposition(|&c| c == self.class) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    pub fn acquire(class: LockClass) -> Held {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&innermost) = held.last() {
+                let inverted = class.rank() < innermost.rank()
+                    || (class == innermost && !class.allows_self_nesting());
+                assert!(
+                    !inverted,
+                    "lock-order violation: acquiring {} (rank {}) while holding {} (rank {})",
+                    class.name(),
+                    class.rank(),
+                    innermost.name(),
+                    innermost.rank()
+                );
+            }
+            let mut edges = EDGES.lock().unwrap();
+            for &h in held.iter() {
+                if h != class {
+                    edges.insert((h.rank(), class.rank()));
+                }
+            }
+            drop(edges);
+            held.push(class);
+        });
+        Held { class }
+    }
+
+    /// Every `(held, acquired)` class-rank pair observed so far in this
+    /// process, in rank order.
+    pub fn observed_edges() -> Vec<(LockClass, LockClass)> {
+        EDGES
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&(a, b)| (LockClass::ALL[a as usize], LockClass::ALL[b as usize]))
+            .collect()
+    }
+}
+
+#[cfg(not(feature = "lock-order-check"))]
+mod tracker {
+    //! No-op tracker: zero-sized tokens, nothing recorded.
+
+    use super::LockClass;
+
+    /// Zero-sized stand-in for the tracking token. Carries a no-op `Drop`
+    /// so condvar wait paths can `drop(token)` to release the order slot
+    /// under either cfg.
+    #[derive(Debug)]
+    pub struct Held;
+
+    impl Drop for Held {
+        fn drop(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub fn acquire(_class: LockClass) -> Held {
+        Held
+    }
+}
+
+/// Every `(held, acquired)` lock-class pair observed at runtime so far.
+///
+/// Only meaningful under the `lock-order-check` feature; otherwise empty.
+pub fn observed_edges() -> Vec<(LockClass, LockClass)> {
+    #[cfg(feature = "lock-order-check")]
+    {
+        tracker::observed_edges()
+    }
+    #[cfg(not(feature = "lock-order-check"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_total_and_stable() {
+        for pair in LockClass::ALL.windows(2) {
+            assert!(pair[0].rank() < pair[1].rank());
+        }
+        for class in LockClass::ALL {
+            assert_eq!(LockClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(LockClass::parse("NoSuchLock"), None);
+    }
+
+    #[test]
+    fn shared_round_trip() {
+        let lock = Shared::new(LockClass::Stats, 7u32);
+        assert_eq!(*lock.read(), 7);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 8);
+        assert_eq!(lock.into_inner(), 8);
+    }
+
+    #[test]
+    fn exclusive_round_trip() {
+        let lock = Exclusive::new(LockClass::ResultCache, vec![1, 2]);
+        lock.lock().push(3);
+        assert_eq!(*lock.lock(), vec![1, 2, 3]);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn in_order_nesting_is_permitted() {
+        let outer = Shared::new(LockClass::Merger, ());
+        let inner = Exclusive::new(LockClass::Wal, ());
+        let a = outer.read();
+        let b = inner.lock();
+        drop(a); // out-of-order release must be fine
+        drop(b);
+    }
+
+    #[test]
+    fn wait_while_returns_when_pred_clears() {
+        use std::sync::Condvar;
+        let lock = std::sync::Arc::new(Exclusive::new(LockClass::SchedulerQueue, false));
+        let cond = std::sync::Arc::new(Condvar::new());
+        let (l2, c2) = (lock.clone(), cond.clone());
+        let waiter = std::thread::spawn(move || {
+            let guard = l2.lock();
+            let guard = l2.wait_while(guard, &c2, |ready| !*ready);
+            assert!(*guard);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *lock.lock() = true;
+        cond.notify_all();
+        waiter.join().expect("waiter thread");
+    }
+
+    #[cfg(feature = "lock-order-check")]
+    #[test]
+    fn observed_edges_records_nesting() {
+        let outer = Shared::new(LockClass::Merger, ());
+        let inner = Shared::new(LockClass::Stats, ());
+        let _a = outer.write();
+        let _b = inner.read();
+        let edges = observed_edges();
+        assert!(edges.contains(&(LockClass::Merger, LockClass::Stats)));
+    }
+}

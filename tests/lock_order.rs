@@ -1,0 +1,156 @@
+//! Runtime ⇄ static cross-validation of the lock-order invariant.
+//!
+//! Under the `lock-order-check` feature every `Shared`/`Exclusive`
+//! acquisition is pushed onto a thread-local stack; acquiring against the
+//! canonical order panics immediately, and every observed (held, acquired)
+//! class pair lands in a process-global edge set. These tests drive a
+//! representative engine workload — adaptive queries, multi-threaded
+//! batches, ingest, streaming cursors, maintenance, a durable
+//! checkpoint/reopen cycle — and then assert the observed edge set is a
+//! subset of the graph `odyssey-analyzer` extracts statically from the
+//! sources. An observed edge the analyzer cannot see means the static model
+//! lost track of an acquisition path and must be fixed.
+//!
+//! Without the feature the tracker records nothing and the subset check is
+//! vacuously green; the inversion tests are compiled out with it.
+
+use odyssey_analyzer::analyze_workspace;
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::datagen::{
+    BrainModel, CombinationDistribution, DatasetSpec, QueryRangeDistribution, WorkloadSpec,
+};
+use space_odyssey::geom::{DatasetId, ObjectId, Query, SpatialObject};
+use space_odyssey::storage::sync::observed_edges;
+use space_odyssey::storage::{write_raw_dataset, RawDataset, StorageManager, StorageOptions};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[cfg(feature = "lock-order-check")]
+mod inversion {
+    use space_odyssey::storage::sync::{Exclusive, LockClass};
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inverted_acquisition_panics() {
+        let inner = Exclusive::new(LockClass::WorkCell, ());
+        let outer = Exclusive::new(LockClass::Merger, ());
+        let _cell = inner.lock();
+        // WorkCell is the innermost rank; taking Merger (outermost) under it
+        // is exactly the inversion the tracker exists to catch.
+        let _merger = outer.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn self_nesting_panics_where_not_declared() {
+        let a = Exclusive::new(LockClass::Merger, ());
+        let b = Exclusive::new(LockClass::Merger, ());
+        let _first = a.lock();
+        // Merger does not allow self-nesting; a second instance of the same
+        // class under the first must panic, not deadlock in the field.
+        let _second = b.lock();
+    }
+}
+
+fn fresh_world(spec: &DatasetSpec) -> (StorageManager, Vec<RawDataset>, BrainModel) {
+    let storage = StorageManager::new(StorageOptions::in_memory(2048));
+    let model = BrainModel::new(spec.clone());
+    let raws = model
+        .generate_all()
+        .iter()
+        .enumerate()
+        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .collect();
+    (storage, raws, model)
+}
+
+fn arrivals(ds: u16, n: u64) -> Vec<SpatialObject> {
+    use space_odyssey::geom::{Aabb, Vec3};
+    (0..n)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(900_000 + i),
+                DatasetId(ds),
+                Aabb::from_center_extent(Vec3::splat(30.0 + (i % 40) as f64), Vec3::splat(0.4)),
+            )
+        })
+        .collect()
+}
+
+/// Drives every concurrency-relevant code path once, then checks that each
+/// runtime-observed (held, acquired) pair exists in the statically extracted
+/// acquisition graph.
+#[test]
+fn observed_runtime_edges_are_a_subset_of_the_static_graph() {
+    let spec = DatasetSpec {
+        num_datasets: 4,
+        objects_per_dataset: 2_000,
+        soma_clusters: 5,
+        segments_per_neuron: 40,
+        seed: 2016,
+        ..Default::default()
+    };
+    let (storage, raws, model) = fresh_world(&spec);
+    let workload = WorkloadSpec {
+        num_datasets: spec.num_datasets,
+        datasets_per_query: 3,
+        num_queries: 50,
+        query_volume_fraction: 1e-5,
+        range_distribution: QueryRangeDistribution::Clustered { num_clusters: 4 },
+        combination_distribution: CombinationDistribution::Zipf,
+        seed: 41,
+    }
+    .generate(&model.bounds());
+
+    let engine = SpaceOdyssey::new(OdysseyConfig::paper(model.bounds()), raws).unwrap();
+    // Sequential queries: first-touch partitioning, refinement, merging.
+    for q in workload.queries.iter().take(20) {
+        engine.execute(&storage, q).unwrap();
+    }
+    // Multi-threaded batch: the scheduler's helper-slot fan-out.
+    engine
+        .execute_batch_with_threads(&storage, &workload.queries[20..], 4)
+        .unwrap();
+    // Ingest + streaming cursor + background maintenance drain.
+    engine
+        .ingest(&storage, DatasetId(0), &arrivals(0, 400))
+        .unwrap();
+    let mut cursor = engine
+        .open_cursor(&storage, &Query::Range(workload.queries[0]))
+        .unwrap();
+    while let Some(_batch) = cursor.next_batch().unwrap() {}
+    drop(cursor);
+    engine.run_maintenance(&storage).unwrap();
+    // Durable path: create, checkpoint and reopen under a WAL.
+    let dir = tempfile::tempdir().unwrap();
+    let durable = StorageManager::create(StorageOptions::durable(dir.path(), 2048)).unwrap();
+    let raw = write_raw_dataset(&durable, DatasetId(0), &arrivals(0, 500)).unwrap();
+    let eng2 =
+        SpaceOdyssey::create(OdysseyConfig::paper(model.bounds()), vec![raw], &durable).unwrap();
+    eng2.execute(&durable, &workload.queries[1]).unwrap();
+    eng2.ingest(&durable, DatasetId(0), &arrivals(0, 100))
+        .unwrap();
+    eng2.checkpoint(&durable).unwrap();
+
+    let observed: BTreeSet<(String, String)> = observed_edges()
+        .into_iter()
+        .map(|(a, b)| (a.name().to_string(), b.name().to_string()))
+        .collect();
+    if observed.is_empty() {
+        // Feature off: nothing was tracked, nothing to validate.
+        return;
+    }
+
+    let report = analyze_workspace(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let static_edges: BTreeSet<(String, String)> = report
+        .edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    let missing: Vec<_> = observed.difference(&static_edges).collect();
+    assert!(
+        missing.is_empty(),
+        "runtime observed acquisition edges the static analyzer did not extract \
+         (its model lost an acquisition path): {missing:?}\nstatic graph: {static_edges:?}"
+    );
+}
