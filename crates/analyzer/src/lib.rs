@@ -4,8 +4,9 @@
 //! and WAL-protocol lints plus a panic-surface audit, over a hand-rolled
 //! lexer and AST-lite model (deliberately dependency-free — no `syn`).
 //!
-//! The analyzer extracts every lock acquisition from `crates/core` and
-//! `crates/storage`, resolves calls interprocedurally, and checks the
+//! The analyzer extracts every lock acquisition from `crates/core`,
+//! `crates/storage` and `crates/serve`, resolves calls interprocedurally,
+//! and checks the
 //! resulting held→acquired edge graph against the canonical order declared
 //! in `crates/core/src/lib.rs` (cross-validated against `LockClass::ALL` in
 //! `crates/storage/src/sync.rs`). See the README's *Invariants & static
@@ -62,13 +63,14 @@ pub fn analyze_sources(inputs: &[(String, String)]) -> Report {
 }
 
 /// Analyzes the workspace rooted at `root` (the repository checkout):
-/// every `.rs` file under `crates/core/src` and `crates/storage/src`, except
-/// `sync.rs` itself (the lock-wrapper implementation, which is read
-/// separately to cross-check `LockClass::ALL` against the declared order).
+/// every `.rs` file under `crates/core/src`, `crates/storage/src` and
+/// `crates/serve/src`, except `sync.rs` itself (the lock-wrapper
+/// implementation, which is read separately to cross-check
+/// `LockClass::ALL` against the declared order).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
     let mut inputs: Vec<(String, String)> = Vec::new();
     let mut sync_source: Option<String> = None;
-    for dir in ["crates/core/src", "crates/storage/src"] {
+    for dir in ["crates/core/src", "crates/storage/src", "crates/serve/src"] {
         let mut paths: Vec<_> = std::fs::read_dir(root.join(dir))?
             .filter_map(|e| e.ok())
             .map(|e| e.path())

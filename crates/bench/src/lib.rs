@@ -33,11 +33,15 @@
 //! * [`maintenance`] — the maintenance-scheduler experiment: the same churn
 //!   loop with background maintenance on vs inline drains, reporting the
 //!   per-op p50/p99 simulated cost, write amplification and job counters
-//!   with checksum-verified answer equality.
+//!   with checksum-verified answer equality,
+//! * [`serve`] — the serving-tier experiment: open-loop multi-tenant
+//!   traffic replayed in deterministic virtual time, micro-batching on vs
+//!   off (checksum-verified answer equality, p99 gate) and admission
+//!   control on vs off under a flooding tenant (isolation gate).
 //!
 //! Binaries: `figure3`, `figure4`, `figure5`, `headline`, `ablation`,
 //! `throughput`, `query_kinds`, `ingest`, `recovery`, `space`, `latency`,
-//! `maintenance`
+//! `maintenance`, `serve`
 //! (`cargo run -p odyssey-bench --release --bin figure4 -- --help`).
 
 #![warn(missing_docs)]
@@ -52,6 +56,7 @@ pub mod maintenance;
 pub mod query_kinds;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod space;
 pub mod throughput;
 
@@ -66,5 +71,6 @@ pub use maintenance::{
 pub use query_kinds::{KindBreakdown, PathCounts, QueryKindsRun};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use report::{format_table, write_csv, Table};
+pub use serve::{run_serve_bench, ServeBenchConfig, ServeComparison, ServeRun};
 pub use space::{run_space, SpaceComparison, SpaceConfig, SpaceRun};
 pub use throughput::ThroughputRun;

@@ -820,6 +820,8 @@ impl<'a> QueryCursor<'a> {
             cache_partial_reuses: 0,
             rows_skipped_by_early_exit: self.rows_skipped,
             maintenance_jobs_waited: self.jobs_waited,
+            queue_wait_micros: 0,
+            batch_size_served: 0,
         }
     }
 

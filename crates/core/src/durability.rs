@@ -706,6 +706,16 @@ pub struct EngineSnapshot {
     /// Rows provably skipped by early exits as of the checkpoint (same
     /// caveat as [`EngineSnapshot::cache_hits`]).
     pub rows_skipped_by_early_exit: u64,
+    /// Serving-tier queue wait accumulated in front of this engine as of
+    /// the checkpoint, in microseconds (same caveat as
+    /// [`EngineSnapshot::cache_hits`]).
+    pub queue_wait_micros_total: u64,
+    /// Operations served through coalesced serving-tier batches as of the
+    /// checkpoint (same caveat as [`EngineSnapshot::cache_hits`]).
+    pub batch_ops_served: u64,
+    /// Requests dropped by deadline expiry before execution as of the
+    /// checkpoint (same caveat as [`EngineSnapshot::cache_hits`]).
+    pub deadlines_expired: u64,
     /// Per-dataset state, in engine order.
     pub datasets: Vec<DatasetSnapshot>,
     /// Merger + merge directory state.
@@ -717,7 +727,7 @@ pub struct EngineSnapshot {
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x534F_534E; // "SOSN"
-const SNAPSHOT_VERSION: u32 = 4; // 4: maintenance scheduler state
+const SNAPSHOT_VERSION: u32 = 5; // 5: serving-tier queueing counters
 
 fn enc_config(e: &mut Enc, c: &OdysseyConfig) {
     enc_vec3(e, c.bounds.min);
@@ -820,6 +830,9 @@ impl EngineSnapshot {
         e.u64(self.cache_misses);
         e.u64(self.cache_partial_reuses);
         e.u64(self.rows_skipped_by_early_exit);
+        e.u64(self.queue_wait_micros_total);
+        e.u64(self.batch_ops_served);
+        e.u64(self.deadlines_expired);
         e.len(self.datasets.len());
         for ds in &self.datasets {
             e.u16(ds.raw.dataset.0);
@@ -908,6 +921,9 @@ impl EngineSnapshot {
         let cache_misses = d.u64()?;
         let cache_partial_reuses = d.u64()?;
         let rows_skipped_by_early_exit = d.u64()?;
+        let queue_wait_micros_total = d.u64()?;
+        let batch_ops_served = d.u64()?;
+        let deadlines_expired = d.u64()?;
         let n = d.len()?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1018,6 +1034,9 @@ impl EngineSnapshot {
             cache_misses,
             cache_partial_reuses,
             rows_skipped_by_early_exit,
+            queue_wait_micros_total,
+            batch_ops_served,
+            deadlines_expired,
             datasets,
             merger,
             stats,
@@ -1466,6 +1485,9 @@ mod tests {
             cache_misses: 5,
             cache_partial_reuses: 2,
             rows_skipped_by_early_exit: 40,
+            queue_wait_micros_total: 1_234,
+            batch_ops_served: 9,
+            deadlines_expired: 4,
             datasets: vec![DatasetSnapshot {
                 raw: RawDataset {
                     dataset: DatasetId(0),

@@ -142,6 +142,16 @@ pub struct QueryOutcome {
     /// merge file whose repair was already running in a background drain:
     /// the query waits for that job instead of repairing alongside it).
     pub maintenance_jobs_waited: u64,
+    /// Microseconds this query waited in a serving-tier queue before the
+    /// engine started executing it. Zero for direct engine calls; filled by
+    /// the front-end (`odyssey-serve`) when it demultiplexes a batch, so a
+    /// served query's end-to-end latency decomposes into queue wait plus
+    /// execute time.
+    pub queue_wait_micros: u64,
+    /// Size of the coalesced batch this query was served in (1 for
+    /// per-request dispatch, 0 for direct engine calls that never crossed a
+    /// serving tier).
+    pub batch_size_served: u64,
 }
 
 impl QueryOutcome {
@@ -240,6 +250,9 @@ pub struct SpaceOdyssey {
     cache_misses: AtomicU64,
     cache_partial_reuses: AtomicU64,
     pub(crate) rows_skipped_by_early_exit: AtomicU64,
+    queue_wait_micros_total: AtomicU64,
+    batch_ops_served: AtomicU64,
+    deadlines_expired: AtomicU64,
 }
 
 impl SpaceOdyssey {
@@ -266,6 +279,9 @@ impl SpaceOdyssey {
             cache_misses: AtomicU64::new(0),
             cache_partial_reuses: AtomicU64::new(0),
             rows_skipped_by_early_exit: AtomicU64::new(0),
+            queue_wait_micros_total: AtomicU64::new(0),
+            batch_ops_served: AtomicU64::new(0),
+            deadlines_expired: AtomicU64::new(0),
         })
     }
 
@@ -433,6 +449,9 @@ impl SpaceOdyssey {
             cache_misses: AtomicU64::new(snap.cache_misses),
             cache_partial_reuses: AtomicU64::new(snap.cache_partial_reuses),
             rows_skipped_by_early_exit: AtomicU64::new(snap.rows_skipped_by_early_exit),
+            queue_wait_micros_total: AtomicU64::new(snap.queue_wait_micros_total),
+            batch_ops_served: AtomicU64::new(snap.batch_ops_served),
+            deadlines_expired: AtomicU64::new(snap.deadlines_expired),
         };
         // Resume compactions parked mid-copy at the crash: re-enqueue each
         // with its checkpointed progress, so the copy continues after the
@@ -508,6 +527,9 @@ impl SpaceOdyssey {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_partial_reuses: self.cache_partial_reuses.load(Ordering::Relaxed),
             rows_skipped_by_early_exit: self.rows_skipped_by_early_exit.load(Ordering::Relaxed),
+            queue_wait_micros_total: self.queue_wait_micros_total.load(Ordering::Relaxed),
+            batch_ops_served: self.batch_ops_served.load(Ordering::Relaxed),
+            deadlines_expired: self.deadlines_expired.load(Ordering::Relaxed),
             datasets,
             merger: merger_snapshot,
             stats,
@@ -607,6 +629,50 @@ impl SpaceOdyssey {
     /// semantics as [`SpaceOdyssey::cache_hits`].
     pub fn rows_skipped_by_early_exit(&self) -> u64 {
         self.rows_skipped_by_early_exit.load(Ordering::Relaxed)
+    }
+
+    /// Total microseconds requests spent waiting in serving-tier queues
+    /// before the engine started them (reported by the front-end via
+    /// [`SpaceOdyssey::note_queue_wait_micros`]). Same crash semantics as
+    /// [`SpaceOdyssey::cache_hits`]: persisted at every checkpoint, no WAL
+    /// replay — observability, not state.
+    pub fn queue_wait_micros_total(&self) -> u64 {
+        self.queue_wait_micros_total.load(Ordering::Relaxed)
+    }
+
+    /// Total operations served through coalesced serving-tier batches
+    /// (reported via [`SpaceOdyssey::note_batch_served`]). Same crash
+    /// semantics as [`SpaceOdyssey::cache_hits`].
+    pub fn batch_ops_served(&self) -> u64 {
+        self.batch_ops_served.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped because their deadline expired before the engine
+    /// ran them (reported via [`SpaceOdyssey::note_deadlines_expired`], or
+    /// counted directly when an admission callback rejects an op in
+    /// [`SpaceOdyssey::execute_ops_batch_admitted`]). Same crash semantics
+    /// as [`SpaceOdyssey::cache_hits`].
+    pub fn deadlines_expired(&self) -> u64 {
+        self.deadlines_expired.load(Ordering::Relaxed)
+    }
+
+    /// Records queue wait accumulated by a serving tier in front of this
+    /// engine. The engine cannot observe queueing itself (it only sees ops
+    /// once they are dispatched), so the front-end reports it here to make
+    /// the served tail decomposable into queue wait plus execute time.
+    pub fn note_queue_wait_micros(&self, micros: u64) {
+        self.queue_wait_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records `ops` operations served through one coalesced batch.
+    pub fn note_batch_served(&self, ops: u64) {
+        self.batch_ops_served.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests shed by deadline expiry before execution.
+    pub fn note_deadlines_expired(&self, n: u64) {
+        self.deadlines_expired.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The materialized-result cache (empty and inert unless
@@ -907,6 +973,8 @@ impl SpaceOdyssey {
             cache_partial_reuses: 0,
             rows_skipped_by_early_exit: 0,
             maintenance_jobs_waited: 0,
+            queue_wait_micros: 0,
+            batch_size_served: 0,
         }
     }
 
@@ -1069,25 +1137,69 @@ impl SpaceOdyssey {
         ops: &[EngineOp],
         threads: usize,
     ) -> StorageResult<Vec<OpOutcome>> {
-        let ingests: Vec<&EngineOp> = ops
+        let outcomes = self.execute_ops_batch_admitted(storage, ops, threads, |_| true)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("admit returned true for every op")) // analyzer: allow(the constant admit closure rejects nothing)
+            .collect())
+    }
+
+    /// Executes a mixed ingest+query batch with a per-op admission gate —
+    /// the serving tier's deadline hook.
+    ///
+    /// `admit` is called with each op's index in `ops` immediately before a
+    /// worker would execute it, and the op is **skipped entirely** when it
+    /// returns `false`: no state is mutated, no statistics are recorded, no
+    /// pages are read — the outcome slot stays `None` and the engine's
+    /// [`SpaceOdyssey::deadlines_expired`] counter is bumped. Because the
+    /// batch runs ingests-first, the gate is consulted at two points in a
+    /// request's life: when its phase dequeues it, and — for queries — after
+    /// the whole ingest phase has completed, so a deadline that expires
+    /// while ingests run still drops the query before it consumes engine
+    /// time. Admitted ops keep the exact shuffle-deterministic semantics of
+    /// [`SpaceOdyssey::execute_ops_batch_with_threads`]: the admitted
+    /// sub-batch answers as if it had been the whole batch.
+    pub fn execute_ops_batch_admitted(
+        &self,
+        storage: &StorageManager,
+        ops: &[EngineOp],
+        threads: usize,
+        admit: impl Fn(usize) -> bool + Sync,
+    ) -> StorageResult<Vec<Option<OpOutcome>>> {
+        let ingests: Vec<(usize, &EngineOp)> = ops
             .iter()
-            .filter(|op| matches!(op, EngineOp::Ingest { .. }))
+            .enumerate()
+            .filter(|(_, op)| matches!(op, EngineOp::Ingest { .. }))
             .collect();
-        let queries: Vec<&EngineOp> = ops
+        let queries: Vec<(usize, &EngineOp)> = ops
             .iter()
-            .filter(|op| matches!(op, EngineOp::Query(_)))
+            .enumerate()
+            .filter(|(_, op)| matches!(op, EngineOp::Query(_)))
             .collect();
+        let gate = |i: usize| {
+            let pass = admit(i);
+            if !pass {
+                self.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+            }
+            pass
+        };
         let mut ingest_results = self
-            .run_batch(&ingests, threads, |op| match op {
-                EngineOp::Ingest { dataset, objects } => self
+            .run_batch(&ingests, threads, |(i, op)| match op {
+                EngineOp::Ingest { dataset, objects } if gate(*i) => self
                     .ingest(storage, *dataset, objects)
-                    .map(OpOutcome::Ingest),
+                    .map(OpOutcome::Ingest)
+                    .map(Some),
+                EngineOp::Ingest { .. } => Ok(None),
                 EngineOp::Query(_) => unreachable!("ingest phase only sees ingest ops"), // analyzer: allow(ops filtered to ingests above)
             })?
             .into_iter();
         let mut query_results = self
-            .run_batch(&queries, threads, |op| match op {
-                EngineOp::Query(query) => self.execute_query(storage, query).map(OpOutcome::Query),
+            .run_batch(&queries, threads, |(i, op)| match op {
+                EngineOp::Query(query) if gate(*i) => self
+                    .execute_query(storage, query)
+                    .map(OpOutcome::Query)
+                    .map(Some),
+                EngineOp::Query(_) => Ok(None),
                 EngineOp::Ingest { .. } => unreachable!("query phase only sees query ops"), // analyzer: allow(ops filtered to queries above)
             })?
             .into_iter();

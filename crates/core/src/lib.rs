@@ -67,7 +67,7 @@
 //! first; the analyzer will fail until the implementation agrees.
 //!
 //! ```text
-//! lock-order: Merger < Stats < SchedulerQueue < DatasetState < DatasetRaw < ResultCache < Wal < StorageFiles < WalState < BufferShard < FilePages < WorkCell
+//! lock-order: ServeQueue < Merger < Stats < SchedulerQueue < DatasetState < DatasetRaw < ResultCache < Wal < StorageFiles < WalState < BufferShard < FilePages < WorkCell
 //! self-nesting: DatasetState, DatasetRaw, WorkCell
 //! ```
 
@@ -86,6 +86,7 @@ pub mod merger;
 pub mod octree;
 pub mod partition;
 pub mod planner;
+pub mod pump;
 pub mod result_cache;
 pub mod scheduler;
 pub mod stats;
@@ -105,6 +106,7 @@ pub use octree::{
 };
 pub use partition::{Partition, PartitionKey};
 pub use planner::{AccessPath, PlanChoice, Planner};
+pub use pump::{MaintenancePump, PumpReport};
 pub use result_cache::{CacheLookup, CachedComponent, ResultCache};
 pub use scheduler::{JobKey, MaintenanceReport, MaintenanceScheduler};
 pub use stats::{ComboStats, StatsCollector};

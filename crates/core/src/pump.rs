@@ -1,0 +1,274 @@
+//! Background maintenance pump thread.
+//!
+//! With [`OdysseyConfig::maintenance_background`](crate::OdysseyConfig)
+//! set, trigger sites only *enqueue* maintenance — someone still has to
+//! drain the queue by calling [`SpaceOdyssey::run_maintenance`]
+//! periodically. Before this module every embedder hand-rolled that pump
+//! loop (and a forgotten pump meant unbounded queue growth and permanently
+//! stale merge files). [`MaintenancePump`] is the reusable version: a
+//! dedicated thread that drains the queue at a configured interval,
+//! survives panicking jobs, and performs one final graceful drain on
+//! [`MaintenancePump::stop`] so no enqueued work is stranded at shutdown.
+//!
+//! The thread holds no locks while sleeping and takes none of its own —
+//! all shared state is atomics plus one [`LockClass::WorkCell`] error slot
+//! — so the pump adds no edges to the canonical lock order beyond those of
+//! `run_maintenance` itself.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use odyssey_core::{MaintenancePump, OdysseyConfig, SpaceOdyssey};
+//! use odyssey_geom::{Aabb, Vec3};
+//! use odyssey_storage::{StorageManager, StorageOptions};
+//!
+//! let storage = Arc::new(StorageManager::new(StorageOptions::in_memory(256)));
+//! let bounds = Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0));
+//! let config = OdysseyConfig::paper(bounds).with_background_maintenance();
+//! let engine = Arc::new(SpaceOdyssey::new(config, Vec::new()).expect("valid config"));
+//!
+//! let pump = MaintenancePump::start(engine, storage, Duration::from_millis(5));
+//! // ... serve traffic; triggers enqueue, the pump drains ...
+//! let report = pump.stop().expect("no pump failures");
+//! assert!(report.pumps >= 1, "stop performs a final graceful drain");
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use odyssey_storage::sync::{Exclusive, LockClass};
+use odyssey_storage::StorageManager;
+
+use crate::SpaceOdyssey;
+
+/// What a stopped [`MaintenancePump`] did over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Drain passes executed (including the final graceful drain).
+    pub pumps: u64,
+    /// Drain passes that panicked and were contained (the pump keeps
+    /// running; the last message is in the `Err` of
+    /// [`MaintenancePump::stop`] if any pass failed).
+    pub panics: u64,
+}
+
+/// State shared between the pump thread and its handle.
+struct PumpShared {
+    stop: AtomicBool,
+    pumps: AtomicU64,
+    panics: AtomicU64,
+    /// Last failure message (storage error or contained panic), if any.
+    last_error: Exclusive<Option<String>>,
+}
+
+/// A dedicated thread that periodically drains the maintenance queue of one
+/// engine ([`SpaceOdyssey::run_maintenance`]) — rate-limited, panic-safe,
+/// with a graceful final drain on [`MaintenancePump::stop`]. See the
+/// [module docs](self) for an example.
+pub struct MaintenancePump {
+    shared: Arc<PumpShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaintenancePump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenancePump")
+            .field("pumps", &self.shared.pumps.load(Ordering::Relaxed))
+            .field("panics", &self.shared.panics.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl MaintenancePump {
+    /// Starts the pump thread: every `interval` it drains the engine's
+    /// maintenance queue once. A drain that returns an error or panics is
+    /// recorded and contained — the pump keeps its schedule, because one
+    /// poisoned job must not silently stop all future maintenance.
+    pub fn start(
+        engine: Arc<SpaceOdyssey>,
+        storage: Arc<StorageManager>,
+        interval: Duration,
+    ) -> MaintenancePump {
+        let shared = Arc::new(PumpShared {
+            stop: AtomicBool::new(false),
+            pumps: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            last_error: Exclusive::new(LockClass::WorkCell, None),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            loop {
+                if thread_shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                Self::drain_once(&thread_shared, &engine, &storage);
+                std::thread::park_timeout(interval);
+            }
+            // Graceful shutdown: one final drain so work enqueued after the
+            // last periodic pass is not stranded in the queue.
+            Self::drain_once(&thread_shared, &engine, &storage);
+        });
+        MaintenancePump {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// One contained drain pass.
+    fn drain_once(shared: &PumpShared, engine: &SpaceOdyssey, storage: &StorageManager) {
+        shared.pumps.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_maintenance(storage)
+        }));
+        let message = match outcome {
+            Ok(Ok(_)) => return,
+            Ok(Err(err)) => format!("maintenance drain failed: {err}"),
+            Err(payload) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                format!("maintenance drain panicked: {what}")
+            }
+        };
+        *shared.last_error.lock() = Some(message);
+    }
+
+    /// Drain passes executed so far.
+    pub fn pumps(&self) -> u64 {
+        self.shared.pumps.load(Ordering::Relaxed)
+    }
+
+    /// Whether any drain pass has failed (error or contained panic) so far.
+    pub fn has_failed(&self) -> bool {
+        self.shared.last_error.lock().is_some()
+    }
+
+    /// Stops the pump: signals the thread, wakes it from its sleep, lets it
+    /// run one final graceful drain, and joins it. Returns the lifetime
+    /// [`PumpReport`] — or, if any pass failed, the last failure message.
+    pub fn stop(mut self) -> Result<PumpReport, String> {
+        self.shutdown();
+        let report = PumpReport {
+            pumps: self.shared.pumps.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+        };
+        match self.shared.last_error.lock().take() {
+            Some(message) => Err(message),
+            None => Ok(report),
+        }
+    }
+
+    /// Signals and joins the thread (idempotent).
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::Release);
+        handle.thread().unpark();
+        if handle.join().is_err() {
+            // The loop body contains panics, so this only happens if the
+            // containment itself failed; record it rather than propagate.
+            self.shared.panics.fetch_add(1, Ordering::Relaxed);
+            *self.shared.last_error.lock() = Some("pump thread panicked".to_string());
+        }
+    }
+}
+
+impl Drop for MaintenancePump {
+    /// A dropped pump still shuts down cleanly (final drain included);
+    /// failures recorded after the drop are lost — call
+    /// [`MaintenancePump::stop`] to observe them.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OdysseyConfig;
+    use odyssey_geom::{Aabb, DatasetId, ObjectId, SpatialObject, Vec3};
+    use odyssey_storage::{write_raw_dataset, RawDataset, StorageOptions};
+
+    fn bounds() -> Aabb {
+        Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+    }
+
+    fn objects(n: u64, ds: u16) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                let t = (i % 89) as f64 / 89.0;
+                let c = Vec3::new(10.0 + 80.0 * t, 10.0 + 80.0 * ((t * 3.0) % 1.0), 50.0);
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(ds),
+                    Aabb::from_center_extent(c, Vec3::splat(0.2)),
+                )
+            })
+            .collect()
+    }
+
+    fn background_engine() -> (Arc<SpaceOdyssey>, Arc<StorageManager>) {
+        let storage = Arc::new(StorageManager::new(StorageOptions::in_memory(512)));
+        let raws: Vec<RawDataset> = (0..2u16)
+            .map(|ds| write_raw_dataset(&storage, DatasetId(ds), &objects(400, ds)).unwrap())
+            .collect();
+        let mut config = OdysseyConfig::paper(bounds()).with_background_maintenance();
+        config.partitions_per_level = 8;
+        let engine = Arc::new(SpaceOdyssey::new(config, raws).unwrap());
+        (engine, storage)
+    }
+
+    #[test]
+    fn pump_drains_enqueued_work_and_stops_gracefully() {
+        let (engine, storage) = background_engine();
+        let pump = MaintenancePump::start(
+            Arc::clone(&engine),
+            Arc::clone(&storage),
+            Duration::from_millis(2),
+        );
+        // Ingest enough into a hot band to enqueue deferred split jobs.
+        for round in 0..6u64 {
+            let batch: Vec<SpatialObject> = (0..160u64)
+                .map(|i| {
+                    let t = ((round * 160 + i) % 97) as f64 / 97.0;
+                    SpatialObject::new(
+                        ObjectId(10_000 + round * 1000 + i),
+                        DatasetId(0),
+                        Aabb::from_center_extent(
+                            Vec3::new(40.0 + 5.0 * t, 42.0, 50.0),
+                            Vec3::splat(0.1),
+                        ),
+                    )
+                })
+                .collect();
+            engine.ingest(&storage, DatasetId(0), &batch).unwrap();
+        }
+        let report = pump.stop().expect("no pump failures");
+        assert!(report.pumps >= 1);
+        assert_eq!(report.panics, 0);
+        assert_eq!(
+            engine.maintenance_queue_depth(),
+            0,
+            "graceful stop drains everything that was enqueued"
+        );
+    }
+
+    #[test]
+    fn pump_counts_passes_and_survives_idle_engines() {
+        let (engine, storage) = background_engine();
+        let pump = MaintenancePump::start(engine, storage, Duration::from_millis(1));
+        while pump.pumps() < 3 {
+            std::thread::yield_now();
+        }
+        assert!(!pump.has_failed());
+        let report = pump.stop().expect("idle pumping never fails");
+        assert!(report.pumps >= 3);
+    }
+}

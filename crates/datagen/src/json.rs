@@ -8,7 +8,7 @@
 //! written with Rust's shortest-roundtrip formatting, so a save/load cycle
 //! reproduces every coordinate bit for bit.
 
-use crate::trace::{InterleavedTrace, TraceStep};
+use crate::trace::{Arrival, InterleavedTrace, TraceStep};
 use odyssey_geom::{
     Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId, PointQuery, Query, QueryId,
     RangeQuery, SpatialObject, Vec3,
@@ -618,8 +618,14 @@ impl SavedWorkload {
     }
 }
 
-/// Schema version tag of saved interleaved traces.
+/// Schema version tag of saved interleaved traces (closed-loop).
 pub const TRACE_FORMAT: &str = "odyssey-trace-v1";
+
+/// Schema version tag of saved *open-loop* traces: `v1` plus one
+/// `{offset_micros, tenant}` arrival record per step. A `v1` document still
+/// loads (with [`SavedTrace::arrivals`] absent, i.e. zero offsets), and a
+/// trace without arrivals round-trips through the bit-exact `v1` format.
+pub const TRACE_FORMAT_V2: &str = "odyssey-trace-v2";
 
 /// A fully materialized interleaved ingest/query trace: the brain volume,
 /// the *initial* objects of every dataset, and the step sequence (queries
@@ -634,16 +640,36 @@ pub struct SavedTrace {
     pub objects: Vec<SpatialObject>,
     /// The interleaved step sequence, in execution order.
     pub steps: Vec<TraceStep>,
+    /// Open-loop arrival metadata, one record per step in step order
+    /// (`None` for closed-loop `v1` traces, which replay as "everything
+    /// arrived at offset zero").
+    pub arrivals: Option<Vec<Arrival>>,
 }
 
 impl SavedTrace {
-    /// Bundles an [`InterleavedTrace`]'s steps with the initial datasets.
+    /// Bundles an [`InterleavedTrace`]'s steps with the initial datasets
+    /// (closed-loop; saves as `v1`).
     pub fn new(bounds: Aabb, objects: Vec<SpatialObject>, trace: &InterleavedTrace) -> Self {
         SavedTrace {
             bounds,
             objects,
             steps: trace.steps.clone(),
+            arrivals: None,
         }
+    }
+
+    /// Attaches open-loop arrival metadata (saves as `v2`).
+    ///
+    /// # Panics
+    /// Panics unless there is exactly one arrival per step.
+    pub fn with_arrivals(mut self, arrivals: Vec<Arrival>) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            self.steps.len(),
+            "one arrival per trace step"
+        );
+        self.arrivals = Some(arrivals);
+        self
     }
 
     /// Serializes the trace as a JSON document.
@@ -668,13 +694,42 @@ impl SavedTrace {
                 ]),
             })
             .collect();
-        JsonValue::Object(vec![
-            ("format".into(), JsonValue::String(TRACE_FORMAT.into())),
+        let mut fields = vec![
+            (
+                "format".into(),
+                JsonValue::String(
+                    if self.arrivals.is_some() {
+                        TRACE_FORMAT_V2
+                    } else {
+                        TRACE_FORMAT
+                    }
+                    .into(),
+                ),
+            ),
             ("bounds".into(), aabb_json(&self.bounds)),
             ("objects".into(), JsonValue::Array(objects)),
             ("steps".into(), JsonValue::Array(steps)),
-        ])
-        .to_json()
+        ];
+        if let Some(arrivals) = &self.arrivals {
+            fields.push((
+                "arrivals".into(),
+                JsonValue::Array(
+                    arrivals
+                        .iter()
+                        .map(|a| {
+                            JsonValue::Object(vec![
+                                (
+                                    "offset_micros".into(),
+                                    JsonValue::Number(a.offset_micros as f64),
+                                ),
+                                ("tenant".into(), JsonValue::Number(a.tenant as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Object(fields).to_json()
     }
 
     /// Parses a trace from its JSON document.
@@ -683,11 +738,12 @@ impl SavedTrace {
         let format = field(&doc, "format", "document")?
             .as_str()
             .ok_or_else(|| schema_err("document: 'format' must be a string"))?;
-        if format != TRACE_FORMAT {
+        if format != TRACE_FORMAT && format != TRACE_FORMAT_V2 {
             return Err(schema_err(format!(
-                "unsupported format '{format}' (expected '{TRACE_FORMAT}')"
+                "unsupported format '{format}' (expected '{TRACE_FORMAT}' or '{TRACE_FORMAT_V2}')"
             )));
         }
+        let open_loop = format == TRACE_FORMAT_V2;
         let bounds = aabb_from(field(&doc, "bounds", "document")?, "bounds")?;
         let mut objects = Vec::new();
         for (i, obj) in field(&doc, "objects", "document")?
@@ -735,10 +791,41 @@ impl SavedTrace {
                 }
             }
         }
+        let arrivals = if open_loop {
+            let raw = field(&doc, "arrivals", "document")?
+                .as_array()
+                .ok_or_else(|| schema_err("document: 'arrivals' must be an array"))?;
+            if raw.len() != steps.len() {
+                return Err(schema_err(format!(
+                    "document: {} arrivals for {} steps (must match)",
+                    raw.len(),
+                    steps.len()
+                )));
+            }
+            let mut arrivals = Vec::with_capacity(raw.len());
+            for (i, a) in raw.iter().enumerate() {
+                let what = format!("arrivals[{i}]");
+                let offset_micros = field(a, "offset_micros", &what)?
+                    .as_u64()
+                    .ok_or_else(|| schema_err(format!("{what}: invalid offset_micros")))?;
+                let tenant = field(a, "tenant", &what)?
+                    .as_u64()
+                    .filter(|&v| v <= u16::MAX as u64)
+                    .ok_or_else(|| schema_err(format!("{what}: invalid tenant")))?;
+                arrivals.push(Arrival {
+                    offset_micros,
+                    tenant: tenant as u16,
+                });
+            }
+            Some(arrivals)
+        } else {
+            None
+        };
         Ok(SavedTrace {
             bounds,
             objects,
             steps,
+            arrivals,
         })
     }
 
@@ -848,6 +935,62 @@ mod tests {
             .unwrap_err()
             .message
             .contains("unknown op"));
+    }
+
+    #[test]
+    fn open_loop_trace_roundtrips_as_v2_and_v1_loads_with_no_arrivals() {
+        use crate::trace::{IngestProfile, InterleavedTraceSpec, OpenLoopProfile};
+        let spec = InterleavedTraceSpec {
+            mixed: MixedWorkloadSpec {
+                base: WorkloadSpec {
+                    num_queries: 30,
+                    ..Default::default()
+                },
+                mix: QueryKindMix::balanced(),
+            },
+            ingest: IngestProfile {
+                ingest_ratio: 0.3,
+                batch_size: 8,
+                ..Default::default()
+            },
+        };
+        let trace = spec.generate(&bounds());
+        let closed = SavedTrace::new(bounds(), sample().objects, &trace);
+        let arrivals = OpenLoopProfile::default().arrivals(trace.steps.len());
+        let open = closed.clone().with_arrivals(arrivals.clone());
+
+        // v2 round-trips bit-exactly with arrivals intact.
+        let json = open.to_json();
+        assert!(json.contains(TRACE_FORMAT_V2));
+        let back = SavedTrace::from_json(&json).unwrap();
+        assert_eq!(back, open);
+        assert_eq!(back.arrivals.as_deref(), Some(&arrivals[..]));
+        assert_eq!(json, back.to_json());
+
+        // A trace without arrivals still writes the bit-exact v1 document.
+        let v1_json = closed.to_json();
+        assert!(v1_json.contains("odyssey-trace-v1"));
+        assert!(!v1_json.contains("arrivals"));
+        let v1_back = SavedTrace::from_json(&v1_json).unwrap();
+        assert_eq!(v1_back.arrivals, None, "v1 loads with zero offsets");
+        assert_eq!(v1_back, closed);
+
+        // Schema errors: arrivals/steps length mismatch, bad tenant.
+        let mismatched = json.replacen("\"offset_micros\"", "\"offset_micros_\"", 1);
+        assert!(SavedTrace::from_json(&mismatched).is_err());
+        let truncated = open.clone();
+        let mut doc = JsonValue::parse(&truncated.to_json()).unwrap();
+        if let JsonValue::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "arrivals" {
+                    *v = JsonValue::Array(Vec::new());
+                }
+            }
+        }
+        assert!(SavedTrace::from_json(&doc.to_json())
+            .unwrap_err()
+            .message
+            .contains("must match"));
     }
 
     #[test]

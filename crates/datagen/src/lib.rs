@@ -45,5 +45,7 @@ pub use distributions::{CombinationDistribution, DiscreteSampler};
 pub use json::{JsonError, JsonValue, SavedTrace, SavedWorkload};
 pub use mixed::{as_typed_queries, MixedWorkload, MixedWorkloadSpec, QueryKindMix};
 pub use queries::{QueryRangeDistribution, QueryRangeGenerator};
-pub use trace::{IngestProfile, InterleavedTrace, InterleavedTraceSpec, TraceStep};
+pub use trace::{
+    Arrival, IngestProfile, InterleavedTrace, InterleavedTraceSpec, OpenLoopProfile, TraceStep,
+};
 pub use workload::{Workload, WorkloadSpec};

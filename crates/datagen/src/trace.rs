@@ -65,6 +65,86 @@ pub struct InterleavedTraceSpec {
     pub ingest: IngestProfile,
 }
 
+/// When one trace step arrives at a serving tier, and from whom.
+///
+/// A `v1` trace is closed-loop: each step starts when the previous one
+/// finishes. Attaching one `Arrival` per step turns it into an *open-loop*
+/// trace — steps arrive at absolute offsets regardless of how fast the
+/// server drains them, which is what makes queueing (and therefore tail
+/// latency) measurable. See [`OpenLoopProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Microseconds after the trace's epoch at which the step arrives.
+    pub offset_micros: u64,
+    /// The issuing tenant (client) id.
+    pub tenant: u16,
+}
+
+/// Deterministic open-loop arrival generator: interarrival gaps drawn
+/// uniformly in `[1, 2·mean)` (so the offered load averages one request per
+/// `mean_interarrival_micros`), tenants drawn with one optionally *hot*
+/// tenant taking a fixed share of the stream and the rest spread uniformly.
+/// Seeded and reproducible, like every other generator in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopProfile {
+    /// Mean gap between consecutive arrivals, in microseconds.
+    pub mean_interarrival_micros: u64,
+    /// Number of tenants issuing requests (ids `0..tenants`).
+    pub tenants: u16,
+    /// Share of all requests issued by tenant 0, in `0.0..=1.0`. With
+    /// `1.0 / tenants` the stream is uniform; larger values model one
+    /// flooding tenant for admission-control experiments.
+    pub hot_tenant_share: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopProfile {
+    fn default() -> Self {
+        OpenLoopProfile {
+            mean_interarrival_micros: 1_000,
+            tenants: 4,
+            hot_tenant_share: 0.25,
+            seed: 0x4F50_454E,
+        }
+    }
+}
+
+impl OpenLoopProfile {
+    /// Generates `n` arrivals in nondecreasing offset order.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero, the mean gap is zero, or
+    /// `hot_tenant_share` lies outside `0.0..=1.0`.
+    pub fn arrivals(&self, n: usize) -> Vec<Arrival> {
+        assert!(self.tenants > 0, "tenants must be positive");
+        assert!(
+            self.mean_interarrival_micros > 0,
+            "mean_interarrival_micros must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hot_tenant_share),
+            "hot_tenant_share must lie in 0.0..=1.0"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x4F50_454E_5F4C_4F4F);
+        let mut offset = 0u64;
+        (0..n)
+            .map(|_| {
+                offset += rng.gen_range(1..=self.mean_interarrival_micros.saturating_mul(2) - 1);
+                let tenant = if rng.gen_bool(self.hot_tenant_share) || self.tenants == 1 {
+                    0
+                } else {
+                    rng.gen_range(1..self.tenants)
+                };
+                Arrival {
+                    offset_micros: offset,
+                    tenant,
+                }
+            })
+            .collect()
+    }
+}
+
 /// One step of an interleaved trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceStep {
@@ -348,5 +428,43 @@ mod tests {
     #[should_panic(expected = "ingest_ratio")]
     fn out_of_range_ratio_panics() {
         let _ = spec(1.5, 1.0).generate(&bounds());
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_sorted_deterministic_and_tenant_bounded() {
+        let p = OpenLoopProfile {
+            mean_interarrival_micros: 500,
+            tenants: 5,
+            hot_tenant_share: 0.6,
+            seed: 42,
+        };
+        let a = p.arrivals(400);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a, p.arrivals(400), "deterministic per seed");
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].offset_micros <= w[1].offset_micros));
+        assert!(a.iter().all(|x| x.tenant < 5));
+        assert!(a.iter().all(|x| x.offset_micros > 0));
+        // The hot share concentrates on tenant 0.
+        let hot = a.iter().filter(|x| x.tenant == 0).count();
+        assert!(hot > 150 && hot < 350, "hot tenant got {hot}/400");
+        // The mean gap lands near the configured mean.
+        let span = a.last().map(|x| x.offset_micros).unwrap_or(0);
+        let mean = span / 400;
+        assert!((250..=750).contains(&mean), "mean gap {mean}");
+        let mut other = p;
+        other.seed ^= 1;
+        assert_ne!(other.arrivals(400), a, "seed-sensitive");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_tenant_share")]
+    fn out_of_range_hot_share_panics() {
+        let _ = OpenLoopProfile {
+            hot_tenant_share: 1.5,
+            ..Default::default()
+        }
+        .arrivals(1);
     }
 }

@@ -1,0 +1,558 @@
+//! Request/response types of the serving tier, and the framed binary codec
+//! the TCP front-end speaks.
+//!
+//! A [`Request`] is one tenant's operation (a typed query or an ingest
+//! batch) plus its service metadata: the issuing tenant and an optional
+//! absolute deadline in the server's clock domain (microseconds since the
+//! server's epoch). A served request answers with a [`ServedOutcome`] —
+//! the engine outcome plus the queueing observability the front-end
+//! measured — and a failed one with a typed [`ServeError`], never a wrong
+//! answer.
+//!
+//! The wire form reuses `odyssey-storage`'s length-checked [`Enc`]/[`Dec`]
+//! codec. One protocol decision keeps the frames small: a query's
+//! [`PlanChoice`](odyssey_core::PlanChoice) audit trail is an engine-side
+//! diagnostic and is **not** shipped to remote clients — a decoded response
+//! carries the answer (objects/count) and every counter, with empty plans.
+//! In-process clients (`Server::client`) get the full outcome.
+
+use odyssey_core::{EngineOp, IngestOutcome, OpOutcome, QueryOutcome, RouteKind};
+use odyssey_geom::{
+    Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId, PointQuery, Query, QueryId,
+    RangeQuery, SpatialObject, Vec3,
+};
+use odyssey_storage::codec::{Dec, Enc};
+use odyssey_storage::{StorageError, StorageResult};
+
+/// One framed request from a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The issuing tenant (admission control buckets by this).
+    pub tenant: u16,
+    /// Absolute deadline in microseconds since the server's epoch; a
+    /// request whose deadline passes before the engine runs it is dropped
+    /// with [`ServeError::DeadlineExceeded`] instead of consuming engine
+    /// time. `None` never expires.
+    pub deadline_micros: Option<u64>,
+    /// The operation to execute.
+    pub op: EngineOp,
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket is empty (its offered rate exceeds its
+    /// configured rate limit).
+    RateLimited,
+    /// The tenant's queue slice is full (its requests are arriving faster
+    /// than the server drains them).
+    QueueFull,
+}
+
+impl ShedReason {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate-limited",
+            ShedReason::QueueFull => "queue-full",
+        }
+    }
+}
+
+/// A typed serving failure. Shed and expired requests receive one of these
+/// — never a silently wrong or partial answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Load-shed at admission: the *offending tenant's* bucket or queue
+    /// slice overflowed. Other tenants are unaffected by design.
+    Overloaded {
+        /// The shed tenant.
+        tenant: u16,
+        /// What overflowed.
+        reason: ShedReason,
+    },
+    /// The request's deadline passed before the engine executed it; no
+    /// engine state was mutated on its behalf.
+    DeadlineExceeded {
+        /// The issuing tenant.
+        tenant: u16,
+    },
+    /// The server is draining for shutdown and accepts no new requests.
+    ShuttingDown,
+    /// The engine failed executing the batch containing this request.
+    Engine(String),
+    /// A malformed frame or an I/O failure on the wire.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { tenant, reason } => {
+                write!(f, "tenant {tenant} overloaded ({})", reason.name())
+            }
+            ServeError::DeadlineExceeded { tenant } => {
+                write!(f, "tenant {tenant} deadline exceeded before execution")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successfully served request: the engine outcome plus the queueing
+/// observability measured by the front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedOutcome {
+    /// The engine's answer. For queries, `queue_wait_micros` and
+    /// `batch_size_served` inside the [`QueryOutcome`] are filled in by the
+    /// front-end at demultiplex time.
+    pub outcome: OpOutcome,
+    /// Microseconds the request waited between enqueue and dispatch.
+    pub queue_wait_micros: u64,
+    /// Number of requests coalesced into the engine batch that served this
+    /// one.
+    pub batch_size: usize,
+}
+
+/// The result a [`Frontend`](crate::Frontend) returns per request.
+pub type ServeResult = Result<ServedOutcome, ServeError>;
+
+fn enc_vec3(e: &mut Enc, v: Vec3) {
+    e.f64(v.x);
+    e.f64(v.y);
+    e.f64(v.z);
+}
+
+fn dec_vec3(d: &mut Dec<'_>) -> StorageResult<Vec3> {
+    Ok(Vec3::new(d.f64()?, d.f64()?, d.f64()?))
+}
+
+fn enc_aabb(e: &mut Enc, b: &Aabb) {
+    enc_vec3(e, b.min);
+    enc_vec3(e, b.max);
+}
+
+fn dec_aabb(d: &mut Dec<'_>) -> StorageResult<Aabb> {
+    let min = dec_vec3(d)?;
+    let max = dec_vec3(d)?;
+    Ok(Aabb::from_min_max(min, max))
+}
+
+fn enc_object(e: &mut Enc, o: &SpatialObject) {
+    e.u64(o.id.0);
+    e.u16(o.dataset.0);
+    enc_aabb(e, &o.mbr);
+}
+
+fn dec_object(d: &mut Dec<'_>) -> StorageResult<SpatialObject> {
+    let id = ObjectId(d.u64()?);
+    let dataset = DatasetId(d.u16()?);
+    let mbr = dec_aabb(d)?;
+    Ok(SpatialObject::new(id, dataset, mbr))
+}
+
+fn enc_query(e: &mut Enc, q: &Query) {
+    match q {
+        Query::Range(q) => {
+            e.u8(0);
+            e.u32(q.id.0);
+            enc_aabb(e, &q.range);
+            e.u64(q.datasets.0);
+        }
+        Query::Point(q) => {
+            e.u8(1);
+            e.u32(q.id.0);
+            enc_vec3(e, q.point);
+            e.u64(q.datasets.0);
+        }
+        Query::KNearestNeighbors(q) => {
+            e.u8(2);
+            e.u32(q.id.0);
+            enc_vec3(e, q.point);
+            e.u64(q.k as u64);
+            e.u64(q.datasets.0);
+        }
+        Query::Count(q) => {
+            e.u8(3);
+            e.u32(q.id.0);
+            enc_aabb(e, &q.range);
+            e.u64(q.datasets.0);
+        }
+    }
+}
+
+fn dec_query(d: &mut Dec<'_>) -> StorageResult<Query> {
+    let kind = d.u8()?;
+    let id = QueryId(d.u32()?);
+    Ok(match kind {
+        0 => {
+            let range = dec_aabb(d)?;
+            Query::Range(RangeQuery::new(id, range, DatasetSet(d.u64()?)))
+        }
+        1 => {
+            let point = dec_vec3(d)?;
+            Query::Point(PointQuery::new(id, point, DatasetSet(d.u64()?)))
+        }
+        2 => {
+            let point = dec_vec3(d)?;
+            let k = d.u64()? as usize;
+            Query::KNearestNeighbors(KnnQuery::new(id, point, k, DatasetSet(d.u64()?)))
+        }
+        3 => {
+            let range = dec_aabb(d)?;
+            Query::Count(CountQuery::new(id, range, DatasetSet(d.u64()?)))
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "request frame: unknown query kind {other}"
+            )))
+        }
+    })
+}
+
+/// Serializes a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u16(req.tenant);
+    e.opt_u64(req.deadline_micros);
+    match &req.op {
+        EngineOp::Query(q) => {
+            e.u8(0);
+            enc_query(&mut e, q);
+        }
+        EngineOp::Ingest { dataset, objects } => {
+            e.u8(1);
+            e.u16(dataset.0);
+            e.len(objects.len());
+            for o in objects {
+                enc_object(&mut e, o);
+            }
+        }
+    }
+    e.into_bytes()
+}
+
+/// Parses a request frame payload.
+pub fn decode_request(bytes: &[u8]) -> StorageResult<Request> {
+    let mut d = Dec::new(bytes);
+    let tenant = d.u16()?;
+    let deadline_micros = d.opt_u64()?;
+    let op = match d.u8()? {
+        0 => EngineOp::Query(dec_query(&mut d)?),
+        1 => {
+            let dataset = DatasetId(d.u16()?);
+            let n = d.len()?;
+            let mut objects = Vec::with_capacity(n);
+            for _ in 0..n {
+                objects.push(dec_object(&mut d)?);
+            }
+            EngineOp::Ingest { dataset, objects }
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "request frame: unknown op tag {other}"
+            )))
+        }
+    };
+    d.finish()?;
+    Ok(Request {
+        tenant,
+        deadline_micros,
+        op,
+    })
+}
+
+fn enc_query_outcome(e: &mut Enc, o: &QueryOutcome) {
+    e.len(o.objects.len());
+    for obj in &o.objects {
+        enc_object(e, obj);
+    }
+    e.u64(o.count);
+    e.u64(o.partitions_refined as u64);
+    e.u64(o.partitions_from_merge_file as u64);
+    e.u64(o.partitions_from_datasets as u64);
+    e.u64(o.partitions_counted_from_metadata as u64);
+    e.bool(o.merge_performed);
+    e.u64(o.stale_merge_repairs as u64);
+    e.bool(o.stale_merge_bypassed);
+    e.u64(o.compactions_performed as u64);
+    e.u64(o.cache_hits);
+    e.u64(o.cache_misses);
+    e.u64(o.cache_partial_reuses);
+    e.u64(o.rows_skipped_by_early_exit);
+    e.u64(o.maintenance_jobs_waited);
+    e.u64(o.queue_wait_micros);
+    e.u64(o.batch_size_served);
+}
+
+fn dec_query_outcome(d: &mut Dec<'_>) -> StorageResult<QueryOutcome> {
+    let n = d.len()?;
+    let mut objects = Vec::with_capacity(n);
+    for _ in 0..n {
+        objects.push(dec_object(d)?);
+    }
+    Ok(QueryOutcome {
+        objects,
+        count: d.u64()?,
+        // Plans (and the merge route) are engine-side audit state, not part
+        // of the wire answer; see the module docs.
+        plans: Vec::new(),
+        route: RouteKind::None,
+        partitions_refined: d.u64()? as usize,
+        partitions_from_merge_file: d.u64()? as usize,
+        partitions_from_datasets: d.u64()? as usize,
+        partitions_counted_from_metadata: d.u64()? as usize,
+        merge_performed: d.bool()?,
+        stale_merge_repairs: d.u64()? as usize,
+        stale_merge_bypassed: d.bool()?,
+        compactions_performed: d.u64()? as usize,
+        cache_hits: d.u64()?,
+        cache_misses: d.u64()?,
+        cache_partial_reuses: d.u64()?,
+        rows_skipped_by_early_exit: d.u64()?,
+        maintenance_jobs_waited: d.u64()?,
+        queue_wait_micros: d.u64()?,
+        batch_size_served: d.u64()?,
+    })
+}
+
+fn enc_ingest_outcome(e: &mut Enc, o: &IngestOutcome) {
+    e.u16(o.dataset.0);
+    e.u64(o.objects_ingested as u64);
+    e.u64(o.partitions_split as u64);
+    e.u64(o.partitions_created as u64);
+    e.u64(o.merge_files_stale as u64);
+    e.bool(o.compaction_performed);
+    e.u64(o.pages_reclaimed);
+}
+
+fn dec_ingest_outcome(d: &mut Dec<'_>) -> StorageResult<IngestOutcome> {
+    Ok(IngestOutcome {
+        dataset: DatasetId(d.u16()?),
+        objects_ingested: d.u64()? as usize,
+        partitions_split: d.u64()? as usize,
+        partitions_created: d.u64()? as usize,
+        merge_files_stale: d.u64()? as usize,
+        compaction_performed: d.bool()?,
+        pages_reclaimed: d.u64()?,
+    })
+}
+
+/// Serializes a per-request result into a frame payload.
+pub fn encode_response(resp: &ServeResult) -> Vec<u8> {
+    let mut e = Enc::new();
+    match resp {
+        Ok(served) => {
+            e.u8(0);
+            e.u64(served.queue_wait_micros);
+            e.u64(served.batch_size as u64);
+            match &served.outcome {
+                OpOutcome::Query(q) => {
+                    e.u8(0);
+                    enc_query_outcome(&mut e, q);
+                }
+                OpOutcome::Ingest(i) => {
+                    e.u8(1);
+                    enc_ingest_outcome(&mut e, i);
+                }
+            }
+        }
+        Err(ServeError::Overloaded { tenant, reason }) => {
+            e.u8(1);
+            e.u16(*tenant);
+            e.u8(match reason {
+                ShedReason::RateLimited => 0,
+                ShedReason::QueueFull => 1,
+            });
+        }
+        Err(ServeError::DeadlineExceeded { tenant }) => {
+            e.u8(2);
+            e.u16(*tenant);
+        }
+        Err(ServeError::ShuttingDown) => e.u8(3),
+        Err(ServeError::Engine(msg)) => {
+            e.u8(4);
+            e.str(msg);
+        }
+        Err(ServeError::Protocol(msg)) => {
+            e.u8(5);
+            e.str(msg);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Parses a response frame payload.
+pub fn decode_response(bytes: &[u8]) -> StorageResult<ServeResult> {
+    let mut d = Dec::new(bytes);
+    let resp = match d.u8()? {
+        0 => {
+            let queue_wait_micros = d.u64()?;
+            let batch_size = d.u64()? as usize;
+            let outcome = match d.u8()? {
+                0 => OpOutcome::Query(dec_query_outcome(&mut d)?),
+                1 => OpOutcome::Ingest(dec_ingest_outcome(&mut d)?),
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "response frame: unknown outcome tag {other}"
+                    )))
+                }
+            };
+            Ok(ServedOutcome {
+                outcome,
+                queue_wait_micros,
+                batch_size,
+            })
+        }
+        1 => {
+            let tenant = d.u16()?;
+            let reason = match d.u8()? {
+                0 => ShedReason::RateLimited,
+                1 => ShedReason::QueueFull,
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "response frame: unknown shed reason {other}"
+                    )))
+                }
+            };
+            Err(ServeError::Overloaded { tenant, reason })
+        }
+        2 => Err(ServeError::DeadlineExceeded { tenant: d.u16()? }),
+        3 => Err(ServeError::ShuttingDown),
+        4 => Err(ServeError::Engine(d.str()?)),
+        5 => Err(ServeError::Protocol(d.str()?)),
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "response frame: unknown result tag {other}"
+            )))
+        }
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_objects() -> Vec<SpatialObject> {
+        (0..3u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(1000 + i),
+                    DatasetId(2),
+                    Aabb::from_min_max(
+                        Vec3::new(i as f64, 0.5, -1.0),
+                        Vec3::new(i as f64 + 1.0, 2.5, 3.0),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn requests_roundtrip_for_every_query_kind_and_ingest() {
+        let ds = DatasetSet::from_ids([DatasetId(0), DatasetId(2)]);
+        let box_ = Aabb::from_min_max(Vec3::ZERO, Vec3::splat(4.0));
+        let reqs = vec![
+            Request {
+                tenant: 7,
+                deadline_micros: Some(12_345),
+                op: EngineOp::Query(Query::Range(RangeQuery::new(QueryId(1), box_, ds))),
+            },
+            Request {
+                tenant: 0,
+                deadline_micros: None,
+                op: EngineOp::Query(Query::Point(PointQuery::new(
+                    QueryId(2),
+                    Vec3::splat(1.5),
+                    ds,
+                ))),
+            },
+            Request {
+                tenant: 65_535,
+                deadline_micros: Some(u64::MAX / 2),
+                op: EngineOp::Query(Query::KNearestNeighbors(KnnQuery::new(
+                    QueryId(3),
+                    Vec3::splat(2.0),
+                    9,
+                    ds,
+                ))),
+            },
+            Request {
+                tenant: 3,
+                deadline_micros: None,
+                op: EngineOp::Query(Query::Count(CountQuery::new(QueryId(4), box_, ds))),
+            },
+            Request {
+                tenant: 3,
+                deadline_micros: Some(1),
+                op: EngineOp::Ingest {
+                    dataset: DatasetId(2),
+                    objects: sample_objects(),
+                },
+            },
+        ];
+        for req in &reqs {
+            let bytes = encode_request(req);
+            assert_eq!(&decode_request(&bytes).unwrap(), req);
+        }
+        assert!(decode_request(&[9, 9]).is_err());
+        let mut extra = encode_request(&reqs[0]);
+        extra.push(0);
+        assert!(decode_request(&extra).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn responses_roundtrip_with_plans_documented_as_dropped() {
+        let served = ServedOutcome {
+            outcome: OpOutcome::Query(QueryOutcome {
+                objects: sample_objects(),
+                count: 3,
+                plans: Vec::new(),
+                route: RouteKind::None,
+                partitions_refined: 2,
+                partitions_from_merge_file: 1,
+                partitions_from_datasets: 4,
+                partitions_counted_from_metadata: 0,
+                merge_performed: true,
+                stale_merge_repairs: 1,
+                stale_merge_bypassed: false,
+                compactions_performed: 0,
+                cache_hits: 1,
+                cache_misses: 0,
+                cache_partial_reuses: 0,
+                rows_skipped_by_early_exit: 17,
+                maintenance_jobs_waited: 2,
+                queue_wait_micros: 440,
+                batch_size_served: 8,
+            }),
+            queue_wait_micros: 440,
+            batch_size: 8,
+        };
+        let cases: Vec<ServeResult> = vec![
+            Ok(served),
+            Err(ServeError::Overloaded {
+                tenant: 5,
+                reason: ShedReason::RateLimited,
+            }),
+            Err(ServeError::Overloaded {
+                tenant: 5,
+                reason: ShedReason::QueueFull,
+            }),
+            Err(ServeError::DeadlineExceeded { tenant: 1 }),
+            Err(ServeError::ShuttingDown),
+            Err(ServeError::Engine("boom".into())),
+            Err(ServeError::Protocol("bad frame".into())),
+        ];
+        for case in &cases {
+            let bytes = encode_response(case);
+            assert_eq!(&decode_response(&bytes).unwrap(), case);
+        }
+        assert!(decode_response(&[42]).is_err());
+    }
+}

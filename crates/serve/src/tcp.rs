@@ -1,0 +1,463 @@
+//! A hand-rolled non-blocking TCP transport over the in-process serving
+//! tier — no async runtime, just `std::net` in non-blocking mode, one poll
+//! thread and a small worker pool.
+//!
+//! # Wire format
+//!
+//! Every message (both directions) is one frame:
+//!
+//! ```text
+//! [u32 LE: payload length N] [N bytes: u64 LE request id, then body]
+//! ```
+//!
+//! Request bodies are [`encode_request`] payloads, response bodies
+//! [`encode_response`] payloads, and the response echoes its request's id.
+//! A client keeps **one request in flight per connection** (the blocking
+//! [`TcpClient`] enforces this); tenants wanting concurrency open several
+//! connections, which is also what lets the dispatcher's batching window
+//! see concurrent requests.
+//!
+//! # Threads
+//!
+//! The poll thread accepts connections and reassembles request frames from
+//! non-blocking reads; complete frames become jobs on a `ServeQueue`-classed
+//! job queue (popped-then-released before any engine work — the pop and the
+//! in-process submit never hold it together). Workers execute jobs through
+//! the shared [`ServeHandle`] — blocking in the dispatcher's batching
+//! window like any in-process client — and write the response frame back
+//! under the connection's `WorkCell`-classed writer lock, retrying
+//! `WouldBlock` (non-blocking mode is a property of the socket, shared
+//! with its clone on the poll thread, so writes can be partial).
+
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, ServeError,
+    ServeResult,
+};
+use crate::server::{Frontend, ServeHandle};
+use odyssey_storage::sync::{Exclusive, LockClass};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const FRAME_HEADER: usize = 4;
+const FRAME_ID: usize = 8;
+/// Upper bound on one frame's payload; a header past this is a protocol
+/// violation (or desynchronized framing) and drops the connection.
+const MAX_FRAME: usize = 64 << 20;
+/// Poll-thread sleep when every socket is idle.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+fn frame(id: u64, body: &[u8]) -> Vec<u8> {
+    let n = FRAME_ID + body.len();
+    let mut out = Vec::with_capacity(FRAME_HEADER + n);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes `bytes` to a socket that may be in non-blocking mode, retrying
+/// `WouldBlock` until everything is out.
+fn write_all_retry(stream: &mut TcpStream, mut bytes: &[u8]) -> std::io::Result<()> {
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+struct Job {
+    id: u64,
+    payload: Vec<u8>,
+    writer: Arc<Exclusive<TcpStream>>,
+}
+
+struct JobQueue {
+    jobs: Exclusive<VecDeque<Job>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+struct Connection {
+    stream: TcpStream,
+    /// Cloned handle of the same socket, used by workers for responses.
+    writer: Arc<Exclusive<TcpStream>>,
+    buf: Vec<u8>,
+}
+
+/// The TCP front-end: owns the listener, the poll thread and the worker
+/// pool, all serving one [`ServeHandle`].
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    poll: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handle` with `workers` response threads.
+    pub fn start<A: ToSocketAddrs>(
+        handle: ServeHandle,
+        addr: A,
+        workers: usize,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue {
+            jobs: Exclusive::new(LockClass::ServeQueue, VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let poll = {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("odyssey-serve-poll".into())
+                .spawn(move || poll_loop(listener, &queue))?
+        };
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name(format!("odyssey-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &handle))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(TcpServer {
+            local_addr,
+            queue,
+            poll: Some(poll),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the poll thread and workers. In-flight jobs finish; unread
+    /// sockets are dropped.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.queue.stop.store(true, Ordering::Release);
+        self.queue.ready.notify_all();
+        if let Some(poll) = self.poll.take() {
+            let _ = poll.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Extracts every complete frame from `buf`, returning `(id, body)` pairs
+/// and leaving any partial tail in place. `None` means the framing is
+/// corrupt and the connection must be dropped.
+fn drain_frames(buf: &mut Vec<u8>) -> Option<Vec<(u64, Vec<u8>)>> {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &buf[offset..];
+        if rest.len() < FRAME_HEADER {
+            break;
+        }
+        let n = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if !(FRAME_ID..=MAX_FRAME).contains(&n) {
+            return None;
+        }
+        if rest.len() < FRAME_HEADER + n {
+            break;
+        }
+        let body = &rest[FRAME_HEADER..FRAME_HEADER + n];
+        let id = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        frames.push((id, body[FRAME_ID..].to_vec()));
+        offset += FRAME_HEADER + n;
+    }
+    buf.drain(..offset);
+    Some(frames)
+}
+
+fn poll_loop(listener: TcpListener, queue: &JobQueue) {
+    let mut conns: Vec<Connection> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    while !queue.stop.load(Ordering::Acquire) {
+        let mut progressed = false;
+        // Accept every pending connection.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets do NOT inherit the listener's
+                    // non-blocking mode; without this the read pump blocks
+                    // on the first idle socket.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // try_clone shares the socket (and its non-blocking
+                    // mode); workers use the clone for responses.
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.push(Connection {
+                            stream,
+                            writer: Arc::new(Exclusive::new(LockClass::WorkCell, clone)),
+                            buf: Vec::new(),
+                        });
+                        progressed = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        // Pump every connection's read side.
+        let mut i = 0;
+        while i < conns.len() {
+            let mut dead = false;
+            loop {
+                match conns[i].stream.read(&mut scratch) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        conns[i].buf.extend_from_slice(&scratch[..n]);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                match drain_frames(&mut conns[i].buf) {
+                    Some(frames) => {
+                        if !frames.is_empty() {
+                            let mut jobs = queue.jobs.lock();
+                            for (id, payload) in frames {
+                                jobs.push_back(Job {
+                                    id,
+                                    payload,
+                                    writer: Arc::clone(&conns[i].writer),
+                                });
+                            }
+                            drop(jobs);
+                            queue.ready.notify_all();
+                        }
+                    }
+                    None => dead = true, // corrupt framing
+                }
+            }
+            if dead {
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue, handle: &ServeHandle) {
+    loop {
+        // Pop under the ServeQueue-classed lock, then release it before any
+        // serving work (the in-process submit takes its own ServeQueue lock).
+        let job = {
+            let guard = queue.jobs.lock();
+            let mut guard = queue.jobs.wait_while(guard, &queue.ready, |jobs| {
+                jobs.is_empty() && !queue.stop.load(Ordering::Acquire)
+            });
+            match guard.pop_front() {
+                Some(job) => job,
+                None => return, // stopped with an empty queue
+            }
+        };
+        let response: ServeResult = match decode_request(&job.payload) {
+            Ok(request) => handle.submit(request),
+            Err(e) => Err(ServeError::Protocol(e.to_string())),
+        };
+        let bytes = frame(job.id, &encode_response(&response));
+        let mut writer = job.writer.lock();
+        // A send failure means the client hung up; nothing to answer.
+        let _ = write_all_retry(&mut writer, &bytes);
+    }
+}
+
+/// Blocking TCP client of a [`TcpServer`]; implements [`Frontend`] with
+/// one request in flight at a time (open more clients for concurrency).
+pub struct TcpClient {
+    stream: Exclusive<TcpStream>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient").finish()
+    }
+}
+
+impl TcpClient {
+    /// Connects to a serving-tier address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream: Exclusive::new(LockClass::WorkCell, stream),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    fn roundtrip(&self, request: &Request) -> Result<ServeResult, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = frame(id, &encode_request(request));
+        let proto = |e: &dyn std::fmt::Display| ServeError::Protocol(e.to_string());
+        let mut stream = self.stream.lock();
+        stream.write_all(&bytes).map_err(|e| proto(&e))?;
+        let mut header = [0u8; FRAME_HEADER];
+        stream.read_exact(&mut header).map_err(|e| proto(&e))?;
+        let n = u32::from_le_bytes(header) as usize;
+        if !(FRAME_ID..=MAX_FRAME).contains(&n) {
+            return Err(ServeError::Protocol(format!(
+                "bad response frame length {n}"
+            )));
+        }
+        let mut body = vec![0u8; n];
+        stream.read_exact(&mut body).map_err(|e| proto(&e))?;
+        drop(stream);
+        let mut id_bytes = [0u8; FRAME_ID];
+        id_bytes.copy_from_slice(&body[..FRAME_ID]);
+        let got_id = u64::from_le_bytes(id_bytes);
+        if got_id != id {
+            return Err(ServeError::Protocol(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        decode_response(&body[FRAME_ID..]).map_err(|e| proto(&e))
+    }
+}
+
+impl Frontend for TcpClient {
+    fn submit(&self, request: Request) -> ServeResult {
+        match self.roundtrip(&request) {
+            Ok(result) => result,
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+    use odyssey_core::{EngineOp, OdysseyConfig, OpOutcome, SpaceOdyssey};
+    use odyssey_geom::{
+        Aabb, CountQuery, DatasetId, DatasetSet, ObjectId, Query, QueryId, SpatialObject, Vec3,
+    };
+    use odyssey_storage::{write_raw_dataset, StorageManager, StorageOptions};
+
+    #[test]
+    fn frames_reassemble_across_partial_reads() {
+        let whole = frame(42, b"hello");
+        let mut buf = Vec::new();
+        for chunk in whole.chunks(3) {
+            buf.extend_from_slice(chunk);
+        }
+        let frames = drain_frames(&mut buf).expect("valid framing");
+        assert_eq!(frames, vec![(42, b"hello".to_vec())]);
+        assert!(buf.is_empty());
+
+        let mut partial = frame(1, b"abc");
+        partial.pop();
+        let mut buf = partial.clone();
+        assert_eq!(drain_frames(&mut buf), Some(Vec::new()));
+        assert_eq!(buf, partial, "partial frame stays buffered");
+
+        let mut corrupt = vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0];
+        assert_eq!(drain_frames(&mut corrupt), None);
+    }
+
+    #[test]
+    fn tcp_roundtrip_serves_ingest_and_query() {
+        let storage = Arc::new(StorageManager::new(StorageOptions::in_memory(512)));
+        let bounds = Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0));
+        let raws = vec![write_raw_dataset(&storage, DatasetId(0), &[]).expect("raw dataset")];
+        let engine =
+            Arc::new(SpaceOdyssey::new(OdysseyConfig::paper(bounds), raws).expect("valid config"));
+        let server = Server::start(engine, storage, ServeConfig::default());
+        let tcp = TcpServer::start(server.handle(), "127.0.0.1:0", 2).expect("bind");
+        let client = TcpClient::connect(tcp.local_addr()).expect("connect");
+
+        let objects: Vec<SpatialObject> = (0..20u64)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    DatasetId(0),
+                    Aabb::from_min_max(Vec3::splat(i as f64), Vec3::splat(i as f64 + 1.0)),
+                )
+            })
+            .collect();
+        let served = client
+            .submit(Request {
+                tenant: 2,
+                deadline_micros: None,
+                op: EngineOp::Ingest {
+                    dataset: DatasetId(0),
+                    objects,
+                },
+            })
+            .expect("ingest over tcp");
+        assert!(matches!(served.outcome, OpOutcome::Ingest(ref i) if i.objects_ingested == 20));
+
+        let served = client
+            .submit(Request {
+                tenant: 2,
+                deadline_micros: None,
+                op: EngineOp::Query(Query::Count(CountQuery::new(
+                    QueryId(1),
+                    Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0)),
+                    DatasetSet::from_ids([DatasetId(0)]),
+                ))),
+            })
+            .expect("query over tcp");
+        assert!(matches!(served.outcome, OpOutcome::Query(ref q) if q.count == 20));
+        tcp.stop();
+        server.stop();
+    }
+}

@@ -38,32 +38,37 @@ use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWrite
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum LockClass {
+    /// Serving-tier request queue (`odyssey-serve`'s dispatcher state).
+    /// Outermost by construction: the front-end must release it before
+    /// touching any engine or storage lock, so a slow engine call can never
+    /// block request admission.
+    ServeQueue = 0,
     /// Engine-level merge directory (`SpaceOdyssey::merger`).
-    Merger = 0,
+    Merger = 1,
     /// Engine-level statistics collector (`SpaceOdyssey::stats`).
-    Stats = 1,
+    Stats = 2,
     /// Maintenance scheduler queue state (`MaintenanceScheduler::sched`).
-    SchedulerQueue = 2,
+    SchedulerQueue = 3,
     /// Per-dataset octree index state (`DatasetIndex::state`).
-    DatasetState = 3,
+    DatasetState = 4,
     /// Per-dataset raw-file descriptor (`DatasetIndex::raw`).
-    DatasetRaw = 4,
+    DatasetRaw = 5,
     /// Engine result cache (`ResultCache::inner`).
-    ResultCache = 5,
+    ResultCache = 6,
     /// Storage manager's WAL handle slot (`StorageManager::wal`).
-    Wal = 6,
+    Wal = 7,
     /// Storage manager's file table (`StorageManager::files`).
-    StorageFiles = 7,
+    StorageFiles = 8,
     /// A `MetaWal`'s internal append state (`MetaWal::wal_state`).
-    WalState = 8,
+    WalState = 9,
     /// A buffer-pool LRU shard (`BufferPool::shards`).
-    BufferShard = 9,
+    BufferShard = 10,
     /// A paged file's internal state (`MemFile::pages`,
     /// `DiskFile::num_pages`, `FaultInjectingFile::writes_left`).
-    FilePages = 10,
+    FilePages = 11,
     /// A leaf work cell: single-writer result slots and report accumulators
     /// used by scoped fan-out helpers. Always the innermost lock.
-    WorkCell = 11,
+    WorkCell = 12,
 }
 
 impl LockClass {
@@ -76,6 +81,7 @@ impl LockClass {
     /// Short stable name used in panic messages and analyzer reports.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::ServeQueue => "ServeQueue",
             LockClass::Merger => "Merger",
             LockClass::Stats => "Stats",
             LockClass::SchedulerQueue => "SchedulerQueue",
@@ -92,7 +98,8 @@ impl LockClass {
     }
 
     /// All classes, in rank order.
-    pub const ALL: [LockClass; 12] = [
+    pub const ALL: [LockClass; 13] = [
+        LockClass::ServeQueue,
         LockClass::Merger,
         LockClass::Stats,
         LockClass::SchedulerQueue,
