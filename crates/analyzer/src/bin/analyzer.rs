@@ -1,7 +1,8 @@
 //! CLI driver for the workspace invariant checker.
 //!
 //! ```text
-//! analyzer [--root PATH] [--deny-findings] [--json PATH] [--quiet]
+//! analyzer [--root PATH] [--deny-findings] [--json PATH]
+//!          [--fault-surface PATH] [--quiet]
 //! ```
 //!
 //! * `--root PATH` — repository checkout to analyze (default: the current
@@ -9,6 +10,8 @@
 //! * `--deny-findings` — exit with status 1 if any finding survives
 //!   (CI mode).
 //! * `--json PATH` — also write the machine-readable report to `PATH`.
+//! * `--fault-surface PATH` — write the fault-surface inventory (every call
+//!   site resolving to a fallible storage API) to `PATH` as JSON.
 //! * `--quiet` — suppress the edge list, print findings only.
 
 use std::path::PathBuf;
@@ -30,6 +33,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny = false;
     let mut json_path: Option<PathBuf> = None;
+    let mut surface_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,10 +41,12 @@ fn main() -> ExitCode {
             "--root" => root = args.next().map(PathBuf::from),
             "--deny-findings" => deny = true,
             "--json" => json_path = args.next().map(PathBuf::from),
+            "--fault-surface" => surface_path = args.next().map(PathBuf::from),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: analyzer [--root PATH] [--deny-findings] [--json PATH] [--quiet]"
+                    "usage: analyzer [--root PATH] [--deny-findings] [--json PATH] \
+                     [--fault-surface PATH] [--quiet]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,6 +85,12 @@ fn main() -> ExitCode {
     };
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("analyzer: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = surface_path {
+        if let Err(e) = std::fs::write(&path, report.fault_surface_json()) {
             eprintln!("analyzer: failed to write {}: {e}", path.display());
             return ExitCode::from(2);
         }

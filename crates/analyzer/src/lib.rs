@@ -22,7 +22,7 @@ pub mod model;
 pub mod report;
 
 pub use lints::Declared;
-pub use model::{Edge, Finding, Model};
+pub use model::{Edge, FallibleSite, Finding, Model};
 pub use report::Report;
 
 use std::path::Path;
@@ -57,6 +57,7 @@ pub fn analyze_sources(inputs: &[(String, String)]) -> Report {
         order_source: declared.source,
         edges: model.edges.clone(),
         findings,
+        fault_surface: model.fault_surface(),
         files_analyzed: model.files.len(),
         functions: model.functions.len(),
     }
@@ -91,6 +92,42 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
         }
     }
     let mut report = analyze_sources(&inputs);
+    // The peripheral crates (geometry, data generation, baselines, bench
+    // harness) take no locks and append no WAL records, so they get the
+    // restricted audit: panic-surface + swallowed-io-error only.
+    let mut peripheral: Vec<(String, String)> = Vec::new();
+    for dir in [
+        "crates/geom/src",
+        "crates/datagen/src",
+        "crates/baselines/src",
+        "crates/bench/src",
+    ] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let rel = format!(
+                "{dir}/{}",
+                p.file_name().and_then(|n| n.to_str()).unwrap_or_default()
+            );
+            peripheral.push((rel, std::fs::read_to_string(&p)?));
+        }
+    }
+    if !peripheral.is_empty() {
+        let pmodel = Model::build(&peripheral);
+        report.findings.extend(lints::run_peripheral(&pmodel));
+        report.files_analyzed += pmodel.files.len();
+        report.functions += pmodel.functions.len();
+        report
+            .findings
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    }
     if let Some(sync_src) = sync_source {
         cross_check_sync(&sync_src, &mut report);
     } else {
@@ -505,5 +542,213 @@ mod tests {
             r.edges
         );
         assert_eq!(r.findings, vec![]);
+    }
+
+    #[test]
+    fn swallowed_io_error_flags_discards_and_respects_rescue() {
+        let src = "//! lock-order: Alpha
+            fn flaky() -> StorageResult<u32> { Ok(1) }
+            fn discards() {
+                let _ = flaky();
+            }
+            fn ok_terminal() {
+                flaky().ok();
+            }
+            fn rescued() -> StorageResult<u32> {
+                let v = flaky()?;
+                Ok(v)
+            }
+            fn bound() -> Option<u32> {
+                let v = flaky().ok();
+                v
+            }
+            fn annotated() {
+                let _ = flaky(); // analyzer: allow(fixture discards on purpose)
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let swallows: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "swallowed-io-error")
+            .collect();
+        assert_eq!(swallows.len(), 2, "{:?}", r.findings);
+        assert_eq!(swallows[0].line, 4, "{:?}", swallows);
+        assert!(swallows[0].message.contains("`let _`"));
+        assert_eq!(swallows[1].line, 7, "{:?}", swallows);
+        assert!(swallows[1].message.contains("`.ok()`"));
+    }
+
+    #[test]
+    fn discarded_thread_join_is_flagged() {
+        let src = "//! lock-order: Alpha
+            fn waits(h: JoinHandle<()>) {
+                let _ = h.join();
+            }
+            fn path_join(dir: &Path) -> PathBuf {
+                let _ = probe();
+                dir.join(\"segment\")
+            }
+            fn probe() -> bool { true }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let swallows: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "swallowed-io-error")
+            .collect();
+        // Arg-less `.join()` is a thread join (worker panic channel); the
+        // arg-taking `Path::join` and the infallible `probe()` are not.
+        assert_eq!(swallows.len(), 1, "{:?}", r.findings);
+        assert_eq!(swallows[0].line, 3);
+    }
+
+    #[test]
+    fn mutate_before_log_requires_wal_dominance() {
+        let src = "//! lock-order: Stats
+            struct E { stats: Shared<St> }
+            impl E {
+                fn new() -> E {
+                    E { stats: Shared::new(LockClass::Stats, St) }
+                }
+                fn bad(&self, storage: &StorageManager, f: FileId) {
+                    let s = self.stats.write();
+                    storage.delete_file(f);
+                }
+                fn good(&self, storage: &StorageManager, f: FileId) {
+                    let s = self.stats.write();
+                    durability::log(storage, MetaRecord::QueryStats { n: s.n });
+                    storage.delete_file(f);
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let mutates: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "mutate-before-log")
+            .collect();
+        assert_eq!(mutates.len(), 1, "{:?}", r.findings);
+        assert_eq!(mutates[0].line, 9, "{:?}", mutates);
+    }
+
+    #[test]
+    fn unguarded_recovery_mutation_is_not_flagged() {
+        // No lock held and no callers: a recovery path (engine open) that
+        // replays the WAL rather than appending to it.
+        let src = "//! lock-order: Alpha
+            fn recover(storage: &StorageManager, f: FileId) {
+                storage.delete_file(f);
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        assert!(
+            !lints_of(&r).contains(&"mutate-before-log"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn error_path_purity_flags_engine_locks_but_allows_serve_locks() {
+        let src = "//! lock-order: Merger < ServeQueue
+            struct S { m: Exclusive<M>, q: Exclusive<Q> }
+            impl S {
+                fn new() -> S {
+                    S {
+                        m: Exclusive::new(LockClass::Merger, M),
+                        q: Exclusive::new(LockClass::ServeQueue, Q),
+                    }
+                }
+                fn bad(&self) -> ServeError {
+                    let g = self.m.lock();
+                    ServeError::Internal(g.msg.clone())
+                }
+                fn good(&self) -> ServeError {
+                    let q = self.q.lock();
+                    ServeError::Busy(q.depth)
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let purity: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "error-path-purity")
+            .collect();
+        assert_eq!(purity.len(), 1, "{:?}", r.findings);
+        assert!(purity[0].message.contains("Merger"), "{:?}", purity);
+    }
+
+    #[test]
+    fn error_path_purity_flags_mutating_calls_in_constructor_args() {
+        let src = "//! lock-order: Merger
+            struct S { m: Exclusive<M> }
+            impl S {
+                fn new() -> S {
+                    S { m: Exclusive::new(LockClass::Merger, M) }
+                }
+                fn touch(&self) -> String {
+                    let g = self.m.lock();
+                    g.msg.clone()
+                }
+                fn indirect(&self) -> ServeError {
+                    ServeError::Internal(self.touch())
+                }
+                fn beside(&self) -> ServeResult<u32> {
+                    self.touch();
+                    Ok(1)
+                }
+            }";
+        let r = analyze(&[("fixture.rs", src)]);
+        let purity: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.lint == "error-path-purity")
+            .collect();
+        // Only the call inside the constructor parens counts; `beside` calls
+        // the same mutating helper outside any ServeError construction.
+        assert_eq!(purity.len(), 1, "{:?}", r.findings);
+        assert_eq!(purity[0].line, 12, "{:?}", purity);
+        assert!(purity[0].message.contains("Merger"), "{:?}", purity);
+    }
+
+    #[test]
+    fn fault_surface_classifies_durable_core_and_exempt_sites() {
+        let api = "//! lock-order: Alpha
+            impl StorageManager {
+                fn sync_file(&self, f: FileId) -> StorageResult<()> { Ok(()) }
+            }";
+        let durable_caller = "fn persist(storage: &StorageManager) -> StorageResult<()> {
+                storage.sync_file(FileId(0))?;
+                Ok(())
+            }";
+        let lateral_caller = "fn best_effort(storage: &StorageManager) -> StorageResult<()> {
+                // analyzer: allow(advisory sync; failure only costs cache warmth)
+                storage.sync_file(FileId(1))?;
+                Ok(())
+            }";
+        let r = analyze(&[
+            ("manager.rs", api),
+            ("wal.rs", durable_caller),
+            ("engine.rs", lateral_caller),
+        ]);
+        assert_eq!(r.fault_surface.len(), 2, "{:?}", r.fault_surface);
+        let durable: Vec<_> = r.fault_surface.iter().filter(|f| f.durable_core).collect();
+        assert_eq!(durable.len(), 1, "{:?}", r.fault_surface);
+        assert_eq!(durable[0].caller, "persist");
+        assert_eq!(durable[0].callee, "sync_file");
+        assert_eq!(durable[0].file, "wal.rs");
+        let exempt: Vec<_> = r.fault_surface.iter().filter(|f| f.exempt).collect();
+        assert_eq!(exempt.len(), 1, "{:?}", r.fault_surface);
+        assert_eq!(exempt[0].file, "engine.rs");
+    }
+
+    #[test]
+    fn fault_surface_skips_infallible_and_non_storage_calls() {
+        let api = "//! lock-order: Alpha
+            impl StorageManager {
+                fn stats(&self) -> Stats { Stats }
+            }";
+        let caller = "fn peek(storage: &StorageManager) -> Stats {
+                storage.stats()
+            }";
+        let r = analyze(&[("manager.rs", api), ("octree.rs", caller)]);
+        assert_eq!(r.fault_surface, vec![], "{:?}", r.fault_surface);
     }
 }

@@ -136,6 +136,10 @@ fn allowed(model: &Model, file: &str, line: u32) -> bool {
         .is_some_and(|fi| model.is_allowed(fi, line))
 }
 
+/// Lock classes the serving tier may legitimately hold while constructing
+/// an error reply (its own admission-queue and work-cell locks).
+pub const ERROR_PATH_ALLOWED: [&str; 2] = ["ServeQueue", "WorkCell"];
+
 /// Runs every lint; returns findings (model-level findings included).
 pub fn run(model: &Model, declared: &Declared) -> Vec<Finding> {
     let mut findings: Vec<Finding> = model.findings.clone();
@@ -143,9 +147,66 @@ pub fn run(model: &Model, declared: &Declared) -> Vec<Finding> {
     cycle_lint(model, &mut findings);
     wal_lint(model, &mut findings);
     panic_lint(model, &mut findings);
+    swallow_lint(model, &mut findings);
+    mutate_lint(model, &mut findings);
+    error_path_lint(model, &mut findings);
     findings.retain(|f| !allowed(model, &f.file, f.line));
     findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
     findings
+}
+
+/// The restricted pass for the peripheral crates (geom, datagen, baselines,
+/// bench): panic-surface and swallowed-io-error only — those crates take no
+/// locks and append no WAL records, so the protocol lints don't apply.
+///
+/// The panic lint runs relaxed here: the harness/generator binaries handle
+/// unrecoverable setup errors by aborting, and `.expect("message")` is the
+/// accepted way to do that — the message documents the invariant. Bare
+/// `unwrap` and `panic!` are still flagged.
+pub fn run_peripheral(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in &model.panic_sites {
+        if site.what == "expect" {
+            continue;
+        }
+        findings.push(Finding {
+            lint: "panic-surface".into(),
+            file: model.files[site.file].clone(),
+            line: site.line,
+            message: format!(
+                "`{}` in non-test code: use `.expect(\"why this cannot fail\")` or \
+                 annotate with `// analyzer: allow(reason)`",
+                site.what
+            ),
+        });
+    }
+    swallow_lint(model, &mut findings);
+    findings.retain(|f| !allowed(model, &f.file, f.line));
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    findings
+}
+
+/// Memoized "every caller path holds a mutating lock" check, shared by the
+/// WAL-append and mutate-before-log dominance lints.
+fn callers_hold_mutating(
+    model: &Model,
+    func: usize,
+    memo: &mut BTreeMap<usize, Option<bool>>,
+) -> bool {
+    match memo.get(&func) {
+        Some(Some(v)) => return *v,
+        Some(None) => return false, // cycle: be conservative
+        None => {}
+    }
+    memo.insert(func, None);
+    let callers = model.callers_of(func);
+    let ok = !callers.is_empty()
+        && callers.iter().all(|(caller, held, _)| {
+            held.iter().any(|h| MUTATING_CLASSES.contains(&h.as_str()))
+                || callers_hold_mutating(model, *caller, memo)
+        });
+    memo.insert(func, Some(ok));
+    ok
 }
 
 /// Every acquisition edge must go strictly down the declared order (equal
@@ -269,24 +330,6 @@ fn cycle_lint(model: &Model, findings: &mut Vec<Finding>) {
 /// * `log-before-sync` — records that reference freshly written data pages
 ///   must be dominated by a `sync_file` of those pages.
 fn wal_lint(model: &Model, findings: &mut Vec<Finding>) {
-    // Memoized "every caller path holds a mutating lock" check.
-    fn callers_ok(model: &Model, func: usize, memo: &mut BTreeMap<usize, Option<bool>>) -> bool {
-        match memo.get(&func) {
-            Some(Some(v)) => return *v,
-            Some(None) => return false, // cycle: be conservative
-            None => {}
-        }
-        memo.insert(func, None);
-        let callers = model.callers_of(func);
-        let ok = !callers.is_empty()
-            && callers.iter().all(|(caller, held, _)| {
-                held.iter().any(|h| MUTATING_CLASSES.contains(&h.as_str()))
-                    || callers_ok(model, *caller, memo)
-            });
-        memo.insert(func, Some(ok));
-        ok
-    }
-
     let mut memo: BTreeMap<usize, Option<bool>> = BTreeMap::new();
     for site in &model.log_sites {
         let file = model.files[site.file].clone();
@@ -309,7 +352,7 @@ fn wal_lint(model: &Model, findings: &mut Vec<Finding>) {
             .held
             .iter()
             .any(|h| MUTATING_CLASSES.contains(&h.as_str()));
-        if !direct && !callers_ok(model, site.func, &mut memo) {
+        if !direct && !callers_hold_mutating(model, site.func, &mut memo) {
             findings.push(Finding {
                 lint: "wal-outside-lock".into(),
                 file: file.clone(),
@@ -334,6 +377,120 @@ fn wal_lint(model: &Model, findings: &mut Vec<Finding>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+/// `swallowed-io-error` — a `let _ = ...;` or terminal `.ok();` statement
+/// that discards the result of an io-fallible workspace function (or an
+/// argless thread `join`) without inspecting it.
+fn swallow_lint(model: &Model, findings: &mut Vec<Finding>) {
+    for s in &model.swallow_sites {
+        let mut what: Vec<String> = s.fallible_callees.clone();
+        if s.join && !what.iter().any(|w| w == "join") {
+            what.push("join".into());
+        }
+        if what.is_empty() {
+            continue;
+        }
+        findings.push(Finding {
+            lint: "swallowed-io-error".into(),
+            file: model.files[s.file].clone(),
+            line: s.line,
+            message: format!(
+                "`{}` discards the result of {}: an I/O error (or worker panic) vanishes \
+                 silently; handle it or annotate with `// analyzer: allow(reason)`",
+                s.how,
+                what.join("/")
+            ),
+        });
+    }
+}
+
+/// `mutate-before-log` — the dual of `wal-outside-lock`: a guarded
+/// durable-state mutation (`delete_file`/`truncate_file`) must be dominated
+/// by the WAL append that explains it, in the same function. Unguarded
+/// sites with no callers are recovery paths (engine open), which replay the
+/// WAL rather than append to it.
+fn mutate_lint(model: &Model, findings: &mut Vec<Finding>) {
+    let mut memo: BTreeMap<usize, Option<bool>> = BTreeMap::new();
+    for site in &model.mutate_sites {
+        let file = model.files[site.file].clone();
+        // The storage manager *implements* the operations; the protocol
+        // binds engine call sites.
+        if file.contains("storage/src") {
+            continue;
+        }
+        let direct = site
+            .held
+            .iter()
+            .any(|h| MUTATING_CLASSES.contains(&h.as_str()));
+        if !direct && !callers_hold_mutating(model, site.func, &mut memo) {
+            continue;
+        }
+        let logged = model
+            .log_sites
+            .iter()
+            .any(|l| l.func == site.func && l.line <= site.line);
+        if !logged {
+            findings.push(Finding {
+                lint: "mutate-before-log".into(),
+                file,
+                line: site.line,
+                message: format!(
+                    "durable-state mutation `{}` is not dominated by a WAL append in this \
+                     function: a crash after the mutation leaves a store state no WAL \
+                     record explains",
+                    site.name
+                ),
+            });
+        }
+    }
+}
+
+/// `error-path-purity` — a `ServeError` must be constructed without holding
+/// engine locks (only the serve tier's own [`ERROR_PATH_ALLOWED`] classes)
+/// and without calling into code that acquires mutating engine locks: the
+/// error reply path must not mutate engine state or hold a lock across the
+/// send.
+fn error_path_lint(model: &Model, findings: &mut Vec<Finding>) {
+    for s in &model.error_sites {
+        let file = model.files[s.file].clone();
+        for h in s
+            .held
+            .iter()
+            .filter(|h| !ERROR_PATH_ALLOWED.contains(&h.as_str()))
+        {
+            findings.push(Finding {
+                lint: "error-path-purity".into(),
+                file: file.clone(),
+                line: s.line,
+                message: format!(
+                    "ServeError constructed while holding engine lock {h}: the error reply \
+                     must not hold a lock across the send"
+                ),
+            });
+        }
+        let mutating: Vec<&String> = s
+            .arg_acq
+            .iter()
+            .filter(|c| MUTATING_CLASSES.contains(&c.as_str()))
+            .collect();
+        if !mutating.is_empty() {
+            findings.push(Finding {
+                lint: "error-path-purity".into(),
+                file,
+                line: s.line,
+                message: format!(
+                    "ServeError construction calls into code that acquires mutating engine \
+                     locks ({}): the error path must not mutate engine state",
+                    mutating
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join("/")
+                ),
+            });
         }
     }
 }

@@ -52,6 +52,21 @@ const WRAPPER_TYPES: [&str; 12] = [
     "Result",
 ];
 
+/// Method names whose presence in a statement means a discarded result was
+/// inspected or transformed, not silently swallowed.
+const RESCUE_METHODS: [&str; 10] = [
+    "is_ok",
+    "is_err",
+    "err",
+    "map_err",
+    "ok_or",
+    "ok_or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect_err",
+];
+
 /// Standard-library method names that must NOT resolve through the untyped
 /// by-name fallback: local functions that happen to share these names
 /// (`ResultCache::len`, `BufferPool::get`, a cursor's `Iterator::next`, ...)
@@ -59,7 +74,8 @@ const WRAPPER_TYPES: [&str; 12] = [
 /// the workspace. Calls to the real local functions still resolve through
 /// the typed paths (guard receiver, `self.method`, `self.field.method`,
 /// `Type::method`).
-const STD_METHOD_NAMES: [&str; 30] = [
+const STD_METHOD_NAMES: [&str; 31] = [
+    "file_name",
     "len",
     "is_empty",
     "get",
@@ -182,6 +198,108 @@ pub struct PanicSite {
     pub what: String,
 }
 
+/// A swallowed-result site: a statement that discards its value via
+/// `let _ = ...;` or a terminal `.ok();`, with no rescue (`?`, `unwrap`,
+/// `is_err`, `map_err`, ...) anywhere in the same statement.
+#[derive(Debug, Clone)]
+pub struct SwallowSite {
+    /// Function (index into [`Model::functions`]) containing the statement.
+    pub func: usize,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Which discard form (`"let _"` or `".ok()"`).
+    pub how: &'static str,
+    /// Whether the statement contains an argless `.join()` (a thread join —
+    /// discarding it swallows a worker panic).
+    pub join: bool,
+    /// Filled by `Model::finish`: callees in the discarded statement that
+    /// resolve to an io-fallible workspace function.
+    pub fallible_callees: Vec<String>,
+    calls: Vec<CallSite>,
+}
+
+/// A `ServeError::...` construction site (the serving tier's error path),
+/// with the lock classes held there.
+#[derive(Debug, Clone)]
+pub struct ErrorSite {
+    /// Function (index into [`Model::functions`]) containing the site.
+    pub func: usize,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Lock classes held at the construction.
+    pub held: Vec<String>,
+    /// Filled by `Model::finish`: lock classes transitively acquired by
+    /// calls made inside the constructor's arguments (error-path side
+    /// effects).
+    pub arg_acq: Vec<String>,
+    /// Names of calls lexically inside the constructor's argument list.
+    arg_calls: Vec<String>,
+}
+
+/// A durable-state mutation call (`delete_file` / `truncate_file`), for the
+/// mutate-before-log dominance check.
+#[derive(Debug, Clone)]
+pub struct MutateSite {
+    /// Function (index into [`Model::functions`]) containing the call.
+    pub func: usize,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Which mutation (`delete_file` or `truncate_file`).
+    pub name: String,
+    /// Lock classes held at the call.
+    pub held: Vec<String>,
+}
+
+/// One entry of the fault-surface inventory: a call site that resolves to a
+/// fallible storage-API function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallibleSite {
+    /// Enclosing function, rendered as the runtime coverage hooks name it
+    /// (`Type::name` or a bare `name` for free functions).
+    pub caller: String,
+    /// Callee name at the call site.
+    pub callee: String,
+    /// File path of the call site.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether the site sits in the crash-consistency core (WAL, manifest,
+    /// durability wrapper, compactor trigger, or a durable-path
+    /// `manager.rs` function) and hence must be covered by a
+    /// fault-injection test.
+    pub durable_core: bool,
+    /// Whether an `// analyzer: allow(reason)` annotation covers the site.
+    pub exempt: bool,
+}
+
+/// Basenames of the storage crate's fallible API surface: call sites whose
+/// callee is defined in one of these files form the fault surface.
+const STORAGE_API_FILES: [&str; 5] = ["file.rs", "wal.rs", "manifest.rs", "manager.rs", "fault.rs"];
+
+/// Caller files whose fault-surface sites are crash-consistency core.
+const DURABLE_CORE_FILES: [&str; 4] = ["wal.rs", "manifest.rs", "durability.rs", "compactor.rs"];
+
+/// `manager.rs` functions on the durable path (the crash-consistency core's
+/// entry points); the manager's read/stats functions are fault surface but
+/// not core.
+pub const DURABLE_MANAGER_FNS: [&str; 9] = [
+    "create",
+    "open",
+    "wal_file",
+    "checkpoint",
+    "log_meta",
+    "sync_file",
+    "create_file",
+    "delete_file",
+    "truncate_file",
+];
+
 /// One analyzed function.
 #[derive(Debug)]
 pub struct FnInfo {
@@ -197,6 +315,12 @@ pub struct FnInfo {
     pub direct_acq: BTreeSet<String>,
     /// Classes acquired transitively (filled by `Model::finish`).
     pub trans_acq: BTreeSet<String>,
+    /// Whether the return type mentions a `Result`.
+    pub fallible: bool,
+    /// Whether that `Result` is io-flavored (`io::Result`, `StorageResult`,
+    /// `ServeResult`, or an explicit `StorageError`/`ServeError` payload) —
+    /// the errors a crash or injected fault can produce.
+    pub fallible_io: bool,
     calls: Vec<CallSite>,
 }
 
@@ -222,6 +346,12 @@ pub struct Model {
     pub log_sites: Vec<LogSite>,
     /// All panic-surface sites.
     pub panic_sites: Vec<PanicSite>,
+    /// All discarded-result statements.
+    pub swallow_sites: Vec<SwallowSite>,
+    /// All `ServeError` construction sites.
+    pub error_sites: Vec<ErrorSite>,
+    /// All `delete_file`/`truncate_file` call sites.
+    pub mutate_sites: Vec<MutateSite>,
     /// Lines carrying an `allow` directive, per file index.
     pub allow_lines: BTreeMap<usize, BTreeSet<u32>>,
     /// Model-level findings (unclassified acquisitions, name conflicts,
@@ -562,7 +692,18 @@ impl Model {
                 if !pending_test {
                     let impl_type = impl_stack.last().map(|(t, _)| t.clone());
                     let params = param_types(&toks, i + 2, j);
-                    self.scan_body(fi, &toks, j, body_end, impl_type, &name, line, &params);
+                    let (fallible, fallible_io) = signature_fallibility(&toks[i + 2..j]);
+                    self.scan_body(
+                        fi,
+                        &toks,
+                        j,
+                        body_end,
+                        impl_type,
+                        &name,
+                        line,
+                        &params,
+                        (fallible, fallible_io),
+                    );
                 }
                 pending_test = false;
                 i = body_end + 1;
@@ -589,6 +730,7 @@ impl Model {
         name: &str,
         fn_line: u32,
         params: &HashMap<String, BTreeSet<String>>,
+        fallibility: (bool, bool),
     ) {
         struct Guard {
             name: Option<String>,
@@ -605,6 +747,8 @@ impl Model {
             line: fn_line,
             direct_acq: BTreeSet::new(),
             trans_acq: BTreeSet::new(),
+            fallible: fallibility.0,
+            fallible_io: fallibility.1,
             calls: Vec::new(),
         };
         let mut guards: Vec<Guard> = Vec::new();
@@ -619,6 +763,14 @@ impl Model {
         // condition temporaries drop at the opening `{` of the block, unlike
         // statement temporaries.
         let mut cond_mode = false;
+        // Swallow tracking: a simple statement (no inner block) that
+        // discards its value via `let _ = ...;` or a terminal `.ok();`, the
+        // calls made inside it, and whether anything in it rescues the
+        // result (`?`, `unwrap`/`expect`, `is_err`, `map_err`, ...).
+        let mut stmt_discard: Option<(&'static str, u32)> = None;
+        let mut stmt_rescued = false;
+        let mut stmt_join = false;
+        let mut stmt_calls: Vec<CallSite> = Vec::new();
         let held = |guards: &Vec<Guard>| -> Vec<String> {
             let mut h: Vec<String> = guards.iter().map(|g| g.class.clone()).collect();
             h.dedup();
@@ -636,6 +788,12 @@ impl Model {
                 // A `let` initializer that opens a block (or closure body)
                 // cannot bind a guard acquired inside it.
                 pending_let = None;
+                // Statements containing blocks are not "simple" — swallow
+                // tracking restarts inside.
+                stmt_discard = None;
+                stmt_rescued = false;
+                stmt_join = false;
+                stmt_calls.clear();
                 depth += 1;
                 i += 1;
                 continue;
@@ -651,6 +809,10 @@ impl Model {
                 guards.retain(|g| g.depth < depth);
                 depth -= 1;
                 pending_let = None;
+                stmt_discard = None;
+                stmt_rescued = false;
+                stmt_join = false;
+                stmt_calls.clear();
                 i += 1;
                 continue;
             }
@@ -659,8 +821,29 @@ impl Model {
                 // deeper than the temp's depth (inside a loop body whose
                 // header holds the guard) does not end it.
                 guards.retain(|g| !(g.temp && g.depth == depth));
+                if let Some((how, line)) = stmt_discard.take() {
+                    if !stmt_rescued && (stmt_join || !stmt_calls.is_empty()) {
+                        self.swallow_sites.push(SwallowSite {
+                            func: func_idx,
+                            file: fi,
+                            line,
+                            how,
+                            join: stmt_join,
+                            fallible_callees: Vec::new(),
+                            calls: std::mem::take(&mut stmt_calls),
+                        });
+                    }
+                }
+                stmt_rescued = false;
+                stmt_join = false;
+                stmt_calls.clear();
                 pending_let = None;
                 let_consumed = false;
+                i += 1;
+                continue;
+            }
+            if t.is_punct("?") {
+                stmt_rescued = true;
                 i += 1;
                 continue;
             }
@@ -718,6 +901,9 @@ impl Model {
                         locals.insert(name.clone(), types);
                     }
                 }
+                if pending_let.as_deref() == Some("_") {
+                    stmt_discard = Some(("let _", t.line));
+                }
                 let_consumed = false;
                 i = k;
                 continue;
@@ -754,9 +940,39 @@ impl Model {
                         line: t.line,
                         what: t.text.clone(),
                     });
+                    // A panic consumes the result: the statement does not
+                    // silently swallow it.
+                    stmt_rescued = true;
                     i += 1;
                     continue;
                 }
+            }
+            // `ServeError::...` construction: the serving tier's error path.
+            if t.is_ident("ServeError") && matches!(toks.get(i + 1), Some(x) if x.is_punct("::")) {
+                let mut arg_calls: Vec<String> = Vec::new();
+                if matches!(toks.get(i + 2), Some(v) if v.kind == TokKind::Ident)
+                    && matches!(toks.get(i + 3), Some(p) if p.is_punct("("))
+                {
+                    let close = match_balanced(toks, i + 3, "(", ")");
+                    for x in i + 4..close {
+                        if toks[x].kind == TokKind::Ident
+                            && matches!(toks.get(x + 1), Some(p) if p.is_punct("("))
+                            && !KEYWORDS.contains(&toks[x].text.as_str())
+                        {
+                            arg_calls.push(toks[x].text.clone());
+                        }
+                    }
+                }
+                self.error_sites.push(ErrorSite {
+                    func: func_idx,
+                    file: fi,
+                    line: t.line,
+                    held: held(&guards),
+                    arg_acq: Vec::new(),
+                    arg_calls,
+                });
+                i += 1;
+                continue;
             }
             // Raw lock constructors in analyzed code.
             if (t.is_ident("RwLock") || t.is_ident("Mutex"))
@@ -926,6 +1142,36 @@ impl Model {
                 if t.is_ident("sync_file") {
                     seen_sync = true;
                 }
+                if is_method && RESCUE_METHODS.contains(&t.text.as_str()) {
+                    // The statement inspects or transforms the result: not a
+                    // silent swallow.
+                    stmt_rescued = true;
+                }
+                if is_method
+                    && t.is_ident("join")
+                    && matches!(toks.get(i + 2), Some(x) if x.is_punct(")"))
+                {
+                    stmt_join = true;
+                }
+                if is_method
+                    && t.is_ident("ok")
+                    && matches!(toks.get(i + 2), Some(x) if x.is_punct(")"))
+                    && matches!(toks.get(i + 3), Some(x) if x.is_punct(";"))
+                    && (pending_let.is_none() || stmt_discard.is_some())
+                {
+                    // A terminal `.ok();` as a bare expression statement
+                    // discards the result (a `let x = ....ok();` binds it).
+                    stmt_discard = Some((".ok()", t.line));
+                }
+                if t.is_ident("delete_file") || t.is_ident("truncate_file") {
+                    self.mutate_sites.push(MutateSite {
+                        func: func_idx,
+                        file: fi,
+                        line: t.line,
+                        name: t.text.clone(),
+                        held: held(&guards),
+                    });
+                }
                 let is_log = (t.is_ident("log") && qual.as_deref() == Some("durability"))
                     || t.is_ident("log_meta");
                 if is_log {
@@ -940,14 +1186,16 @@ impl Model {
                         raw_log_meta: t.is_ident("log_meta"),
                     });
                 }
-                info.calls.push(CallSite {
+                let call = CallSite {
                     name: t.text.clone(),
                     receiver,
                     is_method,
                     held: held(&guards),
                     file: fi,
                     line: t.line,
-                });
+                };
+                stmt_calls.push(call.clone());
+                info.calls.push(call);
                 i += 1;
                 continue;
             }
@@ -1120,6 +1368,95 @@ impl Model {
         for (from, to, fi, line) in derived {
             self.add_edge(&from, &to, fi, line, true);
         }
+        // Resolve the calls recorded inside discarded statements: which of
+        // them reach an io-fallible workspace function?
+        let mut swallows = std::mem::take(&mut self.swallow_sites);
+        for s in &mut swallows {
+            let mut callees: Vec<String> = Vec::new();
+            for c in &s.calls {
+                if self
+                    .resolve(c)
+                    .into_iter()
+                    .any(|g| self.functions[g].fallible_io)
+                {
+                    callees.push(c.name.clone());
+                }
+            }
+            callees.dedup();
+            s.fallible_callees = callees;
+        }
+        self.swallow_sites = swallows;
+        // Resolve the side effects of error constructions: classes
+        // transitively acquired by the calls inside the constructor's
+        // arguments.
+        let mut errors = std::mem::take(&mut self.error_sites);
+        for s in &mut errors {
+            let mut acq: BTreeSet<String> = BTreeSet::new();
+            for c in &self.functions[s.func].calls {
+                if c.line != s.line || !s.arg_calls.contains(&c.name) {
+                    continue;
+                }
+                for g in self.resolve(c) {
+                    acq.extend(self.functions[g].trans_acq.iter().cloned());
+                }
+            }
+            s.arg_acq = acq.into_iter().collect();
+        }
+        self.error_sites = errors;
+    }
+
+    /// Renders a function's key the way the runtime coverage hooks name it:
+    /// `Type::name` for inherent/trait methods, bare `name` for free
+    /// functions.
+    pub fn fn_key(&self, idx: usize) -> String {
+        let f = &self.functions[idx];
+        match &f.impl_type {
+            Some(t) => format!("{t}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// The fault-surface inventory: every call site that resolves to an
+    /// io-fallible function defined in the storage crate's API files
+    /// (`STORAGE_API_FILES`), annotated with whether the *caller* sits in
+    /// the crash-consistency core (and hence must be exercised by a
+    /// fault-injection test).
+    pub fn fault_surface(&self) -> Vec<FallibleSite> {
+        fn basename(path: &str) -> &str {
+            path.rsplit('/').next().unwrap_or(path)
+        }
+        let mut out: Vec<FallibleSite> = Vec::new();
+        for (idx, f) in self.functions.iter().enumerate() {
+            for c in &f.calls {
+                let hits = self.resolve(c).into_iter().any(|g| {
+                    let gf = &self.functions[g];
+                    let gfile = &self.files[gf.file];
+                    gf.fallible_io
+                        && STORAGE_API_FILES.contains(&basename(gfile))
+                        && (gfile.contains("storage/src") || !gfile.contains('/'))
+                });
+                if !hits {
+                    continue;
+                }
+                let file = self.files[c.file].clone();
+                let base = basename(&file);
+                let durable_core = DURABLE_CORE_FILES.contains(&base)
+                    || (base == "manager.rs" && DURABLE_MANAGER_FNS.contains(&f.name.as_str()));
+                out.push(FallibleSite {
+                    caller: self.fn_key(idx),
+                    callee: c.name.clone(),
+                    file,
+                    line: c.line,
+                    durable_core,
+                    exempt: self.is_allowed(c.file, c.line),
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            (&a.file, a.line, &a.callee, &a.caller).cmp(&(&b.file, b.line, &b.callee, &b.caller))
+        });
+        out.dedup();
+        out
     }
 
     /// Callers of function `target`, with the classes held at each call site.
@@ -1401,6 +1738,46 @@ fn chain_guard_class(
 }
 
 /// Finds `MetaRecord::Variant` inside a call's argument tokens.
+/// Scans a function signature (the tokens between the name and the body
+/// brace) for fallibility: does the return type mention a `Result`, and is
+/// it io-flavored (`io::Result`, `StorageResult`/`ServeResult`, or an
+/// explicit `StorageError`/`ServeError` payload)?
+fn signature_fallibility(sig: &[Token]) -> (bool, bool) {
+    let mut k = 0usize;
+    if sig.first().is_some_and(|t| t.is_punct("<")) {
+        k = skip_angles(sig, 0);
+    }
+    while k < sig.len() && !sig[k].is_punct("(") {
+        k += 1;
+    }
+    if k >= sig.len() {
+        return (false, false);
+    }
+    let mut m = match_balanced(sig, k, "(", ")") + 1;
+    if !(m + 1 < sig.len() && sig[m].is_punct("-") && sig[m + 1].is_punct(">")) {
+        return (false, false);
+    }
+    m += 2;
+    let mut fallible = false;
+    let mut io_flavored = false;
+    while m < sig.len() && !sig[m].is_ident("where") {
+        if sig[m].kind == TokKind::Ident {
+            let s = sig[m].text.as_str();
+            if s == "Result" || s.ends_with("Result") {
+                fallible = true;
+            }
+            if matches!(
+                s,
+                "io" | "StorageResult" | "StorageError" | "ServeResult" | "ServeError"
+            ) {
+                io_flavored = true;
+            }
+        }
+        m += 1;
+    }
+    (fallible, fallible && io_flavored)
+}
+
 fn find_record_variant(args: &[Token]) -> Option<String> {
     for i in 0..args.len() {
         if args[i].is_ident("MetaRecord") && matches!(args.get(i + 1), Some(t) if t.is_punct("::"))

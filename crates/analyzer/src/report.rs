@@ -1,7 +1,7 @@
 //! Machine-readable report: hand-rolled JSON emission (the analyzer is
 //! dependency-free).
 
-use crate::model::{Edge, Finding};
+use crate::model::{Edge, FallibleSite, Finding};
 
 /// The analyzer's full output for one run.
 #[derive(Debug)]
@@ -16,6 +16,9 @@ pub struct Report {
     pub edges: Vec<Edge>,
     /// All findings, sorted by file/line.
     pub findings: Vec<Finding>,
+    /// The fault-surface inventory (call sites resolving to fallible
+    /// storage-API functions).
+    pub fault_surface: Vec<FallibleSite>,
     /// Number of files analyzed.
     pub files_analyzed: usize,
     /// Number of non-test functions modeled.
@@ -30,6 +33,11 @@ impl Report {
         s.push_str(&format!(
             "  \"files_analyzed\": {},\n  \"functions\": {},\n",
             self.files_analyzed, self.functions
+        ));
+        s.push_str(&format!(
+            "  \"fault_sites\": {},\n  \"durable_core_sites\": {},\n",
+            self.fault_surface.len(),
+            self.fault_surface.iter().filter(|f| f.durable_core).count()
         ));
         s.push_str("  \"order\": [");
         push_str_list(&mut s, &self.order);
@@ -69,6 +77,41 @@ impl Report {
         s
     }
 
+    /// Renders the fault-surface inventory as its own JSON document
+    /// (`fault_surface.json`): one entry per call site that resolves to a
+    /// fallible storage-API function, in `(caller, callee)` pair form — the
+    /// same shape the runtime coverage registry records under the
+    /// `fault-coverage` feature.
+    pub fn fault_surface_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"sites\": {},\n  \"durable_core\": {},\n  \"exempt\": {},\n",
+            self.fault_surface.len(),
+            self.fault_surface.iter().filter(|f| f.durable_core).count(),
+            self.fault_surface.iter().filter(|f| f.exempt).count()
+        ));
+        s.push_str("  \"fault_surface\": [\n");
+        for (i, f) in self.fault_surface.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"caller\": {}, \"callee\": {}, \"site\": {}, \
+                 \"durable_core\": {}, \"exempt\": {}}}{}\n",
+                json_str(&f.caller),
+                json_str(&f.callee),
+                json_str(&format!("{}:{}", f.file, f.line)),
+                f.durable_core,
+                f.exempt,
+                if i + 1 < self.fault_surface.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
     /// Human-readable summary (one line per finding).
     pub fn render_text(&self) -> String {
         let mut s = String::new();
@@ -81,6 +124,13 @@ impl Report {
                 Some((f, l)) => format!("{f}:{l}"),
                 None => "builtin fallback".into(),
             }
+        ));
+        s.push_str(&format!(
+            "fault surface: {} call sites resolve to fallible storage APIs \
+             ({} durable-core, {} exempt)\n",
+            self.fault_surface.len(),
+            self.fault_surface.iter().filter(|f| f.durable_core).count(),
+            self.fault_surface.iter().filter(|f| f.exempt).count()
         ));
         for e in &self.edges {
             s.push_str(&format!(

@@ -148,7 +148,9 @@ fn build_engine(
     let raws = datasets
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| {
+            write_raw_dataset(&storage, DatasetId(i as u16), objs).expect("seed dataset")
+        })
         .collect();
     let engine = SpaceOdyssey::new(config, raws).expect("validated configuration");
     (storage, engine)
@@ -191,7 +193,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyReport {
 
     let warm_up = |storage: &StorageManager, engine: &SpaceOdyssey| {
         for q in warmup {
-            engine.execute(storage, q).unwrap();
+            engine.execute(storage, q).expect("warmup query");
         }
     };
 
@@ -203,12 +205,17 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyReport {
     for q in measured {
         storage.clear_cache();
         let before = storage.stats();
-        let mut cursor = engine.open_cursor(&storage, &Query::Range(*q)).unwrap();
+        let mut cursor = engine
+            .open_cursor(&storage, &Query::Range(*q))
+            .expect("open range cursor");
         let open_stats = storage.stats();
-        let mut objects = cursor.next_batch().unwrap().unwrap_or_default();
+        let mut objects = cursor
+            .next_batch()
+            .expect("first batch")
+            .unwrap_or_default();
         ttfb_seconds += storage.seconds_since(&before);
         let first_stats = storage.stats();
-        while let Some(batch) = cursor.next_batch().unwrap() {
+        while let Some(batch) = cursor.next_batch().expect("stream batch") {
             objects.extend(batch);
         }
         if std::env::var_os("LATENCY_DEBUG").is_some() {
@@ -241,7 +248,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyReport {
     for q in measured {
         storage.clear_cache();
         let before = storage.stats();
-        let outcome = engine.execute(&storage, q).unwrap();
+        let outcome = engine.execute(&storage, q).expect("materialized query");
         full_seconds += storage.seconds_since(&before);
         materialized_checksum = materialized_checksum.wrapping_add(checksum(&outcome.objects));
     }
@@ -260,11 +267,11 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyReport {
     for q in measured {
         storage.clear_cache();
         let before = storage.stats();
-        engine.execute(&storage, q).unwrap();
+        engine.execute(&storage, q).expect("cache-fill query");
         cold_seconds += storage.seconds_since(&before);
         storage.clear_cache();
         let before = storage.stats();
-        let warm = engine.execute(&storage, q).unwrap();
+        let warm = engine.execute(&storage, q).expect("cache-hit query");
         warm_seconds += storage.seconds_since(&before);
         assert_eq!(
             warm.cache_hits, 1,

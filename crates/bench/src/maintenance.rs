@@ -235,7 +235,9 @@ fn run_one(cfg: &MaintenanceConfig, background: bool) -> MaintenanceRun {
     let raws: Vec<RawDataset> = datasets
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| {
+            write_raw_dataset(&storage, DatasetId(i as u16), objs).expect("seed dataset")
+        })
         .collect();
     let mut odyssey_cfg =
         OdysseyConfig::paper(model.bounds()).with_maintenance_pages_per_step(cfg.pages_per_step);

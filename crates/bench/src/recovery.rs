@@ -214,7 +214,9 @@ pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRun {
         let raws: Vec<RawDataset> = datasets
             .iter()
             .enumerate()
-            .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+            .map(|(i, objs)| {
+                write_raw_dataset(&storage, DatasetId(i as u16), objs).expect("seed dataset")
+            })
             .collect();
         let after_seed = storage.stats();
         let engine = SpaceOdyssey::create(OdysseyConfig::paper(model.bounds()), raws, &storage)
@@ -249,7 +251,9 @@ pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRun {
     let raws: Vec<RawDataset> = datasets
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&storage3, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| {
+            write_raw_dataset(&storage3, DatasetId(i as u16), objs).expect("seed dataset")
+        })
         .collect();
     let after_seed = storage3.stats();
     let wall = Instant::now();

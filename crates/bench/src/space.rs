@@ -188,7 +188,9 @@ fn run_one(cfg: &SpaceConfig, compaction: bool) -> SpaceRun {
     let raws: Vec<RawDataset> = datasets
         .iter()
         .enumerate()
-        .map(|(i, objs)| write_raw_dataset(&storage, DatasetId(i as u16), objs).unwrap())
+        .map(|(i, objs)| {
+            write_raw_dataset(&storage, DatasetId(i as u16), objs).expect("seed dataset")
+        })
         .collect();
     let mut odyssey_cfg = OdysseyConfig::paper(model.bounds());
     odyssey_cfg.merge_space_budget_pages = cfg.merge_budget_pages;

@@ -87,6 +87,7 @@ impl Compactor {
         config: &OdysseyConfig,
         index: &DatasetIndex,
     ) -> bool {
+        let _cover = odyssey_storage::fault::enter("Compactor::should_compact");
         if !config.compaction_enabled || !storage.wal_enabled() {
             return false;
         }

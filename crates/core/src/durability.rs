@@ -563,6 +563,7 @@ impl MetaRecord {
 /// non-durable managers. Call sites hold the lock that guards the mutation
 /// they log, so WAL order equals visibility order.
 pub(crate) fn log(storage: &StorageManager, record: MetaRecord) -> StorageResult<()> {
+    let _cover = odyssey_storage::fault::enter("log");
     if storage.wal_enabled() {
         storage.log_meta(&record.encode())
     } else {

@@ -438,6 +438,7 @@ impl DatasetIndex {
                 // swapped it (the queue dedupes per dataset, so this only
                 // guards against misuse) — abandon the stale attempt.
                 if state.file != Some(job.old_file) || !storage.file_exists(job.new_file) {
+                    // analyzer: allow(best-effort cleanup of an uncommitted replacement file: no WAL record names it, so a leftover copy is garbage, not corruption)
                     storage.delete_file(job.new_file).ok();
                     return Ok(CompactStep::NotNeeded);
                 }

@@ -175,6 +175,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // analyzer: allow(out-of-range index is a caller bug; matches the std slice indexing contract)
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }
@@ -187,6 +188,7 @@ impl IndexMut<usize> for Vec3 {
             0 => &mut self.x,
             1 => &mut self.y,
             2 => &mut self.z,
+            // analyzer: allow(out-of-range index is a caller bug; matches the std slice indexing contract)
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }

@@ -403,9 +403,11 @@ impl Server {
         }
         self.inner.arrived.notify_all();
         if let Some(handle) = self.dispatcher.take() {
-            // A dispatcher panic already answered no one; joining just
-            // surfaces that the thread is gone.
-            let _ = handle.join();
+            // A dispatcher panic already answered no one; joining surfaces
+            // that the thread is gone so shutdown isn't silently lossy.
+            if handle.join().is_err() {
+                eprintln!("serve: dispatcher thread panicked during shutdown");
+            }
         }
     }
 }

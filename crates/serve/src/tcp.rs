@@ -87,6 +87,8 @@ struct JobQueue {
     jobs: Exclusive<VecDeque<Job>>,
     ready: Condvar,
     stop: AtomicBool,
+    /// Responses that could not be written back (client hung up mid-reply).
+    dropped_replies: AtomicU64,
 }
 
 struct Connection {
@@ -129,6 +131,7 @@ impl TcpServer {
             jobs: Exclusive::new(LockClass::ServeQueue, VecDeque::new()),
             ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            dropped_replies: AtomicU64::new(0),
         });
         let poll = {
             let queue = Arc::clone(&queue);
@@ -158,6 +161,14 @@ impl TcpServer {
         self.local_addr
     }
 
+    /// Responses dropped because the client hung up before the reply could
+    /// be written. Nonzero values are client-side churn, not server faults,
+    /// but a monotonically climbing count under a stable client population
+    /// points at reply-path I/O trouble.
+    pub fn dropped_replies(&self) -> u64 {
+        self.queue.dropped_replies.load(Ordering::Relaxed)
+    }
+
     /// Stops the poll thread and workers. In-flight jobs finish; unread
     /// sockets are dropped.
     pub fn stop(mut self) {
@@ -168,10 +179,14 @@ impl TcpServer {
         self.queue.stop.store(true, Ordering::Release);
         self.queue.ready.notify_all();
         if let Some(poll) = self.poll.take() {
-            let _ = poll.join();
+            if poll.join().is_err() {
+                eprintln!("tcp server: poll thread panicked during shutdown");
+            }
         }
         for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            if worker.join().is_err() {
+                eprintln!("tcp server: worker thread panicked during shutdown");
+            }
         }
     }
 }
@@ -315,8 +330,12 @@ fn worker_loop(queue: &JobQueue, handle: &ServeHandle) {
         };
         let bytes = frame(job.id, &encode_response(&response));
         let mut writer = job.writer.lock();
-        // A send failure means the client hung up; nothing to answer.
-        let _ = write_all_retry(&mut writer, &bytes);
+        // A send failure means the client hung up; there is no one left to
+        // answer, but the drop is counted so operators can see reply-path
+        // trouble (see [`TcpServer::dropped_replies`]).
+        if write_all_retry(&mut writer, &bytes).is_err() {
+            queue.dropped_replies.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

@@ -1,0 +1,459 @@
+//! Site-addressable fault injection and the fault-surface coverage
+//! registry.
+//!
+//! The durability tests used to have exactly one crash lever: a global
+//! page-write budget on the WAL file ([`crate::FaultInjectingFile`]).
+//! This module generalizes it to a *site-addressable* plan: fail the Nth
+//! read/write/sync/rename/unlink at a named [`SiteClass`] (`wal.sync`,
+//! `manifest.rename`, `dir.sync`, ...), so a test can place a simulated
+//! crash at any point of the durability protocol, not just mid-WAL-append.
+//!
+//! # Site classes
+//!
+//! A site class is `family.op`: the family names the durable artifact
+//! (`wal`, `data`, `manifest`, `dir`) and the op is the I/O primitive
+//! (`read`, `write`, `sync`, `rename`, `unlink`). The WAL and data files
+//! charge through a [`FaultHookFile`](crate::FaultHookFile) wrapper; the
+//! manifest and directory ops charge through the [`fs_rename`] /
+//! [`fs_remove_file`] / [`fs_sync_dir`] / [`fs_write_sync`] helpers that
+//! all storage-crate filesystem calls are routed through.
+//!
+//! # Semantics
+//!
+//! A [`FaultPlan`] arms one site class with a 1-based `fail_at` counter:
+//! operations 1..fail_at-1 at that class succeed, operation `fail_at`
+//! fails with an injected [`StorageError::Io`], and the plan *latches* —
+//! every later operation at that class keeps failing, like a device that
+//! died. State is per-[`StorageManager`](crate::StorageManager) (threaded
+//! through an [`FaultState`] handle), never process-global, so parallel
+//! tests cannot contaminate each other and a re-opened manager starts
+//! with a clean slate.
+//!
+//! # Coverage registry (`fault-coverage` feature)
+//!
+//! With the `fault-coverage` cargo feature enabled, every fallible
+//! storage API function pushes its name onto a thread-local call stack
+//! via [`enter`], and each push records the `(caller, callee)` pair into
+//! a process-wide registry. `tests/fault_coverage.rs` cross-validates the
+//! registry against the analyzer's statically enumerated fallible-site
+//! inventory (`fault_surface.json`): every durable-core site must have
+//! been executed by at least one fault-injection test, mirroring the
+//! lock-order static↔runtime check. Without the feature, [`enter`] is a
+//! zero-sized no-op.
+
+use crate::error::{StorageError, StorageResult};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A named, injectable I/O site class (`family.op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SiteClass {
+    /// WAL page read (recovery replay path).
+    WalRead,
+    /// WAL page write or append.
+    WalWrite,
+    /// WAL fdatasync.
+    WalSync,
+    /// Data-file page read.
+    DataRead,
+    /// Data-file page write, append or extension.
+    DataWrite,
+    /// Data-file fdatasync (`sync_file`).
+    DataSync,
+    /// Data-file unlink (`delete_file`).
+    DataUnlink,
+    /// Manifest file read at open.
+    ManifestRead,
+    /// Manifest temp-file create + write.
+    ManifestWrite,
+    /// Manifest temp-file fsync.
+    ManifestSync,
+    /// Manifest rename onto the live name (the commit point).
+    ManifestRename,
+    /// Directory fsync after create/rename/unlink.
+    DirSync,
+}
+
+impl SiteClass {
+    /// Every class, in declaration order.
+    pub const ALL: [SiteClass; 12] = [
+        SiteClass::WalRead,
+        SiteClass::WalWrite,
+        SiteClass::WalSync,
+        SiteClass::DataRead,
+        SiteClass::DataWrite,
+        SiteClass::DataSync,
+        SiteClass::DataUnlink,
+        SiteClass::ManifestRead,
+        SiteClass::ManifestWrite,
+        SiteClass::ManifestSync,
+        SiteClass::ManifestRename,
+        SiteClass::DirSync,
+    ];
+
+    /// The canonical `family.op` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteClass::WalRead => "wal.read",
+            SiteClass::WalWrite => "wal.write",
+            SiteClass::WalSync => "wal.sync",
+            SiteClass::DataRead => "data.read",
+            SiteClass::DataWrite => "data.write",
+            SiteClass::DataSync => "data.sync",
+            SiteClass::DataUnlink => "data.unlink",
+            SiteClass::ManifestRead => "manifest.read",
+            SiteClass::ManifestWrite => "manifest.write",
+            SiteClass::ManifestSync => "manifest.sync",
+            SiteClass::ManifestRename => "manifest.rename",
+            SiteClass::DirSync => "dir.sync",
+        }
+    }
+
+    /// Parses a canonical `family.op` name.
+    pub fn parse(name: &str) -> Option<SiteClass> {
+        SiteClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// One armed fault: fail the `fail_at`-th operation (1-based) at `site`,
+/// then keep failing (the plan latches, simulating a dead device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The site class to fail.
+    pub site: SiteClass,
+    /// 1-based index of the first failing operation at that class.
+    pub fail_at: u64,
+}
+
+impl FaultPlan {
+    /// A plan failing the very first operation at `site`.
+    pub fn first(site: SiteClass) -> FaultPlan {
+        FaultPlan { site, fail_at: 1 }
+    }
+
+    /// A plan failing the `fail_at`-th operation (1-based) at `site`.
+    pub fn nth(site: SiteClass, fail_at: u64) -> FaultPlan {
+        FaultPlan { site, fail_at }
+    }
+}
+
+/// Per-manager fault-injection state: at most one armed [`FaultPlan`],
+/// tracked with plain atomics so charging an operation on the hot path is
+/// two relaxed loads when disarmed.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    /// Armed site class as `discriminant + 1`; `0` = disarmed.
+    site: AtomicU32,
+    /// Operations still allowed at the armed class before failing.
+    remaining: AtomicU64,
+    /// Latched once the plan has fired.
+    fired: AtomicBool,
+}
+
+impl FaultState {
+    /// A disarmed state behind a shared handle.
+    pub fn disarmed() -> Arc<FaultState> {
+        Arc::new(FaultState::default())
+    }
+
+    /// A state armed per `plan` (or disarmed for `None`).
+    pub fn from_plan(plan: Option<FaultPlan>) -> Arc<FaultState> {
+        let state = FaultState::disarmed();
+        if let Some(plan) = plan {
+            state.arm(plan);
+        }
+        state
+    }
+
+    /// Arms (or re-arms) the state with `plan`, clearing any latch.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.fired.store(false, Ordering::Relaxed);
+        self.remaining
+            .store(plan.fail_at.saturating_sub(1), Ordering::Relaxed);
+        self.site.store(plan.site as u32 + 1, Ordering::Relaxed);
+    }
+
+    /// Disarms the state; already-latched failures stop.
+    pub fn disarm(&self) {
+        self.site.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether the armed plan has fired at least once.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Charges one operation at `site`: `Err` with an injected
+    /// [`StorageError::Io`] when the armed plan fires (and latched
+    /// thereafter), `Ok` otherwise.
+    pub fn charge(&self, site: SiteClass) -> StorageResult<()> {
+        if self.site.load(Ordering::Relaxed) != site as u32 + 1 {
+            return Ok(());
+        }
+        let passed = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok();
+        if passed {
+            return Ok(());
+        }
+        self.fired.store(true, Ordering::Relaxed);
+        #[cfg(feature = "fault-coverage")]
+        coverage_impl::record_fired(site);
+        Err(injected(site))
+    }
+}
+
+/// The error every fired fault surfaces: an `Io` whose message names the
+/// site class, so tests can assert the simulated crash happened where it
+/// was planned.
+fn injected(site: SiteClass) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!(
+        "injected fault at {} (simulated crash)",
+        site.name()
+    )))
+}
+
+/// Whether `err` is an injected fault from a [`FaultPlan`].
+pub fn is_injected(err: &StorageError) -> bool {
+    matches!(err, StorageError::Io(e) if e.to_string().starts_with("injected fault at "))
+}
+
+// ---------------------------------------------------------------------------
+// Fault-aware filesystem primitives. Every fs call the durability protocol
+// makes (manifest write/rename, directory sync, data-file unlink) is routed
+// through these so a plan can fail it and the coverage registry sees it.
+// ---------------------------------------------------------------------------
+
+/// Fault-aware `fs::rename` (the manifest commit point).
+pub fn fs_rename(fault: &FaultState, site: SiteClass, from: &Path, to: &Path) -> StorageResult<()> {
+    let _cover = enter("fs_rename");
+    fault.charge(site)?;
+    std::fs::rename(from, to)?;
+    Ok(())
+}
+
+/// Fault-aware `fs::remove_file`. A missing target is not an error (crash
+/// recovery re-deletes files whose unlink may already have happened).
+pub fn fs_remove_file(fault: &FaultState, site: SiteClass, path: &Path) -> StorageResult<()> {
+    let _cover = enter("fs_remove_file");
+    fault.charge(site)?;
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Fault-aware directory fsync: makes a create/rename/unlink in `dir`
+/// durable against power loss.
+pub fn fs_sync_dir(fault: &FaultState, site: SiteClass, dir: &Path) -> StorageResult<()> {
+    let _cover = enter("fs_sync_dir");
+    fault.charge(site)?;
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Fault-aware whole-file read.
+pub fn fs_read(fault: &FaultState, site: SiteClass, path: &Path) -> std::io::Result<Vec<u8>> {
+    let _cover = enter("fs_read");
+    if let Err(StorageError::Io(e)) = fault.charge(site) {
+        return Err(e);
+    }
+    std::fs::read(path)
+}
+
+/// Fault-aware create-write-fsync of a whole file (the manifest temp
+/// file): `write_site` charges the create+write, `sync_site` the fsync.
+pub fn fs_write_sync(
+    fault: &FaultState,
+    write_site: SiteClass,
+    sync_site: SiteClass,
+    path: &Path,
+    bytes: &[u8],
+) -> StorageResult<()> {
+    let _cover = enter("fs_write_sync");
+    use std::io::Write;
+    fault.charge(write_site)?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    fault.charge(sync_site)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Coverage registry.
+// ---------------------------------------------------------------------------
+
+/// RAII guard returned by [`enter`]; pops the coverage stack on drop.
+/// Zero-sized when the `fault-coverage` feature is off.
+#[must_use]
+pub struct CoverGuard {
+    #[cfg(feature = "fault-coverage")]
+    armed: bool,
+}
+
+/// Marks entry into a named fallible function for the coverage registry.
+///
+/// `name` must match the static analyzer's rendering of the enclosing
+/// function (`Type::method` for impl functions, the bare name for free
+/// functions); the pair `(caller, name)` — where `caller` is the
+/// innermost enclosing [`enter`] on this thread — is recorded so the
+/// fault-coverage gate can match executed call paths against statically
+/// enumerated fallible sites. A no-op without the `fault-coverage`
+/// feature.
+#[inline]
+pub fn enter(name: &'static str) -> CoverGuard {
+    #[cfg(feature = "fault-coverage")]
+    {
+        coverage_impl::push(name);
+        CoverGuard { armed: true }
+    }
+    #[cfg(not(feature = "fault-coverage"))]
+    {
+        let _ = name;
+        CoverGuard {}
+    }
+}
+
+impl Drop for CoverGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "fault-coverage")]
+        if self.armed {
+            coverage_impl::pop();
+        }
+    }
+}
+
+/// Executed `(caller, callee)` hook pairs recorded so far in this
+/// process. Empty without the `fault-coverage` feature.
+pub fn coverage_pairs() -> Vec<(String, String)> {
+    #[cfg(feature = "fault-coverage")]
+    {
+        return coverage_impl::pairs();
+    }
+    #[cfg(not(feature = "fault-coverage"))]
+    Vec::new()
+}
+
+/// Site classes whose injected fault has fired at least once in this
+/// process. Empty without the `fault-coverage` feature.
+pub fn fired_classes() -> Vec<String> {
+    #[cfg(feature = "fault-coverage")]
+    {
+        return coverage_impl::fired();
+    }
+    #[cfg(not(feature = "fault-coverage"))]
+    Vec::new()
+}
+
+#[cfg(feature = "fault-coverage")]
+mod coverage_impl {
+    use super::SiteClass;
+    use crate::sync::{Exclusive, LockClass};
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::OnceLock;
+
+    #[derive(Default)]
+    struct Coverage {
+        pairs: BTreeSet<(&'static str, &'static str)>,
+        fired: BTreeSet<&'static str>,
+    }
+
+    thread_local! {
+        static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    // analyzer: lock(coverage = WorkCell)
+    fn coverage() -> &'static Exclusive<Coverage> {
+        static LOG: OnceLock<Exclusive<Coverage>> = OnceLock::new();
+        LOG.get_or_init(|| {
+            let coverage = Exclusive::new(LockClass::WorkCell, Coverage::default());
+            coverage
+        })
+    }
+
+    pub(super) fn push(name: &'static str) {
+        let caller = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let caller = s.last().copied().unwrap_or("");
+            s.push(name);
+            caller
+        });
+        let mut log = coverage().lock();
+        log.pairs.insert((caller, name));
+    }
+
+    pub(super) fn pop() {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+
+    pub(super) fn record_fired(site: SiteClass) {
+        let mut log = coverage().lock();
+        log.fired.insert(site.name());
+    }
+
+    pub(super) fn pairs() -> Vec<(String, String)> {
+        let log = coverage().lock();
+        log.pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    pub(super) fn fired() -> Vec<String> {
+        let log = coverage().lock();
+        log.fired.iter().map(|s| s.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_on_the_nth_op_and_latches() {
+        let state = FaultState::from_plan(Some(FaultPlan::nth(SiteClass::WalSync, 3)));
+        assert!(state.charge(SiteClass::WalSync).is_ok());
+        assert!(state.charge(SiteClass::WalWrite).is_ok(), "other class");
+        assert!(state.charge(SiteClass::WalSync).is_ok());
+        let err = state.charge(SiteClass::WalSync).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(err.to_string().contains("wal.sync"));
+        assert!(state.fired());
+        // Latched: every later op at the class keeps failing.
+        assert!(state.charge(SiteClass::WalSync).is_err());
+        assert!(state.charge(SiteClass::DataWrite).is_ok());
+    }
+
+    #[test]
+    fn disarmed_state_charges_nothing() {
+        let state = FaultState::disarmed();
+        for class in SiteClass::ALL {
+            assert!(state.charge(class).is_ok());
+        }
+        assert!(!state.fired());
+    }
+
+    #[test]
+    fn site_class_names_round_trip() {
+        for class in SiteClass::ALL {
+            assert_eq!(SiteClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(SiteClass::parse("nope"), None);
+    }
+
+    #[test]
+    fn disarm_stops_a_latched_plan() {
+        let state = FaultState::from_plan(Some(FaultPlan::first(SiteClass::ManifestRename)));
+        assert!(state.charge(SiteClass::ManifestRename).is_err());
+        state.disarm();
+        assert!(state.charge(SiteClass::ManifestRename).is_ok());
+    }
+}

@@ -16,12 +16,14 @@
 //! callers (see the crate docs of `odyssey-core`).
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{self, FaultState, SiteClass};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::sync::{Exclusive, LockClass, Shared};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Identifier of a file managed by the [`crate::StorageManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -163,6 +165,7 @@ pub struct DiskFile {
 impl DiskFile {
     /// Creates (or truncates) a paged file at `path`.
     pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let _cover = fault::enter("DiskFile::create");
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .read(true)
@@ -179,6 +182,7 @@ impl DiskFile {
 
     /// Opens an existing paged file at `path`.
     pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let _cover = fault::enter("DiskFile::open");
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let len = file.metadata()?.len();
@@ -356,6 +360,93 @@ impl PagedFile for FaultInjectingFile {
     }
 }
 
+/// A [`PagedFile`] wrapper charging every operation against the manager's
+/// [`FaultState`] under a per-family [`SiteClass`] (`wal.*` for the WAL
+/// file, `data.*` for durable data files) and recording the call into the
+/// fault-surface coverage registry.
+///
+/// This is the site-addressable successor of [`FaultInjectingFile`]'s
+/// global write budget: a [`crate::FaultPlan`] can fail the Nth read,
+/// write or sync of a specific file family instead of the Nth page write
+/// anywhere. The durable [`crate::StorageManager`] wraps its WAL file and
+/// every on-disk data file in this type; with the state disarmed the
+/// wrapper costs two relaxed atomic loads per operation.
+pub struct FaultHookFile {
+    inner: Box<dyn PagedFile>,
+    fault: Arc<FaultState>,
+    read_site: SiteClass,
+    write_site: SiteClass,
+    sync_site: SiteClass,
+}
+
+impl FaultHookFile {
+    /// Wraps the WAL file: operations charge `wal.read` / `wal.write` /
+    /// `wal.sync`.
+    pub fn wal(inner: Box<dyn PagedFile>, fault: Arc<FaultState>) -> Self {
+        FaultHookFile {
+            inner,
+            fault,
+            read_site: SiteClass::WalRead,
+            write_site: SiteClass::WalWrite,
+            sync_site: SiteClass::WalSync,
+        }
+    }
+
+    /// Wraps a durable data file: operations charge `data.read` /
+    /// `data.write` / `data.sync`.
+    pub fn data(inner: Box<dyn PagedFile>, fault: Arc<FaultState>) -> Self {
+        FaultHookFile {
+            inner,
+            fault,
+            read_site: SiteClass::DataRead,
+            write_site: SiteClass::DataWrite,
+            sync_site: SiteClass::DataSync,
+        }
+    }
+}
+
+impl PagedFile for FaultHookFile {
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&self, page: PageId) -> StorageResult<Page> {
+        let _cover = fault::enter("FaultHookFile::read_page");
+        self.fault.charge(self.read_site)?;
+        self.inner.read_page(page)
+    }
+
+    fn write_page(&self, page: PageId, data: &Page) -> StorageResult<()> {
+        let _cover = fault::enter("FaultHookFile::write_page");
+        self.fault.charge(self.write_site)?;
+        self.inner.write_page(page, data)
+    }
+
+    fn append_page(&self, data: &Page) -> StorageResult<PageId> {
+        let _cover = fault::enter("FaultHookFile::append_page");
+        self.fault.charge(self.write_site)?;
+        self.inner.append_page(data)
+    }
+
+    fn grow_to(&self, pages: u64) -> StorageResult<()> {
+        let _cover = fault::enter("FaultHookFile::grow_to");
+        self.fault.charge(self.write_site)?;
+        self.inner.grow_to(pages)
+    }
+
+    fn truncate(&self, pages: u64) -> StorageResult<()> {
+        let _cover = fault::enter("FaultHookFile::truncate");
+        self.fault.charge(self.write_site)?;
+        self.inner.truncate(pages)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let _cover = fault::enter("FaultHookFile::sync");
+        self.fault.charge(self.sync_site)?;
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +575,26 @@ mod tests {
         assert_eq!(f.read_page(PageId(1)).unwrap().objects().unwrap().len(), 1);
         f.truncate(1).unwrap();
         assert_eq!(f.num_pages(), 1);
+    }
+
+    #[test]
+    fn fault_hook_file_charges_per_family_sites() {
+        use crate::fault::FaultPlan;
+        let state = FaultState::from_plan(Some(FaultPlan::nth(SiteClass::DataWrite, 2)));
+        let f = FaultHookFile::data(Box::new(MemFile::new()), Arc::clone(&state));
+        let page = Page::from_objects(&[obj(1)]).unwrap();
+        f.append_page(&page).unwrap();
+        // Second write at data.write fires and latches.
+        assert!(f.append_page(&page).is_err());
+        assert!(f.write_page(PageId(0), &page).is_err());
+        assert!(state.fired());
+        // Other site families are unaffected.
+        assert!(f.read_page(PageId(0)).is_ok());
+        assert!(f.sync().is_ok());
+        // A WAL-family wrapper over the same (latched) state also passes:
+        // wal.write is a different class than the armed data.write.
+        let w = FaultHookFile::wal(Box::new(MemFile::new()), state);
+        assert!(w.append_page(&page).is_ok());
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //!   engine-payload root of a durable store,
 //! * [`wal`] — the page-granular, checksummed metadata write-ahead log whose
 //!   valid prefix recovery replays over the last manifest,
+//! * [`fault`] — site-addressable fault injection ([`FaultPlan`]) and the
+//!   fault-surface coverage registry behind the `fault-coverage` feature,
 //! * [`sync`] — lock-order-aware [`Shared`]/[`Exclusive`] wrappers carrying a
 //!   declared [`LockClass`]; every engine lock goes through them so the
 //!   canonical acquisition order is machine-checkable (statically by
@@ -37,6 +39,7 @@ pub mod codec;
 pub mod cost;
 pub mod crc;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod manager;
 pub mod manifest;
@@ -50,7 +53,8 @@ pub use buffer::BufferPool;
 pub use cost::{CostModel, DeviceProfile};
 pub use crc::crc32;
 pub use error::{StorageError, StorageResult};
-pub use file::{DiskFile, FaultInjectingFile, FileId, MemFile, PagedFile};
+pub use fault::{FaultPlan, FaultState, SiteClass};
+pub use file::{DiskFile, FaultHookFile, FaultInjectingFile, FileId, MemFile, PagedFile};
 pub use manager::{
     DurabilityOptions, FileSpaceStats, RecoveredState, StorageBackend, StorageManager,
     StorageOptions,

@@ -30,7 +30,8 @@
 use crate::buffer::BufferPool;
 use crate::cost::CostModel;
 use crate::error::{StorageError, StorageResult};
-use crate::file::{DiskFile, FaultInjectingFile, FileId, MemFile, PagedFile};
+use crate::fault::{self, FaultPlan, FaultState, SiteClass};
+use crate::file::{DiskFile, FaultHookFile, FaultInjectingFile, FileId, MemFile, PagedFile};
 use crate::manifest::{Manifest, ManifestFileEntry, MANIFEST_FILE_NAME};
 use crate::page::{pack_objects, Page, PageId};
 use crate::stats::{AtomicIoStats, IoStats};
@@ -65,6 +66,12 @@ pub struct DurabilityOptions {
     /// this many page writes, via a [`FaultInjectingFile`] wrapper. `None`
     /// disables fault injection.
     pub wal_write_limit: Option<u64>,
+    /// Testing knob: a site-addressable fault plan — fail the Nth operation
+    /// at a named [`SiteClass`] (`wal.sync`, `manifest.rename`, `dir.sync`,
+    /// …), then keep failing, like a device that died. `None` disarms. The
+    /// plan can also be (re)armed mid-run through
+    /// [`StorageManager::faults`].
+    pub fault: Option<FaultPlan>,
 }
 
 /// Configuration of a [`StorageManager`].
@@ -123,6 +130,7 @@ impl StorageOptions {
             durability: DurabilityOptions {
                 durable: true,
                 wal_write_limit: None,
+                fault: None,
             },
             ..Default::default()
         }
@@ -138,6 +146,13 @@ impl StorageOptions {
     /// [`DurabilityOptions::wal_write_limit`]).
     pub fn with_wal_write_limit(mut self, limit: u64) -> Self {
         self.durability.wal_write_limit = Some(limit);
+        self
+    }
+
+    /// Arms a site-addressable fault plan (testing; see
+    /// [`DurabilityOptions::fault`]).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.durability.fault = Some(plan);
         self
     }
 }
@@ -242,6 +257,11 @@ pub struct StorageManager {
     /// Metadata WAL of a durable store (`None` for plain managers). The
     /// mutex serializes appends and checkpoint resets.
     wal: Option<Exclusive<MetaWal>>,
+    /// Site-addressable fault-injection state. Disarmed (two relaxed atomic
+    /// loads per charged operation) unless a [`FaultPlan`] is configured or
+    /// armed mid-run; shared with every [`FaultHookFile`] wrapper this
+    /// manager creates.
+    faults: Arc<FaultState>,
 }
 
 impl std::fmt::Debug for StorageManager {
@@ -268,10 +288,11 @@ impl StorageManager {
             "durable stores are created with StorageManager::create or \
              opened with StorageManager::open"
         );
-        Self::with_wal(options, None)
+        let faults = FaultState::from_plan(options.durability.fault);
+        Self::with_wal(options, None, faults)
     }
 
-    fn with_wal(options: StorageOptions, wal: Option<MetaWal>) -> Self {
+    fn with_wal(options: StorageOptions, wal: Option<MetaWal>, faults: Arc<FaultState>) -> Self {
         let buffer = BufferPool::new(options.buffer_pages);
         StorageManager {
             options,
@@ -281,7 +302,14 @@ impl StorageManager {
             last_read: AtomicU64::new(0),
             last_write: AtomicU64::new(0),
             wal: wal.map(|w| Exclusive::new(LockClass::Wal, w)),
+            faults,
         }
+    }
+
+    /// The fault-injection state: tests arm a [`FaultPlan`] mid-run
+    /// (`manager.faults().arm(plan)`), and check whether it fired.
+    pub fn faults(&self) -> &Arc<FaultState> {
+        &self.faults
     }
 
     /// Convenience constructor: in-memory backend with the default options.
@@ -292,6 +320,7 @@ impl StorageManager {
     /// The directory of a durable store (the options must have the disk
     /// backend and durability enabled).
     fn durable_dir(options: &StorageOptions) -> StorageResult<&Path> {
+        let _cover = fault::enter("StorageManager::durable_dir");
         if !options.durability.durable {
             return Err(StorageError::Corrupt(
                 "storage options do not enable durability".into(),
@@ -305,23 +334,28 @@ impl StorageManager {
         }
     }
 
-    /// Opens (or creates) the WAL's backing file, applying the
-    /// fault-injection wrapper when configured.
+    /// Opens (or creates) the WAL's backing file, applying the legacy
+    /// write-budget wrapper when configured and then the site-addressable
+    /// [`FaultHookFile`] (always — disarmed it only costs atomic loads, and
+    /// it is what routes `wal.*` site charges and coverage recording).
     fn wal_file(
         options: &StorageOptions,
         dir: &Path,
         fresh: bool,
+        faults: &Arc<FaultState>,
     ) -> StorageResult<Box<dyn PagedFile>> {
+        let _cover = fault::enter("StorageManager::wal_file");
         let path = dir.join(WAL_FILE_NAME);
         let file: Box<dyn PagedFile> = if fresh || !path.exists() {
             Box::new(DiskFile::create(&path)?)
         } else {
             Box::new(DiskFile::open(&path)?)
         };
-        Ok(match options.durability.wal_write_limit {
+        let file = match options.durability.wal_write_limit {
             Some(limit) => Box::new(FaultInjectingFile::new(file, limit)),
             None => file,
-        })
+        };
+        Ok(Box::new(FaultHookFile::wal(file, Arc::clone(faults))))
     }
 
     /// Formats a **fresh** durable store in the options' directory: existing
@@ -330,6 +364,8 @@ impl StorageManager {
     /// the first checkpoint writes a manifest (the engine's durable
     /// constructor does this).
     pub fn create(options: StorageOptions) -> StorageResult<Self> {
+        let _cover = fault::enter("StorageManager::create");
+        let faults = FaultState::from_plan(options.durability.fault);
         let dir = Self::durable_dir(&options)?.to_path_buf();
         std::fs::create_dir_all(&dir)?;
         for entry in std::fs::read_dir(&dir)? {
@@ -344,8 +380,8 @@ impl StorageManager {
                 std::fs::remove_file(entry.path())?;
             }
         }
-        let wal = MetaWal::create(Self::wal_file(&options, &dir, true)?, 0)?;
-        Ok(Self::with_wal(options, Some(wal)))
+        let wal = MetaWal::create(Self::wal_file(&options, &dir, true, &faults)?, 0)?;
+        Ok(Self::with_wal(options, Some(wal), faults))
     }
 
     /// Opens an existing durable store: reads and validates the manifest,
@@ -354,8 +390,10 @@ impl StorageManager {
     /// payload and records to the engine layer (`SpaceOdyssey::open`), which
     /// applies them and truncates orphaned file tails.
     pub fn open(options: StorageOptions) -> StorageResult<(Self, RecoveredState)> {
+        let _cover = fault::enter("StorageManager::open");
+        let faults = FaultState::from_plan(options.durability.fault);
         let dir = Self::durable_dir(&options)?.to_path_buf();
-        let manifest = Manifest::read(&dir)?.ok_or_else(|| {
+        let manifest = Manifest::read(&dir, &faults)?.ok_or_else(|| {
             StorageError::Corrupt(format!(
                 "{} is not a durable store (no {MANIFEST_FILE_NAME})",
                 dir.display()
@@ -412,15 +450,18 @@ impl StorageManager {
 
         let mut entries: Vec<Option<Arc<FileEntry>>> = (0..slots).map(|_| None).collect();
         for (id, name, path) in &found {
+            let file = Box::new(DiskFile::open(path)?);
             entries[*id as usize] = Some(Arc::new(FileEntry {
                 name: name.clone(),
-                file: Box::new(DiskFile::open(path)?),
+                file: Box::new(FaultHookFile::data(file, Arc::clone(&faults))),
                 dead_pages: AtomicU64::new(0),
             }));
         }
 
-        let (wal, recovery) =
-            MetaWal::open(Self::wal_file(&options, &dir, false)?, manifest.epoch)?;
+        let (wal, recovery) = MetaWal::open(
+            Self::wal_file(&options, &dir, false, &faults)?,
+            manifest.epoch,
+        )?;
         // A WAL from a different epoch predates (or post-dates a torn reset
         // of) the manifest: its records are already folded into the
         // checkpoint image and must not be replayed again.
@@ -446,7 +487,7 @@ impl StorageManager {
             }
         }
 
-        let manager = Self::with_wal(options, Some(wal));
+        let manager = Self::with_wal(options, Some(wal), faults);
         *manager.files.write() = entries;
         Ok((
             manager,
@@ -469,6 +510,7 @@ impl StorageManager {
     /// when this returns. A no-op on non-durable managers, so callers can
     /// log unconditionally.
     pub fn log_meta(&self, payload: &[u8]) -> StorageResult<()> {
+        let _cover = fault::enter("StorageManager::log_meta");
         match &self.wal {
             Some(wal) => wal.lock().append(payload),
             None => Ok(()),
@@ -486,6 +528,7 @@ impl StorageManager {
     /// Callers must be quiescent (no concurrent mutations) — the engine's
     /// `checkpoint` documents the same requirement.
     pub fn checkpoint(&self, payload: &[u8]) -> StorageResult<()> {
+        let _cover = fault::enter("StorageManager::checkpoint");
         let Some(wal) = &self.wal else {
             return Err(StorageError::Corrupt(
                 "checkpoint on a non-durable storage manager".into(),
@@ -518,7 +561,7 @@ impl StorageManager {
             payload: payload.to_vec(),
         };
         drop(files);
-        manifest.write_atomic(&dir)?;
+        manifest.write_atomic(&dir, &self.faults)?;
         wal.reset(epoch)
     }
 
@@ -527,6 +570,7 @@ impl StorageManager {
     /// references its pages is appended — and therefore a no-op on
     /// non-durable managers, which make no crash promises.
     pub fn sync_file(&self, file: FileId) -> StorageResult<()> {
+        let _cover = fault::enter("StorageManager::sync_file");
         if self.wal.is_none() {
             return Ok(());
         }
@@ -536,6 +580,7 @@ impl StorageManager {
     /// Shrinks a file to at most `pages` pages, dropping cached copies of
     /// the removed tail. Recovery uses this to cut orphaned appends.
     pub fn truncate_file(&self, file: FileId, pages: u64) -> StorageResult<()> {
+        let _cover = fault::enter("StorageManager::truncate_file");
         let entry = self.entry(file)?;
         let before = entry.file.num_pages();
         entry.file.truncate(pages)?;
@@ -645,6 +690,7 @@ impl StorageManager {
     /// Creates a new, empty paged file and returns its id. `name` is used for
     /// the on-disk backend's file name and for debugging.
     pub fn create_file(&self, name: &str) -> StorageResult<FileId> {
+        let _cover = fault::enter("StorageManager::create_file");
         let mut files = self.files.write();
         let id = FileId(files.len() as u32);
         let file: Box<dyn PagedFile> = match &self.options.backend {
@@ -656,9 +702,14 @@ impl StorageManager {
                     // A durable store's file table is recovered from the
                     // directory listing, so the new directory entry must
                     // survive power loss before any WAL record names the id.
-                    crate::manifest::sync_dir(dir)?;
+                    fault::fs_sync_dir(&self.faults, SiteClass::DirSync, dir)?;
+                    Box::new(FaultHookFile::data(
+                        Box::new(file),
+                        Arc::clone(&self.faults),
+                    ))
+                } else {
+                    Box::new(file)
                 }
-                Box::new(file)
             }
         };
         files.push(Some(Arc::new(FileEntry {
@@ -683,6 +734,7 @@ impl StorageManager {
     /// what recovery uses to tell a legitimate post-checkpoint deletion from
     /// a corrupt store.
     pub fn delete_file(&self, file: FileId) -> StorageResult<u64> {
+        let _cover = fault::enter("StorageManager::delete_file");
         let entry = {
             let mut files = self.files.write();
             let slot = files
@@ -699,16 +751,13 @@ impl StorageManager {
         self.buffer.invalidate_file(file);
         let pages = entry.file.num_pages();
         if let StorageBackend::Disk(dir) = &self.options.backend {
-            match std::fs::remove_file(paged_file_path(dir, file, &entry.name)) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e.into()),
-            }
+            let path = paged_file_path(dir, file, &entry.name);
+            fault::fs_remove_file(&self.faults, SiteClass::DataUnlink, &path)?;
             if self.wal.is_some() {
                 // The durable file table is recovered from the directory
                 // listing; the removal must be durable before the next
                 // checkpoint claims the file no longer exists.
-                crate::manifest::sync_dir(dir)?;
+                fault::fs_sync_dir(&self.faults, SiteClass::DirSync, dir)?;
             }
         }
         AtomicIoStats::add(&self.stats.files_deleted, 1);
@@ -747,6 +796,7 @@ impl StorageManager {
 
     /// Space accounting of one live file (size + dead pages).
     pub fn space_stats(&self, file: FileId) -> StorageResult<FileSpaceStats> {
+        let _cover = fault::enter("StorageManager::space_stats");
         let entry = self.entry(file)?;
         Ok(FileSpaceStats {
             pages: entry.file.num_pages(),
@@ -776,6 +826,7 @@ impl StorageManager {
     }
 
     fn entry(&self, file: FileId) -> StorageResult<Arc<FileEntry>> {
+        let _cover = fault::enter("StorageManager::entry");
         self.files
             .read()
             .get(file.index())

@@ -13,8 +13,7 @@
 use crate::codec::{Dec, Enc};
 use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
-use std::fs;
-use std::io::Write as _;
+use crate::fault::{self, FaultState, SiteClass};
 use std::path::Path;
 
 /// File name of the manifest inside a durable store's directory.
@@ -26,14 +25,6 @@ const MANIFEST_MAGIC: [u8; 4] = *b"SOMF";
 /// Current manifest format version (2 added the file-slot count, so ids of
 /// files deleted between checkpoints are never reused after a reopen).
 pub const MANIFEST_VERSION: u32 = 2;
-
-/// Fsyncs a directory, making recent renames and file creations in it
-/// durable (directory entries are metadata the data-file fsyncs don't
-/// cover).
-pub fn sync_dir(dir: &Path) -> StorageResult<()> {
-    fs::File::open(dir)?.sync_all()?;
-    Ok(())
-}
 
 /// One entry of the manifest's file table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +80,7 @@ impl Manifest {
 
     /// Decodes and validates a manifest image.
     pub fn decode(bytes: &[u8]) -> StorageResult<Manifest> {
+        let _cover = fault::enter("Manifest::decode");
         let corrupt = |msg: &str| StorageError::Corrupt(format!("manifest: {msg}"));
         if bytes.len() < 4 {
             return Err(corrupt("image shorter than its checksum"));
@@ -134,23 +126,31 @@ impl Manifest {
     /// temporary file, fsync it, rename it over [`MANIFEST_FILE_NAME`], and
     /// fsync the directory so the rename itself survives power loss (the
     /// rename is the checkpoint's commit point — losing it after the WAL
-    /// reset would lose the mutations folded into the new image).
-    pub fn write_atomic(&self, dir: &Path) -> StorageResult<()> {
+    /// reset would lose the mutations folded into the new image). Each step
+    /// charges its own fault-site class (`manifest.write` / `manifest.sync` /
+    /// `manifest.rename` / `dir.sync`), so a [`crate::FaultPlan`] can place a
+    /// simulated crash on either side of the commit point.
+    pub fn write_atomic(&self, dir: &Path, faults: &FaultState) -> StorageResult<()> {
+        let _cover = fault::enter("Manifest::write_atomic");
         let tmp = dir.join(format!("{MANIFEST_FILE_NAME}.tmp"));
         let target = dir.join(MANIFEST_FILE_NAME);
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&self.encode())?;
-        f.sync_all()?;
-        drop(f);
-        fs::rename(&tmp, &target)?;
-        sync_dir(dir)
+        fault::fs_write_sync(
+            faults,
+            SiteClass::ManifestWrite,
+            SiteClass::ManifestSync,
+            &tmp,
+            &self.encode(),
+        )?;
+        fault::fs_rename(faults, SiteClass::ManifestRename, &tmp, &target)?;
+        fault::fs_sync_dir(faults, SiteClass::DirSync, dir)
     }
 
     /// Reads the manifest from `dir`; `Ok(None)` when none exists (the
     /// directory is not — or not yet — a durable store).
-    pub fn read(dir: &Path) -> StorageResult<Option<Manifest>> {
+    pub fn read(dir: &Path, faults: &FaultState) -> StorageResult<Option<Manifest>> {
+        let _cover = fault::enter("Manifest::read");
         let path = dir.join(MANIFEST_FILE_NAME);
-        match fs::read(&path) {
+        match fault::fs_read(faults, SiteClass::ManifestRead, &path) {
             Ok(bytes) => Manifest::decode(&bytes).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
@@ -211,17 +211,42 @@ mod tests {
     #[test]
     fn atomic_write_and_read() {
         let dir = tempfile::tempdir().unwrap();
-        assert!(Manifest::read(dir.path()).unwrap().is_none());
+        let faults = FaultState::disarmed();
+        assert!(Manifest::read(dir.path(), &faults).unwrap().is_none());
         let m = sample();
-        m.write_atomic(dir.path()).unwrap();
-        assert_eq!(Manifest::read(dir.path()).unwrap(), Some(m.clone()));
+        m.write_atomic(dir.path(), &faults).unwrap();
+        assert_eq!(
+            Manifest::read(dir.path(), &faults).unwrap(),
+            Some(m.clone())
+        );
         // Overwrite with a newer epoch; the temp file must not linger.
         let newer = Manifest { epoch: 8, ..m };
-        newer.write_atomic(dir.path()).unwrap();
-        assert_eq!(Manifest::read(dir.path()).unwrap().unwrap().epoch, 8);
+        newer.write_atomic(dir.path(), &faults).unwrap();
+        assert_eq!(
+            Manifest::read(dir.path(), &faults).unwrap().unwrap().epoch,
+            8
+        );
         assert!(!dir
             .path()
             .join(format!("{MANIFEST_FILE_NAME}.tmp"))
             .exists());
+    }
+
+    #[test]
+    fn rename_fault_leaves_old_manifest_intact() {
+        let dir = tempfile::tempdir().unwrap();
+        let faults = FaultState::disarmed();
+        let m = sample();
+        m.write_atomic(dir.path(), &faults).unwrap();
+        // Arm the commit point: the rewrite must fail *without* replacing
+        // the committed image.
+        faults.arm(crate::fault::FaultPlan::first(SiteClass::ManifestRename));
+        let newer = Manifest {
+            epoch: 8,
+            ..m.clone()
+        };
+        assert!(newer.write_atomic(dir.path(), &faults).is_err());
+        faults.disarm();
+        assert_eq!(Manifest::read(dir.path(), &faults).unwrap(), Some(m));
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
+use crate::fault;
 use crate::file::PagedFile;
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::sync::{Exclusive, LockClass};
@@ -111,6 +112,7 @@ impl MetaWal {
     /// Creates (or resets) a log on `file` for the given epoch: the file is
     /// truncated and a fresh header page is written.
     pub fn create(file: Box<dyn PagedFile>, epoch: u64) -> StorageResult<Self> {
+        let _cover = fault::enter("MetaWal::create");
         let wal = MetaWal {
             file,
             epoch,
@@ -134,6 +136,7 @@ impl MetaWal {
         file: Box<dyn PagedFile>,
         fallback_epoch: u64,
     ) -> StorageResult<(Self, WalRecovery)> {
+        let _cover = fault::enter("MetaWal::open");
         let header_epoch = if file.num_pages() > 0 {
             parse_header(&file.read_page(PageId(0))?)
         } else {
@@ -252,6 +255,7 @@ impl MetaWal {
     /// so a later append claiming success would be a lie. Every append after
     /// a failure returns an error until the next [`MetaWal::reset`].
     pub fn append(&self, payload: &[u8]) -> StorageResult<()> {
+        let _cover = fault::enter("MetaWal::append");
         if payload.len() as u64 > MAX_RECORD_LEN as u64 {
             return Err(StorageError::Corrupt(format!(
                 "WAL record of {} bytes exceeds the {} byte cap",
@@ -273,6 +277,7 @@ impl MetaWal {
     }
 
     fn append_locked(&self, state: &mut WalState, payload: &[u8]) -> StorageResult<()> {
+        let _cover = fault::enter("MetaWal::append_locked");
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -304,6 +309,7 @@ impl MetaWal {
 
     /// Writes the current tail page at its slot (page-granular durability).
     fn persist_tail(&self, state: &WalState) -> StorageResult<()> {
+        let _cover = fault::enter("MetaWal::persist_tail");
         let page_index = 1 + state.len / PAGE_SIZE as u64;
         let page = Page::from_bytes(state.tail.to_vec());
         if page_index < self.file.num_pages() {
@@ -318,6 +324,7 @@ impl MetaWal {
     /// manifest has been committed): all records are discarded and the
     /// header is rewritten.
     pub fn reset(&mut self, epoch: u64) -> StorageResult<()> {
+        let _cover = fault::enter("MetaWal::reset");
         self.reset_file(epoch)?;
         self.epoch = epoch;
         let mut state = self.wal_state.lock();
@@ -328,6 +335,7 @@ impl MetaWal {
     }
 
     fn reset_file(&self, epoch: u64) -> StorageResult<()> {
+        let _cover = fault::enter("MetaWal::reset_file");
         // Invalidate the old header *before* truncating, and sync before
         // writing the new one: without the intermediate sync the device
         // could persist the new-epoch header while the old record stream

@@ -14,6 +14,7 @@ use space_odyssey::geom::{
     scan_knn_query, scan_query, Aabb, CountQuery, DatasetId, DatasetSet, KnnQuery, ObjectId,
     PointQuery, Query, QueryId, RangeQuery, SpatialObject, Vec3,
 };
+use space_odyssey::storage::fault::{self, FaultPlan, SiteClass};
 use space_odyssey::storage::{
     write_raw_dataset, StorageManager, StorageOptions, PAGE_SIZE, WAL_FILE_NAME,
 };
@@ -359,6 +360,102 @@ fn drop_without_close_replays_the_wal() {
             q.id()
         );
     }
+}
+
+/// A crash exactly at the manifest rename leaves the OLD manifest in place
+/// with the WAL intact: the atomic-commit point was never crossed, so
+/// recovery replays the full record stream and must reconstruct the
+/// pre-crash state (modulo checkpoint-only observability counters).
+#[test]
+fn crash_at_manifest_rename_recovers_pre_crash_state() {
+    let dir = tempfile::tempdir().unwrap();
+    let (live_snapshot, ingested, seeds) = {
+        let store = build_store(dir.path(), config().without_planner());
+        let ingested = run_trace(&store);
+        store
+            .storage
+            .faults()
+            .arm(FaultPlan::first(SiteClass::ManifestRename));
+        let err = store.engine.checkpoint(&store.storage).unwrap_err();
+        assert!(fault::is_injected(&err), "unexpected error: {err}");
+        (store.engine.snapshot(), ingested, store.seeds)
+        // dropped here = crash at the failed commit
+    };
+
+    let (storage2, recovered) =
+        StorageManager::open(StorageOptions::durable(dir.path(), 256)).unwrap();
+    assert!(
+        !recovered.wal_records.is_empty(),
+        "the rename never happened, so the WAL must still hold the trace"
+    );
+    let engine2 = SpaceOdyssey::open(&storage2, recovered).unwrap();
+    assert_eq!(
+        normalized(engine2.snapshot()),
+        normalized(live_snapshot),
+        "WAL replay past a failed manifest commit must reconstruct the \
+         pre-crash state"
+    );
+    let mut all: Vec<SpatialObject> = seeds.iter().flatten().copied().collect();
+    for batch in &ingested {
+        all.extend(batch.iter().copied());
+    }
+    for q in &verification_mix() {
+        assert_eq!(
+            canonical(&engine2, &storage2, q),
+            oracle(&all, q),
+            "query {:?} diverged after crash-at-rename recovery",
+            q.id()
+        );
+    }
+}
+
+/// A crash at the directory fsync right AFTER the manifest rename is on the
+/// far side of the commit point: the new manifest (epoch N+1) is in place
+/// while the WAL still carries epoch N. Recovery must detect the epoch
+/// mismatch, discard the already-folded records, and come up on the
+/// checkpoint image — which IS the pre-crash state, since the checkpoint
+/// payload was encoded before the failure.
+#[test]
+fn crash_at_directory_fsync_recovers_from_the_new_manifest() {
+    let dir = tempfile::tempdir().unwrap();
+    let (live_snapshot, ingested, seeds) = {
+        let store = build_store(dir.path(), config().without_planner());
+        let ingested = run_trace(&store);
+        store
+            .storage
+            .faults()
+            .arm(FaultPlan::first(SiteClass::DirSync));
+        let err = store.engine.checkpoint(&store.storage).unwrap_err();
+        assert!(fault::is_injected(&err), "unexpected error: {err}");
+        (store.engine.snapshot(), ingested, store.seeds)
+    };
+
+    let (storage2, recovered) =
+        StorageManager::open(StorageOptions::durable(dir.path(), 256)).unwrap();
+    assert!(
+        recovered.wal_records.is_empty(),
+        "the new manifest committed, so the stale-epoch WAL must be discarded"
+    );
+    let engine2 = SpaceOdyssey::open(&storage2, recovered).unwrap();
+    assert_eq!(
+        normalized(engine2.snapshot()),
+        normalized(live_snapshot),
+        "the committed checkpoint image must equal the pre-crash state"
+    );
+    let mut all: Vec<SpatialObject> = seeds.iter().flatten().copied().collect();
+    for batch in &ingested {
+        all.extend(batch.iter().copied());
+    }
+    for q in &verification_mix() {
+        assert_eq!(
+            canonical(&engine2, &storage2, q),
+            oracle(&all, q),
+            "query {:?} diverged after crash-at-dir-sync recovery",
+            q.id()
+        );
+    }
+    // The store must keep working: the next checkpoint starts a fresh epoch.
+    engine2.checkpoint(&storage2).unwrap();
 }
 
 /// Checks the consistent-prefix property of one crash image: the engine

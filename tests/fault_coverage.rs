@@ -1,0 +1,379 @@
+//! Static ⇄ runtime cross-validation of the fault surface.
+//!
+//! `odyssey-analyzer` enumerates every call site in the workspace that
+//! resolves to a fallible storage API (the *fault surface*) and classifies
+//! the subset living in the crash-consistency core (`wal.rs`,
+//! `manifest.rs`, the durable `manager.rs` paths, `durability.rs`,
+//! `compactor.rs`) as *durable-core*. Under the `fault-coverage` feature
+//! every hooked storage function pushes its name onto a thread-local call
+//! stack and records the `(caller, callee)` pair in a process-global
+//! registry. The gate test below drives durable flows — create, ingest,
+//! checkpoint, crash-at-WAL-reset, garbage-header recovery, reopen — and
+//! then asserts that **every** durable-core site the analyzer found was
+//! actually entered at runtime. An uncovered site means a fallible path in
+//! the crash-consistency core that no fault-injection test exercises.
+//!
+//! Without the feature the registry is empty and the gate is vacuously
+//! green; the injection sweep still runs (fault charging is always
+//! compiled in) and checks that a crash at any site class leaves a store
+//! that recovers to a WAL-explainable image.
+
+use odyssey_analyzer::analyze_workspace;
+use space_odyssey::core::{OdysseyConfig, SpaceOdyssey};
+use space_odyssey::geom::{
+    Aabb, DatasetId, DatasetSet, ObjectId, QueryId, RangeQuery, SpatialObject, Vec3,
+};
+use space_odyssey::storage::fault::{self, FaultPlan, SiteClass};
+use space_odyssey::storage::{write_raw_dataset, StorageManager, StorageOptions, WAL_FILE_NAME};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+const NUM_DATASETS: u16 = 2;
+const PER_DATASET: u64 = 240;
+
+fn bounds() -> Aabb {
+    Aabb::from_min_max(Vec3::ZERO, Vec3::splat(100.0))
+}
+
+fn config() -> OdysseyConfig {
+    let mut c = OdysseyConfig::paper(bounds());
+    c.partitions_per_level = 8;
+    c
+}
+
+fn seed_objects(ds: u16) -> Vec<SpatialObject> {
+    (0..PER_DATASET)
+        .map(|i| {
+            let c = Vec3::new(
+                5.0 + ((i * 7) % 90) as f64,
+                5.0 + ((i * 13) % 90) as f64,
+                5.0 + ((i * 29) % 90) as f64,
+            );
+            SpatialObject::new(
+                ObjectId(ds as u64 * 1_000_000 + i),
+                DatasetId(ds),
+                Aabb::from_center_extent(c, Vec3::splat(0.4)),
+            )
+        })
+        .collect()
+}
+
+fn batch_objects(ds: u16, batch: u64, n: u64) -> Vec<SpatialObject> {
+    (0..n)
+        .map(|i| {
+            SpatialObject::new(
+                ObjectId(500_000 + batch * 10_000 + i),
+                DatasetId(ds),
+                Aabb::from_center_extent(
+                    Vec3::splat(40.0 + ((batch + i) % 8) as f64),
+                    Vec3::splat(0.3),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn hot_query(id: u32) -> RangeQuery {
+    RangeQuery::new(
+        QueryId(id),
+        Aabb::from_center_extent(Vec3::splat(44.0), Vec3::splat(6.0)),
+        DatasetSet::first_n(NUM_DATASETS as usize),
+    )
+}
+
+fn everything_query(id: u32) -> RangeQuery {
+    RangeQuery::new(
+        QueryId(id),
+        bounds(),
+        DatasetSet::first_n(NUM_DATASETS as usize),
+    )
+}
+
+fn build_engine(dir: &Path) -> (StorageManager, SpaceOdyssey) {
+    let storage = StorageManager::create(StorageOptions::durable(dir, 256)).unwrap();
+    let raws: Vec<_> = (0..NUM_DATASETS)
+        .map(|ds| write_raw_dataset(&storage, DatasetId(ds), &seed_objects(ds)).unwrap())
+        .collect();
+    let engine = SpaceOdyssey::create(config(), raws, &storage).unwrap();
+    (storage, engine)
+}
+
+fn reopen(dir: &Path) -> (StorageManager, SpaceOdyssey) {
+    let (storage, recovered) = StorageManager::open(StorageOptions::durable(dir, 256)).unwrap();
+    let engine = SpaceOdyssey::open(&storage, recovered).unwrap();
+    (storage, engine)
+}
+
+fn count_all(storage: &StorageManager, engine: &SpaceOdyssey, id: u32) -> usize {
+    engine
+        .execute(storage, &everything_query(id))
+        .unwrap()
+        .objects
+        .len()
+}
+
+/// Arm one fault per site class, run a full write cycle against it, and
+/// check the store reopens to a WAL-explainable image: the recovered object
+/// count is exactly the seed count plus some prefix of the applied batches
+/// (each ingest batch is atomic — it is either fully replayed or fully
+/// absent, never torn).
+#[test]
+fn crash_at_every_write_site_class_recovers_to_wal_explainable_image() {
+    let write_classes = [
+        SiteClass::WalWrite,
+        SiteClass::WalSync,
+        SiteClass::DataWrite,
+        SiteClass::DataSync,
+        SiteClass::ManifestWrite,
+        SiteClass::ManifestSync,
+        SiteClass::ManifestRename,
+        SiteClass::DirSync,
+    ];
+    let seed_total = (NUM_DATASETS as usize) * (PER_DATASET as usize);
+    for class in write_classes {
+        let dir = tempfile::tempdir().unwrap();
+        let (storage, engine) = build_engine(dir.path());
+        engine.execute(&storage, &hot_query(1)).unwrap();
+        engine.checkpoint(&storage).unwrap();
+
+        storage.faults().arm(FaultPlan::first(class));
+        let mut applied = 0usize;
+        let mut batch_sizes = Vec::new();
+        for batch in 0..3u64 {
+            let objs = batch_objects((batch % NUM_DATASETS as u64) as u16, batch, 30);
+            batch_sizes.push(objs.len());
+            match engine.ingest(
+                &storage,
+                DatasetId((batch % NUM_DATASETS as u64) as u16),
+                &objs,
+            ) {
+                Ok(_) => applied += objs.len(),
+                Err(e) => {
+                    assert!(
+                        fault::is_injected(&e),
+                        "{}: unexpected non-injected error: {e}",
+                        class.name()
+                    );
+                    break;
+                }
+            }
+        }
+        let checkpoint_result = engine.checkpoint(&storage);
+        assert!(
+            storage.faults().fired(),
+            "{}: the workload never charged the armed site class",
+            class.name()
+        );
+        if let Err(e) = checkpoint_result {
+            assert!(
+                fault::is_injected(&e),
+                "{}: unexpected non-injected error: {e}",
+                class.name()
+            );
+        }
+        drop(engine);
+        drop(storage);
+
+        // Recovery must see either everything up to the crash or an atomic
+        // batch prefix of it — never a torn batch, never an unexplained
+        // object.
+        let (storage2, engine2) = reopen(dir.path());
+        let recovered = count_all(&storage2, &engine2, 900);
+        let mut explainable = vec![seed_total];
+        let mut acc = seed_total;
+        for b in &batch_sizes {
+            acc += b;
+            explainable.push(acc);
+        }
+        assert!(
+            explainable.contains(&recovered),
+            "{}: recovered {} objects, explainable states are {:?} (applied {})",
+            class.name(),
+            recovered,
+            explainable,
+            applied
+        );
+    }
+}
+
+/// Arm the read-side classes and check a read fault surfaces as the
+/// injected error rather than silently degrading: manifest and WAL reads
+/// fail the `open` of a healthy store; data-page reads fail a cold query.
+/// A disarmed open of the same directory must then succeed untouched.
+#[test]
+fn crash_at_read_site_classes_fails_cleanly() {
+    for class in [SiteClass::ManifestRead, SiteClass::WalRead] {
+        let dir = tempfile::tempdir().unwrap();
+        let (storage, engine) = build_engine(dir.path());
+        // Leave WAL records behind so recovery has pages to read.
+        engine
+            .ingest(&storage, DatasetId(0), &batch_objects(0, 7, 20))
+            .unwrap();
+        drop(engine);
+        drop(storage);
+
+        let armed = StorageOptions::durable(dir.path(), 256).with_fault(FaultPlan::first(class));
+        match StorageManager::open(armed) {
+            Err(e) => assert!(
+                fault::is_injected(&e),
+                "{}: unexpected non-injected error: {e}",
+                class.name()
+            ),
+            Ok(_) => panic!("{}: open succeeded with an armed read fault", class.name()),
+        }
+        let (storage2, engine2) = reopen(dir.path());
+        assert_eq!(
+            count_all(&storage2, &engine2, 901),
+            (NUM_DATASETS as usize) * (PER_DATASET as usize) + 20
+        );
+    }
+
+    // Recovery replays the WAL, not data pages, so `data.read` is armed
+    // against a cold query instead of an open.
+    let dir = tempfile::tempdir().unwrap();
+    let (storage, engine) = build_engine(dir.path());
+    storage.clear_cache();
+    storage.faults().arm(FaultPlan::first(SiteClass::DataRead));
+    match engine.execute(&storage, &everything_query(902)) {
+        Err(e) => assert!(fault::is_injected(&e), "unexpected error: {e}"),
+        Ok(_) => panic!("data.read: query succeeded with an armed read fault"),
+    }
+    storage.faults().disarm();
+    storage.clear_cache();
+    assert_eq!(
+        count_all(&storage, &engine, 903),
+        (NUM_DATASETS as usize) * (PER_DATASET as usize)
+    );
+}
+
+/// The coverage gate. Drives every durable-core flow (single-threaded, so
+/// the thread-local caller stack attributes each hook to its real caller),
+/// then checks the statically enumerated durable-core fault surface against
+/// the runtime registry. Vacuously green without `fault-coverage`.
+#[test]
+fn durable_core_fault_surface_is_covered() {
+    // --- Flow 1: the full durable lifecycle in one directory. ---
+    let dir = tempfile::tempdir().unwrap();
+    let (storage, engine) = build_engine(dir.path());
+    // Queries first (partitioning/refinement creates partition files), then
+    // ingest (reaches `Compactor::should_compact` → `space_stats`, the
+    // data-sync-before-log ordering, and overflow rewrites).
+    for i in 0..6 {
+        engine.execute(&storage, &hot_query(i)).unwrap();
+    }
+    for batch in 0..3u64 {
+        let ds = (batch % NUM_DATASETS as u64) as u16;
+        engine
+            .ingest(&storage, DatasetId(ds), &batch_objects(ds, batch, 40))
+            .unwrap();
+        engine
+            .execute(&storage, &hot_query(100 + batch as u32))
+            .unwrap();
+    }
+    // Full checkpoint: data syncs, manifest write/rename/dir-sync, WAL reset.
+    engine.checkpoint(&storage).unwrap();
+    // Direct manager mutations (create/truncate/unlink with their directory
+    // syncs).
+    let extra = storage.create_file("coverage_extra").unwrap();
+    storage.sync_file(extra).unwrap();
+    storage.truncate_file(extra, 0).unwrap();
+    storage.delete_file(extra).unwrap();
+    // Leave live WAL records, then reopen: manifest read/decode, data-file
+    // and WAL opens, WAL page reads, tail truncate, replay.
+    engine
+        .ingest(&storage, DatasetId(0), &batch_objects(0, 9, 25))
+        .unwrap();
+    drop(engine);
+    drop(storage);
+    let (storage, engine) = reopen(dir.path());
+
+    // --- Flow 2: crash between manifest commit and WAL reset. ---
+    // The first WAL write after arming is the reset's header invalidation,
+    // so the manifest advances an epoch while the WAL stays behind; the
+    // next open takes the epoch-mismatch path (`StorageManager::open` →
+    // `MetaWal::reset`).
+    storage.faults().arm(FaultPlan::first(SiteClass::WalWrite));
+    let err = engine.checkpoint(&storage).unwrap_err();
+    assert!(fault::is_injected(&err), "unexpected error: {err}");
+    storage.faults().disarm();
+    drop(engine);
+    drop(storage);
+    let (storage, engine) = reopen(dir.path());
+    drop(engine);
+    drop(storage);
+
+    // --- Flow 3: garbage WAL header → `MetaWal::open` falls back to
+    // `MetaWal::create`. ---
+    {
+        let wal_path = dir.path().join(WAL_FILE_NAME);
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&[0xAB; 64]).unwrap();
+        f.sync_all().unwrap();
+    }
+    let (storage, engine) = reopen(dir.path());
+    drop(engine);
+    drop(storage);
+
+    // --- The gate. ---
+    if !cfg!(feature = "fault-coverage") {
+        return;
+    }
+    let report = analyze_workspace(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace sources must be readable");
+    let pairs = fault::coverage_pairs();
+    let covered = |caller: &str, callee: &str| {
+        pairs.iter().any(|(parent, child)| {
+            parent == caller && (child == callee || child.ends_with(&format!("::{callee}")))
+        })
+    };
+    let gated: Vec<_> = report
+        .fault_surface
+        .iter()
+        .filter(|s| s.durable_core && !s.exempt)
+        .collect();
+    assert!(
+        !gated.is_empty(),
+        "the analyzer found no durable-core fault sites — the inventory broke"
+    );
+    let uncovered: Vec<String> = gated
+        .iter()
+        .filter(|s| !covered(&s.caller, &s.callee))
+        .map(|s| format!("  {}:{} {} -> {}", s.file, s.line, s.caller, s.callee))
+        .collect();
+
+    // Write the machine-readable coverage report CI uploads.
+    let artifact = {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"durable_core_sites\": {},\n  \"covered\": {},\n  \"uncovered\": [\n",
+            gated.len(),
+            gated.len() - uncovered.len()
+        ));
+        for (i, u) in uncovered.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\"{}\n",
+                u.trim(),
+                if i + 1 < uncovered.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"runtime_pairs\": ");
+        s.push_str(&format!("{}\n}}\n", pairs.len()));
+        s
+    };
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/fault_coverage.json");
+    let _ = std::fs::write(&out, artifact);
+
+    assert!(
+        uncovered.is_empty(),
+        "durable-core fault sites never entered by any fault-coverage flow \
+         ({} of {}):\n{}",
+        uncovered.len(),
+        gated.len(),
+        uncovered.join("\n")
+    );
+}
